@@ -1,0 +1,184 @@
+//! Criterion micro-benchmarks for SoftCell's hot paths.
+//!
+//! * `alg1_install_path` — Algorithm 1 throughput: policy-path
+//!   installations per second on a k=4 topology (the per-path cost that
+//!   bounds how fast the controller can absorb policy changes and new
+//!   policy-path requests).
+//! * `packet_parse` / `packet_rewrite` — wire-format costs at the access
+//!   edge (parse a packet; perform the §4.1 LocIP/tag rewrite).
+//! * `classifier_compile` — per-UE classifier compilation, the §6.2
+//!   controller request payload.
+//! * `classifier_lookup` — the local agent's per-flow classification.
+//! * `flow_table_lookup` — wildcard-table lookup with 2000 installed
+//!   rules (core-switch model cost).
+//! * `shadow_aggregation` — contiguous-prefix merge cascades in the
+//!   controller shadow.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use softcell_controller::install::Direction;
+use softcell_controller::shadow::{Entry, NextHop, ShadowSwitch};
+use softcell_controller::{PathInstaller, TagPolicy};
+use softcell_dataplane::matcher::{conventional_priority, Match};
+use softcell_dataplane::{Action, FlowTable, LookupKey};
+use softcell_packet::{build_flow_packet, AccessRewriter, FiveTuple, HeaderView, Protocol};
+use softcell_policy::{AppClassifier, ServicePolicy, SubscriberAttributes, UeClassifier};
+use softcell_sim::figure7::scheme_for;
+use softcell_topology::{CellularParams, PolicyPath, ShortestPaths};
+use softcell_types::{
+    AddressingScheme, BaseStationId, Ipv4Prefix, LocIp, PolicyTag, PortEmbedding, PortNo, SwitchId,
+    UeId, UeImsi,
+};
+use std::net::Ipv4Addr;
+
+fn sample_paths(n_clauses: usize) -> (softcell_topology::Topology, Vec<PolicyPath>) {
+    let topo = CellularParams::paper(4).build().expect("topology");
+    let mut sp = ShortestPaths::new(&topo);
+    let gw = topo.default_gateway().switch;
+    let kinds: Vec<_> = softcell_types::MiddleboxKind::enumerate(4);
+    let mut paths = Vec::new();
+    for c in 0..n_clauses {
+        let chain: Vec<_> = (0..3)
+            .map(|i| topo.instances_of(kinds[(c + i) % kinds.len()])[c % 3])
+            .collect();
+        for bs in 0..topo.base_stations().len() {
+            paths.push(
+                sp.route_policy_path(BaseStationId(bs as u32), &chain, gw)
+                    .expect("route"),
+            );
+        }
+    }
+    (topo, paths)
+}
+
+fn bench_alg1(c: &mut Criterion) {
+    let (topo, paths) = sample_paths(4);
+    let scheme = scheme_for(&topo).expect("scheme");
+    c.bench_function("alg1_install_path", |b| {
+        let mut installer = PathInstaller::new(&topo, scheme, TagPolicy::default());
+        let mut i = 0usize;
+        b.iter(|| {
+            let p = &paths[i % paths.len()];
+            i += 1;
+            black_box(installer.install_path(p, Direction::Downlink).expect("install"));
+        });
+    });
+}
+
+fn bench_packet(c: &mut Criterion) {
+    let tuple = FiveTuple {
+        src: Ipv4Addr::new(100, 64, 0, 9),
+        dst: Ipv4Addr::new(93, 184, 216, 34),
+        src_port: 50123,
+        dst_port: 443,
+        proto: Protocol::Tcp,
+    };
+    c.bench_function("packet_parse", |b| {
+        let buf = build_flow_packet(tuple, 64, 0, b"payload");
+        b.iter(|| black_box(HeaderView::parse(black_box(&buf)).expect("parse")));
+    });
+
+    c.bench_function("packet_rewrite", |b| {
+        let rw = AccessRewriter::new(
+            AddressingScheme::default_scheme(),
+            PortEmbedding::default_embedding(),
+        );
+        let template = build_flow_packet(tuple, 64, 0, b"payload");
+        let loc = LocIp::new(BaseStationId(37), UeId(10));
+        let mut buf = template.clone();
+        b.iter(|| {
+            buf.copy_from_slice(&template);
+            black_box(
+                rw.uplink_rewrite(&mut buf, loc, PolicyTag(2), 5)
+                    .expect("rewrite"),
+            );
+        });
+    });
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let policy = ServicePolicy::example_carrier_a(1);
+    let apps = AppClassifier::default();
+    let attrs = SubscriberAttributes::default_home(UeImsi(1));
+    c.bench_function("classifier_compile", |b| {
+        b.iter(|| black_box(UeClassifier::compile(&policy, &apps, &attrs)));
+    });
+    let compiled = UeClassifier::compile(&policy, &apps, &attrs);
+    c.bench_function("classifier_lookup", |b| {
+        b.iter(|| black_box(compiled.classify(Protocol::Tcp, black_box(443))));
+    });
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let ports = PortEmbedding::default_embedding();
+    let mut table = FlowTable::new();
+    // 2000 rules: a paper-scale core-switch table
+    for i in 0..2000u32 {
+        let tag = PolicyTag((i % 1024) as u16);
+        let prefix = Ipv4Prefix::from_bits(0x0A00_0000 | (i << 9), 23);
+        let m = Match::tag_and_prefix(
+            softcell_dataplane::matcher::Direction::Downlink,
+            tag,
+            prefix,
+            &ports,
+        );
+        table
+            .install(conventional_priority(&m), m, Action::Forward(PortNo(1)))
+            .expect("install");
+    }
+    let buf = build_flow_packet(
+        FiveTuple {
+            src: Ipv4Addr::new(93, 184, 216, 34),
+            dst: Ipv4Addr::new(10, 0, 100, 7),
+            src_port: 443,
+            // tag 50 + dst under rule 50's prefix: a genuine TCAM hit
+            dst_port: ports.encode(PolicyTag(50), 3).expect("port"),
+            proto: Protocol::Tcp,
+        },
+        64,
+        0,
+        &[],
+    );
+    let key = LookupKey {
+        in_port: PortNo(1),
+        view: HeaderView::parse(&buf).expect("parse"),
+        version: 0,
+    };
+    c.bench_function("flow_table_lookup_2000_rules", |b| {
+        b.iter(|| black_box(table.peek(black_box(&key))));
+    });
+}
+
+fn bench_shadow(c: &mut Criterion) {
+    c.bench_function("shadow_aggregation_512_siblings", |b| {
+        b.iter(|| {
+            let mut s = ShadowSwitch::new();
+            // a default pointing elsewhere, then 512 sibling /23
+            // overrides that cascade-merge into a single /14
+            s.install(
+                Entry::Ingress,
+                PolicyTag(1),
+                Ipv4Prefix::from_bits(0x0B00_0000, 23),
+                NextHop::Switch(SwitchId(1)),
+            );
+            for i in 0..512u32 {
+                s.install(
+                    Entry::Ingress,
+                    PolicyTag(1),
+                    Ipv4Prefix::from_bits(0x0A00_0000 | (i << 9), 23),
+                    NextHop::Switch(SwitchId(7)),
+                );
+            }
+            // default + one merged /14
+            assert_eq!(s.rule_count(), 2);
+            black_box(s.rule_count())
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_alg1, bench_packet, bench_classifier, bench_flow_table, bench_shadow
+);
+criterion_main!(benches);

@@ -1,0 +1,238 @@
+//! Table 2 — local-agent throughput vs. classifier-cache hit ratio
+//! (paper §6.2).
+//!
+//! The paper's local agent handles each new flow locally when its cached
+//! packet classifiers already carry the policy tag, and makes a
+//! controller round trip otherwise; Table 2 shows throughput collapsing
+//! from tens of thousands of flows/s at 100 % hit ratio to ~1.8 K/s when
+//! every flow needs the controller.
+//!
+//! This bench runs the *real* [`LocalAgent`] against a real access
+//! switch; the controller sits behind a channel-backed proxy whose
+//! round trip includes a simulated 500 µs base-station↔controller RTT
+//! (the paper's 0 %-hit floor of 1.8 K/s implies ≈ 550 µs per round
+//! trip). The hit ratio is forced exactly: before each flow, with
+//! probability `1 − p` the flow's clause is evicted from the agent's tag
+//! cache.
+//!
+//! Usage: `tab2_agent_throughput [--quick] [--json PATH]`
+
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::bounded;
+use serde::Serialize;
+use softcell_bench::{is_quick, maybe_dump_json, TextTable};
+use softcell_controller::agent::{ControllerApi, LocalAgent};
+use softcell_controller::core::{AttachGrant, PathTags};
+use softcell_controller::server::{ControllerServer, Request};
+use softcell_controller::state::UeRecord;
+use softcell_dataplane::Switch;
+use softcell_packet::{build_flow_packet, FiveTuple, HeaderView, Protocol};
+use softcell_policy::clause::ClauseId;
+use softcell_policy::{ServicePolicy, SubscriberAttributes};
+use softcell_types::{
+    AddressingScheme, BaseStationId, Error, PolicyTag, PortEmbedding, PortNo, Result, SimTime,
+    SwitchId, UeId, UeImsi,
+};
+
+/// Channel-backed controller proxy with a simulated network RTT.
+struct RemoteController {
+    handle: crossbeam::channel::Sender<Request>,
+    rtt: Duration,
+    next_permanent: u32,
+}
+
+impl RemoteController {
+    fn round_trip(&self) {
+        // the base-station <-> controller network distance
+        std::thread::sleep(self.rtt);
+    }
+}
+
+impl ControllerApi for RemoteController {
+    fn attach_ue(
+        &mut self,
+        imsi: UeImsi,
+        bs: BaseStationId,
+        ue_id: UeId,
+        now: SimTime,
+    ) -> Result<AttachGrant> {
+        self.round_trip();
+        let (tx, rx) = bounded(1);
+        self.handle
+            .send(Request::Classifier { imsi, reply: tx })
+            .map_err(|_| Error::InvalidState("controller gone".into()))?;
+        let classifier = rx
+            .recv()
+            .map_err(|_| Error::InvalidState("controller gone".into()))??;
+        self.next_permanent += 1;
+        let permanent_ip = Ipv4Addr::from(0x6440_0000u32 + self.next_permanent);
+        Ok(AttachGrant {
+            record: UeRecord {
+                imsi,
+                permanent_ip,
+                bs,
+                ue_id,
+                since: now,
+            },
+            classifier,
+        })
+    }
+
+    fn request_policy_path(&mut self, bs: BaseStationId, clause: ClauseId) -> Result<PathTags> {
+        self.round_trip();
+        let (tx, rx) = bounded(1);
+        self.handle
+            .send(Request::PathTag {
+                bs,
+                clause,
+                reply: tx,
+            })
+            .map_err(|_| Error::InvalidState("controller gone".into()))?;
+        let tag: PolicyTag = rx
+            .recv()
+            .map_err(|_| Error::InvalidState("controller gone".into()))??;
+        Ok(PathTags {
+            uplink_entry: tag,
+            uplink_exit: tag,
+            downlink_final: tag,
+            access_out_port: PortNo(1),
+            qos: None,
+        })
+    }
+
+    fn detach_ue(&mut self, imsi: UeImsi) -> Result<UeRecord> {
+        Err(Error::NotFound(format!("{imsi} (bench proxy)")))
+    }
+}
+
+#[derive(Serialize)]
+struct Row {
+    hit_ratio_pct: f64,
+    flows_handled: u64,
+    seconds: f64,
+    flows_per_sec: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    experiment: String,
+    simulated_rtt_us: u64,
+    rows: Vec<Row>,
+}
+
+fn measure(hit_ratio: f64, duration: Duration, server: &ControllerServer) -> Row {
+    let scheme = AddressingScheme::default_scheme();
+    let ports = PortEmbedding::default_embedding();
+    let mut agent = LocalAgent::new(BaseStationId(0), PortNo(2), scheme, ports);
+    let mut switch = Switch::access(SwitchId(0));
+    let mut ctl = RemoteController {
+        handle: server.handle(),
+        rtt: Duration::from_micros(500),
+        next_permanent: 0,
+    };
+
+    // a population of attached UEs (paper: hundreds per station)
+    const UES: u64 = 200;
+    for i in 0..UES {
+        agent
+            .handle_attach(UeImsi(i), &mut ctl, SimTime::ZERO)
+            .expect("attach");
+    }
+    let base_stats = agent.stats();
+
+    // xorshift for the eviction coin
+    let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut flip = || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        (rng >> 11) as f64 / (1u64 << 53) as f64
+    };
+
+    let start = Instant::now();
+    let mut flows: u64 = 0;
+    let mut now_us: u64 = 0;
+    while start.elapsed() < duration {
+        let imsi = UeImsi(flows % UES);
+        let permanent = agent.ue(imsi).expect("attached").permanent_ip;
+        let tuple = FiveTuple {
+            src: permanent,
+            dst: Ipv4Addr::new(93, 184, 216, 34),
+            src_port: 40_000 + (flows % 20_000) as u16,
+            dst_port: 443, // web → the catch-all firewall clause
+            proto: Protocol::Tcp,
+        };
+        let view = HeaderView::parse(&build_flow_packet(tuple, 64, 0, &[])).expect("packet");
+
+        // force the target hit ratio
+        if flip() > hit_ratio {
+            agent.invalidate_clause(ClauseId(5));
+        }
+
+        now_us += 10;
+        agent
+            .handle_new_flow(&view, &mut ctl, &mut switch, SimTime(now_us))
+            .expect("flow");
+        // the flow completes immediately (keeps slots bounded)
+        agent.flow_finished(imsi, &tuple).expect("finish");
+        switch.microflow.remove(&tuple);
+        flows += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let stats = agent.stats();
+    Row {
+        hit_ratio_pct: hit_ratio * 100.0,
+        flows_handled: flows,
+        seconds: secs,
+        flows_per_sec: flows as f64 / secs,
+        cache_hits: stats.cache_hits - base_stats.cache_hits,
+        cache_misses: stats.cache_misses - base_stats.cache_misses,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let duration = if is_quick(&args) {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_millis(1500)
+    };
+
+    let subscribers: Vec<SubscriberAttributes> = (0..200)
+        .map(|i| SubscriberAttributes::default_home(UeImsi(i)))
+        .collect();
+    let server = ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers, 2)
+        .expect("server");
+
+    println!("Table 2: local-agent throughput vs cache hit ratio");
+    println!("(paper shape: monotone in hit ratio; ~1.8K flows/s at 0%)");
+    let ratios = [1.0, 0.999, 0.99, 0.95, 0.90, 0.80, 0.50, 0.0];
+    let rows: Vec<Row> = ratios.iter().map(|&p| measure(p, duration, &server)).collect();
+
+    let mut t = TextTable::new(&["hit ratio %", "flows", "secs", "flows/s", "hits", "misses"]);
+    for r in &rows {
+        t.row(&[
+            format!("{:.1}", r.hit_ratio_pct),
+            r.flows_handled.to_string(),
+            format!("{:.2}", r.seconds),
+            format!("{:.0}", r.flows_per_sec),
+            r.cache_hits.to_string(),
+            r.cache_misses.to_string(),
+        ]);
+    }
+    t.print();
+
+    maybe_dump_json(
+        &args,
+        &Output {
+            experiment: "tab2".into(),
+            simulated_rtt_us: 500,
+            rows,
+        },
+    );
+    server.shutdown();
+}

@@ -1,0 +1,142 @@
+//! Shared infrastructure for the benchmark binaries.
+//!
+//! Each binary regenerates one table or figure of the paper's evaluation
+//! (§6); see DESIGN.md's experiment index. Results print as aligned
+//! text tables (the paper's rows/series) and, with `--json PATH`, as
+//! machine-readable JSON so EXPERIMENTS.md numbers stay regenerable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs::File;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// A simple aligned-column table printer.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Display>(headers: &[S]) -> TextTable {
+        TextTable {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row<S: Display>(&mut self, cells: &[S]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Writes a serializable result to a JSON file if `--json PATH` was
+/// passed on the command line.
+pub fn maybe_dump_json<T: serde::Serialize>(args: &[String], value: &T) {
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            let mut f = File::create(path).expect("create json output");
+            let s = serde_json::to_string_pretty(value).expect("serialize");
+            f.write_all(s.as_bytes()).expect("write json");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// Whether `--quick` was passed (reduced problem sizes for smoke runs).
+pub fn is_quick(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--quick")
+}
+
+/// Parses `--flag N` style integer arguments.
+pub fn arg_usize(args: &[String], flag: &str) -> Option<usize> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.get(pos + 1)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["k", "median", "max"]);
+        t.row(&["8", "1214", "1697"]);
+        t.row(&["20", "600", "900"]);
+        let s = t.render();
+        assert!(s.contains("1214"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only one"]);
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, secs) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["prog", "--quick", "--n", "500"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(is_quick(&args));
+        assert_eq!(arg_usize(&args, "--n"), Some(500));
+        assert_eq!(arg_usize(&args, "--k"), None);
+    }
+}

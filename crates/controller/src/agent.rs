@@ -1,0 +1,676 @@
+//! The local agent at each base station (paper §4.2).
+//!
+//! "SoftCell introduces a local software agent running at each base
+//! station to scale the control plane." The agent:
+//!
+//! * assigns local UE identifiers and registers attaches with the
+//!   central controller;
+//! * caches the per-UE packet classifiers the controller computes;
+//! * on each new flow, classifies it locally and installs the microflow
+//!   rules in the access switch (uplink LocIP/tag rewrite, downlink
+//!   permanent-address restore);
+//! * contacts the controller **only** when no policy tag exists yet for
+//!   the flow's (clause, base station) — everything else is a cache hit.
+//!
+//! The controller is reached through [`ControllerApi`] so the same agent
+//! code runs against a direct in-process controller (simulator) or a
+//! channel-backed threaded one (the §6.2 micro-benchmarks).
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+use softcell_dataplane::{MicroflowAction, Switch};
+use softcell_packet::{FiveTuple, HeaderView};
+use softcell_policy::clause::{AccessControl, ClauseId};
+use softcell_policy::UeClassifier;
+use softcell_types::{
+    AddressingScheme, BaseStationId, Error, LocIp, PortEmbedding, PortNo, Result, SimTime, UeId,
+    UeImsi,
+};
+
+use crate::core::{AttachGrant, PathTags};
+use crate::state::UeRecord;
+
+/// The controller operations an agent needs. Implemented directly by
+/// [`crate::core::CentralController`] and by channel-backed proxies.
+pub trait ControllerApi {
+    /// Registers an attach; returns the grant (record + classifier).
+    fn attach_ue(
+        &mut self,
+        imsi: UeImsi,
+        bs: BaseStationId,
+        ue_id: UeId,
+        now: SimTime,
+    ) -> Result<AttachGrant>;
+
+    /// Requests (installing if necessary) the policy path of a clause
+    /// from this base station.
+    fn request_policy_path(&mut self, bs: BaseStationId, clause: ClauseId) -> Result<PathTags>;
+
+    /// Detaches a UE.
+    fn detach_ue(&mut self, imsi: UeImsi) -> Result<UeRecord>;
+}
+
+impl ControllerApi for crate::core::CentralController<'_> {
+    fn attach_ue(
+        &mut self,
+        imsi: UeImsi,
+        bs: BaseStationId,
+        ue_id: UeId,
+        now: SimTime,
+    ) -> Result<AttachGrant> {
+        // fully-qualified call picks the inherent method, not this one
+        crate::core::CentralController::attach_ue(self, imsi, bs, ue_id, now)
+    }
+
+    fn request_policy_path(&mut self, bs: BaseStationId, clause: ClauseId) -> Result<PathTags> {
+        crate::core::CentralController::request_policy_path(self, bs, clause)
+    }
+
+    fn detach_ue(&mut self, imsi: UeImsi) -> Result<UeRecord> {
+        crate::core::CentralController::detach_ue(self, imsi)
+    }
+}
+
+/// One attached UE as the agent sees it.
+#[derive(Clone, Debug)]
+pub struct AgentUe {
+    /// Subscriber identity.
+    pub imsi: UeImsi,
+    /// Local identifier (and low bits of the LocIP).
+    pub ue_id: UeId,
+    /// Permanent address (what the UE itself sources from).
+    pub permanent_ip: Ipv4Addr,
+    /// The cached classifier.
+    pub classifier: UeClassifier,
+    next_slot: u16,
+    active_slots: HashSet<u16>,
+    /// Active flows — needed for handoff rule copying (§5.1).
+    pub flows: Vec<AgentFlow>,
+}
+
+/// One active flow as the agent tracks it across moves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AgentFlow {
+    /// The uplink five-tuple as the UE sends it (permanent source).
+    pub uplink: FiveTuple,
+    /// The downlink tuple as it *currently* arrives (after any mobility
+    /// tunnel re-keyed its tag bits).
+    pub downlink: FiveTuple,
+    /// The downlink tuple as it was originally keyed at the anchor
+    /// station — needed when the UE returns home and delivery reverts to
+    /// the original key.
+    pub downlink_original: FiveTuple,
+}
+
+/// What handling a new flow produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlowSetup {
+    /// Rules installed; traffic flows.
+    Allowed {
+        /// The clause applied.
+        clause: ClauseId,
+        /// The rewritten uplink source the fabric will see.
+        loc_source: (Ipv4Addr, u16),
+        /// Whether the tag cache had to escalate to the controller.
+        cache_hit: bool,
+    },
+    /// The clause denies this traffic; a drop rule was installed.
+    Denied {
+        /// The denying clause.
+        clause: ClauseId,
+    },
+}
+
+/// Running counters (Table 2 measures the hit/miss split).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    /// Flows processed.
+    pub flows: u64,
+    /// Tag-cache hits (handled without the controller).
+    pub cache_hits: u64,
+    /// Tag-cache misses (controller round trip).
+    pub cache_misses: u64,
+    /// Flows denied by policy.
+    pub denied: u64,
+}
+
+/// The local agent of one base station.
+pub struct LocalAgent {
+    bs: BaseStationId,
+    radio_port: PortNo,
+    scheme: AddressingScheme,
+    ports: PortEmbedding,
+    ues: HashMap<UeImsi, AgentUe>,
+    by_permanent: HashMap<Ipv4Addr, UeImsi>,
+    next_ue_id: u16,
+    free_ue_ids: Vec<UeId>,
+    /// Cached policy tags per clause — "the current policy tags" of §4.2.
+    tag_cache: HashMap<ClauseId, PathTags>,
+    stats: AgentStats,
+    /// Idle timeout handed to microflow entries.
+    pub microflow_idle: softcell_types::SimDuration,
+}
+
+impl LocalAgent {
+    /// Creates the agent for a base station.
+    pub fn new(
+        bs: BaseStationId,
+        radio_port: PortNo,
+        scheme: AddressingScheme,
+        ports: PortEmbedding,
+    ) -> Self {
+        LocalAgent {
+            bs,
+            radio_port,
+            scheme,
+            ports,
+            ues: HashMap::new(),
+            by_permanent: HashMap::new(),
+            next_ue_id: 0,
+            free_ue_ids: Vec::new(),
+            tag_cache: HashMap::new(),
+            stats: AgentStats::default(),
+            microflow_idle: softcell_types::SimDuration::from_secs(30),
+        }
+    }
+
+    /// This agent's base station.
+    pub fn base_station(&self) -> BaseStationId {
+        self.bs
+    }
+
+    /// The radio-facing port of the access switch.
+    pub fn radio_port(&self) -> PortNo {
+        self.radio_port
+    }
+
+    /// The addressing scheme in use.
+    pub fn scheme(&self) -> &AddressingScheme {
+        &self.scheme
+    }
+
+    /// The port embedding in use.
+    pub fn ports(&self) -> &PortEmbedding {
+        &self.ports
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> AgentStats {
+        self.stats
+    }
+
+    /// Attached UEs.
+    pub fn attached(&self) -> impl Iterator<Item = &AgentUe> {
+        self.ues.values()
+    }
+
+    /// One attached UE.
+    pub fn ue(&self, imsi: UeImsi) -> Result<&AgentUe> {
+        self.ues
+            .get(&imsi)
+            .ok_or_else(|| Error::NotFound(format!("{imsi} not attached here")))
+    }
+
+    /// Clears the tag cache (tests and failover drills).
+    pub fn clear_tag_cache(&mut self) {
+        self.tag_cache.clear();
+    }
+
+    /// Evicts a single clause's tags from the cache — the next flow of
+    /// that clause escalates to the controller. Benchmarks use this to
+    /// pin an exact hit ratio (Table 2).
+    pub fn invalidate_clause(&mut self, clause: ClauseId) {
+        self.tag_cache.remove(&clause);
+    }
+
+    fn allocate_ue_id(&mut self) -> Result<UeId> {
+        if let Some(id) = self.free_ue_ids.pop() {
+            return Ok(id);
+        }
+        if u32::from(self.next_ue_id) >= self.scheme.max_ues_per_station() {
+            return Err(Error::Exhausted(format!(
+                "base station {} out of UE ids",
+                self.bs
+            )));
+        }
+        let id = UeId(self.next_ue_id);
+        self.next_ue_id += 1;
+        Ok(id)
+    }
+
+    /// Handles a UE attach: assigns a local id, registers with the
+    /// controller, caches the classifier. Returns the new record.
+    pub fn handle_attach(
+        &mut self,
+        imsi: UeImsi,
+        ctl: &mut dyn ControllerApi,
+        now: SimTime,
+    ) -> Result<UeRecord> {
+        if self.ues.contains_key(&imsi) {
+            return Err(Error::InvalidState(format!("{imsi} already attached")));
+        }
+        let ue_id = self.allocate_ue_id()?;
+        let grant = match ctl.attach_ue(imsi, self.bs, ue_id, now) {
+            Ok(g) => g,
+            Err(e) => {
+                self.free_ue_ids.push(ue_id);
+                return Err(e);
+            }
+        };
+        let record = grant.record;
+        self.by_permanent.insert(record.permanent_ip, imsi);
+        self.ues.insert(
+            imsi,
+            AgentUe {
+                imsi,
+                ue_id,
+                permanent_ip: record.permanent_ip,
+                classifier: grant.classifier,
+                next_slot: 0,
+                active_slots: HashSet::new(),
+                flows: Vec::new(),
+            },
+        );
+        Ok(record)
+    }
+
+    /// Adopts an already-attached UE (handoff arrival or agent restart):
+    /// the controller supplies the record and classifier; the local id
+    /// was chosen by whoever initiated the move.
+    pub fn adopt(&mut self, record: UeRecord, classifier: UeClassifier) -> Result<()> {
+        if record.bs != self.bs {
+            return Err(Error::InvalidState(format!(
+                "record for {} adopted at {}",
+                record.bs, self.bs
+            )));
+        }
+        self.by_permanent.insert(record.permanent_ip, record.imsi);
+        // the adopted id must not be handed out again
+        if record.ue_id.0 >= self.next_ue_id {
+            self.next_ue_id = record.ue_id.0 + 1;
+        }
+        self.free_ue_ids.retain(|id| *id != record.ue_id);
+        self.ues.insert(
+            record.imsi,
+            AgentUe {
+                imsi: record.imsi,
+                ue_id: record.ue_id,
+                permanent_ip: record.permanent_ip,
+                classifier,
+                next_slot: 0,
+                active_slots: HashSet::new(),
+                flows: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Records carried-over flows for an adopted UE (handoff arrival),
+    /// so a further handoff can move them again. The flows' slots are
+    /// marked active so new flows do not collide with them.
+    pub fn adopt_flows(&mut self, imsi: UeImsi, flows: Vec<AgentFlow>) -> Result<()> {
+        let ue = self
+            .ues
+            .get_mut(&imsi)
+            .ok_or_else(|| Error::NotFound(format!("{imsi} not attached here")))?;
+        for f in &flows {
+            let (_, slot) = self.ports.decode(f.downlink.dst_port);
+            ue.active_slots.insert(slot);
+        }
+        ue.flows.extend(flows);
+        Ok(())
+    }
+
+    /// Removes a UE locally without touching the controller — the UE
+    /// moved away (handoff); the controller's record already points at
+    /// the new station. The local UE id is *not* recycled immediately:
+    /// the old location-dependent address stays reserved until the
+    /// mobility transition expires (§5.1).
+    pub fn evict(&mut self, imsi: UeImsi) -> Result<()> {
+        let ue = self
+            .ues
+            .remove(&imsi)
+            .ok_or_else(|| Error::NotFound(format!("{imsi} not attached here")))?;
+        self.by_permanent.remove(&ue.permanent_ip);
+        Ok(())
+    }
+
+    /// Detaches a UE locally and at the controller.
+    pub fn handle_detach(&mut self, imsi: UeImsi, ctl: &mut dyn ControllerApi) -> Result<()> {
+        let ue = self
+            .ues
+            .remove(&imsi)
+            .ok_or_else(|| Error::NotFound(format!("{imsi} not attached here")))?;
+        self.by_permanent.remove(&ue.permanent_ip);
+        self.free_ue_ids.push(ue.ue_id);
+        ctl.detach_ue(imsi)?;
+        Ok(())
+    }
+
+    /// Handles the first packet of a new uplink flow (punted by the
+    /// access switch): classifies, fetches/reuses the policy tag,
+    /// installs both microflow rules. `view` is the packet as the UE sent
+    /// it (permanent source address).
+    pub fn handle_new_flow(
+        &mut self,
+        view: &HeaderView,
+        ctl: &mut dyn ControllerApi,
+        switch: &mut Switch,
+        now: SimTime,
+    ) -> Result<FlowSetup> {
+        self.stats.flows += 1;
+        let imsi = *self
+            .by_permanent
+            .get(&view.src())
+            .ok_or_else(|| Error::NotFound(format!("no attached UE owns {}", view.src())))?;
+
+        // classify against the cached per-UE classifier
+        let (clause, access) = {
+            let ue = self.ues.get(&imsi).expect("by_permanent is consistent");
+            let entry = ue
+                .classifier
+                .classify(view.tuple.proto, view.dst_port())
+                .ok_or_else(|| {
+                    Error::InvalidState("policy matches nothing for this flow".into())
+                })?;
+            (entry.clause, entry.access)
+        };
+
+        if access == AccessControl::Deny {
+            self.stats.denied += 1;
+            let deadline = now + self.microflow_idle;
+            switch
+                .microflow
+                .install(view.tuple, MicroflowAction::Drop, deadline)?;
+            return Ok(FlowSetup::Denied { clause });
+        }
+
+        // tag cache: §4.2 — only the first flow needing this policy path
+        // at this base station reaches the controller
+        let (tags, cache_hit) = match self.tag_cache.get(&clause) {
+            Some(t) => {
+                self.stats.cache_hits += 1;
+                (*t, true)
+            }
+            None => {
+                self.stats.cache_misses += 1;
+                let t = ctl.request_policy_path(self.bs, clause)?;
+                self.tag_cache.insert(clause, t);
+                (t, false)
+            }
+        };
+
+        let ue = self.ues.get_mut(&imsi).expect("checked above");
+        let loc = LocIp::new(self.bs, ue.ue_id);
+        let loc_addr = self.scheme.encode(loc)?;
+
+        // allocate a flow slot unique among this UE's active flows
+        let slots = self.ports.flow_slots();
+        let mut slot = ue.next_slot % slots;
+        let mut tries = 0;
+        while ue.active_slots.contains(&slot) {
+            slot = (slot + 1) % slots;
+            tries += 1;
+            if tries >= slots {
+                return Err(Error::Exhausted(format!(
+                    "UE {imsi} has all {slots} flow slots active"
+                )));
+            }
+        }
+        ue.next_slot = slot + 1;
+        ue.active_slots.insert(slot);
+
+        let up_port = self.ports.encode(tags.uplink_entry, slot)?;
+        let down_port = self.ports.encode(tags.downlink_final, slot)?;
+        let deadline = now + self.microflow_idle;
+
+        // uplink: permanent tuple → rewrite source to (LocIP, tag|slot),
+        // applying the clause's QoS marking (paper §2.2) at the edge
+        switch.microflow.install(
+            view.tuple,
+            MicroflowAction::RewriteSrc {
+                addr: loc_addr,
+                port: up_port,
+                out: tags.access_out_port,
+                dscp: tags.qos.map(|q| q.dscp),
+            },
+            deadline,
+        )?;
+
+        // downlink: as arriving from the fabric (server echoes the
+        // embedding; downlink swaps may have changed the tag bits)
+        let down_tuple = FiveTuple {
+            src: view.dst(),
+            dst: loc_addr,
+            src_port: view.dst_port(),
+            dst_port: down_port,
+            proto: view.tuple.proto,
+        };
+        switch.microflow.install(
+            down_tuple,
+            MicroflowAction::RewriteDst {
+                addr: ue.permanent_ip,
+                port: view.src_port(),
+                out: self.radio_port,
+            },
+            deadline,
+        )?;
+
+        ue.flows.push(AgentFlow {
+            uplink: view.tuple,
+            downlink: down_tuple,
+            downlink_original: down_tuple,
+        });
+
+        Ok(FlowSetup::Allowed {
+            clause,
+            loc_source: (loc_addr, up_port),
+            cache_hit,
+        })
+    }
+
+    /// The active flows of a UE (for handoff rule copying).
+    pub fn flows_of(&self, imsi: UeImsi) -> Result<&[AgentFlow]> {
+        Ok(&self.ue(imsi)?.flows)
+    }
+
+    /// Marks a flow finished, freeing its slot.
+    pub fn flow_finished(&mut self, imsi: UeImsi, uplink: &FiveTuple) -> Result<()> {
+        let ue = self
+            .ues
+            .get_mut(&imsi)
+            .ok_or_else(|| Error::NotFound(format!("{imsi} not attached here")))?;
+        if let Some(pos) = ue.flows.iter().position(|f| f.uplink == *uplink) {
+            let flow = ue.flows.remove(pos);
+            let (_, slot) = self.ports.decode(flow.downlink.dst_port);
+            ue.active_slots.remove(&slot);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{CentralController, ControllerConfig};
+    use softcell_packet::{build_flow_packet, Protocol};
+    use softcell_policy::{ServicePolicy, SubscriberAttributes};
+    use softcell_topology::small_topology;
+    use softcell_types::SwitchId;
+
+    fn setup(topo: &softcell_topology::Topology) -> (CentralController<'_>, LocalAgent, Switch) {
+        let mut ctl = CentralController::new(
+            topo,
+            ControllerConfig::simulation(),
+            ServicePolicy::example_carrier_a(1),
+        );
+        for i in 0..4 {
+            ctl.put_subscriber(SubscriberAttributes::default_home(UeImsi(i)));
+        }
+        let bs = topo.base_station(BaseStationId(0));
+        let agent = LocalAgent::new(
+            BaseStationId(0),
+            bs.radio_port,
+            ctl.config().scheme,
+            ctl.config().ports,
+        );
+        let switch = Switch::access(bs.access_switch);
+        (ctl, agent, switch)
+    }
+
+    fn flow_view(src: Ipv4Addr, dst_port: u16) -> HeaderView {
+        let t = FiveTuple {
+            src,
+            dst: Ipv4Addr::new(93, 184, 216, 34),
+            src_port: 50000,
+            dst_port,
+            proto: Protocol::Tcp,
+        };
+        HeaderView::parse(&build_flow_packet(t, 64, 0, &[])).unwrap()
+    }
+
+    #[test]
+    fn attach_assigns_sequential_ue_ids() {
+        let topo = small_topology();
+        let (mut ctl, mut agent, _sw) = setup(&topo);
+        let r0 = agent.handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).unwrap();
+        let r1 = agent.handle_attach(UeImsi(1), &mut ctl, SimTime::ZERO).unwrap();
+        assert_eq!(r0.ue_id, UeId(0));
+        assert_eq!(r1.ue_id, UeId(1));
+        assert!(agent.handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn first_flow_misses_then_hits() {
+        let topo = small_topology();
+        let (mut ctl, mut agent, mut sw) = setup(&topo);
+        let rec = agent.handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).unwrap();
+
+        let v1 = flow_view(rec.permanent_ip, 443);
+        let s1 = agent.handle_new_flow(&v1, &mut ctl, &mut sw, SimTime::ZERO).unwrap();
+        let FlowSetup::Allowed { cache_hit, .. } = s1 else {
+            panic!("web flow is allowed");
+        };
+        assert!(!cache_hit, "first flow of the clause escalates");
+
+        let v2 = flow_view(rec.permanent_ip, 80); // same catch-all clause
+        let s2 = agent.handle_new_flow(&v2, &mut ctl, &mut sw, SimTime::ZERO).unwrap();
+        let FlowSetup::Allowed { cache_hit, .. } = s2 else {
+            panic!()
+        };
+        assert!(cache_hit, "same clause is served from the tag cache");
+        assert_eq!(agent.stats().cache_misses, 1);
+        assert_eq!(agent.stats().cache_hits, 1);
+        // two flows → four microflow entries (up + down each)
+        assert_eq!(sw.microflow.len(), 4);
+    }
+
+    #[test]
+    fn flow_rewrite_embeds_loc_and_tag() {
+        let topo = small_topology();
+        let (mut ctl, mut agent, mut sw) = setup(&topo);
+        let rec = agent.handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).unwrap();
+        let v = flow_view(rec.permanent_ip, 443);
+        let FlowSetup::Allowed { loc_source, .. } =
+            agent.handle_new_flow(&v, &mut ctl, &mut sw, SimTime::ZERO).unwrap()
+        else {
+            panic!()
+        };
+        let scheme = AddressingScheme::default_scheme();
+        let loc = scheme.decode(loc_source.0).unwrap();
+        assert_eq!(loc.base_station, BaseStationId(0));
+        assert_eq!(loc.ue, rec.ue_id);
+    }
+
+    #[test]
+    fn foreign_subscriber_flow_is_denied() {
+        let topo = small_topology();
+        let (mut ctl, mut agent, mut sw) = setup(&topo);
+        let mut attrs = SubscriberAttributes::default_home(UeImsi(9));
+        attrs.provider = softcell_policy::Provider::Foreign(3);
+        ctl.put_subscriber(attrs);
+        let rec = agent.handle_attach(UeImsi(9), &mut ctl, SimTime::ZERO).unwrap();
+        let v = flow_view(rec.permanent_ip, 443);
+        let s = agent.handle_new_flow(&v, &mut ctl, &mut sw, SimTime::ZERO).unwrap();
+        assert!(matches!(s, FlowSetup::Denied { .. }));
+        assert_eq!(agent.stats().denied, 1);
+        // the drop rule is in place
+        assert_eq!(
+            sw.microflow.peek(&v.tuple).unwrap().action,
+            MicroflowAction::Drop
+        );
+    }
+
+    #[test]
+    fn unknown_source_is_rejected() {
+        let topo = small_topology();
+        let (mut ctl, mut agent, mut sw) = setup(&topo);
+        let v = flow_view(Ipv4Addr::new(1, 2, 3, 4), 443);
+        assert!(agent.handle_new_flow(&v, &mut ctl, &mut sw, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn flow_slots_are_unique_and_recycled() {
+        let topo = small_topology();
+        let (mut ctl, mut agent, mut sw) = setup(&topo);
+        let rec = agent.handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).unwrap();
+        let mut seen = HashSet::new();
+        let mut first_tuple = None;
+        for i in 0..10 {
+            let t = FiveTuple {
+                src: rec.permanent_ip,
+                dst: Ipv4Addr::new(93, 184, 216, 34),
+                src_port: 50000 + i,
+                dst_port: 443,
+                proto: Protocol::Tcp,
+            };
+            let v = HeaderView::parse(&build_flow_packet(t, 64, 0, &[])).unwrap();
+            let FlowSetup::Allowed { loc_source, .. } =
+                agent.handle_new_flow(&v, &mut ctl, &mut sw, SimTime::ZERO).unwrap()
+            else {
+                panic!()
+            };
+            assert!(seen.insert(loc_source.1), "slots must be unique per UE");
+            first_tuple.get_or_insert(t);
+        }
+        assert_eq!(agent.flows_of(UeImsi(0)).unwrap().len(), 10);
+        agent.flow_finished(UeImsi(0), &first_tuple.unwrap()).unwrap();
+        assert_eq!(agent.flows_of(UeImsi(0)).unwrap().len(), 9);
+    }
+
+    #[test]
+    fn detach_frees_ue_id() {
+        let topo = small_topology();
+        let (mut ctl, mut agent, _sw) = setup(&topo);
+        agent.handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).unwrap();
+        agent.handle_detach(UeImsi(0), &mut ctl).unwrap();
+        let r = agent.handle_attach(UeImsi(1), &mut ctl, SimTime::ZERO).unwrap();
+        assert_eq!(r.ue_id, UeId(0), "freed id is recycled");
+    }
+
+    #[test]
+    fn adopt_respects_foreign_ue_ids() {
+        let topo = small_topology();
+        let (mut ctl, mut agent, _sw) = setup(&topo);
+        // UE arrives by handoff with id 5 chosen elsewhere
+        let grant = ctl
+            .attach_ue(UeImsi(2), BaseStationId(0), UeId(5), SimTime::ZERO)
+            .unwrap();
+        agent.adopt(grant.record, grant.classifier).unwrap();
+        // the next locally assigned id must skip past 5
+        let r = agent.handle_attach(UeImsi(3), &mut ctl, SimTime::ZERO).unwrap();
+        assert_eq!(r.ue_id, UeId(6));
+    }
+
+    #[test]
+    fn adopt_rejects_wrong_station() {
+        let topo = small_topology();
+        let (mut ctl, mut agent, _sw) = setup(&topo);
+        let grant = ctl
+            .attach_ue(UeImsi(2), BaseStationId(1), UeId(0), SimTime::ZERO)
+            .unwrap();
+        assert!(agent.adopt(grant.record, grant.classifier).is_err());
+        let _ = SwitchId(0); // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,326 @@
+//! Control-plane failure handling (paper §5.2).
+//!
+//! The controller's slow-changing state (policy, subscriber attributes,
+//! policy paths) is replicated with strong consistency — every mutation
+//! is applied to all replicas before it is acknowledged. The fast-moving
+//! state, UE location, is *not* synchronously replicated: "upon a
+//! controller failure, a replica can correctly rebuild the UE location
+//! state by querying local agents", which works because "a UE only
+//! associates with one base station at a time".
+//!
+//! Local agents hold only state derived from the controller (packet
+//! classifiers, location-dependent addresses), never update it, and on
+//! failure simply restart and refetch (§5.2 "Handling local agent
+//! failure").
+
+use softcell_policy::UeClassifier;
+use softcell_types::{BaseStationId, Error, Result, SimTime};
+
+use crate::agent::LocalAgent;
+use crate::core::CentralController;
+use crate::state::{ControllerState, UeRecord};
+
+/// A strongly consistent replica group of controller state.
+///
+/// `mutate` applies one closure to every replica and verifies they agree
+/// (same post-version); a failed replica can be dropped and a fresh one
+/// seeded from any survivor.
+#[derive(Clone, Debug)]
+pub struct ReplicaGroup {
+    replicas: Vec<ControllerState>,
+}
+
+impl ReplicaGroup {
+    /// A group of `n` replicas seeded from one state.
+    pub fn new(seed: ControllerState, n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::Config("replica group needs at least one member".into()));
+        }
+        Ok(ReplicaGroup {
+            replicas: vec![seed; n],
+        })
+    }
+
+    /// Number of live replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the group is empty (never true for a constructed group
+    /// until failures remove members).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Applies a mutation to every replica (strong consistency: all or
+    /// error). The closure must be deterministic.
+    pub fn mutate<R>(
+        &mut self,
+        mut f: impl FnMut(&mut ControllerState) -> Result<R>,
+    ) -> Result<R> {
+        let mut out = None;
+        for r in &mut self.replicas {
+            out = Some(f(r)?);
+        }
+        let v0 = self.replicas[0].version();
+        if self.replicas.iter().any(|r| r.version() != v0) {
+            return Err(Error::InvalidState(
+                "replicas diverged after mutation (non-deterministic closure?)".into(),
+            ));
+        }
+        Ok(out.expect("group is non-empty"))
+    }
+
+    /// Read from the primary (index 0).
+    pub fn primary(&self) -> &ControllerState {
+        &self.replicas[0]
+    }
+
+    /// Simulates a replica crash.
+    pub fn fail_replica(&mut self, idx: usize) -> Result<()> {
+        if idx >= self.replicas.len() {
+            return Err(Error::NotFound(format!("replica {idx}")));
+        }
+        if self.replicas.len() == 1 {
+            return Err(Error::InvalidState(
+                "cannot fail the last replica".into(),
+            ));
+        }
+        self.replicas.remove(idx);
+        Ok(())
+    }
+
+    /// Adds a fresh replica seeded from a survivor.
+    pub fn add_replica(&mut self) {
+        let seed = self.replicas[0].clone();
+        self.replicas.push(seed);
+    }
+}
+
+/// What a local agent reports when a recovering controller queries it
+/// (§5.2: "a replica can correctly rebuild the UE location state by
+/// querying local agents").
+#[derive(Clone, Debug)]
+pub struct AgentLocationReport {
+    /// The reporting base station.
+    pub bs: BaseStationId,
+    /// The UEs attached there.
+    pub ues: Vec<UeRecord>,
+}
+
+impl AgentLocationReport {
+    /// Builds the report from a live agent.
+    pub fn from_agent(agent: &LocalAgent, now: SimTime) -> AgentLocationReport {
+        AgentLocationReport {
+            bs: agent.base_station(),
+            ues: agent
+                .attached()
+                .map(|u| UeRecord {
+                    imsi: u.imsi,
+                    permanent_ip: u.permanent_ip,
+                    bs: agent.base_station(),
+                    ue_id: u.ue_id,
+                    since: now,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Rebuilds a recovering controller's location state from agent reports.
+pub fn rebuild_locations(state: &mut ControllerState, reports: &[AgentLocationReport]) {
+    state.clear_locations();
+    for report in reports {
+        for rec in &report.ues {
+            state.restore_location(*rec);
+        }
+    }
+}
+
+impl<'t> CentralController<'t> {
+    /// The grants a restarting local agent refetches: every UE the
+    /// controller believes is attached at `bs`, with a freshly compiled
+    /// classifier.
+    pub fn grants_for_station(
+        &self,
+        bs: BaseStationId,
+    ) -> Result<Vec<(UeRecord, UeClassifier)>> {
+        let mut out = Vec::new();
+        for rec in self.state().attached() {
+            if rec.bs == bs {
+                let attrs = self.state().subscriber(rec.imsi)?;
+                let classifier =
+                    UeClassifier::compile(&self.state().policy, self.apps(), attrs);
+                out.push((*rec, classifier));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl LocalAgent {
+    /// Restart recovery: drop everything and refetch from the controller
+    /// (the agent's state is read-only derived state, §5.2). `grants` is
+    /// the controller's answer for this base station.
+    pub fn restart_from(
+        &mut self,
+        grants: Vec<(UeRecord, UeClassifier)>,
+    ) -> Result<usize> {
+        let bs = self.base_station();
+        let radio = self.radio_port();
+        let scheme = *self.scheme();
+        let ports = *self.ports();
+        *self = LocalAgent::new(bs, radio, scheme, ports);
+        let n = grants.len();
+        for (rec, classifier) in grants {
+            self.adopt(rec, classifier)?;
+        }
+        Ok(n)
+    }
+}
+
+/// Rebuilds the UE-location state of one agent's base station after the
+/// agent itself reattached everything (used in tests to close the loop).
+pub fn verify_agent_matches_controller(
+    agent: &LocalAgent,
+    ctl: &CentralController<'_>,
+) -> Result<()> {
+    for ue in agent.attached() {
+        let rec = ctl.state().ue(ue.imsi)?;
+        if rec.bs != agent.base_station() || rec.ue_id != ue.ue_id {
+            return Err(Error::InvalidState(format!(
+                "agent/controller disagree about {}",
+                ue.imsi
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::ControllerConfig;
+    use softcell_policy::{ServicePolicy, SubscriberAttributes};
+    use softcell_topology::small_topology;
+    use softcell_types::{Ipv4Prefix, UeId, UeImsi};
+
+    fn seed_state() -> ControllerState {
+        let mut s = ControllerState::new(
+            ServicePolicy::example_carrier_a(1),
+            "100.64.0.0/10".parse::<Ipv4Prefix>().unwrap(),
+        );
+        for i in 0..4 {
+            s.put_subscriber(SubscriberAttributes::default_home(UeImsi(i)));
+        }
+        s
+    }
+
+    #[test]
+    fn replicas_apply_mutations_in_lockstep() {
+        let mut g = ReplicaGroup::new(seed_state(), 3).unwrap();
+        g.mutate(|s| s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO))
+            .unwrap();
+        assert_eq!(g.primary().attached_count(), 1);
+        // every replica answers identically
+        let v = g.primary().version();
+        g.mutate(|s| {
+            assert_eq!(s.version(), v);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn failover_to_surviving_replica_keeps_slow_state() {
+        let mut g = ReplicaGroup::new(seed_state(), 3).unwrap();
+        g.mutate(|s| s.attach(UeImsi(1), BaseStationId(2), UeId(7), SimTime::ZERO))
+            .unwrap();
+        g.fail_replica(0).unwrap();
+        assert_eq!(g.len(), 2);
+        // the survivor has the subscribers and the attachment
+        assert_eq!(g.primary().subscriber_count(), 4);
+        assert_eq!(g.primary().attached_count(), 1);
+        g.add_replica();
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn cannot_fail_last_replica() {
+        let mut g = ReplicaGroup::new(seed_state(), 1).unwrap();
+        assert!(g.fail_replica(0).is_err());
+        assert!(ReplicaGroup::new(seed_state(), 0).is_err());
+    }
+
+    #[test]
+    fn location_rebuild_from_agents() {
+        let topo = small_topology();
+        let mut ctl = CentralController::new(
+            &topo,
+            ControllerConfig::simulation(),
+            ServicePolicy::example_carrier_a(1),
+        );
+        for i in 0..3 {
+            ctl.put_subscriber(SubscriberAttributes::default_home(UeImsi(i)));
+        }
+        let cfg = *ctl.config();
+        let mut agents: Vec<LocalAgent> = (0..2)
+            .map(|b| {
+                let bs = topo.base_station(BaseStationId(b));
+                LocalAgent::new(BaseStationId(b), bs.radio_port, cfg.scheme, cfg.ports)
+            })
+            .collect();
+        agents[0].handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).unwrap();
+        agents[0].handle_attach(UeImsi(1), &mut ctl, SimTime::ZERO).unwrap();
+        agents[1].handle_attach(UeImsi(2), &mut ctl, SimTime::ZERO).unwrap();
+
+        // the new controller replica lost all locations...
+        let mut recovered = ctl.state().clone();
+        recovered.clear_locations();
+        assert_eq!(recovered.attached_count(), 0);
+
+        // ...and rebuilds them by querying the agents
+        let reports: Vec<AgentLocationReport> = agents
+            .iter()
+            .map(|a| AgentLocationReport::from_agent(a, SimTime::from_secs(1)))
+            .collect();
+        rebuild_locations(&mut recovered, &reports);
+        assert_eq!(recovered.attached_count(), 3);
+        assert_eq!(
+            recovered.ue(UeImsi(2)).unwrap().bs,
+            BaseStationId(1),
+            "locations match the agents' truth"
+        );
+        assert_eq!(
+            recovered.ue(UeImsi(0)).unwrap().permanent_ip,
+            ctl.state().ue(UeImsi(0)).unwrap().permanent_ip,
+            "permanent addresses survive the rebuild"
+        );
+    }
+
+    #[test]
+    fn agent_restart_refetches_grants() {
+        let topo = small_topology();
+        let mut ctl = CentralController::new(
+            &topo,
+            ControllerConfig::simulation(),
+            ServicePolicy::example_carrier_a(1),
+        );
+        for i in 0..2 {
+            ctl.put_subscriber(SubscriberAttributes::default_home(UeImsi(i)));
+        }
+        let cfg = *ctl.config();
+        let bs0 = topo.base_station(BaseStationId(0));
+        let mut agent = LocalAgent::new(BaseStationId(0), bs0.radio_port, cfg.scheme, cfg.ports);
+        agent.handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).unwrap();
+        agent.handle_attach(UeImsi(1), &mut ctl, SimTime::ZERO).unwrap();
+
+        // crash + restart: refetch from the controller
+        let grants = ctl.grants_for_station(BaseStationId(0)).unwrap();
+        let n = agent.restart_from(grants).unwrap();
+        assert_eq!(n, 2);
+        verify_agent_matches_controller(&agent, &ctl).unwrap();
+        // recovered agents keep serving flows: classifiers are intact
+        assert!(!agent.ue(UeImsi(0)).unwrap().classifier.entries().is_empty());
+    }
+}

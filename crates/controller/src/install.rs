@@ -1,0 +1,1122 @@
+//! Algorithm 1: online multi-dimensional aggregation of policy paths.
+//!
+//! Installing a policy path means making every switch along it forward
+//! the path's traffic to the right next hop (switch, middlebox, or exit).
+//! The scalability of SoftCell's data plane comes from *which* rules
+//! realize those decisions (paper §3.2):
+//!
+//! 1. **Tag selection.** For each candidate tag already present on the
+//!    path's switches, count how many *new* rules installing the path
+//!    under that tag would take — zero where the tag's existing next hop
+//!    already agrees, zero where a new rule merges with a contiguous
+//!    sibling, one otherwise, infeasible on exact conflict. Pick the
+//!    argmin; allocate a fresh tag when no candidate is usable.
+//! 2. **Installation.** Lay down the rules, aggregating where possible:
+//!    a tag's first rule at a switch is a Type 2 (tag-only) default; a
+//!    divergent next hop becomes a Type 1 (tag+prefix) override;
+//!    contiguous same-next-hop prefixes merge into their parent.
+//! 3. **Loops.** A path that re-enters a switch through *different*
+//!    links is disambiguated by input port; re-entry through the *same*
+//!    link splits the path into segments with distinct tags joined by a
+//!    tag-swap rule (§3.2 "Dealing with loops").
+//!
+//! Two engineering choices documented in DESIGN.md: candidate tags are
+//! drawn from a chain-shape index plus the tags at the path's
+//! pre-gateway switch (a bounded subset of the paper's full `candTag`
+//! set — the argmin is exact over the evaluated set), and a tag may not
+//! be shared by two *different* paths of the same origin base station
+//! (their rules would be indistinguishable — the generalization of the
+//! paper's footnote 2).
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::HashSet;
+use softcell_types::{FxHashMap, FxHashSet};
+
+use softcell_topology::{PolicyPath, Topology};
+use softcell_types::{
+    AddressingScheme, BaseStationId, Error, Ipv4Prefix, MiddleboxId, PolicyTag, Result, SwitchId,
+    TagAllocator,
+};
+
+use crate::shadow::{Entry, NextHop, ShadowDelta, ShadowTables};
+
+/// The direction a rule set serves (re-exported from the data plane's
+/// matcher so controller and switch agree on field selection). Figure 7
+/// counts one direction (the paper's Fig. 3 shows downlink rules); the
+/// end-to-end simulator installs both.
+pub use softcell_dataplane::matcher::Direction;
+
+/// Tunables for tag selection.
+#[derive(Clone, Copy, Debug)]
+pub struct TagPolicy {
+    /// Total tag space (the paper's Fig. 4 embodiment has 2^10; the
+    /// large-scale simulations use a wider space).
+    pub capacity: u16,
+    /// Maximum candidate tags evaluated per segment (the argmin is exact
+    /// over this set).
+    pub max_candidates: usize,
+    /// Prefer allocating a fresh tag over reusing a candidate whose cost
+    /// is no better than `fresh_cost * fresh_bias_num / fresh_bias_den`,
+    /// as long as less than half the tag space is used. Fresh tags buy
+    /// cheap Type 2 rules; reuse buys a smaller tag space footprint.
+    pub fresh_bias_num: usize,
+    /// See `fresh_bias_num`.
+    pub fresh_bias_den: usize,
+}
+
+impl Default for TagPolicy {
+    fn default() -> Self {
+        TagPolicy {
+            capacity: u16::MAX,
+            max_candidates: 8,
+            fresh_bias_num: 1,
+            fresh_bias_den: 1,
+        }
+    }
+}
+
+/// One forwarding decision a path requires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Decision {
+    sw: SwitchId,
+    /// How the traffic arrives (loop/middlebox disambiguation context).
+    arrival: Arrival,
+    want: Want,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Arrival {
+    /// From outside the fabric (radio at the access switch, Internet at
+    /// the gateway).
+    External,
+    FromSwitch(SwitchId),
+    FromMb(MiddleboxId),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Want {
+    ToSwitch(SwitchId),
+    ToMb(MiddleboxId),
+    /// Out the Internet uplink (uplink direction's last hop).
+    Exit,
+}
+
+impl Want {
+    fn next_hop(self) -> NextHop {
+        match self {
+            Want::ToSwitch(s) => NextHop::Switch(s),
+            Want::ToMb(m) => NextHop::Middlebox(m),
+            Want::Exit => NextHop::Uplink,
+        }
+    }
+
+    fn swap_next_hop(self, to: PolicyTag) -> NextHop {
+        match self {
+            Want::ToSwitch(s) => NextHop::SwapTag(to, s),
+            Want::ToMb(m) => NextHop::SwapTagMb(to, m),
+            Want::Exit => NextHop::Uplink, // swapping at the exit is pointless
+        }
+    }
+}
+
+/// Result of installing one path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstallReport {
+    /// The tag of each segment, in traversal order. The first is what
+    /// the access-edge classifier embeds; the last is what the packet
+    /// carries at the far end.
+    pub segment_tags: Vec<PolicyTag>,
+    /// New rules this installation added (net of aggregation).
+    pub new_rules: usize,
+    /// Tag-swap rules among them.
+    pub swap_rules: usize,
+    /// How many segments reused an existing tag.
+    pub reused_segments: usize,
+}
+
+impl InstallReport {
+    /// The tag the classifier embeds at the access edge (uplink) or that
+    /// arrives from the Internet (downlink): the first segment's tag.
+    pub fn entry_tag(&self) -> PolicyTag {
+        self.segment_tags[0]
+    }
+
+    /// The tag the packet carries after the last segment.
+    pub fn exit_tag(&self) -> PolicyTag {
+        *self.segment_tags.last().expect("at least one segment")
+    }
+}
+
+/// The online path installer: owns the network shadow, the tag space and
+/// the candidate indexes.
+pub struct PathInstaller<'t> {
+    /// Held for lifetime anchoring and future validation hooks; shadow
+    /// sizing derives from it at construction.
+    #[allow(dead_code)]
+    topo: &'t Topology,
+    scheme: AddressingScheme,
+    shadows_up: ShadowTables,
+    shadows_down: ShadowTables,
+    allocator: TagAllocator,
+    policy: TagPolicy,
+    /// chain-shape → recently used tags (candidate source).
+    chain_index: FxHashMap<(Direction, u64), Vec<PolicyTag>>,
+    /// Tags already serving some path of a given base station (paper
+    /// footnote 2, generalized): `claimed[bs]` is the set of tags in use
+    /// by that station's installed paths.
+    claimed: FxHashMap<BaseStationId, FxHashSet<PolicyTag>>,
+    /// Deltas of the last installation, for lowering to physical rules.
+    last_deltas: Vec<(SwitchId, ShadowDelta)>,
+    /// Optional topology-aligned prefix per station, overriding the
+    /// scheme's dense numbering. Operators "align IP prefixes with the
+    /// topology to enable aggregation" (paper §3.1): padding clusters
+    /// and pods to power-of-two boundaries turns every dispatch block
+    /// into a single prefix.
+    prefix_map: Option<Vec<Ipv4Prefix>>,
+    paths_installed: usize,
+}
+
+impl<'t> PathInstaller<'t> {
+    /// Creates an installer over a topology.
+    pub fn new(topo: &'t Topology, scheme: AddressingScheme, policy: TagPolicy) -> Self {
+        PathInstaller {
+            topo,
+            scheme,
+            shadows_up: ShadowTables::new(topo.switch_count()),
+            shadows_down: ShadowTables::new(topo.switch_count()),
+            allocator: TagAllocator::new(policy.capacity),
+            policy,
+            chain_index: FxHashMap::default(),
+            claimed: FxHashMap::default(),
+            last_deltas: Vec::new(),
+            prefix_map: None,
+            paths_installed: 0,
+        }
+    }
+
+    /// Overrides the per-station location prefixes with a
+    /// topology-aligned assignment (index = station id).
+    pub fn set_prefix_map(&mut self, prefixes: Vec<Ipv4Prefix>) {
+        self.prefix_map = Some(prefixes);
+    }
+
+    /// The network shadow of one direction (rule counts etc.). Uplink
+    /// and downlink rules match different header fields, so they live in
+    /// separate shadows even when they share a tag.
+    pub fn shadows(&self, dir: Direction) -> &ShadowTables {
+        match dir {
+            Direction::Uplink => &self.shadows_up,
+            Direction::Downlink => &self.shadows_down,
+        }
+    }
+
+    fn shadows_mut(&mut self, dir: Direction) -> &mut ShadowTables {
+        match dir {
+            Direction::Uplink => &mut self.shadows_up,
+            Direction::Downlink => &mut self.shadows_down,
+        }
+    }
+
+    /// The addressing scheme in use.
+    pub fn scheme(&self) -> &AddressingScheme {
+        &self.scheme
+    }
+
+    /// Number of tags currently allocated.
+    pub fn tags_in_use(&self) -> usize {
+        self.allocator.allocated()
+    }
+
+    /// Allocates a tag outside the policy-path machinery (base-station
+    /// tunnels, §5.1). Returns `None` when the tag space is exhausted.
+    pub fn allocate_raw_tag(&mut self) -> Option<PolicyTag> {
+        self.allocator.allocate()
+    }
+
+    /// Number of paths installed so far.
+    pub fn paths_installed(&self) -> usize {
+        self.paths_installed
+    }
+
+    /// Shadow deltas produced by the most recent `install_path` call, as
+    /// `(switch, delta)` pairs in application order.
+    pub fn last_deltas(&self) -> &[(SwitchId, ShadowDelta)] {
+        &self.last_deltas
+    }
+
+    /// Installs a policy path in one direction. Returns the per-segment
+    /// tags and rule accounting.
+    pub fn install_path(&mut self, path: &PolicyPath, dir: Direction) -> Result<InstallReport> {
+        self.install_path_inner(path, dir, None)
+    }
+
+    /// Installs the downlink of a path whose uplink already fixed the
+    /// tag the return traffic carries (the Internet echoes the uplink
+    /// exit tag into the downlink's entry tag).
+    pub fn install_path_forced(
+        &mut self,
+        path: &PolicyPath,
+        dir: Direction,
+        entry_tag: PolicyTag,
+    ) -> Result<InstallReport> {
+        self.install_path_inner(path, dir, Some(entry_tag))
+    }
+
+    fn install_path_inner(
+        &mut self,
+        path: &PolicyPath,
+        dir: Direction,
+        forced_entry: Option<PolicyTag>,
+    ) -> Result<InstallReport> {
+        let prefix = match &self.prefix_map {
+            Some(map) => *map.get(path.origin.index()).ok_or_else(|| {
+                Error::NotFound(format!("{} missing from prefix map", path.origin))
+            })?,
+            None => self.scheme.base_station_prefix(path.origin)?,
+        };
+        let decisions = build_decisions(path, dir);
+        let segments = split_segments(&decisions);
+
+        self.last_deltas.clear();
+        let mut segment_tags = vec![PolicyTag(0); segments.len()];
+        let mut new_rules = 0usize;
+        let mut swap_rules = 0usize;
+        let mut reused = 0usize;
+
+        // Segments are resolved back-to-front so a segment's swap-in rule
+        // (owned by the previous segment) can name its tag. Tags already
+        // chosen for other segments of this same path are excluded — two
+        // segments sharing a tag would recreate exactly the ambiguity
+        // segmentation exists to remove.
+        let mut next_tag: Option<PolicyTag> = None;
+        let mut path_tags: HashSet<PolicyTag> = HashSet::new();
+        let mut plans: Vec<SegmentPlan> = Vec::with_capacity(segments.len());
+        for (idx, seg) in segments.iter().enumerate().rev() {
+            let forced = if idx == 0 { forced_entry } else { None };
+            let plan =
+                self.plan_segment(path.origin, prefix, seg, dir, next_tag, forced, &path_tags)?;
+            next_tag = Some(plan.tag);
+            path_tags.insert(plan.tag);
+            segment_tags[idx] = plan.tag;
+            if plan.reused {
+                reused += 1;
+            }
+            plans.push(plan);
+        }
+        plans.reverse();
+
+        for plan in plans {
+            let (added, swaps) = self.commit_segment(dir, prefix, &plan);
+            new_rules += added;
+            swap_rules += swaps;
+            self.claimed
+                .entry(path.origin)
+                .or_default()
+                .insert(plan.tag);
+        }
+
+        self.paths_installed += 1;
+        Ok(InstallReport {
+            segment_tags,
+            new_rules,
+            swap_rules,
+            reused_segments: reused,
+        })
+    }
+
+    /// Chooses a tag for one segment and freezes the per-decision
+    /// placement. Does not mutate the shadow yet.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_segment(
+        &mut self,
+        origin: BaseStationId,
+        prefix: Ipv4Prefix,
+        seg: &Segment,
+        dir: Direction,
+        swap_to: Option<PolicyTag>,
+        forced: Option<PolicyTag>,
+        excluded: &HashSet<PolicyTag>,
+    ) -> Result<SegmentPlan> {
+        let key = (dir, seg.chain_key(dir));
+        let claimed = self.claimed.get(&origin);
+
+        let chosen: (PolicyTag, bool) = if let Some(tag) = forced {
+            // Downlink entry tag dictated by the uplink: must be usable;
+            // if it conflicts we cannot reroute here (the swap machinery
+            // of the *caller* handles gateway-side swaps).
+            if self.segment_cost(dir, tag, prefix, seg, swap_to).is_none() {
+                return Err(Error::InvalidState(format!(
+                    "forced entry tag {tag} conflicts with existing rules"
+                )));
+            }
+
+            (tag, true)
+        } else {
+            let mut candidates: Vec<PolicyTag> = Vec::new();
+            if let Some(tags) = self.chain_index.get(&key) {
+                candidates.extend(tags.iter().rev().copied());
+            }
+            // tags present at the segment's gateway-side switch — the
+            // busiest rule table on the path and a cheap, high-yield
+            // sample of the paper's candTag set. (On the downlink the
+            // gateway side is the *first* decision; on the uplink the
+            // *last*.)
+            if candidates.len() < self.policy.max_candidates {
+                let sample = match dir {
+                    Direction::Uplink => seg.decisions.last(),
+                    Direction::Downlink => seg.decisions.first(),
+                };
+                if let Some(d) = sample {
+                    for t in self.shadows(dir).switch(d.sw).tags() {
+                        if candidates.len() >= self.policy.max_candidates {
+                            break;
+                        }
+                        if !candidates.contains(&t) {
+                            candidates.push(t);
+                        }
+                    }
+                }
+            }
+            candidates.truncate(self.policy.max_candidates);
+
+            let mut best: Option<(usize, PolicyTag)> = None;
+            for &t in &candidates {
+                if excluded.contains(&t) {
+                    continue;
+                }
+                let Some((cost, changes)) = self.segment_cost(dir, t, prefix, seg, swap_to)
+                else {
+                    continue;
+                };
+                // A claimed tag (another path of this same base station)
+                // may only be shared when installing would change
+                // *nothing* — identical forwarding is harmless. A mere
+                // zero rule-count delta is NOT enough: an install that
+                // aggregates into a sibling still changes where this
+                // prefix forwards, which would silently rewrite the
+                // claiming path's behaviour.
+                if changes != 0 && claimed.map(|c| c.contains(&t)).unwrap_or(false) {
+                    continue;
+                }
+                if best.map(|(c, _)| cost < c).unwrap_or(true) {
+                    best = Some((cost, t));
+                    if cost == 0 && changes == 0 {
+                        break;
+                    }
+                }
+            }
+
+            let fresh_cost = seg.decisions.len() + usize::from(swap_to.is_some());
+            let use_fresh = match best {
+                None => true,
+                Some((cost, _)) => {
+                    cost * self.policy.fresh_bias_den > fresh_cost * self.policy.fresh_bias_num
+                        && (self.allocator.allocated() * 2) < self.policy.capacity as usize
+                }
+            };
+            if use_fresh {
+                match self.allocator.allocate() {
+                    Some(t) => (t, false),
+                    None => {
+                        let (_, t) = best.ok_or_else(|| {
+                            Error::Exhausted(format!(
+                                "tag space exhausted and no feasible candidate ({} tags)",
+                                self.policy.capacity
+                            ))
+                        })?;
+                        (t, true)
+                    }
+                }
+            } else {
+                (best.expect("checked").1, true)
+            }
+        };
+
+        let (tag, reused) = chosen;
+        // remember this tag for future same-shape segments
+        let slot = self.chain_index.entry(key).or_default();
+        if !slot.contains(&tag) {
+            slot.push(tag);
+            if slot.len() > 4 {
+                slot.remove(0);
+            }
+        }
+        Ok(SegmentPlan {
+            tag,
+            reused,
+            decisions: seg.decisions.clone(),
+            qualified: seg.qualified.clone(),
+            swap_to,
+        })
+    }
+
+    /// The exact new-rule count of realizing a segment under `tag`, and
+    /// the number of decisions whose forwarding state would have to
+    /// change at all (`None` = infeasible). Mirrors `commit_segment`
+    /// without mutating. `changes == 0` means the segment already
+    /// forwards exactly as desired — the only condition under which a
+    /// tag claimed by another path of the same station may be shared.
+    fn segment_cost(
+        &self,
+        dir: Direction,
+        tag: PolicyTag,
+        prefix: Ipv4Prefix,
+        seg: &Segment,
+        swap_to: Option<PolicyTag>,
+    ) -> Option<(usize, usize)> {
+        let mut cost = 0usize;
+        let mut changes = 0usize;
+        for (i, d) in seg.decisions.iter().enumerate() {
+            let is_last = i + 1 == seg.decisions.len();
+            let nh = match (is_last, swap_to) {
+                (true, Some(to)) => d.want.swap_next_hop(to),
+                _ => d.want.next_hop(),
+            };
+            let entry = self.placement(dir, d, seg.qualified.contains(&i), tag);
+            // A correct answer from a higher-priority qualified table, or
+            // from the table we'd write to, costs nothing.
+            if self.effective_next_hop(dir, d, tag, prefix) == Some(nh) {
+                continue;
+            }
+            changes += 1;
+            cost += self
+                .shadows(dir)
+                .switch(d.sw)
+                .rule_cost(entry, tag, prefix, nh)?;
+        }
+        Some((cost, changes))
+    }
+
+    /// Applies a segment plan to the shadow. Returns (new rules, swap
+    /// rules among them).
+    fn commit_segment(
+        &mut self,
+        dir: Direction,
+        prefix: Ipv4Prefix,
+        plan: &SegmentPlan,
+    ) -> (usize, usize) {
+        let mut added = 0usize;
+        let mut swaps = 0usize;
+        for (i, d) in plan.decisions.iter().enumerate() {
+            let is_last = i + 1 == plan.decisions.len();
+            let (nh, is_swap) = match (is_last, plan.swap_to) {
+                (true, Some(to)) => (d.want.swap_next_hop(to), true),
+                _ => (d.want.next_hop(), false),
+            };
+            if self.effective_next_hop(dir, d, plan.tag, prefix) == Some(nh) {
+                continue;
+            }
+            let entry = self.placement(dir, d, plan.qualified.contains(&i), plan.tag);
+            let deltas = self
+                .shadows_mut(dir)
+                .switch_mut(d.sw)
+                .install(entry, plan.tag, prefix, nh);
+            for delta in deltas {
+                match delta {
+                    ShadowDelta::SetDefault { .. } | ShadowDelta::AddPrefix { .. } => {
+                        added += 1;
+                        if is_swap {
+                            swaps += 1;
+                        }
+                    }
+                    ShadowDelta::RemovePrefix { .. } => {
+                        added = added.saturating_sub(1);
+                    }
+                }
+                self.last_deltas.push((d.sw, delta));
+            }
+        }
+        (added, swaps)
+    }
+
+    /// Which shadow entry a decision's rule lives in: middlebox returns
+    /// are always port-qualified; loop-marked decisions and decisions
+    /// whose arrival already has a qualified table for this tag must be
+    /// qualified too (an unqualified rule would be shadowed).
+    fn placement(&self, dir: Direction, d: &Decision, loop_qualified: bool, tag: PolicyTag) -> Entry {
+        match d.arrival {
+            Arrival::FromMb(mb) => Entry::FromMb(mb),
+            Arrival::FromSwitch(prev) => {
+                if loop_qualified
+                    || self
+                        .shadows(dir)
+                        .switch(d.sw)
+                        .has_table(Entry::FromSwitch(prev), tag)
+                {
+                    Entry::FromSwitch(prev)
+                } else {
+                    Entry::Ingress
+                }
+            }
+            Arrival::External => Entry::Ingress,
+        }
+    }
+
+    /// What the switch currently does with this decision's traffic,
+    /// honoring the qualified-over-unqualified priority.
+    fn effective_next_hop(
+        &self,
+        dir: Direction,
+        d: &Decision,
+        tag: PolicyTag,
+        prefix: Ipv4Prefix,
+    ) -> Option<NextHop> {
+        let sw = self.shadows(dir).switch(d.sw);
+        match d.arrival {
+            Arrival::FromMb(mb) => sw.next_hop(Entry::FromMb(mb), tag, prefix),
+            Arrival::FromSwitch(prev) => sw
+                .next_hop(Entry::FromSwitch(prev), tag, prefix)
+                .or_else(|| sw.next_hop(Entry::Ingress, tag, prefix)),
+            Arrival::External => sw.next_hop(Entry::Ingress, tag, prefix),
+        }
+    }
+}
+
+/// A planned segment: decisions plus the chosen tag.
+struct SegmentPlan {
+    tag: PolicyTag,
+    reused: bool,
+    decisions: Vec<Decision>,
+    qualified: HashSet<usize>,
+    /// If set, the segment's last decision swaps to this tag (it is the
+    /// junction rule joining the next segment).
+    swap_to: Option<PolicyTag>,
+}
+
+/// A maximal run of decisions served by a single tag.
+#[derive(Clone, Debug)]
+struct Segment {
+    decisions: Vec<Decision>,
+    /// Indices of decisions that must be input-port qualified (the
+    /// switch is entered from different links with different next hops
+    /// within this path).
+    qualified: HashSet<usize>,
+}
+
+impl Segment {
+    /// A shape key for the chain index: hashes the middlebox traversals
+    /// and the gateway-side switch — paths of the same shape from
+    /// different stations are prime tag-sharing candidates. The
+    /// station-side end is deliberately excluded (it differs per origin;
+    /// including it would defeat cross-station sharing).
+    fn chain_key(&self, dir: Direction) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for d in &self.decisions {
+            if let Want::ToMb(mb) = d.want {
+                (0u8, mb.0).hash(&mut h);
+            }
+        }
+        let gateway_side = match dir {
+            Direction::Uplink => self.decisions.last(),
+            Direction::Downlink => self.decisions.first(),
+        };
+        if let Some(d) = gateway_side {
+            (1u8, d.sw.0).hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// Expands a policy path into its per-switch forwarding decisions for one
+/// direction. The first decision of the traversal (made by the access
+/// switch's microflow rule on the uplink) and the final delivery (the
+/// access switch's downlink microflow rule) are *not* fabric decisions
+/// and are omitted.
+fn build_decisions(path: &PolicyPath, dir: Direction) -> Vec<Decision> {
+    // Direction-ordered hop list; middlebox chains on one switch reverse
+    // with the direction.
+    let hops: Vec<(SwitchId, Option<MiddleboxId>)> = match dir {
+        Direction::Uplink => path.hops.iter().map(|h| (h.switch, h.mb_after)).collect(),
+        Direction::Downlink => path
+            .hops
+            .iter()
+            .rev()
+            .map(|h| (h.switch, h.mb_after))
+            .collect(),
+    };
+
+    let mut decisions = Vec::with_capacity(hops.len() + 4);
+    let mut arrival = Arrival::External;
+    let last_idx = hops.len() - 1;
+    for (i, &(sw, mb)) in hops.iter().enumerate() {
+        if let Some(mb) = mb {
+            decisions.push(Decision {
+                sw,
+                arrival,
+                want: Want::ToMb(mb),
+            });
+            arrival = Arrival::FromMb(mb);
+        }
+        if i < last_idx {
+            let next = hops[i + 1].0;
+            if next != sw {
+                decisions.push(Decision {
+                    sw,
+                    arrival,
+                    want: Want::ToSwitch(next),
+                });
+                arrival = Arrival::FromSwitch(sw);
+            }
+            // same switch twice in a row = chained middleboxes; the next
+            // iteration's ToMb uses the FromMb arrival directly
+        } else {
+            // Last hop: uplink exits to the Internet; downlink delivery
+            // at the access switch is the microflow rule's job.
+            if dir == Direction::Uplink {
+                decisions.push(Decision {
+                    sw,
+                    arrival,
+                    want: Want::Exit,
+                });
+            }
+        }
+    }
+
+    // The very first fabric decision on the uplink is made by the access
+    // switch's microflow action (out-port towards the next hop or into a
+    // local middlebox); drop it unless it is also the exit (single-switch
+    // paths don't occur, but stay defensive).
+    if dir == Direction::Uplink && decisions.len() > 1 {
+        decisions.remove(0);
+        // re-base the arrival of what is now the first decision: it still
+        // arrives from the access switch's link
+    }
+    decisions
+}
+
+/// Splits decisions into tag segments and marks input-port-qualified
+/// decisions.
+///
+/// * Same `(switch, arrival)` with the same next hop → duplicate rule,
+///   dropped.
+/// * Same switch, different arrivals, different next hops → both rules
+///   become input-port qualified (no new tag needed).
+/// * Same `(switch, arrival)` with different next hops → same-link loop
+///   (§3.2): the path is split and the remainder uses a fresh tag. The
+///   swap rule is placed as *late* as possible — on the last
+///   uniquely-keyed decision before the re-entry — so that for paths
+///   sharing a suffix (one clause, many stations) the junction falls in
+///   the shared portion and the swap rule aggregates across stations.
+fn split_segments(decisions: &[Decision]) -> Vec<Segment> {
+    // (FxHashMap keeps this hot path off SipHash)
+    let mut segments = Vec::new();
+    let mut start = 0usize;
+
+    while start < decisions.len() {
+        let mut seen: FxHashMap<(SwitchId, Arrival), (usize, Want)> = FxHashMap::default();
+        // (decision, original offset, shared-with-a-duplicate)
+        let mut local: Vec<(Decision, usize, bool)> = Vec::new();
+        let mut split: Option<usize> = None; // local index to swap at
+
+        for (off, d) in decisions[start..].iter().enumerate() {
+            match seen.entry((d.sw, d.arrival)) {
+                MapEntry::Occupied(e) => {
+                    let &(first_local_idx, want) = e.get();
+                    if want == d.want {
+                        // identical rule; mark the original as shared (a
+                        // swap there would alter this pass too) and skip
+                        local[first_local_idx].2 = true;
+                        continue;
+                    }
+                    // Same-link loop. Swap as late as possible: the last
+                    // decision whose rule serves exactly one pass.
+                    let k = local
+                        .iter()
+                        .rposition(|(_, _, shared)| !shared)
+                        .unwrap_or(first_local_idx);
+                    split = Some(k);
+                    break;
+                }
+                MapEntry::Vacant(e) => {
+                    e.insert((local.len(), d.want));
+                    local.push((*d, start + off, false));
+                }
+            }
+        }
+
+        match split {
+            None => {
+                let seg: Vec<Decision> = local.iter().map(|(d, _, _)| *d).collect();
+                let mut by_sw: FxHashMap<SwitchId, Vec<usize>> = FxHashMap::default();
+                for (i, d) in seg.iter().enumerate() {
+                    by_sw.entry(d.sw).or_default().push(i);
+                }
+                let qualified = mark_qualified(&seg, &by_sw);
+                segments.push(Segment {
+                    decisions: seg,
+                    qualified,
+                });
+                break;
+            }
+            Some(k) => {
+                let resume = local[k].1 + 1;
+                let seg: Vec<Decision> =
+                    local[..=k].iter().map(|(d, _, _)| *d).collect();
+                let mut by_sw: FxHashMap<SwitchId, Vec<usize>> = FxHashMap::default();
+                for (i, d) in seg.iter().enumerate() {
+                    by_sw.entry(d.sw).or_default().push(i);
+                }
+                let qualified = mark_qualified(&seg, &by_sw);
+                segments.push(Segment {
+                    decisions: seg,
+                    qualified,
+                });
+                debug_assert!(resume > start, "split must make progress");
+                start = resume;
+            }
+        }
+    }
+
+    if segments.is_empty() {
+        segments.push(Segment {
+            decisions: Vec::new(),
+            qualified: HashSet::new(),
+        });
+    }
+    segments
+}
+
+/// Marks decisions needing input-port qualification: switches entered
+/// from different links with differing next hops.
+fn mark_qualified(
+    decisions: &[Decision],
+    by_switch: &FxHashMap<SwitchId, Vec<usize>>,
+) -> HashSet<usize> {
+    let mut qualified = HashSet::new();
+    for idxs in by_switch.values() {
+        if idxs.len() < 2 {
+            continue;
+        }
+        // consider only fabric arrivals (mb arrivals are inherently
+        // qualified by their own entry)
+        let fabric: Vec<usize> = idxs
+            .iter()
+            .copied()
+            .filter(|&i| matches!(decisions[i].arrival, Arrival::FromSwitch(_) | Arrival::External))
+            .collect();
+        if fabric.len() < 2 {
+            continue;
+        }
+        let wants: HashSet<_> = fabric.iter().map(|&i| match decisions[i].want {
+            Want::ToSwitch(s) => (0u8, s.0),
+            Want::ToMb(m) => (1u8, m.0),
+            Want::Exit => (2u8, 0),
+        }).collect();
+        if wants.len() > 1 {
+            for &i in &fabric {
+                // External arrivals cannot be port-qualified; they keep
+                // the unqualified slot while the link arrivals move out
+                // of its way.
+                if matches!(decisions[i].arrival, Arrival::FromSwitch(_)) {
+                    qualified.insert(i);
+                }
+            }
+        }
+    }
+    qualified
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softcell_topology::{small_topology, ShortestPaths};
+    use softcell_types::MiddleboxKind;
+
+    fn installer(topo: &Topology) -> PathInstaller<'_> {
+        PathInstaller::new(topo, AddressingScheme::default_scheme(), TagPolicy::default())
+    }
+
+    fn route(
+        topo: &Topology,
+        bs: u32,
+        kinds: &[MiddleboxKind],
+    ) -> PolicyPath {
+        let mut sp = ShortestPaths::new(topo);
+        let mbs: Vec<MiddleboxId> = kinds
+            .iter()
+            .map(|k| topo.instances_of(*k)[0])
+            .collect();
+        sp.route_policy_path(
+            BaseStationId(bs),
+            &mbs,
+            topo.default_gateway().switch,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn first_path_lays_type2_defaults() {
+        let topo = small_topology();
+        let mut ins = installer(&topo);
+        let path = route(&topo, 0, &[MiddleboxKind::Firewall]);
+        let rep = ins.install_path(&path, Direction::Downlink).unwrap();
+        assert_eq!(rep.segment_tags.len(), 1);
+        assert_eq!(rep.swap_rules, 0);
+        assert!(rep.new_rules >= 3, "gateway + firewall host (2 legs) + agg");
+        // all rules are Type 2 defaults: occupancy check
+        let mut t1 = 0;
+        for sw in 0..topo.switch_count() {
+            let (p1, _) = ins
+                .shadows(Direction::Downlink)
+                .switch(SwitchId(sw as u32))
+                .occupancy();
+            t1 += p1;
+        }
+        assert_eq!(t1, 0, "single path needs no Type 1 overrides");
+    }
+
+    #[test]
+    fn same_chain_other_station_reuses_tag_cheaply() {
+        let topo = small_topology();
+        let mut ins = installer(&topo);
+        let p0 = route(&topo, 0, &[MiddleboxKind::Firewall]);
+        let p1 = route(&topo, 1, &[MiddleboxKind::Firewall]);
+        let r0 = ins.install_path(&p0, Direction::Downlink).unwrap();
+        let r1 = ins.install_path(&p1, Direction::Downlink).unwrap();
+        assert_eq!(r0.entry_tag(), r1.entry_tag(), "chain index shares the tag");
+        assert!(
+            r1.new_rules < r0.new_rules,
+            "second station rides the shared suffix: {} vs {}",
+            r1.new_rules,
+            r0.new_rules
+        );
+    }
+
+    #[test]
+    fn divergent_paths_from_same_station_use_distinct_tags() {
+        let topo = small_topology();
+        let mut ins = installer(&topo);
+        let pa = route(&topo, 0, &[MiddleboxKind::Firewall]);
+        let pb = route(&topo, 0, &[MiddleboxKind::Transcoder]);
+        let ra = ins.install_path(&pa, Direction::Downlink).unwrap();
+        let rb = ins.install_path(&pb, Direction::Downlink).unwrap();
+        assert_ne!(
+            ra.entry_tag(),
+            rb.entry_tag(),
+            "same-origin divergent paths must be distinguishable"
+        );
+    }
+
+    #[test]
+    fn install_is_idempotent_in_rules() {
+        let topo = small_topology();
+        let mut ins = installer(&topo);
+        let path = route(&topo, 0, &[MiddleboxKind::Firewall]);
+        ins.install_path(&path, Direction::Downlink).unwrap();
+        let before: usize = ins.shadows(Direction::Downlink).rule_counts().iter().sum();
+        let rep = ins.install_path(&path, Direction::Downlink).unwrap();
+        let after: usize = ins.shadows(Direction::Downlink).rule_counts().iter().sum();
+        assert_eq!(rep.new_rules, 0, "re-install finds everything in place");
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn uplink_and_downlink_coexist() {
+        let topo = small_topology();
+        let mut ins = installer(&topo);
+        let path = route(&topo, 0, &[MiddleboxKind::Firewall]);
+        let up = ins.install_path(&path, Direction::Uplink).unwrap();
+        let down = ins
+            .install_path_forced(&path, Direction::Downlink, up.exit_tag())
+            .unwrap();
+        assert_eq!(down.entry_tag(), up.exit_tag());
+    }
+
+    #[test]
+    fn chained_same_switch_middleboxes() {
+        // firewall then transcoder: hosted on c1 and c2 in the small
+        // topology — route through both and verify decisions resolve.
+        let topo = small_topology();
+        let mut ins = installer(&topo);
+        let path = route(
+            &topo,
+            2,
+            &[MiddleboxKind::Firewall, MiddleboxKind::Transcoder],
+        );
+        let rep = ins.install_path(&path, Direction::Downlink).unwrap();
+        assert!(rep.new_rules > 0);
+    }
+
+    #[test]
+    fn decision_list_uplink_shape() {
+        let topo = small_topology();
+        let path = route(&topo, 0, &[MiddleboxKind::Firewall]);
+        // acc5 -> agg3 -> c1(fw) -> gw0  (firewall on c1)
+        let d = build_decisions(&path, Direction::Uplink);
+        // first fabric decision at agg3 (access hop handled by microflow)
+        assert_eq!(d[0].sw, path.hops[1].switch);
+        // exit decision at the gateway
+        assert_eq!(d.last().unwrap().want, Want::Exit);
+        // middlebox round-trip appears as ToMb + FromMb-arrival pair
+        assert!(d.iter().any(|x| matches!(x.want, Want::ToMb(_))));
+        assert!(d.iter().any(|x| matches!(x.arrival, Arrival::FromMb(_))));
+    }
+
+    #[test]
+    fn decision_list_downlink_shape() {
+        let topo = small_topology();
+        let path = route(&topo, 0, &[MiddleboxKind::Firewall]);
+        let d = build_decisions(&path, Direction::Downlink);
+        // first decision at the gateway, arriving from the Internet
+        assert_eq!(d[0].sw, path.gateway_switch());
+        assert_eq!(d[0].arrival, Arrival::External);
+        // no Exit want on the downlink (delivery is the microflow's job)
+        assert!(d.iter().all(|x| x.want != Want::Exit));
+        // last decision forwards to the access switch
+        assert_eq!(
+            d.last().unwrap().want,
+            Want::ToSwitch(path.access_switch())
+        );
+    }
+
+    #[test]
+    fn split_detects_same_link_loop() {
+        // Synthetic decision list revisiting (sw7, from sw3) with two
+        // different wants → must split into two segments.
+        let d = |sw: u32, from: u32, to: u32| Decision {
+            sw: SwitchId(sw),
+            arrival: Arrival::FromSwitch(SwitchId(from)),
+            want: Want::ToSwitch(SwitchId(to)),
+        };
+        let decisions = vec![
+            d(7, 3, 8),  // junction, first pass: to 8
+            d(8, 7, 7),  // loop body
+            d(7, 3, 9),  // junction, same arrival, now to 9 → conflict
+            d(9, 7, 1),
+        ];
+        let segs = split_segments(&decisions);
+        assert_eq!(segs.len(), 2, "same-link loop splits the path");
+        // the swap lands as late as possible: on the loop-body decision
+        // just before the conflicting re-entry
+        assert_eq!(segs[0].decisions.last().unwrap().sw, SwitchId(8));
+        // the conflicting re-entry opens segment 2
+        assert_eq!(segs[1].decisions[0].sw, SwitchId(7));
+        assert_eq!(segs[1].decisions[0].want, Want::ToSwitch(SwitchId(9)));
+    }
+
+    #[test]
+    fn split_swap_avoids_shared_decisions() {
+        // the decision right before the re-entry is shared by both
+        // passes (deduped); the swap must land on an earlier, unique one
+        let d = |sw: u32, from: u32, to: u32| Decision {
+            sw: SwitchId(sw),
+            arrival: Arrival::FromSwitch(SwitchId(from)),
+            want: Want::ToSwitch(SwitchId(to)),
+        };
+        let decisions = vec![
+            d(5, 1, 7),  // unique: feeds the junction
+            d(7, 5, 8),  // junction, first pass
+            d(8, 7, 5),  // back towards 5 via sw8
+            d(5, 8, 7),  // re-feed (unique: different arrival)
+            d(7, 5, 9),  // junction, same arrival (from 5), conflict
+        ];
+        let segs = split_segments(&decisions);
+        assert_eq!(segs.len(), 2);
+        // swap on d(5,8,7) — the last unique decision before re-entry
+        let last = segs[0].decisions.last().unwrap();
+        assert_eq!(last.sw, SwitchId(5));
+        assert_eq!(last.arrival, Arrival::FromSwitch(SwitchId(8)));
+    }
+
+    #[test]
+    fn split_uses_ports_for_different_link_loops() {
+        let decisions = vec![
+            Decision {
+                sw: SwitchId(7),
+                arrival: Arrival::FromSwitch(SwitchId(3)),
+                want: Want::ToSwitch(SwitchId(8)),
+            },
+            Decision {
+                sw: SwitchId(8),
+                arrival: Arrival::FromSwitch(SwitchId(7)),
+                want: Want::ToSwitch(SwitchId(7)),
+            },
+            Decision {
+                sw: SwitchId(7),
+                arrival: Arrival::FromSwitch(SwitchId(8)),
+                want: Want::ToSwitch(SwitchId(9)),
+            },
+        ];
+        let segs = split_segments(&decisions);
+        assert_eq!(segs.len(), 1, "different links need no tag swap");
+        assert_eq!(
+            segs[0].qualified.len(),
+            2,
+            "both visits to sw7 become port-qualified"
+        );
+    }
+
+    #[test]
+    fn tag_exhaustion_is_a_clean_error() {
+        // a 1-tag space with divergent same-station paths: the second
+        // path cannot share (claimed, different chain) and cannot
+        // allocate — it must fail with Exhausted, not corrupt state
+        let topo = small_topology();
+        let mut ins = PathInstaller::new(
+            &topo,
+            AddressingScheme::default_scheme(),
+            TagPolicy {
+                capacity: 1,
+                ..TagPolicy::default()
+            },
+        );
+        let pa = route(&topo, 0, &[MiddleboxKind::Firewall]);
+        let pb = route(&topo, 0, &[MiddleboxKind::Transcoder]);
+        ins.install_path(&pa, Direction::Downlink).unwrap();
+        let err = ins.install_path(&pb, Direction::Downlink).unwrap_err();
+        assert!(matches!(err, softcell_types::Error::Exhausted(_)), "{err}");
+        // the first path's state is intact
+        let total: usize = ins.shadows(Direction::Downlink).rule_counts().iter().sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn same_clause_reinstall_after_failure_still_works() {
+        let topo = small_topology();
+        let mut ins = PathInstaller::new(
+            &topo,
+            AddressingScheme::default_scheme(),
+            TagPolicy {
+                capacity: 1,
+                ..TagPolicy::default()
+            },
+        );
+        let pa = route(&topo, 0, &[MiddleboxKind::Firewall]);
+        let pb = route(&topo, 0, &[MiddleboxKind::Transcoder]);
+        ins.install_path(&pa, Direction::Downlink).unwrap();
+        let _ = ins.install_path(&pb, Direction::Downlink).unwrap_err();
+        // the surviving tag still serves its own path idempotently
+        let rep = ins.install_path(&pa, Direction::Downlink).unwrap();
+        assert_eq!(rep.new_rules, 0);
+    }
+
+    #[test]
+    fn rule_counts_stay_small_across_many_stations() {
+        // All four stations install the same two chains; the per-switch
+        // table must stay far below the path count.
+        let topo = small_topology();
+        let mut ins = installer(&topo);
+        let chains: [&[MiddleboxKind]; 2] = [
+            &[MiddleboxKind::Firewall],
+            &[MiddleboxKind::Firewall, MiddleboxKind::Transcoder],
+        ];
+        for bs in 0..4 {
+            for chain in chains {
+                let path = route(&topo, bs, chain);
+                ins.install_path(&path, Direction::Downlink).unwrap();
+            }
+        }
+        let max = ins
+            .shadows(Direction::Downlink)
+            .rule_counts()
+            .into_iter()
+            .max()
+            .unwrap();
+        assert!(
+            max <= 8,
+            "8 paths should aggregate to <= 8 rules per switch, got {max}"
+        );
+    }
+}

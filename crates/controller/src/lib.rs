@@ -1,0 +1,60 @@
+//! The SoftCell controller — the paper's primary contribution.
+//!
+//! The controller realizes high-level service policies by installing
+//! switch rules that steer traffic through middlebox chains, while
+//! keeping switch tables small via **multi-dimensional aggregation**
+//! (paper §3) and keeping itself off the data path via the **local
+//! agents** at base stations (paper §4.2).
+//!
+//! Module map:
+//!
+//! * [`shadow`] — the controller's model of every switch's forwarding
+//!   state (per-tag next-hop tables with prefix aggregation); Algorithm 1
+//!   computes against these and emits deltas.
+//! * [`install`] — **Algorithm 1**: per-path tag selection (argmin of new
+//!   rules over candidate tags), rule installation with contiguous-prefix
+//!   aggregation, and loop disambiguation via tag swapping.
+//! * [`ops`] — the concrete rule operations (install/remove on a switch)
+//!   the controller emits towards the data plane.
+//! * [`state`] — central controller state: subscriber attributes, UE
+//!   registry, installed policy paths (the slow-changing, strongly
+//!   consistent part of §5.2).
+//! * [`core`] — the central controller façade: attach/detach/handoff,
+//!   classifier computation, policy-path requests, middlebox instance
+//!   selection.
+//! * [`agent`] — the local agent at each base station: classifier cache,
+//!   UE-ID allocation, microflow rule installation, controller escalation
+//!   on cache miss.
+//! * [`mobility`] — policy consistency under handoff: base-station
+//!   tunnels, microflow-rule copying, shortcut paths (§5.1).
+//! * [`offline`] — the §3.2 offline recompute: replay all live paths in
+//!   chain-grouped order into a fresh rule set, migrating the fabric.
+//! * [`failover`] — replicated control state and recovery: controller
+//!   replicas rebuild UE locations from agents; agents refetch from the
+//!   controller (§5.2).
+//! * [`server`] — a threaded controller front-end processing
+//!   packet-in/classifier requests, used by the §6.2 micro-benchmarks.
+//! * [`update`] — two-phase consistent updates (version stamping at the
+//!   ingress edge) for rule transitions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod core;
+pub mod failover;
+pub mod install;
+pub mod mobility;
+pub mod offline;
+pub mod ops;
+pub mod shadow;
+pub mod state;
+pub mod server;
+pub mod update;
+
+pub use agent::LocalAgent;
+pub use core::{CentralController, ControllerConfig, InstanceSelection};
+pub use install::{InstallReport, PathInstaller, TagPolicy};
+pub use ops::{RuleOp, RuleSink};
+pub use shadow::{Entry, NextHop, ShadowSwitch, ShadowTables};
+pub use state::ControllerState;

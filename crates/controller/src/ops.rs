@@ -1,0 +1,321 @@
+//! Rule operations: the controller's output towards physical switches.
+//!
+//! Algorithm 1 computes on the shadow tables; every shadow delta is
+//! lowered to a [`RuleOp`] — a concrete install/remove of a prioritized
+//! match/action rule on one switch. A [`RuleSink`] receives the stream:
+//! the end-to-end simulator applies it to real [`softcell_dataplane`]
+//! switches, while the large-scale rule-counting experiments use
+//! [`NullSink`] (the shadow itself carries the counts).
+
+use softcell_dataplane::matcher::{conventional_priority, Direction};
+use softcell_dataplane::{Action, Match, PortField};
+use softcell_topology::Topology;
+use softcell_types::{Error, PolicyTag, PortEmbedding, PortNo, Result, SwitchId};
+
+use crate::shadow::{Entry, NextHop, ShadowDelta};
+
+/// One concrete data-plane operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RuleOp {
+    /// Install a rule.
+    Install {
+        /// Target switch.
+        switch: SwitchId,
+        /// Rule priority.
+        priority: u16,
+        /// Match.
+        matcher: Match,
+        /// Action.
+        action: Action,
+    },
+    /// Remove the rule with this exact matcher.
+    Remove {
+        /// Target switch.
+        switch: SwitchId,
+        /// Matcher of the rule to remove.
+        matcher: Match,
+    },
+}
+
+/// Receives the controller's rule operations.
+pub trait RuleSink {
+    /// Applies one operation.
+    fn apply(&mut self, op: RuleOp);
+}
+
+/// Discards operations (rule-counting experiments).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl RuleSink for NullSink {
+    fn apply(&mut self, _op: RuleOp) {}
+}
+
+/// Buffers operations (tests and batch application).
+#[derive(Debug, Default, Clone)]
+pub struct VecSink(pub Vec<RuleOp>);
+
+impl RuleSink for VecSink {
+    fn apply(&mut self, op: RuleOp) {
+        self.0.push(op);
+    }
+}
+
+impl<F: FnMut(RuleOp)> RuleSink for F {
+    fn apply(&mut self, op: RuleOp) {
+        self(op);
+    }
+}
+
+/// Lowers one shadow delta to a concrete rule operation.
+///
+/// The shadow speaks in logical terms (entries, tags, next hops); the
+/// physical rule needs ports and masked port matches. `dir` selects which
+/// header fields carry the tag and prefix (source on the uplink,
+/// destination on the downlink — paper §4.1).
+pub fn lower_delta(
+    topo: &Topology,
+    ports: &PortEmbedding,
+    carrier: softcell_types::Ipv4Prefix,
+    dir: Direction,
+    sw: SwitchId,
+    delta: &ShadowDelta,
+) -> Result<RuleOp> {
+    let m_dir = dir;
+    let entry_port =|entry: &Entry| -> Result<Option<PortNo>> {
+        match entry {
+            Entry::Ingress => Ok(None),
+            Entry::FromMb(mb) => Ok(Some(topo.middlebox(*mb).port)),
+            Entry::FromSwitch(prev) => topo
+                .port_towards(sw, *prev)
+                .map(Some)
+                .ok_or_else(|| Error::NotFound(format!("{sw} has no link to {prev}"))),
+        }
+    };
+    let build_match = |entry: &Entry, tag: PolicyTag, prefix| -> Result<Match> {
+        // Tag-only rules carry the carrier prefix as a guard: the tag
+        // bits live in a transport port, and a remote server's port
+        // (e.g. 443) can alias a tag value. Requiring the
+        // direction-side address to be a LocIP disambiguates — only
+        // SoftCell-embedded packets have one (paper §4.1).
+        let mut m = match prefix {
+            Some(p) => Match::tag_and_prefix(m_dir, tag, p, ports),
+            None => Match::tag_and_prefix(m_dir, tag, carrier, ports),
+        };
+        if let Some(p) = entry_port(entry)? {
+            m = m.from_port(p);
+        }
+        Ok(m)
+    };
+    let action = |nh: &NextHop| -> Result<Action> {
+        let towards = |next: SwitchId| -> Result<PortNo> {
+            topo.port_towards(sw, next)
+                .ok_or_else(|| Error::NotFound(format!("{sw} has no link to {next}")))
+        };
+        Ok(match nh {
+            NextHop::Switch(next) => Action::Forward(towards(*next)?),
+            NextHop::Middlebox(mb) => Action::Forward(topo.middlebox(*mb).port),
+            NextHop::Uplink => {
+                let gw = topo
+                    .gateways()
+                    .iter()
+                    .find(|g| g.switch == sw)
+                    .ok_or_else(|| Error::NotFound(format!("{sw} is not a gateway")))?;
+                Action::Forward(gw.port)
+            }
+            NextHop::Radio => {
+                let bs = topo
+                    .base_station_at(sw)
+                    .ok_or_else(|| Error::NotFound(format!("{sw} hosts no base station")))?;
+                Action::Forward(topo.base_station(bs).radio_port)
+            }
+            NextHop::SwapTag(to, next) => {
+                let (value, mask) = ports.tag_match(*to);
+                Action::RewritePortBitsForward {
+                    field: tag_field(dir),
+                    value,
+                    mask,
+                    out: towards(*next)?,
+                }
+            }
+            NextHop::SwapTagMb(to, mb) => {
+                let (value, mask) = ports.tag_match(*to);
+                Action::RewritePortBitsForward {
+                    field: tag_field(dir),
+                    value,
+                    mask,
+                    out: topo.middlebox(*mb).port,
+                }
+            }
+        })
+    };
+
+    match delta {
+        ShadowDelta::SetDefault { entry, tag, nh } => {
+            let matcher = build_match(entry, *tag, None)?;
+            Ok(RuleOp::Install {
+                switch: sw,
+                priority: conventional_priority(&matcher),
+                matcher,
+                action: action(nh)?,
+            })
+        }
+        ShadowDelta::AddPrefix {
+            entry,
+            tag,
+            prefix,
+            nh,
+        } => {
+            let matcher = build_match(entry, *tag, Some(*prefix))?;
+            Ok(RuleOp::Install {
+                switch: sw,
+                priority: conventional_priority(&matcher),
+                matcher,
+                action: action(nh)?,
+            })
+        }
+        ShadowDelta::RemovePrefix { entry, tag, prefix } => Ok(RuleOp::Remove {
+            switch: sw,
+            matcher: build_match(entry, *tag, Some(*prefix))?,
+        }),
+    }
+}
+
+/// Which transport-port field carries the tag in a direction.
+pub fn tag_field(dir: Direction) -> PortField {
+    match dir {
+        Direction::Uplink => PortField::Src,
+        Direction::Downlink => PortField::Dst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softcell_topology::small_topology;
+    use softcell_types::Ipv4Prefix;
+
+    #[test]
+    fn lower_default_delta_to_tag_rule() {
+        let topo = small_topology();
+        let ports = PortEmbedding::default_embedding();
+        // gw(sw0) forwards tag 3 downlink traffic to c1(sw1)
+        let delta = ShadowDelta::SetDefault {
+            entry: Entry::Ingress,
+            tag: PolicyTag(3),
+            nh: NextHop::Switch(SwitchId(1)),
+        };
+        let carrier: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let op = lower_delta(&topo, &ports, carrier, Direction::Downlink, SwitchId(0), &delta)
+            .unwrap();
+        let RuleOp::Install {
+            matcher, action, ..
+        } = op
+        else {
+            panic!("expected install");
+        };
+        assert!(matcher.dst_port.is_some(), "downlink tag lives in dst port");
+        assert_eq!(
+            matcher.dst_prefix,
+            Some(carrier),
+            "tag-only rules carry the carrier guard"
+        );
+        assert_eq!(
+            action.out_port(),
+            topo.port_towards(SwitchId(0), SwitchId(1))
+        );
+    }
+
+    #[test]
+    fn lower_prefix_delta_with_mb_entry() {
+        let topo = small_topology();
+        let ports = PortEmbedding::default_embedding();
+        let fw = topo.middleboxes()[0]; // firewall on c1 = sw1
+        let prefix: Ipv4Prefix = "10.0.0.0/23".parse().unwrap();
+        let delta = ShadowDelta::AddPrefix {
+            entry: Entry::FromMb(fw.id),
+            tag: PolicyTag(7),
+            prefix,
+            nh: NextHop::Switch(SwitchId(0)),
+        };
+        let carrier: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let op = lower_delta(&topo, &ports, carrier, Direction::Downlink, fw.switch, &delta)
+            .unwrap();
+        let RuleOp::Install { matcher, .. } = op else {
+            panic!("expected install");
+        };
+        assert_eq!(matcher.in_port, Some(fw.port));
+        assert_eq!(matcher.dst_prefix, Some(prefix));
+    }
+
+    #[test]
+    fn lower_swap_delta_to_port_rewrite() {
+        let topo = small_topology();
+        let ports = PortEmbedding::default_embedding();
+        let delta = ShadowDelta::SetDefault {
+            entry: Entry::Ingress,
+            tag: PolicyTag(1),
+            nh: NextHop::SwapTag(PolicyTag(2), SwitchId(1)),
+        };
+        let carrier: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let op = lower_delta(&topo, &ports, carrier, Direction::Uplink, SwitchId(0), &delta)
+            .unwrap();
+        let RuleOp::Install { action, .. } = op else {
+            panic!("expected install");
+        };
+        match action {
+            Action::RewritePortBitsForward { field, value, mask, .. } => {
+                assert_eq!(field, PortField::Src, "uplink tag lives in src port");
+                assert_eq!((value, mask), ports.tag_match(PolicyTag(2)));
+            }
+            other => panic!("expected swap action, got {other}"),
+        }
+    }
+
+    #[test]
+    fn lower_uplink_exit_at_gateway() {
+        let topo = small_topology();
+        let ports = PortEmbedding::default_embedding();
+        let delta = ShadowDelta::SetDefault {
+            entry: Entry::Ingress,
+            tag: PolicyTag(1),
+            nh: NextHop::Uplink,
+        };
+        let carrier: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let op = lower_delta(&topo, &ports, carrier, Direction::Uplink, SwitchId(0), &delta)
+            .unwrap();
+        let RuleOp::Install { action, .. } = op else {
+            panic!()
+        };
+        assert_eq!(action.out_port(), Some(topo.default_gateway().port));
+        // non-gateway switch cannot exit
+        assert!(
+            lower_delta(&topo, &ports, carrier, Direction::Uplink, SwitchId(1), &delta).is_err()
+        );
+    }
+
+    #[test]
+    fn vec_sink_buffers_in_order() {
+        let mut sink = VecSink::default();
+        let op = RuleOp::Remove {
+            switch: SwitchId(1),
+            matcher: Match::ANY,
+        };
+        sink.apply(op);
+        assert_eq!(sink.0.len(), 1);
+        assert_eq!(sink.0[0], op);
+    }
+
+    #[test]
+    fn closures_are_sinks() {
+        let mut count = 0usize;
+        {
+            let mut sink = |_op: RuleOp| count += 1;
+            sink.apply(RuleOp::Remove {
+                switch: SwitchId(0),
+                matcher: Match::ANY,
+            });
+        }
+        assert_eq!(count, 1);
+    }
+}

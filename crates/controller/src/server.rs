@@ -1,0 +1,272 @@
+//! Threaded controller front-end for the §6.2 micro-benchmarks.
+//!
+//! The paper benchmarks its Floodlight-based controller with Cbench: 1000
+//! emulated switches (= local agents) flood packet-in events and the
+//! controller answers with packet classifiers, reaching 2.2 M
+//! requests/second with 15 threads. [`ControllerServer`] is the Rust
+//! analogue: a worker pool over a crossbeam channel computing per-UE
+//! classifiers (attach handling) and policy-tag answers (path requests)
+//! against shared, mostly-read state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use softcell_policy::clause::ClauseId;
+use softcell_policy::{AppClassifier, ServicePolicy, SubscriberAttributes, UeClassifier};
+use softcell_types::{BaseStationId, Error, PolicyTag, Result, UeImsi};
+
+/// A request from a local agent.
+pub enum Request {
+    /// Worker-shutdown sentinel (sent by [`ControllerServer::shutdown`];
+    /// each worker consumes exactly one and exits).
+    Shutdown,
+    /// A UE attached: compute and return its packet classifiers.
+    Classifier {
+        /// The subscriber.
+        imsi: UeImsi,
+        /// Where to send the answer.
+        reply: Sender<Result<UeClassifier>>,
+    },
+    /// A tag-cache miss: return (installing if needed) the policy tag of
+    /// a (base station, clause) path.
+    PathTag {
+        /// Origin station.
+        bs: BaseStationId,
+        /// The clause.
+        clause: ClauseId,
+        /// Where to send the answer.
+        reply: Sender<Result<PolicyTag>>,
+    },
+}
+
+/// Shared controller state behind the worker pool.
+struct Shared {
+    policy: RwLock<ServicePolicy>,
+    apps: AppClassifier,
+    subscribers: RwLock<std::collections::HashMap<UeImsi, SubscriberAttributes>>,
+    /// (bs, clause) → tag; the path-installation critical section.
+    paths: Mutex<std::collections::HashMap<(BaseStationId, ClauseId), PolicyTag>>,
+    next_tag: AtomicU64,
+    served: AtomicU64,
+}
+
+/// A running worker pool.
+pub struct ControllerServer {
+    tx: Sender<Request>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ControllerServer {
+    /// Starts `threads` workers over the given policy and subscriber
+    /// base.
+    pub fn start(
+        policy: ServicePolicy,
+        subscribers: impl IntoIterator<Item = SubscriberAttributes>,
+        threads: usize,
+    ) -> Result<ControllerServer> {
+        if threads == 0 {
+            return Err(Error::Config("server needs at least one worker".into()));
+        }
+        let shared = Arc::new(Shared {
+            policy: RwLock::new(policy),
+            apps: AppClassifier::default(),
+            subscribers: RwLock::new(
+                subscribers.into_iter().map(|a| (a.imsi, a)).collect(),
+            ),
+            paths: Mutex::new(std::collections::HashMap::new()),
+            next_tag: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+        });
+        let (tx, rx) = unbounded::<Request>();
+        let workers = (0..threads)
+            .map(|_| {
+                let rx: Receiver<Request> = rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(rx, shared))
+            })
+            .collect();
+        Ok(ControllerServer {
+            tx,
+            workers,
+            shared,
+        })
+    }
+
+    /// A handle for submitting requests (cloneable across client
+    /// threads).
+    pub fn handle(&self) -> Sender<Request> {
+        self.tx.clone()
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Registers another subscriber while running.
+    pub fn put_subscriber(&self, attrs: SubscriberAttributes) {
+        self.shared.subscribers.write().insert(attrs.imsi, attrs);
+    }
+
+    /// Stops the workers and waits for them. Robust against outstanding
+    /// cloned handles: one shutdown sentinel is sent per worker.
+    pub fn shutdown(self) {
+        for _ in 0..self.workers.len() {
+            let _ = self.tx.send(Request::Shutdown);
+        }
+        drop(self.tx);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Request>, shared: Arc<Shared>) {
+    while let Ok(req) = rx.recv() {
+        match req {
+            Request::Shutdown => return,
+            Request::Classifier { imsi, reply } => {
+                let out = (|| {
+                    let subs = shared.subscribers.read();
+                    let attrs = subs
+                        .get(&imsi)
+                        .ok_or_else(|| Error::NotFound(format!("unknown subscriber {imsi}")))?;
+                    let policy = shared.policy.read();
+                    Ok(UeClassifier::compile(&policy, &shared.apps, attrs))
+                })();
+                let _ = reply.send(out);
+            }
+            Request::PathTag { bs, clause, reply } => {
+                let out = (|| {
+                    let mut paths = shared.paths.lock();
+                    if let Some(t) = paths.get(&(bs, clause)) {
+                        return Ok(*t);
+                    }
+                    // Path installation stand-in: allocate a tag and
+                    // record the path. (The full Algorithm 1 runs in the
+                    // single-threaded controller; this server measures
+                    // control-plane request throughput, where the paper's
+                    // bottleneck is the request fan-in, not the argmin.)
+                    let t = PolicyTag(
+                        (shared.next_tag.fetch_add(1, Ordering::Relaxed) % 1024) as u16,
+                    );
+                    paths.insert((bs, clause), t);
+                    Ok(t)
+                })();
+                let _ = reply.send(out);
+            }
+        }
+        shared.served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+
+    fn subscribers(n: u64) -> Vec<SubscriberAttributes> {
+        (0..n).map(|i| SubscriberAttributes::default_home(UeImsi(i))).collect()
+    }
+
+    #[test]
+    fn classifier_requests_round_trip() {
+        let server =
+            ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers(10), 2)
+                .unwrap();
+        let h = server.handle();
+        let (tx, rx) = bounded(1);
+        h.send(Request::Classifier {
+            imsi: UeImsi(3),
+            reply: tx,
+        })
+        .unwrap();
+        let classifier = rx.recv().unwrap().unwrap();
+        assert!(!classifier.entries().is_empty());
+        assert_eq!(server.served(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_subscriber_errors() {
+        let server =
+            ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers(1), 1)
+                .unwrap();
+        let (tx, rx) = bounded(1);
+        server
+            .handle()
+            .send(Request::Classifier {
+                imsi: UeImsi(99),
+                reply: tx,
+            })
+            .unwrap();
+        assert!(rx.recv().unwrap().is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn path_tags_are_stable_per_station_clause() {
+        let server =
+            ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers(1), 4)
+                .unwrap();
+        let h = server.handle();
+        let ask = |bs: u32, clause: u16| {
+            let (tx, rx) = bounded(1);
+            h.send(Request::PathTag {
+                bs: BaseStationId(bs),
+                clause: ClauseId(clause),
+                reply: tx,
+            })
+            .unwrap();
+            rx.recv().unwrap().unwrap()
+        };
+        let t1 = ask(5, 0);
+        let t2 = ask(5, 0);
+        let t3 = ask(6, 0);
+        assert_eq!(t1, t2, "idempotent per (bs, clause)");
+        let _ = t3;
+        server.shutdown();
+    }
+
+    #[test]
+    fn many_threads_many_requests() {
+        let server =
+            ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers(100), 4)
+                .unwrap();
+        let h = server.handle();
+        let clients: Vec<_> = (0..4)
+            .map(|c| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    let (tx, rx) = bounded(1);
+                    for i in 0..250u64 {
+                        h.send(Request::Classifier {
+                            imsi: UeImsi((c * 25 + i) % 100),
+                            reply: tx.clone(),
+                        })
+                        .unwrap();
+                        rx.recv().unwrap().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        assert_eq!(server.served(), 1000);
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        assert!(
+            ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers(1), 0)
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,649 @@
+//! The controller's shadow of every switch's forwarding state.
+//!
+//! Algorithm 1 needs three primitives per switch (paper §3.2):
+//! `getNextHop(tag, prefix)`, `canAggregate(tag, prefix, nexthop)` and
+//! rule installation with contiguous-prefix merging. [`ShadowSwitch`]
+//! provides them over a per-tag structure:
+//!
+//! * a **default** next hop per tag — a Type 2 (tag-only, exact match)
+//!   rule;
+//! * **per-prefix** next hops per tag — Type 1 (tag+prefix, TCAM) rules,
+//!   longest-prefix-wins within the tag, automatically merged with their
+//!   sibling when both carry the same next hop (the paper's "aggregate
+//!   two rules if and only if their location prefixes are contiguous");
+//! * separate tables per [`Entry`] context, because a rule for traffic
+//!   returning from a middlebox matches on the input port (§3.1
+//!   footnote) and therefore lives in its own namespace.
+//!
+//! The shadow is the controller's source of truth; deltas stream to the
+//! physical switches through [`crate::ops`].
+
+
+use serde::{Deserialize, Serialize};
+use softcell_types::{FxHashMap, Ipv4Prefix, MiddleboxId, PolicyTag, SwitchId};
+
+/// How traffic arrived at the switch — part of the rule key, realized as
+/// an input-port qualifier on the physical rule. Rules in a qualified
+/// entry ([`Entry::FromMb`], [`Entry::FromSwitch`]) take priority over
+/// unqualified [`Entry::Ingress`] rules, mirroring the input-port
+/// disambiguation of paper §3.1 (middlebox returns) and §3.2 (loops
+/// entering a switch through different links).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Entry {
+    /// Arrived from anywhere (no input-port qualifier).
+    Ingress,
+    /// Arrived back from a middlebox hosted on this switch.
+    FromMb(MiddleboxId),
+    /// Arrived on the link from a specific neighbor switch (loop
+    /// disambiguation by input port).
+    FromSwitch(SwitchId),
+}
+
+/// Where a rule sends traffic next (logical; ports are resolved when the
+/// delta is lowered to a physical rule).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum NextHop {
+    /// To an adjacent switch.
+    Switch(SwitchId),
+    /// Into a middlebox hosted on this switch.
+    Middlebox(MiddleboxId),
+    /// Out the Internet uplink (gateway) — uplink direction.
+    Uplink,
+    /// Deliver towards the base station radio — downlink direction.
+    Radio,
+    /// Rewrite the packet's tag to the given value, then forward to the
+    /// adjacent switch — the loop-disambiguation swap rule (§3.2).
+    SwapTag(PolicyTag, SwitchId),
+    /// Rewrite the packet's tag, then divert into a middlebox on this
+    /// switch (swap landing directly on a middlebox leg).
+    SwapTagMb(PolicyTag, MiddleboxId),
+}
+
+/// Per-(entry, tag) forwarding state.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct TagTable {
+    /// The Type 2 (tag-only) rule, if installed.
+    default: Option<NextHop>,
+    /// Type 1 (tag+prefix) rules; longest prefix wins.
+    prefixes: FxHashMap<Ipv4Prefix, NextHop>,
+    /// Shortest prefix length present (lookup walk lower bound).
+    min_len: u8,
+}
+
+impl TagTable {
+    fn lookup(&self, prefix: Ipv4Prefix) -> Option<NextHop> {
+        if !self.prefixes.is_empty() {
+            let mut p = prefix;
+            loop {
+                if let Some(nh) = self.prefixes.get(&p) {
+                    return Some(*nh);
+                }
+                if p.len() <= self.min_len {
+                    break;
+                }
+                p = p.parent()?;
+            }
+        }
+        self.default
+    }
+
+    #[cfg(test)]
+    #[allow(dead_code)]
+    fn rule_count(&self) -> usize {
+        self.prefixes.len() + usize::from(self.default.is_some())
+    }
+}
+
+/// The shadow of one switch's flow table.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ShadowSwitch {
+    tables: FxHashMap<(Entry, PolicyTag), TagTable>,
+    /// Tags in first-installation order — candidate enumeration must be
+    /// deterministic for reproducible experiments.
+    tag_order: Vec<PolicyTag>,
+    rule_count: usize,
+}
+
+/// A change the shadow applied, to be mirrored on the physical switch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShadowDelta {
+    /// A Type 2 (tag-only) rule appeared.
+    SetDefault {
+        /// Rule context.
+        entry: Entry,
+        /// Tag.
+        tag: PolicyTag,
+        /// Next hop.
+        nh: NextHop,
+    },
+    /// A Type 1 (tag+prefix) rule appeared.
+    AddPrefix {
+        /// Rule context.
+        entry: Entry,
+        /// Tag.
+        tag: PolicyTag,
+        /// Matched prefix.
+        prefix: Ipv4Prefix,
+        /// Next hop.
+        nh: NextHop,
+    },
+    /// A Type 1 rule disappeared (consumed by aggregation or torn down).
+    RemovePrefix {
+        /// Rule context.
+        entry: Entry,
+        /// Tag.
+        tag: PolicyTag,
+        /// Matched prefix.
+        prefix: Ipv4Prefix,
+    },
+}
+
+impl ShadowSwitch {
+    /// An empty shadow.
+    pub fn new() -> Self {
+        ShadowSwitch::default()
+    }
+
+    /// Total rules this switch would hold (Type 1 + Type 2) — the
+    /// quantity Figure 7 reports.
+    pub fn rule_count(&self) -> usize {
+        self.rule_count
+    }
+
+    /// `getNextHop(t, prefix)` of Algorithm 1: what the switch currently
+    /// does with `tag`-tagged traffic for `prefix` arriving via `entry`.
+    pub fn next_hop(&self, entry: Entry, tag: PolicyTag, prefix: Ipv4Prefix) -> Option<NextHop> {
+        self.tables.get(&(entry, tag))?.lookup(prefix)
+    }
+
+    /// Whether installing `(tag, prefix) -> nh` would *conflict* with an
+    /// existing rule: an exact-prefix entry, or the tag default, already
+    /// sends this traffic elsewhere and a more-specific override is
+    /// impossible (exact same match). Conflicts make a candidate tag
+    /// infeasible for this path.
+    pub fn conflicts(&self, entry: Entry, tag: PolicyTag, prefix: Ipv4Prefix, nh: NextHop) -> bool {
+        match self.tables.get(&(entry, tag)) {
+            None => false,
+            Some(t) => matches!(t.prefixes.get(&prefix), Some(other) if *other != nh),
+        }
+    }
+
+    /// `canAggregate` of Algorithm 1: a new `(tag, prefix) -> nh` rule
+    /// merges with an existing sibling rule carrying the same next hop.
+    pub fn can_aggregate(
+        &self,
+        entry: Entry,
+        tag: PolicyTag,
+        prefix: Ipv4Prefix,
+        nh: NextHop,
+    ) -> bool {
+        let Some(t) = self.tables.get(&(entry, tag)) else {
+            return false;
+        };
+        let Some(sib) = prefix.sibling() else {
+            return false;
+        };
+        t.prefixes.get(&sib) == Some(&nh)
+    }
+
+    /// The incremental rule cost of making `(entry, tag, prefix)` forward
+    /// to `nh`:
+    ///
+    /// * `None` — infeasible (exact conflict);
+    /// * `Some(0)` — already does (or a sibling merge absorbs the rule);
+    /// * `Some(1)` — one new rule.
+    pub fn rule_cost(
+        &self,
+        entry: Entry,
+        tag: PolicyTag,
+        prefix: Ipv4Prefix,
+        nh: NextHop,
+    ) -> Option<usize> {
+        if self.conflicts(entry, tag, prefix, nh) {
+            return None;
+        }
+        match self.next_hop(entry, tag, prefix) {
+            Some(cur) if cur == nh => Some(0),
+            None => Some(1),             // becomes the tag default (Type 2)
+            Some(_) if self.can_aggregate(entry, tag, prefix, nh) => Some(0),
+            Some(_) => Some(1),          // a Type 1 override
+        }
+    }
+
+    /// Installs `(entry, tag, prefix) -> nh`, preferring the cheapest
+    /// representation: no-op if the lookup already agrees, a tag default
+    /// (Type 2) when the tag has none, otherwise a Type 1 prefix rule
+    /// merged upward with contiguous siblings. Returns the deltas.
+    ///
+    /// # Panics
+    /// Debug-panics on exact conflicts — the tag-selection phase must
+    /// have filtered those (`rule_cost` returned `None`).
+    pub fn install(
+        &mut self,
+        entry: Entry,
+        tag: PolicyTag,
+        prefix: Ipv4Prefix,
+        nh: NextHop,
+    ) -> Vec<ShadowDelta> {
+        debug_assert!(
+            !self.conflicts(entry, tag, prefix, nh),
+            "install of conflicting rule (tag {tag}, {prefix})"
+        );
+        if !self.tables.contains_key(&(entry, tag))
+            && !self.tag_order.contains(&tag)
+        {
+            self.tag_order.push(tag);
+        }
+        let table = self.tables.entry((entry, tag)).or_default();
+        // already correct?
+        if table.lookup(prefix) == Some(nh) {
+            return Vec::new();
+        }
+        let mut deltas = Vec::new();
+        // A Type 2 (tag-only) default is only safe in tables that cannot
+        // shadow other traffic: the unqualified Ingress table (defaults
+        // there are the aggregation win of Fig. 3c) and middlebox-return
+        // tables (only traffic this controller itself diverted into the
+        // middlebox can arrive there). A default in a FromSwitch table
+        // would capture *every* prefix arriving on that link, hijacking
+        // paths that relied on unqualified rules.
+        let default_ok = !matches!(entry, Entry::FromSwitch(_));
+        if default_ok && table.default.is_none() && table.prefixes.is_empty() {
+            table.default = Some(nh);
+            self.rule_count += 1;
+            deltas.push(ShadowDelta::SetDefault { entry, tag, nh });
+            return deltas;
+        }
+        // Type 1 rule with upward aggregation. Invariant maintained by the
+        // loop: the range of `p` is entirely meant to forward to `nh`
+        // (initially: `p = prefix`, the rule being installed; after each
+        // promotion: the union of two fully-`nh` children). Therefore any
+        // entry found *at* `p` during promotion is fully shadowed and is
+        // removed rather than left to mask the final coarser rule.
+        let mut p = prefix;
+        while let Some(sib) = p.sibling() {
+            if table.prefixes.get(&sib) != Some(&nh) {
+                break;
+            }
+            table.prefixes.remove(&sib);
+            self.rule_count -= 1;
+            deltas.push(ShadowDelta::RemovePrefix {
+                entry,
+                tag,
+                prefix: sib,
+            });
+            p = p.parent().expect("sibling exists, so parent does");
+            if table.prefixes.remove(&p).is_some() {
+                self.rule_count -= 1;
+                deltas.push(ShadowDelta::RemovePrefix {
+                    entry,
+                    tag,
+                    prefix: p,
+                });
+            }
+        }
+        // If the covering lookup now already yields nh (parent rule or
+        // default with the same hop), no rule is needed at all.
+        if table.lookup(p) == Some(nh) {
+            return deltas;
+        }
+        let prev = table.prefixes.insert(p, nh);
+        debug_assert!(prev.is_none(), "promotion sweep removed entries at p");
+        self.rule_count += 1;
+        if table.prefixes.len() == 1 {
+            table.min_len = p.len();
+        } else {
+            table.min_len = table.min_len.min(p.len());
+        }
+        deltas.push(ShadowDelta::AddPrefix {
+            entry,
+            tag,
+            prefix: p,
+            nh,
+        });
+        deltas
+    }
+
+    /// Tags present on this switch (the per-switch contribution to
+    /// `candTag`), in deterministic first-installed order, most recent
+    /// first (recent tags are the likeliest reuse candidates).
+    pub fn tags(&self) -> impl Iterator<Item = PolicyTag> + '_ {
+        self.tag_order.iter().rev().copied()
+    }
+
+    /// Whether any rule exists for `(entry, tag)` — a non-empty qualified
+    /// table shadows unqualified rules for traffic arriving that way, so
+    /// the installer must place its rule in the qualified table.
+    pub fn has_table(&self, entry: Entry, tag: PolicyTag) -> bool {
+        self.tables
+            .get(&(entry, tag))
+            .map(|t| t.default.is_some() || !t.prefixes.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Iterates every installed rule as `(entry, tag, prefix, next_hop)`
+    /// — `prefix = None` for Type 2 defaults. Order is unspecified; used
+    /// for full-table lowering (offline recompute migrations).
+    pub fn iter_rules(
+        &self,
+    ) -> impl Iterator<Item = (Entry, PolicyTag, Option<Ipv4Prefix>, NextHop)> + '_ {
+        self.tables.iter().flat_map(|(&(entry, tag), table)| {
+            table
+                .default
+                .iter()
+                .map(move |nh| (entry, tag, None, *nh))
+                .chain(
+                    table
+                        .prefixes
+                        .iter()
+                        .map(move |(p, nh)| (entry, tag, Some(*p), *nh)),
+                )
+        })
+    }
+
+    /// Per-type occupancy: `(type1_prefix_rules, type2_default_rules)`.
+    pub fn occupancy(&self) -> (usize, usize) {
+        let mut t1 = 0;
+        let mut t2 = 0;
+        for t in self.tables.values() {
+            t1 += t.prefixes.len();
+            t2 += usize::from(t.default.is_some());
+        }
+        (t1, t2)
+    }
+}
+
+/// The shadow of the whole network, indexed by switch.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ShadowTables {
+    switches: Vec<ShadowSwitch>,
+}
+
+impl ShadowTables {
+    /// Shadows for `n` switches.
+    pub fn new(n: usize) -> Self {
+        ShadowTables {
+            switches: vec![ShadowSwitch::new(); n],
+        }
+    }
+
+    /// The shadow of one switch.
+    pub fn switch(&self, id: SwitchId) -> &ShadowSwitch {
+        &self.switches[id.index()]
+    }
+
+    /// Mutable shadow of one switch.
+    pub fn switch_mut(&mut self, id: SwitchId) -> &mut ShadowSwitch {
+        &mut self.switches[id.index()]
+    }
+
+    /// Number of switches.
+    pub fn len(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Whether there are no switches.
+    pub fn is_empty(&self) -> bool {
+        self.switches.is_empty()
+    }
+
+    /// Rule counts of every switch — the Figure 7 measurement.
+    pub fn rule_counts(&self) -> Vec<usize> {
+        self.switches.iter().map(|s| s.rule_count()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    const T: PolicyTag = PolicyTag(1);
+    const IN: Entry = Entry::Ingress;
+    const NH1: NextHop = NextHop::Switch(SwitchId(10));
+    const NH2: NextHop = NextHop::Switch(SwitchId(20));
+
+    #[test]
+    fn first_install_becomes_type2_default() {
+        let mut s = ShadowSwitch::new();
+        let d = s.install(IN, T, p("10.0.0.0/23"), NH1);
+        assert_eq!(d, vec![ShadowDelta::SetDefault { entry: IN, tag: T, nh: NH1 }]);
+        assert_eq!(s.rule_count(), 1);
+        // every prefix under the tag now follows the default
+        assert_eq!(s.next_hop(IN, T, p("10.0.8.0/23")), Some(NH1));
+        assert_eq!(s.occupancy(), (0, 1));
+    }
+
+    #[test]
+    fn second_nexthop_becomes_type1_override() {
+        let mut s = ShadowSwitch::new();
+        s.install(IN, T, p("10.0.0.0/23"), NH1);
+        let d = s.install(IN, T, p("10.0.8.0/23"), NH2);
+        assert_eq!(
+            d,
+            vec![ShadowDelta::AddPrefix {
+                entry: IN,
+                tag: T,
+                prefix: p("10.0.8.0/23"),
+                nh: NH2
+            }]
+        );
+        assert_eq!(s.rule_count(), 2);
+        assert_eq!(s.next_hop(IN, T, p("10.0.8.0/23")), Some(NH2));
+        assert_eq!(s.next_hop(IN, T, p("10.0.0.0/23")), Some(NH1));
+        assert_eq!(s.occupancy(), (1, 1));
+    }
+
+    #[test]
+    fn contiguous_prefixes_aggregate() {
+        let mut s = ShadowSwitch::new();
+        s.install(IN, T, p("10.0.0.0/23"), NH1); // default
+        s.install(IN, T, p("10.0.8.0/23"), NH2); // type 1
+        assert!(s.can_aggregate(IN, T, p("10.0.10.0/23"), NH2));
+        let d = s.install(IN, T, p("10.0.10.0/23"), NH2); // sibling of 10.0.8/23
+        // merge: remove 10.0.8.0/23, add 10.0.8.0/22
+        assert!(d.contains(&ShadowDelta::RemovePrefix {
+            entry: IN,
+            tag: T,
+            prefix: p("10.0.8.0/23")
+        }));
+        assert!(d.contains(&ShadowDelta::AddPrefix {
+            entry: IN,
+            tag: T,
+            prefix: p("10.0.8.0/22"),
+            nh: NH2
+        }));
+        assert_eq!(s.rule_count(), 2, "merge keeps the count flat");
+        assert_eq!(s.next_hop(IN, T, p("10.0.10.0/23")), Some(NH2));
+        assert_eq!(s.next_hop(IN, T, p("10.0.8.0/23")), Some(NH2));
+    }
+
+    #[test]
+    fn aggregation_cascades_upward() {
+        let mut s = ShadowSwitch::new();
+        s.install(IN, T, p("10.0.0.0/8"), NH1); // default owner
+        // four /24s forming a /22 under NH2, installed in sibling order
+        s.install(IN, T, p("10.1.0.0/24"), NH2);
+        s.install(IN, T, p("10.1.1.0/24"), NH2); // -> /23
+        s.install(IN, T, p("10.1.2.0/24"), NH2);
+        let before = s.rule_count();
+        s.install(IN, T, p("10.1.3.0/24"), NH2); // -> /23 -> /22
+        assert_eq!(s.rule_count(), before - 1, "cascade merges two levels");
+        assert_eq!(s.next_hop(IN, T, p("10.1.2.0/24")), Some(NH2));
+        assert_eq!(s.occupancy().0, 1, "a single /22 remains");
+    }
+
+    #[test]
+    fn idempotent_install_costs_nothing() {
+        let mut s = ShadowSwitch::new();
+        s.install(IN, T, p("10.0.0.0/23"), NH1);
+        assert_eq!(s.rule_cost(IN, T, p("10.0.0.0/23"), NH1), Some(0));
+        assert!(s.install(IN, T, p("10.0.0.0/23"), NH1).is_empty());
+        assert_eq!(s.rule_count(), 1);
+    }
+
+    #[test]
+    fn rule_cost_matches_install_behaviour() {
+        let mut s = ShadowSwitch::new();
+        assert_eq!(s.rule_cost(IN, T, p("10.0.0.0/23"), NH1), Some(1));
+        s.install(IN, T, p("10.0.0.0/23"), NH1);
+        // different next hop for another prefix: +1 (type 1)
+        assert_eq!(s.rule_cost(IN, T, p("10.0.8.0/23"), NH2), Some(1));
+        s.install(IN, T, p("10.0.8.0/23"), NH2);
+        // its sibling with the same hop: 0 (aggregates)
+        assert_eq!(s.rule_cost(IN, T, p("10.0.10.0/23"), NH2), Some(0));
+        // exact conflict: infeasible
+        assert_eq!(s.rule_cost(IN, T, p("10.0.8.0/23"), NH1), None);
+        assert!(s.conflicts(IN, T, p("10.0.8.0/23"), NH1));
+    }
+
+    #[test]
+    fn entries_are_separate_namespaces() {
+        let mut s = ShadowSwitch::new();
+        let mb = Entry::FromMb(MiddleboxId(3));
+        s.install(IN, T, p("10.0.0.0/23"), NH1);
+        s.install(mb, T, p("10.0.0.0/23"), NH2);
+        assert_eq!(s.next_hop(IN, T, p("10.0.0.0/23")), Some(NH1));
+        assert_eq!(s.next_hop(mb, T, p("10.0.0.0/23")), Some(NH2));
+        assert_eq!(s.rule_count(), 2);
+    }
+
+    #[test]
+    fn tags_are_separate_namespaces() {
+        let mut s = ShadowSwitch::new();
+        s.install(IN, PolicyTag(1), p("10.0.0.0/23"), NH1);
+        s.install(IN, PolicyTag(2), p("10.0.0.0/23"), NH2);
+        assert_eq!(s.next_hop(IN, PolicyTag(1), p("10.0.0.0/23")), Some(NH1));
+        assert_eq!(s.next_hop(IN, PolicyTag(2), p("10.0.0.0/23")), Some(NH2));
+        let mut tags: Vec<_> = s.tags().collect();
+        tags.sort();
+        assert_eq!(tags, vec![PolicyTag(1), PolicyTag(2)]);
+    }
+
+    #[test]
+    fn longest_prefix_wins_within_tag() {
+        let mut s = ShadowSwitch::new();
+        s.install(IN, T, p("10.0.0.0/16"), NH1);
+        s.install(IN, T, p("10.0.0.0/24"), NH2);
+        assert_eq!(s.next_hop(IN, T, p("10.0.0.0/24")), Some(NH2));
+        assert_eq!(s.next_hop(IN, T, p("10.0.1.0/24")), Some(NH1));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A flat reference model: the exact (prefix -> nh) writes in
+        /// order, no aggregation, longest-prefix-wins + default.
+        #[derive(Default)]
+        struct FlatModel {
+            default: Option<NextHop>,
+            writes: Vec<(Ipv4Prefix, NextHop)>,
+        }
+
+        impl FlatModel {
+            fn install(&mut self, prefix: Ipv4Prefix, nh: NextHop) {
+                if self.default.is_none() && self.writes.is_empty() {
+                    self.default = Some(nh);
+                } else if let Some(w) = self.writes.iter_mut().find(|(p, _)| *p == prefix) {
+                    w.1 = nh;
+                } else {
+                    self.writes.push((prefix, nh));
+                }
+            }
+
+            fn lookup(&self, addr: std::net::Ipv4Addr) -> Option<NextHop> {
+                self.writes
+                    .iter()
+                    .filter(|(p, _)| p.contains(addr))
+                    .max_by_key(|(p, _)| p.len())
+                    .map(|(_, nh)| *nh)
+                    .or(self.default)
+            }
+        }
+
+        /// Installs at the /23 station-prefix granularity the real
+        /// system uses (disjoint-or-equal prefixes, the installer's
+        /// discipline).
+        fn arb_installs() -> impl Strategy<Value = Vec<(u32, u8)>> {
+            proptest::collection::vec((0u32..64, 0u8..3), 1..80)
+        }
+
+        proptest! {
+            #[test]
+            fn prop_aggregation_preserves_lookup_semantics(installs in arb_installs()) {
+                let mut shadow = ShadowSwitch::new();
+                let mut flat = FlatModel::default();
+                for (station, hop) in installs {
+                    let prefix = Ipv4Prefix::from_bits(0x0A00_0000 | (station << 9), 23);
+                    let nh = NextHop::Switch(SwitchId(hop as u32));
+                    // mirror the installer's discipline: skip writes the
+                    // cost model rejects (exact conflicts)
+                    if shadow.rule_cost(IN, T, prefix, nh).is_none() {
+                        continue;
+                    }
+                    shadow.install(IN, T, prefix, nh);
+                    flat.install(prefix, nh);
+                }
+                for station in 0u32..64 {
+                    let addr = std::net::Ipv4Addr::from(0x0A00_0000 | (station << 9) | 3);
+                    let prefix = Ipv4Prefix::from_bits(0x0A00_0000 | (station << 9), 23);
+                    prop_assert_eq!(
+                        shadow.next_hop(IN, T, prefix),
+                        flat.lookup(addr),
+                        "station {} diverged", station
+                    );
+                }
+            }
+
+            #[test]
+            fn prop_rule_count_never_exceeds_flat(installs in arb_installs()) {
+                let mut shadow = ShadowSwitch::new();
+                let mut distinct: std::collections::HashSet<Ipv4Prefix> =
+                    std::collections::HashSet::new();
+                for (station, hop) in installs {
+                    let prefix = Ipv4Prefix::from_bits(0x0A00_0000 | (station << 9), 23);
+                    let nh = NextHop::Switch(SwitchId(hop as u32));
+                    if shadow.rule_cost(IN, T, prefix, nh).is_none() {
+                        continue;
+                    }
+                    shadow.install(IN, T, prefix, nh);
+                    distinct.insert(prefix);
+                }
+                // aggregation is a pure win: never more entries than the
+                // unaggregated write set (+1 for the default)
+                prop_assert!(shadow.rule_count() <= distinct.len() + 1);
+            }
+
+            #[test]
+            fn prop_cost_is_an_exact_forecast(installs in arb_installs()) {
+                let mut shadow = ShadowSwitch::new();
+                for (station, hop) in installs {
+                    let prefix = Ipv4Prefix::from_bits(0x0A00_0000 | (station << 9), 23);
+                    let nh = NextHop::Switch(SwitchId(hop as u32));
+                    let Some(cost) = shadow.rule_cost(IN, T, prefix, nh) else {
+                        continue;
+                    };
+                    let before = shadow.rule_count();
+                    shadow.install(IN, T, prefix, nh);
+                    let added = shadow.rule_count() as i64 - before as i64;
+                    // an exact forecast for plain installs, an upper
+                    // bound when a merge cascades
+                    prop_assert!(added <= cost as i64, "cost {} but added {}", cost, added);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_tables_indexing() {
+        let mut t = ShadowTables::new(3);
+        assert_eq!(t.len(), 3);
+        t.switch_mut(SwitchId(1)).install(IN, T, p("10.0.0.0/23"), NH1);
+        assert_eq!(t.rule_counts(), vec![0, 1, 0]);
+        assert_eq!(t.switch(SwitchId(1)).rule_count(), 1);
+    }
+}

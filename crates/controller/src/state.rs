@@ -1,0 +1,351 @@
+//! Central controller state.
+//!
+//! Paper §5.2 divides controller state into slow-changing parts held with
+//! strong consistency across replicas — "the service policy, the
+//! subscriber attributes, the policy paths" — and the one fast-moving
+//! part, UE location, which a recovering replica can rebuild by querying
+//! local agents. [`ControllerState`] holds both, versioned so the
+//! replication layer ([`crate::failover`]) can ship deltas.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+use softcell_policy::{ServicePolicy, SubscriberAttributes};
+use softcell_types::{
+    BaseStationId, Error, Ipv4Prefix, Result, SimTime, UeId, UeImsi,
+};
+
+/// One attached UE as the controller sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UeRecord {
+    /// Subscriber identity.
+    pub imsi: UeImsi,
+    /// The permanent address (DHCP-assigned on first attach; never
+    /// changes, paper §3.1).
+    pub permanent_ip: Ipv4Addr,
+    /// Current base station.
+    pub bs: BaseStationId,
+    /// Local UE id at that base station (assigned by the local agent).
+    pub ue_id: UeId,
+    /// When the UE last attached or moved.
+    pub since: SimTime,
+}
+
+/// The central controller's replicated state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ControllerState {
+    /// The service policy (slow-changing).
+    pub policy: ServicePolicy,
+    subscribers: HashMap<UeImsi, SubscriberAttributes>,
+    ues: HashMap<UeImsi, UeRecord>,
+    by_loc: HashMap<(BaseStationId, UeId), UeImsi>,
+    /// Locations still carrying anchored traffic after a handoff: "the
+    /// controller does not assign the old location-dependent address to
+    /// any new UEs" until the transition ends (§5.1). Maps to the owning
+    /// subscriber so a returning UE may reclaim its own address.
+    reserved: HashMap<(BaseStationId, UeId), UeImsi>,
+    /// DHCP pool for permanent addresses.
+    permanent_pool: Ipv4Prefix,
+    next_permanent: u32,
+    freed_permanent: Vec<Ipv4Addr>,
+    /// Monotonic version for replication.
+    version: u64,
+}
+
+impl ControllerState {
+    /// Creates state with a policy and a permanent-address pool.
+    pub fn new(policy: ServicePolicy, permanent_pool: Ipv4Prefix) -> Self {
+        ControllerState {
+            policy,
+            subscribers: HashMap::new(),
+            ues: HashMap::new(),
+            by_loc: HashMap::new(),
+            reserved: HashMap::new(),
+            permanent_pool,
+            next_permanent: 1, // .0 reserved
+            freed_permanent: Vec::new(),
+            version: 0,
+        }
+    }
+
+    /// Current replication version (bumps on every mutation).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Registers (or updates) a subscriber's attributes.
+    pub fn put_subscriber(&mut self, attrs: SubscriberAttributes) {
+        self.subscribers.insert(attrs.imsi, attrs);
+        self.version += 1;
+    }
+
+    /// A subscriber's attributes.
+    pub fn subscriber(&self, imsi: UeImsi) -> Result<&SubscriberAttributes> {
+        self.subscribers
+            .get(&imsi)
+            .ok_or_else(|| Error::NotFound(format!("unknown subscriber {imsi}")))
+    }
+
+    /// Number of registered subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Allocates a permanent address (idempotent per subscriber: an
+    /// already-attached or re-attaching UE keeps its address).
+    fn permanent_ip_for(&mut self, imsi: UeImsi) -> Result<Ipv4Addr> {
+        if let Some(r) = self.ues.get(&imsi) {
+            return Ok(r.permanent_ip);
+        }
+        if let Some(ip) = self.freed_permanent.pop() {
+            return Ok(ip);
+        }
+        if u64::from(self.next_permanent) >= self.permanent_pool.size() {
+            return Err(Error::Exhausted(format!(
+                "permanent address pool {} exhausted",
+                self.permanent_pool
+            )));
+        }
+        let ip = Ipv4Addr::from(self.permanent_pool.raw_bits() + self.next_permanent);
+        self.next_permanent += 1;
+        Ok(ip)
+    }
+
+    /// Records a UE attachment (or re-attachment after detach). The UE id
+    /// comes from the local agent. Returns the record.
+    pub fn attach(
+        &mut self,
+        imsi: UeImsi,
+        bs: BaseStationId,
+        ue_id: UeId,
+        now: SimTime,
+    ) -> Result<UeRecord> {
+        self.subscriber(imsi)?;
+        if let Some(existing) = self.ues.get(&imsi) {
+            return Err(Error::InvalidState(format!(
+                "{imsi} already attached at {}",
+                existing.bs
+            )));
+        }
+        if !self.location_available(bs, ue_id, imsi) {
+            return Err(Error::InvalidState(format!(
+                "location ({bs},{ue_id}) already occupied or reserved"
+            )));
+        }
+        let permanent_ip = self.permanent_ip_for(imsi)?;
+        self.reserved.remove(&(bs, ue_id));
+        let rec = UeRecord {
+            imsi,
+            permanent_ip,
+            bs,
+            ue_id,
+            since: now,
+        };
+        self.ues.insert(imsi, rec);
+        self.by_loc.insert((bs, ue_id), imsi);
+        self.version += 1;
+        Ok(rec)
+    }
+
+    /// Moves a UE to a new location (handoff). Returns (old, new) records.
+    pub fn move_ue(
+        &mut self,
+        imsi: UeImsi,
+        new_bs: BaseStationId,
+        new_ue_id: UeId,
+        now: SimTime,
+    ) -> Result<(UeRecord, UeRecord)> {
+        let old = *self
+            .ues
+            .get(&imsi)
+            .ok_or_else(|| Error::NotFound(format!("{imsi} not attached")))?;
+        if !self.location_available(new_bs, new_ue_id, imsi) {
+            return Err(Error::InvalidState(format!(
+                "location ({new_bs},{new_ue_id}) already occupied or reserved"
+            )));
+        }
+        // The old location-dependent address must not be reassigned while
+        // old flows still use it (§5.1): it moves into the reserved set
+        // until the mobility transition expires.
+        self.by_loc.remove(&(old.bs, old.ue_id));
+        self.reserved.insert((old.bs, old.ue_id), imsi);
+        self.reserved.remove(&(new_bs, new_ue_id));
+        let new = UeRecord {
+            bs: new_bs,
+            ue_id: new_ue_id,
+            since: now,
+            ..old
+        };
+        self.ues.insert(imsi, new);
+        self.by_loc.insert((new_bs, new_ue_id), imsi);
+        self.version += 1;
+        Ok((old, new))
+    }
+
+    /// Detaches a UE, releasing its permanent address.
+    pub fn detach(&mut self, imsi: UeImsi) -> Result<UeRecord> {
+        let rec = self
+            .ues
+            .remove(&imsi)
+            .ok_or_else(|| Error::NotFound(format!("{imsi} not attached")))?;
+        self.by_loc.remove(&(rec.bs, rec.ue_id));
+        // a detached UE's anchored flows are dead: its reservations lapse
+        self.reserved.retain(|_, owner| *owner != imsi);
+        self.freed_permanent.push(rec.permanent_ip);
+        self.version += 1;
+        Ok(rec)
+    }
+
+    /// The record of an attached UE.
+    pub fn ue(&self, imsi: UeImsi) -> Result<&UeRecord> {
+        self.ues
+            .get(&imsi)
+            .ok_or_else(|| Error::NotFound(format!("{imsi} not attached")))
+    }
+
+    /// Reverse lookup: who is at a location.
+    pub fn at_location(&self, bs: BaseStationId, ue_id: UeId) -> Option<UeImsi> {
+        self.by_loc.get(&(bs, ue_id)).copied()
+    }
+
+    /// Whether a location may be assigned to `imsi`: neither occupied
+    /// nor reserved by another subscriber's in-transition flows.
+    pub fn location_available(&self, bs: BaseStationId, ue_id: UeId, imsi: UeImsi) -> bool {
+        !self.by_loc.contains_key(&(bs, ue_id))
+            && self
+                .reserved
+                .get(&(bs, ue_id))
+                .map(|owner| *owner == imsi)
+                .unwrap_or(true)
+    }
+
+    /// Releases a reserved location once its transition has expired. A
+    /// location the subscriber has since reclaimed (returned home) stays
+    /// live.
+    pub fn release_location(&mut self, bs: BaseStationId, ue_id: UeId) {
+        if !self.by_loc.contains_key(&(bs, ue_id)) {
+            self.reserved.remove(&(bs, ue_id));
+            self.version += 1;
+        }
+    }
+
+    /// Number of reserved (in-transition) locations.
+    pub fn reserved_count(&self) -> usize {
+        self.reserved.len()
+    }
+
+    /// All attached UEs (iteration order unspecified).
+    pub fn attached(&self) -> impl Iterator<Item = &UeRecord> {
+        self.ues.values()
+    }
+
+    /// Number of attached UEs.
+    pub fn attached_count(&self) -> usize {
+        self.ues.len()
+    }
+
+    /// Drops all UE-location state (used when a recovering replica is
+    /// about to rebuild it from the local agents, §5.2).
+    pub fn clear_locations(&mut self) {
+        self.ues.clear();
+        self.by_loc.clear();
+        self.version += 1;
+    }
+
+    /// Restores one UE record during location rebuild.
+    pub fn restore_location(&mut self, rec: UeRecord) {
+        self.by_loc.insert((rec.bs, rec.ue_id), rec.imsi);
+        self.ues.insert(rec.imsi, rec);
+        self.version += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softcell_policy::ServicePolicy;
+
+    fn state() -> ControllerState {
+        let mut s = ControllerState::new(
+            ServicePolicy::example_carrier_a(1),
+            "100.64.0.0/10".parse().unwrap(),
+        );
+        for i in 0..4 {
+            s.put_subscriber(SubscriberAttributes::default_home(UeImsi(i)));
+        }
+        s
+    }
+
+    #[test]
+    fn attach_assigns_distinct_permanent_ips() {
+        let mut s = state();
+        let a = s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO).unwrap();
+        let b = s.attach(UeImsi(1), BaseStationId(0), UeId(1), SimTime::ZERO).unwrap();
+        assert_ne!(a.permanent_ip, b.permanent_ip);
+        assert!(Ipv4Prefix::from(a.permanent_ip).network().octets()[0] == 100);
+        assert_eq!(s.attached_count(), 2);
+    }
+
+    #[test]
+    fn attach_requires_known_subscriber_and_free_location() {
+        let mut s = state();
+        assert!(s.attach(UeImsi(99), BaseStationId(0), UeId(0), SimTime::ZERO).is_err());
+        s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO).unwrap();
+        // same UE twice
+        assert!(s.attach(UeImsi(0), BaseStationId(1), UeId(0), SimTime::ZERO).is_err());
+        // same slot twice
+        assert!(s.attach(UeImsi(1), BaseStationId(0), UeId(0), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn permanent_ip_survives_handoff_not_detach() {
+        let mut s = state();
+        let rec = s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO).unwrap();
+        let (old, new) = s
+            .move_ue(UeImsi(0), BaseStationId(1), UeId(5), SimTime::from_secs(10))
+            .unwrap();
+        assert_eq!(old.bs, BaseStationId(0));
+        assert_eq!(new.bs, BaseStationId(1));
+        assert_eq!(new.permanent_ip, rec.permanent_ip, "permanent IP is stable");
+        assert_eq!(s.at_location(BaseStationId(1), UeId(5)), Some(UeImsi(0)));
+        assert_eq!(s.at_location(BaseStationId(0), UeId(0)), None);
+
+        let gone = s.detach(UeImsi(0)).unwrap();
+        assert_eq!(gone.permanent_ip, rec.permanent_ip);
+        // the address is recycled for the next newcomer
+        let again = s.attach(UeImsi(1), BaseStationId(0), UeId(0), SimTime::ZERO).unwrap();
+        assert_eq!(again.permanent_ip, rec.permanent_ip);
+    }
+
+    #[test]
+    fn version_bumps_on_mutation() {
+        let mut s = state();
+        let v0 = s.version();
+        s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO).unwrap();
+        assert!(s.version() > v0);
+    }
+
+    #[test]
+    fn location_rebuild_round_trips() {
+        let mut s = state();
+        s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO).unwrap();
+        s.attach(UeImsi(1), BaseStationId(1), UeId(3), SimTime::ZERO).unwrap();
+        let saved: Vec<UeRecord> = s.attached().copied().collect();
+        s.clear_locations();
+        assert_eq!(s.attached_count(), 0);
+        for r in saved {
+            s.restore_location(r);
+        }
+        assert_eq!(s.attached_count(), 2);
+        assert_eq!(s.at_location(BaseStationId(1), UeId(3)), Some(UeImsi(1)));
+    }
+
+    #[test]
+    fn move_rejects_occupied_target() {
+        let mut s = state();
+        s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO).unwrap();
+        s.attach(UeImsi(1), BaseStationId(1), UeId(0), SimTime::ZERO).unwrap();
+        assert!(s.move_ue(UeImsi(0), BaseStationId(1), UeId(0), SimTime::ZERO).is_err());
+    }
+}

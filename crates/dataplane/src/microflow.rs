@@ -1,0 +1,234 @@
+//! The access-switch microflow table.
+//!
+//! Access switches are software switches (Open vSwitch class) that hold
+//! one exact-match entry per microflow — "a base station has at most 1000
+//! UEs with (say) 10 flows each, resulting in 10,000 microflows — easily
+//! supported in a software switch" (paper §4.1). An uplink entry performs
+//! the LocIP/tag rewrite; a downlink entry restores the UE's permanent
+//! address. Entries carry an idle deadline so the local agent can expire
+//! completed flows.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use softcell_types::{Error, PortNo, Result, SimTime};
+
+use softcell_packet::FiveTuple;
+
+/// What a microflow entry does to its packets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MicroflowAction {
+    /// Uplink: rewrite source to (LocIP, embedded port), optionally mark
+    /// the DSCP field (the clause's QoS action), and forward.
+    RewriteSrc {
+        /// The LocIP.
+        addr: Ipv4Addr,
+        /// The embedded source port (tag | flow slot).
+        port: u16,
+        /// Fabric-facing output port.
+        out: PortNo,
+        /// QoS marking to apply (paper §2.2 service actions).
+        dscp: Option<u8>,
+    },
+    /// Downlink: rewrite destination to the UE's permanent endpoint and
+    /// deliver towards the radio.
+    RewriteDst {
+        /// The permanent UE address.
+        addr: Ipv4Addr,
+        /// The UE's original source port.
+        port: u16,
+        /// Radio-facing output port.
+        out: PortNo,
+    },
+    /// Forward unchanged (e.g. tunnel legs between base stations).
+    Forward(PortNo),
+    /// Drop (access control decided at classification time).
+    Drop,
+}
+
+/// One microflow entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MicroflowEntry {
+    /// The action.
+    pub action: MicroflowAction,
+    /// Packets matched so far.
+    pub packets: u64,
+    /// Entry expires if idle past this instant.
+    pub idle_deadline: SimTime,
+}
+
+/// An exact-match five-tuple table.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MicroflowTable {
+    entries: HashMap<FiveTuple, MicroflowEntry>,
+    capacity: Option<usize>,
+}
+
+impl MicroflowTable {
+    /// An unbounded table.
+    pub fn new() -> Self {
+        MicroflowTable::default()
+    }
+
+    /// A capacity-bounded table (software switches hold ~100K microflows,
+    /// paper §2.1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        MicroflowTable {
+            capacity: Some(capacity),
+            ..Default::default()
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Installs (or replaces) the entry for a five-tuple.
+    pub fn install(
+        &mut self,
+        tuple: FiveTuple,
+        action: MicroflowAction,
+        idle_deadline: SimTime,
+    ) -> Result<()> {
+        if let Some(cap) = self.capacity {
+            if self.entries.len() >= cap && !self.entries.contains_key(&tuple) {
+                return Err(Error::Exhausted(format!(
+                    "microflow table full ({cap} entries)"
+                )));
+            }
+        }
+        self.entries.insert(
+            tuple,
+            MicroflowEntry {
+                action,
+                packets: 0,
+                idle_deadline,
+            },
+        );
+        Ok(())
+    }
+
+    /// Looks up a packet's five-tuple, bumping counters and refreshing the
+    /// idle deadline by `idle_extend` from `now`.
+    pub fn lookup(
+        &mut self,
+        tuple: &FiveTuple,
+        now: SimTime,
+        idle_extend: softcell_types::SimDuration,
+    ) -> Option<MicroflowAction> {
+        let e = self.entries.get_mut(tuple)?;
+        e.packets += 1;
+        e.idle_deadline = now + idle_extend;
+        Some(e.action)
+    }
+
+    /// Read-only lookup.
+    pub fn peek(&self, tuple: &FiveTuple) -> Option<&MicroflowEntry> {
+        self.entries.get(tuple)
+    }
+
+    /// Removes one entry.
+    pub fn remove(&mut self, tuple: &FiveTuple) -> Option<MicroflowEntry> {
+        self.entries.remove(tuple)
+    }
+
+    /// Expires idle entries; returns the expired five-tuples (the local
+    /// agent tells the controller so shortcut paths can be torn down,
+    /// paper §5.1).
+    pub fn expire_idle(&mut self, now: SimTime) -> Vec<FiveTuple> {
+        let dead: Vec<FiveTuple> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.idle_deadline <= now)
+            .map(|(t, _)| *t)
+            .collect();
+        for t in &dead {
+            self.entries.remove(t);
+        }
+        dead
+    }
+
+    /// Iterates all entries — used when copying rules to a new access
+    /// switch during handoff (paper §5.1).
+    pub fn iter(&self) -> impl Iterator<Item = (&FiveTuple, &MicroflowEntry)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softcell_packet::Protocol;
+    use softcell_types::SimDuration;
+
+    fn tuple(port: u16) -> FiveTuple {
+        FiveTuple {
+            src: Ipv4Addr::new(100, 64, 0, 1),
+            dst: Ipv4Addr::new(8, 8, 8, 8),
+            src_port: port,
+            dst_port: 443,
+            proto: Protocol::Tcp,
+        }
+    }
+
+    fn act() -> MicroflowAction {
+        MicroflowAction::RewriteSrc {
+            addr: Ipv4Addr::new(10, 0, 0, 10),
+            port: 0x0805,
+            out: PortNo(1),
+            dscp: None,
+        }
+    }
+
+    #[test]
+    fn install_lookup_counts_and_refreshes() {
+        let mut t = MicroflowTable::new();
+        t.install(tuple(1000), act(), SimTime::from_secs(5)).unwrap();
+        let got = t
+            .lookup(&tuple(1000), SimTime::from_secs(3), SimDuration::from_secs(10))
+            .unwrap();
+        assert_eq!(got, act());
+        let e = t.peek(&tuple(1000)).unwrap();
+        assert_eq!(e.packets, 1);
+        assert_eq!(e.idle_deadline, SimTime::from_secs(13));
+        assert!(t.lookup(&tuple(2000), SimTime::ZERO, SimDuration::ZERO).is_none());
+    }
+
+    #[test]
+    fn expire_removes_only_idle_entries() {
+        let mut t = MicroflowTable::new();
+        t.install(tuple(1), act(), SimTime::from_secs(5)).unwrap();
+        t.install(tuple(2), act(), SimTime::from_secs(50)).unwrap();
+        let dead = t.expire_idle(SimTime::from_secs(10));
+        assert_eq!(dead, vec![tuple(1)]);
+        assert_eq!(t.len(), 1);
+        assert!(t.peek(&tuple(2)).is_some());
+    }
+
+    #[test]
+    fn capacity_enforced_but_replace_allowed() {
+        let mut t = MicroflowTable::with_capacity(1);
+        t.install(tuple(1), act(), SimTime::ZERO).unwrap();
+        assert!(t.install(tuple(2), act(), SimTime::ZERO).is_err());
+        // replacing the existing tuple is not a growth
+        t.install(tuple(1), MicroflowAction::Drop, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(t.peek(&tuple(1)).unwrap().action, MicroflowAction::Drop);
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let mut t = MicroflowTable::new();
+        t.install(tuple(7), act(), SimTime::ZERO).unwrap();
+        assert!(t.remove(&tuple(7)).is_some());
+        assert!(t.remove(&tuple(7)).is_none());
+        assert!(t.is_empty());
+    }
+}

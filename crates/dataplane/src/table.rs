@@ -1,0 +1,335 @@
+//! The priority-ordered flow table.
+//!
+//! One logical table holds all three §7 entry types; priority bands keep
+//! Type 1 > Type 2 > Type 3 exactly as the paper's multi-table layout
+//! would. [`TableStats`] reports per-type occupancy — the scarce resource
+//! Figure 7 measures is TCAM (Type 1) entries, while Type 2/3 can live in
+//! cheaper exact-match/LPM memories.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use softcell_types::{Error, Result};
+
+use crate::matcher::{LookupKey, Match, RuleType};
+use crate::rule::{Action, FlowRule, RuleId};
+
+/// A switch flow table: rules in priority order, with match counters.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FlowTable {
+    /// Rules sorted by descending priority; ties preserve install order.
+    rules: Vec<FlowRule>,
+    next_id: u64,
+    counters: HashMap<RuleId, u64>,
+    capacity: Option<usize>,
+}
+
+/// Occupancy statistics by rule type.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Type 1 (tag+prefix, TCAM) entries.
+    pub tag_and_prefix: usize,
+    /// Type 2 (tag only, exact match) entries.
+    pub tag_only: usize,
+    /// Type 3 (prefix only, LPM) entries.
+    pub prefix_only: usize,
+    /// Everything else.
+    pub other: usize,
+}
+
+impl TableStats {
+    /// Total entries.
+    pub fn total(&self) -> usize {
+        self.tag_and_prefix + self.tag_only + self.prefix_only + self.other
+    }
+}
+
+impl FlowTable {
+    /// An unbounded table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// A table that rejects installs beyond `capacity` entries — models
+    /// the few-thousand-entry TCAM budget of commodity switches (§1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlowTable {
+            capacity: Some(capacity),
+            ..FlowTable::default()
+        }
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Installs a rule, returning its id. Fails when at capacity.
+    pub fn install(&mut self, priority: u16, matcher: Match, action: Action) -> Result<RuleId> {
+        if let Some(cap) = self.capacity {
+            if self.rules.len() >= cap {
+                return Err(Error::Exhausted(format!(
+                    "flow table full ({cap} entries)"
+                )));
+            }
+        }
+        let id = RuleId(self.next_id);
+        self.next_id += 1;
+        let rule = FlowRule {
+            id,
+            priority,
+            matcher,
+            action,
+        };
+        // insert after the last rule with priority >= ours (stable ties)
+        let pos = self
+            .rules
+            .partition_point(|r| r.priority >= priority);
+        self.rules.insert(pos, rule);
+        Ok(id)
+    }
+
+    /// Removes a rule by id. Returns the removed rule.
+    pub fn remove(&mut self, id: RuleId) -> Result<FlowRule> {
+        let pos = self
+            .rules
+            .iter()
+            .position(|r| r.id == id)
+            .ok_or_else(|| Error::NotFound(format!("rule {id:?}")))?;
+        self.counters.remove(&id);
+        Ok(self.rules.remove(pos))
+    }
+
+    /// Removes every rule whose matcher satisfies `pred`; returns count.
+    pub fn remove_where(&mut self, mut pred: impl FnMut(&FlowRule) -> bool) -> usize {
+        let before = self.rules.len();
+        let counters = &mut self.counters;
+        self.rules.retain(|r| {
+            let gone = pred(r);
+            if gone {
+                counters.remove(&r.id);
+            }
+            !gone
+        });
+        before - self.rules.len()
+    }
+
+    /// Finds the highest-priority matching rule without bumping counters.
+    pub fn peek(&self, key: &LookupKey) -> Option<&FlowRule> {
+        self.rules.iter().find(|r| r.matcher.matches(key))
+    }
+
+    /// Looks up a packet, bumping the winning rule's counter.
+    pub fn lookup(&mut self, key: &LookupKey) -> Option<FlowRule> {
+        let rule = *self.rules.iter().find(|r| r.matcher.matches(key))?;
+        *self.counters.entry(rule.id).or_insert(0) += 1;
+        Some(rule)
+    }
+
+    /// A rule's match counter.
+    pub fn counter(&self, id: RuleId) -> u64 {
+        self.counters.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Iterates rules in priority order.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowRule> {
+        self.rules.iter()
+    }
+
+    /// Finds an installed rule by exact matcher equality.
+    pub fn find_by_match(&self, matcher: &Match) -> Option<&FlowRule> {
+        self.rules.iter().find(|r| &r.matcher == matcher)
+    }
+
+    /// Mutable handle to a rule (to repoint its action during
+    /// aggregation). The rule keeps its priority slot.
+    pub fn rule_mut(&mut self, id: RuleId) -> Option<&mut FlowRule> {
+        self.rules.iter_mut().find(|r| r.id == id)
+    }
+
+    /// Per-type occupancy.
+    pub fn stats(&self) -> TableStats {
+        let mut s = TableStats::default();
+        for r in &self.rules {
+            match RuleType::of(&r.matcher) {
+                RuleType::TagAndPrefix => s.tag_and_prefix += 1,
+                RuleType::TagOnly => s.tag_only += 1,
+                RuleType::PrefixOnly => s.prefix_only += 1,
+                RuleType::Other => s.other += 1,
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::{conventional_priority, Direction};
+    use softcell_packet::{build_flow_packet, FiveTuple, HeaderView, Protocol};
+    use softcell_types::{Ipv4Prefix, PolicyTag, PortEmbedding, PortNo};
+    use std::net::Ipv4Addr;
+
+    fn key_to(dst: Ipv4Addr, dst_port: u16) -> LookupKey {
+        let t = FiveTuple {
+            src: Ipv4Addr::new(198, 51, 100, 1),
+            dst,
+            src_port: 80,
+            dst_port,
+            proto: Protocol::Tcp,
+        };
+        let buf = build_flow_packet(t, 64, 0, &[]);
+        LookupKey {
+            in_port: PortNo(1),
+            view: HeaderView::parse(&buf).unwrap(),
+            version: 0,
+        }
+    }
+
+    #[test]
+    fn higher_priority_wins() {
+        let mut t = FlowTable::new();
+        t.install(10, Match::ANY, Action::Drop).unwrap();
+        t.install(20, Match::ANY, Action::Forward(PortNo(2)))
+            .unwrap();
+        let k = key_to(Ipv4Addr::new(10, 0, 0, 1), 80);
+        assert_eq!(
+            t.lookup(&k).unwrap().action,
+            Action::Forward(PortNo(2))
+        );
+    }
+
+    #[test]
+    fn ties_break_to_earlier_install() {
+        let mut t = FlowTable::new();
+        let first = t.install(10, Match::ANY, Action::Drop).unwrap();
+        t.install(10, Match::ANY, Action::ToController).unwrap();
+        let k = key_to(Ipv4Addr::new(10, 0, 0, 1), 80);
+        assert_eq!(t.lookup(&k).unwrap().id, first);
+    }
+
+    #[test]
+    fn type_priority_bands_give_paper_semantics() {
+        // Install a Type 3 (prefix), Type 2 (tag), Type 1 (tag+prefix) for
+        // overlapping traffic and check §7 resolution order.
+        let e = PortEmbedding::default_embedding();
+        let pref: Ipv4Prefix = "10.0.0.0/23".parse().unwrap();
+        let mut t = FlowTable::new();
+        let m3 = Match::prefix(Direction::Downlink, pref);
+        let m2 = Match::tag(Direction::Downlink, PolicyTag(4), &e);
+        let m1 = Match::tag_and_prefix(Direction::Downlink, PolicyTag(4), pref, &e);
+        t.install(conventional_priority(&m3), m3, Action::Forward(PortNo(3)))
+            .unwrap();
+        t.install(conventional_priority(&m2), m2, Action::Forward(PortNo(2)))
+            .unwrap();
+        t.install(conventional_priority(&m1), m1, Action::Forward(PortNo(1)))
+            .unwrap();
+
+        let tagged_port = e.encode(PolicyTag(4), 0).unwrap();
+        // matches all three → Type 1 wins
+        let k = key_to(Ipv4Addr::new(10, 0, 0, 5), tagged_port);
+        assert_eq!(t.lookup(&k).unwrap().action, Action::Forward(PortNo(1)));
+        // tag matches, prefix doesn't → Type 2
+        let k = key_to(Ipv4Addr::new(10, 0, 2, 5), tagged_port);
+        assert_eq!(t.lookup(&k).unwrap().action, Action::Forward(PortNo(2)));
+        // prefix matches, tag doesn't → Type 3
+        let other_port = e.encode(PolicyTag(9), 0).unwrap();
+        let k = key_to(Ipv4Addr::new(10, 0, 0, 5), other_port);
+        assert_eq!(t.lookup(&k).unwrap().action, Action::Forward(PortNo(3)));
+    }
+
+    #[test]
+    fn lpm_within_type3() {
+        let mut t = FlowTable::new();
+        let short = Match::prefix(Direction::Downlink, "10.0.0.0/16".parse().unwrap());
+        let long = Match::prefix(Direction::Downlink, "10.0.0.0/24".parse().unwrap());
+        t.install(conventional_priority(&short), short, Action::Forward(PortNo(1)))
+            .unwrap();
+        t.install(conventional_priority(&long), long, Action::Forward(PortNo(2)))
+            .unwrap();
+        let k = key_to(Ipv4Addr::new(10, 0, 0, 9), 80);
+        assert_eq!(t.lookup(&k).unwrap().action, Action::Forward(PortNo(2)));
+        let k = key_to(Ipv4Addr::new(10, 0, 5, 9), 80);
+        assert_eq!(t.lookup(&k).unwrap().action, Action::Forward(PortNo(1)));
+    }
+
+    #[test]
+    fn counters_count_hits() {
+        let mut t = FlowTable::new();
+        let id = t.install(10, Match::ANY, Action::Drop).unwrap();
+        let k = key_to(Ipv4Addr::new(1, 1, 1, 1), 80);
+        assert_eq!(t.counter(id), 0);
+        t.lookup(&k);
+        t.lookup(&k);
+        assert_eq!(t.counter(id), 2);
+        t.peek(&k);
+        assert_eq!(t.counter(id), 2, "peek must not bump counters");
+    }
+
+    #[test]
+    fn remove_and_remove_where() {
+        let mut t = FlowTable::new();
+        let a = t.install(10, Match::ANY, Action::Drop).unwrap();
+        let m = Match::prefix(Direction::Downlink, "10.0.0.0/8".parse().unwrap());
+        t.install(20, m, Action::Forward(PortNo(1))).unwrap();
+        assert_eq!(t.len(), 2);
+        t.remove(a).unwrap();
+        assert!(t.remove(a).is_err());
+        assert_eq!(t.remove_where(|r| r.matcher.location().is_some()), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut t = FlowTable::with_capacity(2);
+        t.install(1, Match::ANY, Action::Drop).unwrap();
+        t.install(1, Match::ANY, Action::Drop).unwrap();
+        assert!(t.install(1, Match::ANY, Action::Drop).is_err());
+        // freeing space allows installs again
+        let id = t.iter().next().unwrap().id;
+        t.remove(id).unwrap();
+        assert!(t.install(1, Match::ANY, Action::Drop).is_ok());
+    }
+
+    #[test]
+    fn stats_by_type() {
+        let e = PortEmbedding::default_embedding();
+        let pref: Ipv4Prefix = "10.0.0.0/23".parse().unwrap();
+        let mut t = FlowTable::new();
+        t.install(
+            1,
+            Match::tag_and_prefix(Direction::Downlink, PolicyTag(1), pref, &e),
+            Action::Drop,
+        )
+        .unwrap();
+        t.install(1, Match::tag(Direction::Downlink, PolicyTag(1), &e), Action::Drop)
+            .unwrap();
+        t.install(1, Match::prefix(Direction::Downlink, pref), Action::Drop)
+            .unwrap();
+        t.install(1, Match::ANY, Action::Drop).unwrap();
+        let s = t.stats();
+        assert_eq!(
+            (s.tag_and_prefix, s.tag_only, s.prefix_only, s.other),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(s.total(), 4);
+    }
+
+    #[test]
+    fn find_by_match_and_rule_mut() {
+        let mut t = FlowTable::new();
+        let m = Match::prefix(Direction::Downlink, "10.0.0.0/8".parse().unwrap());
+        let id = t.install(5, m, Action::Forward(PortNo(1))).unwrap();
+        assert_eq!(t.find_by_match(&m).unwrap().id, id);
+        t.rule_mut(id).unwrap().action = Action::Forward(PortNo(9));
+        assert_eq!(
+            t.find_by_match(&m).unwrap().action,
+            Action::Forward(PortNo(9))
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Packet wire format for the SoftCell data plane.
+//!
+//! Follows the smoltcp idiom: a packet type is a thin wrapper around a byte
+//! buffer (`Ipv4Packet<T: AsRef<[u8]>>`), validated once on construction
+//! (`new_checked`) and then accessed through typed getters/setters. Mutable
+//! buffers (`T: AsMut<[u8]>`) allow in-place rewriting, which is exactly
+//! what SoftCell's access switches do: translate the permanent UE address
+//! to the location-dependent address and push the policy tag into the
+//! source port (paper §4.1, Fig. 4).
+//!
+//! Modules:
+//! * [`ipv4`] — IPv4 header parsing/emission with checksums.
+//! * [`transport`] — TCP segments and UDP datagrams (ports + the fields the
+//!   simulator needs).
+//! * [`flow`] — five-tuples and header views extracted from wire packets;
+//!   what the switch pipeline matches on.
+//! * [`embed`] — the access-edge rewrite: permanent address ⇄ LocIP, tag
+//!   embedding, and the inverse for downlink delivery.
+//! * [`nat`] — per-flow NAT at the gateway edge (paper §4.1 privacy
+//!   discussion): a fresh public (address, port) per flow, uncorrelated
+//!   with UE location.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod embed;
+pub mod flow;
+pub mod ipv4;
+pub mod nat;
+pub mod transport;
+
+pub use embed::AccessRewriter;
+pub use flow::{build_flow_packet, FiveTuple, HeaderView, Protocol};
+pub use ipv4::Ipv4Packet;
+pub use nat::{FlowNat, NatBinding};
+pub use transport::{TcpSegment, UdpDatagram};

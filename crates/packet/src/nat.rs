@@ -1,0 +1,340 @@
+//! Per-flow NAT at the gateway edge.
+//!
+//! Embedding the LocIP in the source address leaks UE location to Internet
+//! servers (an address change reveals a handoff). SoftCell's answer (paper
+//! §4.1) is a gateway NAT that picks a **fresh public address and port for
+//! every flow**, whether or not the UE moves, so public identifiers cannot
+//! be correlated with location. [`FlowNat`] implements exactly that
+//! contract: per-flow bindings drawn pseudo-randomly from a public pool,
+//! with translation in both directions and explicit release.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use softcell_types::{Error, Ipv4Prefix, Result};
+
+use crate::flow::{FiveTuple, HeaderView, Protocol};
+
+/// One NAT binding: an inner (LocIP-side) flow mapped to a public
+/// (address, port) facing the Internet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NatBinding {
+    /// The inner five-tuple (source = LocIP + embedded port).
+    pub inner: FiveTuple,
+    /// The public source address presented to the Internet.
+    pub public_addr: Ipv4Addr,
+    /// The public source port presented to the Internet.
+    pub public_port: u16,
+}
+
+/// Key identifying an inbound (Internet → UE) packet's binding.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct InboundKey {
+    public_addr: Ipv4Addr,
+    public_port: u16,
+    remote: Ipv4Addr,
+    remote_port: u16,
+    proto: Protocol,
+}
+
+/// A flow-granularity NAT over a pool of public addresses.
+///
+/// Allocation is deterministic given the seed (reproducible simulations)
+/// but *sequence-dependent*, so successive flows of one UE land on
+/// unrelated public endpoints — the privacy property the paper requires.
+#[derive(Debug)]
+pub struct FlowNat {
+    pool: Ipv4Prefix,
+    rng_state: u64,
+    outbound: HashMap<FiveTuple, NatBinding>,
+    inbound: HashMap<InboundKey, NatBinding>,
+}
+
+impl FlowNat {
+    /// Creates a NAT over `pool` (must hold at least 2 addresses to make
+    /// correlation non-trivial) with a deterministic seed.
+    pub fn new(pool: Ipv4Prefix, seed: u64) -> Result<Self> {
+        if pool.len() > 30 {
+            return Err(Error::Config(format!(
+                "public pool {pool} too small for flow NAT"
+            )));
+        }
+        Ok(FlowNat {
+            pool,
+            rng_state: seed | 1,
+            outbound: HashMap::new(),
+            inbound: HashMap::new(),
+        })
+    }
+
+    /// Number of live bindings.
+    pub fn active(&self) -> usize {
+        self.outbound.len()
+    }
+
+    /// xorshift64* — small, deterministic, good enough for endpoint
+    /// scattering (not security).
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Binds an outbound flow, allocating a fresh public endpoint. If the
+    /// flow is already bound, the existing binding is returned (a NAT must
+    /// be idempotent per flow).
+    pub fn bind_outbound(&mut self, inner: FiveTuple) -> Result<NatBinding> {
+        if let Some(b) = self.outbound.get(&inner) {
+            return Ok(*b);
+        }
+        // Rejection-sample an unused (addr, port) pair. The pool is
+        // vastly larger than the binding count in practice; cap attempts
+        // so a pathological fill degrades to an error, not a spin.
+        for _ in 0..1024 {
+            let r = self.next_rand();
+            let addr_off = (r >> 16) % self.pool.size();
+            let public_addr = Ipv4Addr::from(self.pool.raw_bits() + addr_off as u32);
+            // Ports below 1024 are left unused, as real CGNs do.
+            let public_port = 1024 + (r as u16 % (u16::MAX - 1024));
+            let key = InboundKey {
+                public_addr,
+                public_port,
+                remote: inner.dst,
+                remote_port: inner.dst_port,
+                proto: inner.proto,
+            };
+            if self.inbound.contains_key(&key) {
+                continue;
+            }
+            let binding = NatBinding {
+                inner,
+                public_addr,
+                public_port,
+            };
+            self.outbound.insert(inner, binding);
+            self.inbound.insert(key, binding);
+            return Ok(binding);
+        }
+        Err(Error::Exhausted(format!(
+            "no free public endpoint in {} after 1024 attempts ({} active)",
+            self.pool,
+            self.active()
+        )))
+    }
+
+    /// Translates an outbound packet's source to its public endpoint,
+    /// in place. Returns the binding used.
+    pub fn translate_outbound(&mut self, buffer: &mut [u8]) -> Result<NatBinding> {
+        let view = HeaderView::parse(buffer)?;
+        let binding = self.bind_outbound(view.tuple)?;
+        super::embed::rewrite_src_public(buffer, binding.public_addr, binding.public_port)?;
+        Ok(binding)
+    }
+
+    /// Looks up the binding for an inbound packet (destination = public
+    /// endpoint) without rewriting.
+    pub fn lookup_inbound(&self, view: &HeaderView) -> Option<&NatBinding> {
+        self.inbound.get(&InboundKey {
+            public_addr: view.dst(),
+            public_port: view.dst_port(),
+            remote: view.src(),
+            remote_port: view.src_port(),
+            proto: view.tuple.proto,
+        })
+    }
+
+    /// Translates an inbound packet's destination back to the inner
+    /// (LocIP, embedded port), in place.
+    pub fn translate_inbound(&self, buffer: &mut [u8]) -> Result<NatBinding> {
+        let view = HeaderView::parse(buffer)?;
+        let binding = *self.lookup_inbound(&view).ok_or_else(|| {
+            Error::NotFound(format!(
+                "no NAT binding for inbound {}:{}",
+                view.dst(),
+                view.dst_port()
+            ))
+        })?;
+        super::embed::rewrite_dst_public(buffer, binding.inner.src, binding.inner.src_port)?;
+        Ok(binding)
+    }
+
+    /// Releases a binding when its flow ends.
+    pub fn release(&mut self, inner: &FiveTuple) -> bool {
+        if let Some(b) = self.outbound.remove(inner) {
+            self.inbound.remove(&InboundKey {
+                public_addr: b.public_addr,
+                public_port: b.public_port,
+                remote: inner.dst,
+                remote_port: inner.dst_port,
+                proto: inner.proto,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rebinds every flow of a moved UE onto the same public endpoints but
+    /// a new inner source — used when the controller re-homes in-progress
+    /// flows. The Internet-visible endpoint must NOT change (that is the
+    /// whole point of the NAT), so only the inner side is updated.
+    pub fn rehome_inner(&mut self, old_src: Ipv4Addr, new_src: Ipv4Addr) -> usize {
+        let moved: Vec<FiveTuple> = self
+            .outbound
+            .keys()
+            .filter(|t| t.src == old_src)
+            .copied()
+            .collect();
+        for old in &moved {
+            let mut binding = self.outbound.remove(old).expect("key just listed");
+            let new_inner = FiveTuple {
+                src: new_src,
+                ..*old
+            };
+            binding.inner = new_inner;
+            let key = InboundKey {
+                public_addr: binding.public_addr,
+                public_port: binding.public_port,
+                remote: old.dst,
+                remote_port: old.dst_port,
+                proto: old.proto,
+            };
+            self.inbound.insert(key, binding);
+            self.outbound.insert(new_inner, binding);
+        }
+        moved.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::build_flow_packet;
+
+    fn pool() -> Ipv4Prefix {
+        "203.0.113.0/24".parse().unwrap()
+    }
+
+    fn inner_tuple(ue: u8, port: u16) -> FiveTuple {
+        FiveTuple {
+            src: Ipv4Addr::new(10, 0, 0, ue),
+            dst: Ipv4Addr::new(93, 184, 216, 34),
+            src_port: port,
+            dst_port: 443,
+            proto: Protocol::Tcp,
+        }
+    }
+
+    #[test]
+    fn binding_is_idempotent_per_flow() {
+        let mut nat = FlowNat::new(pool(), 7).unwrap();
+        let b1 = nat.bind_outbound(inner_tuple(1, 1000)).unwrap();
+        let b2 = nat.bind_outbound(inner_tuple(1, 1000)).unwrap();
+        assert_eq!(b1, b2);
+        assert_eq!(nat.active(), 1);
+    }
+
+    #[test]
+    fn different_flows_get_different_endpoints() {
+        let mut nat = FlowNat::new(pool(), 7).unwrap();
+        let b1 = nat.bind_outbound(inner_tuple(1, 1000)).unwrap();
+        let b2 = nat.bind_outbound(inner_tuple(1, 1001)).unwrap();
+        assert_ne!(
+            (b1.public_addr, b1.public_port),
+            (b2.public_addr, b2.public_port),
+            "fresh endpoint per flow is the privacy contract"
+        );
+        assert!(pool().contains(b1.public_addr));
+        assert!(b1.public_port >= 1024);
+    }
+
+    #[test]
+    fn outbound_then_inbound_round_trips_packets() {
+        let mut nat = FlowNat::new(pool(), 42).unwrap();
+        let t = inner_tuple(9, 5555);
+        let mut up = build_flow_packet(t, 64, 0, b"out");
+        let binding = nat.translate_outbound(&mut up).unwrap();
+        let up_view = HeaderView::parse(&up).unwrap();
+        assert_eq!(up_view.src(), binding.public_addr);
+        assert_eq!(up_view.src_port(), binding.public_port);
+
+        // the server replies to what it saw
+        let mut down = build_flow_packet(up_view.tuple.reverse(), 64, 0, b"in");
+        let b2 = nat.translate_inbound(&mut down).unwrap();
+        assert_eq!(b2.inner, t);
+        let down_view = HeaderView::parse(&down).unwrap();
+        assert_eq!(down_view.dst(), t.src);
+        assert_eq!(down_view.dst_port(), t.src_port);
+    }
+
+    #[test]
+    fn inbound_without_binding_is_rejected() {
+        let nat = FlowNat::new(pool(), 1).unwrap();
+        let mut stray = build_flow_packet(
+            FiveTuple {
+                src: Ipv4Addr::new(198, 51, 100, 1),
+                dst: Ipv4Addr::new(203, 0, 113, 50),
+                src_port: 80,
+                dst_port: 2000,
+                proto: Protocol::Tcp,
+            },
+            64,
+            0,
+            &[],
+        );
+        assert!(nat.translate_inbound(&mut stray).is_err());
+    }
+
+    #[test]
+    fn release_frees_both_directions() {
+        let mut nat = FlowNat::new(pool(), 3).unwrap();
+        let t = inner_tuple(2, 7777);
+        let b = nat.bind_outbound(t).unwrap();
+        assert!(nat.release(&t));
+        assert!(!nat.release(&t));
+        assert_eq!(nat.active(), 0);
+        let ret = FiveTuple {
+            src: t.dst,
+            dst: b.public_addr,
+            src_port: t.dst_port,
+            dst_port: b.public_port,
+            proto: t.proto,
+        };
+        let view = HeaderView::parse(&build_flow_packet(ret, 64, 0, &[])).unwrap();
+        assert!(nat.lookup_inbound(&view).is_none());
+    }
+
+    #[test]
+    fn rehome_preserves_public_endpoint() {
+        // UE moves: inner LocIP changes, public endpoint must not.
+        let mut nat = FlowNat::new(pool(), 5).unwrap();
+        let old = inner_tuple(1, 1000);
+        let b_before = nat.bind_outbound(old).unwrap();
+        let new_src = Ipv4Addr::new(10, 0, 4, 1);
+        assert_eq!(nat.rehome_inner(old.src, new_src), 1);
+
+        let new_inner = FiveTuple { src: new_src, ..old };
+        let b_after = nat.bind_outbound(new_inner).unwrap();
+        assert_eq!(b_after.public_addr, b_before.public_addr);
+        assert_eq!(b_after.public_port, b_before.public_port);
+        assert_eq!(nat.active(), 1);
+    }
+
+    #[test]
+    fn deterministic_across_same_seed() {
+        let mut a = FlowNat::new(pool(), 99).unwrap();
+        let mut b = FlowNat::new(pool(), 99).unwrap();
+        for port in 1000..1010 {
+            let t = inner_tuple(1, port);
+            assert_eq!(a.bind_outbound(t).unwrap(), b.bind_outbound(t).unwrap());
+        }
+    }
+
+    #[test]
+    fn tiny_pool_is_rejected() {
+        assert!(FlowNat::new("203.0.113.0/31".parse().unwrap(), 1).is_err());
+    }
+}

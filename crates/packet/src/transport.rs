@@ -1,0 +1,347 @@
+//! TCP and UDP header wrappers.
+//!
+//! SoftCell's data plane matches on transport ports (the policy tag lives
+//! in the source port, paper §4.1) and its simulator tracks connections by
+//! five-tuple plus TCP flags (SYN/FIN delimit flow lifetime for microflow
+//! rule timeouts). These wrappers expose exactly those fields in the same
+//! checked-buffer style as [`crate::ipv4::Ipv4Packet`].
+
+use std::fmt;
+
+use softcell_types::{Error, Result};
+
+/// Minimum TCP header length (no options).
+pub const TCP_HEADER_LEN: usize = 20;
+/// UDP header length.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// TCP flag bits (subset the simulator uses).
+pub mod tcp_flags {
+    /// Connection open.
+    pub const SYN: u8 = 0x02;
+    /// Acknowledgement.
+    pub const ACK: u8 = 0x10;
+    /// Orderly close.
+    pub const FIN: u8 = 0x01;
+    /// Abortive close.
+    pub const RST: u8 = 0x04;
+}
+
+/// A TCP segment backed by a byte buffer.
+#[derive(Clone, PartialEq, Eq)]
+pub struct TcpSegment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpSegment<T> {
+    /// Wraps without validation.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        TcpSegment { buffer }
+    }
+
+    /// Wraps and validates buffer length and data offset.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let seg = TcpSegment { buffer };
+        let data = seg.buffer.as_ref();
+        if data.len() < TCP_HEADER_LEN {
+            return Err(Error::Malformed(format!(
+                "buffer {} bytes < 20-byte TCP header",
+                data.len()
+            )));
+        }
+        let offset = (data[12] >> 4) as usize * 4;
+        if offset < TCP_HEADER_LEN || offset > data.len() {
+            return Err(Error::Malformed(format!(
+                "TCP data offset {offset} invalid for {}-byte buffer",
+                data.len()
+            )));
+        }
+        Ok(seg)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[0], d[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq_number(&self) -> u32 {
+        let d = self.buffer.as_ref();
+        u32::from_be_bytes([d[4], d[5], d[6], d[7]])
+    }
+
+    /// Acknowledgement number.
+    pub fn ack_number(&self) -> u32 {
+        let d = self.buffer.as_ref();
+        u32::from_be_bytes([d[8], d[9], d[10], d[11]])
+    }
+
+    /// Flag byte (low 8 flag bits).
+    pub fn flags(&self) -> u8 {
+        self.buffer.as_ref()[13]
+    }
+
+    /// Whether SYN is set.
+    pub fn is_syn(&self) -> bool {
+        self.flags() & tcp_flags::SYN != 0
+    }
+
+    /// Whether FIN is set.
+    pub fn is_fin(&self) -> bool {
+        self.flags() & tcp_flags::FIN != 0
+    }
+
+    /// Whether RST is set.
+    pub fn is_rst(&self) -> bool {
+        self.flags() & tcp_flags::RST != 0
+    }
+
+    /// Payload after the TCP header.
+    pub fn payload(&self) -> &[u8] {
+        let offset = (self.buffer.as_ref()[12] >> 4) as usize * 4;
+        &self.buffer.as_ref()[offset..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
+    /// Sets the source port — the access-edge rewrite target.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the sequence number.
+    pub fn set_seq_number(&mut self, seq: u32) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&seq.to_be_bytes());
+    }
+
+    /// Sets the acknowledgement number.
+    pub fn set_ack_number(&mut self, ack: u32) {
+        self.buffer.as_mut()[8..12].copy_from_slice(&ack.to_be_bytes());
+    }
+
+    /// Sets the data offset to 20 bytes (no options).
+    pub fn set_header_len_basic(&mut self) {
+        self.buffer.as_mut()[12] = 5 << 4;
+    }
+
+    /// Sets the flag byte.
+    pub fn set_flags(&mut self, flags: u8) {
+        self.buffer.as_mut()[13] = flags;
+    }
+}
+
+impl<T: AsRef<[u8]>> fmt::Debug for TcpSegment<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TcpSegment {{ {} -> {}, seq {}, flags {:#04x} }}",
+            self.src_port(),
+            self.dst_port(),
+            self.seq_number(),
+            self.flags()
+        )
+    }
+}
+
+/// Builds a minimal 20-byte TCP header plus payload.
+pub fn build_tcp(src_port: u16, dst_port: u16, seq: u32, flags: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = vec![0u8; TCP_HEADER_LEN + payload.len()];
+    buf[TCP_HEADER_LEN..].copy_from_slice(payload);
+    let mut seg = TcpSegment::new_unchecked(&mut buf[..]);
+    seg.set_src_port(src_port);
+    seg.set_dst_port(dst_port);
+    seg.set_seq_number(seq);
+    seg.set_header_len_basic();
+    seg.set_flags(flags);
+    buf
+}
+
+/// A UDP datagram backed by a byte buffer.
+#[derive(Clone, PartialEq, Eq)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wraps without validation.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        UdpDatagram { buffer }
+    }
+
+    /// Wraps and validates buffer and length field.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let dg = UdpDatagram { buffer };
+        let data = dg.buffer.as_ref();
+        if data.len() < UDP_HEADER_LEN {
+            return Err(Error::Malformed(format!(
+                "buffer {} bytes < 8-byte UDP header",
+                data.len()
+            )));
+        }
+        let len = u16::from_be_bytes([data[4], data[5]]) as usize;
+        if len < UDP_HEADER_LEN || len > data.len() {
+            return Err(Error::Malformed(format!(
+                "UDP length {len} invalid for {}-byte buffer",
+                data.len()
+            )));
+        }
+        Ok(dg)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[0], d[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// UDP length field.
+    pub fn len_field(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[4], d[5]])
+    }
+
+    /// Payload after the UDP header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[UDP_HEADER_LEN..self.len_field() as usize]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Sets the source port — the access-edge rewrite target.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the UDP length field.
+    pub fn set_len_field(&mut self, len: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&len.to_be_bytes());
+    }
+}
+
+impl<T: AsRef<[u8]>> fmt::Debug for UdpDatagram<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "UdpDatagram {{ {} -> {}, len {} }}",
+            self.src_port(),
+            self.dst_port(),
+            self.len_field()
+        )
+    }
+}
+
+/// Builds a UDP header plus payload.
+pub fn build_udp(src_port: u16, dst_port: u16, payload: &[u8]) -> Vec<u8> {
+    let total = UDP_HEADER_LEN + payload.len();
+    let mut buf = vec![0u8; total];
+    buf[UDP_HEADER_LEN..].copy_from_slice(payload);
+    let mut dg = UdpDatagram::new_unchecked(&mut buf[..]);
+    dg.set_src_port(src_port);
+    dg.set_dst_port(dst_port);
+    dg.set_len_field(total as u16);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tcp_build_parse_round_trips() {
+        let buf = build_tcp(49152, 80, 1000, tcp_flags::SYN, b"GET /");
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert_eq!(seg.src_port(), 49152);
+        assert_eq!(seg.dst_port(), 80);
+        assert_eq!(seg.seq_number(), 1000);
+        assert!(seg.is_syn());
+        assert!(!seg.is_fin());
+        assert_eq!(seg.payload(), b"GET /");
+    }
+
+    #[test]
+    fn tcp_rejects_short_and_bad_offset() {
+        assert!(TcpSegment::new_checked(&[0u8; 19][..]).is_err());
+        let mut buf = build_tcp(1, 2, 0, 0, &[]);
+        buf[12] = 0xf0; // offset 60 > buffer
+        assert!(TcpSegment::new_checked(&buf[..]).is_err());
+        buf[12] = 0x10; // offset 4 < 20
+        assert!(TcpSegment::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn tcp_flag_predicates() {
+        let buf = build_tcp(1, 2, 0, tcp_flags::FIN | tcp_flags::ACK, &[]);
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert!(seg.is_fin() && !seg.is_syn() && !seg.is_rst());
+    }
+
+    #[test]
+    fn udp_build_parse_round_trips() {
+        let buf = build_udp(5060, 5060, b"INVITE");
+        let dg = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(dg.src_port(), 5060);
+        assert_eq!(dg.dst_port(), 5060);
+        assert_eq!(dg.payload(), b"INVITE");
+    }
+
+    #[test]
+    fn udp_rejects_short_and_bad_len() {
+        assert!(UdpDatagram::new_checked(&[0u8; 7][..]).is_err());
+        let mut buf = build_udp(1, 2, b"x");
+        buf[4] = 0xff; // length 0xff__ way beyond buffer
+        assert!(UdpDatagram::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn src_port_rewrite_in_place() {
+        let mut buf = build_tcp(1111, 80, 0, 0, &[]);
+        let mut seg = TcpSegment::new_unchecked(&mut buf[..]);
+        seg.set_src_port(2222);
+        assert_eq!(TcpSegment::new_checked(&buf[..]).unwrap().src_port(), 2222);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tcp_round_trip(sp in any::<u16>(), dp in any::<u16>(), seq in any::<u32>(), flags in any::<u8>()) {
+            let buf = build_tcp(sp, dp, seq, flags, &[]);
+            let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+            prop_assert_eq!(seg.src_port(), sp);
+            prop_assert_eq!(seg.dst_port(), dp);
+            prop_assert_eq!(seg.seq_number(), seq);
+            prop_assert_eq!(seg.flags(), flags);
+        }
+
+        #[test]
+        fn prop_udp_round_trip(sp in any::<u16>(), dp in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..32)) {
+            let buf = build_udp(sp, dp, &payload);
+            let dg = UdpDatagram::new_checked(&buf[..]).unwrap();
+            prop_assert_eq!(dg.src_port(), sp);
+            prop_assert_eq!(dg.dst_port(), dp);
+            prop_assert_eq!(dg.payload(), &payload[..]);
+        }
+    }
+}

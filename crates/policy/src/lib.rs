@@ -1,0 +1,34 @@
+//! The SoftCell service-policy language (paper §2.2).
+//!
+//! A **service policy** is a prioritized list of clauses; each clause has
+//! a *predicate* (a boolean expression over subscriber attributes and
+//! application types) and a *service action* (an ordered middlebox chain
+//! plus QoS and access control). The controller — never the switches —
+//! resolves these high-level clauses; the data plane sees only tags.
+//!
+//! * [`attributes`] — subscriber attributes: provider, billing plan,
+//!   device type, roaming, usage cap...
+//! * [`application`] — application types and the port-signature
+//!   classifier that recognizes them in traffic.
+//! * [`predicate`] — the boolean predicate AST and its evaluator.
+//! * [`clause`] — clauses, actions, QoS classes, and [`ServicePolicy`]
+//!   with highest-priority-wins matching, including the paper's Table 1
+//!   as a ready-made example.
+//! * [`classifier`] — the per-UE **packet classifiers** the controller
+//!   computes and local agents cache (§4.2): the policy specialized to
+//!   one subscriber, keyed by flow header fields.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod application;
+pub mod attributes;
+pub mod classifier;
+pub mod clause;
+pub mod predicate;
+
+pub use application::{AppClassifier, ApplicationType};
+pub use attributes::{BillingPlan, DeviceType, Provider, SubscriberAttributes};
+pub use classifier::{ClassifierEntry, UeClassifier};
+pub use clause::{AccessControl, Clause, ClauseId, QosClass, ServiceAction, ServicePolicy};
+pub use predicate::Predicate;

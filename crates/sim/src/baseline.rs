@@ -1,0 +1,270 @@
+//! Baseline rule-count comparators for the aggregation ablation.
+//!
+//! SoftCell's §3.1 motivates multi-dimensional aggregation against two
+//! classical designs, and our ablation bench quantifies the gap on the
+//! same topology and policy-path workload:
+//!
+//! * **Flat tag routing** (VLAN/MPLS-style, the paper's "tag-based
+//!   routing scales poorly as it enforces flat routing"): every policy
+//!   path gets its own label; every switch on the path holds one entry
+//!   per label. No sharing, no aggregation.
+//! * **Per-flow rules** (Ethane/PLayer-style reactive installation):
+//!   every *flow* installs an entry at every on-path switch; reported as
+//!   flat-tag counts times the expected flows per path.
+//! * **Location-only routing** (plain IP): destination-prefix rules
+//!   with sibling aggregation — the lower bound, but unable to express
+//!   any policy (every path collapses onto shortest paths; middlebox
+//!   steering is impossible). Included to show what aggregation alone
+//!   buys *without* the policy dimension.
+//!
+//! All three consume [`softcell_topology::PolicyPath`]s so they see the
+//! byte-identical workload the real installer sees.
+
+use std::collections::HashMap;
+
+use softcell_topology::{PolicyPath, Topology};
+use softcell_types::{AddressingScheme, Ipv4Prefix, Result, SwitchId};
+
+/// Rule counts per switch for one baseline.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineCounts {
+    counts: Vec<usize>,
+}
+
+impl BaselineCounts {
+    fn new(n: usize) -> Self {
+        BaselineCounts {
+            counts: vec![0; n],
+        }
+    }
+
+    /// Per-switch rule counts.
+    pub fn per_switch(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// The maximum table size.
+    pub fn max(&self) -> usize {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The median table size over switches holding at least one rule.
+    pub fn median_nonzero(&self) -> usize {
+        let mut nz: Vec<usize> = self.counts.iter().copied().filter(|&c| c > 0).collect();
+        if nz.is_empty() {
+            return 0;
+        }
+        nz.sort_unstable();
+        nz[nz.len() / 2]
+    }
+
+    /// Total rules network-wide.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+/// Flat tag routing: one fresh label per path, one rule per on-path
+/// switch (including middlebox-return legs, which also need an entry).
+#[derive(Debug)]
+pub struct FlatTagBaseline {
+    counts: BaselineCounts,
+    paths: usize,
+}
+
+impl FlatTagBaseline {
+    /// Creates the baseline over a topology.
+    pub fn new(topo: &Topology) -> Self {
+        FlatTagBaseline {
+            counts: BaselineCounts::new(topo.switch_count()),
+            paths: 0,
+        }
+    }
+
+    /// Accounts one policy path.
+    pub fn install(&mut self, path: &PolicyPath) {
+        // one rule per forwarding decision: each hop forwards once
+        // (including the gateway's exit decision), plus one extra rule
+        // per middlebox traversal (the return leg)
+        for hop in &path.hops {
+            self.counts.counts[hop.switch.index()] += 1;
+            if hop.mb_after.is_some() {
+                self.counts.counts[hop.switch.index()] += 1;
+            }
+        }
+        self.paths += 1;
+    }
+
+    /// The counts.
+    pub fn counts(&self) -> &BaselineCounts {
+        &self.counts
+    }
+
+    /// Labels consumed (= paths installed).
+    pub fn labels_used(&self) -> usize {
+        self.paths
+    }
+}
+
+/// Per-flow rules: flat-tag shape scaled by expected concurrent flows
+/// per path.
+pub fn per_flow_estimate(flat: &BaselineCounts, flows_per_path: usize) -> BaselineCounts {
+    BaselineCounts {
+        counts: flat
+            .per_switch()
+            .iter()
+            .map(|c| c * flows_per_path)
+            .collect(),
+    }
+}
+
+/// Location-only routing: destination-prefix rules along each path with
+/// contiguous-sibling aggregation — the policy-free lower bound. Paths
+/// that need middlebox steering simply cannot be expressed; only the
+/// prefix → next-hop mapping is installed (last writer wins, as plain
+/// IP routing would converge to one next hop per prefix).
+#[derive(Debug)]
+pub struct LocationOnlyBaseline {
+    scheme: AddressingScheme,
+    /// per switch: prefix → next hop, with sibling merging
+    tables: Vec<HashMap<Ipv4Prefix, SwitchId>>,
+}
+
+impl LocationOnlyBaseline {
+    /// Creates the baseline.
+    pub fn new(topo: &Topology, scheme: AddressingScheme) -> Self {
+        LocationOnlyBaseline {
+            scheme,
+            tables: vec![HashMap::new(); topo.switch_count()],
+        }
+    }
+
+    /// Accounts one policy path (its location component only: the
+    /// downlink route towards the origin station).
+    pub fn install(&mut self, path: &PolicyPath) -> Result<()> {
+        let prefix = self.scheme.base_station_prefix(path.origin)?;
+        // downlink: walk the reversed switch sequence
+        let switches: Vec<SwitchId> = {
+            let mut s: Vec<SwitchId> = path.hops.iter().map(|h| h.switch).collect();
+            s.dedup();
+            s.reverse();
+            s
+        };
+        for w in switches.windows(2) {
+            let (sw, next) = (w[0], w[1]);
+            let table = &mut self.tables[sw.index()];
+            if table.get(&prefix) == Some(&next) {
+                continue;
+            }
+            // insert with sibling aggregation
+            let mut p = prefix;
+            table.insert(p, next);
+            while let Some(sib) = p.sibling() {
+                if table.get(&sib) == Some(&next) {
+                    let parent = p.parent().expect("sibling exists");
+                    if table.get(&p) == Some(&next) {
+                        table.remove(&p);
+                    }
+                    table.remove(&sib);
+                    table.insert(parent, next);
+                    p = parent;
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The counts.
+    pub fn counts(&self) -> BaselineCounts {
+        BaselineCounts {
+            counts: self.tables.iter().map(|t| t.len()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softcell_topology::{small_topology, ShortestPaths};
+    use softcell_types::{BaseStationId, MiddleboxKind};
+
+    fn paths(topo: &Topology, n_per_bs: usize) -> Vec<PolicyPath> {
+        let mut sp = ShortestPaths::new(topo);
+        let gw = topo.default_gateway().switch;
+        let fw = topo.instances_of(MiddleboxKind::Firewall)[0];
+        let tc = topo.instances_of(MiddleboxKind::Transcoder)[0];
+        let chains: [&[_]; 2] = [&[fw], &[fw, tc]];
+        let mut out = Vec::new();
+        for bs in 0..topo.base_stations().len() {
+            for c in 0..n_per_bs {
+                let chain = chains[c % 2];
+                out.push(
+                    sp.route_policy_path(BaseStationId(bs as u32), chain, gw)
+                        .unwrap(),
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn flat_tag_grows_linearly_with_paths() {
+        let topo = small_topology();
+        let mut flat = FlatTagBaseline::new(&topo);
+        for p in paths(&topo, 2) {
+            flat.install(&p);
+        }
+        assert_eq!(flat.labels_used(), 8);
+        // every path touches the gateway at least once (its exit hop)
+        let gw = topo.default_gateway().switch;
+        assert!(flat.counts().per_switch()[gw.index()] >= 8);
+        assert!(flat.counts().total() > 8 * 3);
+    }
+
+    #[test]
+    fn per_flow_multiplies() {
+        let topo = small_topology();
+        let mut flat = FlatTagBaseline::new(&topo);
+        for p in paths(&topo, 1) {
+            flat.install(&p);
+        }
+        let per_flow = per_flow_estimate(flat.counts(), 10);
+        assert_eq!(per_flow.total(), flat.counts().total() * 10);
+        assert_eq!(per_flow.max(), flat.counts().max() * 10);
+    }
+
+    #[test]
+    fn location_only_aggregates_siblings() {
+        let topo = small_topology();
+        let scheme = AddressingScheme::default_scheme();
+        let mut loc = LocationOnlyBaseline::new(&topo, scheme);
+        for p in paths(&topo, 1) {
+            loc.install(&p).unwrap();
+        }
+        let counts = loc.counts();
+        // stations 0,1 hang off agg1 and 2,3 off agg2: at the gateway
+        // the four /23 prefixes reduce towards two aggregated routes
+        // (or fewer), never four
+        let gw = topo.default_gateway().switch;
+        assert!(
+            counts.per_switch()[gw.index()] <= 2,
+            "gateway holds {} routes",
+            counts.per_switch()[gw.index()]
+        );
+        assert!(counts.total() < FlatTagBaseline::new(&topo).counts().total() + 100);
+    }
+
+    #[test]
+    fn median_and_max_statistics() {
+        let c = BaselineCounts {
+            counts: vec![0, 5, 3, 9, 0, 1],
+        };
+        assert_eq!(c.max(), 9);
+        assert_eq!(c.median_nonzero(), 5);
+        assert_eq!(c.total(), 18);
+        let empty = BaselineCounts { counts: vec![0, 0] };
+        assert_eq!(empty.median_nonzero(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! End-to-end SoftCell network simulation.
+//!
+//! Everything below the controller is real here: packets are bytes,
+//! switches run their lookup pipelines, middleboxes record the
+//! connections they see. The simulator wires the pieces of the other
+//! crates into a running network and checks the architecture's
+//! *promises*:
+//!
+//! * flows reach the Internet through exactly the middlebox chain their
+//!   clause prescribes, and the return traffic retraces it — in reverse
+//!   order, through the *same instances* (paper §2.1, §5.1);
+//! * the gateway edge performs no classification: downlink forwarding
+//!   succeeds purely on the embedded destination state (§4.1);
+//! * handoffs preserve policy consistency for ongoing flows while new
+//!   flows take fresh paths (§5.1).
+//!
+//! Modules:
+//! * [`net`] — the physical network: switches built from a topology,
+//!   rule application, and the hop-by-hop packet walker.
+//! * [`middlebox`] — stateful middlebox instances tracking per-connection
+//!   traversals (the policy-consistency witness).
+//! * [`world`] — the full harness: controller + agents + network +
+//!   Internet echo, with attach/flow/handoff drivers.
+//! * [`baseline`] — rule-count comparators (flat tag routing, per-flow
+//!   rules, location-only routing) for the aggregation ablation.
+//! * [`figure7`] — the §6.3 large-scale rule-count experiment driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod figure7;
+pub mod middlebox;
+pub mod net;
+pub mod world;
+
+pub use figure7::{Figure7Config, Figure7Result};
+pub use middlebox::MiddleboxTracker;
+pub use net::{PhysicalNetwork, WalkOutcome};
+pub use world::SimWorld;

@@ -1,0 +1,351 @@
+//! Stateful middlebox instances — the policy-consistency witness.
+//!
+//! SoftCell promises that all packets of a connection, in both
+//! directions, traverse the same middlebox *instances* (paper §2.1
+//! "SoftCell supports stateful middleboxes", §5.1 under mobility). The
+//! tracker records, per instance, every connection observed; the
+//! [`MiddleboxTracker::chain_of`] reconstruction lets tests assert that
+//! a connection's uplink and downlink traversals name the same instances
+//! in mirrored order, across handoffs.
+//!
+//! Connections are keyed location-independently: a packet's (LocIP,
+//! remote endpoint, flow slot) triple survives tag swaps and direction
+//! changes, which is exactly what a real stateful middlebox keys on
+//! after SoftCell's rewrites.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use softcell_packet::HeaderView;
+use softcell_types::{AddressingScheme, Error, MiddleboxId, PortEmbedding, Result};
+
+/// The connection key a stateful middlebox tracks: the UE side (LocIP +
+/// flow slot) and the remote endpoint. Tag bits are deliberately
+/// excluded (downlink swaps may alter them mid-path).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ConnKey {
+    /// The UE's location-dependent address.
+    pub loc: Ipv4Addr,
+    /// The flow-slot bits of the embedded port.
+    pub slot: u16,
+    /// Remote (Internet) address.
+    pub remote: Ipv4Addr,
+    /// Remote port.
+    pub remote_port: u16,
+}
+
+/// Per-direction packet counts of one connection at one instance.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct TraversalCount {
+    /// UE → Internet packets seen.
+    pub uplink: u64,
+    /// Internet → UE packets seen.
+    pub downlink: u64,
+}
+
+/// Records traversals per middlebox instance.
+pub struct MiddleboxTracker {
+    scheme: AddressingScheme,
+    ports: PortEmbedding,
+    /// (instance, connection) → counts.
+    seen: HashMap<(MiddleboxId, ConnKey), TraversalCount>,
+    /// Traversal log: (walk id, key, instance, was_uplink). The walk id
+    /// identifies one packet's journey, so chains never merge across
+    /// packets.
+    log: Vec<(u64, ConnKey, MiddleboxId, bool)>,
+    next_walk: u64,
+    total: u64,
+}
+
+impl Default for MiddleboxTracker {
+    fn default() -> Self {
+        MiddleboxTracker {
+            scheme: AddressingScheme::default_scheme(),
+            ports: PortEmbedding::default_embedding(),
+            seen: HashMap::new(),
+            log: Vec::new(),
+            next_walk: 0,
+            total: 0,
+        }
+    }
+}
+
+impl MiddleboxTracker {
+    /// A tracker for a specific addressing configuration.
+    pub fn new(scheme: AddressingScheme, ports: PortEmbedding) -> Self {
+        MiddleboxTracker {
+            scheme,
+            ports,
+            ..MiddleboxTracker::default()
+        }
+    }
+
+    /// Extracts the connection key from a packet, inferring direction
+    /// from which end is a LocIP.
+    pub fn key_of(&self, view: &HeaderView) -> Result<(ConnKey, bool)> {
+        if self.scheme.is_loc_ip(view.src()) {
+            let (_, slot) = self.ports.decode(view.src_port());
+            Ok((
+                ConnKey {
+                    loc: view.src(),
+                    slot,
+                    remote: view.dst(),
+                    remote_port: view.dst_port(),
+                },
+                true,
+            ))
+        } else if self.scheme.is_loc_ip(view.dst()) {
+            let (_, slot) = self.ports.decode(view.dst_port());
+            Ok((
+                ConnKey {
+                    loc: view.dst(),
+                    slot,
+                    remote: view.src(),
+                    remote_port: view.src_port(),
+                },
+                false,
+            ))
+        } else {
+            Err(Error::InvalidState(format!(
+                "packet at middlebox carries no LocIP ({} -> {})",
+                view.src(),
+                view.dst()
+            )))
+        }
+    }
+
+    /// Starts a new packet walk, returning its id.
+    pub fn begin_walk(&mut self) -> u64 {
+        let id = self.next_walk;
+        self.next_walk += 1;
+        id
+    }
+
+    /// Records one packet (identified by its walk id) at one instance.
+    pub fn observe(&mut self, mb: MiddleboxId, buffer: &[u8], walk: u64) -> Result<()> {
+        let view = HeaderView::parse(buffer)?;
+        let (key, uplink) = self.key_of(&view)?;
+        let counts = self.seen.entry((mb, key)).or_default();
+        if uplink {
+            counts.uplink += 1;
+        } else {
+            counts.downlink += 1;
+        }
+        self.log.push((walk, key, mb, uplink));
+        self.total += 1;
+        Ok(())
+    }
+
+    /// Total packets observed across all instances.
+    pub fn total_packets(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct connections an instance has seen.
+    pub fn connections_seen(&self, mb: MiddleboxId) -> usize {
+        self.seen.keys().filter(|(m, _)| *m == mb).count()
+    }
+
+    /// Counts for one (instance, connection).
+    pub fn counts(&self, mb: MiddleboxId, key: &ConnKey) -> TraversalCount {
+        self.seen.get(&(mb, *key)).copied().unwrap_or_default()
+    }
+
+    /// The ordered instance chain the first packet of a (connection,
+    /// direction) traversed. Later packets' chains are asserted equal by
+    /// [`Self::assert_consistent`].
+    pub fn chain_of(&self, key: &ConnKey, uplink: bool) -> Vec<MiddleboxId> {
+        self.all_chains(key, uplink)
+            .into_iter()
+            .next()
+            .unwrap_or_default()
+    }
+
+    /// All per-packet chains of a (connection, direction) — each inner
+    /// vec is the instance sequence one packet saw, grouped by walk id.
+    pub fn all_chains(&self, key: &ConnKey, uplink: bool) -> Vec<Vec<MiddleboxId>> {
+        let mut chains: Vec<(u64, Vec<MiddleboxId>)> = Vec::new();
+        for (walk, k, mb, up) in &self.log {
+            if k != key || *up != uplink {
+                continue;
+            }
+            match chains.last_mut() {
+                Some((w, chain)) if w == walk => chain.push(*mb),
+                _ => chains.push((*walk, vec![*mb])),
+            }
+        }
+        chains.into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// Asserts the paper's policy-consistency property for a connection:
+    /// every uplink packet saw the same instance chain; every downlink
+    /// packet saw exactly the reversed chain.
+    pub fn assert_consistent(&self, key: &ConnKey) -> Result<()> {
+        let ups = self.all_chains(key, true);
+        let downs = self.all_chains(key, false);
+        if let Some(first) = ups.first() {
+            for (i, c) in ups.iter().enumerate() {
+                if c != first {
+                    return Err(Error::InvalidState(format!(
+                        "uplink packet {i} took chain {c:?}, expected {first:?}"
+                    )));
+                }
+            }
+            let mirrored: Vec<MiddleboxId> = first.iter().rev().copied().collect();
+            for (i, c) in downs.iter().enumerate() {
+                if *c != mirrored {
+                    return Err(Error::InvalidState(format!(
+                        "downlink packet {i} took chain {c:?}, expected mirror {mirrored:?}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softcell_packet::{build_flow_packet, FiveTuple, Protocol};
+    use softcell_types::{BaseStationId, LocIp, PolicyTag, UeId};
+
+    fn tracker() -> MiddleboxTracker {
+        MiddleboxTracker::default()
+    }
+
+    fn up_packet(slot: u16) -> Vec<u8> {
+        let scheme = AddressingScheme::default_scheme();
+        let ports = PortEmbedding::default_embedding();
+        let loc = scheme.encode(LocIp::new(BaseStationId(3), UeId(1))).unwrap();
+        build_flow_packet(
+            FiveTuple {
+                src: loc,
+                dst: Ipv4Addr::new(93, 184, 216, 34),
+                src_port: ports.encode(PolicyTag(5), slot).unwrap(),
+                dst_port: 443,
+                proto: Protocol::Tcp,
+            },
+            64,
+            0,
+            &[],
+        )
+    }
+
+    fn down_packet(slot: u16, tag: PolicyTag) -> Vec<u8> {
+        let scheme = AddressingScheme::default_scheme();
+        let ports = PortEmbedding::default_embedding();
+        let loc = scheme.encode(LocIp::new(BaseStationId(3), UeId(1))).unwrap();
+        build_flow_packet(
+            FiveTuple {
+                src: Ipv4Addr::new(93, 184, 216, 34),
+                dst: loc,
+                src_port: 443,
+                dst_port: ports.encode(tag, slot).unwrap(),
+                proto: Protocol::Tcp,
+            },
+            64,
+            0,
+            &[],
+        )
+    }
+
+    #[test]
+    fn keys_unify_directions_and_ignore_tags() {
+        let t = tracker();
+        let up = HeaderView::parse(&up_packet(9)).unwrap();
+        // downlink with a *different* tag (swapped in flight)
+        let down = HeaderView::parse(&down_packet(9, PolicyTag(700))).unwrap();
+        let (ku, is_up) = t.key_of(&up).unwrap();
+        let (kd, is_up2) = t.key_of(&down).unwrap();
+        assert!(is_up && !is_up2);
+        assert_eq!(ku, kd, "same connection regardless of direction/tag");
+    }
+
+    #[test]
+    fn non_locip_packet_is_an_error() {
+        let t = tracker();
+        let stray = build_flow_packet(
+            FiveTuple {
+                src: Ipv4Addr::new(1, 1, 1, 1),
+                dst: Ipv4Addr::new(2, 2, 2, 2),
+                src_port: 1,
+                dst_port: 2,
+                proto: Protocol::Udp,
+            },
+            64,
+            0,
+            &[],
+        );
+        assert!(t.key_of(&HeaderView::parse(&stray).unwrap()).is_err());
+    }
+
+    #[test]
+    fn consistent_mirrored_chains_pass() {
+        let mut t = tracker();
+        let (fw, tc) = (MiddleboxId(1), MiddleboxId(2));
+        // two uplink packets: fw then tc
+        for _ in 0..2 {
+            let w = t.begin_walk();
+            t.observe(fw, &up_packet(4), w).unwrap();
+            t.observe(tc, &up_packet(4), w).unwrap();
+        }
+        // downlink mirrors: tc then fw
+        let w = t.begin_walk();
+        t.observe(tc, &down_packet(4, PolicyTag(5)), w).unwrap();
+        t.observe(fw, &down_packet(4, PolicyTag(5)), w).unwrap();
+        let key = t
+            .key_of(&HeaderView::parse(&up_packet(4)).unwrap())
+            .unwrap()
+            .0;
+        t.assert_consistent(&key).unwrap();
+        assert_eq!(t.chain_of(&key, true), vec![fw, tc]);
+        assert_eq!(t.chain_of(&key, false), vec![tc, fw]);
+        assert_eq!(t.counts(fw, &key), TraversalCount { uplink: 2, downlink: 1 });
+    }
+
+    #[test]
+    fn wrong_instance_fails_consistency() {
+        let mut t = tracker();
+        let (fw1, fw2) = (MiddleboxId(1), MiddleboxId(9));
+        let key = t
+            .key_of(&HeaderView::parse(&up_packet(4)).unwrap())
+            .unwrap()
+            .0;
+        let w = t.begin_walk();
+        t.observe(fw1, &up_packet(4), w).unwrap();
+        // second packet hits a *different* firewall instance
+        let w = t.begin_walk();
+        t.observe(fw2, &up_packet(4), w).unwrap();
+        assert!(t.assert_consistent(&key).is_err());
+    }
+
+    #[test]
+    fn unmirrored_downlink_fails() {
+        let mut t = tracker();
+        let (fw, tc) = (MiddleboxId(1), MiddleboxId(2));
+        let w = t.begin_walk();
+        t.observe(fw, &up_packet(4), w).unwrap();
+        t.observe(tc, &up_packet(4), w).unwrap();
+        // downlink in the same (wrong) order
+        let w2 = t.begin_walk();
+        t.observe(fw, &down_packet(4, PolicyTag(5)), w2).unwrap();
+        t.observe(tc, &down_packet(4, PolicyTag(5)), w2).unwrap();
+        let key = t
+            .key_of(&HeaderView::parse(&up_packet(4)).unwrap())
+            .unwrap()
+            .0;
+        assert!(t.assert_consistent(&key).is_err());
+    }
+
+    #[test]
+    fn different_slots_are_different_connections() {
+        let mut t = tracker();
+        let fw = MiddleboxId(1);
+        let w = t.begin_walk();
+        t.observe(fw, &up_packet(1), w).unwrap();
+        let w = t.begin_walk();
+        t.observe(fw, &up_packet(2), w).unwrap();
+        assert_eq!(t.connections_seen(fw), 2);
+    }
+}

@@ -1,0 +1,460 @@
+//! The physical network: switches, links and the packet walker.
+//!
+//! [`PhysicalNetwork`] instantiates one [`softcell_dataplane::Switch`]
+//! per topology node, applies the controller's [`RuleOp`]s, and walks
+//! packets hop by hop. A walk starts at an injection point (a radio port
+//! on an access switch, or the Internet port of a gateway), repeatedly
+//! runs the current switch's pipeline, crosses links, detours through
+//! middleboxes (recording each traversal), and terminates with a
+//! [`WalkOutcome`].
+
+use softcell_controller::RuleOp;
+use softcell_dataplane::{ForwardDecision, Switch};
+use softcell_packet::Ipv4Packet;
+use softcell_topology::{SwitchRole, Topology};
+use softcell_types::{Error, MiddleboxId, PortNo, Result, SimTime, SwitchId};
+
+use crate::middlebox::MiddleboxTracker;
+
+/// How a packet's walk through the fabric ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WalkOutcome {
+    /// Delivered out an access switch's radio port (reached a UE).
+    DeliveredToRadio {
+        /// The delivering access switch.
+        switch: SwitchId,
+    },
+    /// Left the network through a gateway's Internet port.
+    ExitedGateway {
+        /// The exit gateway switch.
+        switch: SwitchId,
+    },
+    /// Punted to the local agent at an access switch (packet-in).
+    PuntedToAgent {
+        /// The punting access switch.
+        switch: SwitchId,
+        /// The port the packet had arrived on.
+        in_port: PortNo,
+    },
+    /// Dropped (rule, table miss, or TTL exhaustion).
+    Dropped {
+        /// Where it died.
+        switch: SwitchId,
+    },
+}
+
+/// The running data plane.
+pub struct PhysicalNetwork {
+    switches: Vec<Switch>,
+    /// Per-middlebox traversal records.
+    pub middleboxes: MiddleboxTracker,
+    /// Hop budget per walk (beyond TTL; guards against rule loops).
+    pub max_hops: usize,
+    /// Print each hop decision to stderr (debugging aid).
+    pub trace: bool,
+    /// Number of switch-pipeline executions in the most recent walk
+    /// (path-stretch measurements: triangle routing vs shortcuts).
+    pub last_walk_hops: usize,
+    /// The switch sequence of the most recent walk.
+    pub last_walk_trail: Vec<SwitchId>,
+}
+
+impl PhysicalNetwork {
+    /// Builds switches for every topology node.
+    pub fn new(topo: &Topology) -> PhysicalNetwork {
+        let switches = topo
+            .switches()
+            .iter()
+            .map(|s| match s.role {
+                SwitchRole::Access => Switch::access(s.id),
+                _ => Switch::fabric(s.id),
+            })
+            .collect();
+        PhysicalNetwork {
+            switches,
+            middleboxes: MiddleboxTracker::default(),
+            max_hops: 256,
+            trace: false,
+            last_walk_hops: 0,
+            last_walk_trail: Vec::new(),
+        }
+    }
+
+    /// A switch by id.
+    pub fn switch(&self, id: SwitchId) -> &Switch {
+        &self.switches[id.index()]
+    }
+
+    /// A mutable switch by id.
+    pub fn switch_mut(&mut self, id: SwitchId) -> &mut Switch {
+        &mut self.switches[id.index()]
+    }
+
+    /// All switches (consistent-update orchestration).
+    pub fn switches_mut(&mut self) -> &mut [Switch] {
+        &mut self.switches
+    }
+
+    /// Applies one controller rule operation.
+    pub fn apply(&mut self, op: &RuleOp) -> Result<()> {
+        match op {
+            RuleOp::Install {
+                switch,
+                priority,
+                matcher,
+                action,
+            } => {
+                self.switches[switch.index()]
+                    .table
+                    .install(*priority, *matcher, *action)?;
+                Ok(())
+            }
+            RuleOp::Remove { switch, matcher } => {
+                self.switches[switch.index()]
+                    .table
+                    .remove_where(|r| r.matcher == *matcher);
+                Ok(())
+            }
+        }
+    }
+
+    /// Applies a batch of operations.
+    pub fn apply_all(&mut self, ops: &[RuleOp]) -> Result<()> {
+        for op in ops {
+            self.apply(op)?;
+        }
+        Ok(())
+    }
+
+    /// Total flow-table rules across all switches.
+    pub fn total_rules(&self) -> usize {
+        self.switches.iter().map(|s| s.table.len()).sum()
+    }
+
+    /// Walks a packet from an injection point until it leaves the
+    /// fabric. `start`/`in_port` name where the packet enters (radio
+    /// port for uplink, gateway Internet port for downlink); `version`
+    /// is the consistent-update stamp (normally the ingress switch's
+    /// current version).
+    pub fn walk(
+        &mut self,
+        topo: &Topology,
+        buffer: &mut [u8],
+        start: SwitchId,
+        in_port: PortNo,
+        version: u32,
+        now: SimTime,
+    ) -> Result<WalkOutcome> {
+        let mut sw = start;
+        let mut port = in_port;
+        let walk_id = self.middleboxes.begin_walk();
+        self.last_walk_trail.clear();
+        let mut trail: Vec<SwitchId> = Vec::new();
+        for _ in 0..self.max_hops {
+            trail.push(sw);
+            self.last_walk_hops = trail.len();
+            self.last_walk_trail.push(sw);
+            let decision =
+                self.switches[sw.index()].process(buffer, port, version, now)?;
+            if self.trace {
+                let v = softcell_packet::HeaderView::parse(buffer);
+                eprintln!("  walk {walk_id}: {sw} in {port} -> {decision:?} ({v:?})");
+            }
+            match decision {
+                ForwardDecision::ToController => {
+                    return Ok(WalkOutcome::PuntedToAgent {
+                        switch: sw,
+                        in_port: port,
+                    })
+                }
+                ForwardDecision::Drop => return Ok(WalkOutcome::Dropped { switch: sw }),
+                ForwardDecision::Out(out) => {
+                    // classify the output port: radio? internet? mb? link?
+                    if let Some(bs) = topo.base_station_at(sw) {
+                        if topo.base_station(bs).radio_port == out {
+                            return Ok(WalkOutcome::DeliveredToRadio { switch: sw });
+                        }
+                    }
+                    if let Some(gw) = topo.gateways().iter().find(|g| g.switch == sw) {
+                        if gw.port == out {
+                            return Ok(WalkOutcome::ExitedGateway { switch: sw });
+                        }
+                    }
+                    if let Some(mb) = middlebox_on_port(topo, sw, out) {
+                        // detour: the middlebox sees the packet and sends
+                        // it straight back on the same port
+                        self.middleboxes.observe(mb, buffer, walk_id)?;
+                        decrement_ttl(buffer).map_err(|e| {
+                            Error::InvalidState(format!(
+                                "{e}; trail tail: {:?}",
+                                &trail[trail.len().saturating_sub(12)..]
+                            ))
+                        })?;
+                        port = out;
+                        continue;
+                    }
+                    // a fabric link: cross it
+                    let (next, next_port) = cross_link(topo, sw, out)?;
+                    decrement_ttl(buffer).map_err(|e| {
+                        Error::InvalidState(format!(
+                            "{e}; trail tail: {:?}",
+                            &trail[trail.len().saturating_sub(12)..]
+                        ))
+                    })?;
+                    sw = next;
+                    port = next_port;
+                }
+            }
+        }
+        Err(Error::InvalidState(format!(
+            "walk exceeded {} hops (rule loop?) at {sw}; trail tail: {:?}",
+            self.max_hops,
+            &trail[trail.len().saturating_sub(12)..]
+        )))
+    }
+}
+
+fn middlebox_on_port(topo: &Topology, sw: SwitchId, port: PortNo) -> Option<MiddleboxId> {
+    topo.middleboxes()
+        .iter()
+        .find(|m| m.switch == sw && m.port == port)
+        .map(|m| m.id)
+}
+
+fn cross_link(topo: &Topology, sw: SwitchId, out: PortNo) -> Result<(SwitchId, PortNo)> {
+    topo.neighbors(sw)
+        .iter()
+        .find(|(_, p, _)| *p == out)
+        .map(|(n, _, in_p)| (*n, *in_p))
+        .ok_or_else(|| {
+            Error::InvalidState(format!("{sw} forwarded out unconnected port {out}"))
+        })
+}
+
+fn decrement_ttl(buffer: &mut [u8]) -> Result<()> {
+    let mut ip = Ipv4Packet::new_checked(&mut buffer[..])?;
+    match ip.decrement_ttl() {
+        Some(_) => {
+            ip.fill_checksum();
+            Ok(())
+        }
+        None => Err(Error::InvalidState(format!(
+            "TTL exhausted mid-walk ({} -> {})",
+            ip.src_addr(),
+            ip.dst_addr()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softcell_dataplane::matcher::{conventional_priority, Direction, Match};
+    use softcell_dataplane::Action;
+    use softcell_packet::{build_flow_packet, FiveTuple, Protocol};
+    use softcell_topology::small_topology;
+    use softcell_types::Ipv4Prefix;
+    use std::net::Ipv4Addr;
+
+    fn downlink_packet(dst: Ipv4Addr) -> Vec<u8> {
+        build_flow_packet(
+            FiveTuple {
+                src: Ipv4Addr::new(93, 184, 216, 34),
+                dst,
+                src_port: 443,
+                dst_port: 4096,
+                proto: Protocol::Tcp,
+            },
+            64,
+            0,
+            b"resp",
+        )
+    }
+
+    #[test]
+    fn network_mirrors_topology() {
+        let topo = small_topology();
+        let net = PhysicalNetwork::new(&topo);
+        assert_eq!(net.total_rules(), 0);
+        assert_eq!(
+            net.switch(SwitchId(0)).kind,
+            softcell_dataplane::switch::PipelineKind::Fabric
+        );
+        assert_eq!(
+            net.switch(SwitchId(5)).kind,
+            softcell_dataplane::switch::PipelineKind::Access
+        );
+    }
+
+    #[test]
+    fn walk_follows_installed_prefix_rules_to_radio() {
+        let topo = small_topology();
+        let mut net = PhysicalNetwork::new(&topo);
+        // route 10.0.0.0/23 (bs0's prefix under the default scheme)
+        // gw(0) -> c1(1) -> agg1(3) -> acc(5), then radio delivery via a
+        // microflow entry
+        let pref: Ipv4Prefix = "10.0.0.0/23".parse().unwrap();
+        let hops = [(0u32, 1u32), (1, 3), (3, 5)];
+        for (a, b) in hops {
+            let m = Match::prefix(Direction::Downlink, pref);
+            let out = topo.port_towards(SwitchId(a), SwitchId(b)).unwrap();
+            net.switch_mut(SwitchId(a))
+                .table
+                .install(conventional_priority(&m), m, Action::Forward(out))
+                .unwrap();
+        }
+        let dst = Ipv4Addr::new(10, 0, 0, 7);
+        let mut buf = downlink_packet(dst);
+        let view = softcell_packet::HeaderView::parse(&buf).unwrap();
+        let radio = topo.base_station(softcell_types::BaseStationId(0)).radio_port;
+        net.switch_mut(SwitchId(5))
+            .microflow
+            .install(
+                view.tuple,
+                softcell_dataplane::MicroflowAction::RewriteDst {
+                    addr: Ipv4Addr::new(100, 64, 0, 9),
+                    port: 50000,
+                    out: radio,
+                },
+                SimTime::from_secs(60),
+            )
+            .unwrap();
+
+        let gw_port = topo.default_gateway().port;
+        let out = net
+            .walk(&topo, &mut buf, SwitchId(0), gw_port, 0, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(out, WalkOutcome::DeliveredToRadio { switch: SwitchId(5) });
+        let after = softcell_packet::HeaderView::parse(&buf).unwrap();
+        assert_eq!(after.dst(), Ipv4Addr::new(100, 64, 0, 9));
+    }
+
+    #[test]
+    fn walk_detours_through_middlebox_and_records_it() {
+        let topo = small_topology();
+        let mut net = PhysicalNetwork::new(&topo);
+        let fw = topo.middleboxes()[0]; // firewall on c1(1)
+        let pref: Ipv4Prefix = "10.0.0.0/23".parse().unwrap();
+
+        // gw -> c1; c1 -> firewall; firewall-return -> agg1 -> acc5
+        let m = Match::prefix(Direction::Downlink, pref);
+        let p_c1 = topo.port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        net.switch_mut(SwitchId(0))
+            .table
+            .install(conventional_priority(&m), m, Action::Forward(p_c1))
+            .unwrap();
+        net.switch_mut(SwitchId(1))
+            .table
+            .install(
+                conventional_priority(&m),
+                m,
+                Action::Forward(fw.port),
+            )
+            .unwrap();
+        let m_ret = m.from_port(fw.port);
+        let p_agg = topo.port_towards(SwitchId(1), SwitchId(3)).unwrap();
+        net.switch_mut(SwitchId(1))
+            .table
+            .install(conventional_priority(&m_ret), m_ret, Action::Forward(p_agg))
+            .unwrap();
+        let p_acc = topo.port_towards(SwitchId(3), SwitchId(5)).unwrap();
+        net.switch_mut(SwitchId(3))
+            .table
+            .install(conventional_priority(&m), m, Action::Forward(p_acc))
+            .unwrap();
+
+        let mut buf = downlink_packet(Ipv4Addr::new(10, 0, 0, 7));
+        let gw_port = topo.default_gateway().port;
+        let out = net
+            .walk(&topo, &mut buf, SwitchId(0), gw_port, 0, SimTime::ZERO)
+            .unwrap();
+        // no microflow at acc5 → punted to the agent
+        assert_eq!(
+            out,
+            WalkOutcome::PuntedToAgent {
+                switch: SwitchId(5),
+                in_port: topo.neighbors(SwitchId(3)).iter().find(|(n, _, _)| *n == SwitchId(5)).unwrap().2,
+            }
+        );
+        assert_eq!(net.middleboxes.total_packets(), 1);
+        assert_eq!(net.middleboxes.connections_seen(fw.id), 1);
+    }
+
+    #[test]
+    fn empty_fabric_drops() {
+        let topo = small_topology();
+        let mut net = PhysicalNetwork::new(&topo);
+        let mut buf = downlink_packet(Ipv4Addr::new(10, 0, 0, 7));
+        let out = net
+            .walk(
+                &topo,
+                &mut buf,
+                SwitchId(0),
+                topo.default_gateway().port,
+                0,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(out, WalkOutcome::Dropped { switch: SwitchId(0) });
+    }
+
+    #[test]
+    fn rule_loop_is_detected() {
+        let topo = small_topology();
+        let mut net = PhysicalNetwork::new(&topo);
+        // c1 -> gw and gw -> c1 forever
+        let m = Match::ANY;
+        let p1 = topo.port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        let p0 = topo.port_towards(SwitchId(1), SwitchId(0)).unwrap();
+        net.switch_mut(SwitchId(0))
+            .table
+            .install(1, m, Action::Forward(p1))
+            .unwrap();
+        net.switch_mut(SwitchId(1))
+            .table
+            .install(1, m, Action::Forward(p0))
+            .unwrap();
+        let mut buf = build_flow_packet(
+            FiveTuple {
+                src: Ipv4Addr::new(1, 1, 1, 1),
+                dst: Ipv4Addr::new(2, 2, 2, 2),
+                src_port: 1,
+                dst_port: 2,
+                proto: Protocol::Tcp,
+            },
+            255,
+            0,
+            &[],
+        );
+        let r = net.walk(
+            &topo,
+            &mut buf,
+            SwitchId(0),
+            topo.default_gateway().port,
+            0,
+            SimTime::ZERO,
+        );
+        assert!(r.is_err(), "loop must fail loudly, not spin");
+    }
+
+    #[test]
+    fn rule_ops_install_and_remove() {
+        let topo = small_topology();
+        let mut net = PhysicalNetwork::new(&topo);
+        let m = Match::prefix(Direction::Downlink, "10.0.0.0/23".parse().unwrap());
+        net.apply(&RuleOp::Install {
+            switch: SwitchId(0),
+            priority: 10,
+            matcher: m,
+            action: Action::Drop,
+        })
+        .unwrap();
+        assert_eq!(net.total_rules(), 1);
+        net.apply(&RuleOp::Remove {
+            switch: SwitchId(0),
+            matcher: m,
+        })
+        .unwrap();
+        assert_eq!(net.total_rules(), 0);
+    }
+}

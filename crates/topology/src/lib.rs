@@ -1,0 +1,30 @@
+//! Network topology for the SoftCell core.
+//!
+//! A SoftCell network (paper Fig. 2) consists of:
+//!
+//! * **access switches**, one per base station — software switches at the
+//!   low-bandwidth edge;
+//! * **aggregation and core switches** — commodity hardware forming the
+//!   fabric;
+//! * **gateway switches** facing the Internet; and
+//! * **middlebox instances** hanging off switches anywhere in the fabric.
+//!
+//! [`graph`] defines the mutable topology model and its builder;
+//! [`cellular`] generates the synthetic three-layer topology of the
+//! paper's large-scale simulations (§6.3: ring access clusters, `k` pods
+//! of `k` full-mesh aggregation switches, `k²` full-mesh core switches, a
+//! gateway — `10k³/4` base stations in total) plus a small hand-made
+//! topology for examples; [`path`] provides deterministic BFS shortest
+//! paths and the waypoint routing that turns "traverse firewall then
+//! transcoder then exit" into a concrete [`path::PolicyPath`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cellular;
+pub mod graph;
+pub mod path;
+
+pub use cellular::{small_topology, CellularParams};
+pub use graph::{Link, Middlebox, SwitchNode, SwitchRole, Topology, TopologyBuilder};
+pub use path::{PathElement, PolicyPath, ShortestPaths};

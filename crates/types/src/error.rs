@@ -1,0 +1,70 @@
+//! The shared error type.
+//!
+//! SoftCell components are state machines that can fail in a small number
+//! of structured ways (bad configuration, out-of-range identifier, parse
+//! failure, resource exhaustion, missing entity). A single workspace-wide
+//! error enum keeps `?` flowing across crate boundaries without a tower of
+//! conversion impls.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Workspace-wide error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Invalid static configuration (bit splits, topology parameters...).
+    Config(String),
+    /// An identifier or value outside its valid range.
+    Range(String),
+    /// Failed to parse textual or wire input.
+    Parse(String),
+    /// A finite resource (tags, UE IDs, table space) is exhausted.
+    Exhausted(String),
+    /// A referenced entity does not exist.
+    NotFound(String),
+    /// An operation is invalid in the current state.
+    InvalidState(String),
+    /// A packet was malformed or truncated.
+    Malformed(String),
+    /// No feasible path satisfies the request (paper §7, on-path
+    /// middleboxes: "the policy path request will be denied").
+    NoPath(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+            Error::Range(m) => write!(f, "out of range: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Exhausted(m) => write!(f, "resource exhausted: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::InvalidState(m) => write!(f, "invalid state: {m}"),
+            Error::Malformed(m) => write!(f, "malformed packet: {m}"),
+            Error::NoPath(m) => write!(f, "no feasible path: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = Error::Config("bad split".into());
+        assert_eq!(e.to_string(), "configuration error: bad split");
+        let e = Error::NoPath("firewall unreachable".into());
+        assert!(e.to_string().contains("no feasible path"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Parse("x".into()));
+    }
+}

@@ -1,0 +1,117 @@
+//! A fast, non-cryptographic hasher for hot-path hash maps.
+//!
+//! The Figure 7 experiments hash tens of millions of small keys
+//! (prefixes, tags, switch ids); SipHash's DoS resistance buys nothing
+//! there and costs ~3× the cycles. This is the well-known `fxhash`
+//! multiply-xor scheme (as used by rustc), implemented locally to keep
+//! the dependency set to the approved list.
+//!
+//! Only use for internal data structures keyed by trusted, fixed-width
+//! values — never for attacker-controlled input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` alias using the fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` alias using the fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The fx multiply-xor hasher.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8 bytes")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_usually_distinct_hashes() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000, "no collisions on sequential u64s");
+    }
+
+    #[test]
+    fn maps_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u16> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world, this is a test");
+        let mut b = FxHasher::default();
+        b.write(b"hello world, this is a test");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(b"hello world, this is a tesu");
+        assert_ne!(a.finish(), c.finish());
+    }
+}

@@ -1,0 +1,73 @@
+//! Diurnal load shaping.
+//!
+//! Cellular load follows a strong day/night cycle: a deep trough in the
+//! early morning, a ramp through the morning commute, sustained daytime
+//! load and an evening peak. Measurement studies (e.g. the paper's ref
+//! \[26\], Zhang & Arvidsson) show roughly a 3–5× peak-to-trough ratio.
+//! [`DiurnalShape`] is a smooth two-harmonic approximation of that
+//! profile, normalized so its *peak* is 1.0 — calibration in the metro
+//! model then scales published peak-tail targets directly.
+
+/// A smooth day-shaped modulation, periodic over 24 h.
+#[derive(Clone, Copy, Debug)]
+pub struct DiurnalShape {
+    /// Trough-to-peak floor (0..1): 0.25 means night load is 25 % of
+    /// peak.
+    pub floor: f64,
+    /// Hour of the main (evening) peak.
+    pub peak_hour: f64,
+}
+
+impl Default for DiurnalShape {
+    fn default() -> Self {
+        DiurnalShape {
+            floor: 0.25,
+            peak_hour: 20.0,
+        }
+    }
+}
+
+impl DiurnalShape {
+    /// The modulation factor at a given second of the day, in
+    /// `[floor, 1.0]`, peaking at `peak_hour`.
+    pub fn factor(&self, second_of_day: u64) -> f64 {
+        let h = (second_of_day % 86_400) as f64 / 3600.0;
+        let x = (h - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        // main daily harmonic plus a morning-shoulder second harmonic
+        let raw = 0.8 * x.cos() + 0.2 * (2.0 * x).cos();
+        let normalized = (raw + 1.0) / 2.0; // [0, 1], peak 1 at peak_hour
+        self.floor + (1.0 - self.floor) * normalized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_at_peak_hour_and_bounded() {
+        let s = DiurnalShape::default();
+        let peak = s.factor(20 * 3600);
+        for hour in 0..24 {
+            let f = s.factor(hour * 3600);
+            assert!(f <= peak + 1e-9, "hour {hour} exceeds the peak");
+            assert!(f >= s.floor - 1e-9 && f <= 1.0 + 1e-9);
+        }
+        assert!((peak - 1.0).abs() < 1e-9, "peak normalizes to 1.0");
+    }
+
+    #[test]
+    fn trough_is_at_night() {
+        let s = DiurnalShape::default();
+        let night = s.factor(5 * 3600);
+        let day = s.factor(14 * 3600);
+        assert!(night < day, "5am load below 2pm load");
+        assert!(night < 0.5, "night near the floor");
+    }
+
+    #[test]
+    fn periodic_over_24h() {
+        let s = DiurnalShape::default();
+        assert!((s.factor(3600) - s.factor(86_400 + 3600)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,320 @@
+//! Concrete per-UE event streams.
+//!
+//! Where [`crate::model`] samples aggregate counts for the metro-scale
+//! Fig 6 statistics, this module generates an explicit, time-ordered
+//! trace of attach / new-flow / handoff / detach events for a bounded UE
+//! population — the input to the end-to-end simulator and the local-agent
+//! benchmarks. Sessions are exponential, flows within a session arrive
+//! as a Poisson process, and handoffs move the UE between neighbouring
+//! stations (cellular mobility is local).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use softcell_types::{BaseStationId, SimDuration, SimTime, UeImsi};
+
+/// What happened.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum EventKind {
+    /// UE powers on / attaches at a station.
+    Attach {
+        /// The station.
+        bs: BaseStationId,
+    },
+    /// UE starts a new flow; `dst_port`/`udp` sketch the application.
+    NewFlow {
+        /// Station the UE is currently at.
+        bs: BaseStationId,
+        /// Destination port (drives application classification).
+        dst_port: u16,
+        /// UDP instead of TCP.
+        udp: bool,
+    },
+    /// UE moves between stations.
+    Handoff {
+        /// Station it leaves.
+        from: BaseStationId,
+        /// Station it enters.
+        to: BaseStationId,
+    },
+    /// UE detaches.
+    Detach {
+        /// Station it leaves.
+        bs: BaseStationId,
+    },
+}
+
+/// One trace event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When.
+    pub time: SimTime,
+    /// Which UE.
+    pub imsi: UeImsi,
+    /// What.
+    pub kind: EventKind,
+}
+
+/// Event-stream parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EventStreamConfig {
+    /// Stations in the (simulated) network.
+    pub base_stations: u32,
+    /// UE population.
+    pub ues: u64,
+    /// Trace duration.
+    pub duration: SimDuration,
+    /// Mean attached-session length.
+    pub mean_session: SimDuration,
+    /// Mean gap between sessions of one UE.
+    pub mean_gap: SimDuration,
+    /// Mean flow inter-arrival while attached.
+    pub mean_flow_gap: SimDuration,
+    /// Mean time between handoffs while attached (mobility).
+    pub mean_handoff_gap: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl EventStreamConfig {
+    /// A busy small-cell scenario for simulations and tests.
+    pub fn busy(base_stations: u32, ues: u64, seed: u64) -> Self {
+        EventStreamConfig {
+            base_stations,
+            ues,
+            duration: SimDuration::from_secs(600),
+            mean_session: SimDuration::from_secs(180),
+            mean_gap: SimDuration::from_secs(120),
+            mean_flow_gap: SimDuration::from_secs(15),
+            mean_handoff_gap: SimDuration::from_secs(90),
+            seed,
+        }
+    }
+}
+
+/// A generated, time-sorted trace.
+#[derive(Clone, Debug)]
+pub struct EventStream {
+    events: Vec<TraceEvent>,
+}
+
+/// Common application destination ports, weighted towards web traffic
+/// (drives the policy classifier in simulations).
+const APP_PORTS: [(u16, bool, u32); 7] = [
+    (443, false, 50), // web
+    (80, false, 20),  // web
+    (554, false, 10), // video
+    (5060, true, 8),  // voip
+    (53, true, 6),    // dns
+    (993, false, 3),  // email
+    (8883, false, 3), // mqtt
+];
+
+impl EventStream {
+    /// Generates the trace.
+    pub fn generate(cfg: &EventStreamConfig) -> EventStream {
+        assert!(cfg.base_stations > 0, "need at least one station");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut events = Vec::new();
+        let horizon = cfg.duration.as_micros();
+        let total_weight: u32 = APP_PORTS.iter().map(|(_, _, w)| w).sum();
+
+        for ue in 0..cfg.ues {
+            let imsi = UeImsi(ue);
+            let home = BaseStationId(rng.gen_range(0..cfg.base_stations));
+            // stagger initial power-on through the first gap
+            let mut t = exp_micros(&mut rng, cfg.mean_gap) % (horizon / 2).max(1);
+            while t < horizon {
+                // session starts: attach
+                let mut bs = home;
+                events.push(TraceEvent {
+                    time: SimTime(t),
+                    imsi,
+                    kind: EventKind::Attach { bs },
+                });
+                let session_end = (t + exp_micros(&mut rng, cfg.mean_session)).min(horizon);
+
+                // flows and handoffs interleave within the session
+                let mut next_flow = t + exp_micros(&mut rng, cfg.mean_flow_gap);
+                let mut next_hof = t + exp_micros(&mut rng, cfg.mean_handoff_gap);
+                loop {
+                    let next = next_flow.min(next_hof);
+                    if next >= session_end {
+                        break;
+                    }
+                    if next_flow <= next_hof {
+                        let mut pick = rng.gen_range(0..total_weight);
+                        let mut port = (443, false);
+                        for &(p, udp, w) in &APP_PORTS {
+                            if pick < w {
+                                port = (p, udp);
+                                break;
+                            }
+                            pick -= w;
+                        }
+                        events.push(TraceEvent {
+                            time: SimTime(next_flow),
+                            imsi,
+                            kind: EventKind::NewFlow {
+                                bs,
+                                dst_port: port.0,
+                                udp: port.1,
+                            },
+                        });
+                        next_flow += exp_micros(&mut rng, cfg.mean_flow_gap);
+                    } else {
+                        // neighbouring-cell mobility: ±1 ring around the
+                        // current station
+                        let to = neighbour(&mut rng, bs, cfg.base_stations);
+                        events.push(TraceEvent {
+                            time: SimTime(next_hof),
+                            imsi,
+                            kind: EventKind::Handoff { from: bs, to },
+                        });
+                        bs = to;
+                        next_hof += exp_micros(&mut rng, cfg.mean_handoff_gap);
+                    }
+                }
+
+                if session_end < horizon {
+                    events.push(TraceEvent {
+                        time: SimTime(session_end),
+                        imsi,
+                        kind: EventKind::Detach { bs },
+                    });
+                }
+                t = session_end + exp_micros(&mut rng, cfg.mean_gap);
+            }
+        }
+
+        events.sort_by_key(|e| (e.time, e.imsi));
+        EventStream { events }
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Count of events of a given coarse kind (diagnostics).
+    pub fn count(&self, pred: impl Fn(&EventKind) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+}
+
+fn exp_micros(rng: &mut StdRng, mean: SimDuration) -> u64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-u.ln() * mean.as_micros() as f64) as u64
+}
+
+fn neighbour(rng: &mut StdRng, bs: BaseStationId, n: u32) -> BaseStationId {
+    if n == 1 {
+        return bs;
+    }
+    let delta: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
+    BaseStationId(((bs.0 as i64 + delta).rem_euclid(n as i64)) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> EventStreamConfig {
+        EventStreamConfig::busy(10, 50, 1)
+    }
+
+    #[test]
+    fn trace_is_time_sorted() {
+        let s = EventStream::generate(&cfg());
+        assert!(!s.is_empty());
+        for w in s.events().windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn per_ue_lifecycle_is_consistent() {
+        // attach → (flows/handoffs)* → detach, never a flow while
+        // detached, handoff chains match stations
+        let s = EventStream::generate(&cfg());
+        use std::collections::HashMap;
+        let mut at: HashMap<UeImsi, Option<BaseStationId>> = HashMap::new();
+        for e in s.events() {
+            let slot = at.entry(e.imsi).or_default();
+            match e.kind {
+                EventKind::Attach { bs } => {
+                    assert!(slot.is_none(), "attach while attached");
+                    *slot = Some(bs);
+                }
+                EventKind::NewFlow { bs, .. } => {
+                    assert_eq!(*slot, Some(bs), "flow at the wrong station");
+                }
+                EventKind::Handoff { from, to } => {
+                    assert_eq!(*slot, Some(from), "handoff from the wrong station");
+                    *slot = Some(to);
+                }
+                EventKind::Detach { bs } => {
+                    assert_eq!(*slot, Some(bs), "detach at the wrong station");
+                    *slot = None;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_event_kinds_occur() {
+        let s = EventStream::generate(&cfg());
+        assert!(s.count(|k| matches!(k, EventKind::Attach { .. })) > 0);
+        assert!(s.count(|k| matches!(k, EventKind::NewFlow { .. })) > 0);
+        assert!(s.count(|k| matches!(k, EventKind::Handoff { .. })) > 0);
+        assert!(s.count(|k| matches!(k, EventKind::Detach { .. })) > 0);
+    }
+
+    #[test]
+    fn flows_dominate_other_events() {
+        // flow arrivals are the common case (cache-hit path in Table 2)
+        let s = EventStream::generate(&cfg());
+        let flows = s.count(|k| matches!(k, EventKind::NewFlow { .. }));
+        let handoffs = s.count(|k| matches!(k, EventKind::Handoff { .. }));
+        assert!(flows > handoffs, "{flows} flows vs {handoffs} handoffs");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = EventStream::generate(&cfg());
+        let b = EventStream::generate(&cfg());
+        assert_eq!(a.events(), b.events());
+        let c = EventStream::generate(&EventStreamConfig { seed: 2, ..cfg() });
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn events_stay_within_horizon_and_stations() {
+        let c = cfg();
+        let s = EventStream::generate(&c);
+        for e in s.events() {
+            assert!(e.time.as_micros() <= c.duration.as_micros());
+            let bs = match e.kind {
+                EventKind::Attach { bs }
+                | EventKind::NewFlow { bs, .. }
+                | EventKind::Detach { bs } => bs,
+                EventKind::Handoff { from, to } => {
+                    assert!(to.0 < c.base_stations);
+                    from
+                }
+            };
+            assert!(bs.0 < c.base_stations);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Synthetic LTE workload (the paper-§6.1 trace substitute).
+//!
+//! The paper measures one week of bearer-level traces from a large ISP's
+//! LTE network — about 1 TB covering a metro area with ~1500 base
+//! stations and ~1 million devices — and reports, for a typical weekday:
+//!
+//! * 99.999-percentile **UE arrivals**: 214/s network-wide (Fig 6a);
+//! * 99.999-percentile **handoffs**: 280/s network-wide (Fig 6a);
+//! * **active UEs per base station**: typically hundreds, 99.999-pct 514
+//!   (Fig 6b);
+//! * **radio-bearer arrivals per base station**: 99.999-pct 34/s
+//!   (Fig 6c).
+//!
+//! That trace is proprietary; this crate generates a synthetic workload
+//! whose *distributions* are calibrated to those published statistics —
+//! which is all the paper's evaluation consumes from the data (the
+//! distributions size the control-plane load the controller must
+//! absorb). See DESIGN.md §2 for the substitution argument.
+//!
+//! * [`diurnal`] — the day-shaped rate modulation.
+//! * [`model`] — the metro-scale statistical model producing per-second
+//!   count series and per-station snapshots (fast; no per-UE state).
+//! * [`stats`] — empirical CDFs and percentiles (what Fig 6 plots).
+//! * [`events`] — a concrete, per-UE event stream (attach / handoff /
+//!   bearer / detach) at configurable scale, driving the end-to-end
+//!   simulator and the agent benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diurnal;
+pub mod events;
+pub mod model;
+pub mod stats;
+
+pub use events::{EventKind, EventStream, EventStreamConfig, TraceEvent};
+pub use model::{DayStats, MetroModel};
+pub use stats::Cdf;

@@ -1,0 +1,273 @@
+//! The metro-scale statistical workload model (Fig 6 substitute).
+//!
+//! Generates one synthetic weekday for a metro LTE deployment (default:
+//! 1500 base stations, 1 M devices — the paper's dataset shape) and
+//! returns the four distributions Figure 6 reports. The model samples
+//! *counts* directly (Poisson around diurnally-modulated means) rather
+//! than simulating a million devices; each series is calibrated to the
+//! corresponding published 99.999-percentile:
+//!
+//! | series | paper 99.999-pct | calibration knob |
+//! |---|---|---|
+//! | UE arrivals/s (network) | 214 | `peak_ue_arrivals_per_sec` |
+//! | handoffs/s (network) | 280 | `peak_handoffs_per_sec` |
+//! | active UEs per station | 514 | `peak_active_ues`, `station_weight_sigma` |
+//! | bearer arrivals/s per station | 34 | `peak_bearers_per_active_ue` |
+//!
+//! Station popularity is log-normal (busy downtown cells vs. quiet
+//! suburban ones); per-station series are sampled per minute, giving
+//! ~2.2 M samples per distribution — enough to resolve the 99.999th
+//! percentile.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::diurnal::DiurnalShape;
+use crate::stats::Cdf;
+
+/// Model parameters. `paper_metro()` matches the paper's deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct MetroModel {
+    /// Number of base stations.
+    pub base_stations: usize,
+    /// Subscriber population (scales nothing directly; documentation).
+    pub ues: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Diurnal shape.
+    pub shape: DiurnalShape,
+    /// Network-wide UE attach rate at the daily peak (events/s).
+    pub peak_ue_arrivals_per_sec: f64,
+    /// Network-wide handoff rate at the daily peak (events/s).
+    pub peak_handoffs_per_sec: f64,
+    /// Active (RRC-connected) devices network-wide at the daily peak.
+    pub peak_active_ues: f64,
+    /// Log-normal sigma of station popularity weights.
+    pub station_weight_sigma: f64,
+    /// Radio-bearer arrivals per active UE per second at the peak.
+    pub peak_bearers_per_active_ue: f64,
+    /// Sampling period for per-station series (seconds).
+    pub snapshot_period: u64,
+}
+
+impl MetroModel {
+    /// The paper's metro deployment, calibrated to Fig 6 (see module
+    /// docs; the peak means are solved from `q ≈ μ + 4.265·√μ`).
+    pub fn paper_metro(seed: u64) -> MetroModel {
+        MetroModel {
+            base_stations: 1500,
+            ues: 1_000_000,
+            seed,
+            shape: DiurnalShape::default(),
+            peak_ue_arrivals_per_sec: 160.0,
+            peak_handoffs_per_sec: 217.0,
+            peak_active_ues: 400_000.0,
+            station_weight_sigma: 0.20,
+            peak_bearers_per_active_ue: 0.033,
+            snapshot_period: 60,
+        }
+    }
+
+    /// A smaller model for fast tests (same shape, fewer samples).
+    pub fn small(seed: u64) -> MetroModel {
+        MetroModel {
+            base_stations: 100,
+            ues: 50_000,
+            peak_active_ues: 20_000.0,
+            ..MetroModel::paper_metro(seed)
+        }
+    }
+
+    /// Generates one day and collects the Fig 6 distributions.
+    pub fn generate(&self) -> DayStats {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // station popularity weights, normalized to sum 1
+        let weights = lognormal_weights(&mut rng, self.base_stations, self.station_weight_sigma);
+
+        // network-wide per-second series (Fig 6a)
+        let mut arrivals = Vec::with_capacity(86_400);
+        let mut handoffs = Vec::with_capacity(86_400);
+        let mut total_arrivals = 0u64;
+        let mut total_handoffs = 0u64;
+        for s in 0..86_400u64 {
+            let f = self.shape.factor(s);
+            let a = poisson(&mut rng, self.peak_ue_arrivals_per_sec * f);
+            let h = poisson(&mut rng, self.peak_handoffs_per_sec * f);
+            total_arrivals += a;
+            total_handoffs += h;
+            arrivals.push(a);
+            handoffs.push(h);
+        }
+
+        // per-station snapshots (Fig 6b, 6c)
+        let snapshots = 86_400 / self.snapshot_period.max(1);
+        let mut active = Vec::with_capacity(snapshots as usize * self.base_stations);
+        let mut bearers = Vec::with_capacity(snapshots as usize * self.base_stations);
+        for i in 0..snapshots {
+            let t = i * self.snapshot_period;
+            let f = self.shape.factor(t);
+            let n_active = self.peak_active_ues * f;
+            for &w in &weights {
+                let a = poisson(&mut rng, n_active * w);
+                active.push(a);
+                let b = poisson(&mut rng, a as f64 * self.peak_bearers_per_active_ue * f.max(0.5));
+                bearers.push(b);
+            }
+        }
+
+        DayStats {
+            ue_arrivals_per_sec: Cdf::from_counts(arrivals),
+            handoffs_per_sec: Cdf::from_counts(handoffs),
+            active_per_station: Cdf::from_counts(active),
+            bearers_per_station_sec: Cdf::from_counts(bearers),
+            total_arrivals,
+            total_handoffs,
+        }
+    }
+}
+
+/// The four Fig 6 distributions plus day totals.
+#[derive(Clone, Debug)]
+pub struct DayStats {
+    /// Fig 6a, arrivals curve.
+    pub ue_arrivals_per_sec: Cdf,
+    /// Fig 6a, handoffs curve.
+    pub handoffs_per_sec: Cdf,
+    /// Fig 6b.
+    pub active_per_station: Cdf,
+    /// Fig 6c.
+    pub bearers_per_station_sec: Cdf,
+    /// Total attaches in the day.
+    pub total_arrivals: u64,
+    /// Total handoffs in the day.
+    pub total_handoffs: u64,
+}
+
+/// Normalized log-normal popularity weights.
+fn lognormal_weights(rng: &mut StdRng, n: usize, sigma: f64) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..n)
+        .map(|_| (standard_normal(rng) * sigma).exp())
+        .collect();
+    let sum: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= sum;
+    }
+    w
+}
+
+/// A standard normal via Box–Muller.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A Poisson draw: Knuth's method for small means, normal approximation
+/// for large ones (exact enough for tail percentiles at mean ≥ 30).
+pub(crate) fn poisson(rng: &mut StdRng, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen_range(0.0f64..1.0);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k; // numerically impossible; guard anyway
+            }
+        }
+    }
+    let z = standard_normal(rng);
+    let x = mean + z * mean.sqrt() + 0.5;
+    if x < 0.0 {
+        0
+    } else {
+        x as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_is_right() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for mean in [0.5, 5.0, 50.0, 500.0] {
+            let n = 20_000;
+            let sum: u64 = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+            let est = sum as f64 / n as f64;
+            assert!(
+                (est - mean).abs() < mean * 0.05 + 0.05,
+                "mean {mean}: estimated {est}"
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -3.0), 0);
+    }
+
+    #[test]
+    fn weights_normalize_and_spread() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = lognormal_weights(&mut rng, 1500, 0.2);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        let max = w.iter().cloned().fold(0.0, f64::max);
+        let mean = 1.0 / 1500.0;
+        assert!(max > mean * 1.3 && max < mean * 4.0, "busy cells exist but are bounded");
+    }
+
+    #[test]
+    fn paper_metro_hits_published_percentiles() {
+        // The headline calibration check: all four 99.999-percentiles
+        // within ±20 % of the paper's numbers.
+        let stats = MetroModel::paper_metro(42).generate();
+        let q = 0.99999;
+        let arr = stats.ue_arrivals_per_sec.quantile(q);
+        let hof = stats.handoffs_per_sec.quantile(q);
+        let act = stats.active_per_station.quantile(q);
+        let brs = stats.bearers_per_station_sec.quantile(q);
+        assert!((170.0..=260.0).contains(&arr), "arrivals p99.999 = {arr} (paper: 214)");
+        assert!((225.0..=340.0).contains(&hof), "handoffs p99.999 = {hof} (paper: 280)");
+        assert!((410.0..=620.0).contains(&act), "active/BS p99.999 = {act} (paper: 514)");
+        assert!((25.0..=45.0).contains(&brs), "bearers p99.999 = {brs} (paper: 34)");
+    }
+
+    #[test]
+    fn typical_station_has_hundreds_of_active_ues() {
+        let stats = MetroModel::paper_metro(7).generate();
+        let median = stats.active_per_station.median();
+        assert!(
+            (80.0..=400.0).contains(&median),
+            "median active/BS = {median} (paper: 'hundreds')"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = MetroModel::small(9).generate();
+        let b = MetroModel::small(9).generate();
+        assert_eq!(a.total_arrivals, b.total_arrivals);
+        assert_eq!(a.total_handoffs, b.total_handoffs);
+        let c = MetroModel::small(10).generate();
+        assert_ne!(a.total_arrivals, c.total_arrivals);
+    }
+
+    #[test]
+    fn diurnal_structure_shows_in_series() {
+        // peak-hour arrival counts dominate trough-hour counts
+        let m = MetroModel::small(3);
+        let stats = m.generate();
+        // indirectly: the max per-second rate is well above the median
+        let max = stats.ue_arrivals_per_sec.max();
+        let med = stats.ue_arrivals_per_sec.median();
+        assert!(max > med * 1.5, "diurnal swing visible (max {max}, median {med})");
+    }
+}

@@ -1,0 +1,102 @@
+//! Policy zoo: one clause per subscriber flavour (paper Table 1).
+//!
+//! Attaches five very different subscribers — a home silver-plan phone,
+//! a roaming partner-B customer, an unknown foreign device, an M2M
+//! fleet tracker and a VoIP caller — and shows how the *same* network
+//! treats each one: which clause fires, which middlebox chain the
+//! traffic takes, and who is dropped at the access edge before a single
+//! fabric switch sees a packet.
+//!
+//! Run with: `cargo run --example policy_zoo`
+
+use softcell::packet::Protocol;
+use softcell::policy::{
+    BillingPlan, DeviceType, Provider, ServicePolicy, SubscriberAttributes,
+};
+use softcell::sim::{SimWorld, WalkOutcome};
+use softcell::topology::small_topology;
+use softcell::types::{BaseStationId, UeImsi};
+use std::net::Ipv4Addr;
+
+fn main() {
+    let topo = small_topology();
+    let mut world = SimWorld::new(&topo, ServicePolicy::example_carrier_a(1));
+    let server = Ipv4Addr::new(198, 51, 100, 10);
+
+    // five subscribers, five stories
+    let mut home = SubscriberAttributes::default_home(UeImsi(1));
+    home.plan = BillingPlan::Silver;
+
+    let mut partner = SubscriberAttributes::default_home(UeImsi(2));
+    partner.provider = Provider::Partner(1);
+    partner.roaming = true;
+
+    let mut foreign = SubscriberAttributes::default_home(UeImsi(3));
+    foreign.provider = Provider::Foreign(44);
+
+    let mut tracker = SubscriberAttributes::default_home(UeImsi(4));
+    tracker.device = DeviceType::M2mFleetTracker;
+    tracker.plan = BillingPlan::M2m;
+
+    let voip = SubscriberAttributes::default_home(UeImsi(5));
+
+    for attrs in [home, partner, foreign, tracker, voip] {
+        world.provision(attrs);
+    }
+    for (i, imsi) in [1u64, 2, 3, 4, 5].iter().enumerate() {
+        world
+            .attach(UeImsi(*imsi), BaseStationId((i % 4) as u32))
+            .expect("attach");
+    }
+
+    let scenarios: [(&str, u64, u16, Protocol); 5] = [
+        ("home silver, video (rtsp 554)", 1, 554, Protocol::Tcp),
+        ("partner-B roamer, video (rtsp 554)", 2, 554, Protocol::Tcp),
+        ("foreign device, web (443)", 3, 443, Protocol::Tcp),
+        ("fleet tracker, mqtt (8883)", 4, 8883, Protocol::Tcp),
+        ("home caller, voip (sip 5060)", 5, 5060, Protocol::Udp),
+    ];
+
+    let name = |mb: &softcell::types::MiddleboxId| topo.middlebox(*mb).kind.to_string();
+    println!("{:38}  outcome", "subscriber / flow");
+    println!("{}", "-".repeat(78));
+
+    for (label, imsi, port, proto) in scenarios {
+        let conn = world
+            .start_connection(UeImsi(imsi), server, port, proto)
+            .expect("conn");
+        let out = world.send_uplink(conn, b"hello").expect("uplink");
+        match out {
+            WalkOutcome::ExitedGateway { .. } => {
+                world.deliver_downlink(conn, b"reply").expect("downlink");
+                let key = world.connection(conn).key.expect("active");
+                let chain: Vec<String> = world
+                    .net
+                    .middleboxes
+                    .chain_of(&key, true)
+                    .iter()
+                    .map(&name)
+                    .collect();
+                println!("{label:38}  allowed via [{}]", chain.join(" > "));
+            }
+            WalkOutcome::Dropped { switch } => {
+                println!("{label:38}  DENIED at the access edge ({switch})");
+            }
+            other => println!("{label:38}  unexpected: {other:?}"),
+        }
+    }
+
+    world.assert_policy_consistency().expect("consistency");
+
+    // classification never leaks into the fabric: count classifier state
+    let gw = world.net.switch(topo.default_gateway().switch);
+    println!(
+        "\nfabric summary: {} total rules, gateway holds {} (no per-flow state)",
+        world.net.total_rules(),
+        gw.table.len()
+    );
+    let denied: u64 = (0..4)
+        .map(|b| world.agent(BaseStationId(b)).stats().denied)
+        .sum();
+    println!("flows denied at access switches: {denied}");
+}

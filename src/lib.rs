@@ -1,0 +1,50 @@
+//! # SoftCell
+//!
+//! A from-scratch Rust reproduction of **SoftCell: Scalable and Flexible
+//! Cellular Core Network Architecture** (Jin, Li, Vanbever, Rexford —
+//! CoNEXT 2013).
+//!
+//! SoftCell replaces the monolithic P-GW of an LTE core with a fabric of
+//! commodity switches driven by a logically-centralized controller. Its two
+//! key techniques, both implemented here:
+//!
+//! * **Multi-dimensional aggregation** (paper §3): forwarding rules in core
+//!   switches selectively match on a *policy tag*, a hierarchical
+//!   *base-station prefix* and a *UE ID*, letting an online greedy
+//!   algorithm (Algorithm 1, [`controller::install`]) support millions of
+//!   policy paths with a few thousand TCAM entries.
+//! * **Smart access edge, dumb gateway edge** (paper §4): all fine-grained
+//!   packet classification happens at software access switches next to the
+//!   base stations; the classification result is embedded in the source
+//!   IP address and port so return traffic needs no classification at the
+//!   multi-terabit gateway edge.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `softcell-types` | identifiers, LocIP addressing, prefixes, tags, time |
+//! | [`packet`] | `softcell-packet` | IPv4/TCP/UDP wire format, header embedding, NAT |
+//! | [`topology`] | `softcell-topology` | graph model + synthetic cellular topologies |
+//! | [`dataplane`] | `softcell-dataplane` | multi-table switch model with TCAM semantics |
+//! | [`policy`] | `softcell-policy` | service-policy language and classifier compiler |
+//! | [`controller`] | `softcell-controller` | central controller, Algorithm 1, local agents, mobility, failover |
+//! | [`workload`] | `softcell-workload` | synthetic LTE workload calibrated to the paper's traces |
+//! | [`sim`] | `softcell-sim` | end-to-end event simulator and baselines |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete tour: build a topology,
+//! define a service policy, attach UEs, start flows and watch packets
+//! traverse the right middlebox chains in both directions.
+
+#![forbid(unsafe_code)]
+
+pub use softcell_controller as controller;
+pub use softcell_dataplane as dataplane;
+pub use softcell_packet as packet;
+pub use softcell_policy as policy;
+pub use softcell_sim as sim;
+pub use softcell_topology as topology;
+pub use softcell_types as types;
+pub use softcell_workload as workload;

@@ -1,0 +1,80 @@
+//! Control-plane failure drills across the full stack (paper §5.2).
+
+use softcell::controller::failover::{
+    rebuild_locations, AgentLocationReport, ReplicaGroup,
+};
+use softcell::packet::Protocol;
+use softcell::policy::{ServicePolicy, SubscriberAttributes};
+use softcell::sim::SimWorld;
+use softcell::topology::small_topology;
+use softcell::types::{BaseStationId, SimTime, UeImsi};
+use std::net::Ipv4Addr;
+
+const SERVER: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 80);
+
+#[test]
+fn controller_replica_rebuilds_locations_from_live_agents() {
+    let topo = small_topology();
+    let mut w = SimWorld::new(&topo, ServicePolicy::example_carrier_a(1));
+    for i in 0..6 {
+        w.provision(SubscriberAttributes::default_home(UeImsi(i)));
+    }
+    for i in 0..6u64 {
+        w.attach(UeImsi(i), BaseStationId((i % 4) as u32)).unwrap();
+    }
+    // some traffic so the state is non-trivial
+    for i in 0..6u64 {
+        let c = w.start_connection(UeImsi(i), SERVER, 443, Protocol::Tcp).unwrap();
+        w.round_trip(c).unwrap();
+    }
+    // a handoff so one UE's location is "fresh"
+    w.handoff(UeImsi(0), BaseStationId(2)).unwrap();
+
+    // the replica group mirrors the primary's slow state
+    let mut group = ReplicaGroup::new(w.controller.state().clone(), 3).unwrap();
+    group.fail_replica(0).unwrap();
+
+    // the surviving replica lost nothing slow...
+    assert_eq!(group.primary().subscriber_count(), 6);
+    // ...and rebuilds the fast (location) state from the agents
+    let reports: Vec<AgentLocationReport> = topo
+        .base_stations()
+        .iter()
+        .map(|bs| AgentLocationReport::from_agent(w.agent(bs.id), SimTime::from_secs(1)))
+        .collect();
+    let mut recovered = group.primary().clone();
+    recovered.clear_locations();
+    rebuild_locations(&mut recovered, &reports);
+
+    assert_eq!(recovered.attached_count(), 6);
+    for i in 0..6u64 {
+        assert_eq!(
+            recovered.ue(UeImsi(i)).unwrap().bs,
+            w.controller.state().ue(UeImsi(i)).unwrap().bs,
+            "rebuilt location of {i} matches the agents' truth"
+        );
+    }
+}
+
+#[test]
+fn agent_restart_preserves_service() {
+    let topo = small_topology();
+    let mut w = SimWorld::new(&topo, ServicePolicy::example_carrier_a(1));
+    for i in 0..2 {
+        w.provision(SubscriberAttributes::default_home(UeImsi(i)));
+    }
+    w.attach(UeImsi(0), BaseStationId(0)).unwrap();
+    w.attach(UeImsi(1), BaseStationId(0)).unwrap();
+    let c = w.start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp).unwrap();
+    w.round_trip(c).unwrap();
+
+    // crash the bs0 agent and restart it from the controller
+    let grants = w.controller.grants_for_station(BaseStationId(0)).unwrap();
+    assert_eq!(grants.len(), 2);
+    w.restart_agent(BaseStationId(0)).unwrap();
+
+    // attached UEs survived; new flows classify correctly again
+    let c2 = w.start_connection(UeImsi(1), SERVER, 554, Protocol::Tcp).unwrap();
+    w.round_trip(c2).unwrap();
+    w.assert_policy_consistency().unwrap();
+}

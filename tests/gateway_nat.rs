@@ -1,0 +1,108 @@
+//! Gateway-edge NAT integration (paper §4.1, security & privacy).
+//!
+//! "SoftCell can perform network address translation (NAT) as packets
+//! arrive from the Internet. Specifically, we require the NAT function
+//! to pick a different IP address and/or port number for every flow,
+//! whether or not the UE moves", and the public endpoints "cannot be
+//! correlated with the UE's location".
+
+use softcell::packet::Protocol;
+use softcell::policy::{ServicePolicy, SubscriberAttributes};
+use softcell::sim::SimWorld;
+use softcell::topology::small_topology;
+use softcell::types::{BaseStationId, Ipv4Prefix, UeImsi};
+use std::net::Ipv4Addr;
+
+const SERVER: Ipv4Addr = Ipv4Addr::new(93, 184, 216, 34);
+
+fn nat_world(topo: &softcell::topology::Topology) -> SimWorld<'_> {
+    let mut w = SimWorld::new(topo, ServicePolicy::example_carrier_a(1));
+    w.enable_gateway_nat("203.0.113.0/24".parse::<Ipv4Prefix>().unwrap(), 7);
+    for i in 0..4 {
+        w.provision(SubscriberAttributes::default_home(UeImsi(i)));
+    }
+    w
+}
+
+#[test]
+fn internet_sees_public_endpoints_not_locips() {
+    let topo = small_topology();
+    let mut w = nat_world(&topo);
+    w.attach(UeImsi(0), BaseStationId(0)).unwrap();
+    let c = w.start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp).unwrap();
+    w.round_trip(c).unwrap();
+
+    let public: Ipv4Prefix = "203.0.113.0/24".parse().unwrap();
+    let internet = w.connection(c).internet_tuple.unwrap();
+    assert!(
+        public.contains(internet.src),
+        "the Internet sees {} — a pool address, not a LocIP",
+        internet.src
+    );
+    let carrier = w.controller.config().scheme.carrier();
+    assert!(!carrier.contains(internet.src), "no LocIP leaks");
+
+    // the fabric-side key still identifies the connection by LocIP
+    let key = w.connection(c).key.unwrap();
+    assert!(carrier.contains(key.loc));
+    w.assert_policy_consistency().unwrap();
+}
+
+#[test]
+fn each_flow_gets_a_fresh_public_endpoint() {
+    let topo = small_topology();
+    let mut w = nat_world(&topo);
+    w.attach(UeImsi(0), BaseStationId(0)).unwrap();
+    let c1 = w.start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp).unwrap();
+    let c2 = w.start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp).unwrap();
+    w.round_trip(c1).unwrap();
+    w.round_trip(c2).unwrap();
+
+    let e1 = w.connection(c1).internet_tuple.unwrap();
+    let e2 = w.connection(c2).internet_tuple.unwrap();
+    assert_ne!(
+        (e1.src, e1.src_port),
+        (e2.src, e2.src_port),
+        "fresh endpoint per flow — §4.1's privacy requirement"
+    );
+}
+
+#[test]
+fn nat_survives_handoff_with_stable_public_endpoint() {
+    let topo = small_topology();
+    let mut w = nat_world(&topo);
+    w.attach(UeImsi(0), BaseStationId(0)).unwrap();
+    let c = w.start_connection(UeImsi(0), SERVER, 554, Protocol::Tcp).unwrap();
+    w.round_trip(c).unwrap();
+    let before = w.connection(c).internet_tuple.unwrap();
+
+    w.handoff(UeImsi(0), BaseStationId(3)).unwrap();
+    w.round_trip(c).unwrap();
+
+    // the anchored flow keeps its old LocIP, so the NAT binding — and
+    // therefore the Internet-visible endpoint — is unchanged: the move
+    // is invisible outside
+    let after = w.connection(c).internet_tuple.unwrap();
+    assert_eq!(before, after, "handoff leaked to the Internet");
+    w.assert_policy_consistency().unwrap();
+}
+
+#[test]
+fn stray_inbound_packets_have_no_binding() {
+    // an Internet host probing the pool cold gets nothing translated
+    use softcell::packet::{build_flow_packet, FiveTuple, FlowNat};
+    let nat = FlowNat::new("203.0.113.0/24".parse().unwrap(), 3).unwrap();
+    let mut stray = build_flow_packet(
+        FiveTuple {
+            src: Ipv4Addr::new(198, 51, 100, 66),
+            dst: Ipv4Addr::new(203, 0, 113, 50),
+            src_port: 12345,
+            dst_port: 2000,
+            proto: Protocol::Tcp,
+        },
+        64,
+        0,
+        &[],
+    );
+    assert!(nat.translate_inbound(&mut stray).is_err());
+}

@@ -1,0 +1,119 @@
+//! Internet-initiated traffic (paper §7): a UE exposed on a public IP.
+//!
+//! "When a gateway switch receives packets destined to these public IP
+//! addresses, the gateway will act like an access switch ... these
+//! packet classifiers are not microflow rules and do not require
+//! communication with the central controller for every microflow. They
+//! are coarse-grained ... and can be installed once."
+
+use softcell::packet::{HeaderView, Protocol};
+use softcell::policy::{ServicePolicy, SubscriberAttributes};
+use softcell::sim::{SimWorld, WalkOutcome};
+use softcell::topology::small_topology;
+use softcell::types::{BaseStationId, MiddleboxKind, UeImsi};
+use std::net::Ipv4Addr;
+
+const PUBLIC: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 10);
+const REMOTE: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 50);
+
+fn world(topo: &softcell::topology::Topology) -> SimWorld<'_> {
+    let mut w = SimWorld::new(topo, ServicePolicy::example_carrier_a(1));
+    for i in 0..2 {
+        w.provision(SubscriberAttributes::default_home(UeImsi(i)));
+    }
+    w
+}
+
+#[test]
+fn inbound_request_reaches_the_service() {
+    let topo = small_topology();
+    let mut w = world(&topo);
+    w.attach(UeImsi(0), BaseStationId(1)).unwrap();
+    w.expose_service(UeImsi(0), PUBLIC, 443, Protocol::Tcp).unwrap();
+
+    let (out, buf) = w
+        .inbound_request(REMOTE, 55_555, PUBLIC, 443, Protocol::Tcp, b"GET /")
+        .unwrap();
+    assert!(matches!(out, WalkOutcome::DeliveredToRadio { .. }));
+
+    // delivered to the UE's *permanent* endpoint on the service port
+    let view = HeaderView::parse(&buf).unwrap();
+    let permanent = w.controller.state().ue(UeImsi(0)).unwrap().permanent_ip;
+    assert_eq!(view.dst(), permanent);
+    assert_eq!(view.dst_port(), 443);
+    // the source (the Internet client) is untouched
+    assert_eq!(view.src(), REMOTE);
+    assert_eq!(view.src_port(), 55_555);
+
+    // the request traversed the clause's firewall on the way in
+    let fw = topo.instances_of(MiddleboxKind::Firewall)[0];
+    assert!(w.net.middleboxes.connections_seen(fw) > 0);
+}
+
+#[test]
+fn second_request_needs_no_new_state() {
+    // "installed once": more inbound connections, zero new rules
+    let topo = small_topology();
+    let mut w = world(&topo);
+    w.attach(UeImsi(0), BaseStationId(1)).unwrap();
+    w.expose_service(UeImsi(0), PUBLIC, 443, Protocol::Tcp).unwrap();
+    w.inbound_request(REMOTE, 50_001, PUBLIC, 443, Protocol::Tcp, b"a")
+        .unwrap();
+    let rules = w.net.total_rules();
+    let gw_microflows = w
+        .net
+        .switch(topo.default_gateway().switch)
+        .microflow
+        .len();
+
+    for port in 50_002..50_010 {
+        let (out, _) = w
+            .inbound_request(REMOTE, port, PUBLIC, 443, Protocol::Tcp, b"b")
+            .unwrap();
+        assert!(matches!(out, WalkOutcome::DeliveredToRadio { .. }));
+    }
+    assert_eq!(w.net.total_rules(), rules, "coarse classifiers, installed once");
+    assert_eq!(
+        w.net
+            .switch(topo.default_gateway().switch)
+            .microflow
+            .len(),
+        gw_microflows,
+        "no per-flow state appears at the gateway"
+    );
+}
+
+#[test]
+fn service_reply_exits_with_the_public_endpoint() {
+    let topo = small_topology();
+    let mut w = world(&topo);
+    w.attach(UeImsi(0), BaseStationId(1)).unwrap();
+    w.expose_service(UeImsi(0), PUBLIC, 443, Protocol::Tcp).unwrap();
+    w.inbound_request(REMOTE, 55_555, PUBLIC, 443, Protocol::Tcp, b"req")
+        .unwrap();
+
+    // the service answers from its well-known port; the reply flows
+    // through the normal uplink machinery and the gateway restores the
+    // public endpoint on the way out
+    let c = w
+        .start_connection_from_port(UeImsi(0), REMOTE, 55_555, Protocol::Tcp, 443)
+        .unwrap();
+    let out = w.send_uplink(c, b"resp").unwrap();
+    assert!(matches!(out, WalkOutcome::ExitedGateway { .. }));
+    let exit = w.connection(c).internet_tuple.unwrap();
+    assert_eq!(exit.src, PUBLIC, "the Internet sees the public address");
+    assert_eq!(exit.src_port, 443, "...and the service port");
+    assert_eq!(exit.dst, REMOTE);
+}
+
+#[test]
+fn unexposed_public_addresses_drop_at_the_gateway() {
+    let topo = small_topology();
+    let mut w = world(&topo);
+    w.attach(UeImsi(0), BaseStationId(1)).unwrap();
+    // no expose_service call
+    let (out, _) = w
+        .inbound_request(REMOTE, 55_555, PUBLIC, 443, Protocol::Tcp, b"probe")
+        .unwrap();
+    assert!(matches!(out, WalkOutcome::Dropped { .. }));
+}
