@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks for the southbound control channel.
+//!
+//! * `ctlchan_encode_*` / `ctlchan_decode_*` — pure codec cost for the
+//!   two dominant frame shapes: a classifier reply (attach answer, the
+//!   largest message) and a flow-mod batch (path answer).
+//! * `ctlchan_loopback_echo` — one full framed round trip through the
+//!   in-memory transport and serve loop: encode, queue, decode,
+//!   dispatch, reply, decode. The per-request floor the wire mode of
+//!   `tab2_agent_throughput` pays on top of the in-process path.
+//! * `ctlchan_loopback_path_request` — the same round trip carrying a
+//!   real path request through a running [`ControllerServer`] worker
+//!   pool, i.e. the §6.2 request path with the wire front-end attached.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use softcell_controller::server::ControllerServer;
+use softcell_controller::wire::ChannelController;
+use softcell_ctlchan::{
+    loopback_pair, serve, CtlChannel, Frame, Message, WireClassifier, WireFlowMod, WirePathTags,
+    WireUeRecord,
+};
+use softcell_policy::clause::ClauseId;
+use softcell_policy::{AppClassifier, ServicePolicy, SubscriberAttributes, UeClassifier};
+use softcell_types::{BaseStationId, PolicyTag, PortNo, SimTime, UeId, UeImsi};
+
+fn sample_classifier_reply() -> Message<'static> {
+    let policy = ServicePolicy::example_carrier_a(1);
+    let apps = AppClassifier::default();
+    let attrs = SubscriberAttributes::default_home(UeImsi(1));
+    let compiled = UeClassifier::compile(&policy, &apps, &attrs);
+    Message::ClassifierReply {
+        record: WireUeRecord {
+            imsi: UeImsi(1),
+            permanent_ip: std::net::Ipv4Addr::new(100, 64, 0, 9),
+            bs: BaseStationId(37),
+            ue_id: UeId(10),
+            since: SimTime(12_345),
+        },
+        classifier: Some(WireClassifier {
+            entries: compiled.entries().to_vec(),
+            fallback: compiled.fallback(),
+        }),
+    }
+}
+
+fn sample_flow_mod() -> Message<'static> {
+    Message::FlowMod(
+        (0..4u16)
+            .map(|i| WireFlowMod {
+                bs: BaseStationId(7),
+                clause: ClauseId(i),
+                tags: WirePathTags {
+                    uplink_entry: PolicyTag(i),
+                    uplink_exit: PolicyTag(i + 100),
+                    downlink_final: PolicyTag(i),
+                    access_out_port: PortNo(1),
+                    qos: None,
+                },
+            })
+            .collect(),
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let reply = sample_classifier_reply();
+    c.bench_function("ctlchan_encode_classifier_reply", |b| {
+        b.iter(|| black_box(reply.encode(black_box(7))));
+    });
+    let buf = reply.encode(7);
+    c.bench_function("ctlchan_decode_classifier_reply", |b| {
+        b.iter(|| {
+            let frame = Frame::new_checked(black_box(buf.as_slice())).expect("frame");
+            black_box(frame.message().expect("decode"));
+        });
+    });
+
+    let mods = sample_flow_mod();
+    c.bench_function("ctlchan_encode_flow_mod_batch4", |b| {
+        b.iter(|| black_box(mods.encode(black_box(7))));
+    });
+    let buf = mods.encode(7);
+    c.bench_function("ctlchan_decode_flow_mod_batch4", |b| {
+        b.iter(|| {
+            let frame = Frame::new_checked(black_box(buf.as_slice())).expect("frame");
+            black_box(frame.message().expect("decode"));
+        });
+    });
+}
+
+fn bench_loopback(c: &mut Criterion) {
+    let (client_end, server_end) = loopback_pair();
+    let echo_server = std::thread::spawn(move || {
+        let _ = serve(server_end, || 0, |_msg| None);
+    });
+    let mut chan = CtlChannel::new(client_end);
+    c.bench_function("ctlchan_loopback_echo", |b| {
+        b.iter(|| black_box(chan.echo(black_box(b"liveness")).expect("echo")));
+    });
+    drop(chan);
+    echo_server.join().expect("echo server");
+
+    let subscribers: Vec<_> = (0..4)
+        .map(|i| SubscriberAttributes::default_home(UeImsi(i)))
+        .collect();
+    let server = ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers, 2)
+        .expect("server");
+    let (agent_end, controller_end) = loopback_pair();
+    let serving = server.serve(controller_end);
+    let mut ctl = ChannelController::connect(agent_end, BaseStationId(0)).expect("connect");
+    c.bench_function("ctlchan_loopback_path_request", |b| {
+        let mut clause = 0u16;
+        b.iter(|| {
+            // rotate clauses so the (bs, clause) path map stays small but
+            // the request is never a pure repeat of the previous one
+            clause = (clause + 1) % 64;
+            black_box(
+                softcell_controller::agent::ControllerApi::request_policy_path(
+                    &mut ctl,
+                    BaseStationId(0),
+                    ClauseId(clause),
+                )
+                .expect("path"),
+            );
+        });
+    });
+    drop(ctl);
+    serving.join().expect("serve thread").expect("serve");
+    server.shutdown();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_codec, bench_loopback
+);
+criterion_main!(benches);

@@ -60,7 +60,11 @@ fn bench_alg1(c: &mut Criterion) {
         b.iter(|| {
             let p = &paths[i % paths.len()];
             i += 1;
-            black_box(installer.install_path(p, Direction::Downlink).expect("install"));
+            black_box(
+                installer
+                    .install_path(p, Direction::Downlink)
+                    .expect("install"),
+            );
         });
     });
 }

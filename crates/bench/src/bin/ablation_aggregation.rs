@@ -58,8 +58,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2013);
 
     // generate the same path stream once
-    println!("generating {} paths (k={k}, n={n_clauses}, m={m})...",
-        n_clauses * topo.base_stations().len());
+    println!(
+        "generating {} paths (k={k}, n={n_clauses}, m={m})...",
+        n_clauses * topo.base_stations().len()
+    );
     let (paths, secs) = timed(|| {
         let mut out: Vec<PolicyPath> = Vec::new();
         for _ in 0..n_clauses {

@@ -65,9 +65,21 @@ fn main() {
     eprintln!("generated in {secs:.1}s");
 
     let series = vec![
-        summarize("fig6a: UE arrivals/s (network)", 214.0, &stats.ue_arrivals_per_sec),
-        summarize("fig6a: handoffs/s (network)", 280.0, &stats.handoffs_per_sec),
-        summarize("fig6b: active UEs per station", 514.0, &stats.active_per_station),
+        summarize(
+            "fig6a: UE arrivals/s (network)",
+            214.0,
+            &stats.ue_arrivals_per_sec,
+        ),
+        summarize(
+            "fig6a: handoffs/s (network)",
+            280.0,
+            &stats.handoffs_per_sec,
+        ),
+        summarize(
+            "fig6b: active UEs per station",
+            514.0,
+            &stats.active_per_station,
+        ),
         summarize(
             "fig6c: bearer arrivals/s per station",
             34.0,
@@ -75,7 +87,14 @@ fn main() {
         ),
     ];
 
-    let mut t = TextTable::new(&["series", "paper p99.999", "measured", "median", "mean", "max"]);
+    let mut t = TextTable::new(&[
+        "series",
+        "paper p99.999",
+        "measured",
+        "median",
+        "mean",
+        "max",
+    ]);
     for s in &series {
         t.row(&[
             s.name.clone(),

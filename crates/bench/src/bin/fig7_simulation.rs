@@ -80,7 +80,14 @@ fn sweep_a(quick: bool, full: bool) -> Vec<Figure7Result> {
     ns.into_iter()
         .map(|n| {
             let (r, secs) = timed(|| {
-                run_on(&topo, Figure7Config { n_clauses: n, ..cfg }).expect("run")
+                run_on(
+                    &topo,
+                    Figure7Config {
+                        n_clauses: n,
+                        ..cfg
+                    },
+                )
+                .expect("run")
             });
             eprintln!("fig7a n={n}: {secs:.1}s");
             r
@@ -93,9 +100,8 @@ fn sweep_b(quick: bool) -> Vec<Figure7Result> {
     let topo = CellularParams::paper(cfg.k).build().expect("topology");
     (4..=8)
         .map(|m| {
-            let (r, secs) = timed(|| {
-                run_on(&topo, Figure7Config { m_chain: m, ..cfg }).expect("run")
-            });
+            let (r, secs) =
+                timed(|| run_on(&topo, Figure7Config { m_chain: m, ..cfg }).expect("run"));
             eprintln!("fig7b m={m}: {secs:.1}s");
             r
         })

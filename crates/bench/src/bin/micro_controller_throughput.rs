@@ -43,12 +43,8 @@ fn measure(workers: usize, clients: usize, duration: Duration) -> Row {
     let subscribers: Vec<SubscriberAttributes> = (0..SUBS)
         .map(|i| SubscriberAttributes::default_home(UeImsi(i)))
         .collect();
-    let server = ControllerServer::start(
-        ServicePolicy::example_carrier_a(1),
-        subscribers,
-        workers,
-    )
-    .expect("server");
+    let server = ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers, workers)
+        .expect("server");
 
     let start = Instant::now();
     let handles: Vec<_> = (0..clients)

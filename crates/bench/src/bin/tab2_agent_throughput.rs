@@ -15,7 +15,16 @@
 //! probability `1 − p` the flow's clause is evicted from the agent's tag
 //! cache.
 //!
-//! Usage: `tab2_agent_throughput [--quick] [--json PATH]`
+//! Two controller transports (the Cbench-style comparison of §6.2):
+//!
+//! * `--transport inproc` (default) — the agent talks straight to the
+//!   worker pool over the in-process request channel.
+//! * `--transport wire` — the agent's requests are framed by
+//!   `softcell-ctlchan`, cross the loopback transport, and are served
+//!   by the controller's southbound front-end; both directions pay the
+//!   full encode/decode cost on top of the same simulated RTT.
+//!
+//! Usage: `tab2_agent_throughput [--quick] [--transport inproc|wire] [--json PATH]`
 
 use std::net::Ipv4Addr;
 use std::time::{Duration, Instant};
@@ -27,6 +36,8 @@ use softcell_controller::agent::{ControllerApi, LocalAgent};
 use softcell_controller::core::{AttachGrant, PathTags};
 use softcell_controller::server::{ControllerServer, Request};
 use softcell_controller::state::UeRecord;
+use softcell_controller::wire::ChannelController;
+use softcell_ctlchan::{loopback_pair, Loopback};
 use softcell_dataplane::Switch;
 use softcell_packet::{build_flow_packet, FiveTuple, HeaderView, Protocol};
 use softcell_policy::clause::ClauseId;
@@ -107,6 +118,43 @@ impl ControllerApi for RemoteController {
     }
 }
 
+/// The wire-mode proxy: a real [`ChannelController`] over the framed
+/// loopback transport, with the same simulated RTT added per request so
+/// the two modes differ only in serialization + channel cost.
+struct WireController {
+    chan: ChannelController<Loopback>,
+    rtt: Duration,
+}
+
+impl WireController {
+    fn round_trip(&self) {
+        std::thread::sleep(self.rtt);
+    }
+}
+
+impl ControllerApi for WireController {
+    fn attach_ue(
+        &mut self,
+        imsi: UeImsi,
+        bs: BaseStationId,
+        ue_id: UeId,
+        now: SimTime,
+    ) -> Result<AttachGrant> {
+        self.round_trip();
+        self.chan.attach_ue(imsi, bs, ue_id, now)
+    }
+
+    fn request_policy_path(&mut self, bs: BaseStationId, clause: ClauseId) -> Result<PathTags> {
+        self.round_trip();
+        self.chan.request_policy_path(bs, clause)
+    }
+
+    fn detach_ue(&mut self, imsi: UeImsi) -> Result<UeRecord> {
+        self.round_trip();
+        self.chan.detach_ue(imsi)
+    }
+}
+
 #[derive(Serialize)]
 struct Row {
     hit_ratio_pct: f64,
@@ -120,26 +168,22 @@ struct Row {
 #[derive(Serialize)]
 struct Output {
     experiment: String,
+    transport: String,
     simulated_rtt_us: u64,
     rows: Vec<Row>,
 }
 
-fn measure(hit_ratio: f64, duration: Duration, server: &ControllerServer) -> Row {
+fn measure(hit_ratio: f64, duration: Duration, ctl: &mut impl ControllerApi) -> Row {
     let scheme = AddressingScheme::default_scheme();
     let ports = PortEmbedding::default_embedding();
     let mut agent = LocalAgent::new(BaseStationId(0), PortNo(2), scheme, ports);
     let mut switch = Switch::access(SwitchId(0));
-    let mut ctl = RemoteController {
-        handle: server.handle(),
-        rtt: Duration::from_micros(500),
-        next_permanent: 0,
-    };
 
     // a population of attached UEs (paper: hundreds per station)
     const UES: u64 = 200;
     for i in 0..UES {
         agent
-            .handle_attach(UeImsi(i), &mut ctl, SimTime::ZERO)
+            .handle_attach(UeImsi(i), ctl, SimTime::ZERO)
             .expect("attach");
     }
     let base_stats = agent.stats();
@@ -175,7 +219,7 @@ fn measure(hit_ratio: f64, duration: Duration, server: &ControllerServer) -> Row
 
         now_us += 10;
         agent
-            .handle_new_flow(&view, &mut ctl, &mut switch, SimTime(now_us))
+            .handle_new_flow(&view, ctl, &mut switch, SimTime(now_us))
             .expect("flow");
         // the flow completes immediately (keeps slots bounded)
         agent.flow_finished(imsi, &tuple).expect("finish");
@@ -194,6 +238,14 @@ fn measure(hit_ratio: f64, duration: Duration, server: &ControllerServer) -> Row
     }
 }
 
+/// `--transport inproc|wire` (default `inproc`).
+fn transport_arg(args: &[String]) -> String {
+    match args.iter().position(|a| a == "--transport") {
+        Some(i) => args.get(i + 1).cloned().unwrap_or_else(|| "inproc".into()),
+        None => "inproc".into(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let duration = if is_quick(&args) {
@@ -201,6 +253,7 @@ fn main() {
     } else {
         Duration::from_millis(1500)
     };
+    let transport = transport_arg(&args);
 
     let subscribers: Vec<SubscriberAttributes> = (0..200)
         .map(|i| SubscriberAttributes::default_home(UeImsi(i)))
@@ -210,8 +263,44 @@ fn main() {
 
     println!("Table 2: local-agent throughput vs cache hit ratio");
     println!("(paper shape: monotone in hit ratio; ~1.8K flows/s at 0%)");
+    println!("transport: {transport}");
     let ratios = [1.0, 0.999, 0.99, 0.95, 0.90, 0.80, 0.50, 0.0];
-    let rows: Vec<Row> = ratios.iter().map(|&p| measure(p, duration, &server)).collect();
+    let rtt = Duration::from_micros(500);
+    let rows: Vec<Row> = match transport.as_str() {
+        "inproc" => ratios
+            .iter()
+            .map(|&p| {
+                let mut ctl = RemoteController {
+                    handle: server.handle(),
+                    rtt,
+                    next_permanent: 0,
+                };
+                measure(p, duration, &mut ctl)
+            })
+            .collect(),
+        "wire" => {
+            let (agent_end, controller_end) = loopback_pair();
+            let serving = server.serve(controller_end);
+            let mut ctl = WireController {
+                chan: ChannelController::connect(agent_end, BaseStationId(0)).expect("hello"),
+                rtt,
+            };
+            let rows = ratios
+                .iter()
+                .map(|&p| measure(p, duration, &mut ctl))
+                .collect();
+            drop(ctl);
+            serving
+                .join()
+                .expect("serve thread")
+                .expect("serve loop exits cleanly");
+            rows
+        }
+        other => {
+            eprintln!("unknown --transport {other:?} (expected inproc or wire)");
+            std::process::exit(2);
+        }
+    };
 
     let mut t = TextTable::new(&["hit ratio %", "flows", "secs", "flows/s", "hits", "misses"]);
     for r in &rows {
@@ -230,6 +319,7 @@ fn main() {
         &args,
         &Output {
             experiment: "tab2".into(),
+            transport,
             simulated_rtt_us: 500,
             rows,
         },

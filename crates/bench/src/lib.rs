@@ -31,7 +31,8 @@ impl TextTable {
     /// Appends a row (must match the header count).
     pub fn row<S: Display>(&mut self, cells: &[S]) {
         assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Renders the table.

@@ -534,28 +534,40 @@ mod tests {
     fn attach_assigns_sequential_ue_ids() {
         let topo = small_topology();
         let (mut ctl, mut agent, _sw) = setup(&topo);
-        let r0 = agent.handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).unwrap();
-        let r1 = agent.handle_attach(UeImsi(1), &mut ctl, SimTime::ZERO).unwrap();
+        let r0 = agent
+            .handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO)
+            .unwrap();
+        let r1 = agent
+            .handle_attach(UeImsi(1), &mut ctl, SimTime::ZERO)
+            .unwrap();
         assert_eq!(r0.ue_id, UeId(0));
         assert_eq!(r1.ue_id, UeId(1));
-        assert!(agent.handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).is_err());
+        assert!(agent
+            .handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO)
+            .is_err());
     }
 
     #[test]
     fn first_flow_misses_then_hits() {
         let topo = small_topology();
         let (mut ctl, mut agent, mut sw) = setup(&topo);
-        let rec = agent.handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).unwrap();
+        let rec = agent
+            .handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO)
+            .unwrap();
 
         let v1 = flow_view(rec.permanent_ip, 443);
-        let s1 = agent.handle_new_flow(&v1, &mut ctl, &mut sw, SimTime::ZERO).unwrap();
+        let s1 = agent
+            .handle_new_flow(&v1, &mut ctl, &mut sw, SimTime::ZERO)
+            .unwrap();
         let FlowSetup::Allowed { cache_hit, .. } = s1 else {
             panic!("web flow is allowed");
         };
         assert!(!cache_hit, "first flow of the clause escalates");
 
         let v2 = flow_view(rec.permanent_ip, 80); // same catch-all clause
-        let s2 = agent.handle_new_flow(&v2, &mut ctl, &mut sw, SimTime::ZERO).unwrap();
+        let s2 = agent
+            .handle_new_flow(&v2, &mut ctl, &mut sw, SimTime::ZERO)
+            .unwrap();
         let FlowSetup::Allowed { cache_hit, .. } = s2 else {
             panic!()
         };
@@ -570,10 +582,13 @@ mod tests {
     fn flow_rewrite_embeds_loc_and_tag() {
         let topo = small_topology();
         let (mut ctl, mut agent, mut sw) = setup(&topo);
-        let rec = agent.handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).unwrap();
+        let rec = agent
+            .handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO)
+            .unwrap();
         let v = flow_view(rec.permanent_ip, 443);
-        let FlowSetup::Allowed { loc_source, .. } =
-            agent.handle_new_flow(&v, &mut ctl, &mut sw, SimTime::ZERO).unwrap()
+        let FlowSetup::Allowed { loc_source, .. } = agent
+            .handle_new_flow(&v, &mut ctl, &mut sw, SimTime::ZERO)
+            .unwrap()
         else {
             panic!()
         };
@@ -590,9 +605,13 @@ mod tests {
         let mut attrs = SubscriberAttributes::default_home(UeImsi(9));
         attrs.provider = softcell_policy::Provider::Foreign(3);
         ctl.put_subscriber(attrs);
-        let rec = agent.handle_attach(UeImsi(9), &mut ctl, SimTime::ZERO).unwrap();
+        let rec = agent
+            .handle_attach(UeImsi(9), &mut ctl, SimTime::ZERO)
+            .unwrap();
         let v = flow_view(rec.permanent_ip, 443);
-        let s = agent.handle_new_flow(&v, &mut ctl, &mut sw, SimTime::ZERO).unwrap();
+        let s = agent
+            .handle_new_flow(&v, &mut ctl, &mut sw, SimTime::ZERO)
+            .unwrap();
         assert!(matches!(s, FlowSetup::Denied { .. }));
         assert_eq!(agent.stats().denied, 1);
         // the drop rule is in place
@@ -607,14 +626,18 @@ mod tests {
         let topo = small_topology();
         let (mut ctl, mut agent, mut sw) = setup(&topo);
         let v = flow_view(Ipv4Addr::new(1, 2, 3, 4), 443);
-        assert!(agent.handle_new_flow(&v, &mut ctl, &mut sw, SimTime::ZERO).is_err());
+        assert!(agent
+            .handle_new_flow(&v, &mut ctl, &mut sw, SimTime::ZERO)
+            .is_err());
     }
 
     #[test]
     fn flow_slots_are_unique_and_recycled() {
         let topo = small_topology();
         let (mut ctl, mut agent, mut sw) = setup(&topo);
-        let rec = agent.handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).unwrap();
+        let rec = agent
+            .handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO)
+            .unwrap();
         let mut seen = HashSet::new();
         let mut first_tuple = None;
         for i in 0..10 {
@@ -626,8 +649,9 @@ mod tests {
                 proto: Protocol::Tcp,
             };
             let v = HeaderView::parse(&build_flow_packet(t, 64, 0, &[])).unwrap();
-            let FlowSetup::Allowed { loc_source, .. } =
-                agent.handle_new_flow(&v, &mut ctl, &mut sw, SimTime::ZERO).unwrap()
+            let FlowSetup::Allowed { loc_source, .. } = agent
+                .handle_new_flow(&v, &mut ctl, &mut sw, SimTime::ZERO)
+                .unwrap()
             else {
                 panic!()
             };
@@ -635,7 +659,9 @@ mod tests {
             first_tuple.get_or_insert(t);
         }
         assert_eq!(agent.flows_of(UeImsi(0)).unwrap().len(), 10);
-        agent.flow_finished(UeImsi(0), &first_tuple.unwrap()).unwrap();
+        agent
+            .flow_finished(UeImsi(0), &first_tuple.unwrap())
+            .unwrap();
         assert_eq!(agent.flows_of(UeImsi(0)).unwrap().len(), 9);
     }
 
@@ -643,9 +669,13 @@ mod tests {
     fn detach_frees_ue_id() {
         let topo = small_topology();
         let (mut ctl, mut agent, _sw) = setup(&topo);
-        agent.handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).unwrap();
+        agent
+            .handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO)
+            .unwrap();
         agent.handle_detach(UeImsi(0), &mut ctl).unwrap();
-        let r = agent.handle_attach(UeImsi(1), &mut ctl, SimTime::ZERO).unwrap();
+        let r = agent
+            .handle_attach(UeImsi(1), &mut ctl, SimTime::ZERO)
+            .unwrap();
         assert_eq!(r.ue_id, UeId(0), "freed id is recycled");
     }
 
@@ -659,7 +689,9 @@ mod tests {
             .unwrap();
         agent.adopt(grant.record, grant.classifier).unwrap();
         // the next locally assigned id must skip past 5
-        let r = agent.handle_attach(UeImsi(3), &mut ctl, SimTime::ZERO).unwrap();
+        let r = agent
+            .handle_attach(UeImsi(3), &mut ctl, SimTime::ZERO)
+            .unwrap();
         assert_eq!(r.ue_id, UeId(6));
     }
 

@@ -10,8 +10,8 @@
 
 use std::collections::HashMap;
 
-use softcell_policy::{AppClassifier, QosClass, SubscriberAttributes, UeClassifier};
 use softcell_policy::clause::{AccessControl, ClauseId};
+use softcell_policy::{AppClassifier, QosClass, SubscriberAttributes, UeClassifier};
 use softcell_topology::{PolicyPath, ShortestPaths, Topology};
 use softcell_types::{
     AddressingScheme, BaseStationId, Error, Ipv4Prefix, MiddleboxId, MiddleboxKind, PolicyTag,
@@ -247,11 +247,7 @@ impl<'t> CentralController<'t> {
     /// installing it first if needed — the local agent calls this when
     /// its tag cache misses (§4.2: "the local agent only contacts the
     /// controller if no policy tag exists for this flow").
-    pub fn request_policy_path(
-        &mut self,
-        bs: BaseStationId,
-        clause: ClauseId,
-    ) -> Result<PathTags> {
+    pub fn request_policy_path(&mut self, bs: BaseStationId, clause: ClauseId) -> Result<PathTags> {
         if let Some(tags) = self.installed.get(&(clause, bs)) {
             return Ok(*tags);
         }
@@ -369,9 +365,7 @@ impl<'t> CentralController<'t> {
             ));
         }
 
-        let report = self
-            .installer
-            .install_path(&path, Direction::Downlink)?;
+        let report = self.installer.install_path(&path, Direction::Downlink)?;
         self.lower_last(Direction::Downlink)?;
 
         // the sender-side out port: towards the hop before its access
@@ -429,11 +423,7 @@ impl<'t> CentralController<'t> {
         self.installed.clear();
         for ((clause, bs), mut tags, path) in internet {
             tags.access_out_port = self.access_out_port(&path)?;
-            tags.qos = self
-                .state
-                .policy
-                .clause(clause)
-                .and_then(|c| c.action.qos);
+            tags.qos = self.state.policy.clause(clause).and_then(|c| c.action.qos);
             self.installed.insert((clause, bs), tags);
         }
         self.m2m.clear();
@@ -444,11 +434,7 @@ impl<'t> CentralController<'t> {
                 .topo
                 .port_towards(from_access, next)
                 .ok_or_else(|| Error::NotFound(format!("{from_access} unlinked from {next}")))?;
-            let qos = self
-                .state
-                .policy
-                .clause(clause)
-                .and_then(|c| c.action.qos);
+            let qos = self.state.policy.clause(clause).and_then(|c| c.action.qos);
             self.m2m.insert(
                 (clause, from, to),
                 PathTags {
@@ -515,10 +501,8 @@ impl<'t> CentralController<'t> {
                             }
                         }
                     }
-                    best.ok_or_else(|| {
-                        Error::NoPath(format!("no reachable instance of {kind}"))
-                    })?
-                    .1
+                    best.ok_or_else(|| Error::NoPath(format!("no reachable instance of {kind}")))?
+                        .1
                 }
                 InstanceSelection::RoundRobin => {
                     let c = self.rr_counters.entry(kind).or_insert(0);
@@ -597,7 +581,9 @@ mod tests {
         let topo = small_topology();
         let mut c = controller(&topo);
         // clause index 1 = the deny clause (priority 5)
-        assert!(c.request_policy_path(BaseStationId(0), ClauseId(1)).is_err());
+        assert!(c
+            .request_policy_path(BaseStationId(0), ClauseId(1))
+            .is_err());
     }
 
     #[test]
@@ -605,7 +591,9 @@ mod tests {
         let topo = small_topology();
         let mut c = controller(&topo);
         // clause index 4 = fleet tracking with LOW_LATENCY
-        let tags = c.request_policy_path(BaseStationId(0), ClauseId(4)).unwrap();
+        let tags = c
+            .request_policy_path(BaseStationId(0), ClauseId(4))
+            .unwrap();
         assert_eq!(tags.qos, Some(QosClass::LOW_LATENCY));
     }
 
@@ -628,8 +616,12 @@ mod tests {
         let mut c = CentralController::new(&topo, cfg, ServicePolicy::example_carrier_a(1));
         // only one firewall instance in the small topology: cycling is a
         // fixed point; this exercises the counter path
-        let a = c.select_instances(BaseStationId(0), &[MiddleboxKind::Firewall]).unwrap();
-        let b = c.select_instances(BaseStationId(0), &[MiddleboxKind::Firewall]).unwrap();
+        let a = c
+            .select_instances(BaseStationId(0), &[MiddleboxKind::Firewall])
+            .unwrap();
+        let b = c
+            .select_instances(BaseStationId(0), &[MiddleboxKind::Firewall])
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -654,7 +646,9 @@ mod tests {
     fn bidirectional_install_produces_consistent_tags() {
         let topo = small_topology();
         let mut c = controller(&topo);
-        let tags = c.request_policy_path(BaseStationId(2), ClauseId(5)).unwrap();
+        let tags = c
+            .request_policy_path(BaseStationId(2), ClauseId(5))
+            .unwrap();
         // with no downlink swaps the echoed tag is delivered unchanged
         assert_eq!(tags.uplink_exit, tags.downlink_final);
     }

@@ -34,7 +34,9 @@ impl ReplicaGroup {
     /// A group of `n` replicas seeded from one state.
     pub fn new(seed: ControllerState, n: usize) -> Result<Self> {
         if n == 0 {
-            return Err(Error::Config("replica group needs at least one member".into()));
+            return Err(Error::Config(
+                "replica group needs at least one member".into(),
+            ));
         }
         Ok(ReplicaGroup {
             replicas: vec![seed; n],
@@ -54,10 +56,7 @@ impl ReplicaGroup {
 
     /// Applies a mutation to every replica (strong consistency: all or
     /// error). The closure must be deterministic.
-    pub fn mutate<R>(
-        &mut self,
-        mut f: impl FnMut(&mut ControllerState) -> Result<R>,
-    ) -> Result<R> {
+    pub fn mutate<R>(&mut self, mut f: impl FnMut(&mut ControllerState) -> Result<R>) -> Result<R> {
         let mut out = None;
         for r in &mut self.replicas {
             out = Some(f(r)?);
@@ -82,9 +81,7 @@ impl ReplicaGroup {
             return Err(Error::NotFound(format!("replica {idx}")));
         }
         if self.replicas.len() == 1 {
-            return Err(Error::InvalidState(
-                "cannot fail the last replica".into(),
-            ));
+            return Err(Error::InvalidState("cannot fail the last replica".into()));
         }
         self.replicas.remove(idx);
         Ok(())
@@ -141,16 +138,12 @@ impl<'t> CentralController<'t> {
     /// The grants a restarting local agent refetches: every UE the
     /// controller believes is attached at `bs`, with a freshly compiled
     /// classifier.
-    pub fn grants_for_station(
-        &self,
-        bs: BaseStationId,
-    ) -> Result<Vec<(UeRecord, UeClassifier)>> {
+    pub fn grants_for_station(&self, bs: BaseStationId) -> Result<Vec<(UeRecord, UeClassifier)>> {
         let mut out = Vec::new();
         for rec in self.state().attached() {
             if rec.bs == bs {
                 let attrs = self.state().subscriber(rec.imsi)?;
-                let classifier =
-                    UeClassifier::compile(&self.state().policy, self.apps(), attrs);
+                let classifier = UeClassifier::compile(&self.state().policy, self.apps(), attrs);
                 out.push((*rec, classifier));
             }
         }
@@ -162,10 +155,7 @@ impl LocalAgent {
     /// Restart recovery: drop everything and refetch from the controller
     /// (the agent's state is read-only derived state, §5.2). `grants` is
     /// the controller's answer for this base station.
-    pub fn restart_from(
-        &mut self,
-        grants: Vec<(UeRecord, UeClassifier)>,
-    ) -> Result<usize> {
+    pub fn restart_from(&mut self, grants: Vec<(UeRecord, UeClassifier)>) -> Result<usize> {
         let bs = self.base_station();
         let radio = self.radio_port();
         let scheme = *self.scheme();
@@ -270,9 +260,15 @@ mod tests {
                 LocalAgent::new(BaseStationId(b), bs.radio_port, cfg.scheme, cfg.ports)
             })
             .collect();
-        agents[0].handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).unwrap();
-        agents[0].handle_attach(UeImsi(1), &mut ctl, SimTime::ZERO).unwrap();
-        agents[1].handle_attach(UeImsi(2), &mut ctl, SimTime::ZERO).unwrap();
+        agents[0]
+            .handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO)
+            .unwrap();
+        agents[0]
+            .handle_attach(UeImsi(1), &mut ctl, SimTime::ZERO)
+            .unwrap();
+        agents[1]
+            .handle_attach(UeImsi(2), &mut ctl, SimTime::ZERO)
+            .unwrap();
 
         // the new controller replica lost all locations...
         let mut recovered = ctl.state().clone();
@@ -312,8 +308,12 @@ mod tests {
         let cfg = *ctl.config();
         let bs0 = topo.base_station(BaseStationId(0));
         let mut agent = LocalAgent::new(BaseStationId(0), bs0.radio_port, cfg.scheme, cfg.ports);
-        agent.handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO).unwrap();
-        agent.handle_attach(UeImsi(1), &mut ctl, SimTime::ZERO).unwrap();
+        agent
+            .handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO)
+            .unwrap();
+        agent
+            .handle_attach(UeImsi(1), &mut ctl, SimTime::ZERO)
+            .unwrap();
 
         // crash + restart: refetch from the controller
         let grants = ctl.grants_for_station(BaseStationId(0)).unwrap();

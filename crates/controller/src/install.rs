@@ -28,9 +28,9 @@
 //! (their rules would be indistinguishable — the generalization of the
 //! paper's footnote 2).
 
+use softcell_types::{FxHashMap, FxHashSet};
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashSet;
-use softcell_types::{FxHashMap, FxHashSet};
 
 use softcell_topology::{PolicyPath, Topology};
 use softcell_types::{
@@ -290,6 +290,15 @@ impl<'t> PathInstaller<'t> {
         // segmentation exists to remove.
         let mut next_tag: Option<PolicyTag> = None;
         let mut path_tags: HashSet<PolicyTag> = HashSet::new();
+        // A forced entry tag belongs to segment 0, which is planned
+        // *last* — exclude it from every other segment's candidates up
+        // front, or a later segment may independently pick the same tag
+        // and recreate the loop ambiguity segmentation removes.
+        if segments.len() > 1 {
+            if let Some(t) = forced_entry {
+                path_tags.insert(t);
+            }
+        }
         let mut plans: Vec<SegmentPlan> = Vec::with_capacity(segments.len());
         for (idx, seg) in segments.iter().enumerate().rev() {
             let forced = if idx == 0 { forced_entry } else { None };
@@ -384,8 +393,7 @@ impl<'t> PathInstaller<'t> {
                 if excluded.contains(&t) {
                     continue;
                 }
-                let Some((cost, changes)) = self.segment_cost(dir, t, prefix, seg, swap_to)
-                else {
+                let Some((cost, changes)) = self.segment_cost(dir, t, prefix, seg, swap_to) else {
                     continue;
                 };
                 // A claimed tag (another path of this same base station)
@@ -533,7 +541,13 @@ impl<'t> PathInstaller<'t> {
     /// are always port-qualified; loop-marked decisions and decisions
     /// whose arrival already has a qualified table for this tag must be
     /// qualified too (an unqualified rule would be shadowed).
-    fn placement(&self, dir: Direction, d: &Decision, loop_qualified: bool, tag: PolicyTag) -> Entry {
+    fn placement(
+        &self,
+        dir: Direction,
+        d: &Decision,
+        loop_qualified: bool,
+        tag: PolicyTag,
+    ) -> Entry {
         match d.arrival {
             Arrival::FromMb(mb) => Entry::FromMb(mb),
             Arrival::FromSwitch(prev) => {
@@ -752,8 +766,7 @@ fn split_segments(decisions: &[Decision]) -> Vec<Segment> {
             }
             Some(k) => {
                 let resume = local[k].1 + 1;
-                let seg: Vec<Decision> =
-                    local[..=k].iter().map(|(d, _, _)| *d).collect();
+                let seg: Vec<Decision> = local[..=k].iter().map(|(d, _, _)| *d).collect();
                 let mut by_sw: FxHashMap<SwitchId, Vec<usize>> = FxHashMap::default();
                 for (i, d) in seg.iter().enumerate() {
                     by_sw.entry(d.sw).or_default().push(i);
@@ -794,16 +807,24 @@ fn mark_qualified(
         let fabric: Vec<usize> = idxs
             .iter()
             .copied()
-            .filter(|&i| matches!(decisions[i].arrival, Arrival::FromSwitch(_) | Arrival::External))
+            .filter(|&i| {
+                matches!(
+                    decisions[i].arrival,
+                    Arrival::FromSwitch(_) | Arrival::External
+                )
+            })
             .collect();
         if fabric.len() < 2 {
             continue;
         }
-        let wants: HashSet<_> = fabric.iter().map(|&i| match decisions[i].want {
-            Want::ToSwitch(s) => (0u8, s.0),
-            Want::ToMb(m) => (1u8, m.0),
-            Want::Exit => (2u8, 0),
-        }).collect();
+        let wants: HashSet<_> = fabric
+            .iter()
+            .map(|&i| match decisions[i].want {
+                Want::ToSwitch(s) => (0u8, s.0),
+                Want::ToMb(m) => (1u8, m.0),
+                Want::Exit => (2u8, 0),
+            })
+            .collect();
         if wants.len() > 1 {
             for &i in &fabric {
                 // External arrivals cannot be port-qualified; they keep
@@ -825,25 +846,18 @@ mod tests {
     use softcell_types::MiddleboxKind;
 
     fn installer(topo: &Topology) -> PathInstaller<'_> {
-        PathInstaller::new(topo, AddressingScheme::default_scheme(), TagPolicy::default())
+        PathInstaller::new(
+            topo,
+            AddressingScheme::default_scheme(),
+            TagPolicy::default(),
+        )
     }
 
-    fn route(
-        topo: &Topology,
-        bs: u32,
-        kinds: &[MiddleboxKind],
-    ) -> PolicyPath {
+    fn route(topo: &Topology, bs: u32, kinds: &[MiddleboxKind]) -> PolicyPath {
         let mut sp = ShortestPaths::new(topo);
-        let mbs: Vec<MiddleboxId> = kinds
-            .iter()
-            .map(|k| topo.instances_of(*k)[0])
-            .collect();
-        sp.route_policy_path(
-            BaseStationId(bs),
-            &mbs,
-            topo.default_gateway().switch,
-        )
-        .unwrap()
+        let mbs: Vec<MiddleboxId> = kinds.iter().map(|k| topo.instances_of(*k)[0]).collect();
+        sp.route_policy_path(BaseStationId(bs), &mbs, topo.default_gateway().switch)
+            .unwrap()
     }
 
     #[test]
@@ -965,10 +979,7 @@ mod tests {
         // no Exit want on the downlink (delivery is the microflow's job)
         assert!(d.iter().all(|x| x.want != Want::Exit));
         // last decision forwards to the access switch
-        assert_eq!(
-            d.last().unwrap().want,
-            Want::ToSwitch(path.access_switch())
-        );
+        assert_eq!(d.last().unwrap().want, Want::ToSwitch(path.access_switch()));
     }
 
     #[test]
@@ -981,9 +992,9 @@ mod tests {
             want: Want::ToSwitch(SwitchId(to)),
         };
         let decisions = vec![
-            d(7, 3, 8),  // junction, first pass: to 8
-            d(8, 7, 7),  // loop body
-            d(7, 3, 9),  // junction, same arrival, now to 9 → conflict
+            d(7, 3, 8), // junction, first pass: to 8
+            d(8, 7, 7), // loop body
+            d(7, 3, 9), // junction, same arrival, now to 9 → conflict
             d(9, 7, 1),
         ];
         let segs = split_segments(&decisions);
@@ -1006,11 +1017,11 @@ mod tests {
             want: Want::ToSwitch(SwitchId(to)),
         };
         let decisions = vec![
-            d(5, 1, 7),  // unique: feeds the junction
-            d(7, 5, 8),  // junction, first pass
-            d(8, 7, 5),  // back towards 5 via sw8
-            d(5, 8, 7),  // re-feed (unique: different arrival)
-            d(7, 5, 9),  // junction, same arrival (from 5), conflict
+            d(5, 1, 7), // unique: feeds the junction
+            d(7, 5, 8), // junction, first pass
+            d(8, 7, 5), // back towards 5 via sw8
+            d(5, 8, 7), // re-feed (unique: different arrival)
+            d(7, 5, 9), // junction, same arrival (from 5), conflict
         ];
         let segs = split_segments(&decisions);
         assert_eq!(segs.len(), 2);

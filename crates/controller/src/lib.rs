@@ -34,6 +34,10 @@
 //!   controller (§5.2).
 //! * [`server`] — a threaded controller front-end processing
 //!   packet-in/classifier requests, used by the §6.2 micro-benchmarks.
+//! * [`wire`] — the southbound control channel front-end: serves
+//!   `softcell-ctlchan` connections against the worker pool, and
+//!   [`wire::ChannelController`], the framed-transport
+//!   [`agent::ControllerApi`] proxy agents run against.
 //! * [`update`] — two-phase consistent updates (version stamping at the
 //!   ingress edge) for rule transitions.
 
@@ -47,10 +51,11 @@ pub mod install;
 pub mod mobility;
 pub mod offline;
 pub mod ops;
+pub mod server;
 pub mod shadow;
 pub mod state;
-pub mod server;
 pub mod update;
+pub mod wire;
 
 pub use agent::LocalAgent;
 pub use core::{CentralController, ControllerConfig, InstanceSelection};

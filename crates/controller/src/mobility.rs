@@ -214,11 +214,14 @@ impl<'t> CentralController<'t> {
             if anchor == new_bs {
                 // The UE returned home: anchored flows revert to plain
                 // local delivery under their original keys; no tunnel.
-                let specs = prev_launch_specs.get(&anchor_addr).cloned().ok_or_else(|| {
-                    Error::InvalidState(format!(
-                        "returning to {anchor} without recorded launch specs"
-                    ))
-                })?;
+                let specs = prev_launch_specs
+                    .get(&anchor_addr)
+                    .cloned()
+                    .ok_or_else(|| {
+                        Error::InvalidState(format!(
+                            "returning to {anchor} without recorded launch specs"
+                        ))
+                    })?;
                 for f in &group {
                     old_microflow_removals.push(f.downlink);
                     if let MicroflowAction::RewriteSrc {
@@ -226,10 +229,8 @@ impl<'t> CentralController<'t> {
                     } = f.up_action
                     {
                         let (_, slot) = ports.decode(port);
-                        let (_, orig_tag, out) = *specs
-                            .iter()
-                            .find(|(sl, _, _)| *sl == slot)
-                            .ok_or_else(|| {
+                        let (_, orig_tag, out) =
+                            *specs.iter().find(|(sl, _, _)| *sl == slot).ok_or_else(|| {
                                 Error::InvalidState(format!(
                                     "no launch spec for slot {slot} at {anchor}"
                                 ))
@@ -335,25 +336,26 @@ impl<'t> CentralController<'t> {
             //    flow's *original* policy tag before forwarding onto the
             //    old path. (Per-flow state at an access switch is cheap
             //    and transient — §5.1 copies per-flow rules anyway.)
-            let specs: Vec<(u16, PolicyTag, softcell_types::PortNo)> =
-                if anchor_addr == old_loc_addr {
-                    let mut specs = Vec::new();
-                    for f in &group {
-                        if let MicroflowAction::RewriteSrc { port, out, .. } = f.up_action {
-                            let (tag, slot) = ports.decode(port);
-                            if !specs.iter().any(|(sl, _, _)| *sl == slot) {
-                                specs.push((slot, tag, out));
-                            }
+            let specs: Vec<(u16, PolicyTag, softcell_types::PortNo)> = if anchor_addr
+                == old_loc_addr
+            {
+                let mut specs = Vec::new();
+                for f in &group {
+                    if let MicroflowAction::RewriteSrc { port, out, .. } = f.up_action {
+                        let (tag, slot) = ports.decode(port);
+                        if !specs.iter().any(|(sl, _, _)| *sl == slot) {
+                            specs.push((slot, tag, out));
                         }
                     }
-                    specs
-                } else {
-                    prev_launch_specs.get(&anchor_addr).cloned().ok_or_else(|| {
+                }
+                specs
+            } else {
+                prev_launch_specs.get(&anchor_addr).cloned().ok_or_else(|| {
                         Error::InvalidState(format!(
                             "no launch specs for anchor {anchor_addr}                              (flows older than the transition?)"
                         ))
                     })?
-                };
+            };
             let tunnel_in = self
                 .topology()
                 .port_towards(anchor_access, tunnel_path[1])
@@ -519,7 +521,9 @@ impl<'t> CentralController<'t> {
 
         if let Some(t) = self.mobility_mut().transitions.get_mut(&imsi) {
             t.teardown.extend(teardown);
-            t.deadline = t.deadline.max(now + softcell_types::SimDuration::from_secs(120));
+            t.deadline = t
+                .deadline
+                .max(now + softcell_types::SimDuration::from_secs(120));
         }
         Ok(ops)
     }
@@ -616,8 +620,8 @@ impl<'t> CentralController<'t> {
 mod tests {
     use super::*;
     use crate::core::{ControllerConfig, PathTags};
-    use softcell_policy::{ServicePolicy, SubscriberAttributes};
     use softcell_policy::clause::ClauseId;
+    use softcell_policy::{ServicePolicy, SubscriberAttributes};
     use softcell_topology::small_topology;
     use softcell_types::PortNo;
     use std::net::Ipv4Addr;
@@ -777,7 +781,10 @@ mod tests {
             .find(|(t, _)| t.dst == flow.downlink.dst)
             .unwrap();
         let (tag, slot) = ports.decode(down_copy.0.dst_port);
-        assert_ne!(tag, tags.downlink_final, "tag bits now carry the tunnel tag");
+        assert_ne!(
+            tag, tags.downlink_final,
+            "tag bits now carry the tunnel tag"
+        );
         let (_, orig_slot) = ports.decode(flow.downlink.dst_port);
         assert_eq!(slot, orig_slot, "flow slot bits survive the tunnel");
     }

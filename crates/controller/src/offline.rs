@@ -105,23 +105,22 @@ impl<'t> CentralController<'t> {
                             }
                         }
                     };
-                    let op =
-                        lower_delta(self.topology(), &cfg.ports, carrier, dir, sw, &delta)?;
+                    let op = lower_delta(self.topology(), &cfg.ports, carrier, dir, sw, &delta)?;
                     let matcher = match op {
                         RuleOp::Install { matcher, .. } => matcher,
                         RuleOp::Remove { matcher, .. } => matcher,
                     };
-                    ops.push(RuleOp::Remove { switch: sw, matcher });
+                    ops.push(RuleOp::Remove {
+                        switch: sw,
+                        matcher,
+                    });
                 }
             }
         }
 
         // ---- fresh installer, replay in grouped order ----------------
-        let mut fresh = PathInstaller::new(
-            self.topology(),
-            cfg.scheme,
-            TagPolicy { ..cfg.tag_policy },
-        );
+        let mut fresh =
+            PathInstaller::new(self.topology(), cfg.scheme, TagPolicy { ..cfg.tag_policy });
         let mut new_internet_tags = Vec::with_capacity(internet.len());
         let mut replayed = 0usize;
         for (clause, bs, path) in &internet {
@@ -221,8 +220,16 @@ fn install_pair(
         )?);
     }
     Ok(PathTags {
-        uplink_entry: if bidirectional { entry } else { down.entry_tag() },
-        uplink_exit: if bidirectional { exit } else { down.entry_tag() },
+        uplink_entry: if bidirectional {
+            entry
+        } else {
+            down.entry_tag()
+        },
+        uplink_exit: if bidirectional {
+            exit
+        } else {
+            down.entry_tag()
+        },
         downlink_final: down.exit_tag(),
         access_out_port: softcell_types::PortNo(0), // recomputed by adopt
         qos: None,

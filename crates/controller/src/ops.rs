@@ -82,7 +82,7 @@ pub fn lower_delta(
     delta: &ShadowDelta,
 ) -> Result<RuleOp> {
     let m_dir = dir;
-    let entry_port =|entry: &Entry| -> Result<Option<PortNo>> {
+    let entry_port = |entry: &Entry| -> Result<Option<PortNo>> {
         match entry {
             Entry::Ingress => Ok(None),
             Entry::FromMb(mb) => Ok(Some(topo.middlebox(*mb).port)),
@@ -206,8 +206,15 @@ mod tests {
             nh: NextHop::Switch(SwitchId(1)),
         };
         let carrier: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
-        let op = lower_delta(&topo, &ports, carrier, Direction::Downlink, SwitchId(0), &delta)
-            .unwrap();
+        let op = lower_delta(
+            &topo,
+            &ports,
+            carrier,
+            Direction::Downlink,
+            SwitchId(0),
+            &delta,
+        )
+        .unwrap();
         let RuleOp::Install {
             matcher, action, ..
         } = op
@@ -239,8 +246,15 @@ mod tests {
             nh: NextHop::Switch(SwitchId(0)),
         };
         let carrier: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
-        let op = lower_delta(&topo, &ports, carrier, Direction::Downlink, fw.switch, &delta)
-            .unwrap();
+        let op = lower_delta(
+            &topo,
+            &ports,
+            carrier,
+            Direction::Downlink,
+            fw.switch,
+            &delta,
+        )
+        .unwrap();
         let RuleOp::Install { matcher, .. } = op else {
             panic!("expected install");
         };
@@ -258,13 +272,22 @@ mod tests {
             nh: NextHop::SwapTag(PolicyTag(2), SwitchId(1)),
         };
         let carrier: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
-        let op = lower_delta(&topo, &ports, carrier, Direction::Uplink, SwitchId(0), &delta)
-            .unwrap();
+        let op = lower_delta(
+            &topo,
+            &ports,
+            carrier,
+            Direction::Uplink,
+            SwitchId(0),
+            &delta,
+        )
+        .unwrap();
         let RuleOp::Install { action, .. } = op else {
             panic!("expected install");
         };
         match action {
-            Action::RewritePortBitsForward { field, value, mask, .. } => {
+            Action::RewritePortBitsForward {
+                field, value, mask, ..
+            } => {
                 assert_eq!(field, PortField::Src, "uplink tag lives in src port");
                 assert_eq!((value, mask), ports.tag_match(PolicyTag(2)));
             }
@@ -282,16 +305,29 @@ mod tests {
             nh: NextHop::Uplink,
         };
         let carrier: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
-        let op = lower_delta(&topo, &ports, carrier, Direction::Uplink, SwitchId(0), &delta)
-            .unwrap();
+        let op = lower_delta(
+            &topo,
+            &ports,
+            carrier,
+            Direction::Uplink,
+            SwitchId(0),
+            &delta,
+        )
+        .unwrap();
         let RuleOp::Install { action, .. } = op else {
             panic!()
         };
         assert_eq!(action.out_port(), Some(topo.default_gateway().port));
         // non-gateway switch cannot exit
-        assert!(
-            lower_delta(&topo, &ports, carrier, Direction::Uplink, SwitchId(1), &delta).is_err()
-        );
+        assert!(lower_delta(
+            &topo,
+            &ports,
+            carrier,
+            Direction::Uplink,
+            SwitchId(1),
+            &delta
+        )
+        .is_err());
     }
 
     #[test]

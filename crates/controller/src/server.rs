@@ -12,12 +12,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
 use softcell_policy::clause::ClauseId;
 use softcell_policy::{AppClassifier, ServicePolicy, SubscriberAttributes, UeClassifier};
 use softcell_types::{BaseStationId, Error, PolicyTag, Result, UeImsi};
+
+/// Default request-queue depth. Bounded so a flood of packet-in events
+/// exerts backpressure on agents instead of growing controller memory
+/// without limit (the paper's Cbench setup saturates the controller the
+/// same way).
+pub const DEFAULT_QUEUE_DEPTH: usize = 4096;
 
 /// A request from a local agent.
 pub enum Request {
@@ -44,14 +50,19 @@ pub enum Request {
 }
 
 /// Shared controller state behind the worker pool.
-struct Shared {
+pub(crate) struct Shared {
     policy: RwLock<ServicePolicy>,
     apps: AppClassifier,
     subscribers: RwLock<std::collections::HashMap<UeImsi, SubscriberAttributes>>,
     /// (bs, clause) → tag; the path-installation critical section.
     paths: Mutex<std::collections::HashMap<(BaseStationId, ClauseId), PolicyTag>>,
     next_tag: AtomicU64,
-    served: AtomicU64,
+    pub(crate) served: AtomicU64,
+    /// UE records registered over the wire front-end ([`crate::wire`]).
+    pub(crate) ues: Mutex<std::collections::HashMap<UeImsi, crate::state::UeRecord>>,
+    /// Permanent-address allocator for wire attaches (offsets into the
+    /// carrier-grade NAT pool 100.64/10, like the simulation config).
+    pub(crate) next_permanent: std::sync::atomic::AtomicU32,
 }
 
 /// A running worker pool.
@@ -63,26 +74,41 @@ pub struct ControllerServer {
 
 impl ControllerServer {
     /// Starts `threads` workers over the given policy and subscriber
-    /// base.
+    /// base, with the default request-queue depth
+    /// ([`DEFAULT_QUEUE_DEPTH`]).
     pub fn start(
         policy: ServicePolicy,
         subscribers: impl IntoIterator<Item = SubscriberAttributes>,
         threads: usize,
     ) -> Result<ControllerServer> {
+        Self::start_with_depth(policy, subscribers, threads, DEFAULT_QUEUE_DEPTH)
+    }
+
+    /// Starts `threads` workers with an explicit request-queue depth.
+    /// Senders block once `depth` requests are in flight.
+    pub fn start_with_depth(
+        policy: ServicePolicy,
+        subscribers: impl IntoIterator<Item = SubscriberAttributes>,
+        threads: usize,
+        depth: usize,
+    ) -> Result<ControllerServer> {
         if threads == 0 {
             return Err(Error::Config("server needs at least one worker".into()));
+        }
+        if depth == 0 {
+            return Err(Error::Config("request queue needs depth >= 1".into()));
         }
         let shared = Arc::new(Shared {
             policy: RwLock::new(policy),
             apps: AppClassifier::default(),
-            subscribers: RwLock::new(
-                subscribers.into_iter().map(|a| (a.imsi, a)).collect(),
-            ),
+            subscribers: RwLock::new(subscribers.into_iter().map(|a| (a.imsi, a)).collect()),
             paths: Mutex::new(std::collections::HashMap::new()),
             next_tag: AtomicU64::new(0),
             served: AtomicU64::new(0),
+            ues: Mutex::new(std::collections::HashMap::new()),
+            next_permanent: std::sync::atomic::AtomicU32::new(0),
         });
-        let (tx, rx) = unbounded::<Request>();
+        let (tx, rx) = bounded::<Request>(depth);
         let workers = (0..threads)
             .map(|_| {
                 let rx: Receiver<Request> = rx.clone();
@@ -101,6 +127,11 @@ impl ControllerServer {
     /// threads).
     pub fn handle(&self) -> Sender<Request> {
         self.tx.clone()
+    }
+
+    /// The shared state, for the wire front-end ([`crate::wire`]).
+    pub(crate) fn shared_state(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
     }
 
     /// Requests served so far.
@@ -139,6 +170,9 @@ fn worker_loop(rx: Receiver<Request>, shared: Arc<Shared>) {
                     let policy = shared.policy.read();
                     Ok(UeClassifier::compile(&policy, &shared.apps, attrs))
                 })();
+                // count before replying so a client that has its answer
+                // never observes a stale served() total
+                shared.served.fetch_add(1, Ordering::Relaxed);
                 let _ = reply.send(out);
             }
             Request::PathTag { bs, clause, reply } => {
@@ -152,16 +186,15 @@ fn worker_loop(rx: Receiver<Request>, shared: Arc<Shared>) {
                     // single-threaded controller; this server measures
                     // control-plane request throughput, where the paper's
                     // bottleneck is the request fan-in, not the argmin.)
-                    let t = PolicyTag(
-                        (shared.next_tag.fetch_add(1, Ordering::Relaxed) % 1024) as u16,
-                    );
+                    let t =
+                        PolicyTag((shared.next_tag.fetch_add(1, Ordering::Relaxed) % 1024) as u16);
                     paths.insert((bs, clause), t);
                     Ok(t)
                 })();
+                shared.served.fetch_add(1, Ordering::Relaxed);
                 let _ = reply.send(out);
             }
         }
-        shared.served.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -171,7 +204,9 @@ mod tests {
     use crossbeam::channel::bounded;
 
     fn subscribers(n: u64) -> Vec<SubscriberAttributes> {
-        (0..n).map(|i| SubscriberAttributes::default_home(UeImsi(i))).collect()
+        (0..n)
+            .map(|i| SubscriberAttributes::default_home(UeImsi(i)))
+            .collect()
     }
 
     #[test]
@@ -268,5 +303,39 @@ mod tests {
             ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers(1), 0)
                 .is_err()
         );
+    }
+
+    #[test]
+    fn zero_depth_rejected() {
+        assert!(ControllerServer::start_with_depth(
+            ServicePolicy::example_carrier_a(1),
+            subscribers(1),
+            1,
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn shallow_queue_still_serves() {
+        let server = ControllerServer::start_with_depth(
+            ServicePolicy::example_carrier_a(1),
+            subscribers(10),
+            1,
+            1,
+        )
+        .unwrap();
+        let h = server.handle();
+        let (tx, rx) = bounded(1);
+        for i in 0..20u64 {
+            h.send(Request::Classifier {
+                imsi: UeImsi(i % 10),
+                reply: tx.clone(),
+            })
+            .unwrap();
+            rx.recv().unwrap().unwrap();
+        }
+        assert_eq!(server.served(), 20);
+        server.shutdown();
     }
 }

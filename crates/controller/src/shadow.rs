@@ -18,7 +18,6 @@
 //! The shadow is the controller's source of truth; deltas stream to the
 //! physical switches through [`crate::ops`].
 
-
 use serde::{Deserialize, Serialize};
 use softcell_types::{FxHashMap, Ipv4Prefix, MiddleboxId, PolicyTag, SwitchId};
 
@@ -204,9 +203,9 @@ impl ShadowSwitch {
         }
         match self.next_hop(entry, tag, prefix) {
             Some(cur) if cur == nh => Some(0),
-            None => Some(1),             // becomes the tag default (Type 2)
+            None => Some(1), // becomes the tag default (Type 2)
             Some(_) if self.can_aggregate(entry, tag, prefix, nh) => Some(0),
-            Some(_) => Some(1),          // a Type 1 override
+            Some(_) => Some(1), // a Type 1 override
         }
     }
 
@@ -229,9 +228,7 @@ impl ShadowSwitch {
             !self.conflicts(entry, tag, prefix, nh),
             "install of conflicting rule (tag {tag}, {prefix})"
         );
-        if !self.tables.contains_key(&(entry, tag))
-            && !self.tag_order.contains(&tag)
-        {
+        if !self.tables.contains_key(&(entry, tag)) && !self.tag_order.contains(&tag) {
             self.tag_order.push(tag);
         }
         let table = self.tables.entry((entry, tag)).or_default();
@@ -410,7 +407,14 @@ mod tests {
     fn first_install_becomes_type2_default() {
         let mut s = ShadowSwitch::new();
         let d = s.install(IN, T, p("10.0.0.0/23"), NH1);
-        assert_eq!(d, vec![ShadowDelta::SetDefault { entry: IN, tag: T, nh: NH1 }]);
+        assert_eq!(
+            d,
+            vec![ShadowDelta::SetDefault {
+                entry: IN,
+                tag: T,
+                nh: NH1
+            }]
+        );
         assert_eq!(s.rule_count(), 1);
         // every prefix under the tag now follows the default
         assert_eq!(s.next_hop(IN, T, p("10.0.8.0/23")), Some(NH1));
@@ -444,7 +448,7 @@ mod tests {
         s.install(IN, T, p("10.0.8.0/23"), NH2); // type 1
         assert!(s.can_aggregate(IN, T, p("10.0.10.0/23"), NH2));
         let d = s.install(IN, T, p("10.0.10.0/23"), NH2); // sibling of 10.0.8/23
-        // merge: remove 10.0.8.0/23, add 10.0.8.0/22
+                                                          // merge: remove 10.0.8.0/23, add 10.0.8.0/22
         assert!(d.contains(&ShadowDelta::RemovePrefix {
             entry: IN,
             tag: T,
@@ -465,7 +469,7 @@ mod tests {
     fn aggregation_cascades_upward() {
         let mut s = ShadowSwitch::new();
         s.install(IN, T, p("10.0.0.0/8"), NH1); // default owner
-        // four /24s forming a /22 under NH2, installed in sibling order
+                                                // four /24s forming a /22 under NH2, installed in sibling order
         s.install(IN, T, p("10.1.0.0/24"), NH2);
         s.install(IN, T, p("10.1.1.0/24"), NH2); // -> /23
         s.install(IN, T, p("10.1.2.0/24"), NH2);
@@ -642,7 +646,8 @@ mod tests {
     fn shadow_tables_indexing() {
         let mut t = ShadowTables::new(3);
         assert_eq!(t.len(), 3);
-        t.switch_mut(SwitchId(1)).install(IN, T, p("10.0.0.0/23"), NH1);
+        t.switch_mut(SwitchId(1))
+            .install(IN, T, p("10.0.0.0/23"), NH1);
         assert_eq!(t.rule_counts(), vec![0, 1, 0]);
         assert_eq!(t.switch(SwitchId(1)).rule_count(), 1);
     }

@@ -12,9 +12,7 @@ use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
 use softcell_policy::{ServicePolicy, SubscriberAttributes};
-use softcell_types::{
-    BaseStationId, Error, Ipv4Prefix, Result, SimTime, UeId, UeImsi,
-};
+use softcell_types::{BaseStationId, Error, Ipv4Prefix, Result, SimTime, UeId, UeImsi};
 
 /// One attached UE as the controller sees it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -280,8 +278,12 @@ mod tests {
     #[test]
     fn attach_assigns_distinct_permanent_ips() {
         let mut s = state();
-        let a = s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO).unwrap();
-        let b = s.attach(UeImsi(1), BaseStationId(0), UeId(1), SimTime::ZERO).unwrap();
+        let a = s
+            .attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO)
+            .unwrap();
+        let b = s
+            .attach(UeImsi(1), BaseStationId(0), UeId(1), SimTime::ZERO)
+            .unwrap();
         assert_ne!(a.permanent_ip, b.permanent_ip);
         assert!(Ipv4Prefix::from(a.permanent_ip).network().octets()[0] == 100);
         assert_eq!(s.attached_count(), 2);
@@ -290,18 +292,27 @@ mod tests {
     #[test]
     fn attach_requires_known_subscriber_and_free_location() {
         let mut s = state();
-        assert!(s.attach(UeImsi(99), BaseStationId(0), UeId(0), SimTime::ZERO).is_err());
-        s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO).unwrap();
+        assert!(s
+            .attach(UeImsi(99), BaseStationId(0), UeId(0), SimTime::ZERO)
+            .is_err());
+        s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO)
+            .unwrap();
         // same UE twice
-        assert!(s.attach(UeImsi(0), BaseStationId(1), UeId(0), SimTime::ZERO).is_err());
+        assert!(s
+            .attach(UeImsi(0), BaseStationId(1), UeId(0), SimTime::ZERO)
+            .is_err());
         // same slot twice
-        assert!(s.attach(UeImsi(1), BaseStationId(0), UeId(0), SimTime::ZERO).is_err());
+        assert!(s
+            .attach(UeImsi(1), BaseStationId(0), UeId(0), SimTime::ZERO)
+            .is_err());
     }
 
     #[test]
     fn permanent_ip_survives_handoff_not_detach() {
         let mut s = state();
-        let rec = s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO).unwrap();
+        let rec = s
+            .attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO)
+            .unwrap();
         let (old, new) = s
             .move_ue(UeImsi(0), BaseStationId(1), UeId(5), SimTime::from_secs(10))
             .unwrap();
@@ -314,7 +325,9 @@ mod tests {
         let gone = s.detach(UeImsi(0)).unwrap();
         assert_eq!(gone.permanent_ip, rec.permanent_ip);
         // the address is recycled for the next newcomer
-        let again = s.attach(UeImsi(1), BaseStationId(0), UeId(0), SimTime::ZERO).unwrap();
+        let again = s
+            .attach(UeImsi(1), BaseStationId(0), UeId(0), SimTime::ZERO)
+            .unwrap();
         assert_eq!(again.permanent_ip, rec.permanent_ip);
     }
 
@@ -322,15 +335,18 @@ mod tests {
     fn version_bumps_on_mutation() {
         let mut s = state();
         let v0 = s.version();
-        s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO).unwrap();
+        s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO)
+            .unwrap();
         assert!(s.version() > v0);
     }
 
     #[test]
     fn location_rebuild_round_trips() {
         let mut s = state();
-        s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO).unwrap();
-        s.attach(UeImsi(1), BaseStationId(1), UeId(3), SimTime::ZERO).unwrap();
+        s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO)
+            .unwrap();
+        s.attach(UeImsi(1), BaseStationId(1), UeId(3), SimTime::ZERO)
+            .unwrap();
         let saved: Vec<UeRecord> = s.attached().copied().collect();
         s.clear_locations();
         assert_eq!(s.attached_count(), 0);
@@ -344,8 +360,12 @@ mod tests {
     #[test]
     fn move_rejects_occupied_target() {
         let mut s = state();
-        s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO).unwrap();
-        s.attach(UeImsi(1), BaseStationId(1), UeId(0), SimTime::ZERO).unwrap();
-        assert!(s.move_ue(UeImsi(0), BaseStationId(1), UeId(0), SimTime::ZERO).is_err());
+        s.attach(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO)
+            .unwrap();
+        s.attach(UeImsi(1), BaseStationId(1), UeId(0), SimTime::ZERO)
+            .unwrap();
+        assert!(s
+            .move_ue(UeImsi(0), BaseStationId(1), UeId(0), SimTime::ZERO)
+            .is_err());
     }
 }

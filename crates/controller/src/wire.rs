@@ -1,0 +1,423 @@
+//! The controller's wire front-end and the agent's channel-backed proxy.
+//!
+//! This is where the southbound protocol (`softcell-ctlchan`) meets the
+//! domain types. [`ControllerServer::serve`] runs one connection's
+//! dispatch loop on its own thread: packet-in events are translated to
+//! worker-pool [`Request`]s, and the answers go back as classifier
+//! replies and flow-mod batches under the request's xid.
+//! [`ChannelController`] is the other end — a [`ControllerApi`]
+//! implementation the unchanged [`crate::agent::LocalAgent`] can run
+//! against, so the same agent code drives an in-process controller or
+//! one behind a loopback queue or TCP socket.
+
+use std::net::Ipv4Addr;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::bounded;
+
+use softcell_ctlchan::{
+    CtlChannel, Message, PacketIn, Transport, WireClassifier, WireFlowMod, WirePathTags,
+    WireUeRecord,
+};
+use softcell_policy::clause::ClauseId;
+use softcell_policy::UeClassifier;
+use softcell_types::{BaseStationId, Error, PortNo, Result, SimTime, UeId, UeImsi};
+
+use crate::agent::ControllerApi;
+use crate::core::{AttachGrant, PathTags};
+use crate::server::{ControllerServer, Request};
+use crate::state::UeRecord;
+
+/// Base of the permanent-address pool wire attaches allocate from
+/// (100.64.0.0/10, matching [`crate::core::ControllerConfig::simulation`]).
+const PERMANENT_POOL_BASE: u32 = 0x6440_0000;
+
+impl From<UeRecord> for WireUeRecord {
+    fn from(r: UeRecord) -> WireUeRecord {
+        WireUeRecord {
+            imsi: r.imsi,
+            permanent_ip: r.permanent_ip,
+            bs: r.bs,
+            ue_id: r.ue_id,
+            since: r.since,
+        }
+    }
+}
+
+impl From<WireUeRecord> for UeRecord {
+    fn from(r: WireUeRecord) -> UeRecord {
+        UeRecord {
+            imsi: r.imsi,
+            permanent_ip: r.permanent_ip,
+            bs: r.bs,
+            ue_id: r.ue_id,
+            since: r.since,
+        }
+    }
+}
+
+impl From<PathTags> for WirePathTags {
+    fn from(t: PathTags) -> WirePathTags {
+        WirePathTags {
+            uplink_entry: t.uplink_entry,
+            uplink_exit: t.uplink_exit,
+            downlink_final: t.downlink_final,
+            access_out_port: t.access_out_port,
+            qos: t.qos,
+        }
+    }
+}
+
+impl From<WirePathTags> for PathTags {
+    fn from(t: WirePathTags) -> PathTags {
+        PathTags {
+            uplink_entry: t.uplink_entry,
+            uplink_exit: t.uplink_exit,
+            downlink_final: t.downlink_final,
+            access_out_port: t.access_out_port,
+            qos: t.qos,
+        }
+    }
+}
+
+/// Flattens a classifier for the wire.
+pub fn classifier_to_wire(c: &UeClassifier) -> WireClassifier {
+    WireClassifier {
+        entries: c.entries().to_vec(),
+        fallback: c.fallback(),
+    }
+}
+
+/// Rebuilds a classifier from its wire form.
+pub fn classifier_from_wire(w: WireClassifier) -> UeClassifier {
+    UeClassifier::from_parts(w.entries, w.fallback)
+}
+
+impl ControllerServer {
+    /// Serves one agent connection over `transport` on a dedicated
+    /// thread, translating packet-in events to worker-pool requests.
+    /// Returns when the agent disconnects. Spawn once per connection —
+    /// concurrency across agents comes from one serve thread each, all
+    /// feeding the same worker pool.
+    pub fn serve<T: Transport + 'static>(&self, transport: T) -> JoinHandle<Result<()>> {
+        let handle = self.handle();
+        let shared = self.shared_state();
+        std::thread::spawn(move || {
+            // One reply pair per kind, reused across requests: the serve
+            // loop keeps at most one worker request outstanding.
+            let (cls_tx, cls_rx) = bounded(1);
+            let (tag_tx, tag_rx) = bounded(1);
+            let served = {
+                let shared = Arc::clone(&shared);
+                move || shared.served.load(Ordering::Relaxed)
+            };
+            softcell_ctlchan::serve(transport, served, move |msg| {
+                let Message::PacketIn(pi) = msg else {
+                    return None;
+                };
+                let reply = match *pi {
+                    PacketIn::Attach {
+                        imsi,
+                        bs,
+                        ue_id,
+                        now,
+                    } => (|| {
+                        handle
+                            .send(Request::Classifier {
+                                imsi,
+                                reply: cls_tx.clone(),
+                            })
+                            .map_err(|_| pool_gone())?;
+                        let classifier = cls_rx.recv().map_err(|_| pool_gone())??;
+                        let mut ues = shared.ues.lock();
+                        // permanent addresses never change (§3.1): a
+                        // re-attach keeps the one first assigned
+                        let permanent_ip =
+                            ues.get(&imsi).map(|r| r.permanent_ip).unwrap_or_else(|| {
+                                let n = shared.next_permanent.fetch_add(1, Ordering::Relaxed) + 1;
+                                Ipv4Addr::from(PERMANENT_POOL_BASE + n)
+                            });
+                        let record = UeRecord {
+                            imsi,
+                            permanent_ip,
+                            bs,
+                            ue_id,
+                            since: now,
+                        };
+                        ues.insert(imsi, record);
+                        Ok(Message::ClassifierReply {
+                            record: record.into(),
+                            classifier: Some(classifier_to_wire(&classifier)),
+                        })
+                    })(),
+                    PacketIn::PathRequest { bs, clause } => (|| {
+                        handle
+                            .send(Request::PathTag {
+                                bs,
+                                clause,
+                                reply: tag_tx.clone(),
+                            })
+                            .map_err(|_| pool_gone())?;
+                        let tag = tag_rx.recv().map_err(|_| pool_gone())??;
+                        // same path stand-in as the worker pool: one tag
+                        // end to end, first fabric port, no QoS
+                        let tags = PathTags {
+                            uplink_entry: tag,
+                            uplink_exit: tag,
+                            downlink_final: tag,
+                            access_out_port: PortNo(1),
+                            qos: None,
+                        };
+                        Ok(Message::FlowMod(vec![WireFlowMod {
+                            bs,
+                            clause,
+                            tags: tags.into(),
+                        }]))
+                    })(),
+                    PacketIn::Detach { imsi } => shared
+                        .ues
+                        .lock()
+                        .remove(&imsi)
+                        .map(|record| Message::ClassifierReply {
+                            record: record.into(),
+                            classifier: None,
+                        })
+                        .ok_or_else(|| Error::NotFound(format!("{imsi} not attached"))),
+                };
+                Some(reply.unwrap_or_else(|e| Message::from_error(&e)))
+            })
+        })
+    }
+}
+
+fn pool_gone() -> Error {
+    Error::InvalidState("controller worker pool gone".into())
+}
+
+/// A [`ControllerApi`] that reaches the controller over a control
+/// channel — the agent side of the southbound protocol. Each call is one
+/// framed request/reply round trip.
+pub struct ChannelController<T: Transport> {
+    chan: CtlChannel<T>,
+}
+
+impl<T: Transport> ChannelController<T> {
+    /// Performs the hello handshake over `transport` and returns the
+    /// connected proxy. `bs` identifies this agent to the controller.
+    pub fn connect(transport: T, bs: BaseStationId) -> Result<ChannelController<T>> {
+        let mut chan = CtlChannel::new(transport);
+        chan.hello(bs.0)?;
+        Ok(ChannelController { chan })
+    }
+
+    /// The underlying channel (barrier, echo, stats, counters).
+    pub fn channel(&mut self) -> &mut CtlChannel<T> {
+        &mut self.chan
+    }
+
+    fn round_trip(&mut self, pi: PacketIn) -> Result<Message<'static>> {
+        let raw = self.chan.request(&Message::PacketIn(pi))?;
+        let frame = softcell_ctlchan::Frame::new_checked(raw.as_slice())?;
+        let msg = frame.message()?;
+        if let Some(e) = msg.as_error() {
+            return Err(e);
+        }
+        Ok(msg.into_static())
+    }
+}
+
+impl<T: Transport> ControllerApi for ChannelController<T> {
+    fn attach_ue(
+        &mut self,
+        imsi: UeImsi,
+        bs: BaseStationId,
+        ue_id: UeId,
+        now: SimTime,
+    ) -> Result<AttachGrant> {
+        match self.round_trip(PacketIn::Attach {
+            imsi,
+            bs,
+            ue_id,
+            now,
+        })? {
+            Message::ClassifierReply {
+                record,
+                classifier: Some(c),
+            } => Ok(AttachGrant {
+                record: record.into(),
+                classifier: classifier_from_wire(c),
+            }),
+            other => Err(softcell_ctlchan::channel::unexpected(
+                "classifier reply",
+                &other,
+            )),
+        }
+    }
+
+    fn request_policy_path(&mut self, bs: BaseStationId, clause: ClauseId) -> Result<PathTags> {
+        match self.round_trip(PacketIn::PathRequest { bs, clause })? {
+            Message::FlowMod(mods) => mods
+                .iter()
+                .find(|m| m.bs == bs && m.clause == clause)
+                .map(|m| m.tags.into())
+                .ok_or_else(|| {
+                    Error::InvalidState(format!(
+                        "flow-mod batch missing entry for ({bs}, {clause:?})"
+                    ))
+                }),
+            other => Err(softcell_ctlchan::channel::unexpected("flow mod", &other)),
+        }
+    }
+
+    fn detach_ue(&mut self, imsi: UeImsi) -> Result<UeRecord> {
+        match self.round_trip(PacketIn::Detach { imsi })? {
+            Message::ClassifierReply {
+                record,
+                classifier: None,
+            } => Ok(record.into()),
+            other => Err(softcell_ctlchan::channel::unexpected(
+                "detach reply",
+                &other,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softcell_ctlchan::loopback_pair;
+    use softcell_policy::{ServicePolicy, SubscriberAttributes};
+
+    fn subscribers(n: u64) -> Vec<SubscriberAttributes> {
+        (0..n)
+            .map(|i| SubscriberAttributes::default_home(UeImsi(i)))
+            .collect()
+    }
+
+    #[test]
+    fn attach_detach_over_the_wire() {
+        let server =
+            ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers(4), 2)
+                .unwrap();
+        let (agent_end, controller_end) = loopback_pair();
+        let serve = server.serve(controller_end);
+
+        let mut ctl = ChannelController::connect(agent_end, BaseStationId(0)).unwrap();
+        let grant = ctl
+            .attach_ue(UeImsi(1), BaseStationId(0), UeId(0), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(grant.record.imsi, UeImsi(1));
+        assert!(!grant.classifier.entries().is_empty());
+
+        // a re-attach keeps the permanent address
+        let again = ctl
+            .attach_ue(UeImsi(1), BaseStationId(1), UeId(3), SimTime(50))
+            .unwrap();
+        assert_eq!(again.record.permanent_ip, grant.record.permanent_ip);
+        assert_eq!(again.record.bs, BaseStationId(1));
+
+        let rec = ctl.detach_ue(UeImsi(1)).unwrap();
+        assert_eq!(rec.permanent_ip, grant.record.permanent_ip);
+        assert_eq!(
+            ctl.detach_ue(UeImsi(1)).unwrap_err(),
+            Error::NotFound("imsi1 not attached".into())
+        );
+
+        drop(ctl);
+        serve.join().unwrap().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_subscriber_error_crosses_the_wire() {
+        let server =
+            ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers(1), 1)
+                .unwrap();
+        let (agent_end, controller_end) = loopback_pair();
+        let serve = server.serve(controller_end);
+        let mut ctl = ChannelController::connect(agent_end, BaseStationId(0)).unwrap();
+        let err = ctl
+            .attach_ue(UeImsi(99), BaseStationId(0), UeId(0), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, Error::NotFound(_)), "got {err:?}");
+        drop(ctl);
+        serve.join().unwrap().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn path_request_returns_stable_tags() {
+        let server =
+            ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers(1), 4)
+                .unwrap();
+        let (agent_end, controller_end) = loopback_pair();
+        let serve = server.serve(controller_end);
+        let mut ctl = ChannelController::connect(agent_end, BaseStationId(2)).unwrap();
+        let t1 = ctl
+            .request_policy_path(BaseStationId(2), ClauseId(5))
+            .unwrap();
+        let t2 = ctl
+            .request_policy_path(BaseStationId(2), ClauseId(5))
+            .unwrap();
+        assert_eq!(t1, t2, "idempotent per (bs, clause)");
+        drop(ctl);
+        serve.join().unwrap().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn agent_runs_unchanged_over_the_wire() {
+        use crate::agent::{FlowSetup, LocalAgent};
+        use softcell_dataplane::Switch;
+        use softcell_packet::{build_flow_packet, FiveTuple, HeaderView, Protocol};
+        use softcell_types::{AddressingScheme, PortEmbedding, SwitchId};
+
+        let server =
+            ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers(4), 2)
+                .unwrap();
+        let (agent_end, controller_end) = loopback_pair();
+        let serve = server.serve(controller_end);
+        let mut ctl = ChannelController::connect(agent_end, BaseStationId(0)).unwrap();
+
+        let mut agent = LocalAgent::new(
+            BaseStationId(0),
+            PortNo(2),
+            AddressingScheme::default_scheme(),
+            PortEmbedding::default_embedding(),
+        );
+        let mut switch = Switch::access(SwitchId(0));
+        let rec = agent
+            .handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO)
+            .unwrap();
+        let tuple = FiveTuple {
+            src: rec.permanent_ip,
+            dst: Ipv4Addr::new(93, 184, 216, 34),
+            src_port: 50_000,
+            dst_port: 443,
+            proto: Protocol::Tcp,
+        };
+        let view = HeaderView::parse(&build_flow_packet(tuple, 64, 0, &[])).unwrap();
+        let setup = agent
+            .handle_new_flow(&view, &mut ctl, &mut switch, SimTime::ZERO)
+            .unwrap();
+        assert!(
+            matches!(
+                setup,
+                FlowSetup::Allowed {
+                    cache_hit: false,
+                    ..
+                }
+            ),
+            "first flow escalates over the wire: {setup:?}"
+        );
+        // transport counters saw the attach and the path request
+        let stats = ctl.channel().stats().unwrap();
+        assert!(stats.rx_msgs >= 3, "hello + attach + path + stats");
+        drop(ctl);
+        serve.join().unwrap().unwrap();
+        server.shutdown();
+    }
+}

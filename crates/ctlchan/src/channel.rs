@@ -1,0 +1,266 @@
+//! Request/reply correlation and the serve loop.
+//!
+//! [`CtlChannel`] is the client (agent) side: it stamps each request
+//! with a fresh transaction id and blocks until the frame answering that
+//! xid arrives, stashing any interleaved replies for later pickup. The
+//! controller side is [`serve`]: a loop that decodes each incoming
+//! frame, answers protocol-level messages (hello, echo, barrier) itself,
+//! and hands application messages to a handler whose reply goes back
+//! under the request's xid.
+
+use std::collections::HashMap;
+
+use softcell_types::{Error, Result};
+
+use crate::codec::{ChannelStats, Frame, Message, VERSION};
+use crate::transport::Transport;
+
+/// The client end of a control channel: sends requests, correlates
+/// replies by xid.
+pub struct CtlChannel<T: Transport> {
+    transport: T,
+    next_xid: u32,
+    /// Replies that arrived while waiting for a different xid.
+    stash: HashMap<u32, Vec<u8>>,
+}
+
+impl<T: Transport> CtlChannel<T> {
+    /// Wraps a connected transport.
+    pub fn new(transport: T) -> CtlChannel<T> {
+        CtlChannel {
+            transport,
+            // xid 0 is reserved for unsolicited messages
+            next_xid: 1,
+            stash: HashMap::new(),
+        }
+    }
+
+    /// The underlying transport (e.g. for counters).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    fn fresh_xid(&mut self) -> u32 {
+        let xid = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1).max(1);
+        xid
+    }
+
+    /// Sends a message without waiting for an answer (unsolicited push;
+    /// carried under xid 0).
+    pub fn send(&mut self, msg: &Message<'_>) -> Result<()> {
+        self.transport.send(&msg.encode(0))
+    }
+
+    /// Sends a request and blocks until the reply carrying its xid
+    /// arrives, returning the raw reply frame. Replies to *other*
+    /// outstanding xids are stashed, not dropped.
+    pub fn request(&mut self, msg: &Message<'_>) -> Result<Vec<u8>> {
+        let xid = self.fresh_xid();
+        self.transport.send(&msg.encode(xid))?;
+        if let Some(frame) = self.stash.remove(&xid) {
+            return Ok(frame);
+        }
+        loop {
+            let frame = self
+                .transport
+                .recv()?
+                .ok_or_else(|| Error::InvalidState("control channel closed".into()))?;
+            let got = Frame::new_checked(frame.as_slice())?.xid();
+            if got == xid {
+                return Ok(frame);
+            }
+            self.stash.insert(got, frame);
+        }
+    }
+
+    /// Exchanges hello frames, verifying the peer speaks our version.
+    /// Returns the peer's identity field.
+    pub fn hello(&mut self, peer: u32) -> Result<u32> {
+        let reply = self.request(&Message::Hello {
+            version: VERSION,
+            peer,
+        })?;
+        match Frame::new_checked(reply.as_slice())?.message()? {
+            Message::Hello { version, peer } if version == VERSION => Ok(peer),
+            Message::Hello { version, .. } => Err(Error::InvalidState(format!(
+                "peer speaks ctlchan version {version}, not {VERSION}"
+            ))),
+            other => Err(unexpected("hello", &other)),
+        }
+    }
+
+    /// Round-trips an echo, returning the echoed payload.
+    pub fn echo(&mut self, payload: &[u8]) -> Result<Vec<u8>> {
+        let reply = self.request(&Message::EchoRequest(payload.into()))?;
+        match Frame::new_checked(reply.as_slice())?.message()? {
+            Message::EchoReply(p) => Ok(p.into_owned()),
+            other => Err(unexpected("echo reply", &other)),
+        }
+    }
+
+    /// Sends a barrier and waits for the fence acknowledgement: when
+    /// this returns, the peer has fully processed every frame this
+    /// channel sent before the barrier.
+    pub fn barrier(&mut self) -> Result<()> {
+        let reply = self.request(&Message::BarrierRequest)?;
+        match Frame::new_checked(reply.as_slice())?.message()? {
+            Message::BarrierReply => Ok(()),
+            other => Err(unexpected("barrier reply", &other)),
+        }
+    }
+
+    /// Polls the peer's connection counters.
+    pub fn stats(&mut self) -> Result<ChannelStats> {
+        let reply = self.request(&Message::StatsRequest)?;
+        match Frame::new_checked(reply.as_slice())?.message()? {
+            Message::StatsReply(s) => Ok(s),
+            other => Err(unexpected("stats reply", &other)),
+        }
+    }
+}
+
+/// The error for a reply of the wrong type (an error reply surfaces as
+/// the error it carries instead).
+pub fn unexpected(wanted: &str, got: &Message<'_>) -> Error {
+    got.as_error().unwrap_or_else(|| {
+        Error::InvalidState(format!(
+            "expected {wanted}, got message type {}",
+            got.msg_type()
+        ))
+    })
+}
+
+/// Runs the server end of a control channel until the peer disconnects.
+///
+/// Hello, echo-request, barrier-request and stats-request frames are
+/// answered by the loop itself; every other message is passed to
+/// `handler`, and its reply (if any) is sent back under the incoming
+/// frame's xid. Frames are processed strictly in arrival order, which is
+/// what gives the barrier its fence semantics: by the time the loop
+/// reaches a barrier-request, every earlier frame on this connection has
+/// been fully handled.
+///
+/// `served` is reported in stats replies (pass the application's request
+/// counter snapshot via the closure's environment and return it here).
+pub fn serve<T, F, S>(mut transport: T, mut served: S, mut handler: F) -> Result<()>
+where
+    T: Transport,
+    F: FnMut(&Message<'_>) -> Option<Message<'static>>,
+    S: FnMut() -> u64,
+{
+    let counters = transport.counters();
+    while let Some(raw) = transport.recv()? {
+        let frame = Frame::new_checked(raw.as_slice())?;
+        let xid = frame.xid();
+        let msg = frame.message()?;
+        let reply: Option<Message<'_>> = match &msg {
+            Message::Hello { version, .. } => {
+                if *version != VERSION {
+                    let e = Error::InvalidState(format!(
+                        "peer speaks ctlchan version {version}, not {VERSION}"
+                    ));
+                    transport.send(&Message::from_error(&e).encode(xid))?;
+                    return Err(e);
+                }
+                Some(Message::Hello {
+                    version: VERSION,
+                    peer: u32::MAX,
+                })
+            }
+            Message::EchoRequest(p) => Some(Message::EchoReply(p.clone())),
+            Message::BarrierRequest => {
+                // let the handler observe the fence too (tests hook this)
+                let _ = handler(&msg);
+                Some(Message::BarrierReply)
+            }
+            Message::StatsRequest => {
+                let c = counters.snapshot();
+                Some(Message::StatsReply(ChannelStats {
+                    served: served(),
+                    tx_msgs: c.tx_msgs,
+                    rx_msgs: c.rx_msgs,
+                    tx_bytes: c.tx_bytes,
+                    rx_bytes: c.rx_bytes,
+                }))
+            }
+            other => handler(other).map(Message::into_static),
+        };
+        if let Some(reply) = reply {
+            transport.send(&reply.encode(xid))?;
+        }
+    }
+    Ok(())
+}
+
+impl Message<'_> {
+    /// Converts any borrowed payloads to owned, detaching the message
+    /// from its frame buffer.
+    pub fn into_static(self) -> Message<'static> {
+        match self {
+            Message::EchoRequest(p) => Message::EchoRequest(p.into_owned().into()),
+            Message::EchoReply(p) => Message::EchoReply(p.into_owned().into()),
+            Message::Error { code, message } => Message::Error {
+                code,
+                message: message.into_owned().into(),
+            },
+            Message::Hello { version, peer } => Message::Hello { version, peer },
+            Message::PacketIn(pi) => Message::PacketIn(pi),
+            Message::ClassifierReply { record, classifier } => {
+                Message::ClassifierReply { record, classifier }
+            }
+            Message::FlowMod(mods) => Message::FlowMod(mods),
+            Message::BarrierRequest => Message::BarrierRequest,
+            Message::BarrierReply => Message::BarrierReply,
+            Message::StatsRequest => Message::StatsRequest,
+            Message::StatsReply(s) => Message::StatsReply(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::PacketIn;
+    use crate::transport::loopback_pair;
+
+    #[test]
+    fn hello_echo_stats_round_trip() {
+        let (client_end, server_end) = loopback_pair();
+        let server = std::thread::spawn(move || {
+            serve(server_end, || 7, |_msg| None).unwrap();
+        });
+        let mut chan = CtlChannel::new(client_end);
+        assert_eq!(chan.hello(3).unwrap(), u32::MAX);
+        assert_eq!(chan.echo(b"liveness").unwrap(), b"liveness");
+        let stats = chan.stats().unwrap();
+        assert_eq!(stats.served, 7);
+        assert_eq!(stats.rx_msgs, 3, "hello + echo + stats received");
+        drop(chan);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn error_replies_surface_as_errors() {
+        let (client_end, server_end) = loopback_pair();
+        let server = std::thread::spawn(move || {
+            serve(
+                server_end,
+                || 0,
+                |_msg| Some(Message::from_error(&Error::NotFound("nope".into()))),
+            )
+            .unwrap();
+        });
+        let mut chan = CtlChannel::new(client_end);
+        let reply = chan
+            .request(&Message::PacketIn(PacketIn::Detach {
+                imsi: softcell_types::UeImsi(9),
+            }))
+            .unwrap();
+        let msg = Frame::new_checked(reply.as_slice()).unwrap();
+        let err = msg.message().unwrap().as_error().unwrap();
+        assert_eq!(err, Error::NotFound("nope".into()));
+        drop(chan);
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,912 @@
+//! Wire format: frames and messages.
+//!
+//! Every control-channel exchange is one *frame*: a fixed 12-byte header
+//! followed by a message-type-specific payload. The header mirrors
+//! OpenFlow's `ofp_header` (version, type, length, transaction id) with a
+//! 32-bit length so classifier and flow-mod batches are not capped at
+//! 64 KB:
+//!
+//! ```text
+//!  0        1        2                 4                 8                12
+//! +--------+--------+-----------------+-----------------+----------------+
+//! | version| type   | reserved (0)    | length (u32 BE) | xid (u32 BE)   |
+//! +--------+--------+-----------------+-----------------+----------------+
+//! | payload ... (length - 12 bytes)                                      |
+//! ```
+//!
+//! `length` covers the whole frame including the header. The `xid`
+//! correlates replies with requests: a reply always carries the xid of
+//! the request it answers; unsolicited messages (flow-mod pushes) use
+//! xid 0.
+//!
+//! [`Frame`] wraps a byte buffer in the smoltcp style used by
+//! `softcell-packet`: `new_checked` validates once, accessors then read
+//! fixed offsets, and [`Frame::message`] decodes the payload *borrowing*
+//! from the buffer — echo payloads and error strings are zero-copy
+//! (`Cow::Borrowed`) on the decode path.
+
+use std::borrow::Cow;
+use std::net::Ipv4Addr;
+
+use softcell_packet::Protocol;
+use softcell_policy::clause::{AccessControl, ClauseId, QosClass};
+use softcell_policy::{ApplicationType, ClassifierEntry};
+use softcell_types::{BaseStationId, Error, PolicyTag, PortNo, Result, SimTime, UeId, UeImsi};
+
+/// Protocol version this crate speaks.
+pub const VERSION: u8 = 1;
+
+/// Frame header length in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Upper bound on a frame (sanity check against corrupt length fields).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Field offsets within the frame header.
+mod field {
+    pub const VERSION: usize = 0;
+    pub const MSG_TYPE: usize = 1;
+    pub const RESERVED: std::ops::Range<usize> = 2..4;
+    pub const LENGTH: std::ops::Range<usize> = 4..8;
+    pub const XID: std::ops::Range<usize> = 8..12;
+}
+
+/// A control-channel frame backed by a byte buffer.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wraps a buffer without validation. Use on buffers this code just
+    /// emitted.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        Frame { buffer }
+    }
+
+    /// Wraps and validates a buffer: header present, version supported,
+    /// length field consistent with the buffer.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let frame = Frame { buffer };
+        frame.check()?;
+        Ok(frame)
+    }
+
+    fn check(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Malformed(format!(
+                "buffer {} bytes < {HEADER_LEN}-byte ctlchan header",
+                data.len()
+            )));
+        }
+        if data[field::VERSION] != VERSION {
+            return Err(Error::Malformed(format!(
+                "ctlchan version {} != {VERSION}",
+                data[field::VERSION]
+            )));
+        }
+        let len = u32::from_be_bytes(data[field::LENGTH].try_into().unwrap()) as usize;
+        if !(HEADER_LEN..=MAX_FRAME).contains(&len) {
+            return Err(Error::Malformed(format!("frame length {len} out of range")));
+        }
+        if len != data.len() {
+            return Err(Error::Malformed(format!(
+                "frame length {len} != buffer {}",
+                data.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Consumes the wrapper, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Protocol version byte.
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[field::VERSION]
+    }
+
+    /// Message type code.
+    pub fn msg_type(&self) -> u8 {
+        self.buffer.as_ref()[field::MSG_TYPE]
+    }
+
+    /// The reserved header bytes. Senders write zero; receivers must
+    /// ignore the value (room for future flags without a version bump).
+    pub fn reserved(&self) -> u16 {
+        let b = &self.buffer.as_ref()[field::RESERVED];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Total frame length from the header.
+    pub fn total_len(&self) -> usize {
+        let d = self.buffer.as_ref();
+        u32::from_be_bytes(d[field::LENGTH].try_into().unwrap()) as usize
+    }
+
+    /// Transaction id.
+    pub fn xid(&self) -> u32 {
+        let d = self.buffer.as_ref();
+        u32::from_be_bytes(d[field::XID].try_into().unwrap())
+    }
+
+    /// The message payload after the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Decodes the payload into a [`Message`] borrowing from the buffer.
+    pub fn message(&self) -> Result<Message<'_>> {
+        Message::parse(self.msg_type(), self.payload())
+    }
+}
+
+impl<T: AsRef<[u8]>> std::fmt::Debug for Frame<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Frame {{ v{}, type {}, len {}, xid {} }}",
+            self.version(),
+            self.msg_type(),
+            self.total_len(),
+            self.xid()
+        )
+    }
+}
+
+/// Message type codes (the header's `type` byte).
+pub mod msg_type {
+    /// Version negotiation, first frame in each direction.
+    pub const HELLO: u8 = 0;
+    /// Liveness probe.
+    pub const ECHO_REQUEST: u8 = 1;
+    /// Liveness answer, echoing the request payload.
+    pub const ECHO_REPLY: u8 = 2;
+    /// Request failed; carries a structured error.
+    pub const ERROR: u8 = 3;
+    /// Agent → controller event (attach, path request, detach).
+    pub const PACKET_IN: u8 = 4;
+    /// Controller → agent: UE record plus optional packet classifier.
+    pub const CLASSIFIER_REPLY: u8 = 5;
+    /// Controller → agent: batch of tag-cache programming entries.
+    pub const FLOW_MOD: u8 = 6;
+    /// Fence: process everything before this, then reply.
+    pub const BARRIER_REQUEST: u8 = 7;
+    /// The fence acknowledgement.
+    pub const BARRIER_REPLY: u8 = 8;
+    /// Ask the peer for its connection counters.
+    pub const STATS_REQUEST: u8 = 9;
+    /// The counters.
+    pub const STATS_REPLY: u8 = 10;
+}
+
+/// Wire form of an [`Error`]: a category code plus the message text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// [`Error::Config`]
+    Config,
+    /// [`Error::Range`]
+    Range,
+    /// [`Error::Parse`]
+    Parse,
+    /// [`Error::Exhausted`]
+    Exhausted,
+    /// [`Error::NotFound`]
+    NotFound,
+    /// [`Error::InvalidState`]
+    InvalidState,
+    /// [`Error::Malformed`]
+    Malformed,
+    /// [`Error::NoPath`]
+    NoPath,
+}
+
+impl ErrorCode {
+    /// The category of an error.
+    pub fn of(e: &Error) -> ErrorCode {
+        match e {
+            Error::Config(_) => ErrorCode::Config,
+            Error::Range(_) => ErrorCode::Range,
+            Error::Parse(_) => ErrorCode::Parse,
+            Error::Exhausted(_) => ErrorCode::Exhausted,
+            Error::NotFound(_) => ErrorCode::NotFound,
+            Error::InvalidState(_) => ErrorCode::InvalidState,
+            Error::Malformed(_) => ErrorCode::Malformed,
+            Error::NoPath(_) => ErrorCode::NoPath,
+        }
+    }
+
+    /// Reconstructs the [`Error`] this code and message describe.
+    pub fn to_error(self, message: &str) -> Error {
+        let m = message.to_string();
+        match self {
+            ErrorCode::Config => Error::Config(m),
+            ErrorCode::Range => Error::Range(m),
+            ErrorCode::Parse => Error::Parse(m),
+            ErrorCode::Exhausted => Error::Exhausted(m),
+            ErrorCode::NotFound => Error::NotFound(m),
+            ErrorCode::InvalidState => Error::InvalidState(m),
+            ErrorCode::Malformed => Error::Malformed(m),
+            ErrorCode::NoPath => Error::NoPath(m),
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Config => 0,
+            ErrorCode::Range => 1,
+            ErrorCode::Parse => 2,
+            ErrorCode::Exhausted => 3,
+            ErrorCode::NotFound => 4,
+            ErrorCode::InvalidState => 5,
+            ErrorCode::Malformed => 6,
+            ErrorCode::NoPath => 7,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<ErrorCode> {
+        Ok(match v {
+            0 => ErrorCode::Config,
+            1 => ErrorCode::Range,
+            2 => ErrorCode::Parse,
+            3 => ErrorCode::Exhausted,
+            4 => ErrorCode::NotFound,
+            5 => ErrorCode::InvalidState,
+            6 => ErrorCode::Malformed,
+            7 => ErrorCode::NoPath,
+            _ => return Err(Error::Malformed(format!("unknown error code {v}"))),
+        })
+    }
+}
+
+/// An agent → controller event (OpenFlow's packet-in, specialized to the
+/// three punts a SoftCell agent makes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketIn {
+    /// A UE attached at this agent's station.
+    Attach {
+        /// Subscriber identity.
+        imsi: UeImsi,
+        /// The station it attached at.
+        bs: BaseStationId,
+        /// The local id the agent assigned.
+        ue_id: UeId,
+        /// Attach time.
+        now: SimTime,
+    },
+    /// Tag-cache miss: the first flow of a clause at this station.
+    PathRequest {
+        /// Origin station.
+        bs: BaseStationId,
+        /// The governing clause.
+        clause: ClauseId,
+    },
+    /// A UE detached.
+    Detach {
+        /// Subscriber identity.
+        imsi: UeImsi,
+    },
+}
+
+/// Wire form of a controller-side UE record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireUeRecord {
+    /// Subscriber identity.
+    pub imsi: UeImsi,
+    /// Permanent (DHCP) address.
+    pub permanent_ip: Ipv4Addr,
+    /// Current base station.
+    pub bs: BaseStationId,
+    /// Local UE id there.
+    pub ue_id: UeId,
+    /// When the UE last attached or moved.
+    pub since: SimTime,
+}
+
+/// Wire form of the tags realizing one (clause, station) policy path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WirePathTags {
+    /// Tag embedded in the uplink source port at the access edge.
+    pub uplink_entry: PolicyTag,
+    /// Tag on the packet when it exits the gateway.
+    pub uplink_exit: PolicyTag,
+    /// Tag arriving back at the access switch on the downlink.
+    pub downlink_final: PolicyTag,
+    /// First-hop output port of the uplink microflow rule.
+    pub access_out_port: PortNo,
+    /// QoS class of the governing clause, if any.
+    pub qos: Option<QosClass>,
+}
+
+/// One tag-cache programming entry: "flows of `clause` at `bs` use these
+/// tags". The controller pushes these in reply to path requests (and may
+/// batch proactive entries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireFlowMod {
+    /// The station whose tag cache this programs.
+    pub bs: BaseStationId,
+    /// The clause.
+    pub clause: ClauseId,
+    /// The tags.
+    pub tags: WirePathTags,
+}
+
+/// Wire form of a per-UE packet classifier.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct WireClassifier {
+    /// Signature entries.
+    pub entries: Vec<ClassifierEntry>,
+    /// Fallback clause for unrecognized flows.
+    pub fallback: Option<(ClauseId, AccessControl)>,
+}
+
+/// Connection counters as carried by a stats reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Application-level requests served (controller side; 0 for agents).
+    pub served: u64,
+    /// Frames sent by the replying peer.
+    pub tx_msgs: u64,
+    /// Frames received by the replying peer.
+    pub rx_msgs: u64,
+    /// Bytes sent.
+    pub tx_bytes: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+}
+
+/// A decoded control-channel message. Byte and string payloads borrow
+/// from the frame on decode (`Cow::Borrowed`) and own their data when
+/// built for sending (`Cow::Owned`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message<'a> {
+    /// Version negotiation; `peer` identifies the sender (base-station id
+    /// for agents, `u32::MAX` for the controller).
+    Hello {
+        /// Highest protocol version the sender speaks.
+        version: u8,
+        /// Sender identity.
+        peer: u32,
+    },
+    /// Liveness probe with an arbitrary payload.
+    EchoRequest(Cow<'a, [u8]>),
+    /// Echoes the probe payload back.
+    EchoReply(Cow<'a, [u8]>),
+    /// A failed request: category plus message text.
+    Error {
+        /// Error category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: Cow<'a, str>,
+    },
+    /// Agent → controller event.
+    PacketIn(PacketIn),
+    /// Controller → agent: the record (and, for attaches, the compiled
+    /// classifier) answering a packet-in.
+    ClassifierReply {
+        /// The controller-side UE record.
+        record: WireUeRecord,
+        /// The compiled classifier (absent on detach replies).
+        classifier: Option<WireClassifier>,
+    },
+    /// A batch of tag-cache programming entries.
+    FlowMod(Vec<WireFlowMod>),
+    /// Fence request.
+    BarrierRequest,
+    /// Fence acknowledgement.
+    BarrierReply,
+    /// Counter poll.
+    StatsRequest,
+    /// Counter answer.
+    StatsReply(ChannelStats),
+}
+
+impl Message<'_> {
+    /// The header type code of this message.
+    pub fn msg_type(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => msg_type::HELLO,
+            Message::EchoRequest(_) => msg_type::ECHO_REQUEST,
+            Message::EchoReply(_) => msg_type::ECHO_REPLY,
+            Message::Error { .. } => msg_type::ERROR,
+            Message::PacketIn(_) => msg_type::PACKET_IN,
+            Message::ClassifierReply { .. } => msg_type::CLASSIFIER_REPLY,
+            Message::FlowMod(_) => msg_type::FLOW_MOD,
+            Message::BarrierRequest => msg_type::BARRIER_REQUEST,
+            Message::BarrierReply => msg_type::BARRIER_REPLY,
+            Message::StatsRequest => msg_type::STATS_REQUEST,
+            Message::StatsReply(_) => msg_type::STATS_REPLY,
+        }
+    }
+
+    /// Builds the error message reporting `e`. Only the detail text goes
+    /// on the wire — the category travels as the code, so decoding
+    /// reconstructs the identical [`Error`].
+    pub fn from_error(e: &Error) -> Message<'static> {
+        let detail = match e {
+            Error::Config(m)
+            | Error::Range(m)
+            | Error::Parse(m)
+            | Error::Exhausted(m)
+            | Error::NotFound(m)
+            | Error::InvalidState(m)
+            | Error::Malformed(m)
+            | Error::NoPath(m) => m,
+        };
+        Message::Error {
+            code: ErrorCode::of(e),
+            message: Cow::Owned(detail.clone()),
+        }
+    }
+
+    /// If this is an error message, the [`Error`] it carries.
+    pub fn as_error(&self) -> Option<Error> {
+        match self {
+            Message::Error { code, message } => Some(code.to_error(message)),
+            _ => None,
+        }
+    }
+
+    /// Encodes the message as a complete frame with the given xid.
+    pub fn encode(&self, xid: u32) -> Vec<u8> {
+        let mut w = Writer::frame(self.msg_type(), xid);
+        match self {
+            Message::Hello { version, peer } => {
+                w.u8(*version);
+                w.u32(*peer);
+            }
+            Message::EchoRequest(p) | Message::EchoReply(p) => w.bytes(p),
+            Message::Error { code, message } => {
+                w.u8(code.to_u8());
+                w.str16(message);
+            }
+            Message::PacketIn(pi) => match pi {
+                PacketIn::Attach {
+                    imsi,
+                    bs,
+                    ue_id,
+                    now,
+                } => {
+                    w.u8(0);
+                    w.u64(imsi.0);
+                    w.u32(bs.0);
+                    w.u16(ue_id.0);
+                    w.u64(now.0);
+                }
+                PacketIn::PathRequest { bs, clause } => {
+                    w.u8(1);
+                    w.u32(bs.0);
+                    w.u16(clause.0);
+                }
+                PacketIn::Detach { imsi } => {
+                    w.u8(2);
+                    w.u64(imsi.0);
+                }
+            },
+            Message::ClassifierReply { record, classifier } => {
+                w.record(record);
+                match classifier {
+                    Some(c) => {
+                        w.u8(1);
+                        w.classifier(c);
+                    }
+                    None => w.u8(0),
+                }
+            }
+            Message::FlowMod(mods) => {
+                debug_assert!(mods.len() <= u16::MAX as usize, "flow-mod batch too large");
+                w.u16(mods.len() as u16);
+                for m in mods {
+                    w.u32(m.bs.0);
+                    w.u16(m.clause.0);
+                    w.tags(&m.tags);
+                }
+            }
+            Message::BarrierRequest | Message::BarrierReply | Message::StatsRequest => {}
+            Message::StatsReply(s) => {
+                w.u64(s.served);
+                w.u64(s.tx_msgs);
+                w.u64(s.rx_msgs);
+                w.u64(s.tx_bytes);
+                w.u64(s.rx_bytes);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a payload of the given type. The returned message borrows
+    /// byte and string payloads from `payload`.
+    pub fn parse(kind: u8, payload: &[u8]) -> Result<Message<'_>> {
+        let mut r = Reader::new(payload);
+        let msg = match kind {
+            msg_type::HELLO => Message::Hello {
+                version: r.u8()?,
+                peer: r.u32()?,
+            },
+            msg_type::ECHO_REQUEST => return Ok(Message::EchoRequest(Cow::Borrowed(payload))),
+            msg_type::ECHO_REPLY => return Ok(Message::EchoReply(Cow::Borrowed(payload))),
+            msg_type::ERROR => Message::Error {
+                code: ErrorCode::from_u8(r.u8()?)?,
+                message: Cow::Borrowed(r.str16()?),
+            },
+            msg_type::PACKET_IN => Message::PacketIn(match r.u8()? {
+                0 => PacketIn::Attach {
+                    imsi: UeImsi(r.u64()?),
+                    bs: BaseStationId(r.u32()?),
+                    ue_id: UeId(r.u16()?),
+                    now: SimTime(r.u64()?),
+                },
+                1 => PacketIn::PathRequest {
+                    bs: BaseStationId(r.u32()?),
+                    clause: ClauseId(r.u16()?),
+                },
+                2 => PacketIn::Detach {
+                    imsi: UeImsi(r.u64()?),
+                },
+                other => {
+                    return Err(Error::Malformed(format!(
+                        "unknown packet-in reason {other}"
+                    )))
+                }
+            }),
+            msg_type::CLASSIFIER_REPLY => {
+                let record = r.record()?;
+                let classifier = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.classifier()?),
+                    other => {
+                        return Err(Error::Malformed(format!("classifier-present flag {other}")))
+                    }
+                };
+                Message::ClassifierReply { record, classifier }
+            }
+            msg_type::FLOW_MOD => {
+                let n = r.u16()? as usize;
+                let mut mods = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    mods.push(WireFlowMod {
+                        bs: BaseStationId(r.u32()?),
+                        clause: ClauseId(r.u16()?),
+                        tags: r.tags()?,
+                    });
+                }
+                Message::FlowMod(mods)
+            }
+            msg_type::BARRIER_REQUEST => Message::BarrierRequest,
+            msg_type::BARRIER_REPLY => Message::BarrierReply,
+            msg_type::STATS_REQUEST => Message::StatsRequest,
+            msg_type::STATS_REPLY => Message::StatsReply(ChannelStats {
+                served: r.u64()?,
+                tx_msgs: r.u64()?,
+                rx_msgs: r.u64()?,
+                tx_bytes: r.u64()?,
+                rx_bytes: r.u64()?,
+            }),
+            other => return Err(Error::Malformed(format!("unknown message type {other}"))),
+        };
+        r.done()?;
+        Ok(msg)
+    }
+}
+
+/// Frame builder: header first, payload appended, length patched at the
+/// end.
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn frame(kind: u8, xid: u32) -> Writer {
+        let mut buf = Vec::with_capacity(64);
+        buf.push(VERSION);
+        buf.push(kind);
+        buf.extend_from_slice(&[0, 0]); // reserved
+        buf.extend_from_slice(&[0, 0, 0, 0]); // length, patched in finish()
+        buf.extend_from_slice(&xid.to_be_bytes());
+        Writer { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// A u16 length followed by UTF-8 bytes; over-long strings are
+    /// truncated at a character boundary rather than rejected (error
+    /// messages are best-effort).
+    fn str16(&mut self, s: &str) {
+        let mut end = s.len().min(u16::MAX as usize);
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        self.u16(end as u16);
+        self.bytes(&s.as_bytes()[..end]);
+    }
+
+    fn record(&mut self, rec: &WireUeRecord) {
+        self.u64(rec.imsi.0);
+        self.u32(u32::from(rec.permanent_ip));
+        self.u32(rec.bs.0);
+        self.u16(rec.ue_id.0);
+        self.u64(rec.since.0);
+    }
+
+    fn tags(&mut self, t: &WirePathTags) {
+        self.u16(t.uplink_entry.0);
+        self.u16(t.uplink_exit.0);
+        self.u16(t.downlink_final.0);
+        self.u16(t.access_out_port.0);
+        match t.qos {
+            Some(q) => {
+                self.u8(1);
+                self.u8(q.dscp);
+                self.u8(q.priority);
+            }
+            None => {
+                self.u8(0);
+                self.u8(0);
+                self.u8(0);
+            }
+        }
+    }
+
+    fn classifier(&mut self, c: &WireClassifier) {
+        debug_assert!(c.entries.len() <= u16::MAX as usize, "classifier too large");
+        self.u16(c.entries.len() as u16);
+        for e in &c.entries {
+            let mut flags = 0u8;
+            if e.proto.is_some() {
+                flags |= 1;
+            }
+            if e.dst_port.is_some() {
+                flags |= 2;
+            }
+            self.u8(flags);
+            self.u8(e.proto.map_or(0, Protocol::number));
+            self.u16(e.dst_port.unwrap_or(0));
+            self.u8(app_code(e.app));
+            self.u16(e.clause.0);
+            self.u8(access_code(e.access));
+        }
+        match c.fallback {
+            Some((clause, access)) => {
+                self.u8(1);
+                self.u16(clause.0);
+                self.u8(access_code(access));
+            }
+            None => self.u8(0),
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let len = self.buf.len() as u32;
+        self.buf[field::LENGTH].copy_from_slice(&len.to_be_bytes());
+        self.buf
+    }
+}
+
+/// Bounds-checked payload cursor.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Reader<'a> {
+        Reader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.data.len());
+        let end = end.ok_or_else(|| {
+            Error::Malformed(format!(
+                "payload truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.data.len()
+            ))
+        })?;
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str16(&mut self) -> Result<&'a str> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map_err(|e| Error::Malformed(format!("invalid UTF-8 in string: {e}")))
+    }
+
+    fn record(&mut self) -> Result<WireUeRecord> {
+        Ok(WireUeRecord {
+            imsi: UeImsi(self.u64()?),
+            permanent_ip: Ipv4Addr::from(self.u32()?),
+            bs: BaseStationId(self.u32()?),
+            ue_id: UeId(self.u16()?),
+            since: SimTime(self.u64()?),
+        })
+    }
+
+    fn tags(&mut self) -> Result<WirePathTags> {
+        let uplink_entry = PolicyTag(self.u16()?);
+        let uplink_exit = PolicyTag(self.u16()?);
+        let downlink_final = PolicyTag(self.u16()?);
+        let access_out_port = PortNo(self.u16()?);
+        let qos_present = self.u8()?;
+        let dscp = self.u8()?;
+        let priority = self.u8()?;
+        let qos = match qos_present {
+            0 => None,
+            1 => Some(QosClass { dscp, priority }),
+            other => return Err(Error::Malformed(format!("qos-present flag {other}"))),
+        };
+        Ok(WirePathTags {
+            uplink_entry,
+            uplink_exit,
+            downlink_final,
+            access_out_port,
+            qos,
+        })
+    }
+
+    fn classifier(&mut self) -> Result<WireClassifier> {
+        let n = self.u16()? as usize;
+        let mut entries = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let flags = self.u8()?;
+            let proto_num = self.u8()?;
+            let port = self.u16()?;
+            let app = app_from_code(self.u8()?)?;
+            let clause = ClauseId(self.u16()?);
+            let access = access_from_code(self.u8()?)?;
+            entries.push(ClassifierEntry {
+                proto: if flags & 1 != 0 {
+                    Some(Protocol::from_number(proto_num)?)
+                } else {
+                    None
+                },
+                dst_port: if flags & 2 != 0 { Some(port) } else { None },
+                app,
+                clause,
+                access,
+            });
+        }
+        let fallback = match self.u8()? {
+            0 => None,
+            1 => {
+                let clause = ClauseId(self.u16()?);
+                let access = access_from_code(self.u8()?)?;
+                Some((clause, access))
+            }
+            other => return Err(Error::Malformed(format!("fallback flag {other}"))),
+        };
+        Ok(WireClassifier { entries, fallback })
+    }
+
+    /// Asserts the payload was consumed exactly.
+    fn done(&self) -> Result<()> {
+        if self.pos != self.data.len() {
+            return Err(Error::Malformed(format!(
+                "{} trailing bytes after payload",
+                self.data.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn app_code(app: ApplicationType) -> u8 {
+    ApplicationType::ALL
+        .iter()
+        .position(|a| *a == app)
+        .expect("ALL is exhaustive") as u8
+}
+
+fn app_from_code(code: u8) -> Result<ApplicationType> {
+    ApplicationType::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| Error::Malformed(format!("unknown application code {code}")))
+}
+
+fn access_code(a: AccessControl) -> u8 {
+    match a {
+        AccessControl::Allow => 0,
+        AccessControl::Deny => 1,
+    }
+}
+
+fn access_from_code(code: u8) -> Result<AccessControl> {
+    match code {
+        0 => Ok(AccessControl::Allow),
+        1 => Ok(AccessControl::Deny),
+        other => Err(Error::Malformed(format!("unknown access code {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_layout_matches_header_spec() {
+        let buf = Message::BarrierRequest.encode(0xdead_beef);
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(buf[0], VERSION);
+        assert_eq!(buf[1], msg_type::BARRIER_REQUEST);
+        assert_eq!(&buf[2..4], &[0, 0]);
+        assert_eq!(u32::from_be_bytes(buf[4..8].try_into().unwrap()), 12);
+        assert_eq!(
+            u32::from_be_bytes(buf[8..12].try_into().unwrap()),
+            0xdead_beef
+        );
+    }
+
+    #[test]
+    fn checked_rejects_bad_frames() {
+        assert!(Frame::new_checked(&[0u8; 4][..]).is_err(), "short");
+        let mut buf = Message::BarrierRequest.encode(1);
+        buf[0] = 9;
+        assert!(Frame::new_checked(&buf[..]).is_err(), "version");
+        let mut buf = Message::BarrierRequest.encode(1);
+        buf[7] = 200; // length 200 != 12-byte buffer
+        assert!(Frame::new_checked(&buf[..]).is_err(), "length");
+    }
+
+    #[test]
+    fn echo_decode_is_zero_copy() {
+        let payload = b"ping-payload".to_vec();
+        let buf = Message::EchoRequest(Cow::Owned(payload.clone())).encode(7);
+        let frame = Frame::new_checked(&buf[..]).unwrap();
+        let Message::EchoRequest(got) = frame.message().unwrap() else {
+            panic!("wrong type");
+        };
+        assert!(matches!(got, Cow::Borrowed(_)), "decode must borrow");
+        assert_eq!(&*got, &payload[..]);
+    }
+
+    #[test]
+    fn error_round_trips_as_typed_error() {
+        let e = Error::NotFound("imsi42 not attached".into());
+        let buf = Message::from_error(&e).encode(3);
+        let frame = Frame::new_checked(&buf[..]).unwrap();
+        assert_eq!(frame.message().unwrap().as_error(), Some(e));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Message::BarrierReply.encode(1);
+        buf.push(0xff);
+        let len = buf.len() as u32;
+        buf[4..8].copy_from_slice(&len.to_be_bytes());
+        let frame = Frame::new_checked(&buf[..]).unwrap();
+        assert!(frame.message().is_err());
+    }
+}

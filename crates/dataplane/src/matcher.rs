@@ -281,7 +281,11 @@ pub const QUALIFIED_BUMP: u16 = 25_000;
 pub fn conventional_priority(m: &Match) -> u16 {
     let ty = RuleType::of(m);
     let len = m.location().map(|p| p.len() as u16).unwrap_or(0);
-    let inport_bump = if m.in_port.is_some() { QUALIFIED_BUMP } else { 0 };
+    let inport_bump = if m.in_port.is_some() {
+        QUALIFIED_BUMP
+    } else {
+        0
+    };
     ty.base_priority() + len + inport_bump
 }
 
@@ -438,8 +442,7 @@ mod tests {
         let pref: Ipv4Prefix = "10.0.0.0/23".parse().unwrap();
         // weakest qualified rule: Type 3, /0-ish short prefix, in-port
         let weakest_qualified = conventional_priority(
-            &Match::prefix(Direction::Downlink, "10.0.0.0/8".parse().unwrap())
-                .from_port(PortNo(4)),
+            &Match::prefix(Direction::Downlink, "10.0.0.0/8".parse().unwrap()).from_port(PortNo(4)),
         );
         // strongest unqualified rule: Type 1 with a /32
         let strongest_unqualified = conventional_priority(&Match::tag_and_prefix(

@@ -190,15 +190,22 @@ mod tests {
     #[test]
     fn install_lookup_counts_and_refreshes() {
         let mut t = MicroflowTable::new();
-        t.install(tuple(1000), act(), SimTime::from_secs(5)).unwrap();
+        t.install(tuple(1000), act(), SimTime::from_secs(5))
+            .unwrap();
         let got = t
-            .lookup(&tuple(1000), SimTime::from_secs(3), SimDuration::from_secs(10))
+            .lookup(
+                &tuple(1000),
+                SimTime::from_secs(3),
+                SimDuration::from_secs(10),
+            )
             .unwrap();
         assert_eq!(got, act());
         let e = t.peek(&tuple(1000)).unwrap();
         assert_eq!(e.packets, 1);
         assert_eq!(e.idle_deadline, SimTime::from_secs(13));
-        assert!(t.lookup(&tuple(2000), SimTime::ZERO, SimDuration::ZERO).is_none());
+        assert!(t
+            .lookup(&tuple(2000), SimTime::ZERO, SimDuration::ZERO)
+            .is_none());
     }
 
     #[test]

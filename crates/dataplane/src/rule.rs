@@ -9,9 +9,7 @@ use softcell_types::PortNo;
 use crate::matcher::Match;
 
 /// A rule identifier, unique within one switch.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct RuleId(pub u64);
 
 /// Which transport port field an action rewrites (the tag lives in the

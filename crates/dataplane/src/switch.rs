@@ -345,7 +345,8 @@ mod tests {
         );
         let mut other = uplink_buf(e.encode(PolicyTag(4), 2).unwrap());
         assert_eq!(
-            core.process(&mut other, PortNo(1), 0, SimTime::ZERO).unwrap(),
+            core.process(&mut other, PortNo(1), 0, SimTime::ZERO)
+                .unwrap(),
             ForwardDecision::Drop
         );
     }
@@ -428,7 +429,9 @@ mod tests {
     fn process_rejects_garbage() {
         let mut core = Switch::fabric(SwitchId(1));
         let mut junk = vec![0u8; 10];
-        assert!(core.process(&mut junk, PortNo(1), 0, SimTime::ZERO).is_err());
+        assert!(core
+            .process(&mut junk, PortNo(1), 0, SimTime::ZERO)
+            .is_err());
         assert!(validate_packet(&junk).is_err());
     }
 }

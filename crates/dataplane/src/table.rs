@@ -73,9 +73,7 @@ impl FlowTable {
     pub fn install(&mut self, priority: u16, matcher: Match, action: Action) -> Result<RuleId> {
         if let Some(cap) = self.capacity {
             if self.rules.len() >= cap {
-                return Err(Error::Exhausted(format!(
-                    "flow table full ({cap} entries)"
-                )));
+                return Err(Error::Exhausted(format!("flow table full ({cap} entries)")));
             }
         }
         let id = RuleId(self.next_id);
@@ -87,9 +85,7 @@ impl FlowTable {
             action,
         };
         // insert after the last rule with priority >= ours (stable ties)
-        let pos = self
-            .rules
-            .partition_point(|r| r.priority >= priority);
+        let pos = self.rules.partition_point(|r| r.priority >= priority);
         self.rules.insert(pos, rule);
         Ok(id)
     }
@@ -198,10 +194,7 @@ mod tests {
         t.install(20, Match::ANY, Action::Forward(PortNo(2)))
             .unwrap();
         let k = key_to(Ipv4Addr::new(10, 0, 0, 1), 80);
-        assert_eq!(
-            t.lookup(&k).unwrap().action,
-            Action::Forward(PortNo(2))
-        );
+        assert_eq!(t.lookup(&k).unwrap().action, Action::Forward(PortNo(2)));
     }
 
     #[test]
@@ -248,10 +241,18 @@ mod tests {
         let mut t = FlowTable::new();
         let short = Match::prefix(Direction::Downlink, "10.0.0.0/16".parse().unwrap());
         let long = Match::prefix(Direction::Downlink, "10.0.0.0/24".parse().unwrap());
-        t.install(conventional_priority(&short), short, Action::Forward(PortNo(1)))
-            .unwrap();
-        t.install(conventional_priority(&long), long, Action::Forward(PortNo(2)))
-            .unwrap();
+        t.install(
+            conventional_priority(&short),
+            short,
+            Action::Forward(PortNo(1)),
+        )
+        .unwrap();
+        t.install(
+            conventional_priority(&long),
+            long,
+            Action::Forward(PortNo(2)),
+        )
+        .unwrap();
         let k = key_to(Ipv4Addr::new(10, 0, 0, 9), 80);
         assert_eq!(t.lookup(&k).unwrap().action, Action::Forward(PortNo(2)));
         let k = key_to(Ipv4Addr::new(10, 0, 5, 9), 80);
@@ -307,8 +308,12 @@ mod tests {
             Action::Drop,
         )
         .unwrap();
-        t.install(1, Match::tag(Direction::Downlink, PolicyTag(1), &e), Action::Drop)
-            .unwrap();
+        t.install(
+            1,
+            Match::tag(Direction::Downlink, PolicyTag(1), &e),
+            Action::Drop,
+        )
+        .unwrap();
         t.install(1, Match::prefix(Direction::Downlink, pref), Action::Drop)
             .unwrap();
         t.install(1, Match::ANY, Action::Drop).unwrap();

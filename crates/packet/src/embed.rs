@@ -197,9 +197,7 @@ mod tests {
         let rw = rewriter();
         let mut buf = uplink_packet();
         let loc = LocIp::new(BaseStationId(37), UeId(10));
-        let (addr, port) = rw
-            .uplink_rewrite(&mut buf, loc, PolicyTag(2), 5)
-            .unwrap();
+        let (addr, port) = rw.uplink_rewrite(&mut buf, loc, PolicyTag(2), 5).unwrap();
 
         let view = HeaderView::parse(&buf).unwrap();
         assert_eq!(view.src(), addr);

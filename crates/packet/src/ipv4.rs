@@ -265,13 +265,7 @@ pub fn checksum(data: &[u8]) -> u16 {
 
 /// Builds a fresh IPv4 packet with a 20-byte header and the given payload,
 /// checksum filled.
-pub fn build_ipv4(
-    src: Ipv4Addr,
-    dst: Ipv4Addr,
-    protocol: u8,
-    ttl: u8,
-    payload: &[u8],
-) -> Vec<u8> {
+pub fn build_ipv4(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, ttl: u8, payload: &[u8]) -> Vec<u8> {
     let total = HEADER_LEN + payload.len();
     let mut buf = vec![0u8; total];
     buf[HEADER_LEN..].copy_from_slice(payload);

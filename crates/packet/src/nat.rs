@@ -316,7 +316,10 @@ mod tests {
         let new_src = Ipv4Addr::new(10, 0, 4, 1);
         assert_eq!(nat.rehome_inner(old.src, new_src), 1);
 
-        let new_inner = FiveTuple { src: new_src, ..old };
+        let new_inner = FiveTuple {
+            src: new_src,
+            ..old
+        };
         let b_after = nat.bind_outbound(new_inner).unwrap();
         assert_eq!(b_after.public_addr, b_before.public_addr);
         assert_eq!(b_after.public_port, b_before.public_port);

@@ -74,6 +74,16 @@ impl UeClassifier {
         UeClassifier { entries, fallback }
     }
 
+    /// Reassembles a classifier from its parts — the receive side of a
+    /// wire transfer (`softcell-ctlchan` ships entries and fallback
+    /// separately).
+    pub fn from_parts(
+        entries: Vec<ClassifierEntry>,
+        fallback: Option<(ClauseId, AccessControl)>,
+    ) -> UeClassifier {
+        UeClassifier { entries, fallback }
+    }
+
     /// Looks up the clause governing a flow.
     pub fn classify(&self, proto: Protocol, dst_port: u16) -> Option<ClassifierEntry> {
         self.entries
@@ -197,11 +207,7 @@ mod tests {
     #[test]
     fn empty_policy_compiles_to_empty_classifier() {
         let attrs = SubscriberAttributes::default_home(UeImsi(6));
-        let c = UeClassifier::compile(
-            &ServicePolicy::new(),
-            &AppClassifier::default(),
-            &attrs,
-        );
+        let c = UeClassifier::compile(&ServicePolicy::new(), &AppClassifier::default(), &attrs);
         assert!(c.entries().is_empty());
         assert!(c.fallback().is_none());
         assert!(c.classify(Protocol::Tcp, 80).is_none());

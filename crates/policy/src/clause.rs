@@ -16,9 +16,7 @@ use crate::attributes::{BillingPlan, Provider, SubscriberAttributes};
 use crate::predicate::Predicate;
 
 /// Index of a clause within its policy (stable across lookups).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct ClauseId(pub u16);
 
 /// Allow or deny traffic (access-control part of an action).
@@ -115,7 +113,11 @@ impl fmt::Display for Clause {
                 AccessControl::Allow => chain.join(" > "),
                 AccessControl::Deny => "deny".to_string(),
             },
-            if self.action.qos.is_some() { " +qos" } else { "" }
+            if self.action.qos.is_some() {
+                " +qos"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -209,8 +211,8 @@ impl ServicePolicy {
     /// | 1 | * | firewall |
     pub fn example_carrier_a(partner_b: u16) -> ServicePolicy {
         use MiddleboxKind::*;
-        let not_a_or_b = Predicate::NotHomeProvider
-            .and(Predicate::Provider(Provider::Partner(partner_b)).not());
+        let not_a_or_b =
+            Predicate::NotHomeProvider.and(Predicate::Provider(Provider::Partner(partner_b)).not());
         ServicePolicy::from_clauses(vec![
             Clause {
                 priority: 6,
@@ -264,7 +266,9 @@ mod tests {
         assert_eq!(p.len(), 6);
 
         // A silver home subscriber watching video → firewall + transcoder
-        let (_, c) = p.match_clause(&home(), ApplicationType::StreamingVideo).unwrap();
+        let (_, c) = p
+            .match_clause(&home(), ApplicationType::StreamingVideo)
+            .unwrap();
         assert_eq!(
             c.action.chain,
             vec![MiddleboxKind::Firewall, MiddleboxKind::Transcoder]
@@ -307,7 +311,9 @@ mod tests {
         let mut m2m = home();
         m2m.device = DeviceType::M2mFleetTracker;
         m2m.plan = BillingPlan::M2m;
-        let (_, c) = p.match_clause(&m2m, ApplicationType::FleetTracking).unwrap();
+        let (_, c) = p
+            .match_clause(&m2m, ApplicationType::FleetTracking)
+            .unwrap();
         assert_eq!(c.action.qos, Some(QosClass::LOW_LATENCY));
     }
 
@@ -315,7 +321,9 @@ mod tests {
     fn priority_disambiguates_overlap() {
         // silver video matches both clause 4 and the catch-all; 4 wins
         let p = ServicePolicy::example_carrier_a(1);
-        let (id, c) = p.match_clause(&home(), ApplicationType::StreamingVideo).unwrap();
+        let (id, c) = p
+            .match_clause(&home(), ApplicationType::StreamingVideo)
+            .unwrap();
         assert_eq!(c.priority, 4);
         assert_eq!(p.clause(id).unwrap().priority, 4);
     }

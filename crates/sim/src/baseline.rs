@@ -33,9 +33,7 @@ pub struct BaselineCounts {
 
 impl BaselineCounts {
     fn new(n: usize) -> Self {
-        BaselineCounts {
-            counts: vec![0; n],
-        }
+        BaselineCounts { counts: vec![0; n] }
     }
 
     /// Per-switch rule counts.

@@ -133,9 +133,7 @@ pub fn run_on(topo: &Topology, config: Figure7Config) -> Result<Figure7Result> {
     let mut sp = ShortestPaths::new(topo);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let gw = topo.default_gateway().switch;
-    let kinds: Vec<MiddleboxKind> = MiddleboxKind::enumerate(
-        topo.middlebox_kinds().count(),
-    );
+    let kinds: Vec<MiddleboxKind> = MiddleboxKind::enumerate(topo.middlebox_kinds().count());
     let stations = topo.base_stations().len();
 
     let mut paths_installed = 0usize;
@@ -150,9 +148,7 @@ pub fn run_on(topo: &Topology, config: Figure7Config) -> Result<Figure7Result> {
                     nearest_chain(topo, &mut sp, origin, &clause_kinds)
                 }
                 InstanceChoice::PerClause => clause_instances.clone(),
-                InstanceChoice::PerStation => {
-                    random_chain(&mut rng, topo, &kinds, config.m_chain)
-                }
+                InstanceChoice::PerStation => random_chain(&mut rng, topo, &kinds, config.m_chain),
             };
             let path = sp.route_policy_path(origin, &instances, gw)?;
             let report = installer.install_path(&path, Direction::Downlink)?;
@@ -247,9 +243,7 @@ pub fn aligned_prefixes(params: &CellularParams) -> Result<(AddressingScheme, Ve
         let pod = cluster / clusters_per_pod;
         let cluster_in_pod = cluster % clusters_per_pod;
         let padded = pod * pod_stride + cluster_in_pod * cluster_stride + pos;
-        prefixes.push(scheme.base_station_prefix(softcell_types::BaseStationId(
-            padded as u32,
-        ))?);
+        prefixes.push(scheme.base_station_prefix(softcell_types::BaseStationId(padded as u32))?);
     }
     Ok((scheme, prefixes))
 }
@@ -281,7 +275,8 @@ fn nearest_chain(
                 .instances_of(kind)
                 .iter()
                 .min_by_key(|&&mb| {
-                    sp.distance(cursor, topo.middlebox(mb).switch).unwrap_or(u32::MAX)
+                    sp.distance(cursor, topo.middlebox(mb).switch)
+                        .unwrap_or(u32::MAX)
                 })
                 .expect("every kind is deployed");
             cursor = topo.middlebox(mb).switch;
@@ -401,8 +396,7 @@ mod tests {
     #[test]
     fn chain_has_distinct_instances() {
         let topo = CellularParams::paper(4).build().unwrap();
-        let kinds: Vec<MiddleboxKind> =
-            MiddleboxKind::enumerate(topo.middlebox_kinds().count());
+        let kinds: Vec<MiddleboxKind> = MiddleboxKind::enumerate(topo.middlebox_kinds().count());
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..50 {
             let chain = random_chain(&mut rng, &topo, &kinds, 3);

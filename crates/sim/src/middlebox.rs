@@ -217,7 +217,9 @@ mod tests {
     fn up_packet(slot: u16) -> Vec<u8> {
         let scheme = AddressingScheme::default_scheme();
         let ports = PortEmbedding::default_embedding();
-        let loc = scheme.encode(LocIp::new(BaseStationId(3), UeId(1))).unwrap();
+        let loc = scheme
+            .encode(LocIp::new(BaseStationId(3), UeId(1)))
+            .unwrap();
         build_flow_packet(
             FiveTuple {
                 src: loc,
@@ -235,7 +237,9 @@ mod tests {
     fn down_packet(slot: u16, tag: PolicyTag) -> Vec<u8> {
         let scheme = AddressingScheme::default_scheme();
         let ports = PortEmbedding::default_embedding();
-        let loc = scheme.encode(LocIp::new(BaseStationId(3), UeId(1))).unwrap();
+        let loc = scheme
+            .encode(LocIp::new(BaseStationId(3), UeId(1)))
+            .unwrap();
         build_flow_packet(
             FiveTuple {
                 src: Ipv4Addr::new(93, 184, 216, 34),
@@ -301,7 +305,13 @@ mod tests {
         t.assert_consistent(&key).unwrap();
         assert_eq!(t.chain_of(&key, true), vec![fw, tc]);
         assert_eq!(t.chain_of(&key, false), vec![tc, fw]);
-        assert_eq!(t.counts(fw, &key), TraversalCount { uplink: 2, downlink: 1 });
+        assert_eq!(
+            t.counts(fw, &key),
+            TraversalCount {
+                uplink: 2,
+                downlink: 1
+            }
+        );
     }
 
     #[test]

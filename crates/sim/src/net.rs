@@ -154,8 +154,7 @@ impl PhysicalNetwork {
             trail.push(sw);
             self.last_walk_hops = trail.len();
             self.last_walk_trail.push(sw);
-            let decision =
-                self.switches[sw.index()].process(buffer, port, version, now)?;
+            let decision = self.switches[sw.index()].process(buffer, port, version, now)?;
             if self.trace {
                 let v = softcell_packet::HeaderView::parse(buffer);
                 eprintln!("  walk {walk_id}: {sw} in {port} -> {decision:?} ({v:?})");
@@ -226,9 +225,7 @@ fn cross_link(topo: &Topology, sw: SwitchId, out: PortNo) -> Result<(SwitchId, P
         .iter()
         .find(|(_, p, _)| *p == out)
         .map(|(n, _, in_p)| (*n, *in_p))
-        .ok_or_else(|| {
-            Error::InvalidState(format!("{sw} forwarded out unconnected port {out}"))
-        })
+        .ok_or_else(|| Error::InvalidState(format!("{sw} forwarded out unconnected port {out}")))
 }
 
 fn decrement_ttl(buffer: &mut [u8]) -> Result<()> {
@@ -306,7 +303,9 @@ mod tests {
         let dst = Ipv4Addr::new(10, 0, 0, 7);
         let mut buf = downlink_packet(dst);
         let view = softcell_packet::HeaderView::parse(&buf).unwrap();
-        let radio = topo.base_station(softcell_types::BaseStationId(0)).radio_port;
+        let radio = topo
+            .base_station(softcell_types::BaseStationId(0))
+            .radio_port;
         net.switch_mut(SwitchId(5))
             .microflow
             .install(
@@ -324,7 +323,12 @@ mod tests {
         let out = net
             .walk(&topo, &mut buf, SwitchId(0), gw_port, 0, SimTime::ZERO)
             .unwrap();
-        assert_eq!(out, WalkOutcome::DeliveredToRadio { switch: SwitchId(5) });
+        assert_eq!(
+            out,
+            WalkOutcome::DeliveredToRadio {
+                switch: SwitchId(5)
+            }
+        );
         let after = softcell_packet::HeaderView::parse(&buf).unwrap();
         assert_eq!(after.dst(), Ipv4Addr::new(100, 64, 0, 9));
     }
@@ -345,11 +349,7 @@ mod tests {
             .unwrap();
         net.switch_mut(SwitchId(1))
             .table
-            .install(
-                conventional_priority(&m),
-                m,
-                Action::Forward(fw.port),
-            )
+            .install(conventional_priority(&m), m, Action::Forward(fw.port))
             .unwrap();
         let m_ret = m.from_port(fw.port);
         let p_agg = topo.port_towards(SwitchId(1), SwitchId(3)).unwrap();
@@ -373,7 +373,12 @@ mod tests {
             out,
             WalkOutcome::PuntedToAgent {
                 switch: SwitchId(5),
-                in_port: topo.neighbors(SwitchId(3)).iter().find(|(n, _, _)| *n == SwitchId(5)).unwrap().2,
+                in_port: topo
+                    .neighbors(SwitchId(3))
+                    .iter()
+                    .find(|(n, _, _)| *n == SwitchId(5))
+                    .unwrap()
+                    .2,
             }
         );
         assert_eq!(net.middleboxes.total_packets(), 1);
@@ -395,7 +400,12 @@ mod tests {
                 SimTime::ZERO,
             )
             .unwrap();
-        assert_eq!(out, WalkOutcome::Dropped { switch: SwitchId(0) });
+        assert_eq!(
+            out,
+            WalkOutcome::Dropped {
+                switch: SwitchId(0)
+            }
+        );
     }
 
     #[test]

@@ -16,9 +16,7 @@ use softcell_controller::{CentralController, ControllerConfig};
 use softcell_packet::{build_flow_packet, FiveTuple, FlowNat, HeaderView, Protocol};
 use softcell_policy::{ServicePolicy, SubscriberAttributes};
 use softcell_topology::Topology;
-use softcell_types::{
-    BaseStationId, Error, Result, SimDuration, SimTime, UeId, UeImsi,
-};
+use softcell_types::{BaseStationId, Error, Result, SimDuration, SimTime, UeId, UeImsi};
 
 use crate::middlebox::{ConnKey, MiddleboxTracker};
 use crate::net::{PhysicalNetwork, WalkOutcome};
@@ -236,7 +234,12 @@ impl<'t> SimWorld<'t> {
             // LocIP key — their consistency is tracked by the inbound
             // direction instead.
             let fabric_view = HeaderView::parse(&buf)?;
-            let key = self.net.middleboxes.key_of(&fabric_view).ok().map(|(k, _)| k);
+            let key = self
+                .net
+                .middleboxes
+                .key_of(&fabric_view)
+                .ok()
+                .map(|(k, _)| k);
             // the gateway NAT rewrites to the public endpoint the
             // Internet will actually see
             if let Some(nat) = &mut self.nat {
@@ -260,9 +263,9 @@ impl<'t> SimWorld<'t> {
     pub fn deliver_downlink(&mut self, id: ConnId, payload: &[u8]) -> Result<WalkOutcome> {
         let (imsi, internet_tuple, ue_tuple) = {
             let c = &self.connections[id.0];
-            let t = c.internet_tuple.ok_or_else(|| {
-                Error::InvalidState("no uplink packet has exited yet".into())
-            })?;
+            let t = c
+                .internet_tuple
+                .ok_or_else(|| Error::InvalidState("no uplink packet has exited yet".into()))?;
             (c.imsi, t, c.ue_tuple)
         };
         let gw = self.topo.default_gateway();
@@ -543,8 +546,12 @@ impl<'t> SimWorld<'t> {
             .ok_or_else(|| Error::NotFound("no clause for m2m flow".into()))?
             .clause;
 
-        let fwd = self.controller.request_m2m_path(rec_a.bs, rec_b.bs, clause)?;
-        let rev = self.controller.request_m2m_path(rec_b.bs, rec_a.bs, clause)?;
+        let fwd = self
+            .controller
+            .request_m2m_path(rec_a.bs, rec_b.bs, clause)?;
+        let rev = self
+            .controller
+            .request_m2m_path(rec_b.bs, rec_a.bs, clause)?;
         self.apply_pending_ops()?;
 
         let slot = (self.connections.len() % 32) as u16;
@@ -709,12 +716,9 @@ impl<'t> SimWorld<'t> {
             .map(|h| h.switch)
             .collect();
 
-        let ops = self.controller.install_shortcut(
-            imsi,
-            &old_path,
-            flow.downlink_original,
-            self.now,
-        )?;
+        let ops =
+            self.controller
+                .install_shortcut(imsi, &old_path, flow.downlink_original, self.now)?;
         self.net.apply_all(&ops)?;
 
         // shortcut packets arrive with the *original* tag (they bypass
@@ -739,9 +743,7 @@ impl<'t> SimWorld<'t> {
     /// set and every agent's tag cache is flushed (the cached tags name
     /// retired rules). Established connections must re-classify on
     /// their next flow; in-flight microflow entries drain naturally.
-    pub fn apply_reoptimization(
-        &mut self,
-    ) -> Result<softcell_controller::offline::OfflineOutcome> {
+    pub fn apply_reoptimization(&mut self) -> Result<softcell_controller::offline::OfflineOutcome> {
         let outcome = self.controller.reoptimize_paths()?;
         self.apply_pending_ops()?;
         for agent in &mut self.agents {
@@ -892,7 +894,10 @@ mod tests {
             // every gateway rule is a tag and/or prefix rule, never an
             // exact five-tuple
             assert!(
-                rule.matcher.dst_port.map(|(_, m)| m != u16::MAX).unwrap_or(true),
+                rule.matcher
+                    .dst_port
+                    .map(|(_, m)| m != u16::MAX)
+                    .unwrap_or(true),
                 "gateway rule {rule} matches an exact port"
             );
         }
@@ -962,8 +967,16 @@ mod tests {
         let scheme = w.controller.config().scheme;
         let old_loc = scheme.decode(w.connection(c_old).key.unwrap().loc).unwrap();
         let new_loc = scheme.decode(w.connection(c_new).key.unwrap().loc).unwrap();
-        assert_eq!(old_loc.base_station, BaseStationId(0), "old flow keeps old LocIP");
-        assert_eq!(new_loc.base_station, BaseStationId(3), "new flow gets new LocIP");
+        assert_eq!(
+            old_loc.base_station,
+            BaseStationId(0),
+            "old flow keeps old LocIP"
+        );
+        assert_eq!(
+            new_loc.base_station,
+            BaseStationId(3),
+            "new flow gets new LocIP"
+        );
         w.assert_policy_consistency().unwrap();
     }
 

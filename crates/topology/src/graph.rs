@@ -417,7 +417,12 @@ mod tests {
             .neighbors(core)
             .iter()
             .map(|(_, p, _)| p.0)
-            .chain(t.middleboxes().iter().filter(|m| m.switch == core).map(|m| m.port.0))
+            .chain(
+                t.middleboxes()
+                    .iter()
+                    .filter(|m| m.switch == core)
+                    .map(|m| m.port.0),
+            )
             .collect();
         ports.sort_unstable();
         ports.dedup();
@@ -431,7 +436,11 @@ mod tests {
         let (gw, core) = (SwitchId(0), SwitchId(1));
         let p = t.port_towards(gw, core).unwrap();
         assert_eq!(
-            t.neighbors(gw).iter().find(|(n, _, _)| *n == core).unwrap().1,
+            t.neighbors(gw)
+                .iter()
+                .find(|(n, _, _)| *n == core)
+                .unwrap()
+                .1,
             p
         );
         assert!(t.port_towards(gw, SwitchId(2)).is_none());

@@ -243,9 +243,9 @@ impl<'a> ShortestPaths<'a> {
 
     /// Shortest switch sequence from `src` to `dst` inclusive.
     pub fn path(&mut self, src: SwitchId, dst: SwitchId) -> Result<Vec<SwitchId>> {
-        self.tree(dst).path_to_root(src).ok_or_else(|| {
-            Error::NoPath(format!("{src} cannot reach {dst}"))
-        })
+        self.tree(dst)
+            .path_to_root(src)
+            .ok_or_else(|| Error::NoPath(format!("{src} cannot reach {dst}")))
     }
 
     /// Hop distance from `src` to `dst`.
@@ -442,7 +442,11 @@ mod tests {
         path.validate(&t).unwrap();
         assert_eq!(path.middleboxes(), vec![fw, ids]);
         // c1 appears twice, once per middlebox
-        let c1_hops: Vec<&Hop> = path.hops.iter().filter(|h| h.switch == SwitchId(1)).collect();
+        let c1_hops: Vec<&Hop> = path
+            .hops
+            .iter()
+            .filter(|h| h.switch == SwitchId(1))
+            .collect();
         assert_eq!(c1_hops.len(), 2);
         assert_eq!(c1_hops[0].mb_after, Some(fw));
         assert_eq!(c1_hops[1].mb_after, Some(ids));

@@ -313,7 +313,9 @@ mod tests {
     #[test]
     fn encode_rejects_out_of_range() {
         let s = AddressingScheme::default_scheme();
-        assert!(s.encode(LocIp::new(BaseStationId(1 << 15), UeId(0))).is_err());
+        assert!(s
+            .encode(LocIp::new(BaseStationId(1 << 15), UeId(0)))
+            .is_err());
         assert!(s.encode(LocIp::new(BaseStationId(0), UeId(512))).is_err());
         assert!(s.decode(Ipv4Addr::new(11, 0, 0, 1)).is_err());
     }
@@ -329,7 +331,10 @@ mod tests {
         // relies on this to give clusters aggregatable blocks
         assert!(p0.is_contiguous_with(&p1));
         assert!(!p1.is_contiguous_with(&p2));
-        assert_eq!(s.station_block(BaseStationId(0), 1).unwrap(), p0.aggregate(&p1).unwrap());
+        assert_eq!(
+            s.station_block(BaseStationId(0), 1).unwrap(),
+            p0.aggregate(&p1).unwrap()
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl MetroModel {
             for &w in &weights {
                 let a = poisson(&mut rng, n_active * w);
                 active.push(a);
-                let b = poisson(&mut rng, a as f64 * self.peak_bearers_per_active_ue * f.max(0.5));
+                let b = poisson(
+                    &mut rng,
+                    a as f64 * self.peak_bearers_per_active_ue * f.max(0.5),
+                );
                 bearers.push(b);
             }
         }
@@ -221,7 +224,10 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-9);
         let max = w.iter().cloned().fold(0.0, f64::max);
         let mean = 1.0 / 1500.0;
-        assert!(max > mean * 1.3 && max < mean * 4.0, "busy cells exist but are bounded");
+        assert!(
+            max > mean * 1.3 && max < mean * 4.0,
+            "busy cells exist but are bounded"
+        );
     }
 
     #[test]
@@ -234,10 +240,22 @@ mod tests {
         let hof = stats.handoffs_per_sec.quantile(q);
         let act = stats.active_per_station.quantile(q);
         let brs = stats.bearers_per_station_sec.quantile(q);
-        assert!((170.0..=260.0).contains(&arr), "arrivals p99.999 = {arr} (paper: 214)");
-        assert!((225.0..=340.0).contains(&hof), "handoffs p99.999 = {hof} (paper: 280)");
-        assert!((410.0..=620.0).contains(&act), "active/BS p99.999 = {act} (paper: 514)");
-        assert!((25.0..=45.0).contains(&brs), "bearers p99.999 = {brs} (paper: 34)");
+        assert!(
+            (170.0..=260.0).contains(&arr),
+            "arrivals p99.999 = {arr} (paper: 214)"
+        );
+        assert!(
+            (225.0..=340.0).contains(&hof),
+            "handoffs p99.999 = {hof} (paper: 280)"
+        );
+        assert!(
+            (410.0..=620.0).contains(&act),
+            "active/BS p99.999 = {act} (paper: 514)"
+        );
+        assert!(
+            (25.0..=45.0).contains(&brs),
+            "bearers p99.999 = {brs} (paper: 34)"
+        );
     }
 
     #[test]
@@ -268,6 +286,9 @@ mod tests {
         // indirectly: the max per-second rate is well above the median
         let max = stats.ue_arrivals_per_sec.max();
         let med = stats.ue_arrivals_per_sec.median();
-        assert!(max > med * 1.5, "diurnal swing visible (max {max}, median {med})");
+        assert!(
+            max > med * 1.5,
+            "diurnal swing visible (max {max}, median {med})"
+        );
     }
 }

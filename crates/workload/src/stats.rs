@@ -38,8 +38,7 @@ impl Cdf {
         if self.sorted.is_empty() {
             return f64::NAN;
         }
-        let rank = ((p * self.sorted.len() as f64).ceil() as usize)
-            .clamp(1, self.sorted.len());
+        let rank = ((p * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
         self.sorted[rank - 1]
     }
 

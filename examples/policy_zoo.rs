@@ -10,9 +10,7 @@
 //! Run with: `cargo run --example policy_zoo`
 
 use softcell::packet::Protocol;
-use softcell::policy::{
-    BillingPlan, DeviceType, Provider, ServicePolicy, SubscriberAttributes,
-};
+use softcell::policy::{BillingPlan, DeviceType, Provider, ServicePolicy, SubscriberAttributes};
 use softcell::sim::{SimWorld, WalkOutcome};
 use softcell::topology::small_topology;
 use softcell::types::{BaseStationId, UeImsi};

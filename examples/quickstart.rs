@@ -82,7 +82,9 @@ fn main() {
     }
 
     // 8. the architecture's promises, checked
-    world.assert_policy_consistency().expect("policy consistency");
+    world
+        .assert_policy_consistency()
+        .expect("policy consistency");
     let gw = world.net.switch(topo.default_gateway().switch);
     println!(
         "\ngateway state: {} wildcard rules, {} microflow entries (dumb edge!)",

@@ -30,7 +30,7 @@ fn random_paths(topo: &Topology, n: usize, seed: u64) -> Vec<PolicyPath> {
     let mbs = topo.middlebox_count();
     (0..n)
         .map(|i| {
-            let m = 1 + rng.gen_range(0..4);
+            let m = 1 + rng.gen_range(0..4usize);
             let mut chain: Vec<MiddleboxId> = Vec::new();
             while chain.len() < m {
                 let cand = MiddleboxId(rng.gen_range(0..mbs as u32));
@@ -60,8 +60,7 @@ fn replayed_downlink_packets_follow_their_installed_paths() {
         let report = installer.install_path(p, Direction::Downlink).unwrap();
         tags.push((report.entry_tag(), report.exit_tag()));
         for (sw, delta) in installer.last_deltas() {
-            let op =
-                lower_delta(&topo, &ports, carrier, Direction::Downlink, *sw, delta).unwrap();
+            let op = lower_delta(&topo, &ports, carrier, Direction::Downlink, *sw, delta).unwrap();
             net.apply(&op).unwrap();
         }
     }
@@ -156,18 +155,14 @@ fn rule_counts_match_between_shadow_and_physical() {
     for p in random_paths(&topo, 150, 7) {
         installer.install_path(&p, Direction::Downlink).unwrap();
         for (sw, delta) in installer.last_deltas() {
-            let op =
-                lower_delta(&topo, &ports, carrier, Direction::Downlink, *sw, delta).unwrap();
+            let op = lower_delta(&topo, &ports, carrier, Direction::Downlink, *sw, delta).unwrap();
             net.apply(&op).unwrap();
         }
     }
 
     let shadow_counts = installer.shadows(Direction::Downlink).rule_counts();
     for (i, &expected) in shadow_counts.iter().enumerate() {
-        let physical = net
-            .switch(softcell::types::SwitchId(i as u32))
-            .table
-            .len();
+        let physical = net.switch(softcell::types::SwitchId(i as u32)).table.len();
         assert_eq!(
             physical, expected,
             "switch {i}: physical {physical} vs shadow {expected}"

@@ -33,7 +33,9 @@ fn install_v0(topo: &softcell::topology::Topology, net: &mut PhysicalNetwork) {
             .unwrap();
     }
     let tuple = downlink_tuple();
-    let radio = topo.base_station(softcell::types::BaseStationId(0)).radio_port;
+    let radio = topo
+        .base_station(softcell::types::BaseStationId(0))
+        .radio_port;
     net.switch_mut(SwitchId(5))
         .microflow
         .install(
@@ -102,16 +104,30 @@ fn packets_never_see_a_mixed_configuration() {
 
     // baseline: version-0 traffic is delivered via c1
     let (out, _) = walk_with_version(&topo, &mut net, 0);
-    assert_eq!(out, WalkOutcome::DeliveredToRadio { switch: SwitchId(5) });
+    assert_eq!(
+        out,
+        WalkOutcome::DeliveredToRadio {
+            switch: SwitchId(5)
+        }
+    );
 
     let mut upd = TwoPhaseUpdate::new(0);
-    upd.prepare(net.switches_mut(), new_route_ops(&topo)).unwrap();
+    upd.prepare(net.switches_mut(), new_route_ops(&topo))
+        .unwrap();
 
     // prepared but not committed: old packets still fully delivered via
     // the old route; rule counts show both configurations installed
     let (out, _) = walk_with_version(&topo, &mut net, 0);
-    assert_eq!(out, WalkOutcome::DeliveredToRadio { switch: SwitchId(5) });
-    assert!(!net.switch(SwitchId(2)).table.is_empty(), "staged rules exist");
+    assert_eq!(
+        out,
+        WalkOutcome::DeliveredToRadio {
+            switch: SwitchId(5)
+        }
+    );
+    assert!(
+        !net.switch(SwitchId(2)).table.is_empty(),
+        "staged rules exist"
+    );
 
     // commit: flip the ingress stamp (the gateway stamps downlink
     // traffic entering from the Internet)
@@ -122,9 +138,19 @@ fn packets_never_see_a_mixed_configuration() {
     // new packets take the new route — and in-flight old-version
     // packets still take the old one, end to end
     let (out_new, _) = walk_with_version(&topo, &mut net, stamp);
-    assert_eq!(out_new, WalkOutcome::DeliveredToRadio { switch: SwitchId(5) });
+    assert_eq!(
+        out_new,
+        WalkOutcome::DeliveredToRadio {
+            switch: SwitchId(5)
+        }
+    );
     let (out_old, _) = walk_with_version(&topo, &mut net, 0);
-    assert_eq!(out_old, WalkOutcome::DeliveredToRadio { switch: SwitchId(5) });
+    assert_eq!(
+        out_old,
+        WalkOutcome::DeliveredToRadio {
+            switch: SwitchId(5)
+        }
+    );
 
     // after cleanup, version-0 rules are gone. The new rules are
     // version-guarded, so a (by now impossible — cleanup runs after the
@@ -134,10 +160,20 @@ fn packets_never_see_a_mixed_configuration() {
     let removed = upd.cleanup(net.switches_mut()).unwrap();
     assert!(removed >= 1);
     let (out_stale, _) = walk_with_version(&topo, &mut net, 0);
-    assert_eq!(out_stale, WalkOutcome::Dropped { switch: SwitchId(0) });
+    assert_eq!(
+        out_stale,
+        WalkOutcome::Dropped {
+            switch: SwitchId(0)
+        }
+    );
     // current-version traffic is unaffected by the cleanup
     let (out_cur, _) = walk_with_version(&topo, &mut net, stamp);
-    assert_eq!(out_cur, WalkOutcome::DeliveredToRadio { switch: SwitchId(5) });
+    assert_eq!(
+        out_cur,
+        WalkOutcome::DeliveredToRadio {
+            switch: SwitchId(5)
+        }
+    );
 }
 
 #[test]
@@ -148,13 +184,19 @@ fn routes_actually_switch_spines() {
     install_v0(&topo, &mut net);
 
     let mut upd = TwoPhaseUpdate::new(0);
-    upd.prepare(net.switches_mut(), new_route_ops(&topo)).unwrap();
+    upd.prepare(net.switches_mut(), new_route_ops(&topo))
+        .unwrap();
     upd.commit(net.switches_mut(), &[SwitchId(0)]).unwrap();
 
     // c2 (sw2) carries the new route: its rule counter moves
     let before = rule_hits(&net, SwitchId(2));
     let (out, _) = walk_with_version(&topo, &mut net, 1);
-    assert_eq!(out, WalkOutcome::DeliveredToRadio { switch: SwitchId(5) });
+    assert_eq!(
+        out,
+        WalkOutcome::DeliveredToRadio {
+            switch: SwitchId(5)
+        }
+    );
     assert!(rule_hits(&net, SwitchId(2)) > before, "new spine used");
 }
 

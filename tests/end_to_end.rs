@@ -2,9 +2,7 @@
 //! together — controller, agents, switches, packets, policies, mobility.
 
 use softcell::packet::Protocol;
-use softcell::policy::{
-    BillingPlan, Provider, ServicePolicy, SubscriberAttributes,
-};
+use softcell::policy::{BillingPlan, Provider, ServicePolicy, SubscriberAttributes};
 use softcell::sim::{SimWorld, WalkOutcome};
 use softcell::topology::{small_topology, CellularParams};
 use softcell::types::{BaseStationId, MiddleboxKind, SimDuration, UeImsi};
@@ -47,7 +45,9 @@ fn every_clause_of_table1_steers_correctly() {
     };
 
     // silver video → firewall then transcoder, mirrored on the way back
-    let c = w.start_connection(UeImsi(0), SERVER, 554, Protocol::Tcp).unwrap();
+    let c = w
+        .start_connection(UeImsi(0), SERVER, 554, Protocol::Tcp)
+        .unwrap();
     w.round_trip(c).unwrap();
     let key = w.connection(c).key.unwrap();
     assert_eq!(
@@ -60,13 +60,17 @@ fn every_clause_of_table1_steers_correctly() {
     );
 
     // partner roamer video → firewall only (priority 6 clause wins)
-    let c = w.start_connection(UeImsi(1), SERVER, 554, Protocol::Tcp).unwrap();
+    let c = w
+        .start_connection(UeImsi(1), SERVER, 554, Protocol::Tcp)
+        .unwrap();
     w.round_trip(c).unwrap();
     let key = w.connection(c).key.unwrap();
     assert_eq!(kind_of(&w, key, true), vec![MiddleboxKind::Firewall]);
 
     // foreign device → denied before the fabric
-    let c = w.start_connection(UeImsi(2), SERVER, 80, Protocol::Tcp).unwrap();
+    let c = w
+        .start_connection(UeImsi(2), SERVER, 80, Protocol::Tcp)
+        .unwrap();
     let out = w.send_uplink(c, b"x").unwrap();
     assert!(matches!(out, WalkOutcome::Dropped { .. }));
 
@@ -84,7 +88,9 @@ fn many_ues_many_flows_shared_tags() {
     }
     for i in 0..16u64 {
         for port in [80u16, 443, 554] {
-            let c = w.start_connection(UeImsi(i), SERVER, port, Protocol::Tcp).unwrap();
+            let c = w
+                .start_connection(UeImsi(i), SERVER, port, Protocol::Tcp)
+                .unwrap();
             w.round_trip(c).unwrap();
         }
     }
@@ -92,7 +98,10 @@ fn many_ues_many_flows_shared_tags() {
     // 48 connections; tags bounded by (clauses × stations), not flows
     assert!(w.controller.installer().tags_in_use() <= 8 * 4);
     // gateway holds no per-flow state
-    assert_eq!(w.net.switch(topo.default_gateway().switch).microflow.len(), 0);
+    assert_eq!(
+        w.net.switch(topo.default_gateway().switch).microflow.len(),
+        0
+    );
 }
 
 #[test]
@@ -149,7 +158,9 @@ fn transitions_expire_and_rules_come_down() {
     let mut w = SimWorld::new(&topo, ServicePolicy::example_carrier_a(1));
     provision_home(&mut w, 2);
     w.attach(UeImsi(0), BaseStationId(0)).unwrap();
-    let c = w.start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp).unwrap();
+    let c = w
+        .start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp)
+        .unwrap();
     w.round_trip(c).unwrap();
     let rules_before = w.net.total_rules();
 
@@ -173,7 +184,9 @@ fn reserved_location_is_not_reassigned_during_transition() {
     let mut w = SimWorld::new(&topo, ServicePolicy::example_carrier_a(1));
     provision_home(&mut w, 3);
     w.attach(UeImsi(0), BaseStationId(0)).unwrap();
-    let c = w.start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp).unwrap();
+    let c = w
+        .start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp)
+        .unwrap();
     w.round_trip(c).unwrap();
     let old_loc = w.connection(c).key.unwrap().loc;
 
@@ -182,7 +195,9 @@ fn reserved_location_is_not_reassigned_during_transition() {
 
     // a newcomer at bs0 must NOT receive the reserved LocIP
     w.attach(UeImsi(1), BaseStationId(0)).unwrap();
-    let c2 = w.start_connection(UeImsi(1), SERVER, 443, Protocol::Tcp).unwrap();
+    let c2 = w
+        .start_connection(UeImsi(1), SERVER, 443, Protocol::Tcp)
+        .unwrap();
     w.round_trip(c2).unwrap();
     let new_loc = w.connection(c2).key.unwrap().loc;
     assert_ne!(new_loc, old_loc, "§5.1: old address not reassigned");
@@ -201,7 +216,9 @@ fn cellular_topology_end_to_end() {
     provision_home(&mut w, 20);
     for i in 0..20u64 {
         w.attach(UeImsi(i), BaseStationId(i as u32)).unwrap();
-        let c = w.start_connection(UeImsi(i), SERVER, 443, Protocol::Tcp).unwrap();
+        let c = w
+            .start_connection(UeImsi(i), SERVER, 443, Protocol::Tcp)
+            .unwrap();
         w.round_trip(c).unwrap();
     }
     w.assert_policy_consistency().unwrap();
@@ -223,7 +240,9 @@ fn qos_clause_marks_dscp_at_the_edge() {
     w.attach(UeImsi(1), BaseStationId(0)).unwrap();
 
     // fleet tracker mqtt → clause 2 (low latency, dscp 46)
-    let c = w.start_connection(UeImsi(0), SERVER, 8883, Protocol::Tcp).unwrap();
+    let c = w
+        .start_connection(UeImsi(0), SERVER, 8883, Protocol::Tcp)
+        .unwrap();
     w.round_trip(c).unwrap();
     assert_eq!(
         w.last_uplink_dscp(),
@@ -232,7 +251,9 @@ fn qos_clause_marks_dscp_at_the_edge() {
     );
 
     // ordinary web traffic stays best-effort
-    let c2 = w.start_connection(UeImsi(1), SERVER, 443, Protocol::Tcp).unwrap();
+    let c2 = w
+        .start_connection(UeImsi(1), SERVER, 443, Protocol::Tcp)
+        .unwrap();
     w.round_trip(c2).unwrap();
     assert_eq!(w.last_uplink_dscp(), Some(0));
 }

@@ -1,8 +1,6 @@
 //! Control-plane failure drills across the full stack (paper §5.2).
 
-use softcell::controller::failover::{
-    rebuild_locations, AgentLocationReport, ReplicaGroup,
-};
+use softcell::controller::failover::{rebuild_locations, AgentLocationReport, ReplicaGroup};
 use softcell::packet::Protocol;
 use softcell::policy::{ServicePolicy, SubscriberAttributes};
 use softcell::sim::SimWorld;
@@ -24,7 +22,9 @@ fn controller_replica_rebuilds_locations_from_live_agents() {
     }
     // some traffic so the state is non-trivial
     for i in 0..6u64 {
-        let c = w.start_connection(UeImsi(i), SERVER, 443, Protocol::Tcp).unwrap();
+        let c = w
+            .start_connection(UeImsi(i), SERVER, 443, Protocol::Tcp)
+            .unwrap();
         w.round_trip(c).unwrap();
     }
     // a handoff so one UE's location is "fresh"
@@ -65,7 +65,9 @@ fn agent_restart_preserves_service() {
     }
     w.attach(UeImsi(0), BaseStationId(0)).unwrap();
     w.attach(UeImsi(1), BaseStationId(0)).unwrap();
-    let c = w.start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp).unwrap();
+    let c = w
+        .start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp)
+        .unwrap();
     w.round_trip(c).unwrap();
 
     // crash the bs0 agent and restart it from the controller
@@ -74,7 +76,9 @@ fn agent_restart_preserves_service() {
     w.restart_agent(BaseStationId(0)).unwrap();
 
     // attached UEs survived; new flows classify correctly again
-    let c2 = w.start_connection(UeImsi(1), SERVER, 554, Protocol::Tcp).unwrap();
+    let c2 = w
+        .start_connection(UeImsi(1), SERVER, 554, Protocol::Tcp)
+        .unwrap();
     w.round_trip(c2).unwrap();
     w.assert_policy_consistency().unwrap();
 }

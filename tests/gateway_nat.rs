@@ -29,7 +29,9 @@ fn internet_sees_public_endpoints_not_locips() {
     let topo = small_topology();
     let mut w = nat_world(&topo);
     w.attach(UeImsi(0), BaseStationId(0)).unwrap();
-    let c = w.start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp).unwrap();
+    let c = w
+        .start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp)
+        .unwrap();
     w.round_trip(c).unwrap();
 
     let public: Ipv4Prefix = "203.0.113.0/24".parse().unwrap();
@@ -53,8 +55,12 @@ fn each_flow_gets_a_fresh_public_endpoint() {
     let topo = small_topology();
     let mut w = nat_world(&topo);
     w.attach(UeImsi(0), BaseStationId(0)).unwrap();
-    let c1 = w.start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp).unwrap();
-    let c2 = w.start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp).unwrap();
+    let c1 = w
+        .start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp)
+        .unwrap();
+    let c2 = w
+        .start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp)
+        .unwrap();
     w.round_trip(c1).unwrap();
     w.round_trip(c2).unwrap();
 
@@ -72,7 +78,9 @@ fn nat_survives_handoff_with_stable_public_endpoint() {
     let topo = small_topology();
     let mut w = nat_world(&topo);
     w.attach(UeImsi(0), BaseStationId(0)).unwrap();
-    let c = w.start_connection(UeImsi(0), SERVER, 554, Protocol::Tcp).unwrap();
+    let c = w
+        .start_connection(UeImsi(0), SERVER, 554, Protocol::Tcp)
+        .unwrap();
     w.round_trip(c).unwrap();
     let before = w.connection(c).internet_tuple.unwrap();
 

@@ -29,7 +29,8 @@ fn inbound_request_reaches_the_service() {
     let topo = small_topology();
     let mut w = world(&topo);
     w.attach(UeImsi(0), BaseStationId(1)).unwrap();
-    w.expose_service(UeImsi(0), PUBLIC, 443, Protocol::Tcp).unwrap();
+    w.expose_service(UeImsi(0), PUBLIC, 443, Protocol::Tcp)
+        .unwrap();
 
     let (out, buf) = w
         .inbound_request(REMOTE, 55_555, PUBLIC, 443, Protocol::Tcp, b"GET /")
@@ -56,15 +57,12 @@ fn second_request_needs_no_new_state() {
     let topo = small_topology();
     let mut w = world(&topo);
     w.attach(UeImsi(0), BaseStationId(1)).unwrap();
-    w.expose_service(UeImsi(0), PUBLIC, 443, Protocol::Tcp).unwrap();
+    w.expose_service(UeImsi(0), PUBLIC, 443, Protocol::Tcp)
+        .unwrap();
     w.inbound_request(REMOTE, 50_001, PUBLIC, 443, Protocol::Tcp, b"a")
         .unwrap();
     let rules = w.net.total_rules();
-    let gw_microflows = w
-        .net
-        .switch(topo.default_gateway().switch)
-        .microflow
-        .len();
+    let gw_microflows = w.net.switch(topo.default_gateway().switch).microflow.len();
 
     for port in 50_002..50_010 {
         let (out, _) = w
@@ -72,12 +70,13 @@ fn second_request_needs_no_new_state() {
             .unwrap();
         assert!(matches!(out, WalkOutcome::DeliveredToRadio { .. }));
     }
-    assert_eq!(w.net.total_rules(), rules, "coarse classifiers, installed once");
     assert_eq!(
-        w.net
-            .switch(topo.default_gateway().switch)
-            .microflow
-            .len(),
+        w.net.total_rules(),
+        rules,
+        "coarse classifiers, installed once"
+    );
+    assert_eq!(
+        w.net.switch(topo.default_gateway().switch).microflow.len(),
         gw_microflows,
         "no per-flow state appears at the gateway"
     );
@@ -88,7 +87,8 @@ fn service_reply_exits_with_the_public_endpoint() {
     let topo = small_topology();
     let mut w = world(&topo);
     w.attach(UeImsi(0), BaseStationId(1)).unwrap();
-    w.expose_service(UeImsi(0), PUBLIC, 443, Protocol::Tcp).unwrap();
+    w.expose_service(UeImsi(0), PUBLIC, 443, Protocol::Tcp)
+        .unwrap();
     w.inbound_request(REMOTE, 55_555, PUBLIC, 443, Protocol::Tcp, b"req")
         .unwrap();
 

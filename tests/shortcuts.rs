@@ -19,7 +19,9 @@ fn shortcut_cuts_the_triangle() {
     let mut w = SimWorld::new(&topo, ServicePolicy::example_carrier_a(1));
     w.provision(SubscriberAttributes::default_home(UeImsi(0)));
     w.attach(UeImsi(0), BaseStationId(1)).unwrap();
-    let c = w.start_connection(UeImsi(0), SERVER, 554, Protocol::Tcp).unwrap();
+    let c = w
+        .start_connection(UeImsi(0), SERVER, 554, Protocol::Tcp)
+        .unwrap();
     w.round_trip(c).unwrap();
 
     // move far along the ring (bs1 → bs6)
@@ -49,7 +51,9 @@ fn shortcut_rules_expire_with_the_transition() {
     let mut w = SimWorld::new(&topo, ServicePolicy::example_carrier_a(1));
     w.provision(SubscriberAttributes::default_home(UeImsi(0)));
     w.attach(UeImsi(0), BaseStationId(1)).unwrap();
-    let c = w.start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp).unwrap();
+    let c = w
+        .start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp)
+        .unwrap();
     w.round_trip(c).unwrap();
     w.handoff(UeImsi(0), BaseStationId(5)).unwrap();
     w.install_shortcut(c).unwrap();
