@@ -10,14 +10,20 @@
 //! * `ctlchan_loopback_path_request` — the same round trip carrying a
 //!   real path request through a running [`ControllerServer`] worker
 //!   pool, i.e. the §6.2 request path with the wire front-end attached.
+//! * `ctlchan_retry_path_request_*` — the same request issued through
+//!   `request_with_retry` (deadline arming + xid bookkeeping), over a
+//!   clean transport and over a `FaultTransport` dropping 10% of sent
+//!   frames — the price of the fault-tolerant path, idle and busy.
+
+use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use softcell_controller::server::ControllerServer;
 use softcell_controller::wire::ChannelController;
 use softcell_ctlchan::{
-    loopback_pair, serve, CtlChannel, Frame, Message, WireClassifier, WireFlowMod, WirePathTags,
-    WireUeRecord,
+    loopback_pair, serve, CtlChannel, FaultConfig, FaultTransport, Frame, Loopback, Message,
+    RetryPolicy, Transport, WireClassifier, WireFlowMod, WirePathTags, WireUeRecord,
 };
 use softcell_policy::clause::ClauseId;
 use softcell_policy::{AppClassifier, ServicePolicy, SubscriberAttributes, UeClassifier};
@@ -128,9 +134,106 @@ fn bench_loopback(c: &mut Criterion) {
     server.shutdown();
 }
 
+/// A retry policy tuned for benchmarking: timeouts short enough that a
+/// dropped frame costs milliseconds, not the production kind of patience.
+fn bench_retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        attempt_timeout: Duration::from_millis(2),
+        max_retries: 10,
+        base_backoff: Duration::from_micros(100),
+        max_backoff: Duration::from_millis(1),
+    }
+}
+
+/// Connects through a fault schedule: the hello handshake runs under a
+/// transport deadline, and a lost hello just retries on a fresh pair
+/// with the next seed.
+fn connect_through_faults(
+    server: &ControllerServer,
+    serves: &mut Vec<std::thread::JoinHandle<softcell_types::Result<()>>>,
+    cfg: FaultConfig,
+) -> ChannelController<FaultTransport<Loopback>> {
+    for attempt in 0..50 {
+        let (agent_end, controller_end) = loopback_pair();
+        serves.push(server.serve(controller_end));
+        let mut t = FaultTransport::new(
+            agent_end,
+            FaultConfig {
+                seed: cfg.seed + attempt,
+                ..cfg
+            },
+        );
+        t.set_deadline(Some(Duration::from_millis(50)))
+            .expect("deadline");
+        if let Ok(mut ctl) = ChannelController::connect(t, BaseStationId(0)) {
+            ctl.channel().set_deadline(None).expect("deadline");
+            return ctl;
+        }
+    }
+    panic!("hello failed 50 fault schedules in a row");
+}
+
+fn bench_retry(c: &mut Criterion) {
+    let subscribers: Vec<_> = (0..4)
+        .map(|i| SubscriberAttributes::default_home(UeImsi(i)))
+        .collect();
+    let server = ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers, 2)
+        .expect("server");
+    let mut serves = Vec::new();
+
+    // clean transport: pure cost of the retry wrapper (deadline arming,
+    // xid pinning) relative to ctlchan_loopback_path_request
+    let mut ctl = connect_through_faults(&server, &mut serves, FaultConfig::default());
+    ctl.set_retry_policy(Some(bench_retry_policy()));
+    c.bench_function("ctlchan_retry_path_request_clean", |b| {
+        let mut clause = 0u16;
+        b.iter(|| {
+            clause = (clause + 1) % 64;
+            black_box(
+                softcell_controller::agent::ControllerApi::request_policy_path(
+                    &mut ctl,
+                    BaseStationId(0),
+                    ClauseId(clause),
+                )
+                .expect("path"),
+            );
+        });
+    });
+    drop(ctl);
+
+    // 10% of sent frames vanish: requests re-sent under the same xid
+    // after a 2 ms timeout, replies recovered from the dedup cache
+    let faults = FaultConfig {
+        seed: 11,
+        drop: 0.10,
+        ..FaultConfig::default()
+    };
+    let mut ctl = connect_through_faults(&server, &mut serves, faults);
+    ctl.set_retry_policy(Some(bench_retry_policy()));
+    c.bench_function("ctlchan_retry_path_request_drop10", |b| {
+        let mut clause = 0u16;
+        b.iter(|| {
+            clause = (clause + 1) % 64;
+            black_box(
+                softcell_controller::agent::ControllerApi::request_policy_path(
+                    &mut ctl,
+                    BaseStationId(0),
+                    ClauseId(clause),
+                )
+                .expect("path"),
+            );
+        });
+    });
+    drop(ctl);
+    for handle in serves {
+        let _ = handle.join().expect("serve thread");
+    }
+    server.shutdown();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_codec, bench_loopback
+    targets = bench_codec, bench_loopback, bench_retry
 );
 criterion_main!(benches);

@@ -336,15 +336,24 @@ impl LocalAgent {
         Ok(())
     }
 
-    /// Detaches a UE locally and at the controller.
+    /// Detaches a UE at the controller, then locally.
+    ///
+    /// The controller is told first: a wire failure leaves the UE in
+    /// place so the detach can simply be retried once the channel
+    /// recovers. A `NotFound` from the controller means a previous
+    /// attempt's reply was lost in transit — the detach already
+    /// happened, so it counts as success.
     pub fn handle_detach(&mut self, imsi: UeImsi, ctl: &mut dyn ControllerApi) -> Result<()> {
-        let ue = self
-            .ues
-            .remove(&imsi)
-            .ok_or_else(|| Error::NotFound(format!("{imsi} not attached here")))?;
+        if !self.ues.contains_key(&imsi) {
+            return Err(Error::NotFound(format!("{imsi} not attached here")));
+        }
+        match ctl.detach_ue(imsi) {
+            Ok(_) | Err(Error::NotFound(_)) => {}
+            Err(e) => return Err(e),
+        }
+        let ue = self.ues.remove(&imsi).expect("checked above");
         self.by_permanent.remove(&ue.permanent_ip);
         self.free_ue_ids.push(ue.ue_id);
-        ctl.detach_ue(imsi)?;
         Ok(())
     }
 

@@ -233,6 +233,11 @@ impl<'t> PathInstaller<'t> {
         self.allocator.allocate()
     }
 
+    /// Returns a raw tag to the pool (tunnel garbage collection).
+    pub fn release_raw_tag(&mut self, tag: PolicyTag) {
+        self.allocator.release(tag);
+    }
+
     /// Number of paths installed so far.
     pub fn paths_installed(&self) -> usize {
         self.paths_installed

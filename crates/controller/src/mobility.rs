@@ -21,8 +21,10 @@
 //!   timeout.
 //!
 //! All transition state is transient (per-UE rules expire); the tunnels
-//! themselves are long-lived and shared by every UE moving between the
-//! pair.
+//! are shared by every UE moving between the pair and reference-counted
+//! against live transitions — when the last transition using a pair
+//! ends, the tunnel is garbage-collected and its tag returns to the
+//! pool.
 
 use std::collections::HashMap;
 
@@ -80,12 +82,18 @@ pub struct HandoffPlan {
     pub carried_flows: Vec<crate::agent::AgentFlow>,
 }
 
-/// A long-lived base-station-pair tunnel.
+/// A base-station-pair tunnel. Long-lived while any transition uses it;
+/// garbage-collected (legs removed, tag released) once the last
+/// referencing transition ends, so churn cannot exhaust the tag space.
 #[derive(Clone, Debug)]
 struct Tunnel {
     tag: PolicyTag,
     /// Switch sequence from the old access switch to the new one.
     path: Vec<SwitchId>,
+    /// Removals for the forward legs installed at creation.
+    teardown: Vec<RuleOp>,
+    /// Live transitions referencing this tunnel.
+    refs: usize,
 }
 
 /// Per-UE transition state, expiring after a soft timeout.
@@ -95,6 +103,9 @@ struct Transition {
     /// Every location this UE's anchored flows still occupy; all are
     /// released when the transition expires.
     reserved_locs: Vec<(BaseStationId, UeId)>,
+    /// Tunnels this transition holds a reference on; released (possibly
+    /// garbage-collecting the tunnel) when the transition ends.
+    tunnels: Vec<(BaseStationId, BaseStationId)>,
     deadline: SimTime,
     /// Per anchor LocIP: per-flow launch specs `(flow slot, original
     /// policy tag, original out-port at the anchor's access switch)`.
@@ -169,10 +180,12 @@ impl<'t> CentralController<'t> {
         let prev = self.mobility_mut().transitions.remove(&imsi);
         let mut prev_launch_specs = HashMap::new();
         let mut reserved_locs: Vec<(BaseStationId, UeId)> = Vec::new();
+        let mut prev_tunnels: Vec<(BaseStationId, BaseStationId)> = Vec::new();
         if let Some(prev) = prev {
             ops.extend(prev.teardown);
             prev_launch_specs = prev.launch_specs;
             reserved_locs = prev.reserved_locs;
+            prev_tunnels = prev.tunnels;
         }
         if !reserved_locs.contains(&(old.bs, old.ue_id)) {
             reserved_locs.push((old.bs, old.ue_id));
@@ -203,6 +216,7 @@ impl<'t> CentralController<'t> {
             std::net::Ipv4Addr,
             Vec<(u16, PolicyTag, softcell_types::PortNo)>,
         > = HashMap::new();
+        let mut used_tunnels: Vec<(BaseStationId, BaseStationId)> = Vec::new();
 
         let old_loc_addr = scheme.encode(softcell_types::LocIp::new(old.bs, old.ue_id))?;
         for (anchor_addr, group) in groups {
@@ -266,6 +280,9 @@ impl<'t> CentralController<'t> {
             }
             let anchor_host = Ipv4Prefix::host(anchor_addr);
             let tunnel = self.ensure_tunnel(anchor, new_bs, &mut ops)?;
+            if !used_tunnels.contains(&(anchor, new_bs)) {
+                used_tunnels.push((anchor, new_bs));
+            }
             let tunnel_tag = tunnel.tag;
             let tunnel_path = tunnel.path.clone();
             let anchor_access = tunnel_path[0];
@@ -441,16 +458,28 @@ impl<'t> CentralController<'t> {
             }
         }
 
+        // take the new transition's tunnel references *before* dropping
+        // the previous transition's, so a pair both transitions use is
+        // never torn down and immediately recreated
+        for pair in &used_tunnels {
+            if let Some(t) = self.mobility_mut().tunnels.get_mut(pair) {
+                t.refs += 1;
+            }
+        }
         let ttl = self.mobility().transition_ttl;
         self.mobility_mut().transitions.insert(
             imsi,
             Transition {
                 teardown,
                 reserved_locs,
+                tunnels: used_tunnels,
                 deadline: now + ttl,
                 launch_specs,
             },
         );
+        for pair in prev_tunnels {
+            self.release_tunnel_ref(pair, &mut ops);
+        }
 
         Ok(HandoffPlan {
             old,
@@ -519,11 +548,10 @@ impl<'t> CentralController<'t> {
             });
         }
 
+        let ttl = self.mobility().transition_ttl;
         if let Some(t) = self.mobility_mut().transitions.get_mut(&imsi) {
             t.teardown.extend(teardown);
-            t.deadline = t
-                .deadline
-                .max(now + softcell_types::SimDuration::from_secs(120));
+            t.deadline = t.deadline.max(now + ttl);
         }
         Ok(ops)
     }
@@ -538,7 +566,11 @@ impl<'t> CentralController<'t> {
         for (bs, ue_id) in &t.reserved_locs {
             self.state_mut().release_location(*bs, *ue_id);
         }
-        t.teardown
+        let mut ops = t.teardown;
+        for pair in t.tunnels {
+            self.release_tunnel_ref(pair, &mut ops);
+        }
+        ops
     }
 
     /// Expires finished transitions: returns the teardown rule ops and
@@ -564,8 +596,32 @@ impl<'t> CentralController<'t> {
             for (bs, ue_id) in t.reserved_locs {
                 self.state_mut().release_location(bs, ue_id);
             }
+            for pair in t.tunnels {
+                self.release_tunnel_ref(pair, &mut ops);
+            }
         }
         ops
+    }
+
+    /// Drops one transition's reference on a tunnel. The last reference
+    /// garbage-collects it: the forward legs come down and the raw tag
+    /// returns to the pool, so base-station-pair churn cannot exhaust
+    /// the tag space.
+    fn release_tunnel_ref(&mut self, pair: (BaseStationId, BaseStationId), ops: &mut Vec<RuleOp>) {
+        let Some(t) = self.mobility_mut().tunnels.get_mut(&pair) else {
+            return;
+        };
+        t.refs = t.refs.saturating_sub(1);
+        if t.refs > 0 {
+            return;
+        }
+        let t = self
+            .mobility_mut()
+            .tunnels
+            .remove(&pair)
+            .expect("present above");
+        ops.extend(t.teardown);
+        self.installer_mut().release_raw_tag(t.tag);
     }
 
     /// Ensures the (from → to) tunnel exists, appending its rule ops on
@@ -592,6 +648,7 @@ impl<'t> CentralController<'t> {
         // new access switch
         let ports = self.config().ports;
         let carrier = self.config().scheme.carrier();
+        let mut teardown = Vec::new();
         for w in path.windows(2) {
             let (sw, next) = (w[0], w[1]);
             if sw == from_sw {
@@ -608,9 +665,18 @@ impl<'t> CentralController<'t> {
                 matcher: m,
                 action: Action::Forward(out),
             });
+            teardown.push(RuleOp::Remove {
+                switch: sw,
+                matcher: m,
+            });
         }
 
-        let t = Tunnel { tag, path };
+        let t = Tunnel {
+            tag,
+            path,
+            teardown,
+            refs: 0,
+        };
         self.mobility_mut().tunnels.insert((from, to), t.clone());
         Ok(t)
     }
@@ -807,6 +873,94 @@ mod tests {
         assert!(!ops.is_empty(), "teardown removes per-UE rules");
         assert!(ops.iter().all(|o| matches!(o, RuleOp::Remove { .. })));
         assert_eq!(ctl.mobility().transitions_active(), 0);
+    }
+
+    #[test]
+    fn shortcut_extension_follows_configured_ttl() {
+        // regression: install_shortcut used to extend the transition by a
+        // hardcoded 120 s instead of the configured transition_ttl
+        let topo = small_topology();
+        let mut ctl = controller(&topo);
+        ctl.mobility_mut().transition_ttl = softcell_types::SimDuration::from_secs(10);
+        let grant = ctl
+            .attach_ue(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO)
+            .unwrap();
+        let tags = ctl
+            .request_policy_path(BaseStationId(0), ClauseId(5))
+            .unwrap();
+        let old_path: Vec<SwitchId> = ctl
+            .routed_path(BaseStationId(0), ClauseId(5))
+            .unwrap()
+            .hops
+            .iter()
+            .map(|h| h.switch)
+            .collect();
+        let flow = sample_flow(&ctl, tags, grant.record.permanent_ip, UeId(0));
+        ctl.handoff(UeImsi(0), BaseStationId(3), UeId(0), &[flow], SimTime::ZERO)
+            .unwrap();
+        // renew at t=5: deadline moves to 5 + ttl = 15, not 5 + 120
+        ctl.install_shortcut(UeImsi(0), &old_path, flow.downlink, SimTime::from_secs(5))
+            .unwrap();
+        assert!(
+            ctl.expire_transitions(SimTime::from_secs(12)).is_empty(),
+            "shortcut renewal keeps the transition alive past the original deadline"
+        );
+        assert_eq!(ctl.mobility().transitions_active(), 1);
+        let ops = ctl.expire_transitions(SimTime::from_secs(16));
+        assert!(
+            !ops.is_empty(),
+            "expires at now + transition_ttl, not +120 s"
+        );
+        assert_eq!(ctl.mobility().transitions_active(), 0);
+    }
+
+    #[test]
+    fn tunnel_gc_survives_more_pairs_than_tags() {
+        // regression: tunnels allocated a raw tag per base-station pair
+        // and never freed it, so handoff churn across enough distinct
+        // pairs exhausted the tag space. Leave exactly ONE free tag and
+        // churn through three pairs: only garbage collection makes
+        // every round's tunnel allocation succeed.
+        let topo = small_topology();
+        let mut ctl = controller(&topo);
+        let grant = ctl
+            .attach_ue(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO)
+            .unwrap();
+        let tags = ctl
+            .request_policy_path(BaseStationId(0), ClauseId(5))
+            .unwrap();
+        let capacity = usize::from(ctl.config().tag_policy.capacity);
+        while ctl.installer().tags_in_use() < capacity - 1 {
+            ctl.installer_mut().allocate_raw_tag().unwrap();
+        }
+        let baseline = ctl.installer().tags_in_use();
+        let flow = sample_flow(&ctl, tags, grant.record.permanent_ip, UeId(0));
+        let mut now = SimTime::ZERO;
+        for round in 0..6u32 {
+            let target = BaseStationId(1 + round % 3);
+            // the flow anchors at station 0, where the UE sits: the
+            // handoff builds the (0 → target) tunnel with the last tag
+            ctl.handoff(UeImsi(0), target, UeId(0), &[flow], now)
+                .unwrap_or_else(|e| panic!("round {round}: tag leak? {e}"));
+            assert_eq!(ctl.mobility().tunnel_count(), 1);
+            assert_eq!(ctl.installer().tags_in_use(), baseline + 1);
+            now += softcell_types::SimDuration::from_secs(1_000);
+            let ops = ctl.expire_transitions(now);
+            assert!(
+                ops.iter().all(|o| matches!(o, RuleOp::Remove { .. })),
+                "expiry only removes rules"
+            );
+            assert_eq!(ctl.mobility().tunnel_count(), 0, "tunnel collected");
+            assert_eq!(ctl.installer().tags_in_use(), baseline, "tag returned");
+            // move home (no live flows: lightweight, no tunnel) for the
+            // next round, and expire that transition's reservation too
+            ctl.handoff(UeImsi(0), BaseStationId(0), UeId(0), &[], now)
+                .unwrap();
+            now += softcell_types::SimDuration::from_secs(1_000);
+            ctl.expire_transitions(now);
+        }
+        assert_eq!(ctl.installer().tags_in_use(), baseline);
+        assert_eq!(ctl.mobility().tunnel_count(), 0);
     }
 
     #[test]

@@ -63,6 +63,14 @@ pub(crate) struct Shared {
     /// Permanent-address allocator for wire attaches (offsets into the
     /// carrier-grade NAT pool 100.64/10, like the simulation config).
     pub(crate) next_permanent: std::sync::atomic::AtomicU32,
+    /// Wire connections currently being served ([`crate::wire`]).
+    pub(crate) active_connections: AtomicU64,
+    /// Wire connections that ended, cleanly or not.
+    pub(crate) disconnects: AtomicU64,
+    /// The subset of disconnects that ended with a channel error (torn
+    /// frame, version mismatch, transport failure) rather than a clean
+    /// peer close.
+    pub(crate) connection_errors: AtomicU64,
 }
 
 /// A running worker pool.
@@ -107,6 +115,9 @@ impl ControllerServer {
             served: AtomicU64::new(0),
             ues: Mutex::new(std::collections::HashMap::new()),
             next_permanent: std::sync::atomic::AtomicU32::new(0),
+            active_connections: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+            connection_errors: AtomicU64::new(0),
         });
         let (tx, rx) = bounded::<Request>(depth);
         let workers = (0..threads)
@@ -137,6 +148,22 @@ impl ControllerServer {
     /// Requests served so far.
     pub fn served(&self) -> u64 {
         self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Wire connections currently being served.
+    pub fn active_connections(&self) -> u64 {
+        self.shared.active_connections.load(Ordering::Relaxed)
+    }
+
+    /// Wire connections that have ended (cleanly or with an error).
+    pub fn disconnects(&self) -> u64 {
+        self.shared.disconnects.load(Ordering::Relaxed)
+    }
+
+    /// Wire connections that ended with a channel error rather than a
+    /// clean close.
+    pub fn connection_errors(&self) -> u64 {
+        self.shared.connection_errors.load(Ordering::Relaxed)
     }
 
     /// Registers another subscriber while running.

@@ -18,8 +18,8 @@ use std::thread::JoinHandle;
 use crossbeam::channel::bounded;
 
 use softcell_ctlchan::{
-    CtlChannel, Message, PacketIn, Transport, WireClassifier, WireFlowMod, WirePathTags,
-    WireUeRecord,
+    CtlChannel, Message, PacketIn, RetryPolicy, Transport, WireClassifier, WireFlowMod,
+    WirePathTags, WireUeRecord,
 };
 use softcell_policy::clause::ClauseId;
 use softcell_policy::UeClassifier;
@@ -109,11 +109,13 @@ impl ControllerServer {
             // loop keeps at most one worker request outstanding.
             let (cls_tx, cls_rx) = bounded(1);
             let (tag_tx, tag_rx) = bounded(1);
+            shared.active_connections.fetch_add(1, Ordering::Relaxed);
             let served = {
                 let shared = Arc::clone(&shared);
                 move || shared.served.load(Ordering::Relaxed)
             };
-            softcell_ctlchan::serve(transport, served, move |msg| {
+            let shared_for_exit = Arc::clone(&shared);
+            let result = softcell_ctlchan::serve(transport, served, move |msg| {
                 let Message::PacketIn(pi) = msg else {
                     return None;
                 };
@@ -187,7 +189,21 @@ impl ControllerServer {
                         .ok_or_else(|| Error::NotFound(format!("{imsi} not attached"))),
                 };
                 Some(reply.unwrap_or_else(|e| Message::from_error(&e)))
-            })
+            });
+            // Slot accounting: a dead agent frees its serve slot whether
+            // it closed cleanly or tore the connection mid-frame, and the
+            // server keeps accepting (re-)registrations on fresh
+            // transports. The error is surfaced, not swallowed.
+            shared_for_exit
+                .active_connections
+                .fetch_sub(1, Ordering::Relaxed);
+            shared_for_exit.disconnects.fetch_add(1, Ordering::Relaxed);
+            if result.is_err() {
+                shared_for_exit
+                    .connection_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            result
         })
     }
 }
@@ -199,8 +215,17 @@ fn pool_gone() -> Error {
 /// A [`ControllerApi`] that reaches the controller over a control
 /// channel — the agent side of the southbound protocol. Each call is one
 /// framed request/reply round trip.
+///
+/// With a [`RetryPolicy`] set, every request runs under a per-attempt
+/// deadline and is retried (same xid, exponential backoff) on timeout;
+/// the server's xid dedup window guarantees at-most-once application.
+/// All three [`ControllerApi`] operations are safe to retry this way:
+/// attach and path-request are idempotent upserts, and a retransmitted
+/// detach is answered from the dedup cache instead of failing NotFound.
 pub struct ChannelController<T: Transport> {
     chan: CtlChannel<T>,
+    bs: BaseStationId,
+    retry: Option<RetryPolicy>,
 }
 
 impl<T: Transport> ChannelController<T> {
@@ -209,7 +234,11 @@ impl<T: Transport> ChannelController<T> {
     pub fn connect(transport: T, bs: BaseStationId) -> Result<ChannelController<T>> {
         let mut chan = CtlChannel::new(transport);
         chan.hello(bs.0)?;
-        Ok(ChannelController { chan })
+        Ok(ChannelController {
+            chan,
+            bs,
+            retry: None,
+        })
     }
 
     /// The underlying channel (barrier, echo, stats, counters).
@@ -217,8 +246,61 @@ impl<T: Transport> ChannelController<T> {
         &mut self.chan
     }
 
+    /// The base station this proxy registered as.
+    pub fn base_station(&self) -> BaseStationId {
+        self.bs
+    }
+
+    /// Enables (or, with `None`, disables) timeout + retry on every
+    /// subsequent request.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// Replaces a dead transport with a freshly connected one, redoing
+    /// the hello handshake. Correlation state restarts clean: stashed
+    /// replies from the old connection are discarded with it.
+    pub fn reconnect(&mut self, transport: T) -> Result<()> {
+        let mut chan = CtlChannel::new(transport);
+        chan.hello(self.bs.0)?;
+        self.chan = chan;
+        Ok(())
+    }
+
+    /// Re-registers everything `agent` holds after a reconnect: each UE
+    /// is re-attached over the wire (the controller upserts, keeping
+    /// permanent addresses), the classifier set is re-fetched, the agent
+    /// rebuilt from the fresh grants via the failover machinery
+    /// ([`crate::agent::LocalAgent::restart_from`]), and the agent-side
+    /// microflow snapshot (per-UE flow records) re-adopted so ongoing
+    /// connections survive the resync. Returns the number of UEs
+    /// re-registered.
+    pub fn resync(&mut self, agent: &mut crate::agent::LocalAgent, now: SimTime) -> Result<usize> {
+        let snapshot: Vec<(UeImsi, UeId, Vec<crate::agent::AgentFlow>)> = agent
+            .attached()
+            .map(|ue| (ue.imsi, ue.ue_id, ue.flows.clone()))
+            .collect();
+        let bs = self.bs;
+        let mut grants = Vec::with_capacity(snapshot.len());
+        for (imsi, ue_id, _) in &snapshot {
+            let grant = self.attach_ue(*imsi, bs, *ue_id, now)?;
+            grants.push((grant.record, grant.classifier));
+        }
+        let n = agent.restart_from(grants)?;
+        for (imsi, _, flows) in snapshot {
+            if !flows.is_empty() {
+                agent.adopt_flows(imsi, flows)?;
+            }
+        }
+        Ok(n)
+    }
+
     fn round_trip(&mut self, pi: PacketIn) -> Result<Message<'static>> {
-        let raw = self.chan.request(&Message::PacketIn(pi))?;
+        let msg = Message::PacketIn(pi);
+        let raw = match &self.retry {
+            Some(policy) => self.chan.request_with_retry(&msg, policy)?,
+            None => self.chan.request(&msg)?,
+        };
         let frame = softcell_ctlchan::Frame::new_checked(raw.as_slice())?;
         let msg = frame.message()?;
         if let Some(e) = msg.as_error() {
@@ -418,6 +500,126 @@ mod tests {
         assert!(stats.rx_msgs >= 3, "hello + attach + path + stats");
         drop(ctl);
         serve.join().unwrap().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_survives_midframe_disconnect_and_accepts_reregistration() {
+        use softcell_ctlchan::{FaultConfig, FaultTransport};
+
+        let server =
+            ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers(4), 2)
+                .unwrap();
+        let (agent_end, controller_end) = loopback_pair();
+        let serve = server.serve(controller_end);
+
+        // the third frame this agent sends is cut mid-frame
+        let faulty = FaultTransport::new(
+            agent_end,
+            FaultConfig {
+                disconnect_every: Some(3),
+                ..FaultConfig::default()
+            },
+        );
+        let mut ctl = ChannelController::connect(faulty, BaseStationId(0)).unwrap();
+        let grant = ctl
+            .attach_ue(UeImsi(1), BaseStationId(0), UeId(0), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(server.active_connections(), 1);
+
+        // hello + attach used two sends; this one injects the cut
+        let err = ctl.detach_ue(UeImsi(1)).unwrap_err();
+        assert!(matches!(err, Error::InvalidState(_)), "got {err:?}");
+
+        // the serve thread exits with a clean error (torn frame), the
+        // slot is freed, and the counters record an errored disconnect
+        assert!(serve.join().unwrap().is_err());
+        assert_eq!(server.active_connections(), 0);
+        assert_eq!(server.disconnects(), 1);
+        assert_eq!(server.connection_errors(), 1);
+
+        // re-registration on a fresh transport: same identity, state kept
+        let (agent_end, controller_end) = loopback_pair();
+        let serve2 = server.serve(controller_end);
+        ctl.reconnect(FaultTransport::new(agent_end, FaultConfig::default()))
+            .unwrap();
+        let again = ctl
+            .attach_ue(UeImsi(1), BaseStationId(2), UeId(5), SimTime(9))
+            .unwrap();
+        assert_eq!(again.record.permanent_ip, grant.record.permanent_ip);
+        assert_eq!(again.record.bs, BaseStationId(2));
+        assert_eq!(server.active_connections(), 1);
+
+        drop(ctl);
+        serve2.join().unwrap().unwrap();
+        assert_eq!(server.disconnects(), 2);
+        assert_eq!(server.connection_errors(), 1, "clean close is not an error");
+        server.shutdown();
+    }
+
+    #[test]
+    fn resync_replays_agent_state_after_reconnect() {
+        use crate::agent::LocalAgent;
+        use softcell_dataplane::Switch;
+        use softcell_packet::{build_flow_packet, FiveTuple, HeaderView, Protocol};
+        use softcell_types::{AddressingScheme, PortEmbedding, SwitchId};
+
+        let server =
+            ControllerServer::start(ServicePolicy::example_carrier_a(1), subscribers(4), 2)
+                .unwrap();
+        let (agent_end, controller_end) = loopback_pair();
+        let serve = server.serve(controller_end);
+        let mut ctl = ChannelController::connect(agent_end, BaseStationId(0)).unwrap();
+
+        let mut agent = LocalAgent::new(
+            BaseStationId(0),
+            PortNo(2),
+            AddressingScheme::default_scheme(),
+            PortEmbedding::default_embedding(),
+        );
+        let mut switch = Switch::access(SwitchId(0));
+        let rec0 = agent
+            .handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO)
+            .unwrap();
+        let _rec1 = agent
+            .handle_attach(UeImsi(1), &mut ctl, SimTime::ZERO)
+            .unwrap();
+        let tuple = FiveTuple {
+            src: rec0.permanent_ip,
+            dst: Ipv4Addr::new(93, 184, 216, 34),
+            src_port: 50_000,
+            dst_port: 443,
+            proto: Protocol::Tcp,
+        };
+        let view = HeaderView::parse(&build_flow_packet(tuple, 64, 0, &[])).unwrap();
+        agent
+            .handle_new_flow(&view, &mut ctl, &mut switch, SimTime::ZERO)
+            .unwrap();
+        let flows_before = agent.flows_of(UeImsi(0)).unwrap().to_vec();
+        assert!(!flows_before.is_empty());
+
+        // the connection dies; the server survives and the agent comes
+        // back on a new transport and replays its state (reconnect drops
+        // the old channel, which the first serve thread observes as a
+        // clean close)
+        let (agent_end, controller_end) = loopback_pair();
+        let serve2 = server.serve(controller_end);
+        ctl.reconnect(agent_end).unwrap();
+        let n = ctl.resync(&mut agent, SimTime(100)).unwrap();
+        assert_eq!(n, 2, "both UEs re-registered");
+
+        // agent state is intact: same UEs, same flow records
+        assert_eq!(agent.attached().count(), 2);
+        assert_eq!(agent.flows_of(UeImsi(0)).unwrap(), &flows_before[..]);
+        // controller state is intact: permanent address survived resync
+        let again = ctl
+            .attach_ue(UeImsi(0), BaseStationId(0), UeId(0), SimTime(101))
+            .unwrap();
+        assert_eq!(again.record.permanent_ip, rec0.permanent_ip);
+
+        drop(ctl);
+        let _ = serve.join().unwrap();
+        serve2.join().unwrap().unwrap();
         server.shutdown();
     }
 }

@@ -7,13 +7,59 @@
 //! frame, answers protocol-level messages (hello, echo, barrier) itself,
 //! and hands application messages to a handler whose reply goes back
 //! under the request's xid.
+//!
+//! # Failure model
+//!
+//! With a transport deadline armed, a request that gets no answer fails
+//! with [`Error::Timeout`] instead of blocking forever. Timed-out
+//! requests may be *retried under the same xid*
+//! ([`CtlChannel::request_with_retry`], exponential backoff); the serve
+//! loop remembers its last [`DEDUP_WINDOW`] application replies by xid,
+//! so a retransmitted request gets the original reply resent without
+//! re-invoking the handler — at-most-once application of flow-mods even
+//! when the network duplicates or the client retries. Liveness is
+//! checked with [`CtlChannel::probe`], an echo round trip under a
+//! deadline.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
 
 use softcell_types::{Error, Result};
 
 use crate::codec::{ChannelStats, Frame, Message, VERSION};
 use crate::transport::Transport;
+
+/// How many application replies [`serve`] remembers (per connection, by
+/// xid) for retransmission dedup. A client retries a request at most a
+/// handful of times with one request outstanding, so a small window is
+/// ample; it only needs to cover xids that can still plausibly be
+/// retransmitted.
+pub const DEDUP_WINDOW: usize = 128;
+
+/// Retry schedule for [`CtlChannel::request_with_retry`]: per-attempt
+/// deadline plus truncated exponential backoff between attempts.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Deadline for each individual attempt (armed on the transport).
+    pub attempt_timeout: Duration,
+    /// Retries after the first attempt (total attempts = retries + 1).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempt_timeout: Duration::from_millis(250),
+            max_retries: 5,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
 
 /// The client end of a control channel: sends requests, correlates
 /// replies by xid.
@@ -40,6 +86,17 @@ impl<T: Transport> CtlChannel<T> {
         &self.transport
     }
 
+    /// The underlying transport, mutably (e.g. to poke fault injection).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Arms (or clears) the transport deadline bounding every subsequent
+    /// send/recv on this channel.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<()> {
+        self.transport.set_deadline(deadline)
+    }
+
     fn fresh_xid(&mut self) -> u32 {
         let xid = self.next_xid;
         self.next_xid = self.next_xid.wrapping_add(1).max(1);
@@ -57,7 +114,46 @@ impl<T: Transport> CtlChannel<T> {
     /// outstanding xids are stashed, not dropped.
     pub fn request(&mut self, msg: &Message<'_>) -> Result<Vec<u8>> {
         let xid = self.fresh_xid();
-        self.transport.send(&msg.encode(xid))?;
+        self.attempt(xid, &msg.encode(xid))
+    }
+
+    /// Sends a request under a per-attempt deadline and retries it —
+    /// under the *same* xid, so the server's dedup window can recognize
+    /// retransmissions — with truncated exponential backoff while
+    /// attempts time out. Only [`Error::Timeout`] triggers a retry; any
+    /// other failure (peer closed, decode error) surfaces immediately.
+    ///
+    /// Safe only for idempotent requests, or against a server that
+    /// dedups by xid (ours does — see [`serve`] and [`DEDUP_WINDOW`]).
+    pub fn request_with_retry(
+        &mut self,
+        msg: &Message<'_>,
+        policy: &RetryPolicy,
+    ) -> Result<Vec<u8>> {
+        let xid = self.fresh_xid();
+        let encoded = msg.encode(xid);
+        self.transport.set_deadline(Some(policy.attempt_timeout))?;
+        let mut backoff = policy.base_backoff;
+        let mut attempts_left = policy.max_retries;
+        let result = loop {
+            match self.attempt(xid, &encoded) {
+                Err(e) if e.is_timeout() && attempts_left > 0 => {
+                    attempts_left -= 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(policy.max_backoff);
+                }
+                other => break other,
+            }
+        };
+        // best effort: the channel may be dead, but the deadline state
+        // must not leak into later plain requests
+        let _ = self.transport.set_deadline(None);
+        result
+    }
+
+    /// One send + receive-until-xid-matches pass.
+    fn attempt(&mut self, xid: u32, encoded: &[u8]) -> Result<Vec<u8>> {
+        self.transport.send(encoded)?;
         if let Some(frame) = self.stash.remove(&xid) {
             return Ok(frame);
         }
@@ -70,8 +166,33 @@ impl<T: Transport> CtlChannel<T> {
             if got == xid {
                 return Ok(frame);
             }
+            // One request is outstanding at a time (&mut self), so a
+            // mismatched xid is a late or duplicated reply to an earlier
+            // request; keep a bounded stash in case the caller retries
+            // that xid, and shed everything if it somehow grows.
+            if self.stash.len() >= 1024 {
+                self.stash.clear();
+            }
             self.stash.insert(got, frame);
         }
+    }
+
+    /// Echo-based liveness probe: round-trips a payload under `deadline`
+    /// and reports how long the peer took. [`Error::Timeout`] means the
+    /// peer (or the path to it) is unresponsive; the connection itself
+    /// may still be usable for a retry or reconnect decision.
+    pub fn probe(&mut self, deadline: Duration) -> Result<Duration> {
+        self.transport.set_deadline(Some(deadline))?;
+        let started = std::time::Instant::now();
+        let res = self.echo(b"liveness-probe");
+        let _ = self.transport.set_deadline(None);
+        let payload = res?;
+        if payload != b"liveness-probe" {
+            return Err(Error::InvalidState(
+                "liveness probe payload mismatch".into(),
+            ));
+        }
+        Ok(started.elapsed())
     }
 
     /// Exchanges hello frames, verifying the peer speaks our version.
@@ -150,10 +271,31 @@ where
     S: FnMut() -> u64,
 {
     let counters = transport.counters();
+    // Retransmission dedup: remembers the encoded reply (or deliberate
+    // non-reply) of the last DEDUP_WINDOW application requests by xid. A
+    // client retry under the same xid is answered from here without
+    // re-invoking the handler, so e.g. a retried flow-mod applies once.
+    let mut replay: HashMap<u32, Option<Vec<u8>>> = HashMap::new();
+    let mut replay_order: VecDeque<u32> = VecDeque::new();
     while let Some(raw) = transport.recv()? {
         let frame = Frame::new_checked(raw.as_slice())?;
         let xid = frame.xid();
         let msg = frame.message()?;
+        let is_protocol = matches!(
+            msg,
+            Message::Hello { .. }
+                | Message::EchoRequest(_)
+                | Message::BarrierRequest
+                | Message::StatsRequest
+        );
+        if !is_protocol && xid != 0 {
+            if let Some(cached) = replay.get(&xid) {
+                if let Some(encoded) = cached.clone() {
+                    transport.send(&encoded)?;
+                }
+                continue;
+            }
+        }
         let reply: Option<Message<'_>> = match &msg {
             Message::Hello { version, .. } => {
                 if *version != VERSION {
@@ -186,8 +328,18 @@ where
             }
             other => handler(other).map(Message::into_static),
         };
-        if let Some(reply) = reply {
-            transport.send(&reply.encode(xid))?;
+        let encoded = reply.map(|r| r.encode(xid));
+        if let Some(encoded) = &encoded {
+            transport.send(encoded)?;
+        }
+        if !is_protocol && xid != 0 {
+            if replay_order.len() == DEDUP_WINDOW {
+                if let Some(evicted) = replay_order.pop_front() {
+                    replay.remove(&evicted);
+                }
+            }
+            replay_order.push_back(xid);
+            replay.insert(xid, encoded);
         }
     }
     Ok(())
@@ -262,5 +414,106 @@ mod tests {
         assert_eq!(err, Error::NotFound("nope".into()));
         drop(chan);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn probe_measures_liveness_and_times_out_when_dead() {
+        let (client_end, server_end) = loopback_pair();
+        let server = std::thread::spawn(move || {
+            let _ = serve(server_end, || 0, |_msg| None);
+        });
+        let mut chan = CtlChannel::new(client_end);
+        let rtt = chan.probe(Duration::from_secs(1)).unwrap();
+        assert!(rtt < Duration::from_secs(1));
+        drop(chan);
+        server.join().unwrap();
+
+        // a peer that never answers: probe fails with a timeout instead
+        // of blocking forever
+        let (client_end, _server_end) = loopback_pair();
+        let mut chan = CtlChannel::new(client_end);
+        let err = chan.probe(Duration::from_millis(30)).unwrap_err();
+        assert!(err.is_timeout(), "got {err}");
+    }
+
+    #[test]
+    fn retry_recovers_from_drops_and_server_applies_once() {
+        use crate::transport::{FaultConfig, FaultTransport};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let (client_end, server_end) = loopback_pair();
+        let applied = Arc::new(AtomicU64::new(0));
+        let applied_in_handler = Arc::clone(&applied);
+        let server = std::thread::spawn(move || {
+            let _ = serve(
+                server_end,
+                || 0,
+                move |msg| {
+                    if matches!(msg, Message::PacketIn(_)) {
+                        applied_in_handler.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Some(Message::BarrierReply)
+                },
+            );
+        });
+        // drop, duplicate and delay what the client sends: requests need
+        // retries and arrive multiple times, yet each must be applied
+        // exactly once server-side
+        let faulty = FaultTransport::new(
+            client_end,
+            FaultConfig {
+                seed: 7,
+                drop: 0.4,
+                duplicate: 0.3,
+                delay: 0.2,
+                ..FaultConfig::default()
+            },
+        );
+        let mut chan = CtlChannel::new(faulty);
+        let policy = RetryPolicy {
+            attempt_timeout: Duration::from_millis(40),
+            max_retries: 10,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+        };
+        let requests = 20;
+        for i in 0..requests {
+            let reply = chan
+                .request_with_retry(
+                    &Message::PacketIn(crate::codec::PacketIn::Detach {
+                        imsi: softcell_types::UeImsi(i),
+                    }),
+                    &policy,
+                )
+                .unwrap();
+            let frame = Frame::new_checked(reply.as_slice()).unwrap();
+            assert_eq!(frame.message().unwrap(), Message::BarrierReply);
+        }
+        let dropped = chan.transport().fault_stats().dropped;
+        assert!(dropped > 0, "fault schedule never fired");
+        assert_eq!(
+            applied.load(Ordering::SeqCst),
+            requests,
+            "retries must not re-apply requests (xid dedup)"
+        );
+        drop(chan);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retry_gives_up_after_budget() {
+        let (client_end, _server_end) = loopback_pair();
+        let mut chan = CtlChannel::new(client_end);
+        let policy = RetryPolicy {
+            attempt_timeout: Duration::from_millis(10),
+            max_retries: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        };
+        let err = chan
+            .request_with_retry(&Message::BarrierRequest, &policy)
+            .unwrap_err();
+        assert!(err.is_timeout(), "got {err}");
     }
 }

@@ -202,6 +202,8 @@ pub enum ErrorCode {
     Malformed,
     /// [`Error::NoPath`]
     NoPath,
+    /// [`Error::Timeout`]
+    Timeout,
 }
 
 impl ErrorCode {
@@ -216,6 +218,7 @@ impl ErrorCode {
             Error::InvalidState(_) => ErrorCode::InvalidState,
             Error::Malformed(_) => ErrorCode::Malformed,
             Error::NoPath(_) => ErrorCode::NoPath,
+            Error::Timeout(_) => ErrorCode::Timeout,
         }
     }
 
@@ -231,6 +234,7 @@ impl ErrorCode {
             ErrorCode::InvalidState => Error::InvalidState(m),
             ErrorCode::Malformed => Error::Malformed(m),
             ErrorCode::NoPath => Error::NoPath(m),
+            ErrorCode::Timeout => Error::Timeout(m),
         }
     }
 
@@ -244,6 +248,7 @@ impl ErrorCode {
             ErrorCode::InvalidState => 5,
             ErrorCode::Malformed => 6,
             ErrorCode::NoPath => 7,
+            ErrorCode::Timeout => 8,
         }
     }
 
@@ -257,6 +262,7 @@ impl ErrorCode {
             5 => ErrorCode::InvalidState,
             6 => ErrorCode::Malformed,
             7 => ErrorCode::NoPath,
+            8 => ErrorCode::Timeout,
             _ => return Err(Error::Malformed(format!("unknown error code {v}"))),
         })
     }
@@ -434,7 +440,8 @@ impl Message<'_> {
             | Error::NotFound(m)
             | Error::InvalidState(m)
             | Error::Malformed(m)
-            | Error::NoPath(m) => m,
+            | Error::NoPath(m)
+            | Error::Timeout(m) => m,
         };
         Message::Error {
             code: ErrorCode::of(e),

@@ -28,11 +28,12 @@ pub mod channel;
 pub mod codec;
 pub mod transport;
 
-pub use channel::{serve, CtlChannel};
+pub use channel::{serve, CtlChannel, RetryPolicy, DEDUP_WINDOW};
 pub use codec::{
     ChannelStats, ErrorCode, Frame, Message, PacketIn, WireClassifier, WireFlowMod, WirePathTags,
     WireUeRecord, HEADER_LEN, MAX_FRAME, VERSION,
 };
 pub use transport::{
-    loopback_pair, ChannelCounters, CounterSnapshot, Loopback, TcpTransport, Transport,
+    loopback_pair, ChannelCounters, CounterSnapshot, FaultConfig, FaultStats, FaultTransport,
+    Loopback, TcpTransport, Transport,
 };

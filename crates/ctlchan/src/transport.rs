@@ -10,13 +10,25 @@
 //! Every transport keeps per-connection [`ChannelCounters`] — frames and
 //! bytes in each direction — shared out as an `Arc` so the serve loop
 //! can report them in stats replies while the transport is in use.
+//!
+//! Two fault-tolerance building blocks live here as well. Every
+//! transport honours a *deadline* ([`Transport::set_deadline`]): with one
+//! armed, `send`/`recv` return [`Error::Timeout`] instead of blocking
+//! forever on a dead peer — socket read/write timeouts on TCP, bounded
+//! condvar waits on the loopback. And [`FaultTransport`] wraps any
+//! transport with seeded fault injection — dropped, duplicated and
+//! delayed frames plus mid-frame disconnects — so the retry/reconnect
+//! machinery can be exercised deterministically in tests.
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use softcell_types::{Error, Result};
 
@@ -77,6 +89,15 @@ pub trait Transport: Send {
 
     /// This endpoint's counters.
     fn counters(&self) -> Arc<ChannelCounters>;
+
+    /// Bounds every subsequent `send`/`recv`: once armed, a call that
+    /// would block longer than `deadline` fails with [`Error::Timeout`]
+    /// instead of hanging on a dead peer. `None` restores unbounded
+    /// blocking. Transports without a notion of waiting may ignore it.
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<()> {
+        let _ = deadline;
+        Ok(())
+    }
 }
 
 /// How many frames a loopback direction buffers before `send` blocks —
@@ -88,6 +109,7 @@ pub struct Loopback {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
     counters: Arc<ChannelCounters>,
+    deadline: Option<Duration>,
 }
 
 /// Creates a connected loopback pair: frames sent on one end arrive on
@@ -100,36 +122,67 @@ pub fn loopback_pair() -> (Loopback, Loopback) {
             tx: a_tx,
             rx: a_rx,
             counters: Arc::new(ChannelCounters::default()),
+            deadline: None,
         },
         Loopback {
             tx: b_tx,
             rx: b_rx,
             counters: Arc::new(ChannelCounters::default()),
+            deadline: None,
         },
     )
 }
 
 impl Transport for Loopback {
     fn send(&mut self, frame: &[u8]) -> Result<()> {
-        self.tx
-            .send(frame.to_vec())
-            .map_err(|_| Error::InvalidState("control channel peer closed".into()))?;
+        match self.deadline {
+            None => self
+                .tx
+                .send(frame.to_vec())
+                .map_err(|_| Error::InvalidState("control channel peer closed".into()))?,
+            Some(d) => self
+                .tx
+                .send_timeout(frame.to_vec(), d)
+                .map_err(|e| match e {
+                    SendTimeoutError::Timeout(_) => {
+                        Error::Timeout("loopback send deadline elapsed (queue full)".into())
+                    }
+                    SendTimeoutError::Disconnected(_) => {
+                        Error::InvalidState("control channel peer closed".into())
+                    }
+                })?,
+        }
         self.counters.sent(frame.len());
         Ok(())
     }
 
     fn recv(&mut self) -> Result<Option<Vec<u8>>> {
-        match self.rx.recv() {
-            Ok(frame) => {
+        let got = match self.deadline {
+            None => self.rx.recv().ok(),
+            Some(d) => match self.rx.recv_timeout(d) {
+                Ok(frame) => Some(frame),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(Error::Timeout("loopback recv deadline elapsed".into()))
+                }
+                Err(RecvTimeoutError::Disconnected) => None,
+            },
+        };
+        match got {
+            Some(frame) => {
                 self.counters.received(frame.len());
                 Ok(Some(frame))
             }
-            Err(_) => Ok(None),
+            None => Ok(None),
         }
     }
 
     fn counters(&self) -> Arc<ChannelCounters> {
         Arc::clone(&self.counters)
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<()> {
+        self.deadline = deadline;
+        Ok(())
     }
 }
 
@@ -158,11 +211,25 @@ impl TcpTransport {
     }
 }
 
+fn is_io_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 impl Transport for TcpTransport {
     fn send(&mut self, frame: &[u8]) -> Result<()> {
-        self.stream
-            .write_all(frame)
-            .map_err(|e| Error::InvalidState(format!("tcp send: {e}")))?;
+        self.stream.write_all(frame).map_err(|e| {
+            if is_io_timeout(&e) {
+                // a partial write may have left the stream mid-frame, so
+                // a send-side timeout is NOT retryable — the connection
+                // must be re-established
+                Error::InvalidState("tcp send timed out; stream no longer frame-aligned".into())
+            } else {
+                Error::InvalidState(format!("tcp send: {e}"))
+            }
+        })?;
         self.counters.sent(frame.len());
         Ok(())
     }
@@ -184,6 +251,16 @@ impl Transport for TcpTransport {
                 }
                 Ok(n) => filled += n,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // a timeout before the first byte leaves the stream on a
+                // frame boundary — recoverable, the caller may retry
+                Err(e) if is_io_timeout(&e) && filled == 0 => {
+                    return Err(Error::Timeout("tcp recv deadline elapsed".into()))
+                }
+                Err(e) if is_io_timeout(&e) => {
+                    return Err(Error::Malformed(format!(
+                        "timed out mid-header ({filled}/{HEADER_LEN} bytes); stream desynced"
+                    )))
+                }
                 Err(e) => return Err(Error::InvalidState(format!("tcp recv: {e}"))),
             }
         }
@@ -208,6 +285,174 @@ impl Transport for TcpTransport {
 
     fn counters(&self) -> Arc<ChannelCounters> {
         Arc::clone(&self.counters)
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<()> {
+        self.stream
+            .set_read_timeout(deadline)
+            .and_then(|()| self.stream.set_write_timeout(deadline))
+            .map_err(|e| Error::InvalidState(format!("tcp set deadline: {e}")))
+    }
+}
+
+/// Which faults a [`FaultTransport`] injects, and how often.
+///
+/// Probabilities are per sent frame and evaluated in the order drop →
+/// delay → duplicate from one deterministic seeded stream, so a given
+/// `(seed, config)` always injects the same fault schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Seed for the fault schedule (deterministic per seed).
+    pub seed: u64,
+    /// Probability a sent frame is silently dropped.
+    pub drop: f64,
+    /// Probability a sent frame is sent twice (duplicate delivery).
+    pub duplicate: f64,
+    /// Probability a sent frame is held back and delivered (in order)
+    /// just before the *next* sent frame — a one-send delay. A held
+    /// frame is lost if nothing further is sent, like a stuck socket
+    /// buffer on a dying connection.
+    pub delay: f64,
+    /// If `Some(n)`, every n-th send is cut mid-frame: the peer receives
+    /// a truncated frame and this endpoint goes dead (all later calls
+    /// fail) until [`FaultTransport::revive`].
+    pub disconnect_every: Option<u64>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            seed: 0,
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            disconnect_every: None,
+        }
+    }
+}
+
+/// How many of each fault a [`FaultTransport`] has injected so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames silently dropped.
+    pub dropped: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames held back one send.
+    pub delayed: u64,
+    /// Mid-frame disconnects injected.
+    pub disconnects: u64,
+}
+
+/// A [`Transport`] wrapper injecting faults on the send side: drops,
+/// duplicates, delays and mid-frame disconnects, from a seeded
+/// deterministic schedule. Receive and deadline handling pass straight
+/// through to the wrapped transport.
+pub struct FaultTransport<T: Transport> {
+    inner: T,
+    cfg: FaultConfig,
+    rng: StdRng,
+    /// Frames held back by the delay fault, flushed before the next send.
+    held: Vec<Vec<u8>>,
+    sends: u64,
+    dead: bool,
+    stats: FaultStats,
+}
+
+impl<T: Transport> FaultTransport<T> {
+    /// Wraps `inner` with the given fault schedule.
+    pub fn new(inner: T, cfg: FaultConfig) -> FaultTransport<T> {
+        FaultTransport {
+            inner,
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            held: Vec::new(),
+            sends: 0,
+            dead: false,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Injected-fault totals so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Whether an injected disconnect has killed this endpoint.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Brings a disconnected endpoint back to life *on the same
+    /// underlying transport* — only meaningful on the loopback, where
+    /// the queues survive; a real TCP stream would need a fresh connect.
+    pub fn revive(&mut self) {
+        self.dead = false;
+    }
+
+    /// Unwraps the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for FaultTransport<T> {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        if self.dead {
+            return Err(Error::InvalidState(
+                "fault injection: connection is dead".into(),
+            ));
+        }
+        self.sends += 1;
+        if let Some(n) = self.cfg.disconnect_every {
+            if self.sends.is_multiple_of(n) {
+                // mid-frame disconnect: the peer sees a truncated frame
+                // (rejected by its length check), then silence
+                self.stats.disconnects += 1;
+                self.dead = true;
+                let cut = (frame.len() / 2).max(1);
+                let _ = self.inner.send(&frame[..cut]);
+                return Err(Error::InvalidState(
+                    "fault injection: disconnected mid-frame".into(),
+                ));
+            }
+        }
+        // anything held back by an earlier delay goes first, keeping
+        // delivery in order
+        let mut queue: Vec<Vec<u8>> = std::mem::take(&mut self.held);
+        if self.rng.gen_bool(self.cfg.drop) {
+            self.stats.dropped += 1;
+        } else if self.rng.gen_bool(self.cfg.delay) {
+            self.stats.delayed += 1;
+            self.held.push(frame.to_vec());
+        } else if self.rng.gen_bool(self.cfg.duplicate) {
+            self.stats.duplicated += 1;
+            queue.push(frame.to_vec());
+            queue.push(frame.to_vec());
+        } else {
+            queue.push(frame.to_vec());
+        }
+        for f in queue {
+            self.inner.send(&f)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>> {
+        if self.dead {
+            return Err(Error::InvalidState(
+                "fault injection: connection is dead".into(),
+            ));
+        }
+        self.inner.recv()
+    }
+
+    fn counters(&self) -> Arc<ChannelCounters> {
+        self.inner.counters()
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<()> {
+        self.inner.set_deadline(deadline)
     }
 }
 
@@ -267,5 +512,92 @@ mod tests {
         let server_counters = server.join().unwrap();
         assert_eq!(server_counters.rx_msgs, 10);
         assert_eq!(server_counters.tx_msgs, 10);
+    }
+
+    #[test]
+    fn loopback_deadline_times_out_instead_of_blocking() {
+        let (mut a, _b) = loopback_pair();
+        a.set_deadline(Some(Duration::from_millis(20))).unwrap();
+        let err = a.recv().unwrap_err();
+        assert!(err.is_timeout(), "got {err}");
+        // clearing the deadline restores (dis)connection semantics
+        a.set_deadline(None).unwrap();
+        drop(_b);
+        assert_eq!(a.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn tcp_deadline_times_out_on_a_silent_peer() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpTransport::connect(addr).unwrap();
+        client
+            .set_deadline(Some(Duration::from_millis(30)))
+            .unwrap();
+        let err = client.recv().unwrap_err();
+        assert!(err.is_timeout(), "got {err}");
+        drop(listener);
+    }
+
+    #[test]
+    fn fault_transport_is_deterministic_per_seed() {
+        let run = || {
+            let (a, mut b) = loopback_pair();
+            let mut f = FaultTransport::new(
+                a,
+                FaultConfig {
+                    seed: 42,
+                    drop: 0.3,
+                    duplicate: 0.2,
+                    delay: 0.2,
+                    ..FaultConfig::default()
+                },
+            );
+            let frame = Message::BarrierRequest.encode(1);
+            for _ in 0..50 {
+                f.send(&frame).unwrap();
+            }
+            let mut delivered = 0;
+            b.set_deadline(Some(Duration::from_millis(5))).unwrap();
+            while b.recv().is_ok_and(|f| f.is_some()) {
+                delivered += 1;
+            }
+            (f.fault_stats(), delivered)
+        };
+        let (s1, d1) = run();
+        let (s2, d2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(d1, d2);
+        assert!(s1.dropped > 0 && s1.duplicated > 0 && s1.delayed > 0);
+        // conservation: every send is delivered, dropped, or still held
+        assert!(d1 as u64 <= 50 + s1.duplicated);
+    }
+
+    #[test]
+    fn fault_transport_disconnects_mid_frame() {
+        let (a, mut b) = loopback_pair();
+        let mut f = FaultTransport::new(
+            a,
+            FaultConfig {
+                disconnect_every: Some(3),
+                ..FaultConfig::default()
+            },
+        );
+        let frame = Message::EchoRequest(Cow::Borrowed(b"payload")).encode(7);
+        f.send(&frame).unwrap();
+        f.send(&frame).unwrap();
+        assert!(f.send(&frame).is_err(), "third send injects the cut");
+        assert!(f.is_dead());
+        assert!(f.send(&frame).is_err(), "dead transport stays dead");
+        assert_eq!(f.fault_stats().disconnects, 1);
+        // the peer got two good frames, then a truncated one that fails
+        // frame validation — exactly what a mid-frame TCP reset looks like
+        assert_eq!(b.recv().unwrap().unwrap(), frame);
+        assert_eq!(b.recv().unwrap().unwrap(), frame);
+        let torn = b.recv().unwrap().unwrap();
+        assert!(crate::codec::Frame::new_checked(torn.as_slice()).is_err());
+        f.revive();
+        f.send(&frame).unwrap();
+        assert_eq!(b.recv().unwrap().unwrap(), frame);
     }
 }

@@ -59,10 +59,16 @@ pub struct MicroflowEntry {
 }
 
 /// An exact-match five-tuple table.
+///
+/// When capacity-bounded and full, installing a new tuple evicts the
+/// entry whose idle deadline is soonest (the flow closest to expiring
+/// anyway) rather than failing — a handoff burst at a crowded station
+/// must not drop the moving UE's flows. Evictions are counted.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct MicroflowTable {
     entries: HashMap<FiveTuple, MicroflowEntry>,
     capacity: Option<usize>,
+    evictions: u64,
 }
 
 impl MicroflowTable {
@@ -90,7 +96,9 @@ impl MicroflowTable {
         self.entries.is_empty()
     }
 
-    /// Installs (or replaces) the entry for a five-tuple.
+    /// Installs (or replaces) the entry for a five-tuple. A full bounded
+    /// table evicts its idle-soonest entry to make room (see the type
+    /// docs); only a zero-capacity table can still fail.
     pub fn install(
         &mut self,
         tuple: FiveTuple,
@@ -99,9 +107,29 @@ impl MicroflowTable {
     ) -> Result<()> {
         if let Some(cap) = self.capacity {
             if self.entries.len() >= cap && !self.entries.contains_key(&tuple) {
-                return Err(Error::Exhausted(format!(
-                    "microflow table full ({cap} entries)"
-                )));
+                let victim = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(t, e)| {
+                        // deterministic tie-break on the tuple itself so
+                        // replayed simulations evict identically
+                        (
+                            e.idle_deadline,
+                            t.src,
+                            t.dst,
+                            t.src_port,
+                            t.dst_port,
+                            t.proto.number(),
+                        )
+                    })
+                    .map(|(t, _)| *t);
+                let Some(victim) = victim else {
+                    return Err(Error::Exhausted(format!(
+                        "microflow table full ({cap} entries)"
+                    )));
+                };
+                self.entries.remove(&victim);
+                self.evictions += 1;
             }
         }
         self.entries.insert(
@@ -113,6 +141,11 @@ impl MicroflowTable {
             },
         );
         Ok(())
+    }
+
+    /// Entries evicted to make room since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Looks up a packet's five-tuple, bumping counters and refreshing the
@@ -223,11 +256,30 @@ mod tests {
     fn capacity_enforced_but_replace_allowed() {
         let mut t = MicroflowTable::with_capacity(1);
         t.install(tuple(1), act(), SimTime::ZERO).unwrap();
-        assert!(t.install(tuple(2), act(), SimTime::ZERO).is_err());
-        // replacing the existing tuple is not a growth
+        // replacing the existing tuple is not a growth and evicts nothing
         t.install(tuple(1), MicroflowAction::Drop, SimTime::ZERO)
             .unwrap();
         assert_eq!(t.peek(&tuple(1)).unwrap().action, MicroflowAction::Drop);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.evictions(), 0);
+    }
+
+    #[test]
+    fn full_table_evicts_idle_soonest_entry() {
+        let mut t = MicroflowTable::with_capacity(2);
+        t.install(tuple(1), act(), SimTime::from_secs(30)).unwrap();
+        t.install(tuple(2), act(), SimTime::from_secs(10)).unwrap();
+        assert_eq!(t.evictions(), 0);
+        // full: the new entry displaces tuple(2), whose deadline is soonest
+        t.install(tuple(3), act(), SimTime::from_secs(60)).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.evictions(), 1);
+        assert!(t.peek(&tuple(2)).is_none(), "idle-soonest entry evicted");
+        assert!(t.peek(&tuple(1)).is_some());
+        assert!(t.peek(&tuple(3)).is_some());
+        // a zero-capacity table still refuses outright
+        let mut z = MicroflowTable::with_capacity(0);
+        assert!(z.install(tuple(9), act(), SimTime::ZERO).is_err());
     }
 
     #[test]

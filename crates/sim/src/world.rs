@@ -981,6 +981,103 @@ mod tests {
     }
 
     #[test]
+    fn handoff_chain_releases_reserved_locations_exactly_once() {
+        // A → B → C → A with a live flow: every vacated location stays
+        // reserved while the transition lives, is released exactly once
+        // on expiry, and is immediately reusable by another UE.
+        let topo = small_topology();
+        let mut w = world(&topo);
+        w.attach(UeImsi(0), BaseStationId(0)).unwrap();
+        let c = w
+            .start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp)
+            .unwrap();
+        w.round_trip(c).unwrap();
+        for bs in [1u32, 2, 0] {
+            w.handoff(UeImsi(0), BaseStationId(bs)).unwrap();
+            w.round_trip(c).unwrap();
+        }
+        // stations 1 and 2 were vacated mid-chain; the home slot at 0 is
+        // live again (the UE returned), so exactly two reservations hold
+        assert_eq!(w.controller.state().reserved_count(), 2);
+        assert!(!w
+            .controller
+            .state()
+            .location_available(BaseStationId(1), UeId(0), UeImsi(1)));
+
+        w.advance(SimDuration::from_secs(1_000));
+        let now = w.now();
+        assert_eq!(w.controller.mobility().transitions_active(), 1);
+        // the home transition's rules were already torn down mid-chain
+        // (each handoff supersedes the previous transition), so expiry
+        // may produce no ops — its job here is releasing reservations
+        let ops = w.controller.expire_transitions(now);
+        w.net.apply_all(&ops).unwrap();
+        assert_eq!(w.controller.mobility().transitions_active(), 0);
+        assert_eq!(w.controller.state().reserved_count(), 0, "released once");
+
+        // released exactly once: a second expiry pass finds nothing
+        assert!(w.controller.expire_transitions(now).is_empty());
+        assert_eq!(w.controller.state().reserved_count(), 0);
+
+        // re-attach at a released location succeeds: the exact slot the
+        // UE vacated at station 2 is available to a new subscriber
+        assert!(w
+            .controller
+            .state()
+            .location_available(BaseStationId(2), UeId(0), UeImsi(2)));
+        w.controller
+            .attach_ue(UeImsi(2), BaseStationId(2), UeId(0), now)
+            .unwrap();
+        // and an agent-driven attach at the other released station works
+        w.attach(UeImsi(1), BaseStationId(1)).unwrap();
+        let c1 = w
+            .start_connection(UeImsi(1), SERVER, 443, Protocol::Tcp)
+            .unwrap();
+        w.round_trip(c1).unwrap();
+        w.assert_policy_consistency().unwrap();
+    }
+
+    #[test]
+    fn handoff_into_full_microflow_table_evicts_instead_of_failing() {
+        let topo = small_topology();
+        let mut w = world(&topo);
+        w.attach(UeImsi(0), BaseStationId(0)).unwrap();
+        let c = w
+            .start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp)
+            .unwrap();
+        w.round_trip(c).unwrap();
+
+        // cram the destination access switch: capacity 2, both slots
+        // taken by idle filler entries expiring soon
+        let dest_access = topo.base_station(BaseStationId(3)).access_switch;
+        let mut full = softcell_dataplane::MicroflowTable::with_capacity(2);
+        for port in [1u16, 2] {
+            full.install(
+                FiveTuple {
+                    src: Ipv4Addr::new(100, 64, 0, 200),
+                    dst: SERVER,
+                    src_port: port,
+                    dst_port: 80,
+                    proto: Protocol::Tcp,
+                },
+                softcell_dataplane::MicroflowAction::Drop,
+                w.now() + SimDuration::from_secs(1),
+            )
+            .unwrap();
+        }
+        w.net.switch_mut(dest_access).microflow = full;
+
+        // the handoff copies the moving UE's uplink + downlink entries;
+        // the idle-soonest fillers give way instead of Exhausted
+        w.handoff(UeImsi(0), BaseStationId(3)).unwrap();
+        let table = &w.net.switch(dest_access).microflow;
+        assert_eq!(table.evictions(), 2, "both fillers evicted");
+        assert_eq!(table.len(), 2);
+        w.round_trip(c).unwrap();
+        w.assert_policy_consistency().unwrap();
+    }
+
+    #[test]
     fn detach_then_flow_fails() {
         let topo = small_topology();
         let mut w = world(&topo);

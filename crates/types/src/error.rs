@@ -31,6 +31,18 @@ pub enum Error {
     /// No feasible path satisfies the request (paper §7, on-path
     /// middleboxes: "the policy path request will be denied").
     NoPath(String),
+    /// A deadline elapsed before the operation completed. Unlike the
+    /// other variants this one is *retryable*: the control channel's
+    /// retry machinery keys off [`Error::is_timeout`].
+    Timeout(String),
+}
+
+impl Error {
+    /// Whether this error is a deadline expiry — the only error class a
+    /// control-channel client may retry under the same transaction id.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, Error::Timeout(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -44,6 +56,7 @@ impl fmt::Display for Error {
             Error::InvalidState(m) => write!(f, "invalid state: {m}"),
             Error::Malformed(m) => write!(f, "malformed packet: {m}"),
             Error::NoPath(m) => write!(f, "no feasible path: {m}"),
+            Error::Timeout(m) => write!(f, "deadline exceeded: {m}"),
         }
     }
 }

@@ -10,6 +10,12 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+# Fault-injection churn (fixed seed, so deterministic) under a hard
+# wall-clock cap: a retry/reconnect regression shows up as a hang, and
+# the timeout turns that hang into a failure instead of a stuck CI job.
+echo "==> fault-injection churn (120 s cap)"
+timeout 120 cargo test -q --release --test fault_churn
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -14,6 +14,7 @@
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct State<T> {
         queue: VecDeque<T>,
@@ -75,6 +76,33 @@ pub mod channel {
         Empty,
         /// Channel empty and all senders gone.
         Disconnected,
+    }
+
+    /// `recv_timeout` failure modes.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived before the deadline.
+        Timeout,
+        /// Channel empty and all senders gone.
+        Disconnected,
+    }
+
+    /// `send_timeout` failure modes; both return the unsent message.
+    #[derive(PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// Bounded channel stayed full past the deadline.
+        Timeout(T),
+        /// All receivers gone.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => write!(f, "Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
     }
 
     /// `try_send` failure modes.
@@ -148,6 +176,40 @@ pub mod channel {
             Ok(())
         }
 
+        /// Sends, blocking at most `timeout` while a bounded channel is
+        /// full. Fails with `Timeout` if no slot freed in time, or
+        /// `Disconnected` once every receiver has been dropped.
+        pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                match self.chan.cap {
+                    Some(cap) if state.queue.len() >= cap => {
+                        let left = deadline.saturating_duration_since(Instant::now());
+                        if left.is_zero() {
+                            return Err(SendTimeoutError::Timeout(msg));
+                        }
+                        let (guard, res) = self.chan.not_full.wait_timeout(state, left).unwrap();
+                        state = guard;
+                        if res.timed_out()
+                            && self.chan.cap.is_some_and(|c| state.queue.len() >= c)
+                            && state.receivers > 0
+                        {
+                            return Err(SendTimeoutError::Timeout(msg));
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
         /// Non-blocking send.
         pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
             let mut state = self.chan.state.lock().unwrap();
@@ -191,6 +253,33 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 state = self.chan.not_empty.wait(state).unwrap();
+            }
+        }
+
+        /// Receives, blocking at most `timeout` while empty. Fails with
+        /// `Timeout` if nothing arrived in time, or `Disconnected` when
+        /// the channel is empty and every sender has been dropped.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    drop(state);
+                    self.chan.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self.chan.not_empty.wait_timeout(state, left).unwrap();
+                state = guard;
+                if res.timed_out() && state.queue.is_empty() && state.senders > 0 {
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
 
@@ -265,7 +354,11 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{bounded, unbounded, RecvError, TryRecvError, TrySendError};
+    use super::channel::{
+        bounded, unbounded, RecvError, RecvTimeoutError, SendTimeoutError, TryRecvError,
+        TrySendError,
+    };
+    use std::time::Duration;
 
     #[test]
     fn unbounded_round_trip_multi_consumer() {
@@ -311,5 +404,38 @@ mod tests {
         assert_eq!(rx.recv(), Ok(2));
         assert_eq!(rx.recv(), Ok(3));
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn send_timeout_times_out_when_full() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        assert!(matches!(
+            tx.send_timeout(2, Duration::from_millis(10)),
+            Err(SendTimeoutError::Timeout(2))
+        ));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.send_timeout(2, Duration::from_millis(10)).unwrap();
+        drop(rx);
+        assert!(matches!(
+            tx.send_timeout(3, Duration::from_millis(10)),
+            Err(SendTimeoutError::Disconnected(3))
+        ));
     }
 }

@@ -28,6 +28,7 @@
 //! | [`topology`] | `softcell-topology` | graph model + synthetic cellular topologies |
 //! | [`dataplane`] | `softcell-dataplane` | multi-table switch model with TCAM semantics |
 //! | [`policy`] | `softcell-policy` | service-policy language and classifier compiler |
+//! | [`ctlchan`] | `softcell-ctlchan` | southbound control channel: framing, transports, fault injection |
 //! | [`controller`] | `softcell-controller` | central controller, Algorithm 1, local agents, mobility, failover |
 //! | [`workload`] | `softcell-workload` | synthetic LTE workload calibrated to the paper's traces |
 //! | [`sim`] | `softcell-sim` | end-to-end event simulator and baselines |
@@ -41,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 pub use softcell_controller as controller;
+pub use softcell_ctlchan as ctlchan;
 pub use softcell_dataplane as dataplane;
 pub use softcell_packet as packet;
 pub use softcell_policy as policy;
