@@ -24,7 +24,22 @@
 //!   by the controller's southbound front-end; both directions pay the
 //!   full encode/decode cost on top of the same simulated RTT.
 //!
-//! Usage: `tab2_agent_throughput [--quick] [--transport inproc|wire] [--json PATH]`
+//! A third mode benchmarks the *controller* side instead of the agent:
+//!
+//! * `--shards N` — packet-in throughput of the sharded worker pool
+//!   ([`ControllerServer::start_sharded`]) swept over shard counts
+//!   1, 2, 4, … up to N. Sixteen concurrent agents flood attach/detach
+//!   packet-ins through the [`RequestRouter`]; every attach blocks its
+//!   domain worker on a simulated 200 µs switch install fence (the
+//!   classifier landing at the access station), so the measured scaling
+//!   is the concurrency a sharded control plane buys when its
+//!   bottleneck is fabric round trips — the deployment regime — rather
+//!   than raw CPU. `--min-speedup X` turns the run into a smoke check:
+//!   exit nonzero unless the largest shard count reaches `X×` the
+//!   single-shard rate.
+//!
+//! Usage: `tab2_agent_throughput [--quick] [--transport inproc|wire]
+//!          [--shards N [--min-speedup X]] [--json PATH]`
 
 use std::net::Ipv4Addr;
 use std::time::{Duration, Instant};
@@ -246,6 +261,187 @@ fn transport_arg(args: &[String]) -> String {
     }
 }
 
+/// `--shards N`: run the sharded packet-in throughput sweep instead.
+fn shards_arg(args: &[String]) -> Option<usize> {
+    let i = args.iter().position(|a| a == "--shards")?;
+    Some(
+        args.get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                eprintln!("--shards needs a positive integer");
+                std::process::exit(2);
+            }),
+    )
+}
+
+/// `--min-speedup X`: fail unless max-shards reaches X× single-shard.
+fn min_speedup_arg(args: &[String]) -> Option<f64> {
+    let i = args.iter().position(|a| a == "--min-speedup")?;
+    Some(
+        args.get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--min-speedup needs a number");
+                std::process::exit(2);
+            }),
+    )
+}
+
+#[derive(Serialize, Clone)]
+struct ShardRow {
+    shards: usize,
+    requests: u64,
+    seconds: f64,
+    requests_per_sec: f64,
+    speedup_vs_one: f64,
+}
+
+#[derive(Serialize)]
+struct ShardOutput {
+    experiment: String,
+    clients: usize,
+    install_fence_us: u64,
+    rows: Vec<ShardRow>,
+}
+
+/// Flood the sharded pool with attach/detach packet-ins from `CLIENTS`
+/// concurrent agents for `duration`; returns (requests, seconds).
+fn measure_shards(shards: usize, duration: Duration) -> (u64, f64) {
+    const CLIENTS: usize = 16;
+    const UES_PER_CLIENT: u64 = 64;
+    const FENCE: Duration = Duration::from_micros(200);
+
+    let subscribers: Vec<SubscriberAttributes> = (0..CLIENTS as u64 * UES_PER_CLIENT)
+        .map(|i| SubscriberAttributes::default_home(UeImsi(i)))
+        .collect();
+    let server =
+        ControllerServer::start_sharded(ServicePolicy::example_carrier_a(1), subscribers, shards)
+            .expect("sharded server");
+    server.set_install_latency(FENCE);
+    let router = server.router();
+
+    let start = Instant::now();
+    let totals: Vec<std::thread::JoinHandle<u64>> = (0..CLIENTS)
+        .map(|c| {
+            let router = router.clone();
+            std::thread::spawn(move || {
+                let (atx, arx) = bounded(1);
+                let (dtx, drx) = bounded(1);
+                let mut requests = 0u64;
+                let base = (c as u64) * UES_PER_CLIENT;
+                // a per-client xorshift picks the next UE: sequential
+                // picks would keep the clients in lockstep marching
+                // through the same shard together (shard keys of
+                // consecutive imsis cycle), hiding all cross-domain
+                // overlap
+                let mut rng: u64 = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1) | 1;
+                // each client churns its private UE population: attach
+                // (one blocking install at the station) then detach
+                while start.elapsed() < duration {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let imsi = UeImsi(base + rng % UES_PER_CLIENT);
+                    router
+                        .route(Request::Attach {
+                            imsi,
+                            bs: BaseStationId((imsi.0 % 31) as u32),
+                            ue_id: UeId(0),
+                            now: SimTime(requests),
+                            reply: atx.clone(),
+                        })
+                        .expect("route attach");
+                    arx.recv().expect("attach reply").expect("attach grant");
+                    requests += 1;
+                    router
+                        .route(Request::Detach {
+                            imsi,
+                            reply: dtx.clone(),
+                        })
+                        .expect("route detach");
+                    drx.recv().expect("detach reply").expect("detach record");
+                    requests += 1;
+                }
+                requests
+            })
+        })
+        .collect();
+    let requests: u64 = totals.into_iter().map(|t| t.join().expect("client")).sum();
+    let secs = start.elapsed().as_secs_f64();
+    server.shutdown();
+    (requests, secs)
+}
+
+fn run_shard_sweep(max_shards: usize, duration: Duration, args: &[String]) {
+    println!("Table 2 (sharded): controller packet-in throughput vs shard count");
+    println!("16 agents flood attach/detach; each attach fences a 200us switch install");
+    let mut counts = vec![1usize];
+    let mut n = 2;
+    while n < max_shards {
+        counts.push(n);
+        n *= 2;
+    }
+    if max_shards > 1 {
+        counts.push(max_shards);
+    }
+
+    let mut rows: Vec<ShardRow> = Vec::new();
+    for &shards in &counts {
+        let (requests, secs) = measure_shards(shards, duration);
+        let rate = requests as f64 / secs;
+        let speedup = if let Some(first) = rows.first() {
+            rate / first.requests_per_sec
+        } else {
+            1.0
+        };
+        rows.push(ShardRow {
+            shards,
+            requests,
+            seconds: secs,
+            requests_per_sec: rate,
+            speedup_vs_one: speedup,
+        });
+    }
+
+    let mut t = TextTable::new(&["shards", "requests", "secs", "req/s", "speedup"]);
+    for r in &rows {
+        t.row(&[
+            r.shards.to_string(),
+            r.requests.to_string(),
+            format!("{:.2}", r.seconds),
+            format!("{:.0}", r.requests_per_sec),
+            format!("{:.2}x", r.speedup_vs_one),
+        ]);
+    }
+    t.print();
+
+    maybe_dump_json(
+        args,
+        &ShardOutput {
+            experiment: "tab2_sharded".into(),
+            clients: 16,
+            install_fence_us: 200,
+            rows: rows.clone(),
+        },
+    );
+
+    if let Some(min) = min_speedup_arg(args) {
+        let last = rows.last().expect("at least one row");
+        if last.speedup_vs_one < min {
+            eprintln!(
+                "FAIL: {} shards reached {:.2}x single-shard throughput, need {:.2}x",
+                last.shards, last.speedup_vs_one, min
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "smoke ok: {} shards at {:.2}x single-shard throughput (>= {:.2}x)",
+            last.shards, last.speedup_vs_one, min
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let duration = if is_quick(&args) {
@@ -253,6 +449,10 @@ fn main() {
     } else {
         Duration::from_millis(1500)
     };
+    if let Some(max_shards) = shards_arg(&args) {
+        run_shard_sweep(max_shards, duration, &args);
+        return;
+    }
     let transport = transport_arg(&args);
 
     let subscribers: Vec<SubscriberAttributes> = (0..200)

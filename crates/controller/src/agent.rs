@@ -224,6 +224,17 @@ impl LocalAgent {
         self.tag_cache.remove(&clause);
     }
 
+    /// Reserves the next local UE id this agent would hand out —
+    /// exposed for handoff drivers that must pick the arriving UE's id
+    /// with the same discipline as an attach (free-list LIFO, then the
+    /// next fresh id), and for the sharded controller's station-owner
+    /// mirror of that discipline. The id is allocated: pass it to
+    /// [`adopt`](Self::adopt) (which keeps it out of the free list) or
+    /// hand it back via a later detach.
+    pub fn reserve_ue_id(&mut self) -> Result<UeId> {
+        self.allocate_ue_id()
+    }
+
     fn allocate_ue_id(&mut self) -> Result<UeId> {
         if let Some(id) = self.free_ue_ids.pop() {
             return Ok(id);

@@ -216,8 +216,30 @@ impl<'t> CentralController<'t> {
 
     /// Drains the rule operations produced since the last drain. The
     /// simulator applies them to the physical switches.
+    ///
+    /// # Ordering invariant
+    ///
+    /// Ops come out in **insertion order**, and for any single switch
+    /// the drained stream preserves the order in which the controller
+    /// queued that switch's ops. This per-switch ordering is what the
+    /// batched installation path relies on: [`crate::ops::batch_by_switch`]
+    /// groups a drain into barrier-delimited per-switch batches, and a
+    /// barrier at each batch boundary is then *sufficient* for
+    /// consistency — dependent ops (an install superseding a remove, a
+    /// tunnel leg before its launch rule on the same switch) always
+    /// target the same switch and stay ordered inside its batch, while
+    /// ops for different switches touch disjoint state and never need a
+    /// cross-switch fence. `tests/drain_order.rs` holds the regression
+    /// test for this invariant.
     pub fn drain_ops(&mut self) -> Vec<RuleOp> {
         std::mem::take(&mut self.pending_ops)
+    }
+
+    /// Drains the pending ops as barrier-delimited per-switch batches
+    /// (see [`drain_ops`](Self::drain_ops) for the ordering invariant
+    /// making this safe).
+    pub fn drain_op_batches(&mut self) -> Vec<crate::ops::SwitchBatch> {
+        crate::ops::batch_by_switch(self.drain_ops())
     }
 
     /// Handles a UE attach reported by a local agent (which has already
@@ -229,7 +251,23 @@ impl<'t> CentralController<'t> {
         ue_id: UeId,
         now: SimTime,
     ) -> Result<AttachGrant> {
-        let record = self.state.attach(imsi, bs, ue_id, now)?;
+        self.attach_ue_with_ip(imsi, bs, ue_id, now, None)
+    }
+
+    /// [`attach_ue`](Self::attach_ue) with an externally allocated
+    /// permanent address (the sharded controller's per-shard address
+    /// ranges; `None` uses the state's own pool).
+    pub fn attach_ue_with_ip(
+        &mut self,
+        imsi: UeImsi,
+        bs: BaseStationId,
+        ue_id: UeId,
+        now: SimTime,
+        permanent_ip: Option<std::net::Ipv4Addr>,
+    ) -> Result<AttachGrant> {
+        let record = self
+            .state
+            .attach_with_ip(imsi, bs, ue_id, now, permanent_ip)?;
         let attrs = self.state.subscriber(imsi)?;
         let classifier = UeClassifier::compile(&self.state.policy, &self.apps, attrs);
         Ok(AttachGrant { record, classifier })

@@ -245,6 +245,16 @@ impl<'t> PathInstaller<'t> {
 
     /// Shadow deltas produced by the most recent `install_path` call, as
     /// `(switch, delta)` pairs in application order.
+    ///
+    /// **Order dependence.** Application order matters *per switch*: a
+    /// path's deltas at one switch may refine each other (a Type 2
+    /// tag-only default followed by a Type 1 override, a child prefix
+    /// merged into its parent), so replaying a switch's deltas out of
+    /// order reconstructs a different table. Deltas for *different*
+    /// switches are independent and may be applied in any interleaving —
+    /// which is exactly the freedom `ops::batch_by_switch` exploits when
+    /// the sharded controller ships per-switch, barrier-fenced batches
+    /// (see `tests/drain_order.rs` for the regression lock).
     pub fn last_deltas(&self) -> &[(SwitchId, ShadowDelta)] {
         &self.last_deltas
     }

@@ -32,6 +32,10 @@
 //! * [`failover`] — replicated control state and recovery: controller
 //!   replicas rebuild UE locations from agents; agents refetch from the
 //!   controller (§5.2).
+//! * [`sharded`] — the UE-partitioned controller core: N worker shards
+//!   over a ticket-sequenced shared path engine, cross-shard rendezvous
+//!   for handoffs, batched flow-mod emission; differentially verified
+//!   against the single-threaded controller (`tests/shard_oracle.rs`).
 //! * [`server`] — a threaded controller front-end processing
 //!   packet-in/classifier requests, used by the §6.2 micro-benchmarks.
 //! * [`wire`] — the southbound control channel front-end: serves
@@ -53,6 +57,7 @@ pub mod offline;
 pub mod ops;
 pub mod server;
 pub mod shadow;
+pub mod sharded;
 pub mod state;
 pub mod update;
 pub mod wire;
@@ -62,4 +67,5 @@ pub use core::{CentralController, ControllerConfig, InstanceSelection};
 pub use install::{InstallReport, PathInstaller, TagPolicy};
 pub use ops::{RuleOp, RuleSink};
 pub use shadow::{Entry, NextHop, ShadowSwitch, ShadowTables};
+pub use sharded::{ShardEvent, ShardEventKind, ShardedController, ShardedRun, ShardedStats};
 pub use state::ControllerState;

@@ -37,6 +37,59 @@ pub enum RuleOp {
     },
 }
 
+impl RuleOp {
+    /// The switch this operation targets.
+    pub fn switch(&self) -> SwitchId {
+        match self {
+            RuleOp::Install { switch, .. } | RuleOp::Remove { switch, .. } => *switch,
+        }
+    }
+}
+
+/// A barrier-delimited batch of operations for one switch.
+///
+/// The sharded controller and the `flow_mod_batch` wire message group a
+/// drained op stream per target switch. Within one batch the ops keep
+/// their original relative order (the per-switch ordering invariant of
+/// [`crate::core::CentralController::drain_ops`]), and `barrier` marks
+/// the batch boundary: a switch must fully apply the batch before
+/// touching any op of a later batch. Because ops for *different*
+/// switches are never order-dependent (each op names exactly one
+/// switch, and switch state is disjoint), per-switch batches with
+/// barriers are sufficient for consistency — no cross-switch fence is
+/// needed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SwitchBatch {
+    /// The target switch.
+    pub switch: SwitchId,
+    /// The ops, in drain order.
+    pub ops: Vec<RuleOp>,
+    /// Whether the batch ends with a barrier (always true for batches
+    /// built by [`batch_by_switch`]; the field exists so a future
+    /// streaming path can split one logical batch across messages).
+    pub barrier: bool,
+}
+
+/// Groups a drained op stream into per-switch batches, preserving each
+/// switch's relative op order. Batch order follows each switch's first
+/// appearance in the stream, so replaying batches in sequence applies
+/// every per-switch subsequence exactly as drained.
+pub fn batch_by_switch(ops: Vec<RuleOp>) -> Vec<SwitchBatch> {
+    let mut batches: Vec<SwitchBatch> = Vec::new();
+    for op in ops {
+        let sw = op.switch();
+        match batches.iter_mut().find(|b| b.switch == sw) {
+            Some(b) => b.ops.push(op),
+            None => batches.push(SwitchBatch {
+                switch: sw,
+                ops: vec![op],
+                barrier: true,
+            }),
+        }
+    }
+    batches
+}
+
 /// Receives the controller's rule operations.
 pub trait RuleSink {
     /// Applies one operation.
@@ -340,6 +393,27 @@ mod tests {
         sink.apply(op);
         assert_eq!(sink.0.len(), 1);
         assert_eq!(sink.0[0], op);
+    }
+
+    #[test]
+    fn batching_preserves_per_switch_order() {
+        let rm = |sw: u32| RuleOp::Remove {
+            switch: SwitchId(sw),
+            matcher: Match::ANY,
+        };
+        let inst = |sw: u32, prio: u16| RuleOp::Install {
+            switch: SwitchId(sw),
+            priority: prio,
+            matcher: Match::ANY,
+            action: Action::Drop,
+        };
+        let ops = vec![inst(2, 1), inst(1, 1), rm(2), inst(2, 2), rm(1)];
+        let batches = batch_by_switch(ops);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].switch, SwitchId(2), "first-appearance order");
+        assert_eq!(batches[0].ops, vec![inst(2, 1), rm(2), inst(2, 2)]);
+        assert_eq!(batches[1].ops, vec![inst(1, 1), rm(1)]);
+        assert!(batches.iter().all(|b| b.barrier));
     }
 
     #[test]

@@ -7,7 +7,22 @@
 //! analogue: a worker pool over a crossbeam channel computing per-UE
 //! classifiers (attach handling) and policy-tag answers (path requests)
 //! against shared, mostly-read state.
+//!
+//! Two pool shapes are supported:
+//!
+//! * **Classic** ([`ControllerServer::start`]): one request queue fanned
+//!   out to M workers sharing all mutable state (the path map behind a
+//!   mutex, permanent addresses from an atomic counter).
+//! * **Sharded** ([`ControllerServer::start_sharded`]): N single-worker
+//!   domains, one queue each. The [`RequestRouter`] sends every request
+//!   to the domain owning its key — UE-scoped requests by
+//!   [`shard_of_ue`], station-scoped ones by [`shard_of_station`] — so
+//!   each domain's path map needs no lock at all, and the finite
+//!   identifier spaces (policy tags, permanent addresses) are split into
+//!   per-domain [`ShardRange`]s over shared [`RangePool`]s, with
+//!   exhausted domains stealing ranges other domains spilled.
 
+use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -17,13 +32,34 @@ use parking_lot::{Mutex, RwLock};
 
 use softcell_policy::clause::ClauseId;
 use softcell_policy::{AppClassifier, ServicePolicy, SubscriberAttributes, UeClassifier};
-use softcell_types::{BaseStationId, Error, PolicyTag, Result, UeImsi};
+use softcell_types::{
+    shard_of_station, shard_of_ue, BaseStationId, Error, PolicyTag, RangePool, Result, ShardRange,
+    SimTime, UeId, UeImsi,
+};
+
+use crate::core::AttachGrant;
+use crate::state::UeRecord;
 
 /// Default request-queue depth. Bounded so a flood of packet-in events
 /// exerts backpressure on agents instead of growing controller memory
 /// without limit (the paper's Cbench setup saturates the controller the
 /// same way).
 pub const DEFAULT_QUEUE_DEPTH: usize = 4096;
+
+/// Base of the permanent-address pool wire attaches allocate from
+/// (100.64.0.0/10, matching [`crate::core::ControllerConfig::simulation`]).
+pub(crate) const PERMANENT_POOL_BASE: u32 = 0x6440_0000;
+
+/// Size of the permanent-address offset space a sharded server splits
+/// into per-domain ranges.
+const PERMANENT_SPACE: u32 = 1 << 20;
+
+/// Size of the policy-tag space (mirrors the classic pool's `% 1024`).
+const TAG_SPACE: u32 = 1024;
+
+/// Identifier block handed to a domain at a time; small enough that the
+/// stealing path is exercised under modest churn.
+const RANGE_BLOCK: u32 = 64;
 
 /// A request from a local agent.
 pub enum Request {
@@ -37,6 +73,29 @@ pub enum Request {
         /// Where to send the answer.
         reply: Sender<Result<UeClassifier>>,
     },
+    /// A UE attached over the wire: allocate (or keep) its permanent
+    /// address, record its location and return the full grant.
+    Attach {
+        /// The subscriber.
+        imsi: UeImsi,
+        /// The station it attached at.
+        bs: BaseStationId,
+        /// Its station-local id.
+        ue_id: UeId,
+        /// Attach time.
+        now: SimTime,
+        /// Where to send the answer.
+        reply: Sender<Result<AttachGrant>>,
+    },
+    /// A UE detached over the wire: drop its record (returning it) and,
+    /// in sharded mode, release its permanent address to the owning
+    /// domain's range.
+    Detach {
+        /// The subscriber.
+        imsi: UeImsi,
+        /// Where to send the answer.
+        reply: Sender<Result<UeRecord>>,
+    },
     /// A tag-cache miss: return (installing if needed) the policy tag of
     /// a (base station, clause) path.
     PathTag {
@@ -47,6 +106,53 @@ pub enum Request {
         /// Where to send the answer.
         reply: Sender<Result<PolicyTag>>,
     },
+}
+
+/// Routes requests to the domain owning their key: UE-scoped requests
+/// ([`Request::Classifier`], [`Request::Attach`], [`Request::Detach`])
+/// by [`shard_of_ue`], station-scoped ones ([`Request::PathTag`]) by
+/// [`shard_of_station`]. Over a classic server (one queue) every request
+/// lands on the single queue, so callers can use the router uniformly.
+#[derive(Clone)]
+pub struct RequestRouter {
+    txs: Arc<[Sender<Request>]>,
+}
+
+impl RequestRouter {
+    /// Number of domains this router spreads requests over.
+    pub fn domains(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// The domain a request belongs to.
+    pub fn shard_of(&self, req: &Request) -> usize {
+        let n = self.txs.len();
+        match req {
+            Request::Shutdown => 0,
+            Request::Classifier { imsi, .. }
+            | Request::Attach { imsi, .. }
+            | Request::Detach { imsi, .. } => shard_of_ue(*imsi, n),
+            Request::PathTag { bs, .. } => shard_of_station(*bs, n),
+        }
+    }
+
+    /// Sends a request to its owning domain (blocking on a full queue,
+    /// like the classic handle).
+    pub fn route(&self, req: Request) -> Result<()> {
+        let i = self.shard_of(&req);
+        self.txs[i]
+            .send(req)
+            .map_err(|_| Error::InvalidState("controller worker pool gone".into()))
+    }
+}
+
+/// One sharded domain's private state: its path map (no lock — routing
+/// guarantees single ownership of every (bs, clause) key) and its slices
+/// of the shared tag and permanent-address spaces.
+struct Domain {
+    paths: std::collections::HashMap<(BaseStationId, ClauseId), PolicyTag>,
+    tags: ShardRange,
+    permanent: ShardRange,
 }
 
 /// Shared controller state behind the worker pool.
@@ -71,13 +177,36 @@ pub(crate) struct Shared {
     /// frame, version mismatch, transport failure) rather than a clean
     /// peer close.
     pub(crate) connection_errors: AtomicU64,
+    /// Ticket counter stamped onto `flow_mod_batch` replies in sharded
+    /// mode ([`crate::wire`]).
+    pub(crate) batch_seq: AtomicU64,
+    /// Simulated southbound install fence, in microseconds (benchmark
+    /// knob, default 0). When set, a worker blocks this long wherever
+    /// the real controller would wait for a switch to ack a rule
+    /// install: per attach (the UE classifier lands at its access
+    /// station) and per path-tag miss (the path's rules land in the
+    /// fabric). Domains overlap these waits — the scaling a sharded
+    /// control plane buys when its bottleneck is fabric round trips,
+    /// not CPU.
+    install_latency_us: AtomicU64,
 }
 
-/// A running worker pool.
+impl Shared {
+    fn install_fence(&self) {
+        let us = self.install_latency_us.load(Ordering::Relaxed);
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+    }
+}
+
+/// A running worker pool — classic (one queue, M workers) or sharded
+/// (N single-worker domains).
 pub struct ControllerServer {
-    tx: Sender<Request>,
+    txs: Arc<[Sender<Request>]>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
+    sharded: bool,
 }
 
 impl ControllerServer {
@@ -106,7 +235,67 @@ impl ControllerServer {
         if depth == 0 {
             return Err(Error::Config("request queue needs depth >= 1".into()));
         }
-        let shared = Arc::new(Shared {
+        let shared = Self::new_shared(policy, subscribers);
+        let (tx, rx) = bounded::<Request>(depth);
+        let workers = (0..threads)
+            .map(|_| {
+                let rx: Receiver<Request> = rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(rx, shared, None))
+            })
+            .collect();
+        Ok(ControllerServer {
+            txs: Arc::from(vec![tx]),
+            workers,
+            shared,
+            sharded: false,
+        })
+    }
+
+    /// Starts a sharded pool: `shards` single-worker domains, one
+    /// request queue each, with per-domain path maps and per-domain
+    /// ranges of the tag and permanent-address spaces. Requests must be
+    /// submitted through the [`RequestRouter`] ([`Self::router`]) so
+    /// every key reaches its owning domain.
+    pub fn start_sharded(
+        policy: ServicePolicy,
+        subscribers: impl IntoIterator<Item = SubscriberAttributes>,
+        shards: usize,
+    ) -> Result<ControllerServer> {
+        if shards == 0 {
+            return Err(Error::Config("server needs at least one shard".into()));
+        }
+        let shared = Self::new_shared(policy, subscribers);
+        let tag_pool = RangePool::new(TAG_SPACE, RANGE_BLOCK);
+        let perm_pool = RangePool::new(PERMANENT_SPACE, RANGE_BLOCK);
+        let mut txs = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = bounded::<Request>(DEFAULT_QUEUE_DEPTH);
+            let shared = Arc::clone(&shared);
+            let domain = Domain {
+                paths: std::collections::HashMap::new(),
+                tags: ShardRange::new(Arc::clone(&tag_pool)),
+                permanent: ShardRange::new(Arc::clone(&perm_pool)),
+            };
+            txs.push(tx);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(rx, shared, Some(domain))
+            }));
+        }
+        Ok(ControllerServer {
+            txs: Arc::from(txs),
+            workers,
+            shared,
+            sharded: true,
+        })
+    }
+
+    fn new_shared(
+        policy: ServicePolicy,
+        subscribers: impl IntoIterator<Item = SubscriberAttributes>,
+    ) -> Arc<Shared> {
+        Arc::new(Shared {
             policy: RwLock::new(policy),
             apps: AppClassifier::default(),
             subscribers: RwLock::new(subscribers.into_iter().map(|a| (a.imsi, a)).collect()),
@@ -118,26 +307,44 @@ impl ControllerServer {
             active_connections: AtomicU64::new(0),
             disconnects: AtomicU64::new(0),
             connection_errors: AtomicU64::new(0),
-        });
-        let (tx, rx) = bounded::<Request>(depth);
-        let workers = (0..threads)
-            .map(|_| {
-                let rx: Receiver<Request> = rx.clone();
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(rx, shared))
-            })
-            .collect();
-        Ok(ControllerServer {
-            tx,
-            workers,
-            shared,
+            batch_seq: AtomicU64::new(0),
+            install_latency_us: AtomicU64::new(0),
         })
     }
 
+    /// Sets the simulated per-install switch round trip the workers
+    /// block on (benchmark knob; zero disables, the default).
+    pub fn set_install_latency(&self, d: std::time::Duration) {
+        self.shared
+            .install_latency_us
+            .store(d.as_micros() as u64, Ordering::Relaxed);
+    }
+
     /// A handle for submitting requests (cloneable across client
-    /// threads).
+    /// threads). On a sharded server this reaches only domain 0 — use
+    /// [`Self::router`] instead.
     pub fn handle(&self) -> Sender<Request> {
-        self.tx.clone()
+        self.txs[0].clone()
+    }
+
+    /// A router sending each request to its owning domain. Over a
+    /// classic server the router degenerates to the single queue, so
+    /// front-ends can use it unconditionally.
+    pub fn router(&self) -> RequestRouter {
+        RequestRouter {
+            txs: Arc::clone(&self.txs),
+        }
+    }
+
+    /// Whether this server runs in sharded mode (and thus answers path
+    /// requests with `flow_mod_batch` messages over the wire).
+    pub fn is_sharded(&self) -> bool {
+        self.sharded
+    }
+
+    /// Number of domains (sharded) or 1 (classic).
+    pub fn domains(&self) -> usize {
+        self.txs.len()
     }
 
     /// The shared state, for the wire front-end ([`crate::wire`]).
@@ -172,52 +379,145 @@ impl ControllerServer {
     }
 
     /// Stops the workers and waits for them. Robust against outstanding
-    /// cloned handles: one shutdown sentinel is sent per worker.
+    /// cloned handles: one shutdown sentinel is sent per worker (classic
+    /// workers share one queue; sharded domains get one each).
     pub fn shutdown(self) {
-        for _ in 0..self.workers.len() {
-            let _ = self.tx.send(Request::Shutdown);
+        if self.txs.len() == 1 {
+            for _ in 0..self.workers.len() {
+                let _ = self.txs[0].send(Request::Shutdown);
+            }
+        } else {
+            for tx in self.txs.iter() {
+                let _ = tx.send(Request::Shutdown);
+            }
         }
-        drop(self.tx);
+        drop(self.txs);
         for w in self.workers {
             let _ = w.join();
         }
     }
 }
 
-fn worker_loop(rx: Receiver<Request>, shared: Arc<Shared>) {
+fn compile_classifier(shared: &Shared, imsi: UeImsi) -> Result<UeClassifier> {
+    let subs = shared.subscribers.read();
+    let attrs = subs
+        .get(&imsi)
+        .ok_or_else(|| Error::NotFound(format!("unknown subscriber {imsi}")))?;
+    let policy = shared.policy.read();
+    Ok(UeClassifier::compile(&policy, &shared.apps, attrs))
+}
+
+fn worker_loop(rx: Receiver<Request>, shared: Arc<Shared>, mut domain: Option<Domain>) {
     while let Ok(req) = rx.recv() {
         match req {
             Request::Shutdown => return,
             Request::Classifier { imsi, reply } => {
-                let out = (|| {
-                    let subs = shared.subscribers.read();
-                    let attrs = subs
-                        .get(&imsi)
-                        .ok_or_else(|| Error::NotFound(format!("unknown subscriber {imsi}")))?;
-                    let policy = shared.policy.read();
-                    Ok(UeClassifier::compile(&policy, &shared.apps, attrs))
-                })();
+                let out = compile_classifier(&shared, imsi);
                 // count before replying so a client that has its answer
                 // never observes a stale served() total
                 shared.served.fetch_add(1, Ordering::Relaxed);
                 let _ = reply.send(out);
             }
-            Request::PathTag { bs, clause, reply } => {
+            Request::Attach {
+                imsi,
+                bs,
+                ue_id,
+                now,
+                reply,
+            } => {
                 let out = (|| {
-                    let mut paths = shared.paths.lock();
-                    if let Some(t) = paths.get(&(bs, clause)) {
-                        return Ok(*t);
-                    }
-                    // Path installation stand-in: allocate a tag and
-                    // record the path. (The full Algorithm 1 runs in the
-                    // single-threaded controller; this server measures
-                    // control-plane request throughput, where the paper's
-                    // bottleneck is the request fan-in, not the argmin.)
-                    let t =
-                        PolicyTag((shared.next_tag.fetch_add(1, Ordering::Relaxed) % 1024) as u16);
-                    paths.insert((bs, clause), t);
-                    Ok(t)
+                    let classifier = compile_classifier(&shared, imsi)?;
+                    let mut ues = shared.ues.lock();
+                    // permanent addresses never change (§3.1): a
+                    // re-attach keeps the one first assigned
+                    let permanent_ip = match ues.get(&imsi) {
+                        Some(r) => r.permanent_ip,
+                        None => match domain.as_mut() {
+                            // sharded: draw from this domain's range —
+                            // routing by imsi guarantees the matching
+                            // detach releases to the same range
+                            Some(d) => {
+                                let off = d.permanent.allocate().ok_or_else(|| {
+                                    Error::Exhausted("permanent-address space".into())
+                                })?;
+                                Ipv4Addr::from(PERMANENT_POOL_BASE + 1 + off)
+                            }
+                            // classic: a shared monotone counter
+                            None => {
+                                let n = shared.next_permanent.fetch_add(1, Ordering::Relaxed) + 1;
+                                Ipv4Addr::from(PERMANENT_POOL_BASE + n)
+                            }
+                        },
+                    };
+                    let record = UeRecord {
+                        imsi,
+                        permanent_ip,
+                        bs,
+                        ue_id,
+                        since: now,
+                    };
+                    ues.insert(imsi, record);
+                    drop(ues);
+                    // the classifier install at the access station fences
+                    shared.install_fence();
+                    Ok(AttachGrant { record, classifier })
                 })();
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(out);
+            }
+            Request::Detach { imsi, reply } => {
+                let out = shared
+                    .ues
+                    .lock()
+                    .remove(&imsi)
+                    .ok_or_else(|| Error::NotFound(format!("{imsi} not attached")));
+                if let (Ok(record), Some(d)) = (&out, domain.as_mut()) {
+                    let off = u32::from(record.permanent_ip) - PERMANENT_POOL_BASE - 1;
+                    d.permanent.release(off);
+                }
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(out);
+            }
+            Request::PathTag { bs, clause, reply } => {
+                let out = match domain.as_mut() {
+                    // sharded: this domain owns every (bs, clause) it is
+                    // ever asked about, so its map needs no lock and the
+                    // tag comes from its private range
+                    Some(d) => match d.paths.get(&(bs, clause)) {
+                        Some(t) => Ok(*t),
+                        None => d
+                            .tags
+                            .allocate()
+                            .map(|v| {
+                                let t = PolicyTag(v as u16);
+                                d.paths.insert((bs, clause), t);
+                                // the path's fabric rules fence
+                                shared.install_fence();
+                                t
+                            })
+                            .ok_or_else(|| Error::Exhausted("policy-tag space".into())),
+                    },
+                    None => {
+                        let mut paths = shared.paths.lock();
+                        if let Some(t) = paths.get(&(bs, clause)) {
+                            Ok(*t)
+                        } else {
+                            // Path installation stand-in: allocate a tag
+                            // and record the path. (The full Algorithm 1
+                            // runs in the single-threaded controller;
+                            // this server measures control-plane request
+                            // throughput, where the paper's bottleneck is
+                            // the request fan-in, not the argmin.)
+                            let t = PolicyTag(
+                                (shared.next_tag.fetch_add(1, Ordering::Relaxed)
+                                    % u64::from(TAG_SPACE)) as u16,
+                            );
+                            paths.insert((bs, clause), t);
+                            shared.install_fence();
+                            Ok(t)
+                        }
+                    }
+                };
                 shared.served.fetch_add(1, Ordering::Relaxed);
                 let _ = reply.send(out);
             }
@@ -322,6 +622,170 @@ mod tests {
         }
         assert_eq!(server.served(), 1000);
         server.shutdown();
+    }
+
+    #[test]
+    fn sharded_server_routes_by_key_and_round_trips() {
+        let server = ControllerServer::start_sharded(
+            ServicePolicy::example_carrier_a(1),
+            subscribers(32),
+            4,
+        )
+        .unwrap();
+        assert!(server.is_sharded());
+        assert_eq!(server.domains(), 4);
+        let router = server.router();
+
+        // attach every subscriber through the router; addresses must be
+        // pairwise distinct even though four domains allocate them from
+        // private ranges
+        let (tx, rx) = bounded(1);
+        let mut ips = std::collections::HashSet::new();
+        for i in 0..32u64 {
+            router
+                .route(Request::Attach {
+                    imsi: UeImsi(i),
+                    bs: BaseStationId((i % 7) as u32),
+                    ue_id: softcell_types::UeId(0),
+                    now: SimTime::ZERO,
+                    reply: tx.clone(),
+                })
+                .unwrap();
+            let grant = rx.recv().unwrap().unwrap();
+            assert!(!grant.classifier.entries().is_empty());
+            assert!(ips.insert(grant.record.permanent_ip), "duplicate address");
+        }
+
+        // path tags are stable per (bs, clause) and distinct across keys
+        // within a domain
+        let (ttx, trx) = bounded(1);
+        let ask = |bs: u32, clause: u16| {
+            router
+                .route(Request::PathTag {
+                    bs: BaseStationId(bs),
+                    clause: ClauseId(clause),
+                    reply: ttx.clone(),
+                })
+                .unwrap();
+            trx.recv().unwrap().unwrap()
+        };
+        let t1 = ask(5, 0);
+        let t2 = ask(5, 0);
+        assert_eq!(t1, t2, "idempotent per (bs, clause)");
+        assert_ne!(ask(5, 1), t1, "distinct clause gets a distinct tag");
+
+        // detach releases records; a re-attach then gets a fresh address
+        let (dtx, drx) = bounded(1);
+        router
+            .route(Request::Detach {
+                imsi: UeImsi(3),
+                reply: dtx.clone(),
+            })
+            .unwrap();
+        let rec = drx.recv().unwrap().unwrap();
+        assert!(ips.contains(&rec.permanent_ip));
+        router
+            .route(Request::Detach {
+                imsi: UeImsi(3),
+                reply: dtx.clone(),
+            })
+            .unwrap();
+        assert!(drx.recv().unwrap().is_err(), "double detach fails");
+        server.shutdown();
+    }
+
+    #[test]
+    fn sharded_addresses_stay_unique_under_churn() {
+        // attach/detach churn across many UEs drives the per-domain
+        // ranges through release, spill and steal; no two concurrently
+        // attached UEs may ever share a permanent address
+        let server = ControllerServer::start_sharded(
+            ServicePolicy::example_carrier_a(1),
+            subscribers(256),
+            4,
+        )
+        .unwrap();
+        let router = server.router();
+        let (atx, arx) = bounded(1);
+        let (dtx, drx) = bounded(1);
+        let mut live: std::collections::HashMap<u64, std::net::Ipv4Addr> = Default::default();
+        for round in 0..8u64 {
+            for i in 0..256u64 {
+                if (i + round) % 3 == 0 {
+                    if live.contains_key(&i) {
+                        router
+                            .route(Request::Detach {
+                                imsi: UeImsi(i),
+                                reply: dtx.clone(),
+                            })
+                            .unwrap();
+                        drx.recv().unwrap().unwrap();
+                        live.remove(&i);
+                    }
+                } else if !live.contains_key(&i) {
+                    router
+                        .route(Request::Attach {
+                            imsi: UeImsi(i),
+                            bs: BaseStationId((i % 5) as u32),
+                            ue_id: softcell_types::UeId(0),
+                            now: SimTime(round),
+                            reply: atx.clone(),
+                        })
+                        .unwrap();
+                    let grant = arx.recv().unwrap().unwrap();
+                    let ip = grant.record.permanent_ip;
+                    assert!(
+                        !live.values().any(|v| *v == ip),
+                        "round {round}: {ip} live twice"
+                    );
+                    live.insert(i, ip);
+                }
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn sharded_concurrent_clients_spread_across_domains() {
+        let server = ControllerServer::start_sharded(
+            ServicePolicy::example_carrier_a(1),
+            subscribers(100),
+            4,
+        )
+        .unwrap();
+        let router = server.router();
+        let clients: Vec<_> = (0..4u64)
+            .map(|c| {
+                let router = router.clone();
+                std::thread::spawn(move || {
+                    let (tx, rx) = bounded(1);
+                    for i in 0..250u64 {
+                        router
+                            .route(Request::Classifier {
+                                imsi: UeImsi((c * 25 + i) % 100),
+                                reply: tx.clone(),
+                            })
+                            .unwrap();
+                        rx.recv().unwrap().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        assert_eq!(server.served(), 1000);
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(ControllerServer::start_sharded(
+            ServicePolicy::example_carrier_a(1),
+            subscribers(1),
+            0
+        )
+        .is_err());
     }
 
     #[test]

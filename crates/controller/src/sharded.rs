@@ -1,0 +1,1328 @@
+//! The sharded controller core: UE-partitioned workers over a shared
+//! path-installation engine, with batched flow-mod emission.
+//!
+//! SoftCell's control load divides cleanly by subscriber: attaches,
+//! microflow decisions and detaches touch only one UE's state, so the
+//! controller partitions its UE records across N worker shards keyed by
+//! `fxhash(imsi) mod N` ([`softcell_types::shard_of_ue`]). Station-scoped
+//! state — the local UE-id allocator and per-station attachment set a
+//! real deployment keeps at the base station's local agent — shards by
+//! `fxhash(bs) mod N` instead; an operation spanning both domains (an
+//! attach allocating a UE id, a handoff between stations owned by two
+//! different shards) crosses the boundary through an explicit
+//! **rendezvous** message served by the owning shard.
+//!
+//! # What stays shared, and why the result is deterministic
+//!
+//! Path installation (Algorithm 1) is order-dependent: the tag an
+//! installer picks for the k-th path depends on every path installed
+//! before it. Running one installer per shard would therefore produce
+//! *structurally different* fabric tables depending on the shard count —
+//! correct, but impossible to verify cheaply. Instead the shards share
+//! one **engine** (a [`CentralController`]) guarded by a ticket
+//! sequencer: every state-mutating ("coordinated") event is assigned a
+//! global sequence number *in trace order* by a cheap sequential
+//! pre-pass, and a shard may only enter the engine when the global
+//! ticket counter reaches its event's number. Engine outputs are drained
+//! per ticket into barrier-delimited per-switch batches
+//! ([`crate::ops::SwitchBatch`]) stamped with the ticket number, so
+//! merging all shards' batch streams by ticket reproduces exactly the
+//! rule-op sequence a single-threaded controller emits — byte-identical,
+//! rule ids included. The differential oracle test
+//! (`tests/shard_oracle.rs`) checks precisely this.
+//!
+//! Everything else — classification against precompiled per-subscriber
+//! classifiers, flow-slot allocation, microflow rule synthesis for
+//! cache-hit flows (the vast majority, Table 2) — runs fully parallel on
+//! the owning shard with no locks taken.
+//!
+//! Coordinated events are rare by design: attach, detach, handoff, and
+//! only the *first* flow demanding a (clause, station) policy path; all
+//! later flows of that pair read the published tags from a read-mostly
+//! map, exactly mirroring the local agents' tag caches (§4.2).
+//!
+//! # Liveness
+//!
+//! Every blocking wait (ticket turn, unpublished tags, rendezvous reply)
+//! services this shard's own rendezvous queue while spinning, so the
+//! shard that owns a station can always answer even when it is itself
+//! blocked. Deadlock freedom follows by induction over the trace order:
+//! the earliest globally-unprocessed event is always at the head of its
+//! shard's queue, and everything *it* can wait on (a smaller ticket, a
+//! tag demanded by an earlier event, a rendezvous served by a spinning
+//! peer) has already happened or is answerable immediately.
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use softcell_dataplane::MicroflowAction;
+use softcell_packet::{FiveTuple, Protocol};
+use softcell_policy::clause::{AccessControl, ClauseId};
+use softcell_policy::{ServicePolicy, SubscriberAttributes, UeClassifier};
+use softcell_topology::Topology;
+use softcell_types::{
+    shard_of_station, shard_of_ue, BaseStationId, Error, LocIp, RangePool, Result, ShardRange,
+    SimDuration, SimTime, SwitchId, UeId, UeImsi,
+};
+
+use crate::core::{AttachGrant, CentralController, ControllerConfig, PathTags};
+use crate::mobility::FlowRecord;
+use crate::ops::SwitchBatch;
+use crate::state::UeRecord;
+
+/// Block size of the per-shard permanent-address ranges.
+const PERM_BLOCK: u32 = 64;
+
+/// Idle deadline given to flow microflow entries — mirrors
+/// [`crate::agent::LocalAgent::microflow_idle`]'s default.
+const MICROFLOW_IDLE: SimDuration = SimDuration::from_secs(30);
+
+/// One input event, the sharded controller's unit of work. Mirrors the
+/// workload generator's trace events, with the flow endpoints made
+/// explicit so the caller fully determines each flow's five-tuple
+/// (except the source address, which is the UE's permanent IP).
+#[derive(Clone, Copy, Debug)]
+pub struct ShardEvent {
+    /// When the event happens.
+    pub time: SimTime,
+    /// The subscriber.
+    pub imsi: UeImsi,
+    /// What happened.
+    pub kind: ShardEventKind,
+}
+
+/// The event body.
+#[derive(Clone, Copy, Debug)]
+pub enum ShardEventKind {
+    /// UE attaches at a station.
+    Attach {
+        /// The station.
+        bs: BaseStationId,
+    },
+    /// UE opens a new uplink flow (the packet-in path).
+    NewFlow {
+        /// Station the UE is at.
+        bs: BaseStationId,
+        /// Remote endpoint.
+        dst: Ipv4Addr,
+        /// UE-side source port.
+        src_port: u16,
+        /// Destination port (drives classification).
+        dst_port: u16,
+        /// UDP instead of TCP.
+        udp: bool,
+    },
+    /// UE moves between stations.
+    Handoff {
+        /// Station it leaves.
+        from: BaseStationId,
+        /// Station it enters.
+        to: BaseStationId,
+    },
+    /// UE detaches.
+    Detach {
+        /// Station it leaves.
+        bs: BaseStationId,
+    },
+}
+
+/// What processing one event produced — everything a materializer needs
+/// to replay the run onto a data plane.
+#[derive(Clone, Debug)]
+pub enum EventOutcome {
+    /// Attach succeeded.
+    Attached {
+        /// The controller record.
+        record: UeRecord,
+    },
+    /// A flow was classified and its microflow rules synthesized.
+    Flow(FlowDecision),
+    /// A handoff completed.
+    HandedOff(HandoffOutcome),
+    /// Detach succeeded.
+    Detached {
+        /// The record as it was before detaching.
+        record: UeRecord,
+    },
+    /// The event could not be processed (inconsistent trace, exhaustion);
+    /// the reason is kept for diagnostics.
+    Skipped {
+        /// Why.
+        reason: String,
+    },
+}
+
+/// Microflow rules for one new flow at its access switch.
+#[derive(Clone, Debug)]
+pub struct FlowDecision {
+    /// Station the flow entered at.
+    pub bs: BaseStationId,
+    /// The access switch the entries belong to.
+    pub access: SwitchId,
+    /// Clause that matched.
+    pub clause: ClauseId,
+    /// Policy denied the flow (the single entry is a drop).
+    pub denied: bool,
+    /// Whether the policy path was already published (the agent
+    /// tag-cache-hit equivalent).
+    pub cache_hit: bool,
+    /// Entries to install, with [`MICROFLOW_IDLE`] from `time`.
+    pub installs: Vec<(FiveTuple, MicroflowAction)>,
+    /// Event time (deadline base).
+    pub time: SimTime,
+}
+
+/// Microflow surgery of one handoff.
+#[derive(Clone, Debug)]
+pub struct HandoffOutcome {
+    /// The vacated station's access switch.
+    pub old_access: SwitchId,
+    /// The new station's access switch.
+    pub new_access: SwitchId,
+    /// Entries to remove at the old access switch.
+    pub removals: Vec<FiveTuple>,
+    /// Entries to install at the new access switch (300 s deadline from
+    /// `time`, as the simulator applies handoff copies).
+    pub installs: Vec<(FiveTuple, MicroflowAction)>,
+    /// Event time.
+    pub time: SimTime,
+}
+
+/// Run counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// Events processed.
+    pub events: u64,
+    /// Successful attaches.
+    pub attaches: u64,
+    /// Successful detaches.
+    pub detaches: u64,
+    /// Successful handoffs.
+    pub handoffs: u64,
+    /// Handoffs whose two stations hash to different shards.
+    pub cross_shard_handoffs: u64,
+    /// Rendezvous messages that actually crossed a shard boundary.
+    pub rendezvous_messages: u64,
+    /// Flows processed.
+    pub flows: u64,
+    /// Flows served from published tags (no engine entry).
+    pub cache_hits: u64,
+    /// Flows that installed the policy path (coordinated).
+    pub cache_misses: u64,
+    /// Flows denied by policy.
+    pub denied: u64,
+    /// Events skipped.
+    pub skipped: u64,
+    /// Events that entered the engine.
+    pub coordinated: u64,
+}
+
+impl ShardedStats {
+    fn merge(&mut self, o: &ShardedStats) {
+        self.events += o.events;
+        self.attaches += o.attaches;
+        self.detaches += o.detaches;
+        self.handoffs += o.handoffs;
+        self.cross_shard_handoffs += o.cross_shard_handoffs;
+        self.rendezvous_messages += o.rendezvous_messages;
+        self.flows += o.flows;
+        self.cache_hits += o.cache_hits;
+        self.cache_misses += o.cache_misses;
+        self.denied += o.denied;
+        self.skipped += o.skipped;
+        self.coordinated += o.coordinated;
+    }
+}
+
+/// One ticket's worth of rule operations, batched per switch.
+#[derive(Clone, Debug)]
+pub struct SeqBatches {
+    /// Global ticket number (trace order of coordinated events).
+    pub seq: u64,
+    /// Barrier-delimited per-switch batches, in engine emission order.
+    pub batches: Vec<SwitchBatch>,
+}
+
+/// Everything a sharded run produced.
+pub struct ShardedRun<'t> {
+    /// The engine after the run — its state, installer and mobility
+    /// manager are exactly what a single-threaded run would hold.
+    pub engine: CentralController<'t>,
+    /// Per-event outcomes, indexed like the input events.
+    pub outcomes: Vec<EventOutcome>,
+    /// Per-shard ticket-stamped batch streams.
+    pub shard_batches: Vec<Vec<SeqBatches>>,
+    /// Merged counters.
+    pub stats: ShardedStats,
+}
+
+impl ShardedRun<'_> {
+    /// Merges the per-shard batch streams into the single global batch
+    /// sequence (ordered by ticket) a single-threaded controller would
+    /// have emitted. Within a ticket, per-switch order is the engine's
+    /// emission order; the per-batch barrier makes cross-batch ordering
+    /// on one switch explicit (see [`crate::ops::batch_by_switch`]).
+    pub fn merged_batches(&self) -> Vec<SwitchBatch> {
+        let mut all: Vec<&SeqBatches> = self.shard_batches.iter().flatten().collect();
+        all.sort_by_key(|s| s.seq);
+        all.iter().flat_map(|s| s.batches.iter().cloned()).collect()
+    }
+}
+
+/// The sharded controller: configuration plus the [`run`](Self::run)
+/// driver. One instance can run many traces.
+pub struct ShardedController<'t> {
+    topo: &'t Topology,
+    cfg: ControllerConfig,
+    shards: usize,
+    sched_seed: u64,
+}
+
+// ---------------------------------------------------------------------
+// rendezvous plumbing
+
+enum Rdv {
+    /// Allocate a UE id at a station (attach or handoff arrival),
+    /// free-list LIFO then next fresh id — the local-agent discipline.
+    Reserve {
+        bs: BaseStationId,
+        reply: Sender<Result<UeId>>,
+    },
+    /// Mark a UE attached at a station under a reserved id.
+    Adopt {
+        bs: BaseStationId,
+        imsi: UeImsi,
+        id: UeId,
+        reply: Sender<()>,
+    },
+    /// Return a reserved id that was never adopted (failed attach).
+    Return {
+        bs: BaseStationId,
+        id: UeId,
+        reply: Sender<()>,
+    },
+    /// Remove a UE that moved away; its id is *not* recycled (the old
+    /// location stays reserved until the transition expires, §5.1).
+    Evict {
+        bs: BaseStationId,
+        imsi: UeImsi,
+        reply: Sender<()>,
+    },
+    /// Remove a detached UE, recycling its id.
+    Free {
+        bs: BaseStationId,
+        imsi: UeImsi,
+        id: UeId,
+        reply: Sender<()>,
+    },
+}
+
+/// Station-owner mirror of a local agent's allocator + attachment set.
+#[derive(Default)]
+struct StationMirror {
+    next: u16,
+    free: Vec<UeId>,
+    attached: HashSet<UeImsi>,
+}
+
+impl StationMirror {
+    fn reserve(&mut self, max: u32) -> Result<UeId> {
+        if let Some(id) = self.free.pop() {
+            return Ok(id);
+        }
+        if u32::from(self.next) >= max {
+            return Err(Error::Exhausted("station out of UE ids".into()));
+        }
+        let id = UeId(self.next);
+        self.next += 1;
+        Ok(id)
+    }
+
+    fn adopt(&mut self, imsi: UeImsi, id: UeId) {
+        if id.0 >= self.next {
+            self.next = id.0 + 1;
+        }
+        self.free.retain(|f| *f != id);
+        self.attached.insert(imsi);
+    }
+}
+
+// ---------------------------------------------------------------------
+// shared read-mostly state
+
+struct Coordinator<'t> {
+    engine: Mutex<CentralController<'t>>,
+    /// The ticket counter: the seq of the next coordinated event allowed
+    /// into the engine.
+    next_seq: AtomicU64,
+    /// Published policy tags per (station, clause); `Err` poisons the
+    /// key so waiters do not spin forever after an engine failure.
+    published: RwLock<HashMap<(BaseStationId, ClauseId), std::result::Result<PathTags, String>>>,
+    /// Precompiled per-subscriber classifiers (read-only).
+    classifiers: HashMap<UeImsi, Arc<UeClassifier>>,
+    /// Workers done with their event queues.
+    done: AtomicUsize,
+}
+
+/// Per-event annotation from the sequential pre-pass.
+#[derive(Clone, Copy, Debug)]
+struct Annotation {
+    /// Global ticket, for events that must enter the engine.
+    seq: Option<u64>,
+}
+
+// ---------------------------------------------------------------------
+// shard worker
+
+struct UeMirror {
+    ue_id: UeId,
+    permanent_ip: Ipv4Addr,
+    bs: BaseStationId,
+    next_slot: u16,
+    active_slots: HashSet<u16>,
+    flows: Vec<MirrorFlow>,
+}
+
+#[derive(Clone, Copy)]
+struct MirrorFlow {
+    uplink: FiveTuple,
+    downlink: FiveTuple,
+    downlink_original: FiveTuple,
+    up_action: MicroflowAction,
+    down_action: MicroflowAction,
+}
+
+struct Worker<'t, 'c> {
+    id: usize,
+    shards: usize,
+    coord: &'c Coordinator<'t>,
+    cfg: ControllerConfig,
+    topo: &'t Topology,
+    rdv_rx: Receiver<Rdv>,
+    rdv_txs: Vec<Sender<Rdv>>,
+    stations: HashMap<BaseStationId, StationMirror>,
+    ues: HashMap<UeImsi, UeMirror>,
+    perm: ShardRange,
+    perm_base: u32,
+    batches: Vec<SeqBatches>,
+    outcomes: Vec<(usize, EventOutcome)>,
+    stats: ShardedStats,
+    rng: u64,
+}
+
+impl<'t> Worker<'t, '_> {
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Seeded jitter: a few yields to perturb thread interleaving (the
+    /// concurrency test sweeps seeds through here).
+    fn jitter(&mut self) {
+        let n = self.next_rand() % 4;
+        for _ in 0..n {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Serves every rendezvous currently queued at this shard.
+    fn serve_rdv(&mut self) {
+        while let Ok(msg) = self.rdv_rx.try_recv() {
+            self.handle_rdv(msg);
+        }
+    }
+
+    fn handle_rdv(&mut self, msg: Rdv) {
+        let max = self.cfg.scheme.max_ues_per_station();
+        match msg {
+            Rdv::Reserve { bs, reply } => {
+                let r = self.stations.entry(bs).or_default().reserve(max);
+                let _ = reply.send(r);
+            }
+            Rdv::Adopt {
+                bs,
+                imsi,
+                id,
+                reply,
+            } => {
+                self.stations.entry(bs).or_default().adopt(imsi, id);
+                let _ = reply.send(());
+            }
+            Rdv::Return { bs, id, reply } => {
+                self.stations.entry(bs).or_default().free.push(id);
+                let _ = reply.send(());
+            }
+            Rdv::Evict { bs, imsi, reply } => {
+                // the id stays out of the free list (location reserved)
+                self.stations.entry(bs).or_default().attached.remove(&imsi);
+                let _ = reply.send(());
+            }
+            Rdv::Free {
+                bs,
+                imsi,
+                id,
+                reply,
+            } => {
+                let st = self.stations.entry(bs).or_default();
+                st.attached.remove(&imsi);
+                st.free.push(id);
+                let _ = reply.send(());
+            }
+        }
+    }
+
+    /// Sends a rendezvous to a station's owner shard and waits for the
+    /// reply, serving this shard's own queue while blocked. Same-shard
+    /// messages are handled inline.
+    fn rendezvous<R>(
+        &mut self,
+        bs: BaseStationId,
+        make: impl FnOnce(Sender<R>) -> Rdv,
+        local: impl FnOnce(&mut Self) -> R,
+    ) -> R {
+        let owner = shard_of_station(bs, self.shards);
+        if owner == self.id {
+            return local(self);
+        }
+        self.stats.rendezvous_messages += 1;
+        let (tx, rx) = unbounded();
+        self.rdv_txs[owner]
+            .send(make(tx))
+            .unwrap_or_else(|_| panic!("shard {owner} rendezvous queue closed"));
+        loop {
+            if let Ok(r) = rx.try_recv() {
+                return r;
+            }
+            self.serve_rdv();
+            std::thread::yield_now();
+        }
+    }
+
+    fn rdv_reserve(&mut self, bs: BaseStationId) -> Result<UeId> {
+        let max = self.cfg.scheme.max_ues_per_station();
+        self.rendezvous(
+            bs,
+            |reply| Rdv::Reserve { bs, reply },
+            |w| w.stations.entry(bs).or_default().reserve(max),
+        )
+    }
+
+    fn rdv_adopt(&mut self, bs: BaseStationId, imsi: UeImsi, id: UeId) {
+        self.rendezvous(
+            bs,
+            |reply| Rdv::Adopt {
+                bs,
+                imsi,
+                id,
+                reply,
+            },
+            |w| w.stations.entry(bs).or_default().adopt(imsi, id),
+        )
+    }
+
+    fn rdv_return(&mut self, bs: BaseStationId, id: UeId) {
+        self.rendezvous(
+            bs,
+            |reply| Rdv::Return { bs, id, reply },
+            |w| w.stations.entry(bs).or_default().free.push(id),
+        )
+    }
+
+    fn rdv_evict(&mut self, bs: BaseStationId, imsi: UeImsi) {
+        self.rendezvous(
+            bs,
+            |reply| Rdv::Evict { bs, imsi, reply },
+            |w| {
+                w.stations.entry(bs).or_default().attached.remove(&imsi);
+            },
+        )
+    }
+
+    fn rdv_free(&mut self, bs: BaseStationId, imsi: UeImsi, id: UeId) {
+        self.rendezvous(
+            bs,
+            |reply| Rdv::Free {
+                bs,
+                imsi,
+                id,
+                reply,
+            },
+            |w| {
+                let st = w.stations.entry(bs).or_default();
+                st.attached.remove(&imsi);
+                st.free.push(id);
+            },
+        )
+    }
+
+    /// Waits for this event's ticket, runs `f` against the engine, and
+    /// drains the engine's rule ops into this shard's batch stream under
+    /// the ticket number. `extra_ops` (handoff plans return their ops
+    /// out-of-band) are batched ahead of the drained ops, matching where
+    /// a single-threaded driver applies them.
+    fn with_ticket<R>(
+        &mut self,
+        seq: u64,
+        f: impl FnOnce(&mut Self, &mut CentralController<'t>) -> (R, Vec<crate::ops::RuleOp>),
+    ) -> R {
+        loop {
+            if self.coord.next_seq.load(Ordering::Acquire) == seq {
+                break;
+            }
+            self.serve_rdv();
+            std::thread::yield_now();
+        }
+        self.stats.coordinated += 1;
+        let (result, batches) = {
+            let mut engine = self.coord.engine.lock();
+            let (result, mut ops) = f(self, &mut engine);
+            ops.extend(engine.drain_ops());
+            (result, crate::ops::batch_by_switch(ops))
+        };
+        if !batches.is_empty() {
+            self.batches.push(SeqBatches { seq, batches });
+        }
+        self.coord.next_seq.store(seq + 1, Ordering::Release);
+        result
+    }
+
+    fn skip(&mut self, idx: usize, reason: impl Into<String>) {
+        self.stats.skipped += 1;
+        self.outcomes.push((
+            idx,
+            EventOutcome::Skipped {
+                reason: reason.into(),
+            },
+        ));
+    }
+
+    fn handle_event(&mut self, idx: usize, ev: ShardEvent, ann: Annotation) {
+        self.stats.events += 1;
+        match ev.kind {
+            ShardEventKind::Attach { bs } => self.handle_attach(idx, ev, bs, ann),
+            ShardEventKind::NewFlow {
+                bs,
+                dst,
+                src_port,
+                dst_port,
+                udp,
+            } => self.handle_flow(idx, ev, bs, dst, src_port, dst_port, udp, ann),
+            ShardEventKind::Handoff { from, to } => self.handle_handoff(idx, ev, from, to, ann),
+            ShardEventKind::Detach { bs: _ } => self.handle_detach(idx, ev, ann),
+        }
+    }
+
+    fn handle_attach(&mut self, idx: usize, ev: ShardEvent, bs: BaseStationId, ann: Annotation) {
+        let seq = ann.seq.expect("attach is coordinated");
+        if self.ues.contains_key(&ev.imsi) {
+            // still consume the ticket: later events' seqs depend on it
+            self.with_ticket(seq, |_, _| ((), Vec::new()));
+            return self.skip(idx, format!("{} already attached", ev.imsi));
+        }
+        let Some(off) = self.perm.allocate() else {
+            self.with_ticket(seq, |_, _| ((), Vec::new()));
+            return self.skip(idx, "permanent range exhausted");
+        };
+        let ip = Ipv4Addr::from(self.cfg.permanent_pool.raw_bits() + self.perm_base + off);
+        let granted: Result<AttachGrant> = self.with_ticket(seq, |w, engine| {
+            let id = match w.rdv_reserve(bs) {
+                Ok(id) => id,
+                Err(e) => return (Err(e), Vec::new()),
+            };
+            match engine.attach_ue_with_ip(ev.imsi, bs, id, ev.time, Some(ip)) {
+                Ok(grant) => {
+                    w.rdv_adopt(bs, ev.imsi, id);
+                    (Ok(grant), Vec::new())
+                }
+                Err(e) => {
+                    w.rdv_return(bs, id);
+                    (Err(e), Vec::new())
+                }
+            }
+        });
+        match granted {
+            Ok(grant) => {
+                self.ues.insert(
+                    ev.imsi,
+                    UeMirror {
+                        ue_id: grant.record.ue_id,
+                        permanent_ip: ip,
+                        bs,
+                        next_slot: 0,
+                        active_slots: HashSet::new(),
+                        flows: Vec::new(),
+                    },
+                );
+                self.stats.attaches += 1;
+                self.outcomes.push((
+                    idx,
+                    EventOutcome::Attached {
+                        record: grant.record,
+                    },
+                ));
+            }
+            Err(e) => {
+                self.perm.release(off);
+                self.skip(idx, format!("attach failed: {e}"));
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_flow(
+        &mut self,
+        idx: usize,
+        ev: ShardEvent,
+        bs: BaseStationId,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        udp: bool,
+        ann: Annotation,
+    ) {
+        self.stats.flows += 1;
+        let proto = if udp { Protocol::Udp } else { Protocol::Tcp };
+        let Some(classifier) = self.coord.classifiers.get(&ev.imsi) else {
+            if let Some(seq) = ann.seq {
+                self.with_ticket(seq, |_, _| ((), Vec::new()));
+            }
+            return self.skip(idx, "unknown subscriber");
+        };
+        let Some(entry) = classifier.classify(proto, dst_port) else {
+            if let Some(seq) = ann.seq {
+                self.with_ticket(seq, |_, _| ((), Vec::new()));
+            }
+            return self.skip(idx, "policy matches nothing for this flow");
+        };
+        let key = (bs, entry.clause);
+        let attached_here = self.ues.get(&ev.imsi).map(|u| u.bs);
+        if attached_here != Some(bs) {
+            // the annotator's replay assumed this UE reached `bs`; if a
+            // prior attach/handoff failed at runtime we must still burn
+            // the ticket AND poison the published key so non-coordinated
+            // flows of the same (bs, clause) do not wait forever
+            if let Some(seq) = ann.seq {
+                self.with_ticket(seq, |w, _| {
+                    w.coord
+                        .published
+                        .write()
+                        .entry(key)
+                        .or_insert_with(|| Err("path demander was skipped".into()));
+                    ((), Vec::new())
+                });
+            }
+            return self.skip(idx, format!("{} not attached at {bs}", ev.imsi));
+        }
+        let tuple = FiveTuple {
+            src: self.ues[&ev.imsi].permanent_ip,
+            dst,
+            src_port,
+            dst_port,
+            proto,
+        };
+        let access = self.topo.base_station(bs).access_switch;
+        let radio = self.topo.base_station(bs).radio_port;
+
+        if entry.access == AccessControl::Deny {
+            self.stats.denied += 1;
+            self.outcomes.push((
+                idx,
+                EventOutcome::Flow(FlowDecision {
+                    bs,
+                    access,
+                    clause: entry.clause,
+                    denied: true,
+                    cache_hit: true,
+                    installs: vec![(tuple, MicroflowAction::Drop)],
+                    time: ev.time,
+                }),
+            ));
+            return;
+        }
+
+        let (tags, cache_hit) = match ann.seq {
+            // this flow demands the path: enter the engine and publish
+            Some(seq) => {
+                self.stats.cache_misses += 1;
+                let tags = self.with_ticket(seq, |w, engine| {
+                    let r = engine.request_policy_path(bs, entry.clause);
+                    let published = r.as_ref().map(|t| *t).map_err(|e| e.to_string());
+                    w.coord.published.write().insert(key, published);
+                    (r, Vec::new())
+                });
+                match tags {
+                    Ok(t) => (t, false),
+                    Err(e) => return self.skip(idx, format!("path request failed: {e}")),
+                }
+            }
+            // published by an earlier event (possibly on another shard):
+            // wait for it, serving rendezvous meanwhile
+            None => {
+                let tags = loop {
+                    if let Some(r) = self.coord.published.read().get(&key) {
+                        break r.clone();
+                    }
+                    self.serve_rdv();
+                    std::thread::yield_now();
+                };
+                match tags {
+                    Ok(t) => {
+                        self.stats.cache_hits += 1;
+                        (t, true)
+                    }
+                    Err(e) => return self.skip(idx, format!("path request failed: {e}")),
+                }
+            }
+        };
+
+        let ue = self.ues.get_mut(&ev.imsi).expect("checked above");
+        let loc_addr = match self.cfg.scheme.encode(LocIp::new(bs, ue.ue_id)) {
+            Ok(a) => a,
+            Err(e) => return self.skip(idx, format!("loc encode failed: {e}")),
+        };
+        // flow-slot allocation, exactly the local agent's scan
+        let slots = self.cfg.ports.flow_slots();
+        let mut slot = ue.next_slot % slots;
+        let mut tries = 0;
+        while ue.active_slots.contains(&slot) {
+            slot = (slot + 1) % slots;
+            tries += 1;
+            if tries >= slots {
+                return self.skip(idx, "all flow slots active");
+            }
+        }
+        ue.next_slot = slot + 1;
+        ue.active_slots.insert(slot);
+
+        let up_port = self
+            .cfg
+            .ports
+            .encode(tags.uplink_entry, slot)
+            .expect("tag fits");
+        let down_port = self
+            .cfg
+            .ports
+            .encode(tags.downlink_final, slot)
+            .expect("tag fits");
+        let up_action = MicroflowAction::RewriteSrc {
+            addr: loc_addr,
+            port: up_port,
+            out: tags.access_out_port,
+            dscp: tags.qos.map(|q| q.dscp),
+        };
+        let down_tuple = FiveTuple {
+            src: dst,
+            dst: loc_addr,
+            src_port: dst_port,
+            dst_port: down_port,
+            proto,
+        };
+        let down_action = MicroflowAction::RewriteDst {
+            addr: ue.permanent_ip,
+            port: src_port,
+            out: radio,
+        };
+        ue.flows.push(MirrorFlow {
+            uplink: tuple,
+            downlink: down_tuple,
+            downlink_original: down_tuple,
+            up_action,
+            down_action,
+        });
+        self.outcomes.push((
+            idx,
+            EventOutcome::Flow(FlowDecision {
+                bs,
+                access,
+                clause: entry.clause,
+                denied: false,
+                cache_hit,
+                installs: vec![(tuple, up_action), (down_tuple, down_action)],
+                time: ev.time,
+            }),
+        ));
+    }
+
+    fn handle_handoff(
+        &mut self,
+        idx: usize,
+        ev: ShardEvent,
+        from: BaseStationId,
+        to: BaseStationId,
+        ann: Annotation,
+    ) {
+        let Some(seq) = ann.seq else {
+            return self.skip(idx, "handoff to the same station");
+        };
+        let Some(current) = self.ues.get(&ev.imsi).map(|u| u.bs) else {
+            self.with_ticket(seq, |_, _| ((), Vec::new()));
+            return self.skip(idx, format!("{} not attached", ev.imsi));
+        };
+        // the station actually being vacated is the mirror's (the trace's
+        // `from` matches it on consistent traces)
+        let from = if current == from { from } else { current };
+        if from == to {
+            self.with_ticket(seq, |_, _| ((), Vec::new()));
+            return self.skip(idx, "handoff to the same station");
+        }
+        let flows: Vec<FlowRecord> = self.ues[&ev.imsi]
+            .flows
+            .iter()
+            .map(|f| FlowRecord {
+                uplink: f.uplink,
+                downlink: f.downlink,
+                downlink_original: f.downlink_original,
+                up_action: f.up_action,
+                down_action: f.down_action,
+            })
+            .collect();
+        if shard_of_station(from, self.shards) != shard_of_station(to, self.shards) {
+            self.stats.cross_shard_handoffs += 1;
+        }
+
+        // The two station-owner interactions commute (they touch
+        // different stations); the seeded scheduler permutes their order
+        // and injects yields so the concurrency test can drive every
+        // interleaving. The reservation always precedes the engine call
+        // (the plan needs the new id).
+        let evict_early = self.next_rand() & 1 == 0;
+        let plan = self.with_ticket(seq, |w, engine| {
+            w.jitter();
+            let new_id = match w.rdv_reserve(to) {
+                Ok(id) => id,
+                Err(e) => return (Err(e), Vec::new()),
+            };
+            if evict_early {
+                w.jitter();
+                w.rdv_evict(from, ev.imsi);
+            }
+            w.jitter();
+            match engine.handoff(ev.imsi, to, new_id, &flows, ev.time) {
+                Ok(plan) => {
+                    if !evict_early {
+                        w.jitter();
+                        w.rdv_evict(from, ev.imsi);
+                    }
+                    w.jitter();
+                    w.rdv_adopt(to, ev.imsi, new_id);
+                    let ops = plan.ops.clone();
+                    (Ok(plan), ops)
+                }
+                Err(e) => {
+                    w.rdv_return(to, new_id);
+                    (Err(e), Vec::new())
+                }
+            }
+        });
+        let plan = match plan {
+            Ok(p) => p,
+            Err(e) => return self.skip(idx, format!("handoff failed: {e}")),
+        };
+
+        // re-key the mirror exactly as the arriving agent adopts flows
+        let installed: HashMap<FiveTuple, MicroflowAction> =
+            plan.new_microflow_installs.iter().copied().collect();
+        let ue = self.ues.get_mut(&ev.imsi).expect("checked above");
+        ue.bs = to;
+        ue.ue_id = plan.new.ue_id;
+        ue.next_slot = 0;
+        ue.active_slots.clear();
+        ue.flows = plan
+            .carried_flows
+            .iter()
+            .filter_map(|f| {
+                let up_action = *installed.get(&f.uplink)?;
+                let down_action = *installed.get(&f.downlink)?;
+                Some(MirrorFlow {
+                    uplink: f.uplink,
+                    downlink: f.downlink,
+                    downlink_original: f.downlink_original,
+                    up_action,
+                    down_action,
+                })
+            })
+            .collect();
+        for f in &ue.flows {
+            let (_, slot) = self.cfg.ports.decode(f.downlink.dst_port);
+            ue.active_slots.insert(slot);
+        }
+
+        self.stats.handoffs += 1;
+        self.outcomes.push((
+            idx,
+            EventOutcome::HandedOff(HandoffOutcome {
+                old_access: self.topo.base_station(from).access_switch,
+                new_access: self.topo.base_station(to).access_switch,
+                removals: plan.old_microflow_removals,
+                installs: plan.new_microflow_installs,
+                time: ev.time,
+            }),
+        ));
+    }
+
+    fn handle_detach(&mut self, idx: usize, ev: ShardEvent, ann: Annotation) {
+        let seq = ann.seq.expect("detach is coordinated");
+        if !self.ues.contains_key(&ev.imsi) {
+            self.with_ticket(seq, |_, _| ((), Vec::new()));
+            return self.skip(idx, format!("{} not attached", ev.imsi));
+        }
+        let record = self.with_ticket(seq, |w, engine| match engine.detach_ue(ev.imsi) {
+            Ok(record) => {
+                w.rdv_free(record.bs, ev.imsi, record.ue_id);
+                (Ok(record), Vec::new())
+            }
+            Err(e) => (Err(e), Vec::new()),
+        });
+        match record {
+            Ok(record) => {
+                let mirror = self.ues.remove(&ev.imsi).expect("checked above");
+                let off = u32::from(mirror.permanent_ip)
+                    - self.cfg.permanent_pool.raw_bits()
+                    - self.perm_base;
+                self.perm.release(off);
+                self.stats.detaches += 1;
+                self.outcomes.push((idx, EventOutcome::Detached { record }));
+            }
+            Err(e) => self.skip(idx, format!("detach failed: {e}")),
+        }
+    }
+
+    fn run(mut self, events: Receiver<(usize, ShardEvent, Annotation)>) -> WorkerOutput {
+        while let Ok((idx, ev, ann)) = events.try_recv() {
+            self.serve_rdv();
+            self.handle_event(idx, ev, ann);
+        }
+        // linger until every shard is done with its events: a peer may
+        // still need this shard's stations
+        self.coord.done.fetch_add(1, Ordering::AcqRel);
+        while self.coord.done.load(Ordering::Acquire) < self.shards {
+            self.serve_rdv();
+            std::thread::yield_now();
+        }
+        self.serve_rdv();
+        WorkerOutput {
+            outcomes: self.outcomes,
+            batches: self.batches,
+            stats: self.stats,
+        }
+    }
+}
+
+struct WorkerOutput {
+    outcomes: Vec<(usize, EventOutcome)>,
+    batches: Vec<SeqBatches>,
+    stats: ShardedStats,
+}
+
+// ---------------------------------------------------------------------
+// the driver
+
+impl<'t> ShardedController<'t> {
+    /// Creates a sharded controller with `shards` workers.
+    pub fn new(topo: &'t Topology, cfg: ControllerConfig, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedController {
+            topo,
+            cfg,
+            shards,
+            sched_seed: 0,
+        }
+    }
+
+    /// Sets the rendezvous-scheduler seed (permutes cross-shard message
+    /// order and injects yields; the result must not depend on it).
+    pub fn with_sched_seed(mut self, seed: u64) -> Self {
+        self.sched_seed = seed;
+        self
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The sequential pre-pass: replays the trace's station bookkeeping
+    /// and classification to find the coordinated events, assigning them
+    /// global ticket numbers in trace order. Pure — no controller state
+    /// is touched.
+    fn annotate(
+        &self,
+        events: &[ShardEvent],
+        classifiers: &HashMap<UeImsi, Arc<UeClassifier>>,
+    ) -> Vec<Annotation> {
+        let mut attached: HashMap<UeImsi, BaseStationId> = HashMap::new();
+        let mut demanded: HashSet<(BaseStationId, ClauseId)> = HashSet::new();
+        let mut next_seq = 0u64;
+        let mut take = || {
+            let s = next_seq;
+            next_seq += 1;
+            Some(s)
+        };
+        events
+            .iter()
+            .map(|ev| {
+                let seq = match ev.kind {
+                    ShardEventKind::Attach { bs } => {
+                        attached.insert(ev.imsi, bs);
+                        take()
+                    }
+                    ShardEventKind::Detach { .. } => {
+                        attached.remove(&ev.imsi);
+                        take()
+                    }
+                    ShardEventKind::Handoff { from, to } => {
+                        if from == to {
+                            None
+                        } else {
+                            attached.insert(ev.imsi, to);
+                            take()
+                        }
+                    }
+                    ShardEventKind::NewFlow {
+                        bs, dst_port, udp, ..
+                    } => {
+                        let proto = if udp { Protocol::Udp } else { Protocol::Tcp };
+                        match classifiers
+                            .get(&ev.imsi)
+                            .and_then(|c| c.classify(proto, dst_port))
+                        {
+                            Some(e)
+                                if e.access == AccessControl::Allow
+                                    && attached.get(&ev.imsi) == Some(&bs)
+                                    && demanded.insert((bs, e.clause)) =>
+                            {
+                                take()
+                            }
+                            _ => None,
+                        }
+                    }
+                };
+                Annotation { seq }
+            })
+            .collect()
+    }
+
+    /// Runs a trace to completion: routes every event to its UE's owner
+    /// shard, runs the shards concurrently, and returns the outcomes,
+    /// the ticket-stamped batch streams and the engine.
+    pub fn run(
+        &self,
+        policy: ServicePolicy,
+        subscribers: &[SubscriberAttributes],
+        events: &[ShardEvent],
+    ) -> ShardedRun<'t> {
+        let mut engine = CentralController::new(self.topo, self.cfg, policy);
+        for attrs in subscribers {
+            engine.put_subscriber(*attrs);
+        }
+        let classifiers: HashMap<UeImsi, Arc<UeClassifier>> = subscribers
+            .iter()
+            .map(|attrs| {
+                let c = UeClassifier::compile(&engine.state().policy, engine.apps(), attrs);
+                (attrs.imsi, Arc::new(c))
+            })
+            .collect();
+        let annotations = self.annotate(events, &classifiers);
+
+        let coord = Coordinator {
+            engine: Mutex::new(engine),
+            next_seq: AtomicU64::new(0),
+            published: RwLock::new(HashMap::new()),
+            classifiers,
+            done: AtomicUsize::new(0),
+        };
+
+        // static per-shard slices of the permanent pool: deterministic
+        // per shard count (the oracle canonicalizes addresses by flow
+        // identity, so slice placement never leaks into the comparison)
+        let pool_size = self.cfg.permanent_pool.size();
+        let slice = (((pool_size - 1) / self.shards as u64) as u32).max(1);
+
+        let mut event_txs = Vec::with_capacity(self.shards);
+        let mut event_rxs = Vec::with_capacity(self.shards);
+        let mut rdv_txs = Vec::with_capacity(self.shards);
+        let mut rdv_rxs = Vec::with_capacity(self.shards);
+        for _ in 0..self.shards {
+            let (tx, rx) = unbounded();
+            event_txs.push(tx);
+            event_rxs.push(rx);
+            let (tx, rx) = unbounded();
+            rdv_txs.push(tx);
+            rdv_rxs.push(rx);
+        }
+        for (idx, (ev, ann)) in events.iter().zip(&annotations).enumerate() {
+            let shard = shard_of_ue(ev.imsi, self.shards);
+            event_txs[shard].send((idx, *ev, *ann)).expect("queue open");
+        }
+        drop(event_txs);
+
+        let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.shards);
+            for (id, (events_rx, rdv_rx)) in event_rxs.into_iter().zip(rdv_rxs).enumerate() {
+                let worker = Worker {
+                    id,
+                    shards: self.shards,
+                    coord: &coord,
+                    cfg: self.cfg,
+                    topo: self.topo,
+                    rdv_rx,
+                    rdv_txs: rdv_txs.clone(),
+                    stations: HashMap::new(),
+                    ues: HashMap::new(),
+                    perm: ShardRange::new(RangePool::new(slice, PERM_BLOCK)),
+                    perm_base: 1 + id as u32 * slice,
+                    batches: Vec::new(),
+                    outcomes: Vec::new(),
+                    stats: ShardedStats::default(),
+                    rng: (self.sched_seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1,
+                };
+                handles.push(scope.spawn(move || worker.run(events_rx)));
+            }
+            drop(rdv_txs);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        let mut stats = ShardedStats::default();
+        let mut indexed: Vec<(usize, EventOutcome)> = Vec::with_capacity(events.len());
+        let mut shard_batches = Vec::with_capacity(self.shards);
+        for out in outputs {
+            stats.merge(&out.stats);
+            indexed.extend(out.outcomes);
+            shard_batches.push(out.batches);
+        }
+        indexed.sort_by_key(|(idx, _)| *idx);
+        let outcomes = indexed.into_iter().map(|(_, o)| o).collect();
+
+        ShardedRun {
+            engine: coord.engine.into_inner(),
+            outcomes,
+            shard_batches,
+            stats,
+        }
+    }
+
+    /// The idle deadline the materializer must give flow microflow
+    /// entries (mirrors the local agent's default).
+    pub fn microflow_idle() -> SimDuration {
+        MICROFLOW_IDLE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softcell_topology::small_topology;
+
+    fn subs(n: u64) -> Vec<SubscriberAttributes> {
+        (0..n)
+            .map(|i| SubscriberAttributes::default_home(UeImsi(i)))
+            .collect()
+    }
+
+    const SERVER: Ipv4Addr = Ipv4Addr::new(93, 184, 216, 34);
+
+    fn flow(t: u64, imsi: u64, bs: u32, src_port: u16, dst_port: u16) -> ShardEvent {
+        ShardEvent {
+            time: SimTime(t),
+            imsi: UeImsi(imsi),
+            kind: ShardEventKind::NewFlow {
+                bs: BaseStationId(bs),
+                dst: SERVER,
+                src_port,
+                dst_port,
+                udp: false,
+            },
+        }
+    }
+
+    fn attach(t: u64, imsi: u64, bs: u32) -> ShardEvent {
+        ShardEvent {
+            time: SimTime(t),
+            imsi: UeImsi(imsi),
+            kind: ShardEventKind::Attach {
+                bs: BaseStationId(bs),
+            },
+        }
+    }
+
+    #[test]
+    fn attach_flow_detach_roundtrip() {
+        let topo = small_topology();
+        let sc = ShardedController::new(&topo, ControllerConfig::simulation(), 4);
+        let events = vec![
+            attach(0, 0, 0),
+            attach(0, 1, 1),
+            flow(1, 0, 0, 40_000, 443),
+            flow(2, 1, 1, 40_001, 443),
+            flow(3, 0, 0, 40_002, 80),
+            ShardEvent {
+                time: SimTime(4),
+                imsi: UeImsi(0),
+                kind: ShardEventKind::Detach {
+                    bs: BaseStationId(0),
+                },
+            },
+        ];
+        let run = sc.run(ServicePolicy::example_carrier_a(1), &subs(2), &events);
+        assert_eq!(run.stats.attaches, 2);
+        assert_eq!(run.stats.flows, 3);
+        assert_eq!(run.stats.cache_misses, 2, "one demand per (bs, clause)");
+        assert_eq!(run.stats.cache_hits, 1);
+        assert_eq!(run.stats.detaches, 1);
+        assert_eq!(run.stats.skipped, 0);
+        assert_eq!(run.engine.state().attached_count(), 1);
+        assert!(matches!(run.outcomes[2], EventOutcome::Flow(_)));
+        // both demands produced fabric batches, merged in ticket order
+        let merged = run.merged_batches();
+        assert!(!merged.is_empty());
+        let mut last_seq = None;
+        for s in run.shard_batches.iter().flatten() {
+            let _ = last_seq.replace(s.seq);
+            assert!(s.batches.iter().all(|b| b.barrier));
+        }
+    }
+
+    #[test]
+    fn handoff_crosses_shards() {
+        let topo = small_topology();
+        let sc =
+            ShardedController::new(&topo, ControllerConfig::simulation(), 4).with_sched_seed(7);
+        let events = vec![
+            attach(0, 0, 0),
+            flow(1, 0, 0, 40_000, 443),
+            ShardEvent {
+                time: SimTime(2),
+                imsi: UeImsi(0),
+                kind: ShardEventKind::Handoff {
+                    from: BaseStationId(0),
+                    to: BaseStationId(3),
+                },
+            },
+        ];
+        let run = sc.run(ServicePolicy::example_carrier_a(1), &subs(1), &events);
+        assert_eq!(run.stats.handoffs, 1);
+        assert_eq!(run.stats.skipped, 0);
+        let EventOutcome::HandedOff(h) = &run.outcomes[2] else {
+            panic!("handoff outcome expected, got {:?}", run.outcomes[2]);
+        };
+        assert_eq!(h.removals.len(), 1, "downlink moved away");
+        assert_eq!(h.installs.len(), 2, "uplink + downlink copies");
+        assert_eq!(
+            run.engine.state().ue(UeImsi(0)).unwrap().bs,
+            BaseStationId(3)
+        );
+        assert_eq!(run.engine.state().reserved_count(), 1, "old slot reserved");
+    }
+}

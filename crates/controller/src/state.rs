@@ -119,6 +119,23 @@ impl ControllerState {
         ue_id: UeId,
         now: SimTime,
     ) -> Result<UeRecord> {
+        self.attach_with_ip(imsi, bs, ue_id, now, None)
+    }
+
+    /// [`attach`](Self::attach) with an externally allocated permanent
+    /// address. The sharded controller draws permanent addresses from
+    /// per-shard ranges ([`softcell_types::ShardRange`]) so shards never
+    /// contend on this state's pool; `None` falls back to the pool. A
+    /// re-attach keeps the address first assigned either way (§3.1:
+    /// permanent addresses never change).
+    pub fn attach_with_ip(
+        &mut self,
+        imsi: UeImsi,
+        bs: BaseStationId,
+        ue_id: UeId,
+        now: SimTime,
+        preallocated: Option<Ipv4Addr>,
+    ) -> Result<UeRecord> {
         self.subscriber(imsi)?;
         if let Some(existing) = self.ues.get(&imsi) {
             return Err(Error::InvalidState(format!(
@@ -131,7 +148,10 @@ impl ControllerState {
                 "location ({bs},{ue_id}) already occupied or reserved"
             )));
         }
-        let permanent_ip = self.permanent_ip_for(imsi)?;
+        let permanent_ip = match preallocated {
+            Some(ip) => ip,
+            None => self.permanent_ip_for(imsi)?,
+        };
         self.reserved.remove(&(bs, ue_id));
         let rec = UeRecord {
             imsi,

@@ -10,7 +10,6 @@
 //! against, so the same agent code drives an in-process controller or
 //! one behind a loopback queue or TCP socket.
 
-use std::net::Ipv4Addr;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -18,21 +17,19 @@ use std::thread::JoinHandle;
 use crossbeam::channel::bounded;
 
 use softcell_ctlchan::{
-    CtlChannel, Message, PacketIn, RetryPolicy, Transport, WireClassifier, WireFlowMod,
-    WirePathTags, WireUeRecord,
+    CtlChannel, Message, PacketIn, RetryPolicy, Transport, WireBatchGroup, WireClassifier,
+    WireFlowMod, WirePathTags, WireUeRecord,
 };
 use softcell_policy::clause::ClauseId;
 use softcell_policy::UeClassifier;
-use softcell_types::{BaseStationId, Error, PortNo, Result, SimTime, UeId, UeImsi};
+use softcell_types::{
+    shard_of_station, BaseStationId, Error, PortNo, Result, SimTime, UeId, UeImsi,
+};
 
 use crate::agent::ControllerApi;
 use crate::core::{AttachGrant, PathTags};
 use crate::server::{ControllerServer, Request};
 use crate::state::UeRecord;
-
-/// Base of the permanent-address pool wire attaches allocate from
-/// (100.64.0.0/10, matching [`crate::core::ControllerConfig::simulation`]).
-const PERMANENT_POOL_BASE: u32 = 0x6440_0000;
 
 impl From<UeRecord> for WireUeRecord {
     fn from(r: UeRecord) -> WireUeRecord {
@@ -102,12 +99,14 @@ impl ControllerServer {
     /// concurrency across agents comes from one serve thread each, all
     /// feeding the same worker pool.
     pub fn serve<T: Transport + 'static>(&self, transport: T) -> JoinHandle<Result<()>> {
-        let handle = self.handle();
+        let router = self.router();
+        let sharded = self.is_sharded();
         let shared = self.shared_state();
         std::thread::spawn(move || {
             // One reply pair per kind, reused across requests: the serve
             // loop keeps at most one worker request outstanding.
-            let (cls_tx, cls_rx) = bounded(1);
+            let (att_tx, att_rx) = bounded(1);
+            let (det_tx, det_rx) = bounded(1);
             let (tag_tx, tag_rx) = bounded(1);
             shared.active_connections.fetch_add(1, Ordering::Relaxed);
             let served = {
@@ -126,42 +125,25 @@ impl ControllerServer {
                         ue_id,
                         now,
                     } => (|| {
-                        handle
-                            .send(Request::Classifier {
-                                imsi,
-                                reply: cls_tx.clone(),
-                            })
-                            .map_err(|_| pool_gone())?;
-                        let classifier = cls_rx.recv().map_err(|_| pool_gone())??;
-                        let mut ues = shared.ues.lock();
-                        // permanent addresses never change (§3.1): a
-                        // re-attach keeps the one first assigned
-                        let permanent_ip =
-                            ues.get(&imsi).map(|r| r.permanent_ip).unwrap_or_else(|| {
-                                let n = shared.next_permanent.fetch_add(1, Ordering::Relaxed) + 1;
-                                Ipv4Addr::from(PERMANENT_POOL_BASE + n)
-                            });
-                        let record = UeRecord {
+                        router.route(Request::Attach {
                             imsi,
-                            permanent_ip,
                             bs,
                             ue_id,
-                            since: now,
-                        };
-                        ues.insert(imsi, record);
+                            now,
+                            reply: att_tx.clone(),
+                        })?;
+                        let grant = att_rx.recv().map_err(|_| pool_gone())??;
                         Ok(Message::ClassifierReply {
-                            record: record.into(),
-                            classifier: Some(classifier_to_wire(&classifier)),
+                            record: grant.record.into(),
+                            classifier: Some(classifier_to_wire(&grant.classifier)),
                         })
                     })(),
                     PacketIn::PathRequest { bs, clause } => (|| {
-                        handle
-                            .send(Request::PathTag {
-                                bs,
-                                clause,
-                                reply: tag_tx.clone(),
-                            })
-                            .map_err(|_| pool_gone())?;
+                        router.route(Request::PathTag {
+                            bs,
+                            clause,
+                            reply: tag_tx.clone(),
+                        })?;
                         let tag = tag_rx.recv().map_err(|_| pool_gone())??;
                         // same path stand-in as the worker pool: one tag
                         // end to end, first fabric port, no QoS
@@ -172,21 +154,38 @@ impl ControllerServer {
                             access_out_port: PortNo(1),
                             qos: None,
                         };
-                        Ok(Message::FlowMod(vec![WireFlowMod {
+                        let mods = vec![WireFlowMod {
                             bs,
                             clause,
                             tags: tags.into(),
-                        }]))
+                        }];
+                        // a sharded server answers with the ticketed,
+                        // barrier-delimited batch form
+                        Ok(if sharded {
+                            Message::FlowModBatch {
+                                shard: shard_of_station(bs, router.domains()) as u16,
+                                seq: shared.batch_seq.fetch_add(1, Ordering::Relaxed) as u32,
+                                groups: vec![WireBatchGroup {
+                                    bs,
+                                    barrier: true,
+                                    mods,
+                                }],
+                            }
+                        } else {
+                            Message::FlowMod(mods)
+                        })
                     })(),
-                    PacketIn::Detach { imsi } => shared
-                        .ues
-                        .lock()
-                        .remove(&imsi)
-                        .map(|record| Message::ClassifierReply {
+                    PacketIn::Detach { imsi } => (|| {
+                        router.route(Request::Detach {
+                            imsi,
+                            reply: det_tx.clone(),
+                        })?;
+                        let record = det_rx.recv().map_err(|_| pool_gone())??;
+                        Ok(Message::ClassifierReply {
                             record: record.into(),
                             classifier: None,
                         })
-                        .ok_or_else(|| Error::NotFound(format!("{imsi} not attached"))),
+                    })(),
                 };
                 Some(reply.unwrap_or_else(|e| Message::from_error(&e)))
             });
@@ -339,18 +338,25 @@ impl<T: Transport> ControllerApi for ChannelController<T> {
     }
 
     fn request_policy_path(&mut self, bs: BaseStationId, clause: ClauseId) -> Result<PathTags> {
-        match self.round_trip(PacketIn::PathRequest { bs, clause })? {
-            Message::FlowMod(mods) => mods
-                .iter()
-                .find(|m| m.bs == bs && m.clause == clause)
-                .map(|m| m.tags.into())
-                .ok_or_else(|| {
-                    Error::InvalidState(format!(
-                        "flow-mod batch missing entry for ({bs}, {clause:?})"
-                    ))
-                }),
-            other => Err(softcell_ctlchan::channel::unexpected("flow mod", &other)),
-        }
+        // a classic server answers `flow_mod`, a sharded one the
+        // ticketed `flow_mod_batch` — the agent accepts both
+        let mods: Vec<WireFlowMod> = match self.round_trip(PacketIn::PathRequest { bs, clause })? {
+            Message::FlowMod(mods) => mods,
+            Message::FlowModBatch { groups, .. } => groups
+                .into_iter()
+                .filter(|g| g.bs == bs)
+                .flat_map(|g| g.mods)
+                .collect(),
+            other => Err(softcell_ctlchan::channel::unexpected("flow mod", &other))?,
+        };
+        mods.iter()
+            .find(|m| m.bs == bs && m.clause == clause)
+            .map(|m| m.tags.into())
+            .ok_or_else(|| {
+                Error::InvalidState(format!(
+                    "flow-mod batch missing entry for ({bs}, {clause:?})"
+                ))
+            })
     }
 
     fn detach_ue(&mut self, imsi: UeImsi) -> Result<UeRecord> {
@@ -372,6 +378,7 @@ mod tests {
     use super::*;
     use softcell_ctlchan::loopback_pair;
     use softcell_policy::{ServicePolicy, SubscriberAttributes};
+    use std::net::Ipv4Addr;
 
     fn subscribers(n: u64) -> Vec<SubscriberAttributes> {
         (0..n)
@@ -498,6 +505,86 @@ mod tests {
         // transport counters saw the attach and the path request
         let stats = ctl.channel().stats().unwrap();
         assert!(stats.rx_msgs >= 3, "hello + attach + path + stats");
+        drop(ctl);
+        serve.join().unwrap().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn sharded_server_replies_with_flow_mod_batches() {
+        use crate::agent::{FlowSetup, LocalAgent};
+        use softcell_dataplane::Switch;
+        use softcell_packet::{build_flow_packet, FiveTuple, HeaderView, Protocol};
+        use softcell_types::{AddressingScheme, PortEmbedding, SwitchId};
+
+        let server =
+            ControllerServer::start_sharded(ServicePolicy::example_carrier_a(1), subscribers(8), 4)
+                .unwrap();
+
+        // raw channel: a path request must come back as the ticketed
+        // flow_mod_batch form, one barrier-fenced group for the station
+        let (agent_end, controller_end) = loopback_pair();
+        let serve = server.serve(controller_end);
+        let mut chan = CtlChannel::new(agent_end);
+        chan.hello(0).unwrap();
+        let raw = chan
+            .request(&Message::PacketIn(PacketIn::PathRequest {
+                bs: BaseStationId(0),
+                clause: ClauseId(2),
+            }))
+            .unwrap();
+        let frame = softcell_ctlchan::Frame::new_checked(raw.as_slice()).unwrap();
+        let Message::FlowModBatch { shard, groups, .. } = frame.message().unwrap() else {
+            panic!("sharded server must answer flow_mod_batch");
+        };
+        assert_eq!(shard as usize, shard_of_station(BaseStationId(0), 4));
+        assert_eq!(groups.len(), 1);
+        assert!(groups[0].barrier);
+        assert_eq!(groups[0].bs, BaseStationId(0));
+        assert_eq!(groups[0].mods.len(), 1);
+        assert_eq!(groups[0].mods[0].clause, ClauseId(2));
+        drop(chan);
+        serve.join().unwrap().unwrap();
+
+        // and the unchanged agent consumes those replies transparently
+        let (agent_end, controller_end) = loopback_pair();
+        let serve = server.serve(controller_end);
+        let mut ctl = ChannelController::connect(agent_end, BaseStationId(1)).unwrap();
+        let mut agent = LocalAgent::new(
+            BaseStationId(1),
+            PortNo(2),
+            AddressingScheme::default_scheme(),
+            PortEmbedding::default_embedding(),
+        );
+        let mut switch = Switch::access(SwitchId(1));
+        let rec = agent
+            .handle_attach(UeImsi(3), &mut ctl, SimTime::ZERO)
+            .unwrap();
+        let tuple = FiveTuple {
+            src: rec.permanent_ip,
+            dst: Ipv4Addr::new(93, 184, 216, 34),
+            src_port: 50_000,
+            dst_port: 443,
+            proto: Protocol::Tcp,
+        };
+        let view = HeaderView::parse(&build_flow_packet(tuple, 64, 0, &[])).unwrap();
+        let setup = agent
+            .handle_new_flow(&view, &mut ctl, &mut switch, SimTime::ZERO)
+            .unwrap();
+        assert!(
+            matches!(
+                setup,
+                FlowSetup::Allowed {
+                    cache_hit: false,
+                    ..
+                }
+            ),
+            "first flow escalates over the wire: {setup:?}"
+        );
+        let again = agent
+            .handle_new_flow(&view, &mut ctl, &mut switch, SimTime(1))
+            .is_err();
+        assert!(!again, "repeat flow must not fail");
         drop(ctl);
         serve.join().unwrap().unwrap();
         server.shutdown();

@@ -362,6 +362,9 @@ impl Message<'_> {
                 Message::ClassifierReply { record, classifier }
             }
             Message::FlowMod(mods) => Message::FlowMod(mods),
+            Message::FlowModBatch { shard, seq, groups } => {
+                Message::FlowModBatch { shard, seq, groups }
+            }
             Message::BarrierRequest => Message::BarrierRequest,
             Message::BarrierReply => Message::BarrierReply,
             Message::StatsRequest => Message::StatsRequest,

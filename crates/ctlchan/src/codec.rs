@@ -181,6 +181,9 @@ pub mod msg_type {
     pub const STATS_REQUEST: u8 = 9;
     /// The counters.
     pub const STATS_REPLY: u8 = 10;
+    /// Controller → agent: barrier-delimited per-station groups of
+    /// tag-cache programming entries from one sharded-controller ticket.
+    pub const FLOW_MOD_BATCH: u8 = 11;
 }
 
 /// Wire form of an [`Error`]: a category code plus the message text.
@@ -340,6 +343,23 @@ pub struct WireFlowMod {
     pub tags: WirePathTags,
 }
 
+/// One station's slice of a flow-mod batch: the entries programming
+/// that station's tag cache, with a barrier bit fencing the group — the
+/// receiver must finish applying the group's entries before touching
+/// anything that follows. Mirrors the controller's per-switch
+/// `SwitchBatch` emission: entries for one station are in controller
+/// order, so the trailing barrier is sufficient for consistency (see
+/// `softcell-controller::ops::batch_by_switch`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireBatchGroup {
+    /// The station whose tag cache this group programs.
+    pub bs: BaseStationId,
+    /// Fence after this group.
+    pub barrier: bool,
+    /// The entries, in controller emission order.
+    pub mods: Vec<WireFlowMod>,
+}
+
 /// Wire form of a per-UE packet classifier.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct WireClassifier {
@@ -400,6 +420,18 @@ pub enum Message<'a> {
     },
     /// A batch of tag-cache programming entries.
     FlowMod(Vec<WireFlowMod>),
+    /// Ticket-stamped, barrier-delimited per-station groups of
+    /// tag-cache entries emitted by one sharded-controller ticket.
+    /// `(shard, seq)` orders batches globally: receivers apply batches
+    /// in ascending `seq` regardless of which shard's worker sent them.
+    FlowModBatch {
+        /// Worker shard that emitted the batch.
+        shard: u16,
+        /// Global ticket number of the coordinated event.
+        seq: u32,
+        /// Per-station groups in emission order.
+        groups: Vec<WireBatchGroup>,
+    },
     /// Fence request.
     BarrierRequest,
     /// Fence acknowledgement.
@@ -421,6 +453,7 @@ impl Message<'_> {
             Message::PacketIn(_) => msg_type::PACKET_IN,
             Message::ClassifierReply { .. } => msg_type::CLASSIFIER_REPLY,
             Message::FlowMod(_) => msg_type::FLOW_MOD,
+            Message::FlowModBatch { .. } => msg_type::FLOW_MOD_BATCH,
             Message::BarrierRequest => msg_type::BARRIER_REQUEST,
             Message::BarrierReply => msg_type::BARRIER_REPLY,
             Message::StatsRequest => msg_type::STATS_REQUEST,
@@ -512,6 +545,26 @@ impl Message<'_> {
                     w.tags(&m.tags);
                 }
             }
+            Message::FlowModBatch { shard, seq, groups } => {
+                debug_assert!(
+                    groups.len() <= u16::MAX as usize,
+                    "batch has too many groups"
+                );
+                w.u16(*shard);
+                w.u32(*seq);
+                w.u16(groups.len() as u16);
+                for g in groups {
+                    debug_assert!(g.mods.len() <= u16::MAX as usize, "group too large");
+                    w.u32(g.bs.0);
+                    w.u8(u8::from(g.barrier));
+                    w.u16(g.mods.len() as u16);
+                    for m in &g.mods {
+                        w.u32(m.bs.0);
+                        w.u16(m.clause.0);
+                        w.tags(&m.tags);
+                    }
+                }
+            }
             Message::BarrierRequest | Message::BarrierReply | Message::StatsRequest => {}
             Message::StatsReply(s) => {
                 w.u64(s.served);
@@ -581,6 +634,31 @@ impl Message<'_> {
                     });
                 }
                 Message::FlowMod(mods)
+            }
+            msg_type::FLOW_MOD_BATCH => {
+                let shard = r.u16()?;
+                let seq = r.u32()?;
+                let n_groups = r.u16()? as usize;
+                let mut groups = Vec::with_capacity(n_groups.min(1024));
+                for _ in 0..n_groups {
+                    let bs = BaseStationId(r.u32()?);
+                    let barrier = match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        other => return Err(Error::Malformed(format!("barrier flag {other}"))),
+                    };
+                    let n_mods = r.u16()? as usize;
+                    let mut mods = Vec::with_capacity(n_mods.min(1024));
+                    for _ in 0..n_mods {
+                        mods.push(WireFlowMod {
+                            bs: BaseStationId(r.u32()?),
+                            clause: ClauseId(r.u16()?),
+                            tags: r.tags()?,
+                        });
+                    }
+                    groups.push(WireBatchGroup { bs, barrier, mods });
+                }
+                Message::FlowModBatch { shard, seq, groups }
             }
             msg_type::BARRIER_REQUEST => Message::BarrierRequest,
             msg_type::BARRIER_REPLY => Message::BarrierReply,
@@ -905,6 +983,68 @@ mod tests {
         let buf = Message::from_error(&e).encode(3);
         let frame = Frame::new_checked(&buf[..]).unwrap();
         assert_eq!(frame.message().unwrap().as_error(), Some(e));
+    }
+
+    #[test]
+    fn flow_mod_batch_round_trips() {
+        let tags = |n: u16| WirePathTags {
+            uplink_entry: PolicyTag(n),
+            uplink_exit: PolicyTag(n + 1),
+            downlink_final: PolicyTag(n + 2),
+            access_out_port: PortNo(3),
+            qos: None,
+        };
+        let msg = Message::FlowModBatch {
+            shard: 2,
+            seq: 0x00C0_FFEE,
+            groups: vec![
+                WireBatchGroup {
+                    bs: BaseStationId(7),
+                    barrier: true,
+                    mods: vec![
+                        WireFlowMod {
+                            bs: BaseStationId(7),
+                            clause: ClauseId(1),
+                            tags: tags(10),
+                        },
+                        WireFlowMod {
+                            bs: BaseStationId(7),
+                            clause: ClauseId(2),
+                            tags: tags(20),
+                        },
+                    ],
+                },
+                WireBatchGroup {
+                    bs: BaseStationId(9),
+                    barrier: true,
+                    mods: vec![],
+                },
+            ],
+        };
+        let buf = msg.encode(41);
+        let frame = Frame::new_checked(&buf[..]).unwrap();
+        assert_eq!(frame.message().unwrap(), msg);
+    }
+
+    #[test]
+    fn flow_mod_batch_rejects_bad_barrier_flag() {
+        let msg = Message::FlowModBatch {
+            shard: 0,
+            seq: 1,
+            groups: vec![WireBatchGroup {
+                bs: BaseStationId(1),
+                barrier: false,
+                mods: vec![],
+            }],
+        };
+        let mut buf = msg.encode(1);
+        // the barrier flag sits right after the 12-byte header, the
+        // u16 shard, u32 seq, u16 group count and u32 bs
+        let flag_at = HEADER_LEN + 2 + 4 + 2 + 4;
+        assert_eq!(buf[flag_at], 0);
+        buf[flag_at] = 2;
+        let frame = Frame::new_checked(&buf[..]).unwrap();
+        assert!(frame.message().is_err(), "barrier flag 2 must be rejected");
     }
 
     #[test]

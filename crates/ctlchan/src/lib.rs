@@ -30,8 +30,8 @@ pub mod transport;
 
 pub use channel::{serve, CtlChannel, RetryPolicy, DEDUP_WINDOW};
 pub use codec::{
-    ChannelStats, ErrorCode, Frame, Message, PacketIn, WireClassifier, WireFlowMod, WirePathTags,
-    WireUeRecord, HEADER_LEN, MAX_FRAME, VERSION,
+    ChannelStats, ErrorCode, Frame, Message, PacketIn, WireBatchGroup, WireClassifier, WireFlowMod,
+    WirePathTags, WireUeRecord, HEADER_LEN, MAX_FRAME, VERSION,
 };
 pub use transport::{
     loopback_pair, ChannelCounters, CounterSnapshot, FaultConfig, FaultStats, FaultTransport,

@@ -784,8 +784,14 @@ impl<'t> SimWorld<'t> {
     }
 
     fn apply_pending_ops(&mut self) -> Result<()> {
-        let ops = self.controller.drain_ops();
-        self.net.apply_all(&ops)
+        // drain through the per-switch batched form — the same path the
+        // sharded controller ships over the wire as `flow_mod_batch` —
+        // so every simulation run exercises batching + barrier framing
+        for batch in self.controller.drain_op_batches() {
+            debug_assert!(batch.barrier, "controller batches are barrier-fenced");
+            self.net.apply_all(&batch.ops)?;
+        }
+        Ok(())
     }
 }
 

@@ -20,6 +20,7 @@ pub mod error;
 pub mod fxhash;
 pub mod ids;
 pub mod prefix;
+pub mod shard;
 pub mod tag;
 pub mod time;
 
@@ -31,5 +32,6 @@ pub use ids::{
     UeImsi,
 };
 pub use prefix::Ipv4Prefix;
+pub use shard::{shard_of_station, shard_of_ue, RangePool, ShardRange};
 pub use tag::{PolicyTag, TagAllocator};
 pub use time::{SimDuration, SimTime};

@@ -16,6 +16,19 @@ cargo test -q --workspace
 echo "==> fault-injection churn (120 s cap)"
 timeout 120 cargo test -q --release --test fault_churn
 
+# Sharded-controller differential oracle + cross-shard interleavings,
+# also time-capped: a lost rendezvous or a burned-but-unserved ticket is
+# a deadlock, and the timeout surfaces it as a red build.
+echo "==> shard oracle + interleaving sweep (180 s cap)"
+timeout 180 cargo test -q --release --test shard_oracle --test shard_interleave
+
+# Sharded packet-in throughput smoke: 4 domains must beat a single
+# domain by at least 1.5x (the acceptance floor is 2x on multicore; the
+# smoke bar is lower so a loaded 1-core CI box still passes honestly).
+echo "==> sharded throughput smoke (120 s cap)"
+timeout 120 cargo run --release -q -p softcell-bench --bin tab2_agent_throughput -- \
+  --quick --shards 4 --min-speedup 1.5
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -1,0 +1,403 @@
+//! Shared harness for the sharded-controller differential tests: a
+//! single-threaded reference driver (real `CentralController` + real
+//! per-station `LocalAgent`s, applied the way the simulator applies
+//! them), a materializer replaying a `ShardedRun` onto a fresh data
+//! plane, and canonicalized state dumps for byte-level comparison.
+#![allow(dead_code)]
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+use softcell::controller::mobility::FlowRecord;
+use softcell::controller::sharded::{EventOutcome, ShardEvent, ShardEventKind, ShardedRun};
+use softcell::controller::{CentralController, ControllerConfig, LocalAgent};
+use softcell::dataplane::MicroflowAction;
+use softcell::packet::{build_flow_packet, FiveTuple, HeaderView, Protocol};
+use softcell::policy::{ServicePolicy, SubscriberAttributes};
+use softcell::sim::PhysicalNetwork;
+use softcell::topology::Topology;
+use softcell::types::{Ipv4Prefix, SimDuration, UeImsi};
+
+/// Remote endpoint all test flows target.
+pub const SERVER: Ipv4Addr = Ipv4Addr::new(93, 184, 216, 34);
+
+/// The service policy both implementations run.
+pub fn policy() -> ServicePolicy {
+    ServicePolicy::example_carrier_a(1)
+}
+
+/// `n` provisioned subscribers.
+pub fn subscribers(n: u64) -> Vec<SubscriberAttributes> {
+    (0..n)
+        .map(|i| SubscriberAttributes::default_home(UeImsi(i)))
+        .collect()
+}
+
+/// Everything compared between the two implementations.
+pub struct RunDump {
+    /// Per-switch fabric flow tables, verbatim (no canonicalization —
+    /// these hold LocIP prefixes and tags only, never permanent IPs).
+    pub fabric: String,
+    /// Sorted canonicalized microflow entries across all switches.
+    pub microflow: Vec<String>,
+    /// The partition of flow source ports into same-permanent-IP groups.
+    pub ip_groups: BTreeSet<BTreeSet<u16>>,
+    /// Controller state (locations, reservations, tags, transitions).
+    pub state: String,
+    /// (flows, cache_hits, cache_misses, denied).
+    pub flow_stats: (u64, u64, u64, u64),
+}
+
+/// Dumps every switch's fabric flow table verbatim.
+pub fn fabric_dump(topo: &Topology, net: &PhysicalNetwork) -> String {
+    let mut s = String::new();
+    for sw in topo.switches() {
+        writeln!(s, "== {:?}", sw.id).unwrap();
+        for r in net.switch(sw.id).table.iter() {
+            writeln!(s, "{r:?}").unwrap();
+        }
+    }
+    s
+}
+
+/// Dumps all microflow entries with permanent addresses canonicalized
+/// through the owning flow's globally-unique source port, plus the
+/// partition of ports into same-address groups.
+pub fn microflow_dump(
+    topo: &Topology,
+    net: &PhysicalNetwork,
+    pool: Ipv4Prefix,
+) -> (Vec<String>, BTreeSet<BTreeSet<u16>>) {
+    let mut lines = Vec::new();
+    let mut groups: HashMap<Ipv4Addr, BTreeSet<u16>> = HashMap::new();
+    for sw in topo.switches() {
+        for (tuple, entry) in net.switch(sw.id).microflow.iter() {
+            let mut t = *tuple;
+            let mut action = entry.action;
+            if pool.contains(t.src) {
+                // uplink or drop entry: src is the UE's permanent IP and
+                // src_port is the flow's unique identity
+                groups.entry(t.src).or_default().insert(t.src_port);
+                t.src = Ipv4Addr::UNSPECIFIED;
+            }
+            if let MicroflowAction::RewriteDst { addr, port, out } = action {
+                if pool.contains(addr) {
+                    // downlink entry: the restored destination is the
+                    // permanent IP, the restored port the flow identity
+                    groups.entry(addr).or_default().insert(port);
+                    action = MicroflowAction::RewriteDst {
+                        addr: Ipv4Addr::UNSPECIFIED,
+                        port,
+                        out,
+                    };
+                }
+            }
+            lines.push(format!(
+                "{:?} {t:?} {action:?} deadline={:?} packets={}",
+                sw.id, entry.idle_deadline, entry.packets
+            ));
+        }
+    }
+    lines.sort();
+    (lines, groups.into_values().collect())
+}
+
+/// Dumps controller state: per-UE locations, reservation and tag
+/// counters, mobility residue.
+pub fn state_dump(ctl: &CentralController<'_>) -> String {
+    let mut ues: Vec<_> = ctl
+        .state()
+        .attached()
+        .map(|r| (r.imsi.0, r.bs, r.ue_id, r.since))
+        .collect();
+    ues.sort_by_key(|u| u.0);
+    format!(
+        "ues={ues:?} reserved={} tags={} transitions={} tunnels={}",
+        ctl.state().reserved_count(),
+        ctl.installer().tags_in_use(),
+        ctl.mobility().transitions_active(),
+        ctl.mobility().tunnel_count(),
+    )
+}
+
+/// Drives the trace through the single-threaded controller + real local
+/// agents, the way `SimWorld` does (agent-side UE-id discipline,
+/// microflow installs at the access switch, handoff plan application).
+/// Returns the dump plus the live controller and network for follow-up
+/// checks (expiry, residue).
+pub fn reference_run_full<'t>(
+    topo: &'t Topology,
+    n_subs: u64,
+    events: &[ShardEvent],
+) -> (RunDump, CentralController<'t>, PhysicalNetwork) {
+    let cfg = ControllerConfig::simulation();
+    let mut ctl = CentralController::new(topo, cfg, policy());
+    for attrs in subscribers(n_subs) {
+        ctl.put_subscriber(attrs);
+    }
+    let mut net = PhysicalNetwork::new(topo);
+    let mut agents: Vec<LocalAgent> = topo
+        .base_stations()
+        .iter()
+        .map(|bs| LocalAgent::new(bs.id, bs.radio_port, cfg.scheme, cfg.ports))
+        .collect();
+
+    for ev in events {
+        match ev.kind {
+            ShardEventKind::Attach { bs } => {
+                agents[bs.index()]
+                    .handle_attach(ev.imsi, &mut ctl, ev.time)
+                    .expect("reference attach");
+                let ops = ctl.drain_ops();
+                net.apply_all(&ops).expect("attach ops");
+            }
+            ShardEventKind::NewFlow {
+                bs,
+                dst,
+                src_port,
+                dst_port,
+                udp,
+            } => {
+                let rec = *ctl.state().ue(ev.imsi).expect("flow for attached UE");
+                assert_eq!(rec.bs, bs, "trace keeps flows at the current station");
+                let tuple = FiveTuple {
+                    src: rec.permanent_ip,
+                    dst,
+                    src_port,
+                    dst_port,
+                    proto: if udp { Protocol::Udp } else { Protocol::Tcp },
+                };
+                let buf = build_flow_packet(tuple, 64, 0, b"x");
+                let view = HeaderView::parse(&buf).expect("well-formed packet");
+                let access = topo.base_station(bs).access_switch;
+                agents[bs.index()]
+                    .handle_new_flow(&view, &mut ctl, net.switch_mut(access), ev.time)
+                    .expect("reference flow");
+                let ops = ctl.drain_ops();
+                net.apply_all(&ops).expect("flow ops");
+            }
+            ShardEventKind::Handoff { from, to } => {
+                let rec = *ctl.state().ue(ev.imsi).expect("handoff for attached UE");
+                assert_eq!(rec.bs, from, "trace hands off from the current station");
+                let old_access = topo.base_station(from).access_switch;
+                let flows: Vec<FlowRecord> = {
+                    let sw = net.switch(old_access);
+                    agents[from.index()]
+                        .flows_of(ev.imsi)
+                        .expect("flows of attached UE")
+                        .iter()
+                        .filter_map(|f| {
+                            let up = sw.microflow.peek(&f.uplink)?;
+                            let down = sw.microflow.peek(&f.downlink)?;
+                            Some(FlowRecord {
+                                uplink: f.uplink,
+                                downlink: f.downlink,
+                                downlink_original: f.downlink_original,
+                                up_action: up.action,
+                                down_action: down.action,
+                            })
+                        })
+                        .collect()
+                };
+                let new_id = agents[to.index()].reserve_ue_id().expect("target UE id");
+                let plan = ctl
+                    .handoff(ev.imsi, to, new_id, &flows, ev.time)
+                    .expect("reference handoff");
+                net.apply_all(&plan.ops).expect("handoff ops");
+                let ops = ctl.drain_ops();
+                net.apply_all(&ops).expect("handoff pending ops");
+                for t in &plan.old_microflow_removals {
+                    net.switch_mut(old_access).microflow.remove(t);
+                }
+                let new_access = topo.base_station(to).access_switch;
+                let deadline = ev.time + SimDuration::from_secs(300);
+                for (tuple, action) in &plan.new_microflow_installs {
+                    net.switch_mut(new_access)
+                        .microflow
+                        .install(*tuple, *action, deadline)
+                        .expect("handoff microflow copy");
+                }
+                agents[from.index()].evict(ev.imsi).expect("evict");
+                agents[to.index()]
+                    .adopt(plan.new, plan.classifier.clone())
+                    .expect("adopt");
+                agents[to.index()]
+                    .adopt_flows(ev.imsi, plan.carried_flows.clone())
+                    .expect("adopt flows");
+            }
+            ShardEventKind::Detach { .. } => {
+                let bs = ctl.state().ue(ev.imsi).expect("detach of attached UE").bs;
+                agents[bs.index()]
+                    .handle_detach(ev.imsi, &mut ctl)
+                    .expect("reference detach");
+                let ops = ctl.drain_ops();
+                net.apply_all(&ops).expect("detach ops");
+            }
+        }
+    }
+
+    let mut flow_stats = (0, 0, 0, 0);
+    for a in &agents {
+        let s = a.stats();
+        flow_stats.0 += s.flows;
+        flow_stats.1 += s.cache_hits;
+        flow_stats.2 += s.cache_misses;
+        flow_stats.3 += s.denied;
+    }
+    let (microflow, ip_groups) = microflow_dump(topo, &net, cfg.permanent_pool);
+    let dump = RunDump {
+        fabric: fabric_dump(topo, &net),
+        microflow,
+        ip_groups,
+        state: state_dump(&ctl),
+        flow_stats,
+    };
+    (dump, ctl, net)
+}
+
+/// [`reference_run_full`] when only the dump is needed.
+pub fn reference_run(topo: &Topology, n_subs: u64, events: &[ShardEvent]) -> RunDump {
+    reference_run_full(topo, n_subs, events).0
+}
+
+/// Replays a sharded run's merged batch stream and per-event outcomes
+/// onto a fresh data plane.
+pub fn materialize_net(topo: &Topology, run: &ShardedRun<'_>) -> PhysicalNetwork {
+    let mut net = PhysicalNetwork::new(topo);
+    for stream in &run.shard_batches {
+        let mut last = None;
+        for sb in stream {
+            assert!(
+                last.is_none_or(|p| p < sb.seq),
+                "per-shard streams are seq-ascending"
+            );
+            last = Some(sb.seq);
+        }
+    }
+    for batch in run.merged_batches() {
+        assert!(batch.barrier, "every emitted batch is barrier-delimited");
+        for op in &batch.ops {
+            assert_eq!(op.switch(), batch.switch, "batch is single-switch");
+        }
+        net.apply_all(&batch.ops).expect("sharded fabric ops");
+    }
+    for out in &run.outcomes {
+        match out {
+            EventOutcome::Flow(d) => {
+                let deadline =
+                    d.time + softcell::controller::sharded::ShardedController::microflow_idle();
+                for (t, a) in &d.installs {
+                    net.switch_mut(d.access)
+                        .microflow
+                        .install(*t, *a, deadline)
+                        .expect("sharded microflow install");
+                }
+            }
+            EventOutcome::HandedOff(h) => {
+                for t in &h.removals {
+                    net.switch_mut(h.old_access).microflow.remove(t);
+                }
+                let deadline = h.time + SimDuration::from_secs(300);
+                for (t, a) in &h.installs {
+                    net.switch_mut(h.new_access)
+                        .microflow
+                        .install(*t, *a, deadline)
+                        .expect("sharded handoff copy");
+                }
+            }
+            _ => {}
+        }
+    }
+    net
+}
+
+/// Materializes and dumps a sharded run.
+pub fn materialize(topo: &Topology, run: &ShardedRun<'_>) -> RunDump {
+    let cfg = ControllerConfig::simulation();
+    let net = materialize_net(topo, run);
+    let (microflow, ip_groups) = microflow_dump(topo, &net, cfg.permanent_pool);
+    RunDump {
+        fabric: fabric_dump(topo, &net),
+        microflow,
+        ip_groups,
+        state: state_dump(&run.engine),
+        flow_stats: (
+            run.stats.flows,
+            run.stats.cache_hits,
+            run.stats.cache_misses,
+            run.stats.denied,
+        ),
+    }
+}
+
+/// Asserts the comparable parts of two dumps are identical. Address
+/// *placement* is excluded by construction (canonicalized); address
+/// *sharing* is checked separately via [`assert_sessions_refine`].
+pub fn compare(reference: &RunDump, sharded: &RunDump, label: &str) {
+    assert_eq!(
+        reference.fabric, sharded.fabric,
+        "{label}: fabric flow tables must be byte-identical (rule ids included)"
+    );
+    assert_eq!(
+        reference.microflow, sharded.microflow,
+        "{label}: canonicalized microflow tables must match"
+    );
+    assert_eq!(reference.state, sharded.state, "{label}: controller state");
+    assert_eq!(
+        reference.flow_stats, sharded.flow_stats,
+        "{label}: flow / cache-hit / cache-miss / denied counters"
+    );
+}
+
+/// The ports of each attachment session (one UE, attach→detach span),
+/// straight from the trace. Within a session every flow uses the UE's
+/// one permanent address, so each session's ports must land in a single
+/// same-address group — in *both* implementations. The partitions
+/// themselves may differ: the reference reuses freed addresses across
+/// any UE (shared LIFO pool) while the sharded controller reuses within
+/// a shard's range, so the groups are different coarsenings of the same
+/// session partition.
+pub fn session_port_groups(events: &[ShardEvent]) -> Vec<BTreeSet<u16>> {
+    let mut session_of: HashMap<u64, u32> = HashMap::new();
+    let mut groups: HashMap<(u64, u32), BTreeSet<u16>> = HashMap::new();
+    for ev in events {
+        match ev.kind {
+            ShardEventKind::Attach { .. } => {
+                *session_of.entry(ev.imsi.0).or_insert(0) += 1;
+            }
+            ShardEventKind::NewFlow { src_port, .. } => {
+                let s = *session_of.get(&ev.imsi.0).unwrap_or(&0);
+                groups.entry((ev.imsi.0, s)).or_default().insert(src_port);
+            }
+            _ => {}
+        }
+    }
+    groups.into_values().collect()
+}
+
+/// Asserts that every attachment session's flows share exactly one
+/// permanent address in the dump.
+pub fn assert_sessions_refine(sessions: &[BTreeSet<u16>], dump: &RunDump, label: &str) {
+    for session in sessions {
+        let hits = dump
+            .ip_groups
+            .iter()
+            .filter(|g| !g.is_disjoint(session))
+            .count();
+        assert_eq!(
+            hits, 1,
+            "{label}: a session's flows must share exactly one permanent address \
+             (session ports {session:?})"
+        );
+        let group = dump
+            .ip_groups
+            .iter()
+            .find(|g| !g.is_disjoint(session))
+            .unwrap();
+        assert!(
+            session.is_subset(group),
+            "{label}: session ports {session:?} split across addresses"
+        );
+    }
+}

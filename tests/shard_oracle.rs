@@ -1,0 +1,106 @@
+//! Differential oracle for the sharded controller core.
+//!
+//! The same seeded workload is driven through two implementations:
+//!
+//! * **reference** — the single-threaded `CentralController` with one
+//!   real `LocalAgent` per base station, applied to a `PhysicalNetwork`
+//!   exactly the way the simulator does it;
+//! * **sharded** — `ShardedController` at 1, 2, 4 and 8 shards, whose
+//!   ticket-stamped batch streams and per-event outcomes are replayed
+//!   onto a fresh `PhysicalNetwork`.
+//!
+//! The final fabric flow tables must be **byte-identical** (rule ids
+//! included: the merged batch stream reproduces the exact global op
+//! order). Microflow tables and controller state must be identical
+//! modulo permanent-address placement: the sharded controller carves
+//! the permanent pool into static per-shard ranges, so each UE's
+//! address differs between runs, but every microflow entry carries its
+//! flow's globally-unique UE source port, which names the flow across
+//! runs. Entries are compared with permanent addresses canonicalized
+//! through that port, and each attachment session's flows are checked
+//! to share exactly one address so sharing cannot silently diverge.
+
+mod common;
+
+use common::{
+    assert_sessions_refine, compare, materialize, policy, reference_run, session_port_groups,
+    subscribers, SERVER,
+};
+use softcell::controller::sharded::{ShardEvent, ShardEventKind, ShardedController};
+use softcell::controller::ControllerConfig;
+use softcell::topology::small_topology;
+use softcell::workload::{EventKind, EventStream, EventStreamConfig};
+
+const UES: u64 = 24;
+
+/// Converts the generated trace, giving every flow a globally-unique
+/// source port (40000 + event index) — the cross-run flow identity the
+/// canonicalization leans on.
+fn convert(events: &[softcell::workload::TraceEvent]) -> Vec<ShardEvent> {
+    assert!(events.len() < 25_000, "source ports must stay unique");
+    events
+        .iter()
+        .enumerate()
+        .map(|(idx, ev)| {
+            let kind = match ev.kind {
+                EventKind::Attach { bs } => ShardEventKind::Attach { bs },
+                EventKind::NewFlow { bs, dst_port, udp } => ShardEventKind::NewFlow {
+                    bs,
+                    dst: SERVER,
+                    src_port: 40_000 + idx as u16,
+                    dst_port,
+                    udp,
+                },
+                EventKind::Handoff { from, to } => ShardEventKind::Handoff { from, to },
+                EventKind::Detach { bs } => ShardEventKind::Detach { bs },
+            };
+            ShardEvent {
+                time: ev.time,
+                imsi: ev.imsi,
+                kind,
+            }
+        })
+        .collect()
+}
+
+fn oracle(workload_seed: u64) {
+    let topo = small_topology();
+    let stream = EventStream::generate(&EventStreamConfig::busy(4, UES, workload_seed));
+    let events = convert(stream.events());
+    assert!(!events.is_empty());
+    let sessions = session_port_groups(&events);
+
+    let reference = reference_run(&topo, UES, &events);
+    assert!(reference.flow_stats.0 > 0, "workload produced flows");
+    assert_sessions_refine(&sessions, &reference, "reference");
+
+    for shards in [1usize, 2, 4, 8] {
+        let sc = ShardedController::new(&topo, ControllerConfig::simulation(), shards)
+            .with_sched_seed(workload_seed.wrapping_mul(31) + shards as u64);
+        let run = sc.run(policy(), &subscribers(UES), &events);
+        assert_eq!(
+            run.stats.skipped, 0,
+            "{shards} shards: clean trace must not skip events"
+        );
+        assert_eq!(run.outcomes.len(), events.len());
+        let dump = materialize(&topo, &run);
+        compare(&reference, &dump, &format!("{shards} shards"));
+        assert_sessions_refine(&sessions, &dump, &format!("{shards} shards"));
+        // cache-miss flows are exactly the coordinated flow events
+        assert_eq!(
+            run.stats.coordinated,
+            run.stats.attaches + run.stats.detaches + run.stats.handoffs + run.stats.cache_misses,
+            "{shards} shards: every coordinated event is accounted for"
+        );
+    }
+}
+
+#[test]
+fn sharded_controller_matches_single_threaded_oracle() {
+    oracle(7);
+}
+
+#[test]
+fn sharded_controller_matches_oracle_second_seed() {
+    oracle(1913);
+}
