@@ -18,11 +18,12 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
-use softcell_bench::{is_quick, maybe_dump_json, timed, TextTable};
+use softcell_bench::{is_quick, maybe_dump_json, maybe_dump_telemetry, timed, TextTable};
 use softcell_controller::install::Direction;
 use softcell_controller::{PathInstaller, TagPolicy};
 use softcell_sim::baseline::{per_flow_estimate, FlatTagBaseline, LocationOnlyBaseline};
 use softcell_sim::figure7::scheme_for;
+use softcell_telemetry::Registry;
 use softcell_topology::{CellularParams, PolicyPath, ShortestPaths, SwitchRole};
 use softcell_types::{BaseStationId, MiddleboxId, MiddleboxKind};
 
@@ -194,4 +195,5 @@ fn main() {
             rows,
         },
     );
+    maybe_dump_telemetry(&args, &Registry::global().snapshot());
 }

@@ -20,9 +20,10 @@
 //! (this reproduction runs on one core); `--full` runs every point.
 
 use serde::Serialize;
-use softcell_bench::{is_quick, maybe_dump_json, timed, TextTable};
+use softcell_bench::{is_quick, maybe_dump_json, maybe_dump_telemetry, timed, TextTable};
 use softcell_sim::figure7::{run, run_on, Figure7Config, InstanceChoice};
 use softcell_sim::Figure7Result;
+use softcell_telemetry::Registry;
 use softcell_topology::CellularParams;
 
 #[derive(Serialize)]
@@ -185,4 +186,5 @@ fn main() {
             rows: all_rows,
         },
     );
+    maybe_dump_telemetry(&args, &Registry::global().snapshot());
 }

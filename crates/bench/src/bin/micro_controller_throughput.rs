@@ -17,9 +17,10 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::bounded;
 use serde::Serialize;
-use softcell_bench::{is_quick, maybe_dump_json, TextTable};
+use softcell_bench::{is_quick, maybe_dump_json, maybe_dump_telemetry, TextTable};
 use softcell_controller::server::{ControllerServer, Request};
 use softcell_policy::{ServicePolicy, SubscriberAttributes};
+use softcell_telemetry::{Registry, Snapshot};
 use softcell_types::UeImsi;
 
 #[derive(Serialize)]
@@ -38,7 +39,7 @@ struct Output {
     rows: Vec<Row>,
 }
 
-fn measure(workers: usize, clients: usize, duration: Duration) -> Row {
+fn measure(workers: usize, clients: usize, duration: Duration) -> (Row, Snapshot) {
     const SUBS: u64 = 1000;
     let subscribers: Vec<SubscriberAttributes> = (0..SUBS)
         .map(|i| SubscriberAttributes::default_home(UeImsi(i)))
@@ -78,14 +79,18 @@ fn measure(workers: usize, clients: usize, duration: Duration) -> Row {
     }
     let secs = start.elapsed().as_secs_f64();
     let served = server.served();
+    let registry = server.telemetry();
     server.shutdown();
-    Row {
-        workers,
-        clients,
-        requests: served,
-        seconds: secs,
-        requests_per_sec: served as f64 / secs,
-    }
+    (
+        Row {
+            workers,
+            clients,
+            requests: served,
+            seconds: secs,
+            requests_per_sec: served as f64 / secs,
+        },
+        registry.snapshot(),
+    )
 }
 
 fn main() {
@@ -98,9 +103,14 @@ fn main() {
 
     println!("Central-controller classifier-request throughput");
     println!("(paper: 2.2M req/s with 15 threads on 8 cores; this host: 1 core)");
+    let mut telemetry = Snapshot::default();
     let rows: Vec<Row> = [1usize, 2, 4, 8, 15]
         .iter()
-        .map(|&w| measure(w, 4, duration))
+        .map(|&w| {
+            let (row, snap) = measure(w, 4, duration);
+            telemetry.merge(&snap);
+            row
+        })
         .collect();
 
     let mut t = TextTable::new(&["workers", "clients", "requests", "secs", "req/s"]);
@@ -125,4 +135,6 @@ fn main() {
             rows,
         },
     );
+    telemetry.merge(&Registry::global().snapshot());
+    maybe_dump_telemetry(&args, &telemetry);
 }

@@ -39,14 +39,20 @@
 //!   single-shard rate.
 //!
 //! Usage: `tab2_agent_throughput [--quick] [--transport inproc|wire]
-//!          [--shards N [--min-speedup X]] [--json PATH]`
+//!          [--shards N [--min-speedup X]] [--json PATH]
+//!          [--telemetry PATH]`
+//!
+//! `--telemetry PATH` prints the run's telemetry report (counters,
+//! latency percentiles, journal) and writes the full snapshot — the
+//! server's per-instance registry merged with the process-global one —
+//! as JSON to `PATH`.
 
 use std::net::Ipv4Addr;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::bounded;
 use serde::Serialize;
-use softcell_bench::{is_quick, maybe_dump_json, TextTable};
+use softcell_bench::{is_quick, maybe_dump_json, maybe_dump_telemetry, TextTable};
 use softcell_controller::agent::{ControllerApi, LocalAgent};
 use softcell_controller::core::{AttachGrant, PathTags};
 use softcell_controller::server::{ControllerServer, Request};
@@ -57,6 +63,7 @@ use softcell_dataplane::Switch;
 use softcell_packet::{build_flow_packet, FiveTuple, HeaderView, Protocol};
 use softcell_policy::clause::ClauseId;
 use softcell_policy::{ServicePolicy, SubscriberAttributes};
+use softcell_telemetry::{Registry, Snapshot};
 use softcell_types::{
     AddressingScheme, BaseStationId, Error, PolicyTag, PortEmbedding, PortNo, Result, SimTime,
     SwitchId, UeId, UeImsi,
@@ -307,7 +314,7 @@ struct ShardOutput {
 
 /// Flood the sharded pool with attach/detach packet-ins from `CLIENTS`
 /// concurrent agents for `duration`; returns (requests, seconds).
-fn measure_shards(shards: usize, duration: Duration) -> (u64, f64) {
+fn measure_shards(shards: usize, duration: Duration) -> (u64, f64, Snapshot) {
     const CLIENTS: usize = 16;
     const UES_PER_CLIENT: u64 = 64;
     const FENCE: Duration = Duration::from_micros(200);
@@ -369,8 +376,11 @@ fn measure_shards(shards: usize, duration: Duration) -> (u64, f64) {
         .collect();
     let requests: u64 = totals.into_iter().map(|t| t.join().expect("client")).sum();
     let secs = start.elapsed().as_secs_f64();
+    // grab the registry handle first: shutdown consumes the server, and
+    // the workers bank their final counters (range steals) on the way out
+    let registry = server.telemetry();
     server.shutdown();
-    (requests, secs)
+    (requests, secs, registry.snapshot())
 }
 
 fn run_shard_sweep(max_shards: usize, duration: Duration, args: &[String]) {
@@ -386,9 +396,15 @@ fn run_shard_sweep(max_shards: usize, duration: Duration, args: &[String]) {
         counts.push(max_shards);
     }
 
+    // touch the ctlchan metric family so frame/retry counters appear in
+    // the exported snapshot even when this mode never crosses the wire
+    softcell_ctlchan::metrics::metrics();
+
     let mut rows: Vec<ShardRow> = Vec::new();
+    let mut telemetry = Snapshot::default();
     for &shards in &counts {
-        let (requests, secs) = measure_shards(shards, duration);
+        let (requests, secs, snap) = measure_shards(shards, duration);
+        telemetry.merge(&snap);
         let rate = requests as f64 / secs;
         let speedup = if let Some(first) = rows.first() {
             rate / first.requests_per_sec
@@ -425,6 +441,9 @@ fn run_shard_sweep(max_shards: usize, duration: Duration, args: &[String]) {
             rows: rows.clone(),
         },
     );
+
+    telemetry.merge(&Registry::global().snapshot());
+    maybe_dump_telemetry(args, &telemetry);
 
     if let Some(min) = min_speedup_arg(args) {
         let last = rows.last().expect("at least one row");
@@ -524,5 +543,9 @@ fn main() {
             rows,
         },
     );
+    let registry = server.telemetry();
     server.shutdown();
+    let mut telemetry = registry.snapshot();
+    telemetry.merge(&Registry::global().snapshot());
+    maybe_dump_telemetry(&args, &telemetry);
 }

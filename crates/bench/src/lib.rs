@@ -89,6 +89,24 @@ pub fn maybe_dump_json<T: serde::Serialize>(args: &[String], value: &T) {
     }
 }
 
+/// Writes a telemetry snapshot to the path given by `--telemetry PATH`
+/// (JSON) and prints its human-readable report. No flag, no output —
+/// callers can merge and pass their snapshot unconditionally.
+pub fn maybe_dump_telemetry(args: &[String], snapshot: &softcell_telemetry::Snapshot) {
+    let Some(pos) = args.iter().position(|a| a == "--telemetry") else {
+        return;
+    };
+    let Some(path) = args.get(pos + 1) else {
+        eprintln!("--telemetry needs a file path");
+        std::process::exit(2);
+    };
+    println!("{}", snapshot.report());
+    let mut f = File::create(path).expect("create telemetry output");
+    let s = serde_json::to_string_pretty(snapshot).expect("serialize telemetry");
+    f.write_all(s.as_bytes()).expect("write telemetry");
+    eprintln!("wrote {path}");
+}
+
 /// Whether `--quick` was passed (reduced problem sizes for smoke runs).
 pub fn is_quick(args: &[String]) -> bool {
     args.iter().any(|a| a == "--quick")

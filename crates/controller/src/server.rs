@@ -27,11 +27,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 
 use softcell_policy::clause::ClauseId;
 use softcell_policy::{AppClassifier, ServicePolicy, SubscriberAttributes, UeClassifier};
+use softcell_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch};
 use softcell_types::{
     shard_of_station, shard_of_ue, BaseStationId, Error, PolicyTag, RangePool, Result, ShardRange,
     SimTime, UeId, UeImsi,
@@ -144,6 +145,21 @@ impl RequestRouter {
             .send(req)
             .map_err(|_| Error::InvalidState("controller worker pool gone".into()))
     }
+
+    /// Non-blocking route: `Ok(true)` enqueued, `Ok(false)` the owning
+    /// domain's queue is full and the request was shed (the caller must
+    /// account for it — see the wire front-end's
+    /// `server_queue_rejected` counter), `Err` the pool is gone.
+    pub fn try_route(&self, req: Request) -> Result<bool> {
+        let i = self.shard_of(&req);
+        match self.txs[i].try_send(req) {
+            Ok(()) => Ok(true),
+            Err(TrySendError::Full(_)) => Ok(false),
+            Err(TrySendError::Disconnected(_)) => {
+                Err(Error::InvalidState("controller worker pool gone".into()))
+            }
+        }
+    }
 }
 
 /// One sharded domain's private state: its path map (no lock — routing
@@ -163,20 +179,28 @@ pub(crate) struct Shared {
     /// (bs, clause) → tag; the path-installation critical section.
     paths: Mutex<std::collections::HashMap<(BaseStationId, ClauseId), PolicyTag>>,
     next_tag: AtomicU64,
-    pub(crate) served: AtomicU64,
+    /// This server's metric registry — per instance, so tests running
+    /// many servers in parallel never see each other's numbers.
+    pub(crate) telemetry: Arc<Registry>,
+    /// Packet-in requests served (`softcell_controller_packet_in_total`).
+    pub(crate) served: Arc<Counter>,
     /// UE records registered over the wire front-end ([`crate::wire`]).
     pub(crate) ues: Mutex<std::collections::HashMap<UeImsi, crate::state::UeRecord>>,
     /// Permanent-address allocator for wire attaches (offsets into the
     /// carrier-grade NAT pool 100.64/10, like the simulation config).
     pub(crate) next_permanent: std::sync::atomic::AtomicU32,
     /// Wire connections currently being served ([`crate::wire`]).
-    pub(crate) active_connections: AtomicU64,
+    pub(crate) active_connections: Arc<Gauge>,
     /// Wire connections that ended, cleanly or not.
-    pub(crate) disconnects: AtomicU64,
+    pub(crate) disconnects: Arc<Counter>,
     /// The subset of disconnects that ended with a channel error (torn
     /// frame, version mismatch, transport failure) rather than a clean
     /// peer close.
-    pub(crate) connection_errors: AtomicU64,
+    pub(crate) connection_errors: Arc<Counter>,
+    /// Packet-in events shed because a domain queue was full
+    /// ([`crate::wire`] front-end; the queue-full path replies with an
+    /// error instead of discarding invisibly).
+    pub(crate) queue_rejected: Arc<Counter>,
     /// Ticket counter stamped onto `flow_mod_batch` replies in sharded
     /// mode ([`crate::wire`]).
     pub(crate) batch_seq: AtomicU64,
@@ -241,7 +265,10 @@ impl ControllerServer {
             .map(|_| {
                 let rx: Receiver<Request> = rx.clone();
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(rx, shared, None))
+                // classic workers share one queue, so they share the
+                // shard=0 metric family too
+                let wm = WorkerMetrics::new(&shared.telemetry, 0);
+                std::thread::spawn(move || worker_loop(rx, shared, None, wm))
             })
             .collect();
         Ok(ControllerServer {
@@ -270,7 +297,7 @@ impl ControllerServer {
         let perm_pool = RangePool::new(PERMANENT_SPACE, RANGE_BLOCK);
         let mut txs = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
-        for _ in 0..shards {
+        for shard in 0..shards {
             let (tx, rx) = bounded::<Request>(DEFAULT_QUEUE_DEPTH);
             let shared = Arc::clone(&shared);
             let domain = Domain {
@@ -278,9 +305,10 @@ impl ControllerServer {
                 tags: ShardRange::new(Arc::clone(&tag_pool)),
                 permanent: ShardRange::new(Arc::clone(&perm_pool)),
             };
+            let wm = WorkerMetrics::new(&shared.telemetry, shard);
             txs.push(tx);
             workers.push(std::thread::spawn(move || {
-                worker_loop(rx, shared, Some(domain))
+                worker_loop(rx, shared, Some(domain), wm)
             }));
         }
         Ok(ControllerServer {
@@ -295,20 +323,23 @@ impl ControllerServer {
         policy: ServicePolicy,
         subscribers: impl IntoIterator<Item = SubscriberAttributes>,
     ) -> Arc<Shared> {
+        let telemetry = Registry::new();
         Arc::new(Shared {
             policy: RwLock::new(policy),
             apps: AppClassifier::default(),
             subscribers: RwLock::new(subscribers.into_iter().map(|a| (a.imsi, a)).collect()),
             paths: Mutex::new(std::collections::HashMap::new()),
             next_tag: AtomicU64::new(0),
-            served: AtomicU64::new(0),
+            served: telemetry.counter("softcell_controller_packet_in_total"),
             ues: Mutex::new(std::collections::HashMap::new()),
             next_permanent: std::sync::atomic::AtomicU32::new(0),
-            active_connections: AtomicU64::new(0),
-            disconnects: AtomicU64::new(0),
-            connection_errors: AtomicU64::new(0),
+            active_connections: telemetry.gauge("softcell_controller_active_connections"),
+            disconnects: telemetry.counter("softcell_controller_disconnects_total"),
+            connection_errors: telemetry.counter("softcell_controller_connection_errors_total"),
+            queue_rejected: telemetry.counter("softcell_controller_server_queue_rejected_total"),
             batch_seq: AtomicU64::new(0),
             install_latency_us: AtomicU64::new(0),
+            telemetry,
         })
     }
 
@@ -352,25 +383,41 @@ impl ControllerServer {
         Arc::clone(&self.shared)
     }
 
-    /// Requests served so far.
+    /// This server's metric registry, for snapshot/export. Per instance:
+    /// two servers in one process never share numbers.
+    pub fn telemetry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.telemetry)
+    }
+
+    /// Requests served so far (thin shim over
+    /// `softcell_controller_packet_in_total`).
     pub fn served(&self) -> u64 {
-        self.shared.served.load(Ordering::Relaxed)
+        self.shared.served.get()
     }
 
-    /// Wire connections currently being served.
+    /// Wire connections currently being served (thin shim over the
+    /// `softcell_controller_active_connections` gauge).
     pub fn active_connections(&self) -> u64 {
-        self.shared.active_connections.load(Ordering::Relaxed)
+        self.shared.active_connections.get()
     }
 
-    /// Wire connections that have ended (cleanly or with an error).
+    /// Wire connections that have ended, cleanly or with an error (thin
+    /// shim over `softcell_controller_disconnects_total`).
     pub fn disconnects(&self) -> u64 {
-        self.shared.disconnects.load(Ordering::Relaxed)
+        self.shared.disconnects.get()
     }
 
     /// Wire connections that ended with a channel error rather than a
-    /// clean close.
+    /// clean close (thin shim over
+    /// `softcell_controller_connection_errors_total`).
     pub fn connection_errors(&self) -> u64 {
-        self.shared.connection_errors.load(Ordering::Relaxed)
+        self.shared.connection_errors.get()
+    }
+
+    /// Packet-in events shed because a domain queue was full (thin shim
+    /// over `softcell_controller_server_queue_rejected_total`).
+    pub fn queue_rejected(&self) -> u64 {
+        self.shared.queue_rejected.get()
     }
 
     /// Registers another subscriber while running.
@@ -398,6 +445,43 @@ impl ControllerServer {
     }
 }
 
+/// Per-worker telemetry handles, interned once at spawn so the request
+/// loop touches only atomics. Classic workers share the `shard=0`
+/// family (they share one queue); sharded domains get one family each.
+struct WorkerMetrics {
+    /// `softcell_controller_shard_served_total{shard=i}`.
+    served: Arc<Counter>,
+    /// `softcell_controller_packet_in_latency_ns` — service time from
+    /// dequeue to reply, all workers into one histogram.
+    latency: Arc<Histogram>,
+    /// `softcell_controller_shard_queue_depth_hwm{shard=i}` — high-water
+    /// mark of requests waiting behind the one being served.
+    queue_hwm: Arc<Gauge>,
+    /// `softcell_controller_path_cache_hits_total{shard=i}`.
+    path_hits: Arc<Counter>,
+    /// `softcell_controller_path_cache_misses_total{shard=i}`.
+    path_misses: Arc<Counter>,
+    /// `softcell_controller_range_steals_total{shard=i}` — identifier
+    /// blocks this domain stole from other domains' spills (recorded at
+    /// shutdown; see [`ShardRange::steals`]).
+    steals: Arc<Counter>,
+}
+
+impl WorkerMetrics {
+    fn new(registry: &Registry, shard: usize) -> WorkerMetrics {
+        let label = format!("shard={shard}");
+        WorkerMetrics {
+            served: registry.counter_with("softcell_controller_shard_served_total", &label),
+            latency: registry.histogram("softcell_controller_packet_in_latency_ns"),
+            queue_hwm: registry.gauge_with("softcell_controller_shard_queue_depth_hwm", &label),
+            path_hits: registry.counter_with("softcell_controller_path_cache_hits_total", &label),
+            path_misses: registry
+                .counter_with("softcell_controller_path_cache_misses_total", &label),
+            steals: registry.counter_with("softcell_controller_range_steals_total", &label),
+        }
+    }
+}
+
 fn compile_classifier(shared: &Shared, imsi: UeImsi) -> Result<UeClassifier> {
     let subs = shared.subscribers.read();
     let attrs = subs
@@ -407,15 +491,32 @@ fn compile_classifier(shared: &Shared, imsi: UeImsi) -> Result<UeClassifier> {
     Ok(UeClassifier::compile(&policy, &shared.apps, attrs))
 }
 
-fn worker_loop(rx: Receiver<Request>, shared: Arc<Shared>, mut domain: Option<Domain>) {
+fn worker_loop(
+    rx: Receiver<Request>,
+    shared: Arc<Shared>,
+    mut domain: Option<Domain>,
+    wm: WorkerMetrics,
+) {
     while let Ok(req) = rx.recv() {
+        // requests still queued behind the one just taken
+        wm.queue_hwm.record_max(rx.len() as u64);
+        let sw = Stopwatch::start();
         match req {
-            Request::Shutdown => return,
+            Request::Shutdown => {
+                // the domain's ranges die with the worker; bank their
+                // steal counts first
+                if let Some(d) = domain.as_ref() {
+                    wm.steals.add(d.tags.steals() + d.permanent.steals());
+                }
+                return;
+            }
             Request::Classifier { imsi, reply } => {
                 let out = compile_classifier(&shared, imsi);
                 // count before replying so a client that has its answer
                 // never observes a stale served() total
-                shared.served.fetch_add(1, Ordering::Relaxed);
+                shared.served.inc();
+                wm.served.inc();
+                sw.record(&wm.latency);
                 let _ = reply.send(out);
             }
             Request::Attach {
@@ -462,7 +563,9 @@ fn worker_loop(rx: Receiver<Request>, shared: Arc<Shared>, mut domain: Option<Do
                     shared.install_fence();
                     Ok(AttachGrant { record, classifier })
                 })();
-                shared.served.fetch_add(1, Ordering::Relaxed);
+                shared.served.inc();
+                wm.served.inc();
+                sw.record(&wm.latency);
                 let _ = reply.send(out);
             }
             Request::Detach { imsi, reply } => {
@@ -475,7 +578,9 @@ fn worker_loop(rx: Receiver<Request>, shared: Arc<Shared>, mut domain: Option<Do
                     let off = u32::from(record.permanent_ip) - PERMANENT_POOL_BASE - 1;
                     d.permanent.release(off);
                 }
-                shared.served.fetch_add(1, Ordering::Relaxed);
+                shared.served.inc();
+                wm.served.inc();
+                sw.record(&wm.latency);
                 let _ = reply.send(out);
             }
             Request::PathTag { bs, clause, reply } => {
@@ -484,11 +589,15 @@ fn worker_loop(rx: Receiver<Request>, shared: Arc<Shared>, mut domain: Option<Do
                     // ever asked about, so its map needs no lock and the
                     // tag comes from its private range
                     Some(d) => match d.paths.get(&(bs, clause)) {
-                        Some(t) => Ok(*t),
+                        Some(t) => {
+                            wm.path_hits.inc();
+                            Ok(*t)
+                        }
                         None => d
                             .tags
                             .allocate()
                             .map(|v| {
+                                wm.path_misses.inc();
                                 let t = PolicyTag(v as u16);
                                 d.paths.insert((bs, clause), t);
                                 // the path's fabric rules fence
@@ -500,8 +609,10 @@ fn worker_loop(rx: Receiver<Request>, shared: Arc<Shared>, mut domain: Option<Do
                     None => {
                         let mut paths = shared.paths.lock();
                         if let Some(t) = paths.get(&(bs, clause)) {
+                            wm.path_hits.inc();
                             Ok(*t)
                         } else {
+                            wm.path_misses.inc();
                             // Path installation stand-in: allocate a tag
                             // and record the path. (The full Algorithm 1
                             // runs in the single-threaded controller;
@@ -518,7 +629,9 @@ fn worker_loop(rx: Receiver<Request>, shared: Arc<Shared>, mut domain: Option<Do
                         }
                     }
                 };
-                shared.served.fetch_add(1, Ordering::Relaxed);
+                shared.served.inc();
+                wm.served.inc();
+                sw.record(&wm.latency);
                 let _ = reply.send(out);
             }
         }

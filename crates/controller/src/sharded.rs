@@ -55,7 +55,7 @@
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -64,6 +64,7 @@ use softcell_dataplane::MicroflowAction;
 use softcell_packet::{FiveTuple, Protocol};
 use softcell_policy::clause::{AccessControl, ClauseId};
 use softcell_policy::{ServicePolicy, SubscriberAttributes, UeClassifier};
+use softcell_telemetry::{Histogram, Registry, Stopwatch};
 use softcell_topology::Topology;
 use softcell_types::{
     shard_of_station, shard_of_ue, BaseStationId, Error, LocIp, RangePool, Result, ShardRange,
@@ -397,6 +398,31 @@ struct MirrorFlow {
     down_action: MicroflowAction,
 }
 
+/// Contention histograms for the sharded engine, interned once on the
+/// process-global registry (workers are rebuilt per run, so per-instance
+/// handles would churn the registry's family maps).
+struct ShardedMetrics {
+    /// Time a coordinated event spends waiting for its ticket.
+    ticket_wait: Arc<Histogram>,
+    /// Time the shared Algorithm-1 engine stays occupied per ticket
+    /// (lock hold: plan + op drain + batching).
+    engine_busy: Arc<Histogram>,
+    /// Time a cross-shard rendezvous waits for the owner's reply.
+    rendezvous_wait: Arc<Histogram>,
+}
+
+fn metrics() -> &'static ShardedMetrics {
+    static METRICS: OnceLock<ShardedMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        ShardedMetrics {
+            ticket_wait: r.histogram("softcell_controller_ticket_wait_ns"),
+            engine_busy: r.histogram("softcell_controller_engine_busy_ns"),
+            rendezvous_wait: r.histogram("softcell_controller_rendezvous_wait_ns"),
+        }
+    })
+}
+
 struct Worker<'t, 'c> {
     id: usize,
     shards: usize,
@@ -498,8 +524,10 @@ impl<'t> Worker<'t, '_> {
         self.rdv_txs[owner]
             .send(make(tx))
             .unwrap_or_else(|_| panic!("shard {owner} rendezvous queue closed"));
+        let sw = Stopwatch::start();
         loop {
             if let Ok(r) = rx.try_recv() {
+                sw.record(&metrics().rendezvous_wait);
                 return r;
             }
             self.serve_rdv();
@@ -574,6 +602,7 @@ impl<'t> Worker<'t, '_> {
         seq: u64,
         f: impl FnOnce(&mut Self, &mut CentralController<'t>) -> (R, Vec<crate::ops::RuleOp>),
     ) -> R {
+        let sw = Stopwatch::start();
         loop {
             if self.coord.next_seq.load(Ordering::Acquire) == seq {
                 break;
@@ -581,13 +610,16 @@ impl<'t> Worker<'t, '_> {
             self.serve_rdv();
             std::thread::yield_now();
         }
+        sw.record(&metrics().ticket_wait);
         self.stats.coordinated += 1;
+        let sw = Stopwatch::start();
         let (result, batches) = {
             let mut engine = self.coord.engine.lock();
             let (result, mut ops) = f(self, &mut engine);
             ops.extend(engine.drain_ops());
             (result, crate::ops::batch_by_switch(ops))
         };
+        sw.record(&metrics().engine_busy);
         if !batches.is_empty() {
             self.batches.push(SeqBatches { seq, batches });
         }
@@ -957,6 +989,9 @@ impl<'t> Worker<'t, '_> {
         }
 
         self.stats.handoffs += 1;
+        Registry::global()
+            .journal()
+            .record("handoff", ev.imsi.0, u64::from(to.0));
         self.outcomes.push((
             idx,
             EventOutcome::HandedOff(HandoffOutcome {
@@ -1204,6 +1239,39 @@ impl<'t> ShardedController<'t> {
         }
         indexed.sort_by_key(|(idx, _)| *idx);
         let outcomes = indexed.into_iter().map(|(_, o)| o).collect();
+
+        let g = Registry::global();
+        for (name, v) in [
+            ("softcell_controller_sharded_events_total", stats.events),
+            ("softcell_controller_sharded_attaches_total", stats.attaches),
+            ("softcell_controller_sharded_detaches_total", stats.detaches),
+            ("softcell_controller_sharded_handoffs_total", stats.handoffs),
+            (
+                "softcell_controller_sharded_cross_shard_handoffs_total",
+                stats.cross_shard_handoffs,
+            ),
+            (
+                "softcell_controller_sharded_rendezvous_messages_total",
+                stats.rendezvous_messages,
+            ),
+            ("softcell_controller_sharded_flows_total", stats.flows),
+            (
+                "softcell_controller_sharded_cache_hits_total",
+                stats.cache_hits,
+            ),
+            (
+                "softcell_controller_sharded_cache_misses_total",
+                stats.cache_misses,
+            ),
+            ("softcell_controller_sharded_denied_total", stats.denied),
+            ("softcell_controller_sharded_skipped_total", stats.skipped),
+            (
+                "softcell_controller_sharded_coordinated_total",
+                stats.coordinated,
+            ),
+        ] {
+            g.counter(name).add(v);
+        }
 
         ShardedRun {
             engine: coord.engine.into_inner(),

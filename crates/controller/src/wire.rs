@@ -28,7 +28,7 @@ use softcell_types::{
 
 use crate::agent::ControllerApi;
 use crate::core::{AttachGrant, PathTags};
-use crate::server::{ControllerServer, Request};
+use crate::server::{ControllerServer, Request, RequestRouter};
 use crate::state::UeRecord;
 
 impl From<UeRecord> for WireUeRecord {
@@ -108,10 +108,10 @@ impl ControllerServer {
             let (att_tx, att_rx) = bounded(1);
             let (det_tx, det_rx) = bounded(1);
             let (tag_tx, tag_rx) = bounded(1);
-            shared.active_connections.fetch_add(1, Ordering::Relaxed);
+            shared.active_connections.add(1);
             let served = {
                 let shared = Arc::clone(&shared);
-                move || shared.served.load(Ordering::Relaxed)
+                move || shared.served.get()
             };
             let shared_for_exit = Arc::clone(&shared);
             let result = softcell_ctlchan::serve(transport, served, move |msg| {
@@ -125,13 +125,21 @@ impl ControllerServer {
                         ue_id,
                         now,
                     } => (|| {
-                        router.route(Request::Attach {
-                            imsi,
-                            bs,
-                            ue_id,
-                            now,
-                            reply: att_tx.clone(),
-                        })?;
+                        shared
+                            .telemetry
+                            .journal()
+                            .record("attach", imsi.0, u64::from(bs.0));
+                        route_packet_in(
+                            &router,
+                            &shared,
+                            Request::Attach {
+                                imsi,
+                                bs,
+                                ue_id,
+                                now,
+                                reply: att_tx.clone(),
+                            },
+                        )?;
                         let grant = att_rx.recv().map_err(|_| pool_gone())??;
                         Ok(Message::ClassifierReply {
                             record: grant.record.into(),
@@ -139,11 +147,20 @@ impl ControllerServer {
                         })
                     })(),
                     PacketIn::PathRequest { bs, clause } => (|| {
-                        router.route(Request::PathTag {
-                            bs,
-                            clause,
-                            reply: tag_tx.clone(),
-                        })?;
+                        shared.telemetry.journal().record(
+                            "policy_path",
+                            u64::from(bs.0),
+                            u64::from(clause.0),
+                        );
+                        route_packet_in(
+                            &router,
+                            &shared,
+                            Request::PathTag {
+                                bs,
+                                clause,
+                                reply: tag_tx.clone(),
+                            },
+                        )?;
                         let tag = tag_rx.recv().map_err(|_| pool_gone())??;
                         // same path stand-in as the worker pool: one tag
                         // end to end, first fabric port, no QoS
@@ -162,9 +179,16 @@ impl ControllerServer {
                         // a sharded server answers with the ticketed,
                         // barrier-delimited batch form
                         Ok(if sharded {
+                            let shard = shard_of_station(bs, router.domains()) as u16;
+                            let seq = shared.batch_seq.fetch_add(1, Ordering::Relaxed) as u32;
+                            shared.telemetry.journal().record(
+                                "flow_mod_batch",
+                                u64::from(shard),
+                                u64::from(seq),
+                            );
                             Message::FlowModBatch {
-                                shard: shard_of_station(bs, router.domains()) as u16,
-                                seq: shared.batch_seq.fetch_add(1, Ordering::Relaxed) as u32,
+                                shard,
+                                seq,
                                 groups: vec![WireBatchGroup {
                                     bs,
                                     barrier: true,
@@ -176,10 +200,15 @@ impl ControllerServer {
                         })
                     })(),
                     PacketIn::Detach { imsi } => (|| {
-                        router.route(Request::Detach {
-                            imsi,
-                            reply: det_tx.clone(),
-                        })?;
+                        shared.telemetry.journal().record("detach", imsi.0, 0);
+                        route_packet_in(
+                            &router,
+                            &shared,
+                            Request::Detach {
+                                imsi,
+                                reply: det_tx.clone(),
+                            },
+                        )?;
                         let record = det_rx.recv().map_err(|_| pool_gone())??;
                         Ok(Message::ClassifierReply {
                             record: record.into(),
@@ -193,14 +222,10 @@ impl ControllerServer {
             // it closed cleanly or tore the connection mid-frame, and the
             // server keeps accepting (re-)registrations on fresh
             // transports. The error is surfaced, not swallowed.
-            shared_for_exit
-                .active_connections
-                .fetch_sub(1, Ordering::Relaxed);
-            shared_for_exit.disconnects.fetch_add(1, Ordering::Relaxed);
+            shared_for_exit.active_connections.sub(1);
+            shared_for_exit.disconnects.inc();
             if result.is_err() {
-                shared_for_exit
-                    .connection_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                shared_for_exit.connection_errors.inc();
             }
             result
         })
@@ -209,6 +234,35 @@ impl ControllerServer {
 
 fn pool_gone() -> Error {
     Error::InvalidState("controller worker pool gone".into())
+}
+
+/// Routes a packet-in without blocking the serve loop: a full domain
+/// queue sheds the request — counted in `server_queue_rejected` and
+/// answered with an error the agent can retry — instead of stalling
+/// this connection's barrier and echo traffic behind the backlog (and
+/// instead of the pre-telemetry behavior of discarding the overload
+/// signal invisibly).
+fn route_packet_in(
+    router: &RequestRouter,
+    shared: &crate::server::Shared,
+    req: Request,
+) -> Result<()> {
+    if router.try_route(req)? {
+        return Ok(());
+    }
+    shared.queue_rejected.inc();
+    // rate-limited operator warning: the first shed request logs, then
+    // one line per 4096 to keep a sustained overload from flooding
+    // stderr (process-wide, deliberately coarse)
+    static SHED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = SHED.fetch_add(1, Ordering::Relaxed);
+    if n.is_multiple_of(4096) {
+        eprintln!(
+            "softcell-controller: request queue full; shedding packet-in (seen {} since start)",
+            n + 1
+        );
+    }
+    Err(Error::Exhausted("controller request queue full".into()))
 }
 
 /// A [`ControllerApi`] that reaches the controller over a control
@@ -263,6 +317,11 @@ impl<T: Transport> ChannelController<T> {
         let mut chan = CtlChannel::new(transport);
         chan.hello(self.bs.0)?;
         self.chan = chan;
+        // agent-side lifecycle: reconnects happen wherever the agent
+        // runs, so they land on the process-global registry
+        let reg = softcell_telemetry::Registry::global();
+        reg.counter("softcell_controller_reconnects_total").inc();
+        reg.journal().record("reconnect", u64::from(self.bs.0), 0);
         Ok(())
     }
 
@@ -291,6 +350,9 @@ impl<T: Transport> ChannelController<T> {
                 agent.adopt_flows(imsi, flows)?;
             }
         }
+        let reg = softcell_telemetry::Registry::global();
+        reg.counter("softcell_controller_resyncs_total").inc();
+        reg.journal().record("resync", u64::from(bs.0), n as u64);
         Ok(n)
     }
 

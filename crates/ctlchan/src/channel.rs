@@ -138,11 +138,19 @@ impl<T: Transport> CtlChannel<T> {
         let result = loop {
             match self.attempt(xid, &encoded) {
                 Err(e) if e.is_timeout() && attempts_left > 0 => {
+                    let m = crate::metrics::metrics();
+                    m.timeouts.inc();
+                    m.retries.inc();
                     attempts_left -= 1;
                     std::thread::sleep(backoff);
                     backoff = (backoff * 2).min(policy.max_backoff);
                 }
-                other => break other,
+                other => {
+                    if matches!(&other, Err(e) if e.is_timeout()) {
+                        crate::metrics::metrics().timeouts.inc();
+                    }
+                    break other;
+                }
             }
         };
         // best effort: the channel may be dead, but the deadline state
@@ -290,6 +298,7 @@ where
         );
         if !is_protocol && xid != 0 {
             if let Some(cached) = replay.get(&xid) {
+                crate::metrics::metrics().dedup_hits.inc();
                 if let Some(encoded) = cached.clone() {
                     transport.send(&encoded)?;
                 }
@@ -314,6 +323,11 @@ where
             Message::BarrierRequest => {
                 // let the handler observe the fence too (tests hook this)
                 let _ = handler(&msg);
+                softcell_telemetry::Registry::global().journal().record(
+                    "barrier_ack",
+                    u64::from(xid),
+                    0,
+                );
                 Some(Message::BarrierReply)
             }
             Message::StatsRequest => {

@@ -43,7 +43,7 @@ pub const HEADER_LEN: usize = 12;
 pub const MAX_FRAME: usize = 1 << 20;
 
 /// Field offsets within the frame header.
-mod field {
+pub(crate) mod field {
     pub const VERSION: usize = 0;
     pub const MSG_TYPE: usize = 1;
     pub const RESERVED: std::ops::Range<usize> = 2..4;

@@ -26,6 +26,7 @@
 
 pub mod channel;
 pub mod codec;
+pub mod metrics;
 pub mod transport;
 
 pub use channel::{serve, CtlChannel, RetryPolicy, DEDUP_WINDOW};

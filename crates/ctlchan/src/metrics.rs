@@ -1,0 +1,97 @@
+//! Global telemetry handles for the control channel.
+//!
+//! Transports and channels are created in large numbers (one per agent
+//! connection, wrapped and rewrapped across reconnects), so their
+//! metrics live on [`Registry::global`] rather than per instance: every
+//! frame moved by any leaf transport in the process lands in one
+//! `softcell_ctlchan_frames_{tx,rx}_total{type=...}` family. Handles
+//! are interned once into a [`OnceLock`]; the hot path is an array
+//! index plus one relaxed `fetch_add`.
+
+use std::sync::{Arc, OnceLock};
+
+use softcell_telemetry::{Counter, Registry};
+
+use crate::codec::field;
+
+/// Display names for each wire message type, indexed by the type byte;
+/// the final entry collects unknown types seen on the wire.
+pub const MSG_TYPE_NAMES: [&str; 13] = [
+    "hello",
+    "echo_request",
+    "echo_reply",
+    "error",
+    "packet_in",
+    "classifier_reply",
+    "flow_mod",
+    "barrier_request",
+    "barrier_reply",
+    "stats_request",
+    "stats_reply",
+    "flow_mod_batch",
+    "other",
+];
+
+/// Interned counter handles for the whole crate.
+pub struct CtlchanMetrics {
+    /// Frames actually handed to a leaf transport, by message type.
+    pub frames_tx: [Arc<Counter>; MSG_TYPE_NAMES.len()],
+    /// Frames delivered by a leaf transport, by message type.
+    pub frames_rx: [Arc<Counter>; MSG_TYPE_NAMES.len()],
+    /// Same-xid resends issued by `request_with_retry`.
+    pub retries: Arc<Counter>,
+    /// Request attempts that elapsed their deadline.
+    pub timeouts: Arc<Counter>,
+    /// Server-side replay-cache hits (retries absorbed without
+    /// re-applying).
+    pub dedup_hits: Arc<Counter>,
+    /// Frames discarded by fault injection.
+    pub fault_dropped: Arc<Counter>,
+    /// Frames duplicated by fault injection.
+    pub fault_duplicated: Arc<Counter>,
+    /// Frames delayed by fault injection.
+    pub fault_delayed: Arc<Counter>,
+    /// Mid-frame disconnects injected by fault injection.
+    pub fault_disconnects: Arc<Counter>,
+}
+
+/// The crate's interned metric handles (registered on first use).
+pub fn metrics() -> &'static CtlchanMetrics {
+    static METRICS: OnceLock<CtlchanMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = Registry::global();
+        let family = |name: &str| {
+            std::array::from_fn(|i| reg.counter_with(name, &format!("type={}", MSG_TYPE_NAMES[i])))
+        };
+        CtlchanMetrics {
+            frames_tx: family("softcell_ctlchan_frames_tx_total"),
+            frames_rx: family("softcell_ctlchan_frames_rx_total"),
+            retries: reg.counter("softcell_ctlchan_retries_total"),
+            timeouts: reg.counter("softcell_ctlchan_timeouts_total"),
+            dedup_hits: reg.counter("softcell_ctlchan_dedup_hits_total"),
+            fault_dropped: reg.counter("softcell_ctlchan_fault_dropped_total"),
+            fault_duplicated: reg.counter("softcell_ctlchan_fault_duplicated_total"),
+            fault_delayed: reg.counter("softcell_ctlchan_fault_delayed_total"),
+            fault_disconnects: reg.counter("softcell_ctlchan_fault_disconnects_total"),
+        }
+    })
+}
+
+/// Index into the per-type families for a raw frame (header byte 1).
+#[inline]
+pub(crate) fn type_index(frame: &[u8]) -> usize {
+    let t = frame.get(field::MSG_TYPE).copied().unwrap_or(u8::MAX) as usize;
+    t.min(MSG_TYPE_NAMES.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_types_fold_into_other() {
+        assert_eq!(type_index(&[0, 11, 0, 0]), 11);
+        assert_eq!(type_index(&[0, 200, 0, 0]), MSG_TYPE_NAMES.len() - 1);
+        assert_eq!(type_index(&[]), MSG_TYPE_NAMES.len() - 1);
+    }
+}

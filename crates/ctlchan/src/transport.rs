@@ -57,14 +57,20 @@ pub struct CounterSnapshot {
 }
 
 impl ChannelCounters {
-    fn sent(&self, bytes: usize) {
+    fn sent(&self, frame: &[u8]) {
         self.tx_msgs.fetch_add(1, Ordering::Relaxed);
-        self.tx_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.tx_bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        let m = crate::metrics::metrics();
+        m.frames_tx[crate::metrics::type_index(frame)].inc();
     }
 
-    fn received(&self, bytes: usize) {
+    fn received(&self, frame: &[u8]) {
         self.rx_msgs.fetch_add(1, Ordering::Relaxed);
-        self.rx_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.rx_bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        let m = crate::metrics::metrics();
+        m.frames_rx[crate::metrics::type_index(frame)].inc();
     }
 
     /// Reads all four counters.
@@ -152,7 +158,7 @@ impl Transport for Loopback {
                     }
                 })?,
         }
-        self.counters.sent(frame.len());
+        self.counters.sent(frame);
         Ok(())
     }
 
@@ -169,7 +175,7 @@ impl Transport for Loopback {
         };
         match got {
             Some(frame) => {
-                self.counters.received(frame.len());
+                self.counters.received(&frame);
                 Ok(Some(frame))
             }
             None => Ok(None),
@@ -230,7 +236,7 @@ impl Transport for TcpTransport {
                 Error::InvalidState(format!("tcp send: {e}"))
             }
         })?;
-        self.counters.sent(frame.len());
+        self.counters.sent(frame);
         Ok(())
     }
 
@@ -279,7 +285,7 @@ impl Transport for TcpTransport {
         self.stream
             .read_exact(&mut frame[HEADER_LEN..])
             .map_err(|e| Error::Malformed(format!("truncated frame payload: {e}")))?;
-        self.counters.received(len);
+        self.counters.received(&frame);
         Ok(Some(frame))
     }
 
@@ -409,6 +415,7 @@ impl<T: Transport> Transport for FaultTransport<T> {
                 // mid-frame disconnect: the peer sees a truncated frame
                 // (rejected by its length check), then silence
                 self.stats.disconnects += 1;
+                crate::metrics::metrics().fault_disconnects.inc();
                 self.dead = true;
                 let cut = (frame.len() / 2).max(1);
                 let _ = self.inner.send(&frame[..cut]);
@@ -422,11 +429,14 @@ impl<T: Transport> Transport for FaultTransport<T> {
         let mut queue: Vec<Vec<u8>> = std::mem::take(&mut self.held);
         if self.rng.gen_bool(self.cfg.drop) {
             self.stats.dropped += 1;
+            crate::metrics::metrics().fault_dropped.inc();
         } else if self.rng.gen_bool(self.cfg.delay) {
             self.stats.delayed += 1;
+            crate::metrics::metrics().fault_delayed.inc();
             self.held.push(frame.to_vec());
         } else if self.rng.gen_bool(self.cfg.duplicate) {
             self.stats.duplicated += 1;
+            crate::metrics::metrics().fault_duplicated.inc();
             queue.push(frame.to_vec());
             queue.push(frame.to_vec());
         } else {

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod matcher;
+mod metrics;
 pub mod microflow;
 pub mod rule;
 pub mod switch;

@@ -130,6 +130,7 @@ impl MicroflowTable {
                 };
                 self.entries.remove(&victim);
                 self.evictions += 1;
+                crate::metrics::metrics().microflow_evictions.inc();
             }
         }
         self.entries.insert(
@@ -140,6 +141,10 @@ impl MicroflowTable {
                 idle_deadline,
             },
         );
+        let m = crate::metrics::metrics();
+        m.microflow_installs.inc();
+        m.microflow_occupancy_hwm
+            .record_max(self.entries.len() as u64);
         Ok(())
     }
 
@@ -185,6 +190,9 @@ impl MicroflowTable {
         for t in &dead {
             self.entries.remove(t);
         }
+        crate::metrics::metrics()
+            .microflow_expirations
+            .add(dead.len() as u64);
         dead
     }
 

@@ -87,6 +87,9 @@ impl FlowTable {
         // insert after the last rule with priority >= ours (stable ties)
         let pos = self.rules.partition_point(|r| r.priority >= priority);
         self.rules.insert(pos, rule);
+        let m = crate::metrics::metrics();
+        m.rule_installs.inc();
+        m.table_occupancy_hwm.record_max(self.rules.len() as u64);
         Ok(id)
     }
 
@@ -98,6 +101,7 @@ impl FlowTable {
             .position(|r| r.id == id)
             .ok_or_else(|| Error::NotFound(format!("rule {id:?}")))?;
         self.counters.remove(&id);
+        crate::metrics::metrics().rule_removals.inc();
         Ok(self.rules.remove(pos))
     }
 
@@ -112,7 +116,9 @@ impl FlowTable {
             }
             !gone
         });
-        before - self.rules.len()
+        let removed = before - self.rules.len();
+        crate::metrics::metrics().rule_removals.add(removed as u64);
+        removed
     }
 
     /// Finds the highest-priority matching rule without bumping counters.

@@ -1,0 +1,173 @@
+//! Ring-buffer event journal for control-plane lifecycle tracing.
+//!
+//! Counters say *how much*; the journal says *in what order*. Each
+//! [`Registry`](crate::Registry) owns one journal into which
+//! instrumented code drops fixed-size [`Event`]s — attach handled,
+//! policy path resolved, flow-mod batch emitted, barrier acked,
+//! reconnect, resync — stamped with microseconds since the journal was
+//! created (one monotonic clock per journal, so events from one run
+//! order totally). The ring holds the most recent
+//! [`DEFAULT_JOURNAL_CAP`] events; older ones are overwritten and
+//! counted in [`EventJournal::dropped`], never silently lost.
+
+#[cfg(not(feature = "telemetry-off"))]
+use std::collections::VecDeque;
+#[cfg(not(feature = "telemetry-off"))]
+use std::sync::Mutex;
+#[cfg(not(feature = "telemetry-off"))]
+use std::time::Instant;
+
+/// Default ring capacity — enough for the full lifecycle of a few
+/// thousand control operations between snapshots.
+pub const DEFAULT_JOURNAL_CAP: usize = 4096;
+
+/// One journal entry: a static kind tag plus two free-form operands
+/// whose meaning is per-kind (documented in DESIGN.md §11 — typically a
+/// subscriber/switch id and a count or latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Microseconds since the owning journal was created.
+    pub ts_us: u64,
+    /// Static event kind, e.g. `"attach"`, `"barrier_ack"`.
+    pub kind: &'static str,
+    /// First operand (per-kind meaning).
+    pub a: u64,
+    /// Second operand (per-kind meaning).
+    pub b: u64,
+}
+
+/// A bounded, lock-guarded ring of [`Event`]s. Recording is off the
+/// packet hot path (one event per control-plane span, not per packet),
+/// so a short mutex hold is fine; under `telemetry-off` the whole
+/// structure is zero-sized and `record` compiles to nothing.
+#[derive(Debug)]
+pub struct EventJournal {
+    #[cfg(not(feature = "telemetry-off"))]
+    epoch: Instant,
+    #[cfg(not(feature = "telemetry-off"))]
+    inner: Mutex<JournalInner>,
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+#[derive(Debug)]
+struct JournalInner {
+    ring: VecDeque<Event>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Default for EventJournal {
+    fn default() -> EventJournal {
+        EventJournal::with_capacity(DEFAULT_JOURNAL_CAP)
+    }
+}
+
+impl EventJournal {
+    /// Creates a journal holding at most `cap` events.
+    pub fn with_capacity(cap: usize) -> EventJournal {
+        #[cfg(feature = "telemetry-off")]
+        let _ = cap;
+        EventJournal {
+            #[cfg(not(feature = "telemetry-off"))]
+            epoch: Instant::now(),
+            #[cfg(not(feature = "telemetry-off"))]
+            inner: Mutex::new(JournalInner {
+                ring: VecDeque::with_capacity(cap.min(DEFAULT_JOURNAL_CAP)),
+                cap: cap.max(1),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Appends one event, evicting the oldest when full.
+    #[inline]
+    pub fn record(&self, kind: &'static str, a: u64, b: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            let ts_us = u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let mut inner = self.inner.lock().expect("journal poisoned");
+            if inner.ring.len() == inner.cap {
+                inner.ring.pop_front();
+                inner.dropped += 1;
+            }
+            inner.ring.push_back(Event { ts_us, kind, a, b });
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = (kind, a, b);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            let inner = self.inner.lock().expect("journal poisoned");
+            inner.ring.iter().copied().collect()
+        }
+        #[cfg(feature = "telemetry-off")]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Events evicted to make room since creation.
+    pub fn dropped(&self) -> u64 {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.inner.lock().expect("journal poisoned").dropped
+        }
+        #[cfg(feature = "telemetry-off")]
+        {
+            0
+        }
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.inner.lock().expect("journal poisoned").ring.len()
+        }
+        #[cfg(feature = "telemetry-off")]
+        {
+            0
+        }
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(all(test, not(feature = "telemetry-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_monotonic_timestamps() {
+        let j = EventJournal::with_capacity(16);
+        j.record("attach", 1, 0);
+        j.record("policy_path", 1, 42);
+        j.record("barrier_ack", 1, 0);
+        let evs = j.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].kind, "attach");
+        assert_eq!(evs[1].kind, "policy_path");
+        assert_eq!(evs[1].b, 42);
+        assert!(evs[0].ts_us <= evs[1].ts_us && evs[1].ts_us <= evs[2].ts_us);
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let j = EventJournal::with_capacity(4);
+        for i in 0..10u64 {
+            j.record("e", i, 0);
+        }
+        let evs = j.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs.first().unwrap().a, 6, "oldest retained is #6");
+        assert_eq!(evs.last().unwrap().a, 9);
+        assert_eq!(j.dropped(), 6);
+    }
+}

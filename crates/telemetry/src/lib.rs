@@ -1,0 +1,41 @@
+//! Telemetry substrate for the SoftCell reproduction: lock-free
+//! counters/gauges, log2 latency histograms, a labeled-family metric
+//! [`Registry`], and a ring-buffer [`EventJournal`] for control-plane
+//! lifecycle tracing.
+//!
+//! The paper's evaluation (§6) hinges on quantities the runtime itself
+//! is best placed to measure — packet-in service latency, per-shard
+//! load, flow-table pressure, retry/dedup activity on the southbound
+//! channel. This crate gives every layer one cheap way to emit them:
+//!
+//! * [`metrics`] — [`Counter`]/[`Gauge`]/[`Histogram`], each a few
+//!   `Relaxed` atomics on the hot path, plus [`Stopwatch`] for timing.
+//! * [`registry`] — [`Registry`]: named, optionally labeled families
+//!   (`softcell_<crate>_<name>` naming, `key=value` labels) interned
+//!   once and touched lock-free thereafter; a process-wide
+//!   [`Registry::global`] plus per-instance registries where isolation
+//!   matters.
+//! * [`journal`] — [`EventJournal`], a bounded ring of timestamped
+//!   lifecycle events (attach → policy path → flow-mod batch → barrier
+//!   ack, reconnect/resync) with explicit drop accounting.
+//! * [`snapshot`] — [`Snapshot`]: typed point-in-time export, merged
+//!   across registries, rendered to JSON (via serde), Prometheus text
+//!   exposition, or a human-readable report table.
+//!
+//! Building with the `telemetry-off` feature compiles every primitive
+//! to a zero-sized no-op — no atomics, no clock reads — while keeping
+//! the registration and snapshot API intact (all values read as zero),
+//! so instrumented code needs no feature gates of its own.
+
+pub mod journal;
+pub mod metrics;
+pub mod registry;
+pub mod snapshot;
+
+pub use journal::{Event, EventJournal, DEFAULT_JOURNAL_CAP};
+pub use metrics::{
+    bucket_index, bucket_upper_bound, quantile_from_buckets, Counter, Gauge, Histogram, Stopwatch,
+    BUCKETS,
+};
+pub use registry::Registry;
+pub use snapshot::{CounterSample, EventSample, GaugeSample, HistogramSample, Snapshot};

@@ -1,0 +1,478 @@
+//! Point-in-time metric snapshots and their export formats.
+//!
+//! [`Snapshot`] is the typed result of [`Registry::snapshot`]
+//! (crate::Registry::snapshot): plain serializable structs, so a bench
+//! binary can dump it to JSON (`--telemetry out.json`), render the
+//! Prometheus text exposition for scraping, or print a human-readable
+//! [`Snapshot::report`] table. Snapshots from different registries —
+//! e.g. one per-server registry per shard-count sweep point plus the
+//! process-global one — combine with [`Snapshot::merge`].
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::metrics::{bucket_upper_bound, quantile_from_buckets, BUCKETS};
+
+/// One counter reading.
+#[derive(Debug, Clone, Serialize)]
+pub struct CounterSample {
+    /// Metric name (`softcell_<crate>_<name>_total`).
+    pub name: String,
+    /// `key=value` label, empty for unlabeled metrics.
+    pub label: String,
+    /// Counter value at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge reading.
+#[derive(Debug, Clone, Serialize)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// `key=value` label, empty for unlabeled metrics.
+    pub label: String,
+    /// Gauge value at snapshot time.
+    pub value: u64,
+}
+
+/// One histogram reading with precomputed percentiles.
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// `key=value` label, empty for unlabeled metrics.
+    pub label: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median (upper bound of the bucket holding the rank).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Raw log2 bucket counts (see [`crate::metrics::bucket_index`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSample {
+    /// Builds a sample from raw buckets, deriving the count from the
+    /// buckets themselves so the percentiles are self-consistent even if
+    /// recordings race the snapshot.
+    pub fn from_buckets(
+        name: String,
+        label: String,
+        buckets: Vec<u64>,
+        sum: u64,
+        max: u64,
+    ) -> HistogramSample {
+        let count: u64 = buckets.iter().sum();
+        HistogramSample {
+            name,
+            label,
+            count,
+            sum,
+            max,
+            p50: quantile_from_buckets(&buckets, count, 0.50),
+            p95: quantile_from_buckets(&buckets, count, 0.95),
+            p99: quantile_from_buckets(&buckets, count, 0.99),
+            buckets,
+        }
+    }
+
+    /// Mean sample value; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One journal event, with the kind owned so snapshots are
+/// self-contained.
+#[derive(Debug, Clone, Serialize)]
+pub struct EventSample {
+    /// Microseconds since the source journal's creation.
+    pub ts_us: u64,
+    /// Event kind tag.
+    pub kind: String,
+    /// First per-kind operand.
+    pub a: u64,
+    /// Second per-kind operand.
+    pub b: u64,
+}
+
+/// Every metric a registry held at one instant.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Snapshot {
+    /// Counter readings, sorted by (name, label).
+    pub counters: Vec<CounterSample>,
+    /// Gauge readings, sorted by (name, label).
+    pub gauges: Vec<GaugeSample>,
+    /// Histogram readings, sorted by (name, label).
+    pub histograms: Vec<HistogramSample>,
+    /// Retained journal events, oldest first.
+    pub events: Vec<EventSample>,
+    /// Journal events evicted before this snapshot.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// Sum of counter `name` across all labels (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Counter `name{label}` (zero if absent).
+    pub fn counter_labeled(&self, name: &str, label: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.label == label)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Gauge `name{label}` (zero if absent).
+    pub fn gauge_labeled(&self, name: &str, label: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.label == label)
+            .map_or(0, |g| g.value)
+    }
+
+    /// First histogram named `name`, any label.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Folds `other` into `self`: counters add, gauges keep the larger
+    /// reading (they track high-water marks across instances),
+    /// histograms merge bucket-wise with percentiles recomputed, events
+    /// concatenate in merge order (timestamps from different registries
+    /// share no epoch, so cross-registry order is not meaningful).
+    pub fn merge(&mut self, other: &Snapshot) {
+        let mut counters: BTreeMap<(String, String), u64> = self
+            .counters
+            .drain(..)
+            .map(|c| ((c.name, c.label), c.value))
+            .collect();
+        for c in &other.counters {
+            *counters
+                .entry((c.name.clone(), c.label.clone()))
+                .or_insert(0) += c.value;
+        }
+        self.counters = counters
+            .into_iter()
+            .map(|((name, label), value)| CounterSample { name, label, value })
+            .collect();
+
+        let mut gauges: BTreeMap<(String, String), u64> = self
+            .gauges
+            .drain(..)
+            .map(|g| ((g.name, g.label), g.value))
+            .collect();
+        for g in &other.gauges {
+            let slot = gauges.entry((g.name.clone(), g.label.clone())).or_insert(0);
+            *slot = (*slot).max(g.value);
+        }
+        self.gauges = gauges
+            .into_iter()
+            .map(|((name, label), value)| GaugeSample { name, label, value })
+            .collect();
+
+        let mut hists: BTreeMap<(String, String), HistogramSample> = self
+            .histograms
+            .drain(..)
+            .map(|h| ((h.name.clone(), h.label.clone()), h))
+            .collect();
+        for h in &other.histograms {
+            match hists.entry((h.name.clone(), h.label.clone())) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(h.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let cur = e.get_mut();
+                    let mut buckets = vec![0u64; BUCKETS.max(cur.buckets.len())];
+                    for (i, b) in cur.buckets.iter().enumerate() {
+                        buckets[i] += b;
+                    }
+                    for (i, b) in h.buckets.iter().enumerate() {
+                        buckets[i] += b;
+                    }
+                    *cur = HistogramSample::from_buckets(
+                        h.name.clone(),
+                        h.label.clone(),
+                        buckets,
+                        cur.sum.saturating_add(h.sum),
+                        cur.max.max(h.max),
+                    );
+                }
+            }
+        }
+        self.histograms = hists.into_values().collect();
+
+        self.events.extend(other.events.iter().cloned());
+        self.events_dropped += other.events_dropped;
+    }
+
+    /// Prometheus text exposition (v0.0.4): `# TYPE` per family,
+    /// `key="value"` labels, cumulative `_bucket{le=...}` series with
+    /// `_sum`/`_count` for histograms.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type_line = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let line = format!("# TYPE {name} {kind}\n");
+            if line != last_type_line {
+                out.push_str(&line);
+                last_type_line = line;
+            }
+        };
+        for c in &self.counters {
+            type_line(&mut out, &c.name, "counter");
+            out.push_str(&format!(
+                "{}{} {}\n",
+                c.name,
+                prom_label(&c.label, None),
+                c.value
+            ));
+        }
+        for g in &self.gauges {
+            type_line(&mut out, &g.name, "gauge");
+            out.push_str(&format!(
+                "{}{} {}\n",
+                g.name,
+                prom_label(&g.label, None),
+                g.value
+            ));
+        }
+        for h in &self.histograms {
+            type_line(&mut out, &h.name, "histogram");
+            let mut cum = 0u64;
+            let top = h
+                .buckets
+                .iter()
+                .rposition(|&b| b > 0)
+                .unwrap_or(0)
+                .min(BUCKETS - 2);
+            for (i, b) in h.buckets.iter().enumerate().take(top + 1) {
+                cum += b;
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    h.name,
+                    prom_label(&h.label, Some(&bucket_upper_bound(i).to_string())),
+                    cum
+                ));
+            }
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                h.name,
+                prom_label(&h.label, Some("+Inf")),
+                h.count
+            ));
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                h.name,
+                prom_label(&h.label, None),
+                h.sum
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                h.name,
+                prom_label(&h.label, None),
+                h.count
+            ));
+        }
+        out
+    }
+
+    /// A plain-text table of every nonzero metric — what
+    /// `tab2_agent_throughput` prints after a run.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let key = |name: &str, label: &str| {
+            if label.is_empty() {
+                name.to_string()
+            } else {
+                format!("{name}{{{label}}}")
+            }
+        };
+        let width = self
+            .counters
+            .iter()
+            .map(|c| key(&c.name, &c.label).len())
+            .chain(self.gauges.iter().map(|g| key(&g.name, &g.label).len()))
+            .chain(self.histograms.iter().map(|h| key(&h.name, &h.label).len()))
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        out.push_str(&format!("{:<width$}  {:>12}\n", "metric", "value"));
+        for c in self.counters.iter().filter(|c| c.value > 0) {
+            out.push_str(&format!(
+                "{:<width$}  {:>12}\n",
+                key(&c.name, &c.label),
+                c.value
+            ));
+        }
+        for g in self.gauges.iter().filter(|g| g.value > 0) {
+            out.push_str(&format!(
+                "{:<width$}  {:>12}\n",
+                key(&g.name, &g.label),
+                g.value
+            ));
+        }
+        let hists: Vec<&HistogramSample> = self.histograms.iter().filter(|h| h.count > 0).collect();
+        if !hists.is_empty() {
+            out.push_str(&format!(
+                "{:<width$}  {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                "histogram", "count", "p50", "p95", "p99", "max"
+            ));
+            for h in hists {
+                out.push_str(&format!(
+                    "{:<width$}  {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                    key(&h.name, &h.label),
+                    h.count,
+                    h.p50,
+                    h.p95,
+                    h.p99,
+                    h.max
+                ));
+            }
+        }
+        if !self.events.is_empty() || self.events_dropped > 0 {
+            out.push_str(&format!(
+                "journal: {} events retained, {} dropped\n",
+                self.events.len(),
+                self.events_dropped
+            ));
+        }
+        out
+    }
+}
+
+/// Renders the snapshot's single `key=value` label (plus an optional
+/// `le` bound) as a Prometheus label set.
+fn prom_label(label: &str, le: Option<&str>) -> String {
+    let mut parts = Vec::new();
+    if let Some((k, v)) = label.split_once('=') {
+        parts.push(format!("{k}=\"{v}\""));
+    } else if !label.is_empty() {
+        parts.push(format!("label=\"{label}\""));
+    }
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str, label: &str, value: u64) -> CounterSample {
+        CounterSample {
+            name: name.to_string(),
+            label: label.to_string(),
+            value,
+        }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_merges_histograms() {
+        let mut a = Snapshot {
+            counters: vec![sample("softcell_x_total", "shard=0", 3)],
+            ..Default::default()
+        };
+        let mut buckets = vec![0u64; BUCKETS];
+        buckets[7] = 10; // ten samples of ~100
+        a.histograms.push(HistogramSample::from_buckets(
+            "softcell_lat_ns".into(),
+            String::new(),
+            buckets.clone(),
+            1000,
+            120,
+        ));
+        let mut b = Snapshot {
+            counters: vec![
+                sample("softcell_x_total", "shard=0", 4),
+                sample("softcell_x_total", "shard=1", 5),
+            ],
+            ..Default::default()
+        };
+        buckets[14] = 1; // one outlier of ~10_000
+        buckets[7] = 0;
+        b.histograms.push(HistogramSample::from_buckets(
+            "softcell_lat_ns".into(),
+            String::new(),
+            buckets,
+            10_000,
+            10_000,
+        ));
+        a.merge(&b);
+        assert_eq!(a.counter_labeled("softcell_x_total", "shard=0"), 7);
+        assert_eq!(a.counter("softcell_x_total"), 12);
+        let h = a.histogram("softcell_lat_ns").unwrap();
+        assert_eq!(h.count, 11);
+        assert_eq!(h.sum, 11_000);
+        assert_eq!(h.max, 10_000);
+        assert_eq!(h.p50, 127);
+        assert_eq!(h.p99, 16_383);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut snap = Snapshot {
+            counters: vec![sample("softcell_x_total", "shard=2", 9)],
+            ..Default::default()
+        };
+        let mut buckets = vec![0u64; BUCKETS];
+        buckets[1] = 2;
+        buckets[2] = 1;
+        snap.histograms.push(HistogramSample::from_buckets(
+            "softcell_lat_ns".into(),
+            String::new(),
+            buckets,
+            7,
+            3,
+        ));
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE softcell_x_total counter\n"));
+        assert!(text.contains("softcell_x_total{shard=\"2\"} 9\n"));
+        assert!(text.contains("# TYPE softcell_lat_ns histogram\n"));
+        assert!(text.contains("softcell_lat_ns_bucket{le=\"1\"} 2\n"));
+        assert!(
+            text.contains("softcell_lat_ns_bucket{le=\"3\"} 3\n"),
+            "cumulative"
+        );
+        assert!(text.contains("softcell_lat_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("softcell_lat_ns_sum 7\n"));
+        assert!(text.contains("softcell_lat_ns_count 3\n"));
+    }
+
+    #[test]
+    fn report_lists_nonzero_metrics() {
+        let snap = Snapshot {
+            counters: vec![
+                sample("softcell_seen_total", "", 5),
+                sample("softcell_never_total", "", 0),
+            ],
+            ..Default::default()
+        };
+        let text = snap.report();
+        assert!(text.contains("softcell_seen_total"));
+        assert!(!text.contains("softcell_never_total"), "zeros elided");
+    }
+}

@@ -90,16 +90,19 @@ impl RangePool {
 
     /// Takes one block for a shard, preferring spilled blocks (so a
     /// starved shard reuses space other shards freed) over fresh space.
-    fn grab(&self) -> Option<Block> {
+    /// The flag reports provenance: `true` when the block came from
+    /// another shard's spill (the stealing path), `false` for fresh
+    /// space.
+    fn grab(&self) -> Option<(Block, bool)> {
         let mut inner = self.inner.lock().expect("pool poisoned");
         if let Some(b) = inner.spilled.pop() {
-            return Some(b);
+            return Some((b, true));
         }
         if inner.fresh < inner.capacity {
             let start = inner.fresh;
             let end = inner.capacity.min(start.saturating_add(self.block));
             inner.fresh = end;
-            return Some(Block { start, end });
+            return Some((Block { start, end }, false));
         }
         None
     }
@@ -122,6 +125,8 @@ pub struct ShardRange {
     /// it reaches zero the shard spills its block back to the pool so
     /// other shards can steal it.
     live: usize,
+    /// Blocks this shard took from other shards' spills.
+    steals: u64,
 }
 
 impl ShardRange {
@@ -133,6 +138,7 @@ impl ShardRange {
             next: 0,
             free: Vec::new(),
             live: 0,
+            steals: 0,
         }
     }
 
@@ -154,7 +160,10 @@ impl ShardRange {
                     return Some(v);
                 }
             }
-            let b = self.pool.grab()?;
+            let (b, stolen) = self.pool.grab()?;
+            if stolen {
+                self.steals += 1;
+            }
             self.next = b.start;
             self.cur = Some(b);
         }
@@ -199,6 +208,12 @@ impl ShardRange {
     /// Values currently held live by this shard.
     pub fn live(&self) -> usize {
         self.live
+    }
+
+    /// Blocks this shard has taken from other shards' spills — how often
+    /// local exhaustion was served by range stealing.
+    pub fn steals(&self) -> u64 {
+        self.steals
     }
 }
 
@@ -250,6 +265,12 @@ mod tests {
         let stolen: Vec<u32> = (0..4).map(|_| b.allocate().unwrap()).collect();
         assert_eq!(stolen.len(), 4, "b stole a's spilled range");
         assert_eq!(b.allocate(), None);
+        assert_eq!(a.steals(), 0, "a only ever drew fresh space");
+        assert_eq!(
+            b.steals(),
+            4,
+            "a spilled its values as single-value blocks; b stole each"
+        );
     }
 
     proptest! {

@@ -25,9 +25,39 @@ timeout 180 cargo test -q --release --test shard_oracle --test shard_interleave
 # Sharded packet-in throughput smoke: 4 domains must beat a single
 # domain by at least 1.5x (the acceptance floor is 2x on multicore; the
 # smoke bar is lower so a loaded 1-core CI box still passes honestly).
-echo "==> sharded throughput smoke (120 s cap)"
+# The same run exports telemetry, gating the observability substrate:
+# the JSON must parse and carry real counts, not a dead registry.
+echo "==> sharded throughput smoke + telemetry export (120 s cap)"
 timeout 120 cargo run --release -q -p softcell-bench --bin tab2_agent_throughput -- \
-  --quick --shards 4 --min-speedup 1.5
+  --quick --shards 4 --min-speedup 1.5 --telemetry /tmp/softcell-telemetry.json
+
+echo "==> telemetry snapshot sanity"
+python3 - /tmp/softcell-telemetry.json <<'PY'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+counters = {(c["name"], c["label"]): c["value"] for c in snap["counters"]}
+total = sum(v for (n, _), v in counters.items()
+            if n == "softcell_controller_packet_in_total")
+assert total > 0, "packet_in_total is zero: instrumentation dead"
+for shard in range(4):
+    served = counters.get(("softcell_controller_shard_served_total",
+                           f"shard={shard}"), 0)
+    assert served > 0, f"shard {shard} served nothing: per-shard counters dead"
+names = {n for n, _ in counters}
+assert any(n.startswith("softcell_ctlchan_frames_") for n in names), \
+    "ctlchan frame counters missing from export"
+hists = {h["name"]: h for h in snap["histograms"]}
+lat = hists["softcell_controller_packet_in_latency_ns"]
+assert lat["count"] > 0 and lat["p99"] >= lat["p50"] > 0, \
+    f"packet-in latency histogram broken: {lat}"
+print(f"telemetry ok: packet_in_total={total}, "
+      f"p50={lat['p50']}ns p99={lat['p99']}ns")
+PY
+
+# The kill switch must still compile everything it touches: with
+# telemetry-off the substrate is no-ops, not missing symbols.
+echo "==> build with --features telemetry-off"
+cargo build --release -q -p softcell-bench --features telemetry-off
 
 echo "==> cargo fmt --check"
 cargo fmt --check
