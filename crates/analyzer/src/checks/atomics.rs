@@ -1,0 +1,41 @@
+//! Atomics-ordering audit: in cross-thread handshake modules
+//! (`analysis/atomics.toml`), any `Ordering::Relaxed` (or a bare
+//! imported `Relaxed`) in non-test code is flagged. Relaxed is only
+//! legitimate for pure counters that no thread reads to make a
+//! happens-before decision — such sites carry an in-place
+//! `softcell-lint: allow(atomics-order) -- pure counter …` suppression
+//! so the exception is visible in diffs.
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::parse::FileModel;
+use crate::{Finding, CHECK_ATOMICS};
+
+pub fn scan_file(model: &FileModel, cfg: &Config, findings: &mut Vec<Finding>) {
+    if !cfg
+        .atomics_files
+        .iter()
+        .any(|f| model.path == *f || model.path.ends_with(f))
+    {
+        return;
+    }
+    for func in &model.funcs {
+        if func.is_test {
+            continue;
+        }
+        for i in func.body.clone() {
+            if let TokKind::Ident(id) = &model.tokens[i].kind {
+                if id == "Relaxed" {
+                    findings.push(Finding::new(
+                        CHECK_ATOMICS,
+                        &model.path,
+                        model.tokens[i].line,
+                        "Ordering::Relaxed in a cross-thread handshake module: use \
+                         Acquire/Release (or suppress as a pure counter)"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}

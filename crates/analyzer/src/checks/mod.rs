@@ -1,0 +1,4 @@
+pub mod atomics;
+pub mod locks;
+pub mod telemetry;
+pub mod wire;

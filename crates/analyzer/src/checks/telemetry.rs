@@ -1,0 +1,281 @@
+//! Telemetry discipline: every metric name must be snake_case with the
+//! `softcell_` prefix, carry the suffix its kind mandates (`_total`
+//! for counters, `_ns`/`_us` for histograms, neither for gauges), be
+//! registered as exactly one kind, and appear in the generated
+//! `analysis/metrics_manifest.toml` so DESIGN.md §11 cannot drift.
+//!
+//! Sites are found two ways: Registry/Snapshot method calls with a
+//! literal name (`.counter("…")`, kind from the method), and bare
+//! string literals matching `softcell_[a-z0-9_]+` (kind inferred from
+//! the suffix — this catches tables of names passed through variables,
+//! e.g. the sharded stats flush).
+
+use std::collections::BTreeMap;
+
+use crate::config::{Config, MetricsManifest};
+use crate::lexer::TokKind;
+use crate::parse::FileModel;
+use crate::{Finding, CHECK_TELEMETRY};
+
+const MANIFEST_PATH: &str = "analysis/metrics_manifest.toml";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+
+    fn from_method(m: &str) -> Option<Kind> {
+        match m {
+            "counter" | "counter_with" | "counter_labeled" => Some(Kind::Counter),
+            "gauge" | "gauge_with" | "gauge_labeled" => Some(Kind::Gauge),
+            "histogram" | "histogram_with" | "histogram_labeled" => Some(Kind::Histogram),
+            _ => None,
+        }
+    }
+
+    fn from_suffix(name: &str) -> Kind {
+        if name.ends_with("_total") {
+            Kind::Counter
+        } else if name.ends_with("_ns") || name.ends_with("_us") {
+            Kind::Histogram
+        } else {
+            Kind::Gauge
+        }
+    }
+}
+
+#[derive(Debug)]
+pub struct Site {
+    pub name: String,
+    pub kind: Kind,
+    pub file: String,
+    pub line: u32,
+    /// Method-call sites assert their kind; bare literals only infer it.
+    pub asserted: bool,
+}
+
+/// Collects metric-name sites from one file's non-test functions.
+pub fn collect_sites(model: &FileModel, sites: &mut Vec<Site>) {
+    let toks = &model.tokens;
+    for func in &model.funcs {
+        if func.is_test {
+            continue;
+        }
+        let mut consumed_literal = vec![false; func.body.len()];
+        let lo = func.body.start;
+        for i in func.body.clone() {
+            let TokKind::Ident(m) = &toks[i].kind else {
+                continue;
+            };
+            let Some(kind) = Kind::from_method(m) else {
+                continue;
+            };
+            if i == lo
+                || !toks[i - 1].is_punct('.')
+                || !matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct('(')))
+            {
+                continue;
+            }
+            if let Some(TokKind::Str(name)) = toks.get(i + 2).map(|t| &t.kind) {
+                sites.push(Site {
+                    name: name.clone(),
+                    kind,
+                    file: model.path.clone(),
+                    line: toks[i].line,
+                    asserted: true,
+                });
+                consumed_literal[i + 2 - lo] = true;
+            }
+        }
+        for i in func.body.clone() {
+            if consumed_literal[i - lo] {
+                continue;
+            }
+            if let TokKind::Str(s) = &toks[i].kind {
+                if is_metric_literal(s) {
+                    sites.push(Site {
+                        name: s.clone(),
+                        kind: Kind::from_suffix(s),
+                        file: model.path.clone(),
+                        line: toks[i].line,
+                        asserted: false,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `softcell_` followed by at least one `[a-z0-9_]`, nothing else.
+fn is_metric_literal(s: &str) -> bool {
+    let Some(rest) = s.strip_prefix("softcell_") else {
+        return false;
+    };
+    !rest.is_empty()
+        && rest
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+fn is_snake_case_metric(name: &str) -> bool {
+    name.starts_with("softcell_")
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        && !name.ends_with('_')
+}
+
+/// Validates the collected sites and the manifest; returns the
+/// observed manifest for `--write-metrics-manifest`.
+pub fn validate(sites: &[Site], cfg: &Config, findings: &mut Vec<Finding>) -> MetricsManifest {
+    // Naming + suffix/kind consistency, per site.
+    for s in sites {
+        if s.asserted && !is_snake_case_metric(&s.name) {
+            findings.push(Finding::new(
+                CHECK_TELEMETRY,
+                &s.file,
+                s.line,
+                format!(
+                    "metric name `{}` is not snake_case with the `softcell_` prefix",
+                    s.name
+                ),
+            ));
+            continue;
+        }
+        if s.asserted && s.kind != Kind::from_suffix(&s.name) {
+            findings.push(Finding::new(
+                CHECK_TELEMETRY,
+                &s.file,
+                s.line,
+                format!(
+                    "{} `{}` violates the suffix convention (counters end `_total`, \
+                     histograms `_ns`/`_us`, gauges neither)",
+                    s.kind.as_str(),
+                    s.name
+                ),
+            ));
+        }
+    }
+
+    // Kind uniqueness: first site (by file, line) is canonical.
+    let mut by_name: BTreeMap<&str, Vec<&Site>> = BTreeMap::new();
+    for s in sites {
+        by_name.entry(s.name.as_str()).or_default().push(s);
+    }
+    let mut observed = MetricsManifest::default();
+    for (name, mut group) in by_name {
+        group.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        let canonical = group
+            .iter()
+            .find(|s| s.asserted)
+            .map(|s| s.kind)
+            .unwrap_or(group[0].kind);
+        for s in &group {
+            if s.kind != canonical {
+                findings.push(Finding::new(
+                    CHECK_TELEMETRY,
+                    &s.file,
+                    s.line,
+                    format!(
+                        "metric `{}` used as {} but registered elsewhere as {}",
+                        name,
+                        s.kind.as_str(),
+                        canonical.as_str()
+                    ),
+                ));
+            }
+        }
+        if !is_snake_case_metric(name) {
+            continue; // already reported; keep the manifest clean
+        }
+        let bucket = match canonical {
+            Kind::Counter => &mut observed.counters,
+            Kind::Gauge => &mut observed.gauges,
+            Kind::Histogram => &mut observed.histograms,
+        };
+        if !bucket.contains(&name.to_string()) {
+            bucket.push(name.to_string());
+        }
+    }
+
+    // Manifest drift.
+    match &cfg.metrics_manifest {
+        None => findings.push(Finding::new(
+            CHECK_TELEMETRY,
+            MANIFEST_PATH,
+            1,
+            "metrics manifest missing: run `softcell-analyzer --write-metrics-manifest`"
+                .to_string(),
+        )),
+        Some(declared) => {
+            let pairs = [
+                ("counter", &observed.counters, &declared.counters),
+                ("gauge", &observed.gauges, &declared.gauges),
+                ("histogram", &observed.histograms, &declared.histograms),
+            ];
+            for (kind, obs, decl) in pairs {
+                for name in obs {
+                    if !decl.contains(name) {
+                        findings.push(Finding::new(
+                            CHECK_TELEMETRY,
+                            MANIFEST_PATH,
+                            1,
+                            format!(
+                                "{kind} `{name}` is registered in code but missing from the \
+                                 manifest: run `softcell-analyzer --write-metrics-manifest`"
+                            ),
+                        ));
+                    }
+                }
+                for name in decl {
+                    if !obs.contains(name) {
+                        findings.push(Finding::new(
+                            CHECK_TELEMETRY,
+                            MANIFEST_PATH,
+                            1,
+                            format!(
+                                "{kind} `{name}` is in the manifest but no longer registered \
+                                 in code: run `softcell-analyzer --write-metrics-manifest`"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    observed
+}
+
+/// Renders the observed manifest in the format `Config::load` parses.
+pub fn render_manifest(m: &MetricsManifest) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# Generated by `softcell-analyzer --write-metrics-manifest`; do not edit.\n\
+         # Every metric name registered in non-test code, by kind. CI fails on\n\
+         # drift between this file and the code (DESIGN.md \u{a7}11, \u{a7}12).\n",
+    );
+    let mut section = |title: &str, names: &[String]| {
+        out.push_str(&format!("\n[{title}]\nnames = [\n"));
+        let mut sorted = names.to_vec();
+        sorted.sort();
+        for n in sorted {
+            out.push_str(&format!("    \"{n}\",\n"));
+        }
+        out.push_str("]\n");
+    };
+    section("counters", &m.counters);
+    section("gauges", &m.gauges);
+    section("histograms", &m.histograms);
+    out
+}

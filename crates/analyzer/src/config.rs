@@ -1,0 +1,276 @@
+//! Analyzer configuration: the manifests under `analysis/`.
+//!
+//! The build is offline (no `toml` crate), so this module hand-rolls a
+//! parser for the TOML subset the manifests actually use: `#` comments,
+//! `[section]` / `[section.sub]` headers, and `key = "string"` /
+//! `key = ["a", "b", ...]` assignments (arrays may span lines).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parsed manifest: section name → key → list of string values.
+/// Scalar strings parse as single-element lists; the root (pre-section)
+/// scope is the empty section name.
+pub type Manifest = BTreeMap<String, BTreeMap<String, Vec<String>>>;
+
+pub fn parse_manifest(src: &str) -> Result<Manifest, String> {
+    let mut out: Manifest = BTreeMap::new();
+    let mut section = String::new();
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {}: unterminated section header", idx + 1))?;
+            section = name.trim().to_string();
+            out.entry(section.clone()).or_default();
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(format!("line {}: expected `key = value`", idx + 1));
+        };
+        let key = line[..eq].trim().to_string();
+        let mut value = line[eq + 1..].trim().to_string();
+        // Multi-line array: keep consuming until brackets balance.
+        while value.starts_with('[') && !brackets_balanced(&value) {
+            let Some((_, next)) = lines.next() else {
+                return Err(format!("line {}: unterminated array", idx + 1));
+            };
+            value.push(' ');
+            value.push_str(strip_comment(next).trim());
+        }
+        let values = parse_value(&value).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        out.entry(section.clone()).or_default().insert(key, values);
+    }
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` inside a quoted string would break this, but no manifest key
+    // contains one; keep the parser honest by documenting the limit.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_balanced(v: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in v.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+fn parse_value(v: &str) -> Result<Vec<String>, String> {
+    let v = v.trim();
+    if let Some(inner) = v.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_string())?;
+        let mut items = Vec::new();
+        for part in split_array(inner) {
+            let p = part.trim();
+            if p.is_empty() {
+                continue;
+            }
+            items.push(unquote(p)?);
+        }
+        return Ok(items);
+    }
+    Ok(vec![unquote(v)?])
+}
+
+/// Splits an array body on commas outside quotes.
+fn split_array(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn unquote(s: &str) -> Result<String, String> {
+    if let Some(q) = s.strip_prefix('"') {
+        return q
+            .strip_suffix('"')
+            .map(|x| x.to_string())
+            .ok_or_else(|| format!("unterminated string: {s}"));
+    }
+    // Bare values (numbers, booleans) come back verbatim.
+    Ok(s.to_string())
+}
+
+/// One panic-free scope: a file (suffix-matched against relative
+/// paths) plus function name globs (`Frame::*`, `serve`, …).
+#[derive(Debug, Clone)]
+pub struct WireScope {
+    pub file: String,
+    pub functions: Vec<String>,
+}
+
+impl WireScope {
+    pub fn matches_file(&self, path: &str) -> bool {
+        path == self.file || path.ends_with(&self.file)
+    }
+
+    pub fn matches_fn(&self, qual: &str) -> bool {
+        self.functions.iter().any(|pat| glob_match(pat, qual))
+    }
+}
+
+/// `Frame::*` style globs: `*` matches any suffix, no other wildcards.
+pub fn glob_match(pat: &str, name: &str) -> bool {
+    match pat.strip_suffix('*') {
+        Some(prefix) => name.starts_with(prefix),
+        None => pat == name,
+    }
+}
+
+/// Full analyzer configuration, assembled from the manifests.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Declared lock acquisition order, outermost first.
+    pub lock_order: Vec<String>,
+    /// Guard names that hold the Algorithm-1 ticket sequencer.
+    pub sequencer_locks: Vec<String>,
+    /// Panic-free wire-path scopes.
+    pub wire_scopes: Vec<WireScope>,
+    /// Relative paths of cross-thread handshake modules audited for
+    /// `Ordering::Relaxed`.
+    pub atomics_files: Vec<String>,
+    /// Expected metric names per kind, from the generated manifest
+    /// (None = manifest missing, drift check reports it).
+    pub metrics_manifest: Option<MetricsManifest>,
+}
+
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsManifest {
+    pub counters: Vec<String>,
+    pub gauges: Vec<String>,
+    pub histograms: Vec<String>,
+}
+
+impl Config {
+    /// Loads every manifest under `<root>/analysis/`. Missing files
+    /// leave their checks with empty scope rather than erroring, so
+    /// the analyzer degrades gracefully on partial checkouts; the
+    /// metrics manifest is the exception (drift check handles it).
+    pub fn load(root: &Path) -> Result<Config, String> {
+        let dir = root.join("analysis");
+        let mut cfg = Config::default();
+
+        if let Ok(src) = std::fs::read_to_string(dir.join("lock_order.toml")) {
+            let m = parse_manifest(&src).map_err(|e| format!("lock_order.toml: {e}"))?;
+            if let Some(root_sec) = m.get("") {
+                cfg.lock_order = root_sec.get("order").cloned().unwrap_or_default();
+                cfg.sequencer_locks = root_sec.get("sequencer").cloned().unwrap_or_default();
+            }
+        }
+
+        if let Ok(src) = std::fs::read_to_string(dir.join("wire_paths.toml")) {
+            let m = parse_manifest(&src).map_err(|e| format!("wire_paths.toml: {e}"))?;
+            for (section, keys) in &m {
+                let Some(_name) = section.strip_prefix("scope.") else {
+                    continue;
+                };
+                let file = keys
+                    .get("file")
+                    .and_then(|v| v.first())
+                    .cloned()
+                    .ok_or_else(|| format!("wire_paths.toml: [{section}] missing `file`"))?;
+                let functions = keys.get("functions").cloned().unwrap_or_default();
+                cfg.wire_scopes.push(WireScope { file, functions });
+            }
+        }
+
+        if let Ok(src) = std::fs::read_to_string(dir.join("atomics.toml")) {
+            let m = parse_manifest(&src).map_err(|e| format!("atomics.toml: {e}"))?;
+            if let Some(root_sec) = m.get("") {
+                cfg.atomics_files = root_sec.get("files").cloned().unwrap_or_default();
+            }
+        }
+
+        if let Ok(src) = std::fs::read_to_string(dir.join("metrics_manifest.toml")) {
+            let m = parse_manifest(&src).map_err(|e| format!("metrics_manifest.toml: {e}"))?;
+            let pick = |sec: &str| -> Vec<String> {
+                m.get(sec)
+                    .and_then(|k| k.get("names"))
+                    .cloned()
+                    .unwrap_or_default()
+            };
+            cfg.metrics_manifest = Some(MetricsManifest {
+                counters: pick("counters"),
+                gauges: pick("gauges"),
+                histograms: pick("histograms"),
+            });
+        }
+
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_multiline_arrays() {
+        let src = r#"
+# top comment
+order = ["engine", "ues"] # trailing
+sequencer = ["engine"]
+
+[scope.codec]
+file = "crates/ctlchan/src/codec.rs"
+functions = [
+    "Frame::*",
+    "Reader::*",
+]
+"#;
+        let m = parse_manifest(src).unwrap();
+        assert_eq!(m[""]["order"], vec!["engine", "ues"]);
+        assert_eq!(
+            m["scope.codec"]["file"],
+            vec!["crates/ctlchan/src/codec.rs"]
+        );
+        assert_eq!(m["scope.codec"]["functions"], vec!["Frame::*", "Reader::*"]);
+    }
+
+    #[test]
+    fn glob_matching() {
+        assert!(glob_match("Frame::*", "Frame::check"));
+        assert!(glob_match("serve", "serve"));
+        assert!(!glob_match("serve", "serve_rdv"));
+        assert!(!glob_match("Frame::*", "Reader::u8"));
+    }
+}

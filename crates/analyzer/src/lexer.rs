@@ -1,0 +1,323 @@
+//! A minimal Rust lexer: just enough token structure for per-function
+//! stream analysis. No keywords, no multi-char operators — the checks
+//! match on identifier/punct sequences, so single-char puncts suffice.
+//!
+//! The only genuinely fiddly parts of lexing Rust at this fidelity are
+//! (a) raw strings (`r#"…"#`), (b) nested block comments, and
+//! (c) telling a lifetime `'a` from a char literal `'a'`.
+
+/// One lexical token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Identifier or keyword (the checks treat keywords by name).
+    Ident(String),
+    /// String literal contents (escapes left as written, quotes stripped).
+    Str(String),
+    /// Char or byte literal (contents irrelevant to every check).
+    CharLit,
+    /// Numeric literal (value irrelevant to every check).
+    Num,
+    /// Lifetime such as `'a` (distinct from `CharLit`).
+    Lifetime,
+    /// Any single punctuation character.
+    Punct(char),
+}
+
+impl Token {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    pub fn str_lit(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Lexes `src` into tokens, discarding comments and whitespace.
+/// Unterminated constructs are tolerated (lex to EOF) so the analyzer
+/// never panics on malformed input — it is itself on a no-panic path.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let start_line = line;
+                let (s, ni, nl) = lex_string(b, i + 1, line);
+                toks.push(Token {
+                    kind: TokKind::Str(s),
+                    line: start_line,
+                });
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let start_line = line;
+                let (kind, ni, nl) = lex_prefixed(b, i, line);
+                toks.push(Token {
+                    kind,
+                    line: start_line,
+                });
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                // Lifetime if followed by ident-start NOT closed by a
+                // quote right after one char: `'a` vs `'a'`.
+                let is_lifetime = i + 1 < b.len()
+                    && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_')
+                    && !(i + 2 < b.len() && b[i + 2] == b'\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Lifetime,
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let start_line = line;
+                    let mut j = i + 1;
+                    while j < b.len() && b[j] != b'\'' {
+                        if b[j] == b'\\' {
+                            j += 1; // skip escaped char
+                        }
+                        if j < b.len() && b[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    toks.push(Token {
+                        kind: TokKind::CharLit,
+                        line: start_line,
+                    });
+                    i = (j + 1).min(b.len());
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Ident(src[i..j].to_string()),
+                    line,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'.')
+                {
+                    // Stop before a method call on a literal (`1.max(x)`)
+                    // or a range (`0..n`).
+                    if b[j] == b'.' && (j + 1 >= b.len() || !b[j + 1].is_ascii_digit()) {
+                        break;
+                    }
+                    j += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Num,
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                toks.push(Token {
+                    kind: TokKind::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Is `b[i..]` the start of `r"`, `r#"`, `b"`, `b'`, `br"`, or `br#"`?
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    if rest.starts_with(b"r\"") || rest.starts_with(b"r#") {
+        return true;
+    }
+    if rest.starts_with(b"b\"") || rest.starts_with(b"b'") {
+        return true;
+    }
+    if rest.starts_with(b"br\"") || rest.starts_with(b"br#") {
+        return true;
+    }
+    false
+}
+
+/// Lexes a plain string body starting just after the opening quote.
+/// Returns (contents, index-after-closing-quote, line).
+fn lex_string(b: &[u8], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let start = i;
+    while i < b.len() && b[i] != b'"' {
+        if b[i] == b'\\' {
+            i += 1;
+        }
+        if i < b.len() && b[i] == b'\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    let s = String::from_utf8_lossy(&b[start..i.min(b.len())]).into_owned();
+    ((s), (i + 1).min(b.len()), line)
+}
+
+/// Lexes raw/byte strings and byte chars starting at the `r`/`b` prefix.
+fn lex_prefixed(b: &[u8], i: usize, mut line: u32) -> (TokKind, usize, u32) {
+    let mut j = i;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'\'' {
+        // byte char literal b'x'
+        j += 1;
+        while j < b.len() && b[j] != b'\'' {
+            if b[j] == b'\\' {
+                j += 1;
+            }
+            j += 1;
+        }
+        return (TokKind::CharLit, (j + 1).min(b.len()), line);
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        // `r#ident` raw identifier, or stray prefix: back out, treat
+        // the leading letters as an identifier.
+        let mut k = i;
+        while k < b.len() && (b[k].is_ascii_alphanumeric() || b[k] == b'_') {
+            k += 1;
+        }
+        let s = String::from_utf8_lossy(&b[i..k]).into_owned();
+        return (TokKind::Ident(s), k, line);
+    }
+    j += 1; // past opening quote
+    let start = j;
+    let closer: Vec<u8> = {
+        let mut v = vec![b'"'];
+        v.extend(std::iter::repeat_n(b'#', hashes));
+        v
+    };
+    while j < b.len() {
+        if b[j] == b'\n' {
+            line += 1;
+        }
+        if b[j] == b'"' && b[j..].starts_with(&closer) {
+            let s = String::from_utf8_lossy(&b[start..j]).into_owned();
+            return (TokKind::Str(s), j + closer.len(), line);
+        }
+        j += 1;
+    }
+    let s = String::from_utf8_lossy(&b[start..]).into_owned();
+    (TokKind::Str(s), b.len(), line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lexes_idents_and_puncts_with_lines() {
+        let toks = lex("fn main() {\n    x.lock();\n}");
+        assert_eq!(toks[0].kind, TokKind::Ident("fn".into()));
+        assert_eq!(toks[0].line, 1);
+        let lock = toks.iter().find(|t| t.ident() == Some("lock")).unwrap();
+        assert_eq!(lock.line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_ident_scan() {
+        assert_eq!(idents(r#"let s = "lock() unwrap()";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let src = "let a = r#\"has \"quotes\" inside\"#; /* outer /* inner */ still */ b";
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.str_lit() == Some("has \"quotes\" inside")));
+        assert!(toks.iter().any(|t| t.ident() == Some("b")));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::CharLit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let names = idents("let x = 1.max(2); let r = 0..10;");
+        assert!(names.contains(&"max".to_string()));
+    }
+}

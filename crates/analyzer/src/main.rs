@@ -1,0 +1,98 @@
+//! CI entry point: `softcell-analyzer [--root DIR]
+//! [--write-metrics-manifest] [--show-suppressed]`.
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/config error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use softcell_analyzer::{analyze_root, checks::telemetry::render_manifest, config::Config};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut write_manifest = false;
+    let mut show_suppressed = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-metrics-manifest" => write_manifest = true,
+            "--show-suppressed" => show_suppressed = true,
+            "--help" | "-h" => {
+                println!(
+                    "softcell-analyzer [--root DIR] [--write-metrics-manifest] \
+                     [--show-suppressed]\n\nStatic analysis gates for the SoftCell \
+                     workspace (DESIGN.md \u{a7}12). Checks: lock-order, seq-block, \
+                     wire-panic, atomics-order, telemetry."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = match Config::load(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("softcell-analyzer: config error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = analyze_root(&root, &cfg);
+
+    if write_manifest {
+        let path = root.join("analysis").join("metrics_manifest.toml");
+        if let Err(e) = std::fs::create_dir_all(path.parent().expect("has parent"))
+            .and_then(|_| std::fs::write(&path, render_manifest(&analysis.observed_metrics)))
+        {
+            eprintln!("softcell-analyzer: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+        // Re-run against the fresh manifest so the exit status reflects
+        // the remaining (non-drift) findings.
+        let cfg = match Config::load(&root) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("softcell-analyzer: config error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        return report(analyze_root(&root, &cfg), show_suppressed);
+    }
+    report(analysis, show_suppressed)
+}
+
+fn report(analysis: softcell_analyzer::Analysis, show_suppressed: bool) -> ExitCode {
+    let mut unsuppressed = 0usize;
+    let mut suppressed = 0usize;
+    for f in &analysis.findings {
+        if f.suppressed {
+            suppressed += 1;
+            if show_suppressed {
+                println!("{} (suppressed)", f.render());
+            }
+        } else {
+            unsuppressed += 1;
+            println!("{}", f.render());
+        }
+    }
+    println!(
+        "softcell-analyzer: {} file(s), {} finding(s), {} suppressed",
+        analysis.files_scanned, unsuppressed, suppressed
+    );
+    if unsuppressed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

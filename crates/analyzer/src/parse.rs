@@ -1,0 +1,415 @@
+//! Function segmentation and suppression-comment parsing.
+//!
+//! The analyzer works per function: each check walks the token range of
+//! one function body, knowing its qualified name (`Type::method` inside
+//! an `impl`, bare `name` at module scope) and whether it is test code
+//! (`#[test]`, `#[cfg(test)]` on the fn or any enclosing module, or a
+//! file under `tests/` / `benches/`).
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// One analyzed source file.
+pub struct FileModel {
+    /// Path relative to the analysis root, with `/` separators.
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub funcs: Vec<Func>,
+    pub suppressions: Vec<Suppression>,
+    /// True for files under `tests/` or `benches/` directories.
+    pub file_is_test: bool,
+}
+
+/// One `fn` item: `body` is the token index range of its brace-enclosed
+/// body, exclusive of the braces themselves.
+pub struct Func {
+    /// `Type::name` inside an impl block, else just `name`.
+    pub qual: String,
+    pub body: std::ops::Range<usize>,
+    pub is_test: bool,
+}
+
+/// An in-source `// softcell-lint: allow(check-a, check-b) -- reason`.
+pub struct Suppression {
+    /// Line the suppression applies to: the comment's own line for a
+    /// trailing comment, the next code line for a standalone comment.
+    pub target_line: u32,
+    /// Line the comment itself is on (for "missing reason" reports).
+    pub comment_line: u32,
+    pub checks: Vec<String>,
+    pub reason: Option<String>,
+}
+
+impl FileModel {
+    pub fn parse(path: &str, src: &str) -> FileModel {
+        let tokens = lex(src);
+        let file_is_test = path.split('/').any(|c| c == "tests" || c == "benches");
+        let funcs = segment_functions(&tokens, file_is_test);
+        let suppressions = parse_suppressions(src);
+        FileModel {
+            path: path.to_string(),
+            tokens,
+            funcs,
+            suppressions,
+            file_is_test,
+        }
+    }
+
+    /// Is a finding of `check` at `line` covered by a suppression with
+    /// a written reason?
+    pub fn is_suppressed(&self, check: &str, line: u32) -> bool {
+        self.suppressions.iter().any(|s| {
+            s.target_line == line && s.reason.is_some() && s.checks.iter().any(|c| c == check)
+        })
+    }
+}
+
+const LINT_MARK: &str = "softcell-lint:";
+
+fn parse_suppressions(src: &str) -> Vec<Suppression> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        let Some(comment_pos) = raw.find("//") else {
+            continue;
+        };
+        let comment = &raw[comment_pos..];
+        // Doc comments talk *about* suppressions; only plain `//`
+        // comments are suppressions.
+        if comment.starts_with("///") || comment.starts_with("//!") {
+            continue;
+        }
+        let Some(mark) = comment.find(LINT_MARK) else {
+            continue;
+        };
+        let rest = comment[mark + LINT_MARK.len()..].trim_start();
+        let Some(body) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = body.find(')') else {
+            continue;
+        };
+        let checks: Vec<String> = body[..close]
+            .split(',')
+            .map(|c| c.trim().to_string())
+            .filter(|c| !c.is_empty())
+            .collect();
+        let after = body[close + 1..].trim_start();
+        let reason = after
+            .strip_prefix("--")
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty());
+        let comment_line = (idx + 1) as u32;
+        // Trailing comment covers its own line; a standalone comment
+        // line covers the next line that holds code.
+        let has_code_before = !raw[..comment_pos].trim().is_empty();
+        let target_line = if has_code_before {
+            comment_line
+        } else {
+            let mut t = idx + 1;
+            while t < lines.len() {
+                let l = lines[t].trim();
+                if !l.is_empty() && !l.starts_with("//") {
+                    break;
+                }
+                t += 1;
+            }
+            (t + 1) as u32
+        };
+        out.push(Suppression {
+            target_line,
+            comment_line,
+            checks,
+            reason,
+        });
+    }
+    out
+}
+
+/// Walks the token stream tracking module nesting, `#[cfg(test)]` /
+/// `#[test]` attributes, and `impl` blocks, and returns every `fn`
+/// with its body range and qualified name.
+fn segment_functions(toks: &[Token], file_is_test: bool) -> Vec<Func> {
+    struct Scope {
+        /// Brace depth at which this scope's `{` opened.
+        close_depth: u32,
+        impl_type: Option<String>,
+        is_test: bool,
+    }
+    let mut funcs = Vec::new();
+    let mut depth = 0u32;
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut pending_test_attr = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('#') => {
+                // Attribute: scan balanced brackets, look for test markers.
+                if i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+                    let (end, is_test_attr) = scan_attr(toks, i + 1);
+                    if is_test_attr {
+                        pending_test_attr = true;
+                    }
+                    i = end;
+                    continue;
+                }
+                i += 1;
+            }
+            TokKind::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while let Some(top) = scopes.last() {
+                    if top.close_depth > depth {
+                        scopes.pop();
+                    } else {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Ident(id) if id == "mod" => {
+                // `mod name {` opens a scope; `mod name;` does not.
+                let mut j = i + 1;
+                while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct('{') {
+                    let parent_test = scopes.last().map(|s| s.is_test).unwrap_or(false);
+                    depth += 1;
+                    scopes.push(Scope {
+                        close_depth: depth,
+                        impl_type: None,
+                        is_test: parent_test || pending_test_attr,
+                    });
+                }
+                pending_test_attr = false;
+                i = j + 1;
+            }
+            TokKind::Ident(id) if id == "impl" => {
+                let (type_name, body_start) = scan_impl_header(toks, i + 1);
+                if let Some(bs) = body_start {
+                    let parent_test = scopes.last().map(|s| s.is_test).unwrap_or(false);
+                    depth += 1;
+                    scopes.push(Scope {
+                        close_depth: depth,
+                        impl_type: type_name,
+                        is_test: parent_test || pending_test_attr,
+                    });
+                    i = bs + 1;
+                } else {
+                    i += 1;
+                }
+                pending_test_attr = false;
+            }
+            TokKind::Ident(id) if id == "fn" => {
+                let name = toks
+                    .get(i + 1)
+                    .and_then(|t| t.ident())
+                    .unwrap_or("<anon>")
+                    .to_string();
+                // Find the body `{` (or `;` for a bodiless trait decl),
+                // skipping parens/brackets in the signature.
+                let mut j = i + 2;
+                let mut paren = 0i32;
+                let mut body_open = None;
+                while j < toks.len() {
+                    match toks[j].kind {
+                        TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+                        TokKind::Punct(')') | TokKind::Punct(']') => paren -= 1,
+                        TokKind::Punct('{') if paren == 0 => {
+                            body_open = Some(j);
+                            break;
+                        }
+                        TokKind::Punct(';') if paren == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let Some(open) = body_open else {
+                    pending_test_attr = false;
+                    i = j + 1;
+                    continue;
+                };
+                // Match the body braces without disturbing scope state.
+                let mut d = 1i32;
+                let mut k = open + 1;
+                while k < toks.len() && d > 0 {
+                    match toks[k].kind {
+                        TokKind::Punct('{') => d += 1,
+                        TokKind::Punct('}') => d -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let enclosing_test = scopes.last().map(|s| s.is_test).unwrap_or(false);
+                let qual = match scopes.iter().rev().find_map(|s| s.impl_type.as_ref()) {
+                    Some(t) => format!("{t}::{name}"),
+                    None => name,
+                };
+                funcs.push(Func {
+                    qual,
+                    body: (open + 1)..(k.saturating_sub(1)),
+                    is_test: file_is_test || enclosing_test || pending_test_attr,
+                });
+                pending_test_attr = false;
+                i = k;
+            }
+            TokKind::Ident(id)
+                if matches!(id.as_str(), "struct" | "enum" | "static" | "const" | "use") =>
+            {
+                // Items that clear a pending attribute without opening
+                // a tracked scope.
+                pending_test_attr = false;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    funcs
+}
+
+/// Scans `#[...]` starting at the `[`; returns (index after `]`,
+/// whether the attribute marks test code).
+fn scan_attr(toks: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut j = open;
+    let mut is_test = false;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, is_test);
+                }
+            }
+            TokKind::Ident(id) if id == "test" => {
+                // Covers `#[test]`, `#[cfg(test)]`, `#[cfg(any(test,…))]`.
+                is_test = true;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, is_test)
+}
+
+/// Parses an impl header after the `impl` keyword: returns the Self
+/// type name and the index of the opening `{` (None for `impl Trait
+/// for Type;` — which doesn't exist — or EOF weirdness).
+fn scan_impl_header(toks: &[Token], start: usize) -> (Option<String>, Option<usize>) {
+    let mut j = start;
+    let mut names: Vec<(usize, String)> = Vec::new();
+    let mut for_at: Option<usize> = None;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('{') => {
+                let name = pick_impl_type(&names, for_at);
+                return (name, Some(j));
+            }
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => angle -= 1,
+            TokKind::Ident(id) if id == "for" && angle <= 0 => for_at = Some(j),
+            TokKind::Ident(id)
+                if angle <= 0 && !matches!(id.as_str(), "where" | "dyn" | "mut" | "const") =>
+            {
+                names.push((j, id.clone()));
+            }
+            TokKind::Punct(';') => return (None, None),
+            _ => {}
+        }
+        j += 1;
+    }
+    (None, None)
+}
+
+fn pick_impl_type(names: &[(usize, String)], for_at: Option<usize>) -> Option<String> {
+    match for_at {
+        // `impl Trait for Type` — first name after `for`.
+        Some(f) => names.iter().find(|(i, _)| *i > f).map(|(_, n)| n.clone()),
+        // `impl Type` — first name at angle depth 0.
+        None => names.first().map(|(_, n)| n.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualifies_impl_methods_and_marks_tests() {
+        let src = r#"
+impl Frame {
+    fn check(&self) {}
+}
+fn free() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+    #[test]
+    fn a_test() {}
+}
+"#;
+        let m = FileModel::parse("crates/x/src/lib.rs", src);
+        let by_name: Vec<(&str, bool)> = m
+            .funcs
+            .iter()
+            .map(|f| (f.qual.as_str(), f.is_test))
+            .collect();
+        assert_eq!(
+            by_name,
+            vec![
+                ("Frame::check", false),
+                ("free", false),
+                ("helper", true),
+                ("a_test", true),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type() {
+        let src =
+            "impl<T: AsRef<[u8]>> From<Foo<T>> for Bar<T> { fn from(f: Foo<T>) -> Bar<T> { x } }";
+        let m = FileModel::parse("crates/x/src/lib.rs", src);
+        assert_eq!(m.funcs[0].qual, "Bar::from");
+    }
+
+    #[test]
+    fn test_attr_does_not_leak_to_next_fn() {
+        let src = "#[test]\nfn t() {}\nfn prod() {}";
+        let m = FileModel::parse("crates/x/src/lib.rs", src);
+        assert!(m.funcs[0].is_test);
+        assert!(!m.funcs[1].is_test);
+    }
+
+    #[test]
+    fn files_under_tests_are_test_code() {
+        let m = FileModel::parse("tests/integration.rs", "fn body() {}");
+        assert!(m.funcs[0].is_test);
+        assert!(m.file_is_test);
+    }
+
+    #[test]
+    fn suppression_targets_trailing_and_standalone() {
+        // The marker is split so scanning THIS file doesn't read the
+        // test data as real suppressions.
+        let mark = "softcell-lint:";
+        let src = format!(
+            "let a = x[0]; // {mark} allow(wire-panic) -- checked above\n\
+             // {mark} allow(atomics-order) -- pure counter\n\
+             n.fetch_add(1, Ordering::Relaxed);\n\
+             y.unwrap(); // {mark} allow(wire-panic)\n"
+        );
+        let m = FileModel::parse("crates/x/src/lib.rs", &src);
+        assert!(m.is_suppressed("wire-panic", 1));
+        assert!(m.is_suppressed("atomics-order", 3));
+        // Missing `-- reason` does not suppress.
+        assert!(!m.is_suppressed("wire-panic", 4));
+        assert_eq!(m.suppressions.len(), 3);
+        assert!(m.suppressions[2].reason.is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! Source discovery: every `.rs` file under `crates/`, `src/`, and
+//! `tests/` of the analysis root, deterministic order. `target/`
+//! build output and the analyzer's own violation-fixture corpus
+//! (`tests/fixtures/`) are skipped; `shims/` sits outside the walked
+//! roots by construction.
+
+use std::path::{Path, PathBuf};
+
+pub const WALK_ROOTS: &[&str] = &["crates", "src", "tests"];
+
+/// Relative (slash-separated) paths of every analyzable source file.
+pub fn source_files(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    for sub in WALK_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk_dir(root, &dir, &mut out);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || is_fixture_dir(&path) {
+                continue;
+            }
+            walk_dir(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
+
+/// `…/tests/fixtures` holds deliberately-bad snippets.
+fn is_fixture_dir(path: &Path) -> bool {
+    let mut comps = path.components().rev();
+    let last = comps.next().map(|c| c.as_os_str() == "fixtures");
+    let prev = comps.next().map(|c| c.as_os_str() == "tests");
+    last == Some(true) && prev == Some(true)
+}

@@ -1,0 +1,17 @@
+// Fixture: Ordering::Relaxed in a handshake module is flagged;
+// SeqCst passes; test code is exempt.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn handshake(seq: &AtomicU64) -> u64 {
+    seq.store(1, Ordering::SeqCst);
+    seq.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(seq: &AtomicU64) -> u64 {
+        seq.load(Ordering::Relaxed)
+    }
+}

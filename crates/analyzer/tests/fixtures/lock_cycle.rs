@@ -1,0 +1,20 @@
+// Fixture: two functions acquire a_lock/b_lock in opposite orders.
+// Expected: an order violation at the inner acquisition in g() and a
+// cycle report, both on line 16.
+struct S;
+
+impl S {
+    fn f(&self) {
+        let a = self.a_lock.lock();
+        let b = self.b_lock.lock();
+        drop(b);
+        drop(a);
+    }
+
+    fn g(&self) {
+        let b = self.b_lock.lock();
+        let a = self.a_lock.lock();
+        drop(a);
+        drop(b);
+    }
+}

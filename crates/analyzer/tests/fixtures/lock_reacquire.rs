@@ -1,0 +1,12 @@
+// Fixture: re-acquiring a guard already held (self-deadlock with a
+// non-reentrant mutex). Expected: one finding on line 8 (the inner acquisition).
+struct S;
+
+impl S {
+    fn f(&self) {
+        let a = self.a_lock.lock();
+        let b = self.a_lock.lock();
+        drop(b);
+        drop(a);
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: nesting two locks absent from the declared order.
+// Expected: one undeclared-nesting finding on line 8.
+struct S;
+
+impl S {
+    fn f(&self) {
+        let c = self.c_lock.lock();
+        let d = self.d_lock.lock();
+        drop(d);
+        drop(c);
+    }
+}

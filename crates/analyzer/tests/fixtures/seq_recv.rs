@@ -1,0 +1,11 @@
+// Fixture: blocking channel recv while the engine (sequencer) guard
+// is live. Expected: one seq-block finding on line 8.
+struct S;
+
+impl S {
+    fn f(&self, rx: &Receiver<u32>) {
+        let mut engine = self.coord.engine.lock();
+        let x = rx.recv();
+        engine.apply(x);
+    }
+}

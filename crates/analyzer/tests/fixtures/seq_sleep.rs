@@ -1,0 +1,14 @@
+// Fixture: sleeping and taking another lock while the sequencer guard
+// is live. The engine→a_lock nesting is declared, so lock-order stays
+// quiet — but seq-block fires on both lines 9 and 10.
+struct S;
+
+impl S {
+    fn f(&self) {
+        let mut engine = self.coord.engine.lock();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let a = self.a_lock.lock();
+        drop(a);
+        drop(engine);
+    }
+}

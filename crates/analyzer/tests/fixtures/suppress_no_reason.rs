@@ -1,0 +1,5 @@
+// Fixture: a suppression without `-- reason` does not suppress, and
+// is itself reported.
+fn decode(buf: &[u8]) -> u8 {
+    buf.first().copied().unwrap() // softcell-lint: allow(wire-panic)
+}

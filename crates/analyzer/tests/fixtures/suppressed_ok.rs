@@ -1,0 +1,15 @@
+// Fixture: reasoned suppressions silence findings, in both the
+// standalone-line and trailing-comment forms.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn decode(buf: &[u8]) -> u8 {
+    // softcell-lint: allow(wire-panic) -- length validated by caller
+    let b = buf[0];
+    let c = buf.first().copied().unwrap(); // softcell-lint: allow(wire-panic) -- trailing form demo
+    b + c
+}
+
+fn handshake(seq: &AtomicU64) -> u64 {
+    // softcell-lint: allow(atomics-order) -- pure counter, fixture
+    seq.load(Ordering::Relaxed)
+}

@@ -1,0 +1,8 @@
+// Fixture: metric naming and suffix violations — camelCase name,
+// counter without `_total`, gauge carrying `_total`.
+fn register(r: &Registry) {
+    let a = r.counter("softcell_BadName_total");
+    let b = r.counter("softcell_foo_ns");
+    let c = r.gauge("softcell_things_total");
+    use_all(a, b, c);
+}

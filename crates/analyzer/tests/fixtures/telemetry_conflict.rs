@@ -1,0 +1,7 @@
+// Fixture: one name registered as two kinds. The histogram site gets
+// both a kind-conflict finding and a suffix finding.
+fn register(r: &Registry) {
+    let c = r.counter("softcell_x_total");
+    let h = r.histogram("softcell_x_total");
+    use_both(c, h);
+}

@@ -1,0 +1,11 @@
+// Fixture: slice indexing in scope. Attribute brackets, `vec!`, and
+// array-type/array-literal brackets must not be flagged.
+#[derive(Debug)]
+struct Wrapper(Vec<u8>);
+
+fn decode(buf: &[u8]) -> u8 {
+    let v = vec![0u8; 4];
+    let arr: [u8; 2] = [0, 1];
+    let first = buf[0];
+    first + v[1] + arr[0]
+}

@@ -1,0 +1,10 @@
+// Fixture: panic-family macros in scope; debug_assert! compiles out
+// of release builds and is sanctioned for encoder-side invariants.
+fn decode(buf: &[u8]) -> u8 {
+    debug_assert!(!buf.is_empty());
+    if buf.is_empty() {
+        panic!("empty frame");
+    }
+    assert_eq!(buf.len(), 12);
+    0
+}

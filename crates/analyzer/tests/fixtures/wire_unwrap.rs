@@ -1,0 +1,11 @@
+// Fixture: unwrap/expect inside a configured wire scope; the helper
+// below is outside the scope and exempt.
+fn decode(buf: &[u8]) -> u32 {
+    let n = buf.len().checked_sub(4).unwrap();
+    let x = parse(buf).expect("valid");
+    x + n as u32
+}
+
+fn helper(buf: &[u8]) -> u32 {
+    buf.first().copied().unwrap() as u32
+}

@@ -1,0 +1,50 @@
+//! Self-run: the real workspace must analyze clean under the real
+//! manifests, and the generated metrics manifest must be fresh. This
+//! is the same gate `scripts/ci.sh` runs via the binary; keeping it in
+//! `cargo test` means a violation fails the tier-1 suite too.
+
+use std::path::PathBuf;
+
+use softcell_analyzer::{analyze_root, config::Config};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+#[test]
+fn real_workspace_has_no_unsuppressed_findings() {
+    let root = repo_root();
+    let cfg = Config::load(&root).expect("analysis manifests parse");
+    assert!(
+        !cfg.lock_order.is_empty(),
+        "lock_order.toml missing or empty"
+    );
+    assert!(
+        !cfg.wire_scopes.is_empty(),
+        "wire_paths.toml missing or empty"
+    );
+    assert!(
+        !cfg.atomics_files.is_empty(),
+        "atomics.toml missing or empty"
+    );
+    assert!(
+        cfg.metrics_manifest.is_some(),
+        "metrics_manifest.toml missing: run `softcell-analyzer --write-metrics-manifest`"
+    );
+
+    let analysis = analyze_root(&root, &cfg);
+    assert!(
+        analysis.files_scanned > 50,
+        "walker found only {} files — broken discovery",
+        analysis.files_scanned
+    );
+    let bad: Vec<String> = analysis.unsuppressed().map(|f| f.render()).collect();
+    assert!(
+        bad.is_empty(),
+        "workspace must analyze clean (manifest drift included):\n{}",
+        bad.join("\n")
+    );
+}

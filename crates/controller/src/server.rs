@@ -217,6 +217,7 @@ pub(crate) struct Shared {
 
 impl Shared {
     fn install_fence(&self) {
+        // softcell-lint: allow(atomics-order) -- pure config knob: a stale read only mistimes the simulated fence
         let us = self.install_latency_us.load(Ordering::Relaxed);
         if us > 0 {
             std::thread::sleep(std::time::Duration::from_micros(us));
@@ -348,6 +349,7 @@ impl ControllerServer {
     pub fn set_install_latency(&self, d: std::time::Duration) {
         self.shared
             .install_latency_us
+            // softcell-lint: allow(atomics-order) -- pure config knob: no reader orders other memory against it
             .store(d.as_micros() as u64, Ordering::Relaxed);
     }
 
@@ -545,6 +547,7 @@ fn worker_loop(
                             }
                             // classic: a shared monotone counter
                             None => {
+                                // softcell-lint: allow(atomics-order) -- pure counter: fetch_add uniqueness is ordering-independent
                                 let n = shared.next_permanent.fetch_add(1, Ordering::Relaxed) + 1;
                                 Ipv4Addr::from(PERMANENT_POOL_BASE + n)
                             }
@@ -620,6 +623,7 @@ fn worker_loop(
                             // throughput, where the paper's bottleneck is
                             // the request fan-in, not the argmin.)
                             let t = PolicyTag(
+                                // softcell-lint: allow(atomics-order) -- pure counter: fetch_add uniqueness is ordering-independent
                                 (shared.next_tag.fetch_add(1, Ordering::Relaxed)
                                     % u64::from(TAG_SPACE)) as u16,
                             );

@@ -180,7 +180,11 @@ impl ControllerServer {
                         // barrier-delimited batch form
                         Ok(if sharded {
                             let shard = shard_of_station(bs, router.domains()) as u16;
-                            let seq = shared.batch_seq.fetch_add(1, Ordering::Relaxed) as u32;
+                            // AcqRel: the batch sequence number orders
+                            // flow-mod batches across serve threads, so
+                            // stamping it must not be reorderable against
+                            // the batch contents it numbers.
+                            let seq = shared.batch_seq.fetch_add(1, Ordering::AcqRel) as u32;
                             shared.telemetry.journal().record(
                                 "flow_mod_batch",
                                 u64::from(shard),
@@ -255,6 +259,7 @@ fn route_packet_in(
     // one line per 4096 to keep a sustained overload from flooding
     // stderr (process-wide, deliberately coarse)
     static SHED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    // softcell-lint: allow(atomics-order) -- pure counter: only rate-limits a log line, no thread reads it for ordering
     let n = SHED.fetch_add(1, Ordering::Relaxed);
     if n.is_multiple_of(4096) {
         eprintln!(

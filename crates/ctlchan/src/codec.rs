@@ -57,6 +57,27 @@ pub struct Frame<T: AsRef<[u8]>> {
     buffer: T,
 }
 
+/// Bounds-checked header field reads: a short buffer surfaces as
+/// `Error::Malformed`, never a panic (wire-panic invariant, DESIGN.md §12).
+fn header_u8(d: &[u8], i: usize) -> Result<u8> {
+    d.get(i)
+        .copied()
+        .ok_or_else(|| Error::Malformed(format!("header truncated at byte {i}")))
+}
+
+fn header_u32(d: &[u8], r: std::ops::Range<usize>) -> Result<u32> {
+    d.get(r.clone())
+        .and_then(|b| b.try_into().ok())
+        .map(u32::from_be_bytes)
+        .ok_or_else(|| Error::Malformed(format!("header truncated at bytes {r:?}")))
+}
+
+/// `Reader::take(n)` returned a slice of the wrong width — impossible
+/// by construction, but decode paths return errors rather than trust it.
+fn width_err(what: &'static str) -> Error {
+    Error::Malformed(format!("internal reader width mismatch decoding {what}"))
+}
+
 impl<T: AsRef<[u8]>> Frame<T> {
     /// Wraps a buffer without validation. Use on buffers this code just
     /// emitted.
@@ -80,13 +101,13 @@ impl<T: AsRef<[u8]>> Frame<T> {
                 data.len()
             )));
         }
-        if data[field::VERSION] != VERSION {
+        let version = header_u8(data, field::VERSION)?;
+        if version != VERSION {
             return Err(Error::Malformed(format!(
-                "ctlchan version {} != {VERSION}",
-                data[field::VERSION]
+                "ctlchan version {version} != {VERSION}"
             )));
         }
-        let len = u32::from_be_bytes(data[field::LENGTH].try_into().unwrap()) as usize;
+        let len = header_u32(data, field::LENGTH)? as usize;
         if !(HEADER_LEN..=MAX_FRAME).contains(&len) {
             return Err(Error::Malformed(format!("frame length {len} out of range")));
         }
@@ -106,36 +127,40 @@ impl<T: AsRef<[u8]>> Frame<T> {
 
     /// Protocol version byte.
     pub fn version(&self) -> u8 {
+        // softcell-lint: allow(wire-panic) -- header length validated by new_checked
         self.buffer.as_ref()[field::VERSION]
     }
 
     /// Message type code.
     pub fn msg_type(&self) -> u8 {
+        // softcell-lint: allow(wire-panic) -- header length validated by new_checked
         self.buffer.as_ref()[field::MSG_TYPE]
     }
 
     /// The reserved header bytes. Senders write zero; receivers must
     /// ignore the value (room for future flags without a version bump).
     pub fn reserved(&self) -> u16 {
+        // softcell-lint: allow(wire-panic) -- header length validated by new_checked
         let b = &self.buffer.as_ref()[field::RESERVED];
+        // softcell-lint: allow(wire-panic) -- RESERVED is a fixed 2-byte header range
         u16::from_be_bytes([b[0], b[1]])
     }
 
     /// Total frame length from the header.
     pub fn total_len(&self) -> usize {
         let d = self.buffer.as_ref();
-        u32::from_be_bytes(d[field::LENGTH].try_into().unwrap()) as usize
+        header_u32(d, field::LENGTH).unwrap_or(0) as usize
     }
 
     /// Transaction id.
     pub fn xid(&self) -> u32 {
         let d = self.buffer.as_ref();
-        u32::from_be_bytes(d[field::XID].try_into().unwrap())
+        header_u32(d, field::XID).unwrap_or(0)
     }
 
     /// The message payload after the header.
     pub fn payload(&self) -> &[u8] {
-        &self.buffer.as_ref()[HEADER_LEN..]
+        self.buffer.as_ref().get(HEADER_LEN..).unwrap_or(&[])
     }
 
     /// Decodes the payload into a [`Message`] borrowing from the buffer.
@@ -796,30 +821,38 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        let end = self.pos.checked_add(n).filter(|&e| e <= self.data.len());
-        let end = end.ok_or_else(|| {
-            Error::Malformed(format!(
-                "payload truncated: need {n} bytes at offset {}, have {}",
-                self.pos,
-                self.data.len()
-            ))
-        })?;
-        let out = &self.data[self.pos..end];
-        self.pos = end;
+        let out = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.data.get(self.pos..end))
+            .ok_or_else(|| {
+                Error::Malformed(format!(
+                    "payload truncated: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.data.len()
+                ))
+            })?;
+        self.pos += n;
         Ok(out)
     }
 
     fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or_else(|| width_err("u8"))
     }
     fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+        let b = self.take(2)?.try_into().map_err(|_| width_err("u16"))?;
+        Ok(u16::from_be_bytes(b))
     }
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?.try_into().map_err(|_| width_err("u32"))?;
+        Ok(u32::from_be_bytes(b))
     }
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?.try_into().map_err(|_| width_err("u64"))?;
+        Ok(u64::from_be_bytes(b))
     }
 
     fn str16(&mut self) -> Result<&'a str> {

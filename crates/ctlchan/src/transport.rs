@@ -246,6 +246,7 @@ impl Transport for TcpTransport {
         let mut header = [0u8; HEADER_LEN];
         let mut filled = 0;
         while filled < HEADER_LEN {
+            // softcell-lint: allow(wire-panic) -- filled < HEADER_LEN by the loop bound; fixed stack array
             match self.stream.read(&mut header[filled..]) {
                 // EOF before any byte of a frame = clean close; EOF
                 // mid-header = truncated frame.
@@ -270,19 +271,27 @@ impl Transport for TcpTransport {
                 Err(e) => return Err(Error::InvalidState(format!("tcp recv: {e}"))),
             }
         }
-        if header[0] != VERSION {
+        // softcell-lint: allow(wire-panic) -- const index into fixed [u8; HEADER_LEN] array
+        let version = header[0];
+        if version != VERSION {
             return Err(Error::Malformed(format!(
-                "ctlchan version {} != {VERSION}",
-                header[0]
+                "ctlchan version {version} != {VERSION}"
             )));
         }
-        let len = u32::from_be_bytes(header[4..8].try_into().unwrap()) as usize;
+        let len = header
+            .get(4..8)
+            .and_then(|b| b.try_into().ok())
+            .map(u32::from_be_bytes)
+            .ok_or_else(|| Error::Malformed("header too short for length field".into()))?
+            as usize;
         if !(HEADER_LEN..=MAX_FRAME).contains(&len) {
             return Err(Error::Malformed(format!("frame length {len} out of range")));
         }
         let mut frame = vec![0u8; len];
+        // softcell-lint: allow(wire-panic) -- len >= HEADER_LEN validated just above
         frame[..HEADER_LEN].copy_from_slice(&header);
         self.stream
+            // softcell-lint: allow(wire-panic) -- len >= HEADER_LEN validated just above
             .read_exact(&mut frame[HEADER_LEN..])
             .map_err(|e| Error::Malformed(format!("truncated frame payload: {e}")))?;
         self.counters.received(&frame);

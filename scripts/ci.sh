@@ -7,6 +7,16 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+# Static-analysis gate (DESIGN.md §12): lock order, sequencer liveness,
+# panic-free wire paths, atomics ordering, telemetry discipline. Fails
+# on any unsuppressed finding — including drift between the code and
+# analysis/metrics_manifest.toml (regenerate with
+# `cargo run -p softcell-analyzer -- --write-metrics-manifest`). The
+# binary is already built by the release build above, so this completes
+# in well under 5 s.
+echo "==> softcell-analyzer (static analysis gate)"
+./target/release/softcell-analyzer --root .
+
 echo "==> cargo test -q"
 cargo test -q --workspace
 
@@ -62,7 +72,16 @@ cargo build --release -q -p softcell-bench --features telemetry-off
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+# Curated lint set (DESIGN.md §12): -D warnings everywhere including
+# tests and benches, plus dbg!/todo! denied workspace-wide, plus
+# unwrap_used denied in the non-test code of the two crates whose
+# panics would take down the control plane (ctlchan, controller).
+echo "==> cargo clippy --workspace --all-targets (curated deny set)"
+cargo clippy --workspace --all-targets -- \
+  -D warnings -D clippy::dbg_macro -D clippy::todo
+
+echo "==> cargo clippy -p softcell-ctlchan -p softcell-controller (deny unwrap_used)"
+cargo clippy --no-deps -p softcell-ctlchan -p softcell-controller -- \
+  -D warnings -D clippy::unwrap_used -D clippy::dbg_macro -D clippy::todo
 
 echo "==> CI green"
