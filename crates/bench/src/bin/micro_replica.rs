@@ -1,0 +1,167 @@
+//! Replication-path micro-benchmark: log append, ship/ack commit
+//! latency, and replication lag at 1/2/4 replicas.
+//!
+//! The paper (§5) argues controller fault tolerance is "standard
+//! replication techniques" over SoftCell's two state classes; this
+//! bench prices those techniques in our implementation. Three numbers:
+//!
+//! * **append** — pure in-memory log append+encode, the floor every
+//!   replicated op pays even alone.
+//! * **commit** — full `propose` round trip: encode, ship to every live
+//!   peer over the loopback ctlchan mesh, quorum ack, apply. This is
+//!   the latency an attach/handoff/path-install adds before its reply
+//!   (flow-mod release is commit-gated).
+//! * **lag** — committed index on the proposer minus the lowest applied
+//!   index across peers after the run: how far the slowest replica
+//!   trails once the storm stops (0 = fully synchronous).
+//!
+//! Usage: `micro_replica [--quick] [--json PATH] [--replicas N] [--quorum Q]`
+
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use softcell_bench::{arg_usize, is_quick, maybe_dump_json, TextTable};
+use softcell_policy::{ServicePolicy, SubscriberAttributes};
+use softcell_replica::{Cluster, LogRecord, ReplicatedOp, ReplicationLog};
+use softcell_types::{BaseStationId, ControllerId, SimTime, UeId, UeImsi};
+
+#[derive(Serialize)]
+struct Row {
+    replicas: usize,
+    quorum: usize,
+    ops: u64,
+    append_ns: f64,
+    commit_us_p50: f64,
+    commit_us_p99: f64,
+    commit_us_mean: f64,
+    lag: u64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    experiment: String,
+    rows: Vec<Row>,
+}
+
+fn op(i: u64) -> ReplicatedOp {
+    ReplicatedOp::Attach {
+        imsi: UeImsi(i),
+        bs: BaseStationId((i % 7) as u32),
+        ue_id: UeId(1),
+        since: SimTime(i),
+        permanent_ip: Ipv4Addr::new(100, 64, (i >> 8) as u8, i as u8),
+    }
+}
+
+/// ns per pure log append (encode + sequential-index append).
+fn bench_append(ops: u64) -> f64 {
+    let mut log = ReplicationLog::new();
+    let start = Instant::now();
+    for i in 0..ops {
+        let record = LogRecord {
+            origin: ControllerId(0),
+            epoch: 1,
+            index: log.next_index(),
+            op: op(i),
+        };
+        let encoded = record.encode();
+        assert!(!encoded.is_empty());
+        log.append(record).expect("sequential append");
+    }
+    start.elapsed().as_nanos() as f64 / ops as f64
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx] as f64 / 1_000.0
+}
+
+fn bench_cluster(replicas: usize, quorum: usize, ops: u64) -> Row {
+    let cluster = Cluster::start(
+        replicas,
+        quorum,
+        &ServicePolicy::example_carrier_a(1),
+        &[SubscriberAttributes::default_home(UeImsi(0))],
+        Duration::from_millis(400),
+    )
+    .expect("cluster start");
+
+    let mut commit_ns: Vec<u64> = Vec::with_capacity(ops as usize);
+    for i in 0..ops {
+        let start = Instant::now();
+        cluster.node(0).propose(op(i)).expect("quorum commit");
+        commit_ns.push(start.elapsed().as_nanos() as u64);
+    }
+    commit_ns.sort_unstable();
+    let mean_us = commit_ns.iter().sum::<u64>() as f64 / commit_ns.len().max(1) as f64 / 1_000.0;
+
+    let committed = cluster.node(0).commit_index();
+    let lag = (0..replicas)
+        .map(|seat| committed - cluster.node(seat).applied(ControllerId(0)))
+        .max()
+        .unwrap_or(0);
+
+    Row {
+        replicas,
+        quorum,
+        ops,
+        append_ns: bench_append(ops),
+        commit_us_p50: percentile(&commit_ns, 0.50),
+        commit_us_p99: percentile(&commit_ns, 0.99),
+        commit_us_mean: mean_us,
+        lag,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ops: u64 = if is_quick(&args) { 2_000 } else { 20_000 };
+
+    println!("Replication-path microbench (log append / quorum commit / lag)");
+    let rows: Vec<Row> = match arg_usize(&args, "--replicas") {
+        Some(n) => {
+            let quorum = arg_usize(&args, "--quorum").unwrap_or(n / 2 + 1);
+            vec![bench_cluster(n, quorum, ops)]
+        }
+        None => [1usize, 2, 4]
+            .iter()
+            .map(|&n| bench_cluster(n, n / 2 + 1, ops))
+            .collect(),
+    };
+
+    let mut t = TextTable::new(&[
+        "replicas",
+        "quorum",
+        "ops",
+        "append ns",
+        "commit p50 us",
+        "commit p99 us",
+        "commit mean us",
+        "lag",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.replicas.to_string(),
+            r.quorum.to_string(),
+            r.ops.to_string(),
+            format!("{:.0}", r.append_ns),
+            format!("{:.1}", r.commit_us_p50),
+            format!("{:.1}", r.commit_us_p99),
+            format!("{:.1}", r.commit_us_mean),
+            r.lag.to_string(),
+        ]);
+    }
+    t.print();
+
+    maybe_dump_json(
+        &args,
+        &Output {
+            experiment: "micro_replica".into(),
+            rows,
+        },
+    );
+}

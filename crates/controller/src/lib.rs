@@ -66,6 +66,6 @@ pub use agent::LocalAgent;
 pub use core::{CentralController, ControllerConfig, InstanceSelection};
 pub use install::{InstallReport, PathInstaller, TagPolicy};
 pub use ops::{RuleOp, RuleSink};
-pub use shadow::{Entry, NextHop, ShadowSwitch, ShadowTables};
+pub use shadow::{Divergence, DivergenceKind, Entry, NextHop, ShadowSwitch, ShadowTables};
 pub use sharded::{ShardEvent, ShardEventKind, ShardedController, ShardedRun, ShardedStats};
 pub use state::ControllerState;

@@ -27,7 +27,7 @@ use softcell_types::{FxHashMap, Ipv4Prefix, MiddleboxId, PolicyTag, SwitchId};
 /// unqualified [`Entry::Ingress`] rules, mirroring the input-port
 /// disambiguation of paper §3.1 (middlebox returns) and §3.2 (loops
 /// entering a switch through different links).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub enum Entry {
     /// Arrived from anywhere (no input-port qualifier).
     Ingress,
@@ -40,7 +40,7 @@ pub enum Entry {
 
 /// Where a rule sends traffic next (logical; ports are resolved when the
 /// delta is lowered to a physical rule).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub enum NextHop {
     /// To an adjacent switch.
     Switch(SwitchId),
@@ -135,6 +135,47 @@ pub enum ShadowDelta {
         /// Matched prefix.
         prefix: Ipv4Prefix,
     },
+}
+
+/// How one rule slot disagrees between a shadow and a replica of it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum DivergenceKind {
+    /// The authoritative shadow has the rule; the replica lacks it.
+    Missing {
+        /// Next hop the authoritative rule forwards to.
+        expected: NextHop,
+    },
+    /// The replica has a rule the authoritative shadow never installed.
+    Extra {
+        /// Next hop the replica's spurious rule forwards to.
+        found: NextHop,
+    },
+    /// Both sides hold the rule but forward differently.
+    Mismatch {
+        /// Next hop on the authoritative side.
+        expected: NextHop,
+        /// Next hop on the replica.
+        found: NextHop,
+    },
+}
+
+/// One rule-level disagreement found by [`ShadowSwitch::diff`]. A
+/// `prefix` of `None` names the tag's Type 2 default rule.
+///
+/// Replica divergence must be *reported*, never silently absorbed: a
+/// replica whose log replay reconstructed different forwarding state
+/// would install different physical rules after failover, so the
+/// recovery path asserts `diff` is empty before promoting.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Divergence {
+    /// Rule context the disagreement lives in.
+    pub entry: Entry,
+    /// Tag the disagreement lives under.
+    pub tag: PolicyTag,
+    /// Disagreeing prefix rule, or `None` for the tag default.
+    pub prefix: Option<Ipv4Prefix>,
+    /// What kind of disagreement.
+    pub kind: DivergenceKind,
 }
 
 impl ShadowSwitch {
@@ -338,6 +379,63 @@ impl ShadowSwitch {
         })
     }
 
+    /// Compares this (authoritative) shadow against a `replica` of it,
+    /// reporting every rule-level disagreement in deterministic
+    /// `(entry, tag, prefix)` order. Empty iff the two shadows encode
+    /// identical forwarding behaviour rule-for-rule.
+    pub fn diff(&self, replica: &ShadowSwitch) -> Vec<Divergence> {
+        let mut keys: Vec<(Entry, PolicyTag)> = self
+            .tables
+            .keys()
+            .chain(replica.tables.keys())
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let empty = TagTable::default();
+        let mut out = Vec::new();
+        for (entry, tag) in keys {
+            let ours = self.tables.get(&(entry, tag)).unwrap_or(&empty);
+            let theirs = replica.tables.get(&(entry, tag)).unwrap_or(&empty);
+            let mut slots: Vec<Option<Ipv4Prefix>> = ours
+                .prefixes
+                .keys()
+                .chain(theirs.prefixes.keys())
+                .copied()
+                .map(Some)
+                .collect();
+            slots.sort_unstable();
+            slots.dedup();
+            slots.insert(0, None); // the Type 2 default slot
+            for prefix in slots {
+                let expected = match prefix {
+                    None => ours.default,
+                    Some(p) => ours.prefixes.get(&p).copied(),
+                };
+                let found = match prefix {
+                    None => theirs.default,
+                    Some(p) => theirs.prefixes.get(&p).copied(),
+                };
+                let kind = match (expected, found) {
+                    (Some(e), Some(f)) if e != f => DivergenceKind::Mismatch {
+                        expected: e,
+                        found: f,
+                    },
+                    (Some(e), None) => DivergenceKind::Missing { expected: e },
+                    (None, Some(f)) => DivergenceKind::Extra { found: f },
+                    _ => continue,
+                };
+                out.push(Divergence {
+                    entry,
+                    tag,
+                    prefix,
+                    kind,
+                });
+            }
+        }
+        out
+    }
+
     /// Per-type occupancy: `(type1_prefix_rules, type2_default_rules)`.
     pub fn occupancy(&self) -> (usize, usize) {
         let mut t1 = 0;
@@ -388,6 +486,24 @@ impl ShadowTables {
     pub fn rule_counts(&self) -> Vec<usize> {
         self.switches.iter().map(|s| s.rule_count()).collect()
     }
+
+    /// Compares this (authoritative) network shadow against a `replica`,
+    /// attributing every rule-level disagreement to its switch. A
+    /// replica with more or fewer switches diverges too: rules on the
+    /// unmatched switches surface as [`DivergenceKind::Missing`] /
+    /// [`DivergenceKind::Extra`] against an empty shadow.
+    pub fn diff(&self, replica: &ShadowTables) -> Vec<(SwitchId, Divergence)> {
+        let empty = ShadowSwitch::new();
+        let n = self.switches.len().max(replica.switches.len());
+        (0..n)
+            .flat_map(|i| {
+                let ours = self.switches.get(i).unwrap_or(&empty);
+                let theirs = replica.switches.get(i).unwrap_or(&empty);
+                let id = SwitchId::from_index(i);
+                ours.diff(theirs).into_iter().map(move |d| (id, d))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -402,6 +518,7 @@ mod tests {
     const IN: Entry = Entry::Ingress;
     const NH1: NextHop = NextHop::Switch(SwitchId(10));
     const NH2: NextHop = NextHop::Switch(SwitchId(20));
+    const NH3: NextHop = NextHop::Switch(SwitchId(30));
 
     #[test]
     fn first_install_becomes_type2_default() {
@@ -640,6 +757,125 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn faithful_replica_reports_no_divergence() {
+        // Replaying the same install sequence (not cloning) must
+        // reconstruct rule-for-rule identical state, including the
+        // aggregation structure.
+        let installs = [
+            (IN, T, "10.0.0.0/8", NH1),
+            (IN, T, "10.1.0.0/24", NH2),
+            (IN, T, "10.1.1.0/24", NH2), // merges to /23
+            (Entry::FromMb(MiddleboxId(3)), T, "10.2.0.0/23", NH2),
+            (IN, PolicyTag(9), "10.3.0.0/23", NH1),
+        ];
+        let mut primary = ShadowSwitch::new();
+        let mut replica = ShadowSwitch::new();
+        for (entry, tag, prefix, nh) in installs {
+            primary.install(entry, tag, p(prefix), nh);
+            replica.install(entry, tag, p(prefix), nh);
+        }
+        assert_eq!(primary.diff(&replica), vec![]);
+        assert_eq!(replica.diff(&primary), vec![]);
+    }
+
+    #[test]
+    fn divergent_replica_is_detected_and_reported() {
+        let mb = Entry::FromMb(MiddleboxId(3));
+        let mut primary = ShadowSwitch::new();
+        primary.install(IN, T, p("10.0.0.0/8"), NH1); // default
+        primary.install(IN, T, p("10.1.0.0/24"), NH2);
+        primary.install(mb, T, p("10.4.0.0/23"), NH2); // replica will drop this
+                                                       // A deliberately divergent replica: its log replay lost one
+                                                       // record, invented another, and flipped a next hop.
+        let mut replica = ShadowSwitch::new();
+        replica.install(IN, T, p("10.0.0.0/8"), NH1); // default agrees
+        replica.install(IN, T, p("10.1.0.0/24"), NH3); // flipped hop
+        replica.install(IN, T, p("10.9.0.0/24"), NH2); // invented rule
+        let report = primary.diff(&replica);
+        assert_eq!(
+            report,
+            vec![
+                Divergence {
+                    entry: IN,
+                    tag: T,
+                    prefix: Some(p("10.1.0.0/24")),
+                    kind: DivergenceKind::Mismatch {
+                        expected: NH2,
+                        found: NH3
+                    },
+                },
+                Divergence {
+                    entry: IN,
+                    tag: T,
+                    prefix: Some(p("10.9.0.0/24")),
+                    kind: DivergenceKind::Extra { found: NH2 },
+                },
+                // the mb install landed as the tag's Type 2 default
+                Divergence {
+                    entry: mb,
+                    tag: T,
+                    prefix: None,
+                    kind: DivergenceKind::Missing { expected: NH2 },
+                },
+            ],
+            "every divergence must be surfaced, not silently absorbed"
+        );
+        // The report is directional: from the replica's point of view
+        // the missing/extra roles swap.
+        let reverse = replica.diff(&primary);
+        assert_eq!(reverse.len(), 3);
+        assert!(reverse
+            .iter()
+            .any(|d| matches!(d.kind, DivergenceKind::Extra { found: NH2 }) && d.entry == mb));
+    }
+
+    #[test]
+    fn default_rule_divergence_is_reported() {
+        let mut primary = ShadowSwitch::new();
+        primary.install(IN, T, p("10.0.0.0/8"), NH1);
+        let replica = ShadowSwitch::new(); // never saw the install
+        assert_eq!(
+            primary.diff(&replica),
+            vec![Divergence {
+                entry: IN,
+                tag: T,
+                prefix: None,
+                kind: DivergenceKind::Missing { expected: NH1 },
+            }]
+        );
+    }
+
+    #[test]
+    fn network_diff_attributes_divergence_to_switch() {
+        let mut primary = ShadowTables::new(3);
+        let mut replica = ShadowTables::new(3);
+        for t in [&mut primary, &mut replica] {
+            t.switch_mut(SwitchId(0))
+                .install(IN, T, p("10.0.0.0/23"), NH1);
+        }
+        primary
+            .switch_mut(SwitchId(2))
+            .install(IN, T, p("10.0.8.0/23"), NH2);
+        let report = primary.diff(&replica);
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].0, SwitchId(2));
+        assert_eq!(report[0].1.kind, DivergenceKind::Missing { expected: NH2 });
+        // A replica that lost a whole switch diverges on every rule of
+        // that switch, not just on the shared ones.
+        let short = ShadowTables::new(1);
+        let mut shorter = ShadowTables::new(1);
+        shorter
+            .switch_mut(SwitchId(0))
+            .install(IN, T, p("10.0.0.0/23"), NH1);
+        let report = primary.diff(&short);
+        assert_eq!(report.len(), 2, "switch 0 default + switch 2 default");
+        assert!(primary
+            .diff(&shorter)
+            .iter()
+            .all(|(id, _)| *id == SwitchId(2)));
     }
 
     #[test]

@@ -114,114 +114,122 @@ impl ControllerServer {
                 move || shared.served.get()
             };
             let shared_for_exit = Arc::clone(&shared);
-            let result = softcell_ctlchan::serve(transport, served, move |msg| {
-                let Message::PacketIn(pi) = msg else {
-                    return None;
-                };
-                let reply = match *pi {
-                    PacketIn::Attach {
-                        imsi,
-                        bs,
-                        ue_id,
-                        now,
-                    } => (|| {
-                        shared
-                            .telemetry
-                            .journal()
-                            .record("attach", imsi.0, u64::from(bs.0));
-                        route_packet_in(
-                            &router,
-                            &shared,
-                            Request::Attach {
-                                imsi,
-                                bs,
-                                ue_id,
-                                now,
-                                reply: att_tx.clone(),
-                            },
-                        )?;
-                        let grant = att_rx.recv().map_err(|_| pool_gone())??;
-                        Ok(Message::ClassifierReply {
-                            record: grant.record.into(),
-                            classifier: Some(classifier_to_wire(&grant.classifier)),
-                        })
-                    })(),
-                    PacketIn::PathRequest { bs, clause } => (|| {
-                        shared.telemetry.journal().record(
-                            "policy_path",
-                            u64::from(bs.0),
-                            u64::from(clause.0),
-                        );
-                        route_packet_in(
-                            &router,
-                            &shared,
-                            Request::PathTag {
+            let options = softcell_ctlchan::ServeOptions {
+                dedup_window: shared.dedup_window(),
+            };
+            let result = softcell_ctlchan::serve_with_options(
+                transport,
+                served,
+                move |msg| {
+                    let Message::PacketIn(pi) = msg else {
+                        return None;
+                    };
+                    let reply = match *pi {
+                        PacketIn::Attach {
+                            imsi,
+                            bs,
+                            ue_id,
+                            now,
+                        } => (|| {
+                            shared
+                                .telemetry
+                                .journal()
+                                .record("attach", imsi.0, u64::from(bs.0));
+                            route_packet_in(
+                                &router,
+                                &shared,
+                                Request::Attach {
+                                    imsi,
+                                    bs,
+                                    ue_id,
+                                    now,
+                                    reply: att_tx.clone(),
+                                },
+                            )?;
+                            let grant = att_rx.recv().map_err(|_| pool_gone())??;
+                            Ok(Message::ClassifierReply {
+                                record: grant.record.into(),
+                                classifier: Some(classifier_to_wire(&grant.classifier)),
+                            })
+                        })(),
+                        PacketIn::PathRequest { bs, clause } => (|| {
+                            shared.telemetry.journal().record(
+                                "policy_path",
+                                u64::from(bs.0),
+                                u64::from(clause.0),
+                            );
+                            route_packet_in(
+                                &router,
+                                &shared,
+                                Request::PathTag {
+                                    bs,
+                                    clause,
+                                    reply: tag_tx.clone(),
+                                },
+                            )?;
+                            let tag = tag_rx.recv().map_err(|_| pool_gone())??;
+                            // same path stand-in as the worker pool: one tag
+                            // end to end, first fabric port, no QoS
+                            let tags = PathTags {
+                                uplink_entry: tag,
+                                uplink_exit: tag,
+                                downlink_final: tag,
+                                access_out_port: PortNo(1),
+                                qos: None,
+                            };
+                            let mods = vec![WireFlowMod {
                                 bs,
                                 clause,
-                                reply: tag_tx.clone(),
-                            },
-                        )?;
-                        let tag = tag_rx.recv().map_err(|_| pool_gone())??;
-                        // same path stand-in as the worker pool: one tag
-                        // end to end, first fabric port, no QoS
-                        let tags = PathTags {
-                            uplink_entry: tag,
-                            uplink_exit: tag,
-                            downlink_final: tag,
-                            access_out_port: PortNo(1),
-                            qos: None,
-                        };
-                        let mods = vec![WireFlowMod {
-                            bs,
-                            clause,
-                            tags: tags.into(),
-                        }];
-                        // a sharded server answers with the ticketed,
-                        // barrier-delimited batch form
-                        Ok(if sharded {
-                            let shard = shard_of_station(bs, router.domains()) as u16;
-                            // AcqRel: the batch sequence number orders
-                            // flow-mod batches across serve threads, so
-                            // stamping it must not be reorderable against
-                            // the batch contents it numbers.
-                            let seq = shared.batch_seq.fetch_add(1, Ordering::AcqRel) as u32;
-                            shared.telemetry.journal().record(
-                                "flow_mod_batch",
-                                u64::from(shard),
-                                u64::from(seq),
-                            );
-                            Message::FlowModBatch {
-                                shard,
-                                seq,
-                                groups: vec![WireBatchGroup {
-                                    bs,
-                                    barrier: true,
-                                    mods,
-                                }],
-                            }
-                        } else {
-                            Message::FlowMod(mods)
-                        })
-                    })(),
-                    PacketIn::Detach { imsi } => (|| {
-                        shared.telemetry.journal().record("detach", imsi.0, 0);
-                        route_packet_in(
-                            &router,
-                            &shared,
-                            Request::Detach {
-                                imsi,
-                                reply: det_tx.clone(),
-                            },
-                        )?;
-                        let record = det_rx.recv().map_err(|_| pool_gone())??;
-                        Ok(Message::ClassifierReply {
-                            record: record.into(),
-                            classifier: None,
-                        })
-                    })(),
-                };
-                Some(reply.unwrap_or_else(|e| Message::from_error(&e)))
-            });
+                                tags: tags.into(),
+                            }];
+                            // a sharded server answers with the ticketed,
+                            // barrier-delimited batch form
+                            Ok(if sharded {
+                                let shard = shard_of_station(bs, router.domains()) as u16;
+                                // AcqRel: the batch sequence number orders
+                                // flow-mod batches across serve threads, so
+                                // stamping it must not be reorderable against
+                                // the batch contents it numbers.
+                                let seq = shared.batch_seq.fetch_add(1, Ordering::AcqRel) as u32;
+                                shared.telemetry.journal().record(
+                                    "flow_mod_batch",
+                                    u64::from(shard),
+                                    u64::from(seq),
+                                );
+                                Message::FlowModBatch {
+                                    shard,
+                                    seq,
+                                    groups: vec![WireBatchGroup {
+                                        bs,
+                                        barrier: true,
+                                        mods,
+                                    }],
+                                }
+                            } else {
+                                Message::FlowMod(mods)
+                            })
+                        })(),
+                        PacketIn::Detach { imsi } => (|| {
+                            shared.telemetry.journal().record("detach", imsi.0, 0);
+                            route_packet_in(
+                                &router,
+                                &shared,
+                                Request::Detach {
+                                    imsi,
+                                    reply: det_tx.clone(),
+                                },
+                            )?;
+                            let record = det_rx.recv().map_err(|_| pool_gone())??;
+                            Ok(Message::ClassifierReply {
+                                record: record.into(),
+                                classifier: None,
+                            })
+                        })(),
+                    };
+                    Some(reply.unwrap_or_else(|e| Message::from_error(&e)))
+                },
+                options,
+            );
             // Slot accounting: a dead agent frees its serve slot whether
             // it closed cleanly or tore the connection mid-frame, and the
             // server keeps accepting (re-)registrations on fresh

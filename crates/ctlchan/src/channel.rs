@@ -29,12 +29,32 @@ use softcell_types::{Error, Result};
 use crate::codec::{ChannelStats, Frame, Message, VERSION};
 use crate::transport::Transport;
 
-/// How many application replies [`serve`] remembers (per connection, by
-/// xid) for retransmission dedup. A client retries a request at most a
-/// handful of times with one request outstanding, so a small window is
-/// ample; it only needs to cover xids that can still plausibly be
-/// retransmitted.
+/// Default for how many application replies [`serve`] remembers (per
+/// connection, by xid) for retransmission dedup. A client retries a
+/// request at most a handful of times with one request outstanding, so a
+/// small window is ample; it only needs to cover xids that can still
+/// plausibly be retransmitted. Deployments where many requests can be in
+/// flight or replayed at once — e.g. a re-homing storm after a
+/// controller failure — should widen it via [`ServeOptions`].
 pub const DEDUP_WINDOW: usize = 128;
+
+/// Tuning knobs for [`serve`], with [`serve_with_options`] as the entry
+/// point that accepts them.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Replies remembered by xid for retransmission dedup. Must be at
+    /// least 1: a window of 0 would re-apply every retried request,
+    /// breaking the at-most-once guarantee the retry machinery assumes.
+    pub dedup_window: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            dedup_window: DEDUP_WINDOW,
+        }
+    }
+}
 
 /// Retry schedule for [`CtlChannel::request_with_retry`]: per-attempt
 /// deadline plus truncated exponential backoff between attempts.
@@ -272,12 +292,31 @@ pub fn unexpected(wanted: &str, got: &Message<'_>) -> Error {
 ///
 /// `served` is reported in stats replies (pass the application's request
 /// counter snapshot via the closure's environment and return it here).
-pub fn serve<T, F, S>(mut transport: T, mut served: S, mut handler: F) -> Result<()>
+pub fn serve<T, F, S>(transport: T, served: S, handler: F) -> Result<()>
 where
     T: Transport,
     F: FnMut(&Message<'_>) -> Option<Message<'static>>,
     S: FnMut() -> u64,
 {
+    serve_with_options(transport, served, handler, ServeOptions::default())
+}
+
+/// [`serve`] with explicit tuning: currently the xid-dedup window size,
+/// which re-homing replay storms may need wider than the default (every
+/// re-sent in-flight request of every re-homed agent lands in the same
+/// window).
+pub fn serve_with_options<T, F, S>(
+    mut transport: T,
+    mut served: S,
+    mut handler: F,
+    options: ServeOptions,
+) -> Result<()>
+where
+    T: Transport,
+    F: FnMut(&Message<'_>) -> Option<Message<'static>>,
+    S: FnMut() -> u64,
+{
+    let dedup_window = options.dedup_window.max(1);
     let counters = transport.counters();
     // Retransmission dedup: remembers the encoded reply (or deliberate
     // non-reply) of the last DEDUP_WINDOW application requests by xid. A
@@ -347,9 +386,11 @@ where
             transport.send(encoded)?;
         }
         if !is_protocol && xid != 0 {
-            if replay_order.len() == DEDUP_WINDOW {
+            while replay_order.len() >= dedup_window {
                 if let Some(evicted) = replay_order.pop_front() {
                     replay.remove(&evicted);
+                } else {
+                    break;
                 }
             }
             replay_order.push_back(xid);
@@ -383,6 +424,44 @@ impl Message<'_> {
             Message::BarrierReply => Message::BarrierReply,
             Message::StatsRequest => Message::StatsRequest,
             Message::StatsReply(s) => Message::StatsReply(s),
+            Message::Replicate {
+                origin,
+                epoch,
+                index,
+                commit,
+                payload,
+            } => Message::Replicate {
+                origin,
+                epoch,
+                index,
+                commit,
+                payload: payload.into_owned().into(),
+            },
+            Message::ReplicateAck {
+                origin,
+                epoch,
+                index,
+                accepted,
+                have_index,
+            } => Message::ReplicateAck {
+                origin,
+                epoch,
+                index,
+                accepted,
+                have_index,
+            },
+            Message::EpochChange { epoch, live } => Message::EpochChange { epoch, live },
+            Message::SnapshotTransfer {
+                origin,
+                epoch,
+                applied,
+                payload,
+            } => Message::SnapshotTransfer {
+                origin,
+                epoch,
+                applied,
+                payload: payload.into_owned().into(),
+            },
         }
     }
 }
@@ -516,6 +595,76 @@ mod tests {
         );
         drop(chan);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn dedup_window_size_is_configurable() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        // Sends `distinct` requests under xids 1..=distinct, then
+        // retransmits xid 1, and reports how many times the handler ran.
+        fn run(window: usize, distinct: u32) -> u64 {
+            let (client_end, server_end) = loopback_pair();
+            let applied = Arc::new(AtomicU64::new(0));
+            let applied_in_handler = Arc::clone(&applied);
+            let server = std::thread::spawn(move || {
+                let _ = serve_with_options(
+                    server_end,
+                    || 0,
+                    move |msg| {
+                        // the serve loop shows barriers to the handler
+                        // too; only application requests count
+                        if matches!(msg, Message::PacketIn(_)) {
+                            applied_in_handler.fetch_add(1, Ordering::SeqCst);
+                        }
+                        None
+                    },
+                    ServeOptions {
+                        dedup_window: window,
+                    },
+                );
+            });
+            let mut client = client_end;
+            let frame = |xid: u32| {
+                Message::PacketIn(PacketIn::Detach {
+                    imsi: softcell_types::UeImsi(u64::from(xid)),
+                })
+                .encode(xid)
+            };
+            for xid in 1..=distinct {
+                client.send(&frame(xid)).unwrap();
+            }
+            // retransmission of the oldest xid, as a retrying client
+            // would send after a timeout
+            client.send(&frame(1)).unwrap();
+            // barrier fences: everything above has been processed when
+            // the reply arrives (the barrier itself is protocol-level
+            // and does not count as an application request)
+            let mut chan = CtlChannel::new(client);
+            chan.barrier().unwrap();
+            let count = applied.load(Ordering::SeqCst);
+            drop(chan);
+            server.join().unwrap();
+            count
+        }
+
+        // Window smaller than the burst: xid 1 has been evicted by the
+        // time it is retransmitted, so the handler re-runs — the replay
+        // storm "falls out of the window".
+        assert_eq!(run(2, 3), 4, "evicted xid must re-apply");
+        // Window covering the burst: the retransmission is deduped.
+        assert_eq!(run(8, 3), 3, "covered xid must be deduped");
+        // A re-homing-storm-sized burst overflows the default window...
+        assert_eq!(
+            run(DEDUP_WINDOW, DEDUP_WINDOW as u32 + 1),
+            u64::from(DEDUP_WINDOW as u32 + 1) + 1
+        );
+        // ...and a widened window restores at-most-once application.
+        assert_eq!(
+            run(DEDUP_WINDOW * 4, DEDUP_WINDOW as u32 + 1),
+            u64::from(DEDUP_WINDOW as u32 + 1)
+        );
     }
 
     #[test]

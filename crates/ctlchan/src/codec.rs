@@ -209,6 +209,17 @@ pub mod msg_type {
     /// Controller → agent: barrier-delimited per-station groups of
     /// tag-cache programming entries from one sharded-controller ticket.
     pub const FLOW_MOD_BATCH: u8 = 11;
+    /// Controller → controller: one replicated-log record shipped for
+    /// quorum acknowledgement.
+    pub const REPLICATE: u8 = 12;
+    /// Controller → controller: the per-record acknowledgement.
+    pub const REPLICATE_ACK: u8 = 13;
+    /// Controller → controller: a membership/epoch view, pushed on
+    /// failover; the reply echoes the receiver's (possibly newer) view.
+    pub const EPOCH_CHANGE: u8 = 14;
+    /// Controller → controller: a full-state snapshot for a peer that
+    /// has fallen off the tail of the log.
+    pub const SNAPSHOT_TRANSFER: u8 = 15;
 }
 
 /// Wire form of an [`Error`]: a category code plus the message text.
@@ -465,6 +476,62 @@ pub enum Message<'a> {
     StatsRequest,
     /// Counter answer.
     StatsReply(ChannelStats),
+    /// Controller → controller: one replicated-log record. The payload
+    /// is opaque to this crate (the replica layer defines the record
+    /// encoding); this frame carries the ordering metadata peers need
+    /// to accept, reject or gap-detect the record.
+    Replicate {
+        /// Seat of the proposing controller.
+        origin: u32,
+        /// Epoch the record was proposed under (fencing key).
+        epoch: u64,
+        /// Position in the origin's log (1-based, dense).
+        index: u64,
+        /// The origin's commit watermark, piggybacked so followers can
+        /// advance their commit index without extra round trips.
+        commit: u64,
+        /// Encoded log record (zero-copy on decode).
+        payload: Cow<'a, [u8]>,
+    },
+    /// The answer to a [`Message::Replicate`]: accepted, or rejected
+    /// with the receiver's view so the sender can fence or catch the
+    /// receiver up.
+    ReplicateAck {
+        /// Seat of the *acknowledging* controller.
+        origin: u32,
+        /// The acknowledging controller's current epoch.
+        epoch: u64,
+        /// Index being acknowledged (echoes the request).
+        index: u64,
+        /// Whether the record was accepted and applied.
+        accepted: bool,
+        /// Highest contiguous index the receiver holds from the
+        /// record's origin — on a gap rejection this tells the sender
+        /// where the snapshot/backfill must start.
+        have_index: u64,
+    },
+    /// A membership view push. Requests and replies share this shape:
+    /// the reply carries the receiver's view after merging, which is
+    /// the sender's view unless the receiver already knew a newer one.
+    EpochChange {
+        /// The view's epoch.
+        epoch: u64,
+        /// Per-seat liveness flags, seat order (ring size = length).
+        live: Vec<bool>,
+    },
+    /// A full-state snapshot replacing the receiver's store. Sent when
+    /// a gap rejection shows the peer is too far behind to replay.
+    SnapshotTransfer {
+        /// Seat of the sending controller.
+        origin: u32,
+        /// Epoch the snapshot was taken under (fencing key).
+        epoch: u64,
+        /// Per-seat applied-index watermarks the snapshot covers, seat
+        /// order; the receiver adopts these as its log positions.
+        applied: Vec<u64>,
+        /// Encoded store image (opaque to this crate).
+        payload: Cow<'a, [u8]>,
+    },
 }
 
 impl Message<'_> {
@@ -483,6 +550,10 @@ impl Message<'_> {
             Message::BarrierReply => msg_type::BARRIER_REPLY,
             Message::StatsRequest => msg_type::STATS_REQUEST,
             Message::StatsReply(_) => msg_type::STATS_REPLY,
+            Message::Replicate { .. } => msg_type::REPLICATE,
+            Message::ReplicateAck { .. } => msg_type::REPLICATE_ACK,
+            Message::EpochChange { .. } => msg_type::EPOCH_CHANGE,
+            Message::SnapshotTransfer { .. } => msg_type::SNAPSHOT_TRANSFER,
         }
     }
 
@@ -598,6 +669,59 @@ impl Message<'_> {
                 w.u64(s.tx_bytes);
                 w.u64(s.rx_bytes);
             }
+            Message::Replicate {
+                origin,
+                epoch,
+                index,
+                commit,
+                payload,
+            } => {
+                debug_assert!(payload.len() <= u32::MAX as usize, "record too large");
+                w.u32(*origin);
+                w.u64(*epoch);
+                w.u64(*index);
+                w.u64(*commit);
+                w.u32(payload.len() as u32);
+                w.bytes(payload);
+            }
+            Message::ReplicateAck {
+                origin,
+                epoch,
+                index,
+                accepted,
+                have_index,
+            } => {
+                w.u32(*origin);
+                w.u64(*epoch);
+                w.u64(*index);
+                w.u8(u8::from(*accepted));
+                w.u64(*have_index);
+            }
+            Message::EpochChange { epoch, live } => {
+                debug_assert!(live.len() <= u16::MAX as usize, "ring too large");
+                w.u64(*epoch);
+                w.u16(live.len() as u16);
+                for l in live {
+                    w.u8(u8::from(*l));
+                }
+            }
+            Message::SnapshotTransfer {
+                origin,
+                epoch,
+                applied,
+                payload,
+            } => {
+                debug_assert!(applied.len() <= u16::MAX as usize, "ring too large");
+                debug_assert!(payload.len() <= u32::MAX as usize, "snapshot too large");
+                w.u32(*origin);
+                w.u64(*epoch);
+                w.u16(applied.len() as u16);
+                for a in applied {
+                    w.u64(*a);
+                }
+                w.u32(payload.len() as u32);
+                w.bytes(payload);
+            }
         }
         w.finish()
     }
@@ -695,6 +819,69 @@ impl Message<'_> {
                 tx_bytes: r.u64()?,
                 rx_bytes: r.u64()?,
             }),
+            msg_type::REPLICATE => {
+                let origin = r.u32()?;
+                let epoch = r.u64()?;
+                let index = r.u64()?;
+                let commit = r.u64()?;
+                let len = r.u32()? as usize;
+                let payload = Cow::Borrowed(r.take(len)?);
+                Message::Replicate {
+                    origin,
+                    epoch,
+                    index,
+                    commit,
+                    payload,
+                }
+            }
+            msg_type::REPLICATE_ACK => {
+                let origin = r.u32()?;
+                let epoch = r.u64()?;
+                let index = r.u64()?;
+                let accepted = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(Error::Malformed(format!("accepted flag {other}"))),
+                };
+                let have_index = r.u64()?;
+                Message::ReplicateAck {
+                    origin,
+                    epoch,
+                    index,
+                    accepted,
+                    have_index,
+                }
+            }
+            msg_type::EPOCH_CHANGE => {
+                let epoch = r.u64()?;
+                let seats = r.u16()? as usize;
+                let mut live = Vec::with_capacity(seats.min(1024));
+                for _ in 0..seats {
+                    live.push(match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        other => return Err(Error::Malformed(format!("live flag {other}"))),
+                    });
+                }
+                Message::EpochChange { epoch, live }
+            }
+            msg_type::SNAPSHOT_TRANSFER => {
+                let origin = r.u32()?;
+                let epoch = r.u64()?;
+                let seats = r.u16()? as usize;
+                let mut applied = Vec::with_capacity(seats.min(1024));
+                for _ in 0..seats {
+                    applied.push(r.u64()?);
+                }
+                let len = r.u32()? as usize;
+                let payload = Cow::Borrowed(r.take(len)?);
+                Message::SnapshotTransfer {
+                    origin,
+                    epoch,
+                    applied,
+                    payload,
+                }
+            }
             other => return Err(Error::Malformed(format!("unknown message type {other}"))),
         };
         r.done()?;
@@ -1078,6 +1265,119 @@ mod tests {
         buf[flag_at] = 2;
         let frame = Frame::new_checked(&buf[..]).unwrap();
         assert!(frame.message().is_err(), "barrier flag 2 must be rejected");
+    }
+
+    #[test]
+    fn replication_family_round_trips() {
+        let record = b"opaque-log-record".to_vec();
+        let msgs: Vec<Message<'static>> = vec![
+            Message::Replicate {
+                origin: 2,
+                epoch: 7,
+                index: 4242,
+                commit: 4200,
+                payload: Cow::Owned(record.clone()),
+            },
+            Message::ReplicateAck {
+                origin: 1,
+                epoch: 7,
+                index: 4242,
+                accepted: true,
+                have_index: 4242,
+            },
+            Message::ReplicateAck {
+                origin: 1,
+                epoch: 9,
+                index: 4242,
+                accepted: false,
+                have_index: 4100,
+            },
+            Message::EpochChange {
+                epoch: 8,
+                live: vec![true, false, true],
+            },
+            Message::SnapshotTransfer {
+                origin: 0,
+                epoch: 8,
+                applied: vec![10, 0, 77],
+                payload: Cow::Owned(b"store-image".to_vec()),
+            },
+        ];
+        for msg in msgs {
+            let buf = msg.encode(99);
+            let frame = Frame::new_checked(&buf[..]).unwrap();
+            assert_eq!(frame.message().unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn replicate_payload_decode_is_zero_copy() {
+        let msg = Message::Replicate {
+            origin: 0,
+            epoch: 1,
+            index: 1,
+            commit: 0,
+            payload: Cow::Owned(b"record-bytes".to_vec()),
+        };
+        let buf = msg.encode(5);
+        let frame = Frame::new_checked(&buf[..]).unwrap();
+        let Message::Replicate { payload, .. } = frame.message().unwrap() else {
+            panic!("wrong type");
+        };
+        assert!(matches!(payload, Cow::Borrowed(_)), "decode must borrow");
+    }
+
+    #[test]
+    fn replication_family_rejects_malformed_flags_and_truncation() {
+        // bad accepted flag
+        let mut buf = Message::ReplicateAck {
+            origin: 0,
+            epoch: 1,
+            index: 1,
+            accepted: false,
+            have_index: 0,
+        }
+        .encode(1);
+        let flag_at = HEADER_LEN + 4 + 8 + 8;
+        assert_eq!(buf[flag_at], 0);
+        buf[flag_at] = 3;
+        assert!(Frame::new_checked(&buf[..]).unwrap().message().is_err());
+
+        // bad live flag
+        let mut buf = Message::EpochChange {
+            epoch: 2,
+            live: vec![false],
+        }
+        .encode(1);
+        let flag_at = HEADER_LEN + 8 + 2;
+        assert_eq!(buf[flag_at], 0);
+        buf[flag_at] = 9;
+        assert!(Frame::new_checked(&buf[..]).unwrap().message().is_err());
+
+        // replicate payload length pointing past the frame
+        let mut buf = Message::Replicate {
+            origin: 0,
+            epoch: 1,
+            index: 1,
+            commit: 0,
+            payload: Cow::Owned(vec![0xaa; 4]),
+        }
+        .encode(1);
+        let len_at = HEADER_LEN + 4 + 8 + 8 + 8;
+        buf[len_at..len_at + 4].copy_from_slice(&100u32.to_be_bytes());
+        assert!(Frame::new_checked(&buf[..]).unwrap().message().is_err());
+
+        // snapshot applied-count pointing past the frame
+        let mut buf = Message::SnapshotTransfer {
+            origin: 0,
+            epoch: 1,
+            applied: vec![1, 2],
+            payload: Cow::Owned(vec![]),
+        }
+        .encode(1);
+        let count_at = HEADER_LEN + 4 + 8;
+        buf[count_at..count_at + 2].copy_from_slice(&999u16.to_be_bytes());
+        assert!(Frame::new_checked(&buf[..]).unwrap().message().is_err());
     }
 
     #[test]

@@ -124,20 +124,65 @@ fn build_message(
         7 => Message::BarrierRequest,
         8 => Message::BarrierReply,
         9 => Message::StatsRequest,
-        _ => Message::StatsReply(ChannelStats {
+        10 => Message::StatsReply(ChannelStats {
             served: a,
             tx_msgs: a ^ u64::from(b),
             rx_msgs: u64::from(b),
             tx_bytes: a.rotate_right(9),
             rx_bytes: u64::from(c),
         }),
+        11 => Message::FlowModBatch {
+            shard: c,
+            seq: b,
+            groups: (0..batch.min(8))
+                .map(|g| softcell_ctlchan::WireBatchGroup {
+                    bs: BaseStationId(b.wrapping_add(g as u32)),
+                    barrier: (d as usize + g) & 1 == 0,
+                    mods: (0..g % 3)
+                        .map(|i| WireFlowMod {
+                            bs: BaseStationId(b.wrapping_add(g as u32)),
+                            clause: softcell_policy::clause::ClauseId(c.wrapping_add(i as u16)),
+                            tags: tags(i as u16),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        },
+        12 => Message::Replicate {
+            origin: b,
+            epoch: a.rotate_left(5),
+            index: a,
+            commit: a.saturating_sub(u64::from(c)),
+            payload: Cow::Owned(payload.to_vec()),
+        },
+        13 => Message::ReplicateAck {
+            origin: b,
+            epoch: a,
+            index: a ^ u64::from(b),
+            accepted: d & 1 == 0,
+            have_index: u64::from(c),
+        },
+        14 => Message::EpochChange {
+            epoch: a | 1,
+            live: (0..batch.min(16))
+                .map(|i| (d as usize + i) & 1 == 0)
+                .collect(),
+        },
+        _ => Message::SnapshotTransfer {
+            origin: b,
+            epoch: a | 1,
+            applied: (0..batch.min(16))
+                .map(|i| a.wrapping_add(i as u64))
+                .collect(),
+            payload: Cow::Owned(payload.to_vec()),
+        },
     }
 }
 
 proptest! {
     #[test]
     fn every_variant_round_trips(
-        kind in 0u8..11,
+        kind in 0u8..16,
         a in any::<u64>(),
         b in any::<u32>(),
         c in any::<u16>(),
@@ -158,7 +203,7 @@ proptest! {
 
     #[test]
     fn truncated_frames_are_rejected_not_panicking(
-        kind in 0u8..11,
+        kind in 0u8..16,
         a in any::<u64>(),
         b in any::<u32>(),
         c in any::<u16>(),
@@ -176,7 +221,7 @@ proptest! {
 
     #[test]
     fn payload_corruption_never_panics(
-        kind in 0u8..11,
+        kind in 0u8..16,
         a in any::<u64>(),
         b in any::<u32>(),
         c in any::<u16>(),

@@ -1,0 +1,615 @@
+//! Multi-controller cluster harness: killable links, fail-over, and
+//! agent re-homing.
+//!
+//! [`Cluster`] wires N [`ReplicaNode`]s into a full mesh of in-process
+//! loopback links wrapped in [`Killable`]: every link watches the
+//! *kill switch* of both endpoint nodes, so flipping one node's switch
+//! severs all its links at once — the in-process equivalent of
+//! `kill -9`, with no goodbye frames and no graceful teardown. The dead
+//! node's `Arc` state is frozen, which is exactly what the recovery
+//! test wants: a readable pre-kill oracle.
+//!
+//! Links can also be *cut* (partitioned): sends fail and delivery
+//! stops, but the serve loops stay alive, so healing the cut restores
+//! the link. Cuts are how the fencing test isolates a leader without
+//! destroying it — the paper-level scenario of a controller that is
+//! alive but on the wrong side of a partition.
+//!
+//! Fail-over ([`Cluster::fail_over`]) is deliberately deterministic:
+//! the initiating survivor advances the membership ring (epoch + 1),
+//! broadcasts the view, then pushes its store image so all survivors
+//! converge byte-for-byte even if the dead leader's final record
+//! reached only some of them. Agents detect leader death by probe
+//! failure and re-home ([`rehome_agent`]) to the deterministic
+//! successor (`Membership::leader_of_station`), replaying their state
+//! through the controller-side `resync` upsert machinery.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use softcell_controller::agent::LocalAgent;
+use softcell_controller::wire::ChannelController;
+use softcell_ctlchan::{loopback_pair, ChannelCounters, Loopback, Transport};
+use softcell_policy::{AppClassifier, ServicePolicy, SubscriberAttributes};
+use softcell_telemetry::Registry;
+use softcell_types::{BaseStationId, ControllerId, Error, Membership, Result, SimTime};
+
+use crate::node::{ReplicaConfig, ReplicaNode};
+
+/// How often a blocked [`Killable`] recv re-checks its kill and cut
+/// flags.
+const POLL: Duration = Duration::from_millis(10);
+
+/// A transport wrapper that models `kill -9` and network partitions.
+///
+/// * **Kill** (any watched kill switch set): sends fail, recv reports a
+///   clean close (`Ok(None)`) so serve loops exit. Permanent.
+/// * **Cut** (any watched cut flag set): sends fail and delivery
+///   pauses, but recv keeps polling — clearing the flag restores the
+///   link with its serve loop intact. Recoverable.
+pub struct Killable<T: Transport> {
+    inner: T,
+    kills: Vec<Arc<AtomicBool>>,
+    cuts: Vec<Arc<AtomicBool>>,
+    user_deadline: Option<Duration>,
+}
+
+impl<T: Transport> Killable<T> {
+    /// Wraps `inner`, watching the given kill switches and cut flags.
+    pub fn new(inner: T, kills: Vec<Arc<AtomicBool>>, cuts: Vec<Arc<AtomicBool>>) -> Killable<T> {
+        Killable {
+            inner,
+            kills,
+            cuts,
+            user_deadline: None,
+        }
+    }
+
+    fn killed(&self) -> bool {
+        // Acquire pairs with the Release store in Cluster::kill: state
+        // written before the kill is visible to whoever observes it.
+        self.kills.iter().any(|k| k.load(Ordering::Acquire))
+    }
+
+    fn cut(&self) -> bool {
+        self.cuts.iter().any(|c| c.load(Ordering::Acquire))
+    }
+}
+
+impl<T: Transport> Transport for Killable<T> {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        if self.killed() {
+            return Err(Error::InvalidState("link endpoint killed".into()));
+        }
+        if self.cut() {
+            return Err(Error::Timeout("link partitioned".into()));
+        }
+        self.inner.send(frame)
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>> {
+        let started = Instant::now();
+        loop {
+            if self.killed() {
+                // kill -9: the connection just ends; serve loops exit
+                // cleanly with no goodbye traffic
+                return Ok(None);
+            }
+            let budget = match self.user_deadline {
+                Some(d) => {
+                    let remaining = d.saturating_sub(started.elapsed());
+                    if remaining.is_zero() {
+                        return Err(Error::Timeout("deadline elapsed on killable link".into()));
+                    }
+                    remaining.min(POLL)
+                }
+                None => POLL,
+            };
+            if self.cut() {
+                // partitioned: nothing is delivered, but the loop (and
+                // with it the peer's serve thread) stays alive
+                std::thread::sleep(budget);
+                continue;
+            }
+            self.inner.set_deadline(Some(budget))?;
+            match self.inner.recv() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_timeout() => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn counters(&self) -> Arc<ChannelCounters> {
+        self.inner.counters()
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<()> {
+        self.user_deadline = deadline;
+        Ok(())
+    }
+}
+
+/// The link type every cluster connection uses.
+pub type Link = Killable<Loopback>;
+
+/// An N-controller cluster over an in-process full mesh.
+pub struct Cluster {
+    nodes: Vec<Arc<ReplicaNode<Link>>>,
+    kills: Vec<Arc<AtomicBool>>,
+    cuts: Vec<Arc<AtomicBool>>,
+    threads: Mutex<Vec<JoinHandle<Result<()>>>>,
+}
+
+impl Cluster {
+    /// Starts `n` controllers with the given commit quorum. Every node
+    /// gets the same policy and subscriber registry; regions partition
+    /// base stations across the seats via the membership ring.
+    pub fn start(
+        n: usize,
+        quorum: usize,
+        policy: &ServicePolicy,
+        subscribers: &[SubscriberAttributes],
+        peer_deadline: Duration,
+    ) -> Result<Cluster> {
+        let membership = Membership::bootstrap(n)?;
+        let kills: Vec<Arc<AtomicBool>> =
+            (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+        let cuts: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+        let subs: HashMap<_, _> = subscribers.iter().map(|s| (s.imsi, *s)).collect();
+
+        // Build every directed link client-end first so nodes can be
+        // created with their full peer vectors, keeping the server ends
+        // for serve threads spawned after.
+        let mut client_ends: Vec<Vec<Option<Link>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut server_ends: Vec<(usize, Link)> = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (a, b) = loopback_pair();
+                let watch_kills = vec![Arc::clone(&kills[i]), Arc::clone(&kills[j])];
+                let watch_cuts = vec![Arc::clone(&cuts[i]), Arc::clone(&cuts[j])];
+                client_ends[i][j] = Some(Killable::new(a, watch_kills.clone(), watch_cuts.clone()));
+                server_ends.push((j, Killable::new(b, watch_kills, watch_cuts)));
+            }
+        }
+
+        let mut nodes = Vec::with_capacity(n);
+        for (i, ends) in client_ends.into_iter().enumerate() {
+            let peers = ends
+                .into_iter()
+                .map(|t| t.map(softcell_ctlchan::CtlChannel::new))
+                .collect();
+            let cfg = ReplicaConfig {
+                id: ControllerId(i as u32),
+                quorum,
+                peer_deadline,
+                policy: policy.clone(),
+                apps: AppClassifier::default(),
+                subscribers: subs.clone(),
+            };
+            nodes.push(ReplicaNode::new(cfg, membership.clone(), peers)?);
+        }
+
+        let mut threads = Vec::with_capacity(server_ends.len());
+        for (owner, transport) in server_ends {
+            threads.push(nodes[owner].serve_peer(transport));
+        }
+        Ok(Cluster {
+            nodes,
+            kills,
+            cuts,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// The node at `seat`.
+    pub fn node(&self, seat: usize) -> &Arc<ReplicaNode<Link>> {
+        &self.nodes[seat]
+    }
+
+    /// Number of seats.
+    pub fn seats(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `seat` has been killed.
+    pub fn is_killed(&self, seat: usize) -> bool {
+        self.kills[seat].load(Ordering::Acquire)
+    }
+
+    /// `kill -9` for `seat`: every link touching it dies instantly, no
+    /// goodbye frames, no teardown. The node's in-memory state freezes
+    /// — read it through the `Arc` as the pre-kill oracle.
+    pub fn kill(&self, seat: usize) {
+        // Release pairs with Killable::killed's Acquire load.
+        self.kills[seat].store(true, Ordering::Release);
+        Registry::global()
+            .journal()
+            .record("controller_killed", seat as u64, 0);
+    }
+
+    /// Partitions `seat`: all its links stop carrying traffic but stay
+    /// alive. Recoverable with [`heal`](Self::heal).
+    pub fn cut(&self, seat: usize) {
+        self.cuts[seat].store(true, Ordering::Release);
+    }
+
+    /// Heals a [`cut`](Self::cut) partition.
+    pub fn heal(&self, seat: usize) {
+        self.cuts[seat].store(false, Ordering::Release);
+    }
+
+    /// The current membership view, read from the first live seat.
+    pub fn membership(&self) -> Result<Membership> {
+        let seat = self
+            .first_live()
+            .ok_or_else(|| Error::InvalidState("no live seat".into()))?;
+        Ok(self.nodes[seat].membership())
+    }
+
+    fn first_live(&self) -> Option<usize> {
+        (0..self.nodes.len()).find(|&s| !self.is_killed(s))
+    }
+
+    /// Declares `dead` seats down and drives the deterministic
+    /// fail-over: the first live survivor advances the ring, broadcasts
+    /// the epoch change, and pushes its store image so every survivor
+    /// converges. Returns the new view. Duration lands in the
+    /// `softcell_replica_recovery_time_us` histogram.
+    pub fn fail_over(&self, dead: &[ControllerId]) -> Result<Membership> {
+        let initiator = self
+            .first_live()
+            .ok_or_else(|| Error::InvalidState("no live seat to run fail-over".into()))?;
+        self.fail_over_from(initiator, dead)
+    }
+
+    /// [`fail_over`](Self::fail_over) with an explicit initiating seat.
+    /// Partition tests need this: a cut seat is alive (not killed), so
+    /// `first_live` would pick the isolated leader itself — the
+    /// fail-over must instead run on the majority side of the cut.
+    pub fn fail_over_from(&self, initiator: usize, dead: &[ControllerId]) -> Result<Membership> {
+        let started = Instant::now();
+        if self.is_killed(initiator) {
+            return Err(Error::InvalidState(format!(
+                "initiator seat {initiator} is dead"
+            )));
+        }
+        let node = &self.nodes[initiator];
+        let view = node.membership().advance(dead)?;
+        node.adopt_membership(view.clone());
+        node.broadcast_epoch_change()?;
+        node.push_snapshot()?;
+        let reg = Registry::global();
+        reg.histogram("softcell_replica_recovery_time_us")
+            .record(started.elapsed().as_micros() as u64);
+        reg.journal()
+            .record("fail_over", view.epoch(), initiator as u64);
+        Ok(view)
+    }
+
+    /// Opens an agent-facing transport to `seat`, spawning the serve
+    /// thread on the controller side. The link dies with the
+    /// controller.
+    pub fn agent_transport(&self, seat: usize) -> Result<Link> {
+        if self.is_killed(seat) {
+            return Err(Error::InvalidState(format!("seat {seat} is dead")));
+        }
+        let (a, b) = loopback_pair();
+        let watch_kills = vec![Arc::clone(&self.kills[seat])];
+        let watch_cuts = vec![Arc::clone(&self.cuts[seat])];
+        let server = Killable::new(b, watch_kills.clone(), watch_cuts.clone());
+        self.threads
+            .lock()
+            .push(self.nodes[seat].serve_agent(server));
+        Ok(Killable::new(a, watch_kills, watch_cuts))
+    }
+
+    /// Connects an agent proxy for `bs` to the seat currently leading
+    /// its region.
+    pub fn connect_agent(&self, bs: BaseStationId) -> Result<ChannelController<Link>> {
+        let leader = self
+            .membership()?
+            .leader_of_station(bs)
+            .ok_or_else(|| Error::InvalidState("no live leader".into()))?;
+        ChannelController::connect(self.agent_transport(leader.seat())?, bs)
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for k in &self.kills {
+            k.store(true, Ordering::Release);
+        }
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Re-homes an agent whose controller died: looks up the deterministic
+/// successor for its station in the (post-fail-over) membership view,
+/// reconnects there, and replays the agent's state with `resync` — the
+/// controller upserts every UE, so permanent IPs survive and a UE that
+/// handed off across the controller boundary lands exactly once.
+/// Returns the new leader's seat.
+pub fn rehome_agent(
+    cluster: &Cluster,
+    ctl: &mut ChannelController<Link>,
+    agent: &mut LocalAgent,
+    now: SimTime,
+) -> Result<ControllerId> {
+    let bs = ctl.base_station();
+    let leader = cluster
+        .membership()?
+        .leader_of_station(bs)
+        .ok_or_else(|| Error::InvalidState("no live leader to re-home to".into()))?;
+    ctl.reconnect(cluster.agent_transport(leader.seat())?)?;
+    ctl.resync(agent, now)?;
+    let reg = Registry::global();
+    reg.counter("softcell_replica_rehomes_total").inc();
+    reg.journal()
+        .record("rehome", u64::from(bs.0), u64::from(leader.0));
+    Ok(leader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::ReplicatedOp;
+    use softcell_ctlchan::{Message, PacketIn};
+    use softcell_policy::clause::ClauseId;
+    use softcell_types::{AddressingScheme, PortEmbedding, PortNo, UeId, UeImsi};
+    use std::net::Ipv4Addr;
+
+    fn subs(n: u64) -> Vec<SubscriberAttributes> {
+        (0..n)
+            .map(|i| SubscriberAttributes::default_home(UeImsi(i)))
+            .collect()
+    }
+
+    fn cluster(n: usize, quorum: usize) -> Cluster {
+        Cluster::start(
+            n,
+            quorum,
+            &ServicePolicy::example_carrier_a(1),
+            &subs(16),
+            Duration::from_millis(400),
+        )
+        .unwrap()
+    }
+
+    fn attach_op(imsi: u64, bs: u32, since: u64) -> ReplicatedOp {
+        ReplicatedOp::Attach {
+            imsi: UeImsi(imsi),
+            bs: BaseStationId(bs),
+            ue_id: UeId(1),
+            since: SimTime(since),
+            permanent_ip: Ipv4Addr::new(100, 64, 0, imsi as u8),
+        }
+    }
+
+    fn agent_for(bs: BaseStationId) -> LocalAgent {
+        LocalAgent::new(
+            bs,
+            PortNo(2),
+            AddressingScheme::default_scheme(),
+            PortEmbedding::default_embedding(),
+        )
+    }
+
+    /// A station whose region `seat` leads under the bootstrap view.
+    fn station_led_by(view: &Membership, seat: u32) -> BaseStationId {
+        (0..1024u32)
+            .map(BaseStationId)
+            .find(|bs| view.leader_of_station(*bs) == Some(ControllerId(seat)))
+            .expect("every seat leads some station")
+    }
+
+    #[test]
+    fn quorum_commit_applies_on_all_replicas() {
+        let c = cluster(3, 2);
+        let index = c.node(0).propose(attach_op(1, 0, 5)).unwrap();
+        assert_eq!(index, 1);
+        for seat in 0..3 {
+            assert_eq!(c.node(seat).applied(ControllerId(0)), 1, "seat {seat}");
+            assert!(c.node(seat).store_ue(UeImsi(1)).is_some());
+        }
+        let oracle = c.node(0).snapshot_bytes();
+        assert_eq!(c.node(1).snapshot_bytes(), oracle);
+        assert_eq!(c.node(2).snapshot_bytes(), oracle);
+        assert_eq!(c.node(0).commit_index(), 1);
+    }
+
+    #[test]
+    fn fenced_stale_leader_cannot_commit_or_release_flowmods() {
+        let c = cluster(3, 2);
+        c.node(0).propose(attach_op(1, 0, 5)).unwrap();
+
+        // Partition seat 0 (alive, but unreachable) and fail it over.
+        c.cut(0);
+        let view = c.fail_over_from(1, &[ControllerId(0)]).unwrap();
+        assert_eq!(view.epoch(), 2);
+        assert!(!view.is_live(ControllerId(0)));
+
+        // The partition heals; seat 0 still believes in epoch 1 and
+        // tries to lead.
+        c.heal(0);
+        let reg = Registry::global();
+        let rejections = reg.counter("softcell_replica_stale_epoch_rejections_total");
+        let before = rejections.get();
+        let err = c.node(0).propose(attach_op(2, 0, 9)).unwrap_err();
+        assert!(
+            err.to_string().contains("fenced"),
+            "stale proposal must be fenced, got: {err}"
+        );
+        // The survivors rejected the record without applying it...
+        assert!(rejections.get() > before);
+        assert_eq!(c.node(1).applied(ControllerId(0)), 1);
+        assert_eq!(c.node(2).applied(ControllerId(0)), 1);
+        // ...and the rejection taught seat 0 the newer epoch.
+        assert_eq!(c.node(0).current_epoch(), 2);
+        assert_eq!(c.node(0).commit_index(), 1, "nothing new committed");
+
+        // The agent-facing path is equally dead: a path request on the
+        // stale leader yields an error, never a FlowMod — commit-gated
+        // release means a fenced leader cannot program the network.
+        let bs = station_led_by(&c.node(0).membership(), 0);
+        let reply = c
+            .node(0)
+            .handle_agent(&Message::PacketIn(PacketIn::PathRequest {
+                bs,
+                clause: ClauseId(0),
+            }))
+            .unwrap();
+        assert!(
+            reply.as_error().is_some(),
+            "fenced leader must not emit a flow-mod, got {reply:?}"
+        );
+
+        // A second attempt is refused by the local fence alone (no
+        // network round needed once the fence is raised).
+        let err2 = c.node(0).propose(attach_op(3, 0, 11)).unwrap_err();
+        assert!(err2.to_string().contains("fenced"));
+    }
+
+    #[test]
+    fn gap_heals_via_snapshot_transfer() {
+        let c = cluster(3, 2);
+        // Seat 2 misses two committed records while partitioned.
+        c.cut(2);
+        c.node(0).propose(attach_op(1, 0, 5)).unwrap();
+        c.node(0).propose(attach_op(2, 3, 6)).unwrap();
+        assert_eq!(c.node(2).applied(ControllerId(0)), 0, "partitioned");
+        c.heal(2);
+
+        let reg = Registry::global();
+        let snapshots = reg.counter("softcell_replica_snapshots_total");
+        let before = snapshots.get();
+        // The next proposal gap-rejects at seat 2, which triggers a
+        // snapshot transfer followed by a re-ship of the record.
+        c.node(0).propose(attach_op(3, 6, 7)).unwrap();
+        assert!(snapshots.get() > before, "snapshot catch-up must run");
+        assert_eq!(c.node(2).applied(ControllerId(0)), 3, "fully caught up");
+        let oracle = c.node(0).snapshot_bytes();
+        assert_eq!(c.node(1).snapshot_bytes(), oracle);
+        assert_eq!(c.node(2).snapshot_bytes(), oracle);
+    }
+
+    #[test]
+    fn agent_attach_and_path_commit_before_reply() {
+        let c = cluster(3, 2);
+        let view = c.membership().unwrap();
+        let bs = station_led_by(&view, 1);
+        let mut ctl = c.connect_agent(bs).unwrap();
+        let mut agent = agent_for(bs);
+
+        let rec = agent
+            .handle_attach(UeImsi(4), &mut ctl, SimTime(10))
+            .unwrap();
+        // By the time the agent holds its grant, the attach is on every
+        // replica (reply release is commit-gated).
+        for seat in 0..3 {
+            let e = c.node(seat).store_ue(UeImsi(4)).expect("replicated");
+            assert_eq!(e.bs, bs);
+            assert_eq!(e.permanent_ip, rec.permanent_ip, "seat {seat}");
+        }
+
+        // A path request commits the install and yields a slab tag of
+        // the leading seat (seat 1 → tags 256..).
+        let reply = c
+            .node(1)
+            .handle_agent(&Message::PacketIn(PacketIn::PathRequest {
+                bs,
+                clause: ClauseId(0),
+            }))
+            .unwrap();
+        let Message::FlowMod(mods) = &reply else {
+            panic!("expected FlowMod, got {reply:?}");
+        };
+        let tag = mods[0].tags.uplink_entry;
+        assert_eq!(tag.0 / 256, 1, "tag from seat 1's slab");
+        for seat in 0..3 {
+            let p = c.node(seat).applied(ControllerId(1));
+            assert!(p >= 2, "path install replicated to seat {seat}");
+        }
+        // Re-requesting the same path reuses the committed tag.
+        let again = c
+            .node(1)
+            .handle_agent(&Message::PacketIn(PacketIn::PathRequest {
+                bs,
+                clause: ClauseId(0),
+            }))
+            .unwrap();
+        let Message::FlowMod(mods2) = &again else {
+            panic!("expected FlowMod");
+        };
+        assert_eq!(mods2[0].tags.uplink_entry, tag);
+
+        // Detach replicates too, leaving a tombstone everywhere.
+        agent.handle_detach(UeImsi(4), &mut ctl).unwrap();
+        for seat in 0..3 {
+            assert!(c.node(seat).store_ue(UeImsi(4)).is_none(), "seat {seat}");
+        }
+    }
+
+    #[test]
+    fn agent_rehomes_to_deterministic_successor_after_kill() {
+        let c = cluster(3, 2);
+        let view = c.membership().unwrap();
+        let bs = station_led_by(&view, 0);
+        let successor = {
+            let after = view.advance(&[ControllerId(0)]).unwrap();
+            after.leader_of_station(bs).unwrap()
+        };
+        let mut ctl = c.connect_agent(bs).unwrap();
+        let mut agent = agent_for(bs);
+        let r5 = agent
+            .handle_attach(UeImsi(5), &mut ctl, SimTime(10))
+            .unwrap();
+        let r6 = agent
+            .handle_attach(UeImsi(6), &mut ctl, SimTime(11))
+            .unwrap();
+
+        // kill -9 the region leader; the agent notices via probe.
+        c.kill(0);
+        assert!(
+            ctl.channel().probe(Duration::from_millis(100)).is_err(),
+            "probe must fail against a dead controller"
+        );
+        c.fail_over(&[ControllerId(0)]).unwrap();
+
+        let reg = Registry::global();
+        let rehomes = reg.counter("softcell_replica_rehomes_total");
+        let before = rehomes.get();
+        let new_home = rehome_agent(&c, &mut ctl, &mut agent, SimTime(20)).unwrap();
+        assert_eq!(new_home, successor, "re-home is deterministic");
+        assert!(rehomes.get() > before);
+
+        // The resync re-attach upserted: same permanent IPs, new
+        // records on the survivors, byte-identical stores.
+        for seat in [1usize, 2] {
+            let e5 = c.node(seat).store_ue(UeImsi(5)).expect("ue5 survives");
+            let e6 = c.node(seat).store_ue(UeImsi(6)).expect("ue6 survives");
+            assert_eq!(e5.permanent_ip, r5.permanent_ip);
+            assert_eq!(e6.permanent_ip, r6.permanent_ip);
+        }
+        assert_eq!(
+            c.node(1).snapshot_bytes(),
+            c.node(2).snapshot_bytes(),
+            "survivors converge byte-for-byte"
+        );
+        // And the agent can keep working against the new home.
+        agent
+            .handle_attach(UeImsi(7), &mut ctl, SimTime(21))
+            .unwrap();
+        assert!(c.node(successor.seat()).store_ue(UeImsi(7)).is_some());
+    }
+}

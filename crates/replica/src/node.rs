@@ -1,0 +1,984 @@
+//! One controller replica: quorum-committed proposals, follower-side
+//! record application, epoch fencing, and the agent-facing front-end.
+//!
+//! ## Commit protocol
+//!
+//! A node *proposes* an operation by appending it (provisionally) as the
+//! next record of its own origin sequence and shipping it to every live
+//! peer as a `Replicate` frame. Followers apply on receipt and
+//! acknowledge; the proposal **commits** — and only then is the
+//! agent-facing reply (classifier grant or flow-mod) released — once
+//! `quorum` nodes (the proposer counts) hold it. A record that misses
+//! quorum stays *pending* and is re-shipped, under the same index,
+//! before the node accepts any new proposal: two different records can
+//! therefore never exist at the same `(origin, index)`, which is what
+//! keeps follower stores convergent.
+//!
+//! ## Fencing
+//!
+//! Every record carries the epoch it was proposed under. A follower
+//! whose membership view (or fence) is newer rejects the record and
+//! reports its epoch; the proposer observes the higher epoch in its own
+//! [`EpochFence`] and fails the proposal. Since flow-mod release is
+//! gated on quorum commit, **a fenced stale leader can never get a
+//! flow-mod acknowledged** — the partition test in this module proves
+//! it.
+//!
+//! ## Lock order
+//!
+//! `propose` → `core` → `peers`, and `core` is never held across a
+//! network wait: proposals capture what they need from the core, drop
+//! it, ship under `peers`, and re-acquire `core` only to commit.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use softcell_ctlchan::{
+    CtlChannel, Frame, Message, PacketIn, Transport, WireFlowMod, WirePathTags, WireUeRecord,
+};
+use softcell_policy::clause::ClauseId;
+use softcell_policy::{AppClassifier, ServicePolicy, SubscriberAttributes, UeClassifier};
+use softcell_telemetry::{Registry, Stopwatch};
+use softcell_types::{
+    BaseStationId, ControllerId, EpochFence, Error, Membership, PolicyTag, PortNo, Result, SimTime,
+    UeId, UeImsi,
+};
+
+use crate::log::{LogRecord, ReplicatedOp, ReplicationLog};
+use crate::store::{ReplicaStore, UeEntry};
+
+/// Base of the permanent-IP slab (100.64.0.0/10, carrier-grade NAT
+/// space). Seat `s` allocates from `100.64.0.0 + (s << 16)`, so
+/// concurrent region leaders never hand out colliding addresses.
+const IP_SLAB_BASE: u32 = 0x6440_0000;
+
+/// Per-seat tag slab width: seat `s` allocates tags `s*256 + 1 ..
+/// s*256 + 255`, again collision-free across concurrent leaders.
+const TAG_SLAB: u16 = 256;
+
+/// Static configuration of one replica.
+#[derive(Clone)]
+pub struct ReplicaConfig {
+    /// This node's seat.
+    pub id: ControllerId,
+    /// Nodes (proposer included) that must hold a record before it
+    /// commits. `1` disables replication waits; a majority tolerates
+    /// minority failure.
+    pub quorum: usize,
+    /// Per-peer deadline for one replicate/ack round trip; an
+    /// unreachable peer costs one deadline, not a hang.
+    pub peer_deadline: Duration,
+    /// The operator policy agents' classifiers are compiled from.
+    pub policy: ServicePolicy,
+    /// Application signatures for classifier compilation.
+    pub apps: AppClassifier,
+    /// Known subscribers; unknown IMSIs fall back to
+    /// [`SubscriberAttributes::default_home`].
+    pub subscribers: HashMap<UeImsi, SubscriberAttributes>,
+}
+
+/// Replicated + local mutable state, guarded by one mutex (`core` in
+/// the lock order). Never held across a network wait.
+struct NodeCore {
+    /// Own-originated committed records.
+    log: ReplicationLog,
+    /// Materialized replicated state (all origins).
+    store: ReplicaStore,
+    /// Current membership view.
+    membership: Membership,
+    /// A proposal that missed quorum: must commit (under its original
+    /// index) before any new proposal is accepted.
+    pending: Option<LogRecord>,
+    /// Next permanent-IP slab offset (1-based).
+    next_ip: u32,
+    /// Next tag slab offset (1-based).
+    next_tag: u16,
+    /// Own commit watermark (highest own index that reached quorum).
+    commit: u64,
+}
+
+/// How one peer answered a shipped record.
+enum ShipOutcome {
+    /// Applied and acknowledged (or already held — both count).
+    Acked,
+    /// Rejected: peer is missing earlier records and needs a snapshot.
+    Gap,
+    /// Rejected: peer's epoch is newer; the proposer is fenced.
+    Fenced(u64),
+    /// Rejected for another reason (origin not live in peer's view).
+    Rejected,
+}
+
+/// One controller replica.
+///
+/// Generic over the ctlchan [`Transport`] so tests wire nodes with
+/// loopback (or kill-switchable) links and deployments use TCP.
+pub struct ReplicaNode<T: Transport> {
+    cfg: ReplicaConfig,
+    fence: EpochFence,
+    /// Serializes proposals (and the allocation decisions they embed).
+    propose: Mutex<()>,
+    core: Mutex<NodeCore>,
+    /// Outbound client channels, seat-indexed (`None` = self or not
+    /// connected).
+    peers: Mutex<Vec<Option<CtlChannel<T>>>>,
+}
+
+impl<T: Transport> ReplicaNode<T> {
+    /// Creates a replica with the given membership view and outbound
+    /// peer channels (seat-indexed; this node's own slot must be
+    /// `None`).
+    pub fn new(
+        cfg: ReplicaConfig,
+        membership: Membership,
+        peers: Vec<Option<CtlChannel<T>>>,
+    ) -> Result<Arc<ReplicaNode<T>>> {
+        if cfg.id.seat() >= membership.seats() {
+            return Err(Error::Config(format!(
+                "{} is not a seat of a {}-seat ring",
+                cfg.id,
+                membership.seats()
+            )));
+        }
+        if cfg.quorum == 0 || cfg.quorum > membership.seats() {
+            return Err(Error::Config(format!(
+                "quorum {} outside 1..={}",
+                cfg.quorum,
+                membership.seats()
+            )));
+        }
+        if peers.len() != membership.seats() {
+            return Err(Error::Config(format!(
+                "{} peer slots for {} seats",
+                peers.len(),
+                membership.seats()
+            )));
+        }
+        let epoch = membership.epoch();
+        Registry::global()
+            .gauge("softcell_replica_current_epoch")
+            .set(epoch);
+        Ok(Arc::new(ReplicaNode {
+            fence: EpochFence::new(epoch),
+            propose: Mutex::new(()),
+            core: Mutex::new(NodeCore {
+                log: ReplicationLog::new(),
+                store: ReplicaStore::new(),
+                membership,
+                pending: None,
+                next_ip: 0,
+                next_tag: 0,
+                commit: 0,
+            }),
+            peers: Mutex::new(peers),
+            cfg,
+        }))
+    }
+
+    /// This node's seat.
+    pub fn id(&self) -> ControllerId {
+        self.cfg.id
+    }
+
+    /// The epoch this node's fence currently stands at.
+    pub fn current_epoch(&self) -> u64 {
+        self.fence.current()
+    }
+
+    /// A copy of the current membership view.
+    pub fn membership(&self) -> Membership {
+        self.core.lock().membership.clone()
+    }
+
+    /// Whether this node leads `bs`'s region under its current view.
+    pub fn is_leader_for(&self, bs: BaseStationId) -> bool {
+        self.core.lock().membership.leader_of_station(bs) == Some(self.cfg.id)
+    }
+
+    /// The deterministic byte image of the replicated store (the
+    /// recovery oracle).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        self.core.lock().store.snapshot_bytes()
+    }
+
+    /// The live store entry for `imsi`, if attached.
+    pub fn store_ue(&self, imsi: UeImsi) -> Option<UeEntry> {
+        self.core.lock().store.ue(imsi).copied()
+    }
+
+    /// Highest index applied from `origin`.
+    pub fn applied(&self, origin: ControllerId) -> u64 {
+        self.core.lock().store.applied(origin)
+    }
+
+    /// This node's own commit watermark.
+    pub fn commit_index(&self) -> u64 {
+        self.core.lock().commit
+    }
+
+    /// Replaces the outbound channel for `seat` (used when re-wiring
+    /// links after a failure).
+    pub fn set_peer(&self, seat: usize, chan: Option<CtlChannel<T>>) -> Result<()> {
+        let mut peers = self.peers.lock();
+        let slot = peers
+            .get_mut(seat)
+            .ok_or_else(|| Error::Range(format!("no peer slot {seat}")))?;
+        *slot = chan;
+        Ok(())
+    }
+
+    /// Locally adopts a newer membership view (the fail-over initiator
+    /// calls this before broadcasting). Older or equal views are
+    /// ignored.
+    pub fn adopt_membership(&self, view: Membership) {
+        let mut core = self.core.lock();
+        if view.epoch() > core.membership.epoch() {
+            let epoch = view.epoch();
+            core.membership = view;
+            drop(core);
+            self.fence.observe(epoch);
+            let reg = Registry::global();
+            reg.counter("softcell_replica_epoch_changes_total").inc();
+            reg.gauge("softcell_replica_current_epoch").set(epoch);
+            reg.journal()
+                .record("epoch_change", epoch, u64::from(self.cfg.id.0));
+        }
+    }
+
+    /// Pushes the current membership view to every live peer; returns
+    /// how many acknowledged it.
+    pub fn broadcast_epoch_change(&self) -> Result<usize> {
+        let (epoch, live) = {
+            let core = self.core.lock();
+            (
+                core.membership.epoch(),
+                core.membership.live_flags().to_vec(),
+            )
+        };
+        let msg = Message::EpochChange {
+            epoch,
+            live: live.clone(),
+        };
+        let mut adopted = 0;
+        let mut peers = self.peers.lock();
+        for (seat, &alive) in live.iter().enumerate() {
+            if seat == self.cfg.id.seat() || !alive {
+                continue;
+            }
+            let Some(chan) = peers.get_mut(seat).and_then(|s| s.as_mut()) else {
+                continue;
+            };
+            chan.set_deadline(Some(self.cfg.peer_deadline))?;
+            let res = chan.request(&msg);
+            let _ = chan.set_deadline(None);
+            if let Ok(raw) = res {
+                if let Ok(frame) = Frame::new_checked(raw.as_slice()) {
+                    if let Ok(Message::EpochChange { epoch: got, .. }) = frame.message() {
+                        if got >= epoch {
+                            adopted += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(adopted)
+    }
+
+    /// Pushes this node's store image to every live peer, forcing
+    /// convergence after an epoch change (survivors that applied a dead
+    /// leader's final, uncommitted record and survivors that did not
+    /// would otherwise disagree). Receivers re-apply their own
+    /// committed tail on top, so no committed record is lost. Returns
+    /// how many peers adopted.
+    pub fn push_snapshot(&self) -> Result<usize> {
+        let (payload, applied, epoch, live) = {
+            let core = self.core.lock();
+            let seats = core.membership.seats();
+            (
+                core.store.snapshot_bytes(),
+                (0..seats)
+                    .map(|s| core.store.applied(ControllerId(s as u32)))
+                    .collect::<Vec<u64>>(),
+                core.membership.epoch(),
+                core.membership.live_flags().to_vec(),
+            )
+        };
+        let mut adopted = 0;
+        let mut peers = self.peers.lock();
+        for (seat, &alive) in live.iter().enumerate() {
+            if seat == self.cfg.id.seat() || !alive {
+                continue;
+            }
+            let Some(chan) = peers.get_mut(seat).and_then(|s| s.as_mut()) else {
+                continue;
+            };
+            if Self::send_snapshot(
+                chan,
+                self.cfg.id,
+                epoch,
+                &applied,
+                &payload,
+                self.cfg.peer_deadline,
+            )
+            .is_ok()
+            {
+                adopted += 1;
+            }
+        }
+        Ok(adopted)
+    }
+
+    // ------------------------------------------------------------------
+    // Proposal path (leader side)
+    // ------------------------------------------------------------------
+
+    /// Proposes one operation and blocks until it commits (quorum) or
+    /// fails. Returns the committed record's own-origin index.
+    pub fn propose(&self, op: ReplicatedOp) -> Result<u64> {
+        let _serial = self.propose.lock();
+        self.propose_inner(op)
+    }
+
+    /// Proposal body; caller must hold the `propose` lock.
+    fn propose_inner(&self, op: ReplicatedOp) -> Result<u64> {
+        self.flush_pending()?;
+        let record = {
+            let mut core = self.core.lock();
+            self.check_can_propose(&core)?;
+            let record = LogRecord {
+                origin: self.cfg.id,
+                epoch: core.membership.epoch(),
+                index: core.log.next_index(),
+                op,
+            };
+            core.pending = Some(record);
+            record
+        };
+        self.ship_and_commit(record)
+    }
+
+    /// Re-ships a proposal stuck from an earlier failed quorum round,
+    /// re-stamped to the current epoch (same index and content, so
+    /// followers that applied the old copy dedup by index).
+    fn flush_pending(&self) -> Result<()> {
+        let stuck = {
+            let mut core = self.core.lock();
+            match core.pending {
+                Some(mut r) => {
+                    self.check_can_propose(&core)?;
+                    r.epoch = core.membership.epoch();
+                    core.pending = Some(r);
+                    Some(r)
+                }
+                None => None,
+            }
+        };
+        match stuck {
+            Some(r) => self.ship_and_commit(r).map(|_| ()),
+            None => Ok(()),
+        }
+    }
+
+    /// Fencing and liveness gate for proposals.
+    fn check_can_propose(&self, core: &NodeCore) -> Result<()> {
+        let epoch = core.membership.epoch();
+        let fenced_at = self.fence.current();
+        if fenced_at > epoch {
+            return Err(Error::InvalidState(format!(
+                "{} fenced: proposing under epoch {epoch} but fence at {fenced_at}",
+                self.cfg.id
+            )));
+        }
+        if !core.membership.is_live(self.cfg.id) {
+            return Err(Error::InvalidState(format!(
+                "{} is not live in epoch {epoch}",
+                self.cfg.id
+            )));
+        }
+        Ok(())
+    }
+
+    /// Ships `record` to every live peer, gathers acknowledgements
+    /// (snapshot-healing gapped peers), and commits locally once quorum
+    /// is reached.
+    fn ship_and_commit(&self, record: LogRecord) -> Result<u64> {
+        let reg = Registry::global();
+        let payload = record.encode();
+        let (live, commit_before) = {
+            let core = self.core.lock();
+            (core.membership.live_flags().to_vec(), core.commit)
+        };
+        let mut acks = 1usize; // the proposer holds the record
+        let mut gapped: Vec<usize> = Vec::new();
+        {
+            let mut peers = self.peers.lock();
+            for (seat, &alive) in live.iter().enumerate() {
+                if seat == self.cfg.id.seat() || !alive {
+                    continue;
+                }
+                let Some(chan) = peers.get_mut(seat).and_then(|s| s.as_mut()) else {
+                    continue;
+                };
+                let clock = Stopwatch::start();
+                match Self::ship_one(
+                    chan,
+                    &record,
+                    &payload,
+                    commit_before,
+                    self.cfg.peer_deadline,
+                ) {
+                    Ok(ShipOutcome::Acked) => {
+                        clock.record(&reg.histogram("softcell_replica_ship_ack_ns"));
+                        reg.counter("softcell_replica_acks_total").inc();
+                        acks += 1;
+                    }
+                    Ok(ShipOutcome::Gap) => gapped.push(seat),
+                    Ok(ShipOutcome::Fenced(newer)) => {
+                        self.fence.observe(newer);
+                        return Err(Error::InvalidState(format!(
+                            "{} fenced by epoch {newer} while shipping index {}",
+                            self.cfg.id, record.index
+                        )));
+                    }
+                    Ok(ShipOutcome::Rejected) | Err(_) => {
+                        // unreachable or unwilling peer: simply no ack
+                    }
+                }
+            }
+        }
+        if !gapped.is_empty() {
+            acks += self.heal_gapped_peers(&gapped, &record, &payload, commit_before)?;
+        }
+        if acks >= self.cfg.quorum {
+            let mut core = self.core.lock();
+            core.log.append(record)?;
+            core.store.apply(&record)?;
+            core.commit = record.index;
+            core.pending = None;
+            reg.counter("softcell_replica_log_appends_total").inc();
+            reg.counter("softcell_replica_commits_total").inc();
+            // lag = live peers that did not acknowledge this round
+            reg.gauge("softcell_replica_replication_lag")
+                .set((self.live_targets(&live) + 1).saturating_sub(acks) as u64);
+            Ok(record.index)
+        } else {
+            // The record stays pending; the next proposal (or explicit
+            // retry) re-ships it under the same index.
+            Err(Error::Timeout(format!(
+                "index {} reached {acks}/{} quorum",
+                record.index, self.cfg.quorum
+            )))
+        }
+    }
+
+    /// Number of live peers a proposal is shipped to.
+    fn live_targets(&self, live: &[bool]) -> usize {
+        live.iter()
+            .enumerate()
+            .filter(|(seat, l)| **l && *seat != self.cfg.id.seat())
+            .count()
+    }
+
+    /// Sends the peers that gap-rejected `record` a store snapshot,
+    /// then re-ships the record. Returns how many converted to acks.
+    fn heal_gapped_peers(
+        &self,
+        gapped: &[usize],
+        record: &LogRecord,
+        payload: &[u8],
+        commit_before: u64,
+    ) -> Result<usize> {
+        let reg = Registry::global();
+        let (snapshot, applied, epoch) = {
+            let core = self.core.lock();
+            let seats = core.membership.seats();
+            (
+                core.store.snapshot_bytes(),
+                (0..seats)
+                    .map(|s| core.store.applied(ControllerId(s as u32)))
+                    .collect::<Vec<u64>>(),
+                core.membership.epoch(),
+            )
+        };
+        let mut converted = 0;
+        let mut peers = self.peers.lock();
+        for &seat in gapped {
+            let Some(chan) = peers.get_mut(seat).and_then(|s| s.as_mut()) else {
+                continue;
+            };
+            if Self::send_snapshot(
+                chan,
+                self.cfg.id,
+                epoch,
+                &applied,
+                &snapshot,
+                self.cfg.peer_deadline,
+            )
+            .is_err()
+            {
+                continue;
+            }
+            if let Ok(ShipOutcome::Acked) =
+                Self::ship_one(chan, record, payload, commit_before, self.cfg.peer_deadline)
+            {
+                reg.counter("softcell_replica_acks_total").inc();
+                converted += 1;
+            }
+        }
+        Ok(converted)
+    }
+
+    /// One replicate/ack round trip with a single peer.
+    fn ship_one(
+        chan: &mut CtlChannel<T>,
+        record: &LogRecord,
+        payload: &[u8],
+        commit: u64,
+        deadline: Duration,
+    ) -> Result<ShipOutcome> {
+        let msg = Message::Replicate {
+            origin: record.origin.0,
+            epoch: record.epoch,
+            index: record.index,
+            commit,
+            payload: Cow::Borrowed(payload),
+        };
+        chan.set_deadline(Some(deadline))?;
+        let res = chan.request(&msg);
+        let _ = chan.set_deadline(None);
+        let raw = res?;
+        let frame = Frame::new_checked(raw.as_slice())?;
+        let reply = frame.message()?;
+        if let Some(e) = reply.as_error() {
+            return Err(e);
+        }
+        match reply {
+            Message::ReplicateAck {
+                epoch,
+                accepted,
+                have_index,
+                ..
+            } => Ok(if accepted {
+                ShipOutcome::Acked
+            } else if epoch > record.epoch {
+                ShipOutcome::Fenced(epoch)
+            } else if have_index >= record.index {
+                ShipOutcome::Acked
+            } else if have_index + 1 < record.index {
+                ShipOutcome::Gap
+            } else {
+                ShipOutcome::Rejected
+            }),
+            other => Err(softcell_ctlchan::channel::unexpected(
+                "replicate-ack",
+                &other,
+            )),
+        }
+    }
+
+    /// One snapshot-transfer round trip with a single peer.
+    fn send_snapshot(
+        chan: &mut CtlChannel<T>,
+        origin: ControllerId,
+        epoch: u64,
+        applied: &[u64],
+        payload: &[u8],
+        deadline: Duration,
+    ) -> Result<()> {
+        let msg = Message::SnapshotTransfer {
+            origin: origin.0,
+            epoch,
+            applied: applied.to_vec(),
+            payload: Cow::Borrowed(payload),
+        };
+        chan.set_deadline(Some(deadline))?;
+        let res = chan.request(&msg);
+        let _ = chan.set_deadline(None);
+        let raw = res?;
+        let frame = Frame::new_checked(raw.as_slice())?;
+        let reply = frame.message()?;
+        if let Some(e) = reply.as_error() {
+            return Err(e);
+        }
+        match reply {
+            Message::ReplicateAck { accepted: true, .. } => Ok(()),
+            Message::ReplicateAck { .. } => Err(Error::InvalidState(
+                "peer refused snapshot (stale epoch?)".into(),
+            )),
+            other => Err(softcell_ctlchan::channel::unexpected(
+                "snapshot ack",
+                &other,
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Peer-facing handler (follower side)
+    // ------------------------------------------------------------------
+
+    /// Handles one controller-to-controller message; `None` for
+    /// messages the ctlchan serve loop answers itself.
+    pub fn handle_peer(&self, msg: &Message<'_>) -> Option<Message<'static>> {
+        match msg {
+            Message::Replicate {
+                origin,
+                epoch,
+                index,
+                commit,
+                payload,
+            } => Some(self.on_replicate(*origin, *epoch, *index, *commit, payload)),
+            Message::SnapshotTransfer {
+                origin,
+                epoch,
+                applied,
+                payload,
+            } => Some(self.on_snapshot(*origin, *epoch, applied, payload)),
+            Message::EpochChange { epoch, live } => Some(self.on_epoch_change(*epoch, live)),
+            _ => None,
+        }
+    }
+
+    /// Spawns a thread serving controller-to-controller traffic from
+    /// one peer over `transport`.
+    pub fn serve_peer(self: &Arc<Self>, transport: T) -> JoinHandle<Result<()>>
+    where
+        T: 'static,
+    {
+        let node = Arc::clone(self);
+        std::thread::spawn(move || {
+            softcell_ctlchan::serve(transport, || 0, move |msg| node.handle_peer(msg))
+        })
+    }
+
+    fn on_replicate(
+        &self,
+        origin: u32,
+        epoch: u64,
+        index: u64,
+        commit: u64,
+        payload: &[u8],
+    ) -> Message<'static> {
+        let reg = Registry::global();
+        let record = match LogRecord::decode(payload) {
+            Ok(r) => r,
+            Err(e) => return Message::from_error(&e),
+        };
+        if record.origin.0 != origin || record.epoch != epoch || record.index != index {
+            return Message::from_error(&Error::Malformed(
+                "replicate header disagrees with its payload".into(),
+            ));
+        }
+        let mut core = self.core.lock();
+        let my_epoch = core.membership.epoch().max(self.fence.current());
+        let reject = |core: &NodeCore, my_epoch| Message::ReplicateAck {
+            origin: self.cfg.id.0,
+            epoch: my_epoch,
+            index,
+            accepted: false,
+            have_index: core.store.applied(record.origin),
+        };
+        if epoch < my_epoch {
+            // A stale leader's record: fence it. This is the property
+            // the partition test pins down — rejection here, combined
+            // with commit-gated flow-mod release, is what guarantees a
+            // deposed leader can never act.
+            reg.counter("softcell_replica_stale_epoch_rejections_total")
+                .inc();
+            reg.journal()
+                .record("stale_epoch_reject", epoch, u64::from(origin));
+            return reject(&core, my_epoch);
+        }
+        if !core.membership.is_live(record.origin) {
+            reg.counter("softcell_replica_stale_epoch_rejections_total")
+                .inc();
+            return reject(&core, my_epoch);
+        }
+        if epoch > core.membership.epoch() {
+            // The proposer is ahead of our view; the epoch-change
+            // broadcast is in flight. Raise the fence now, accept the
+            // record (it is from the newer term, not an older one).
+            self.fence.observe(epoch);
+        }
+        match core.store.apply(&record) {
+            Ok(applied) => {
+                if applied {
+                    reg.counter("softcell_replica_acks_total").inc();
+                    reg.gauge("softcell_replica_replication_lag")
+                        .set(index.saturating_sub(commit));
+                }
+                Message::ReplicateAck {
+                    origin: self.cfg.id.0,
+                    epoch: my_epoch.max(epoch),
+                    index,
+                    accepted: true,
+                    have_index: core.store.applied(record.origin),
+                }
+            }
+            Err(_) => reject(&core, my_epoch.max(epoch)),
+        }
+    }
+
+    fn on_snapshot(
+        &self,
+        origin: u32,
+        epoch: u64,
+        applied: &[u64],
+        payload: &[u8],
+    ) -> Message<'static> {
+        let reg = Registry::global();
+        let mut core = self.core.lock();
+        let my_epoch = core.membership.epoch().max(self.fence.current());
+        if epoch < my_epoch {
+            reg.counter("softcell_replica_stale_epoch_rejections_total")
+                .inc();
+            return Message::ReplicateAck {
+                origin: self.cfg.id.0,
+                epoch: my_epoch,
+                index: 0,
+                accepted: false,
+                have_index: 0,
+            };
+        }
+        let mut store = match ReplicaStore::restore(payload) {
+            Ok(s) => s,
+            Err(e) => return Message::from_error(&e),
+        };
+        // Re-apply our own committed tail the snapshot does not cover:
+        // committed records must never be lost to a snapshot from a
+        // peer that is behind on *our* origin sequence.
+        let tail: Vec<LogRecord> = core
+            .log
+            .iter_from(store.applied(self.cfg.id) + 1)
+            .copied()
+            .collect();
+        for rec in &tail {
+            if store.apply(rec).is_err() {
+                return Message::from_error(&Error::InvalidState(format!(
+                    "snapshot from seat {origin} leaves own log non-contiguous",
+                )));
+            }
+        }
+        core.store = store;
+        reg.counter("softcell_replica_snapshots_total").inc();
+        reg.journal()
+            .record("snapshot_adopted", epoch, u64::from(origin));
+        let sender = ControllerId(origin);
+        let have = core.store.applied(sender);
+        let _ = applied; // sender watermarks are carried by the store image itself
+        Message::ReplicateAck {
+            origin: self.cfg.id.0,
+            epoch: my_epoch.max(epoch),
+            index: have,
+            accepted: true,
+            have_index: have,
+        }
+    }
+
+    fn on_epoch_change(&self, epoch: u64, live: &[bool]) -> Message<'static> {
+        let mut core = self.core.lock();
+        if epoch > core.membership.epoch() {
+            match Membership::from_parts(epoch, live.to_vec()) {
+                Ok(view) => {
+                    core.membership = view;
+                    self.fence.observe(epoch);
+                    let reg = Registry::global();
+                    reg.counter("softcell_replica_epoch_changes_total").inc();
+                    reg.gauge("softcell_replica_current_epoch").set(epoch);
+                    reg.journal()
+                        .record("epoch_change", epoch, u64::from(self.cfg.id.0));
+                }
+                Err(e) => return Message::from_error(&e),
+            }
+        }
+        Message::EpochChange {
+            epoch: core.membership.epoch(),
+            live: core.membership.live_flags().to_vec(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Agent-facing handler (the southbound front-end)
+    // ------------------------------------------------------------------
+
+    /// Handles one agent message. Attach/detach/path-request all
+    /// propose through the replicated log; the reply — and with it the
+    /// agent's flow-mod or classifier — is only released after quorum
+    /// commit.
+    pub fn handle_agent(&self, msg: &Message<'_>) -> Option<Message<'static>> {
+        let Message::PacketIn(pi) = msg else {
+            return None;
+        };
+        let result = match *pi {
+            PacketIn::Attach {
+                imsi,
+                bs,
+                ue_id,
+                now,
+            } => self.on_attach(imsi, bs, ue_id, now),
+            PacketIn::Detach { imsi } => self.on_detach(imsi),
+            PacketIn::PathRequest { bs, clause } => self.on_path_request(bs, clause),
+        };
+        Some(result.unwrap_or_else(|e| Message::from_error(&e)))
+    }
+
+    /// Spawns a thread serving one agent connection over `transport`.
+    pub fn serve_agent(self: &Arc<Self>, transport: T) -> JoinHandle<Result<()>>
+    where
+        T: 'static,
+    {
+        let node = Arc::clone(self);
+        std::thread::spawn(move || {
+            softcell_ctlchan::serve(transport, || 0, move |msg| node.handle_agent(msg))
+        })
+    }
+
+    /// Refuses agent operations for stations this node does not lead —
+    /// the agent's cue to re-home to the deterministic successor.
+    fn check_leadership(&self, core: &NodeCore, bs: BaseStationId) -> Result<()> {
+        let leader = core.membership.leader_of_station(bs);
+        if leader != Some(self.cfg.id) {
+            return Err(Error::InvalidState(format!(
+                "{} does not lead {bs}'s region in epoch {} (leader: {})",
+                self.cfg.id,
+                core.membership.epoch(),
+                leader.map_or_else(|| "none".into(), |l| l.to_string()),
+            )));
+        }
+        Ok(())
+    }
+
+    fn on_attach(
+        &self,
+        imsi: UeImsi,
+        bs: BaseStationId,
+        ue_id: UeId,
+        now: SimTime,
+    ) -> Result<Message<'static>> {
+        let _serial = self.propose.lock();
+        let permanent_ip = {
+            let mut core = self.core.lock();
+            self.check_leadership(&core, bs)?;
+            match core.store.ue(imsi) {
+                // Re-attach (resync or handoff): the permanent address
+                // follows the subscriber, exactly as over the
+                // single-controller wire path.
+                Some(e) => e.permanent_ip,
+                None => {
+                    if core.next_ip >= 0xFFFF {
+                        return Err(Error::Exhausted(format!(
+                            "permanent-IP slab of seat {} exhausted",
+                            self.cfg.id
+                        )));
+                    }
+                    core.next_ip += 1;
+                    let raw = IP_SLAB_BASE | ((self.cfg.id.0 & 0x3F) << 16) | core.next_ip;
+                    std::net::Ipv4Addr::from(raw)
+                }
+            }
+        };
+        self.propose_inner(ReplicatedOp::Attach {
+            imsi,
+            bs,
+            ue_id,
+            since: now,
+            permanent_ip,
+        })?;
+        let attrs = self
+            .cfg
+            .subscribers
+            .get(&imsi)
+            .cloned()
+            .unwrap_or_else(|| SubscriberAttributes::default_home(imsi));
+        let classifier = UeClassifier::compile(&self.cfg.policy, &self.cfg.apps, &attrs);
+        Ok(Message::ClassifierReply {
+            record: WireUeRecord {
+                imsi,
+                permanent_ip,
+                bs,
+                ue_id,
+                since: now,
+            },
+            classifier: Some(softcell_controller::wire::classifier_to_wire(&classifier)),
+        })
+    }
+
+    fn on_detach(&self, imsi: UeImsi) -> Result<Message<'static>> {
+        let _serial = self.propose.lock();
+        let (entry, since) = {
+            let core = self.core.lock();
+            let (entry, since) = core
+                .ue_slot_attached(imsi)
+                .ok_or_else(|| Error::NotFound(format!("{imsi} is not attached")))?;
+            self.check_leadership(&core, entry.bs)?;
+            (entry, since)
+        };
+        self.propose_inner(ReplicatedOp::Detach { imsi, since })?;
+        Ok(Message::ClassifierReply {
+            record: WireUeRecord {
+                imsi,
+                permanent_ip: entry.permanent_ip,
+                bs: entry.bs,
+                ue_id: entry.ue_id,
+                since,
+            },
+            classifier: None,
+        })
+    }
+
+    fn on_path_request(&self, bs: BaseStationId, clause: ClauseId) -> Result<Message<'static>> {
+        let _serial = self.propose.lock();
+        let (tag, already_installed) = {
+            let mut core = self.core.lock();
+            self.check_leadership(&core, bs)?;
+            match core.store.path(bs, clause) {
+                Some(p) => (p.tag, true),
+                None => {
+                    if core.next_tag >= TAG_SLAB - 1 {
+                        return Err(Error::Exhausted(format!(
+                            "tag slab of seat {} exhausted",
+                            self.cfg.id
+                        )));
+                    }
+                    core.next_tag += 1;
+                    (
+                        PolicyTag(self.cfg.id.0 as u16 * TAG_SLAB + core.next_tag),
+                        false,
+                    )
+                }
+            }
+        };
+        if !already_installed {
+            self.propose_inner(ReplicatedOp::PathInstall {
+                bs,
+                clause,
+                tag,
+                port: PortNo(1),
+            })?;
+        }
+        // Same one-tag end-to-end stand-in as the single-controller
+        // wire front-end.
+        Ok(Message::FlowMod(vec![WireFlowMod {
+            bs,
+            clause,
+            tags: WirePathTags {
+                uplink_entry: tag,
+                uplink_exit: tag,
+                downlink_final: tag,
+                access_out_port: PortNo(1),
+                qos: None,
+            },
+        }]))
+    }
+}
+
+impl NodeCore {
+    /// The attached entry and its LWW timestamp for `imsi`.
+    fn ue_slot_attached(&self, imsi: UeImsi) -> Option<(UeEntry, SimTime)> {
+        let slot = self.store.ue_slot(imsi)?;
+        slot.entry.map(|e| (e, slot.since))
+    }
+}

@@ -1,0 +1,298 @@
+//! Epochs, controller identity and replicated cluster membership.
+//!
+//! SoftCell leaves controller replication to "standard replication
+//! techniques" (paper §5); this module supplies the deterministic core
+//! those techniques need. An **epoch** is a monotonically increasing
+//! term number: every membership change (a controller dying or being
+//! readmitted) advances it, and every replicated log record carries the
+//! epoch it was proposed under. A proposal stamped with an old epoch is
+//! *fenced* — rejected by every peer — so a partitioned former leader
+//! can never get state (and therefore flow-mods) acknowledged.
+//!
+//! Leadership is a pure function of the membership view: region `r`'s
+//! home seat is `r` itself, and its leader is the first **live** seat
+//! scanning the ring from the home seat. Two nodes with the same
+//! [`Membership`] therefore always agree on every region's leader
+//! without any extra coordination — which is what lets agents re-home
+//! deterministically after a failure.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{Error, Result};
+use crate::ids::BaseStationId;
+use crate::shard::shard_of_station;
+
+/// Identity of one controller replica: its *seat* in the membership
+/// ring. Seats are dense (`0..n`) and never renumbered; a dead seat
+/// stays in the ring marked not-live so leadership stays deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ControllerId(pub u32);
+
+impl ControllerId {
+    /// The seat index as a usize, for indexing seat-ordered tables.
+    pub fn seat(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ControllerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctl{}", self.0)
+    }
+}
+
+/// A compare-and-swap fenced epoch counter.
+///
+/// The fence is the single authority on "which term is current" within
+/// one process. Promotion is `advance(observed, observed + 1)`: exactly
+/// one contender can win any given transition, so two standbys racing
+/// to promote resolve without a split-brain window — the loser's CAS
+/// fails and it demotes itself. Orderings are `AcqRel`/`Acquire`: a
+/// winner's subsequent writes happen-after every reader's observation
+/// of the new epoch.
+#[derive(Debug)]
+pub struct EpochFence {
+    current: AtomicU64,
+}
+
+impl EpochFence {
+    /// A fence starting at `epoch`.
+    pub fn new(epoch: u64) -> EpochFence {
+        EpochFence {
+            current: AtomicU64::new(epoch),
+        }
+    }
+
+    /// The current epoch.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Acquire)
+    }
+
+    /// Attempts to advance the fence from `from` to `to`
+    /// (`to > from`). Returns the new epoch on success; on failure the
+    /// actual current epoch, which the caller must adopt (it has been
+    /// fenced by a concurrent or later advance).
+    pub fn advance(&self, from: u64, to: u64) -> Result<u64, u64> {
+        if to <= from {
+            // A no-op or backwards advance is always a fencing failure.
+            return Err(self.current());
+        }
+        match self
+            .current
+            .compare_exchange(from, to, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => Ok(to),
+            Err(actual) => Err(actual),
+        }
+    }
+
+    /// Raises the fence to `epoch` if it is higher than the current
+    /// value (used when learning of a newer term from a peer). Returns
+    /// the resulting current epoch.
+    pub fn observe(&self, epoch: u64) -> u64 {
+        let mut cur = self.current.load(Ordering::Acquire);
+        while epoch > cur {
+            match self.current.compare_exchange_weak(
+                cur,
+                epoch,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return epoch,
+                Err(actual) => cur = actual,
+            }
+        }
+        cur
+    }
+}
+
+/// One replicated membership view: the epoch it was established in,
+/// the fixed seat ring, and which seats are live.
+///
+/// Views are plain values — they are shipped between controllers in
+/// epoch-change messages and compared structurally. All leadership
+/// queries are pure functions of the view, so any two holders of an
+/// equal view agree on every answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    epoch: u64,
+    live: Vec<bool>,
+}
+
+impl Membership {
+    /// A fresh view: `seats` controllers, all live, epoch 1.
+    /// (Epoch 0 is reserved as "before any view" so a zeroed wire field
+    /// is never a valid term.)
+    pub fn bootstrap(seats: usize) -> Result<Membership> {
+        if seats == 0 {
+            return Err(Error::Config("membership needs at least one seat".into()));
+        }
+        Ok(Membership {
+            epoch: 1,
+            live: vec![true; seats],
+        })
+    }
+
+    /// Reconstructs a view from its wire representation.
+    pub fn from_parts(epoch: u64, live: Vec<bool>) -> Result<Membership> {
+        if live.is_empty() {
+            return Err(Error::Malformed("membership with zero seats".into()));
+        }
+        if epoch == 0 {
+            return Err(Error::Malformed("membership epoch 0 is reserved".into()));
+        }
+        Ok(Membership { epoch, live })
+    }
+
+    /// The epoch this view was established in.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of seats in the ring (live or dead).
+    pub fn seats(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Liveness flags in seat order (wire representation).
+    pub fn live_flags(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// Whether `id` is a live seat in this view.
+    pub fn is_live(&self, id: ControllerId) -> bool {
+        self.live.get(id.seat()).copied().unwrap_or(false)
+    }
+
+    /// Number of live seats.
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|l| **l).count()
+    }
+
+    /// The successor view after declaring `dead` seats down: same ring,
+    /// epoch advanced by one. Declaring an unknown seat is an error;
+    /// declaring an already-dead seat is idempotent.
+    pub fn advance(&self, dead: &[ControllerId]) -> Result<Membership> {
+        let mut live = self.live.clone();
+        for id in dead {
+            let slot = live
+                .get_mut(id.seat())
+                .ok_or_else(|| Error::Range(format!("{id} is not a seat in this ring")))?;
+            *slot = false;
+        }
+        if !live.iter().any(|l| *l) {
+            return Err(Error::InvalidState(
+                "membership change would leave no live seats".into(),
+            ));
+        }
+        Ok(Membership {
+            epoch: self.epoch + 1,
+            live,
+        })
+    }
+
+    /// The region a base station belongs to (its home seat index).
+    /// Regions partition stations across the full ring, dead seats
+    /// included, so region assignment never moves when liveness changes
+    /// — only leadership does.
+    pub fn region_of(&self, bs: BaseStationId) -> usize {
+        shard_of_station(bs, self.live.len())
+    }
+
+    /// The current leader of `region`: the first live seat scanning the
+    /// ring from the region's home seat. `None` only if no seat is live
+    /// (unreachable for views built through [`Membership::advance`]).
+    pub fn leader_of_region(&self, region: usize) -> Option<ControllerId> {
+        let n = self.live.len();
+        (0..n)
+            .map(|off| (region + off) % n)
+            .find(|&seat| self.live[seat])
+            .map(|seat| ControllerId(seat as u32))
+    }
+
+    /// The leader responsible for `bs` under this view.
+    pub fn leader_of_station(&self, bs: BaseStationId) -> Option<ControllerId> {
+        self.leader_of_region(self.region_of(bs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fence_advances_once_per_transition() {
+        let fence = Arc::new(EpochFence::new(1));
+        let winners: Vec<_> = (0..8)
+            .map(|_| {
+                let f = Arc::clone(&fence);
+                std::thread::spawn(move || f.advance(1, 2).is_ok())
+            })
+            .map(|h| h.join().expect("no panic"))
+            .collect();
+        assert_eq!(winners.iter().filter(|w| **w).count(), 1);
+        assert_eq!(fence.current(), 2);
+    }
+
+    #[test]
+    fn fence_rejects_stale_and_backwards_advances() {
+        let fence = EpochFence::new(5);
+        assert_eq!(fence.advance(4, 6), Err(5));
+        assert_eq!(fence.advance(5, 5), Err(5));
+        assert_eq!(fence.advance(5, 4), Err(5));
+        assert_eq!(fence.advance(5, 6), Ok(6));
+    }
+
+    #[test]
+    fn fence_observe_is_monotonic() {
+        let fence = EpochFence::new(3);
+        assert_eq!(fence.observe(2), 3);
+        assert_eq!(fence.observe(7), 7);
+        assert_eq!(fence.observe(5), 7);
+    }
+
+    #[test]
+    fn leadership_moves_to_ring_successor_and_back() {
+        let m = Membership::bootstrap(3).expect("3 seats");
+        assert_eq!(m.leader_of_region(1), Some(ControllerId(1)));
+        let m2 = m.advance(&[ControllerId(1)]).expect("kill seat 1");
+        assert_eq!(m2.epoch(), 2);
+        assert_eq!(m2.leader_of_region(1), Some(ControllerId(2)));
+        // Region 0's leader is unaffected by seat 1 dying.
+        assert_eq!(m2.leader_of_region(0), Some(ControllerId(0)));
+        // Wrap-around: kill seat 2 as well, region 1 wraps to seat 0.
+        let m3 = m2.advance(&[ControllerId(2)]).expect("kill seat 2");
+        assert_eq!(m3.leader_of_region(1), Some(ControllerId(0)));
+    }
+
+    #[test]
+    fn advance_refuses_to_empty_the_ring() {
+        let m = Membership::bootstrap(2).expect("2 seats");
+        let m2 = m.advance(&[ControllerId(0)]).expect("one left");
+        assert!(m2.advance(&[ControllerId(1)]).is_err());
+        assert!(m.advance(&[ControllerId(7)]).is_err());
+    }
+
+    #[test]
+    fn region_assignment_is_liveness_independent() {
+        let m = Membership::bootstrap(4).expect("4 seats");
+        let m2 = m.advance(&[ControllerId(3)]).expect("kill seat 3");
+        for bs in 0..64u32 {
+            let bs = BaseStationId(bs);
+            assert_eq!(m.region_of(bs), m2.region_of(bs));
+        }
+    }
+
+    #[test]
+    fn equal_views_agree_on_every_leader() {
+        let a = Membership::bootstrap(5)
+            .and_then(|m| m.advance(&[ControllerId(2)]))
+            .expect("view");
+        let b = Membership::from_parts(a.epoch(), a.live_flags().to_vec()).expect("clone");
+        for region in 0..5 {
+            assert_eq!(a.leader_of_region(region), b.leader_of_region(region));
+        }
+    }
+}

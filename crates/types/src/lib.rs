@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod epoch;
 pub mod error;
 pub mod fxhash;
 pub mod ids;
@@ -25,6 +26,7 @@ pub mod tag;
 pub mod time;
 
 pub use addr::{AddressingScheme, LocIp, PortEmbedding};
+pub use epoch::{ControllerId, EpochFence, Membership};
 pub use error::{Error, Result};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::{
