@@ -483,7 +483,10 @@ pub enum Message<'a> {
     Replicate {
         /// Seat of the proposing controller.
         origin: u32,
-        /// Epoch the record was proposed under (fencing key).
+        /// The sender's *current* epoch (fencing key). The payload
+        /// record carries the epoch it was originally proposed under,
+        /// which may trail this when a pending record is re-shipped
+        /// after the proposer survived an epoch change.
         epoch: u64,
         /// Position in the origin's log (1-based, dense).
         index: u64,
@@ -519,15 +522,21 @@ pub enum Message<'a> {
         /// Per-seat liveness flags, seat order (ring size = length).
         live: Vec<bool>,
     },
-    /// A full-state snapshot replacing the receiver's store. Sent when
-    /// a gap rejection shows the peer is too far behind to replay.
+    /// A full-state snapshot, *merged into* the receiver's store (the
+    /// replica layer's point-wise join — a snapshot never erases
+    /// records the receiver holds that the sender lacks). Sent when a
+    /// gap rejection shows a peer is too far behind to replay, and
+    /// during fail-over convergence; a receiver holding state the
+    /// sender lacks replies with this same frame carrying its merged
+    /// image.
     SnapshotTransfer {
         /// Seat of the sending controller.
         origin: u32,
         /// Epoch the snapshot was taken under (fencing key).
         epoch: u64,
         /// Per-seat applied-index watermarks the snapshot covers, seat
-        /// order; the receiver adopts these as its log positions.
+        /// order (advisory; the store image itself carries per-origin
+        /// watermarks).
         applied: Vec<u64>,
         /// Encoded store image (opaque to this crate).
         payload: Cow<'a, [u8]>,

@@ -17,9 +17,12 @@
 //!
 //! Fail-over ([`Cluster::fail_over`]) is deliberately deterministic:
 //! the initiating survivor advances the membership ring (epoch + 1),
-//! broadcasts the view, then pushes its store image so all survivors
-//! converge byte-for-byte even if the dead leader's final record
-//! reached only some of them. Agents detect leader death by probe
+//! broadcasts the view, then exchanges store images — pushed snapshots
+//! merge point-wise and a receiver holding records the sender lacks
+//! hands its merged image back — so all survivors converge
+//! byte-for-byte on the *union* of what they applied, even if the dead
+//! leader's final records reached only some of them and the initiator
+//! missed records others committed. Agents detect leader death by probe
 //! failure and re-home ([`rehome_agent`]) to the deterministic
 //! successor (`Membership::leader_of_station`), replaying their state
 //! through the controller-side `resync` upsert machinery.
@@ -364,9 +367,10 @@ pub fn rehome_agent(
 mod tests {
     use super::*;
     use crate::log::ReplicatedOp;
+    use crate::store::ReplicaStore;
     use softcell_ctlchan::{Message, PacketIn};
     use softcell_policy::clause::ClauseId;
-    use softcell_types::{AddressingScheme, PortEmbedding, PortNo, UeId, UeImsi};
+    use softcell_types::{AddressingScheme, PolicyTag, PortEmbedding, PortNo, UeId, UeImsi};
     use std::net::Ipv4Addr;
 
     fn subs(n: u64) -> Vec<SubscriberAttributes> {
@@ -611,5 +615,168 @@ mod tests {
             .handle_attach(UeImsi(7), &mut ctl, SimTime(21))
             .unwrap();
         assert!(c.node(successor.seat()).store_ue(UeImsi(7)).is_some());
+    }
+
+    #[test]
+    fn snapshot_push_merges_instead_of_erasing_third_party_records() {
+        let c = cluster(3, 2);
+        // Seat 0 is partitioned while seat 1 commits a record on {1, 2}.
+        c.cut(0);
+        c.node(1).propose(attach_op(1, 4, 5)).unwrap();
+        assert_eq!(c.node(0).applied(ControllerId(1)), 0, "partitioned");
+        assert_eq!(c.node(2).applied(ControllerId(1)), 1);
+        c.heal(0);
+
+        // Seat 1 dies; seat 0 — which never saw the record — initiates
+        // the fail-over and pushes its snapshot to seat 2. The merge
+        // must keep seat 2's copy of the committed, agent-acknowledged
+        // record (wholesale adoption used to erase it, leaving it on
+        // zero live replicas) and hand it back to seat 0 so both
+        // survivors converge on the union.
+        c.kill(1);
+        c.fail_over(&[ControllerId(1)]).unwrap();
+        for seat in [0usize, 2] {
+            assert_eq!(
+                c.node(seat).applied(ControllerId(1)),
+                1,
+                "seat {seat} must keep origin 1's watermark"
+            );
+            assert!(
+                c.node(seat).store_ue(UeImsi(1)).is_some(),
+                "seat {seat} must keep the committed record"
+            );
+        }
+        assert_eq!(
+            c.node(0).snapshot_bytes(),
+            c.node(2).snapshot_bytes(),
+            "survivors converge on the union"
+        );
+    }
+
+    #[test]
+    fn pending_reship_keeps_original_epoch_stamp() {
+        // Quorum 3: one cut peer makes every proposal miss quorum.
+        let c = cluster(3, 3);
+        c.cut(2);
+        let op = ReplicatedOp::PathInstall {
+            bs: BaseStationId(3),
+            clause: ClauseId(0),
+            tag: PolicyTag(5),
+            port: PortNo(1),
+        };
+        c.node(0).propose(op).unwrap_err();
+        // Seat 1 applied the epoch-1 copy; seat 2 never saw it.
+        assert_eq!(c.node(1).applied(ControllerId(0)), 1);
+        assert_eq!(c.node(2).applied(ControllerId(0)), 0);
+
+        // The proposer survives an epoch change, then flushes the stuck
+        // record. The re-ship must carry the *original* epoch in the
+        // record (only the frame-level fence epoch is current): seat 1
+        // dedups the first copy, seat 2 first sees the re-ship — both
+        // must materialize the same PathEntry or stores diverge.
+        c.heal(2);
+        let bumped = c.node(0).membership().advance(&[]).unwrap();
+        c.node(0).adopt_membership(bumped);
+        c.node(0).broadcast_epoch_change().unwrap();
+        c.node(0).propose(attach_op(1, 0, 9)).unwrap();
+
+        let oracle = c.node(0).snapshot_bytes();
+        for seat in 1..3 {
+            assert_eq!(
+                c.node(seat).snapshot_bytes(),
+                oracle,
+                "seat {seat} diverged after the re-ship"
+            );
+        }
+        let store = ReplicaStore::restore(&oracle).unwrap();
+        let entry = store.path(BaseStationId(3), ClauseId(0)).unwrap();
+        assert_eq!(entry.epoch, 1, "record keeps its proposal-time epoch");
+    }
+
+    #[test]
+    fn failed_proposals_return_slab_allocations() {
+        let c = cluster(3, 3);
+        let view = c.membership().unwrap();
+        let bs = station_led_by(&view, 0);
+        c.cut(2);
+        let attach = |imsi: u64, at: u64| {
+            c.node(0)
+                .handle_agent(&Message::PacketIn(PacketIn::Attach {
+                    imsi: UeImsi(imsi),
+                    bs,
+                    ue_id: UeId(1),
+                    now: SimTime(at),
+                }))
+                .unwrap()
+        };
+        // IMSI 1 takes slab slot 1 and misses quorum: its record stays
+        // pending and rightly keeps the slot.
+        assert!(attach(1, 5).as_error().is_some());
+        // IMSI 2 takes slot 2, but the stuck flush fails before any
+        // record for it exists — the slot must be returned, not burned
+        // once per retry until the slab runs dry.
+        assert!(attach(2, 6).as_error().is_some());
+        assert!(attach(2, 7).as_error().is_some());
+
+        c.heal(2);
+        // The flush commits IMSI 1 under slot 1; IMSI 2 then gets
+        // slot 2 — with the leak it would be slot 4 by now.
+        let reply = attach(2, 8);
+        let Message::ClassifierReply { record, .. } = reply else {
+            panic!("expected ClassifierReply, got {reply:?}");
+        };
+        assert_eq!(record.permanent_ip, Ipv4Addr::new(100, 64, 0, 2));
+        assert_eq!(
+            c.node(0).store_ue(UeImsi(1)).unwrap().permanent_ip,
+            Ipv4Addr::new(100, 64, 0, 1)
+        );
+    }
+
+    #[test]
+    fn epoch_broadcast_fences_on_strictly_newer_peer_view() {
+        let c = cluster(3, 2);
+        let v1 = c.membership().unwrap();
+        // Seat 1 already holds epoch 3 (say, a faster fail-over).
+        let v3 = v1.advance(&[]).unwrap().advance(&[]).unwrap();
+        c.node(1).adopt_membership(v3);
+        // Seat 0 broadcasts epoch 2. The strictly newer reply is a
+        // fencing signal, not an adoption: the broadcast must fail and
+        // seat 0 must adopt the newer view instead of proceeding with
+        // a fail-over under the stale one.
+        let v2 = v1.advance(&[]).unwrap();
+        c.node(0).adopt_membership(v2);
+        let err = c.node(0).broadcast_epoch_change().unwrap_err();
+        assert!(err.to_string().contains("fenced"), "got: {err}");
+        assert_eq!(c.node(0).current_epoch(), 3, "fence raised to 3");
+        assert_eq!(c.node(0).membership().epoch(), 3, "newer view adopted");
+    }
+
+    #[test]
+    fn record_from_newer_epoch_with_revived_origin_is_accepted() {
+        let c = cluster(3, 2);
+        // Seats 1 and 2 hold the epoch-2 view that declares seat 0
+        // dead; seat 0 (cut off from that broadcast) never saw it.
+        let v1 = c.membership().unwrap();
+        let v2 = v1.advance(&[ControllerId(0)]).unwrap();
+        c.node(1).adopt_membership(v2);
+        c.node(1).broadcast_epoch_change().unwrap();
+        assert_eq!(c.node(2).membership().epoch(), 2);
+        assert_eq!(c.node(0).membership().epoch(), 1, "seat 0 skipped");
+
+        // Epoch 3 revives seat 0; only seat 0 has seen it so far (its
+        // broadcast is still in flight). Its proposal reaches receivers
+        // whose *stale* view declares the origin dead — liveness under
+        // that view must not reject a record from a newer epoch.
+        let v3 = Membership::from_parts(3, vec![true, true, true]).unwrap();
+        c.node(0).adopt_membership(v3);
+        c.node(0).propose(attach_op(1, 0, 5)).unwrap();
+        for seat in 1..3 {
+            assert_eq!(c.node(seat).applied(ControllerId(0)), 1, "seat {seat}");
+            assert_eq!(
+                c.node(seat).current_epoch(),
+                3,
+                "seat {seat} fence raised by the accepted record"
+            );
+        }
     }
 }

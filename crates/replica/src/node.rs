@@ -250,7 +250,11 @@ impl<T: Transport> ReplicaNode<T> {
     }
 
     /// Pushes the current membership view to every live peer; returns
-    /// how many acknowledged it.
+    /// how many acknowledged it. A peer replying with a *strictly
+    /// newer* epoch did not adopt ours — it kept its own view — so that
+    /// is a fencing signal: this node adopts the newer view and the
+    /// broadcast fails, forcing the caller to abort (or retry under)
+    /// the fresher view instead of fail-ing over on a stale one.
     pub fn broadcast_epoch_change(&self) -> Result<usize> {
         let (epoch, live) = {
             let core = self.core.lock();
@@ -264,69 +268,110 @@ impl<T: Transport> ReplicaNode<T> {
             live: live.clone(),
         };
         let mut adopted = 0;
-        let mut peers = self.peers.lock();
-        for (seat, &alive) in live.iter().enumerate() {
-            if seat == self.cfg.id.seat() || !alive {
-                continue;
-            }
-            let Some(chan) = peers.get_mut(seat).and_then(|s| s.as_mut()) else {
-                continue;
-            };
-            chan.set_deadline(Some(self.cfg.peer_deadline))?;
-            let res = chan.request(&msg);
-            let _ = chan.set_deadline(None);
-            if let Ok(raw) = res {
-                if let Ok(frame) = Frame::new_checked(raw.as_slice()) {
-                    if let Ok(Message::EpochChange { epoch: got, .. }) = frame.message() {
-                        if got >= epoch {
-                            adopted += 1;
+        let mut newer: Option<(u64, Vec<bool>)> = None;
+        {
+            let mut peers = self.peers.lock();
+            for (seat, &alive) in live.iter().enumerate() {
+                if seat == self.cfg.id.seat() || !alive {
+                    continue;
+                }
+                let Some(chan) = peers.get_mut(seat).and_then(|s| s.as_mut()) else {
+                    continue;
+                };
+                chan.set_deadline(Some(self.cfg.peer_deadline))?;
+                let res = chan.request(&msg);
+                let _ = chan.set_deadline(None);
+                if let Ok(raw) = res {
+                    if let Ok(frame) = Frame::new_checked(raw.as_slice()) {
+                        if let Ok(Message::EpochChange {
+                            epoch: got,
+                            live: peer_live,
+                        }) = frame.message()
+                        {
+                            if got > epoch {
+                                newer = Some((got, peer_live));
+                                break;
+                            }
+                            if got == epoch {
+                                adopted += 1;
+                            }
                         }
                     }
                 }
             }
         }
+        if let Some((got, peer_live)) = newer {
+            self.fence.observe(got);
+            if let Ok(view) = Membership::from_parts(got, peer_live) {
+                self.adopt_membership(view);
+            }
+            return Err(Error::InvalidState(format!(
+                "{} fenced during epoch broadcast: a peer already holds epoch {got} > {epoch}",
+                self.cfg.id
+            )));
+        }
         Ok(adopted)
     }
 
-    /// Pushes this node's store image to every live peer, forcing
-    /// convergence after an epoch change (survivors that applied a dead
-    /// leader's final, uncommitted record and survivors that did not
-    /// would otherwise disagree). Receivers re-apply their own
-    /// committed tail on top, so no committed record is lost. Returns
-    /// how many peers adopted.
+    /// Pushes this node's store image to every live peer, converging
+    /// the cluster after an epoch change. Receivers *merge* the image
+    /// (point-wise LWW join), so no committed record is lost and no
+    /// watermark regresses; a receiver that held records this node
+    /// lacks hands its merged image back, which is merged here and
+    /// pushed again — after the second round every survivor holds the
+    /// union. Returns how many peers adopted in the final round.
     pub fn push_snapshot(&self) -> Result<usize> {
-        let (payload, applied, epoch, live) = {
-            let core = self.core.lock();
-            let seats = core.membership.seats();
-            (
-                core.store.snapshot_bytes(),
-                (0..seats)
-                    .map(|s| core.store.applied(ControllerId(s as u32)))
-                    .collect::<Vec<u64>>(),
-                core.membership.epoch(),
-                core.membership.live_flags().to_vec(),
-            )
-        };
         let mut adopted = 0;
-        let mut peers = self.peers.lock();
-        for (seat, &alive) in live.iter().enumerate() {
-            if seat == self.cfg.id.seat() || !alive {
-                continue;
-            }
-            let Some(chan) = peers.get_mut(seat).and_then(|s| s.as_mut()) else {
-                continue;
+        for _round in 0..2 {
+            let (payload, applied, epoch, live) = {
+                let core = self.core.lock();
+                let seats = core.membership.seats();
+                (
+                    core.store.snapshot_bytes(),
+                    (0..seats)
+                        .map(|s| core.store.applied(ControllerId(s as u32)))
+                        .collect::<Vec<u64>>(),
+                    core.membership.epoch(),
+                    core.membership.live_flags().to_vec(),
+                )
             };
-            if Self::send_snapshot(
-                chan,
-                self.cfg.id,
-                epoch,
-                &applied,
-                &payload,
-                self.cfg.peer_deadline,
-            )
-            .is_ok()
+            let mut returned: Vec<ReplicaStore> = Vec::new();
+            adopted = 0;
             {
-                adopted += 1;
+                let mut peers = self.peers.lock();
+                for (seat, &alive) in live.iter().enumerate() {
+                    if seat == self.cfg.id.seat() || !alive {
+                        continue;
+                    }
+                    let Some(chan) = peers.get_mut(seat).and_then(|s| s.as_mut()) else {
+                        continue;
+                    };
+                    match Self::send_snapshot(
+                        chan,
+                        self.cfg.id,
+                        epoch,
+                        &applied,
+                        &payload,
+                        self.cfg.peer_deadline,
+                    ) {
+                        Ok(None) => adopted += 1,
+                        Ok(Some(store)) => {
+                            adopted += 1;
+                            returned.push(store);
+                        }
+                        Err(_) => {}
+                    }
+                }
+            }
+            let mut changed = false;
+            if !returned.is_empty() {
+                let mut core = self.core.lock();
+                for store in &returned {
+                    changed |= core.store.merge(store);
+                }
+            }
+            if !changed {
+                break;
             }
         }
         Ok(adopted)
@@ -361,21 +406,20 @@ impl<T: Transport> ReplicaNode<T> {
         self.ship_and_commit(record)
     }
 
-    /// Re-ships a proposal stuck from an earlier failed quorum round,
-    /// re-stamped to the current epoch (same index and content, so
-    /// followers that applied the old copy dedup by index).
+    /// Re-ships a proposal stuck from an earlier failed quorum round —
+    /// byte-identical to the first attempt (same index, content, *and*
+    /// epoch stamp, so followers that applied the old copy and
+    /// followers first seeing the re-ship materialize the same entry).
+    /// Only the transport-level fence epoch in the `Replicate` frame is
+    /// current, which is what lets followers with a newer view accept
+    /// it.
     fn flush_pending(&self) -> Result<()> {
         let stuck = {
-            let mut core = self.core.lock();
-            match core.pending {
-                Some(mut r) => {
-                    self.check_can_propose(&core)?;
-                    r.epoch = core.membership.epoch();
-                    core.pending = Some(r);
-                    Some(r)
-                }
-                None => None,
+            let core = self.core.lock();
+            if core.pending.is_some() {
+                self.check_can_propose(&core)?;
             }
+            core.pending
         };
         match stuck {
             Some(r) => self.ship_and_commit(r).map(|_| ()),
@@ -408,9 +452,13 @@ impl<T: Transport> ReplicaNode<T> {
     fn ship_and_commit(&self, record: LogRecord) -> Result<u64> {
         let reg = Registry::global();
         let payload = record.encode();
-        let (live, commit_before) = {
+        let (live, commit_before, fence_epoch) = {
             let core = self.core.lock();
-            (core.membership.live_flags().to_vec(), core.commit)
+            (
+                core.membership.live_flags().to_vec(),
+                core.commit,
+                core.membership.epoch(),
+            )
         };
         let mut acks = 1usize; // the proposer holds the record
         let mut gapped: Vec<usize> = Vec::new();
@@ -429,6 +477,7 @@ impl<T: Transport> ReplicaNode<T> {
                     &record,
                     &payload,
                     commit_before,
+                    fence_epoch,
                     self.cfg.peer_deadline,
                 ) {
                     Ok(ShipOutcome::Acked) => {
@@ -505,44 +554,67 @@ impl<T: Transport> ReplicaNode<T> {
             )
         };
         let mut converted = 0;
-        let mut peers = self.peers.lock();
-        for &seat in gapped {
-            let Some(chan) = peers.get_mut(seat).and_then(|s| s.as_mut()) else {
-                continue;
-            };
-            if Self::send_snapshot(
-                chan,
-                self.cfg.id,
-                epoch,
-                &applied,
-                &snapshot,
-                self.cfg.peer_deadline,
-            )
-            .is_err()
-            {
-                continue;
+        let mut returned: Vec<ReplicaStore> = Vec::new();
+        {
+            let mut peers = self.peers.lock();
+            for &seat in gapped {
+                let Some(chan) = peers.get_mut(seat).and_then(|s| s.as_mut()) else {
+                    continue;
+                };
+                match Self::send_snapshot(
+                    chan,
+                    self.cfg.id,
+                    epoch,
+                    &applied,
+                    &snapshot,
+                    self.cfg.peer_deadline,
+                ) {
+                    Ok(None) => {}
+                    Ok(Some(store)) => returned.push(store),
+                    Err(_) => continue,
+                }
+                if let Ok(ShipOutcome::Acked) = Self::ship_one(
+                    chan,
+                    record,
+                    payload,
+                    commit_before,
+                    epoch,
+                    self.cfg.peer_deadline,
+                ) {
+                    reg.counter("softcell_replica_acks_total").inc();
+                    converted += 1;
+                }
             }
-            if let Ok(ShipOutcome::Acked) =
-                Self::ship_one(chan, record, payload, commit_before, self.cfg.peer_deadline)
-            {
-                reg.counter("softcell_replica_acks_total").inc();
-                converted += 1;
+        }
+        if !returned.is_empty() {
+            // A gapped peer can still be *ahead* on other origins; keep
+            // whatever its merged image taught us.
+            let mut core = self.core.lock();
+            for store in &returned {
+                core.store.merge(store);
             }
         }
         Ok(converted)
     }
 
-    /// One replicate/ack round trip with a single peer.
+    /// One replicate/ack round trip with a single peer. `fence_epoch`
+    /// is the sender's *current* epoch and rides in the frame header as
+    /// the fencing key; the payload record keeps the epoch it was
+    /// originally proposed under, which may be older when a pending
+    /// record is re-shipped after the proposer survived an epoch change
+    /// — re-stamping the record itself would make replicas that deduped
+    /// the first copy diverge from replicas that only saw the re-ship.
     fn ship_one(
         chan: &mut CtlChannel<T>,
         record: &LogRecord,
         payload: &[u8],
         commit: u64,
+        fence_epoch: u64,
         deadline: Duration,
     ) -> Result<ShipOutcome> {
         let msg = Message::Replicate {
             origin: record.origin.0,
-            epoch: record.epoch,
+            epoch: fence_epoch,
             index: record.index,
             commit,
             payload: Cow::Borrowed(payload),
@@ -564,7 +636,7 @@ impl<T: Transport> ReplicaNode<T> {
                 ..
             } => Ok(if accepted {
                 ShipOutcome::Acked
-            } else if epoch > record.epoch {
+            } else if epoch > fence_epoch {
                 ShipOutcome::Fenced(epoch)
             } else if have_index >= record.index {
                 ShipOutcome::Acked
@@ -580,7 +652,10 @@ impl<T: Transport> ReplicaNode<T> {
         }
     }
 
-    /// One snapshot-transfer round trip with a single peer.
+    /// One snapshot-transfer round trip with a single peer. A plain ack
+    /// means the peer absorbed our image; a `SnapshotTransfer` reply
+    /// carries the peer's merged store — it held records we lack — for
+    /// the caller to merge back.
     fn send_snapshot(
         chan: &mut CtlChannel<T>,
         origin: ControllerId,
@@ -588,7 +663,7 @@ impl<T: Transport> ReplicaNode<T> {
         applied: &[u64],
         payload: &[u8],
         deadline: Duration,
-    ) -> Result<()> {
+    ) -> Result<Option<ReplicaStore>> {
         let msg = Message::SnapshotTransfer {
             origin: origin.0,
             epoch,
@@ -605,10 +680,11 @@ impl<T: Transport> ReplicaNode<T> {
             return Err(e);
         }
         match reply {
-            Message::ReplicateAck { accepted: true, .. } => Ok(()),
+            Message::ReplicateAck { accepted: true, .. } => Ok(None),
             Message::ReplicateAck { .. } => Err(Error::InvalidState(
                 "peer refused snapshot (stale epoch?)".into(),
             )),
+            Message::SnapshotTransfer { payload, .. } => Ok(Some(ReplicaStore::restore(&payload)?)),
             other => Err(softcell_ctlchan::channel::unexpected(
                 "snapshot ack",
                 &other,
@@ -667,7 +743,10 @@ impl<T: Transport> ReplicaNode<T> {
             Ok(r) => r,
             Err(e) => return Message::from_error(&e),
         };
-        if record.origin.0 != origin || record.epoch != epoch || record.index != index {
+        // The frame epoch is the sender's *current* (fencing) epoch;
+        // the record keeps the epoch it was proposed under, which may
+        // trail the frame's after a pending re-ship — but never lead it.
+        if record.origin.0 != origin || record.epoch > epoch || record.index != index {
             return Message::from_error(&Error::Malformed(
                 "replicate header disagrees with its payload".into(),
             ));
@@ -692,16 +771,21 @@ impl<T: Transport> ReplicaNode<T> {
                 .record("stale_epoch_reject", epoch, u64::from(origin));
             return reject(&core, my_epoch);
         }
-        if !core.membership.is_live(record.origin) {
-            reg.counter("softcell_replica_stale_epoch_rejections_total")
-                .inc();
-            return reject(&core, my_epoch);
-        }
         if epoch > core.membership.epoch() {
             // The proposer is ahead of our view; the epoch-change
             // broadcast is in flight. Raise the fence now, accept the
             // record (it is from the newer term, not an older one).
+            // Liveness cannot be judged here: our stale view may well
+            // declare the origin dead when the newer view revived it.
             self.fence.observe(epoch);
+        } else if !core.membership.is_live(record.origin) {
+            // A record at our own epoch from a seat this very view
+            // declares dead — not a stale-epoch case, its own signal.
+            reg.counter("softcell_replica_dead_origin_rejections_total")
+                .inc();
+            reg.journal()
+                .record("dead_origin_reject", epoch, u64::from(origin));
+            return reject(&core, my_epoch);
         }
         match core.store.apply(&record) {
             Ok(applied) => {
@@ -730,6 +814,10 @@ impl<T: Transport> ReplicaNode<T> {
         payload: &[u8],
     ) -> Message<'static> {
         let reg = Registry::global();
+        let incoming = match ReplicaStore::restore(payload) {
+            Ok(s) => s,
+            Err(e) => return Message::from_error(&e),
+        };
         let mut core = self.core.lock();
         let my_epoch = core.membership.epoch().max(self.fence.current());
         if epoch < my_epoch {
@@ -743,32 +831,33 @@ impl<T: Transport> ReplicaNode<T> {
                 have_index: 0,
             };
         }
-        let mut store = match ReplicaStore::restore(payload) {
-            Ok(s) => s,
-            Err(e) => return Message::from_error(&e),
-        };
-        // Re-apply our own committed tail the snapshot does not cover:
-        // committed records must never be lost to a snapshot from a
-        // peer that is behind on *our* origin sequence.
-        let tail: Vec<LogRecord> = core
-            .log
-            .iter_from(store.applied(self.cfg.id) + 1)
-            .copied()
-            .collect();
-        for rec in &tail {
-            if store.apply(rec).is_err() {
-                return Message::from_error(&Error::InvalidState(format!(
-                    "snapshot from seat {origin} leaves own log non-contiguous",
-                )));
-            }
-        }
-        core.store = store;
+        // Merge, never replace: the point-wise LWW join keeps every
+        // record either side applied — our own committed tail *and*
+        // third-party records the sender happens to be behind on — so a
+        // snapshot can never erase a committed record or regress an
+        // applied watermark.
+        let had_more = core.store.ahead_of(&incoming);
+        core.store.merge(&incoming);
         reg.counter("softcell_replica_snapshots_total").inc();
         reg.journal()
-            .record("snapshot_adopted", epoch, u64::from(origin));
-        let sender = ControllerId(origin);
-        let have = core.store.applied(sender);
+            .record("snapshot_merged", epoch, u64::from(origin));
         let _ = applied; // sender watermarks are carried by the store image itself
+        if had_more {
+            // We hold records the sender lacks: hand the merged image
+            // back so the sender (the fail-over initiator) converges on
+            // the union and can re-push it to the other survivors.
+            let seats = core.membership.seats();
+            let merged_applied: Vec<u64> = (0..seats)
+                .map(|s| core.store.applied(ControllerId(s as u32)))
+                .collect();
+            return Message::SnapshotTransfer {
+                origin: self.cfg.id.0,
+                epoch: my_epoch.max(epoch),
+                applied: merged_applied,
+                payload: Cow::Owned(core.store.snapshot_bytes()),
+            };
+        }
+        let have = core.store.applied(ControllerId(origin));
         Message::ReplicateAck {
             origin: self.cfg.id.0,
             epoch: my_epoch.max(epoch),
@@ -859,14 +948,14 @@ impl<T: Transport> ReplicaNode<T> {
         now: SimTime,
     ) -> Result<Message<'static>> {
         let _serial = self.propose.lock();
-        let permanent_ip = {
+        let (permanent_ip, fresh) = {
             let mut core = self.core.lock();
             self.check_leadership(&core, bs)?;
             match core.store.ue(imsi) {
                 // Re-attach (resync or handoff): the permanent address
                 // follows the subscriber, exactly as over the
                 // single-controller wire path.
-                Some(e) => e.permanent_ip,
+                Some(e) => (e.permanent_ip, false),
                 None => {
                     if core.next_ip >= 0xFFFF {
                         return Err(Error::Exhausted(format!(
@@ -876,17 +965,33 @@ impl<T: Transport> ReplicaNode<T> {
                     }
                     core.next_ip += 1;
                     let raw = IP_SLAB_BASE | ((self.cfg.id.0 & 0x3F) << 16) | core.next_ip;
-                    std::net::Ipv4Addr::from(raw)
+                    (std::net::Ipv4Addr::from(raw), true)
                 }
             }
         };
-        self.propose_inner(ReplicatedOp::Attach {
+        let op = ReplicatedOp::Attach {
             imsi,
             bs,
             ue_id,
             since: now,
             permanent_ip,
-        })?;
+        };
+        if let Err(e) = self.propose_inner(op) {
+            if fresh {
+                // Return the slab slot unless the pending record still
+                // carries it (a quorum miss or fence keeps the record
+                // pending; it must commit under this allocation). A
+                // failure *before* our record was created — a stuck
+                // earlier proposal, a raised fence — must not burn a
+                // slot per retry until the 65k slab runs dry.
+                let mut core = self.core.lock();
+                let retained = matches!(&core.pending, Some(r) if r.op == op);
+                if !retained {
+                    core.next_ip -= 1;
+                }
+            }
+            return Err(e);
+        }
         let attrs = self
             .cfg
             .subscribers
@@ -952,12 +1057,22 @@ impl<T: Transport> ReplicaNode<T> {
             }
         };
         if !already_installed {
-            self.propose_inner(ReplicatedOp::PathInstall {
+            let op = ReplicatedOp::PathInstall {
                 bs,
                 clause,
                 tag,
                 port: PortNo(1),
-            })?;
+            };
+            if let Err(e) = self.propose_inner(op) {
+                // Same slab discipline as on_attach: give the tag back
+                // unless the pending record holds it.
+                let mut core = self.core.lock();
+                let retained = matches!(&core.pending, Some(r) if r.op == op);
+                if !retained {
+                    core.next_tag -= 1;
+                }
+                return Err(e);
+            }
         }
         // Same one-tag end-to-end stand-in as the single-controller
         // wire front-end.

@@ -29,6 +29,7 @@
 //! and installed policy paths. Fast-moving microflow state stays at the
 //! agents and is rebuilt by `resync`, exactly as the paper prescribes.
 
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -191,17 +192,15 @@ impl ReplicaStore {
                 tag,
                 port,
             } => {
-                let incoming = PathEntry {
-                    tag,
-                    port,
-                    epoch: record.epoch,
-                    origin: record.origin,
-                };
-                let slot = self.paths.entry((bs, clause));
-                let slot = slot.or_insert(incoming);
-                if (incoming.epoch, incoming.origin) >= (slot.epoch, slot.origin) {
-                    *slot = incoming;
-                }
+                self.merge_path(
+                    (bs, clause),
+                    PathEntry {
+                        tag,
+                        port,
+                        epoch: record.epoch,
+                        origin: record.origin,
+                    },
+                );
             }
         }
         self.applied.insert(record.origin, record.index);
@@ -210,12 +209,83 @@ impl ReplicaStore {
 
     /// LWW merge: the write with the greater `(since, origin)` key wins;
     /// an equal key (necessarily the same origin, whose records arrive
-    /// in index order) means the later write wins.
-    fn merge_ue(&mut self, imsi: UeImsi, incoming: UeSlot) {
-        let slot = self.ues.entry(imsi).or_insert(incoming);
-        if (incoming.since, incoming.origin) >= (slot.since, slot.origin) {
-            *slot = incoming;
+    /// in index order) means the later write wins. Returns whether the
+    /// stored value changed.
+    fn merge_ue(&mut self, imsi: UeImsi, incoming: UeSlot) -> bool {
+        match self.ues.entry(imsi) {
+            Entry::Vacant(v) => {
+                v.insert(incoming);
+                true
+            }
+            Entry::Occupied(mut o) => {
+                let slot = o.get_mut();
+                if (incoming.since, incoming.origin) >= (slot.since, slot.origin)
+                    && *slot != incoming
+                {
+                    *slot = incoming;
+                    true
+                } else {
+                    false
+                }
+            }
         }
+    }
+
+    /// LWW merge for paths: the install from the greater
+    /// `(epoch, origin)` leadership wins. Returns whether the stored
+    /// value changed.
+    fn merge_path(&mut self, key: (BaseStationId, ClauseId), incoming: PathEntry) -> bool {
+        match self.paths.entry(key) {
+            Entry::Vacant(v) => {
+                v.insert(incoming);
+                true
+            }
+            Entry::Occupied(mut o) => {
+                let slot = o.get_mut();
+                if (incoming.epoch, incoming.origin) >= (slot.epoch, slot.origin)
+                    && *slot != incoming
+                {
+                    *slot = incoming;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Point-wise join of `other` into `self`: every LWW register keeps
+    /// its winning write, and each origin's applied watermark becomes
+    /// the max of the two sides. Because the store materializes records
+    /// order-independently, the join of two stores equals the store that
+    /// applied the *union* of their record sets — so merging a snapshot
+    /// can never drop a committed record or regress a watermark, no
+    /// matter which origins the sender was behind on. Returns whether
+    /// `self` changed.
+    pub fn merge(&mut self, other: &ReplicaStore) -> bool {
+        let mut changed = false;
+        for (imsi, slot) in &other.ues {
+            changed |= self.merge_ue(*imsi, *slot);
+        }
+        for (key, entry) in &other.paths {
+            changed |= self.merge_path(*key, *entry);
+        }
+        for (origin, index) in &other.applied {
+            let mine = self.applied.entry(*origin).or_insert(0);
+            if *index > *mine {
+                *mine = *index;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Whether `self` has applied records from some origin beyond
+    /// `other`'s watermark — i.e. holds state `other` lacks.
+    pub fn ahead_of(&self, other: &ReplicaStore) -> bool {
+        self.applied
+            .iter()
+            .any(|(origin, index)| *index > other.applied(*origin))
     }
 
     /// Serializes the full store deterministically.
@@ -455,6 +525,61 @@ mod tests {
             a.path(BaseStationId(3), ClauseId(0)).unwrap().tag,
             PolicyTag(261)
         );
+    }
+
+    #[test]
+    fn merge_is_the_union_of_record_sets() {
+        // Store A applied seat 0's records, store B applied seat 1's;
+        // merging either way must equal the store that applied both —
+        // nothing lost, no watermark regressed.
+        let mut a = ReplicaStore::new();
+        a.apply(&attach(0, 1, 7, 3, 10)).unwrap();
+        a.apply(&path(0, 2, 1, 3, 0, 5)).unwrap();
+        let mut b = ReplicaStore::new();
+        b.apply(&attach(1, 1, 8, 9, 20)).unwrap();
+        b.apply(&detach(1, 2, 8, 20)).unwrap();
+
+        let mut oracle = ReplicaStore::new();
+        for r in [
+            attach(0, 1, 7, 3, 10),
+            path(0, 2, 1, 3, 0, 5),
+            attach(1, 1, 8, 9, 20),
+            detach(1, 2, 8, 20),
+        ] {
+            oracle.apply(&r).unwrap();
+        }
+
+        let mut ab = a.clone();
+        assert!(ab.merge(&b));
+        let mut ba = b.clone();
+        assert!(ba.merge(&a));
+        assert_eq!(ab.snapshot_bytes(), oracle.snapshot_bytes());
+        assert_eq!(ba.snapshot_bytes(), oracle.snapshot_bytes());
+        assert_eq!(ab.applied(ControllerId(0)), 2);
+        assert_eq!(ab.applied(ControllerId(1)), 2);
+
+        // Merging a behind-store into an ahead-store changes nothing.
+        let mut again = ab.clone();
+        assert!(!again.merge(&a));
+        assert_eq!(again.snapshot_bytes(), ab.snapshot_bytes());
+    }
+
+    #[test]
+    fn merge_never_regresses_third_party_state() {
+        // The high-severity review scenario: C applied a record from
+        // origin 1 that A never saw. A's snapshot, merged at C, must
+        // keep origin 1's record and watermark.
+        let mut c = ReplicaStore::new();
+        c.apply(&attach(0, 1, 7, 3, 10)).unwrap();
+        c.apply(&attach(1, 1, 8, 9, 20)).unwrap();
+        let mut a = ReplicaStore::new();
+        a.apply(&attach(0, 1, 7, 3, 10)).unwrap();
+
+        assert!(c.ahead_of(&a), "C holds origin 1 state A lacks");
+        assert!(!a.ahead_of(&c));
+        assert!(!c.merge(&a), "A's subset snapshot changes nothing at C");
+        assert_eq!(c.applied(ControllerId(1)), 1, "watermark kept");
+        assert!(c.ue(UeImsi(8)).is_some(), "committed record kept");
     }
 
     #[test]
