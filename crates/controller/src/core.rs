@@ -18,9 +18,26 @@ use softcell_types::{
     PortEmbedding, PortNo, Result, SimTime, SwitchId, UeId, UeImsi,
 };
 
-use crate::install::{Direction, PathInstaller, TagPolicy};
+use crate::install::{Direction, PathInstaller, PolicyPathPlan, TagPolicy};
 use crate::ops::{lower_delta, RuleOp};
 use crate::state::{ControllerState, UeRecord};
+
+/// How a policy-path request was satisfied — the sharded controller's
+/// telemetry and cache accounting are derived from this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitTier {
+    /// Already installed: served from the `(clause, station)` cache.
+    Cached,
+    /// An optimistic plan computed outside the sequencer validated
+    /// against current state and was committed as-is.
+    Fast,
+    /// An optimistic plan was offered but had gone stale (or did not
+    /// match the engine's mode); the path was re-planned under the
+    /// ticket.
+    Replanned,
+    /// No plan was offered; the ordinary sequential path ran.
+    Unplanned,
+}
 
 /// How the controller picks a concrete middlebox instance for each kind
 /// in a clause's chain.
@@ -286,8 +303,30 @@ impl<'t> CentralController<'t> {
     /// its tag cache misses (§4.2: "the local agent only contacts the
     /// controller if no policy tag exists for this flow").
     pub fn request_policy_path(&mut self, bs: BaseStationId, clause: ClauseId) -> Result<PathTags> {
+        self.request_policy_path_planned(bs, clause, None)
+            .map(|(tags, _)| tags)
+    }
+
+    /// [`request_policy_path`](Self::request_policy_path), optionally
+    /// seeded with an optimistic plan computed outside the sequencer.
+    /// A still-current plan commits directly (the fast tier) — byte-
+    /// identical to re-planning here, because planning is pure and the
+    /// plan's version stamps prove nothing it read has changed. A stale
+    /// or mode-mismatched plan is discarded and the sequential path
+    /// re-plans under the caller's exclusivity (the fallback tier).
+    ///
+    /// The fast tier is gated on [`InstanceSelection::Nearest`]: it is
+    /// the only selection mode that is a pure function of the topology
+    /// (round-robin and random advance engine-private cursors, which an
+    /// outside planner cannot model).
+    pub fn request_policy_path_planned(
+        &mut self,
+        bs: BaseStationId,
+        clause: ClauseId,
+        planned: Option<&PolicyPathPlan>,
+    ) -> Result<(PathTags, CommitTier)> {
         if let Some(tags) = self.installed.get(&(clause, bs)) {
-            return Ok(*tags);
+            return Ok((*tags, CommitTier::Cached));
         }
         let clause_def = self
             .state
@@ -301,6 +340,32 @@ impl<'t> CentralController<'t> {
         }
         let qos = clause_def.action.qos;
         let chain = clause_def.action.chain.clone();
+
+        if let Some(plan) = planned {
+            if self.cfg.selection == InstanceSelection::Nearest
+                && plan.path.origin == bs
+                && plan.matches_mode(self.cfg.bidirectional)
+                && self.installer.plan_is_current(&plan.stamps)
+            {
+                let path = plan.path.clone();
+                let tags = self.apply_planned(plan)?;
+                let access_out_port = self.access_out_port(&path)?;
+                let tags = PathTags {
+                    qos,
+                    access_out_port,
+                    ..tags
+                };
+                self.installed.insert((clause, bs), tags);
+                self.routed.insert((clause, bs), path);
+                return Ok((tags, CommitTier::Fast));
+            }
+        }
+        let tier = if planned.is_some() {
+            CommitTier::Replanned
+        } else {
+            CommitTier::Unplanned
+        };
+
         let instances = self.select_instances(bs, &chain)?;
         let gateway = self.topo.default_gateway().switch;
         let path = self.paths.route_policy_path(bs, &instances, gateway)?;
@@ -314,7 +379,38 @@ impl<'t> CentralController<'t> {
         };
         self.installed.insert((clause, bs), tags);
         self.routed.insert((clause, bs), path);
-        Ok(tags)
+        Ok((tags, tier))
+    }
+
+    /// Commits a validated optimistic plan, mirroring [`Self::install`]
+    /// exactly: uplink rules lowered first, then the downlink (whose
+    /// planned entry tag is the uplink's planned exit).
+    fn apply_planned(&mut self, plan: &PolicyPathPlan) -> Result<PathTags> {
+        let bidirectional = plan.uplink.is_some();
+        let (uplink_entry, uplink_exit) = if let Some(up) = &plan.uplink {
+            let rep = self.installer.apply_path_plan(up);
+            self.lower_last(Direction::Uplink)?;
+            (rep.entry_tag(), rep.exit_tag())
+        } else {
+            (PolicyTag(0), PolicyTag(0))
+        };
+        let down = self.installer.apply_path_plan(&plan.downlink);
+        self.lower_last(Direction::Downlink)?;
+        Ok(PathTags {
+            uplink_entry: if bidirectional {
+                uplink_entry
+            } else {
+                down.entry_tag()
+            },
+            uplink_exit: if bidirectional {
+                uplink_exit
+            } else {
+                down.entry_tag()
+            },
+            downlink_final: down.exit_tag(),
+            access_out_port: PortNo(0), // filled by the caller
+            qos: None,
+        })
     }
 
     /// The routed policy path of an installed (clause, station) pair.
@@ -521,7 +617,12 @@ impl<'t> CentralController<'t> {
         bs: BaseStationId,
         chain: &[MiddleboxKind],
     ) -> Result<Vec<MiddleboxId>> {
-        let mut cursor: SwitchId = self.topo.base_station(bs).access_switch;
+        if self.cfg.selection == InstanceSelection::Nearest {
+            // shared with the sharded workers' optimistic planners, so
+            // an outside plan picks exactly the instances the engine
+            // would
+            return select_nearest_instances(self.topo, &mut self.paths, bs, chain);
+        }
         let mut out = Vec::with_capacity(chain.len());
         for &kind in chain {
             let instances = self.topo.instances_of(kind);
@@ -529,19 +630,7 @@ impl<'t> CentralController<'t> {
                 return Err(Error::NoPath(format!("no instance of {kind} deployed")));
             }
             let chosen = match self.cfg.selection {
-                InstanceSelection::Nearest => {
-                    let mut best: Option<(u32, MiddleboxId)> = None;
-                    for &mb in instances {
-                        let host = self.topo.middlebox(mb).switch;
-                        if let Some(d) = self.paths.distance(cursor, host) {
-                            if best.map(|(bd, _)| d < bd).unwrap_or(true) {
-                                best = Some((d, mb));
-                            }
-                        }
-                    }
-                    best.ok_or_else(|| Error::NoPath(format!("no reachable instance of {kind}")))?
-                        .1
-                }
+                InstanceSelection::Nearest => unreachable!("handled above"),
                 InstanceSelection::RoundRobin => {
                     let c = self.rr_counters.entry(kind).or_insert(0);
                     let mb = instances[*c % instances.len()];
@@ -559,11 +648,47 @@ impl<'t> CentralController<'t> {
                     instances[(r % instances.len() as u64) as usize]
                 }
             };
-            cursor = self.topo.middlebox(chosen).switch;
             out.push(chosen);
         }
         Ok(out)
     }
+}
+
+/// Greedy nearest-instance selection: walks the path cursor forward from
+/// the station's access switch, picking the closest instance of each
+/// kind. A pure function of the topology and BFS distances — the engine
+/// and the sharded workers' optimistic planners both call this, which is
+/// what lets a plan computed outside the sequencer name exactly the
+/// instances the engine would have picked.
+pub(crate) fn select_nearest_instances(
+    topo: &Topology,
+    paths: &mut ShortestPaths<'_>,
+    bs: BaseStationId,
+    chain: &[MiddleboxKind],
+) -> Result<Vec<MiddleboxId>> {
+    let mut cursor: SwitchId = topo.base_station(bs).access_switch;
+    let mut out = Vec::with_capacity(chain.len());
+    for &kind in chain {
+        let instances = topo.instances_of(kind);
+        if instances.is_empty() {
+            return Err(Error::NoPath(format!("no instance of {kind} deployed")));
+        }
+        let mut best: Option<(u32, MiddleboxId)> = None;
+        for &mb in instances {
+            let host = topo.middlebox(mb).switch;
+            if let Some(d) = paths.distance(cursor, host) {
+                if best.map(|(bd, _)| d < bd).unwrap_or(true) {
+                    best = Some((d, mb));
+                }
+            }
+        }
+        let chosen = best
+            .ok_or_else(|| Error::NoPath(format!("no reachable instance of {kind}")))?
+            .1;
+        cursor = topo.middlebox(chosen).switch;
+        out.push(chosen);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

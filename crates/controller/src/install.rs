@@ -27,24 +27,61 @@
 //! be shared by two *different* paths of the same origin base station
 //! (their rules would be indistinguishable — the generalization of the
 //! paper's footnote 2).
+//!
+//! # Partitioned state and optimistic planning
+//!
+//! Algorithm 1's state is split along its natural contention boundary:
+//!
+//! * **Per-switch cells** ([`ShadowCells`]) — each switch's uplink and
+//!   downlink shadow tables behind its own mutex, plus a version stamp
+//!   bumped on every mutation. All `rule_cost` probes and rule commits
+//!   touch exactly one cell at a time.
+//! * **Residue** ([`Residue`] internally) — the cross-switch remainder:
+//!   the tag allocator, the chain-shape candidate index, the per-station
+//!   claimed-tag sets and the prefix map, behind one `RwLock` with its
+//!   own version stamp.
+//!
+//! Planning is *pure*: [`PlannerHandle::plan_policy_path`] runs the full
+//! tag-selection argmin under a residue **read** lock, previewing
+//! allocator state with [`TagAllocator::peek`] and buffering its own
+//! chain-index/claimed updates in overlays, recording the version of
+//! every state it read. Committing ([`PathInstaller::apply_path_plan`])
+//! replays the buffered residue updates and writes the rules — the only
+//! phase that takes write locks. A plan whose recorded versions still
+//! match current state commits byte-identically to what a sequential
+//! plan-then-commit would have produced; a stale plan is discarded and
+//! re-planned under the sequencer ticket (the sequential path *is* the
+//! fallback — both tiers share this one implementation, which is what
+//! makes the merged op stream provably identical to the single-threaded
+//! reference).
+//!
+//! Lock order: residue before cell; never two cells at once.
 
 use softcell_types::{FxHashMap, FxHashSet};
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashSet;
+use std::sync::{Arc, MutexGuard};
 
+use parking_lot::{Mutex, RwLock};
+
+use softcell_telemetry::Registry;
 use softcell_topology::{PolicyPath, Topology};
 use softcell_types::{
     AddressingScheme, BaseStationId, Error, Ipv4Prefix, MiddleboxId, PolicyTag, Result, SwitchId,
     TagAllocator,
 };
 
-use crate::shadow::{Entry, NextHop, ShadowDelta, ShadowTables};
+use crate::shadow::{Entry, NextHop, ShadowDelta, ShadowSwitch, ShadowTables};
 
 /// The direction a rule set serves (re-exported from the data plane's
 /// matcher so controller and switch agree on field selection). Figure 7
 /// counts one direction (the paper's Fig. 3 shows downlink rules); the
 /// end-to-end simulator installs both.
 pub use softcell_dataplane::matcher::Direction;
+
+/// Counter bumped when a raw tunnel tag is released more times than it
+/// was allocated (see [`PathInstaller::release_raw_tag`]).
+pub const TAG_RELEASE_UNDERFLOW: &str = "softcell_controller_tag_release_underflow_total";
 
 /// Tunables for tag selection.
 #[derive(Clone, Copy, Debug)]
@@ -147,32 +184,602 @@ impl InstallReport {
     }
 }
 
-/// The online path installer: owns the network shadow, the tag space and
-/// the candidate indexes.
-pub struct PathInstaller<'t> {
-    /// Held for lifetime anchoring and future validation hooks; shadow
-    /// sizing derives from it at construction.
-    #[allow(dead_code)]
-    topo: &'t Topology,
-    scheme: AddressingScheme,
-    shadows_up: ShadowTables,
-    shadows_down: ShadowTables,
+/// One switch's shadow state, both directions, behind its own lock.
+/// Uplink and downlink rules match different header fields, so they are
+/// separate tables even when they share a tag — but they share a cell
+/// (and a version stamp) because a path install touches the switch, not
+/// a direction, and one stamp keeps validation cheap.
+#[derive(Debug, Default)]
+pub struct SwitchCell {
+    up: ShadowSwitch,
+    down: ShadowSwitch,
+    version: u64,
+}
+
+impl SwitchCell {
+    /// The shadow serving one direction.
+    pub fn dir(&self, dir: Direction) -> &ShadowSwitch {
+        match dir {
+            Direction::Uplink => &self.up,
+            Direction::Downlink => &self.down,
+        }
+    }
+
+    fn dir_mut(&mut self, dir: Direction) -> &mut ShadowSwitch {
+        match dir {
+            Direction::Uplink => &mut self.up,
+            Direction::Downlink => &mut self.down,
+        }
+    }
+
+    /// Mutation stamp; optimistic plans validate against it.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// The per-switch partition of Algorithm 1's state: one mutex per
+/// switch. Callers lock exactly one cell at a time (enforced by
+/// convention and the analyzer's lock-order gate), so any set of
+/// switch-disjoint probes and commits proceeds in parallel.
+#[derive(Debug)]
+pub struct ShadowCells {
+    cells: Vec<Mutex<SwitchCell>>,
+}
+
+impl ShadowCells {
+    fn new(n: usize) -> Self {
+        ShadowCells {
+            cells: (0..n).map(|_| Mutex::new(SwitchCell::default())).collect(),
+        }
+    }
+
+    /// Locks one switch's cell.
+    pub fn lock(&self, sw: SwitchId) -> MutexGuard<'_, SwitchCell> {
+        let cell = &self.cells[sw.index()];
+        cell.lock()
+    }
+
+    /// Number of switches.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether there are no switches.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// The cross-switch remainder of Algorithm 1's state — everything that
+/// is not naturally per-switch. Guarded by one `RwLock`: planners hold
+/// it for read, commits for write.
+#[derive(Debug)]
+struct Residue {
     allocator: TagAllocator,
-    policy: TagPolicy,
     /// chain-shape → recently used tags (candidate source).
     chain_index: FxHashMap<(Direction, u64), Vec<PolicyTag>>,
     /// Tags already serving some path of a given base station (paper
     /// footnote 2, generalized): `claimed[bs]` is the set of tags in use
     /// by that station's installed paths.
     claimed: FxHashMap<BaseStationId, FxHashSet<PolicyTag>>,
-    /// Deltas of the last installation, for lowering to physical rules.
-    last_deltas: Vec<(SwitchId, ShadowDelta)>,
     /// Optional topology-aligned prefix per station, overriding the
     /// scheme's dense numbering. Operators "align IP prefixes with the
     /// topology to enable aggregation" (paper §3.1): padding clusters
     /// and pods to power-of-two boundaries turns every dispatch block
     /// into a single prefix.
     prefix_map: Option<Vec<Ipv4Prefix>>,
+    /// Bumped once per mutation batch (a committed path, a raw tag
+    /// operation, a prefix-map change).
+    version: u64,
+}
+
+/// Versions of everything a plan read. A plan whose stamps still match
+/// commits exactly what a sequential plan would produce now.
+#[derive(Clone, Debug)]
+pub(crate) struct PlanStamps {
+    residue: u64,
+    /// First-touch version of every cell probed.
+    cells: FxHashMap<SwitchId, u64>,
+}
+
+/// Mutable scratch state threaded through one planning pass: buffered
+/// residue updates (never written back — the commit replays them from
+/// the plan) and the version stamps of everything read.
+struct PlanCtx {
+    stamps: PlanStamps,
+    /// Planned-but-uncommitted chain-index slots, keyed like the real
+    /// index; consulted before the shared index so later segments (and
+    /// the downlink of a pair) see earlier planned tags.
+    chain_overlay: FxHashMap<(Direction, u64), Vec<PolicyTag>>,
+    /// Planned-but-uncommitted claimed tags (the uplink plan's tags,
+    /// visible to the downlink plan of the same pair).
+    claimed_overlay: FxHashMap<BaseStationId, FxHashSet<PolicyTag>>,
+    /// Number of fresh tags this pass has reserved via
+    /// [`TagAllocator::peek`].
+    fresh_taken: usize,
+}
+
+impl PlanCtx {
+    fn new(residue_version: u64) -> Self {
+        PlanCtx {
+            stamps: PlanStamps {
+                residue: residue_version,
+                cells: FxHashMap::default(),
+            },
+            chain_overlay: FxHashMap::default(),
+            claimed_overlay: FxHashMap::default(),
+            fresh_taken: 0,
+        }
+    }
+}
+
+/// A fully planned single-direction path: everything `apply_path_plan`
+/// needs to commit without re-running tag selection.
+#[derive(Clone, Debug)]
+pub(crate) struct PathPlan {
+    dir: Direction,
+    origin: BaseStationId,
+    prefix: Ipv4Prefix,
+    /// Forward (traversal) order. Replays happen in *planning* order —
+    /// back to front — for the residue, then forward for the rules.
+    plans: Vec<SegmentPlan>,
+    segment_tags: Vec<PolicyTag>,
+    reused_segments: usize,
+}
+
+/// A planned bidirectional (or single-direction) policy path, produced
+/// outside the sequencer by [`PlannerHandle::plan_policy_path`] and
+/// offered to the engine, which fast-commits it when still current.
+#[derive(Clone, Debug)]
+pub struct PolicyPathPlan {
+    pub(crate) path: PolicyPath,
+    pub(crate) uplink: Option<PathPlan>,
+    pub(crate) downlink: PathPlan,
+    pub(crate) stamps: PlanStamps,
+}
+
+impl PolicyPathPlan {
+    /// Whether this plan has the shape the engine's config expects.
+    pub(crate) fn matches_mode(&self, bidirectional: bool) -> bool {
+        self.uplink.is_some() == bidirectional
+    }
+}
+
+/// A cloneable handle onto the installer's shared state, for planning
+/// policy paths optimistically outside the sequencer. Planning takes
+/// only read/cell locks and mutates nothing.
+///
+/// Handles are snapshots of the installer's state *identity*: after
+/// [`crate::core::CentralController::adopt_reoptimized`] swaps in a
+/// fresh installer, plans from old handles always fail validation.
+#[derive(Clone)]
+pub struct PlannerHandle {
+    scheme: AddressingScheme,
+    policy: TagPolicy,
+    shadows: Arc<ShadowCells>,
+    residue: Arc<RwLock<Residue>>,
+}
+
+impl PlannerHandle {
+    /// Plans a policy path (both directions when `bidirectional`)
+    /// against current shared state, without mutating anything. The
+    /// result carries version stamps; the engine commits it only if
+    /// they still match.
+    pub fn plan_policy_path(
+        &self,
+        path: PolicyPath,
+        bidirectional: bool,
+    ) -> Result<PolicyPathPlan> {
+        let residue = self.residue.read();
+        let planner = Planner {
+            scheme: &self.scheme,
+            policy: self.policy,
+            shadows: &self.shadows,
+            residue: &residue,
+        };
+        let mut ctx = PlanCtx::new(residue.version);
+        let (uplink, forced) = if bidirectional {
+            let up = planner.plan_path(&mut ctx, &path, Direction::Uplink, None)?;
+            // The sequential reference commits the uplink before planning
+            // the downlink; its claimed-tag inserts become an overlay
+            // here. (Chain-index and shadow couplings are direction-keyed
+            // and so invisible to the downlink plan; the allocator
+            // coupling is `fresh_taken` continuing across both plans.)
+            let claims = ctx.claimed_overlay.entry(path.origin).or_default();
+            claims.extend(up.segment_tags.iter().copied());
+            let exit = *up.segment_tags.last().expect("at least one segment");
+            (Some(up), Some(exit))
+        } else {
+            (None, None)
+        };
+        let downlink = planner.plan_path(&mut ctx, &path, Direction::Downlink, forced)?;
+        Ok(PolicyPathPlan {
+            path,
+            uplink,
+            downlink,
+            stamps: ctx.stamps,
+        })
+    }
+}
+
+/// The pure planning engine: borrows a residue snapshot (the caller's
+/// read or write guard) and probes cells one at a time, recording
+/// stamps. Shared by the sequential install path and the optimistic
+/// planners — there is exactly one tag-selection implementation.
+struct Planner<'a> {
+    scheme: &'a AddressingScheme,
+    policy: TagPolicy,
+    shadows: &'a ShadowCells,
+    residue: &'a Residue,
+}
+
+impl Planner<'_> {
+    /// Locks a cell, recording its version on first touch.
+    fn cell(&self, ctx: &mut PlanCtx, sw: SwitchId) -> MutexGuard<'_, SwitchCell> {
+        let cell = self.shadows.lock(sw);
+        ctx.stamps.cells.entry(sw).or_insert(cell.version);
+        cell
+    }
+
+    fn plan_path(
+        &self,
+        ctx: &mut PlanCtx,
+        path: &PolicyPath,
+        dir: Direction,
+        forced_entry: Option<PolicyTag>,
+    ) -> Result<PathPlan> {
+        let prefix = match &self.residue.prefix_map {
+            Some(map) => *map.get(path.origin.index()).ok_or_else(|| {
+                Error::NotFound(format!("{} missing from prefix map", path.origin))
+            })?,
+            None => self.scheme.base_station_prefix(path.origin)?,
+        };
+        let decisions = build_decisions(path, dir);
+        let segments = split_segments(&decisions);
+
+        let mut segment_tags = vec![PolicyTag(0); segments.len()];
+        let mut reused = 0usize;
+
+        // Segments are resolved back-to-front so a segment's swap-in rule
+        // (owned by the previous segment) can name its tag. Tags already
+        // chosen for other segments of this same path are excluded — two
+        // segments sharing a tag would recreate exactly the ambiguity
+        // segmentation exists to remove.
+        let mut next_tag: Option<PolicyTag> = None;
+        let mut path_tags: HashSet<PolicyTag> = HashSet::new();
+        // A forced entry tag belongs to segment 0, which is planned
+        // *last* — exclude it from every other segment's candidates up
+        // front, or a later segment may independently pick the same tag
+        // and recreate the loop ambiguity segmentation removes.
+        if segments.len() > 1 {
+            if let Some(t) = forced_entry {
+                path_tags.insert(t);
+            }
+        }
+        let mut plans: Vec<SegmentPlan> = Vec::with_capacity(segments.len());
+        for (idx, seg) in segments.iter().enumerate().rev() {
+            let forced = if idx == 0 { forced_entry } else { None };
+            let plan = self.plan_segment(
+                ctx,
+                path.origin,
+                prefix,
+                seg,
+                dir,
+                next_tag,
+                forced,
+                &path_tags,
+            )?;
+            next_tag = Some(plan.tag);
+            path_tags.insert(plan.tag);
+            segment_tags[idx] = plan.tag;
+            if plan.reused {
+                reused += 1;
+            }
+            plans.push(plan);
+        }
+        plans.reverse();
+
+        Ok(PathPlan {
+            dir,
+            origin: path.origin,
+            prefix,
+            plans,
+            segment_tags,
+            reused_segments: reused,
+        })
+    }
+
+    /// Chooses a tag for one segment and freezes the per-decision
+    /// placement. Mutates only the planning context.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_segment(
+        &self,
+        ctx: &mut PlanCtx,
+        origin: BaseStationId,
+        prefix: Ipv4Prefix,
+        seg: &Segment,
+        dir: Direction,
+        swap_to: Option<PolicyTag>,
+        forced: Option<PolicyTag>,
+        excluded: &HashSet<PolicyTag>,
+    ) -> Result<SegmentPlan> {
+        let key = (dir, seg.chain_key(dir));
+
+        let chosen: (PolicyTag, bool) = if let Some(tag) = forced {
+            // Downlink entry tag dictated by the uplink: must be usable;
+            // if it conflicts we cannot reroute here (the swap machinery
+            // of the *caller* handles gateway-side swaps).
+            if self
+                .segment_cost(ctx, dir, tag, prefix, seg, swap_to)
+                .is_none()
+            {
+                return Err(Error::InvalidState(format!(
+                    "forced entry tag {tag} conflicts with existing rules"
+                )));
+            }
+
+            (tag, true)
+        } else {
+            let mut candidates: Vec<PolicyTag> = Vec::new();
+            if let Some(tags) = ctx
+                .chain_overlay
+                .get(&key)
+                .or_else(|| self.residue.chain_index.get(&key))
+            {
+                candidates.extend(tags.iter().rev().copied());
+            }
+            // tags present at the segment's gateway-side switch — the
+            // busiest rule table on the path and a cheap, high-yield
+            // sample of the paper's candTag set. (On the downlink the
+            // gateway side is the *first* decision; on the uplink the
+            // *last*.)
+            if candidates.len() < self.policy.max_candidates {
+                let sample = match dir {
+                    Direction::Uplink => seg.decisions.last(),
+                    Direction::Downlink => seg.decisions.first(),
+                };
+                if let Some(d) = sample {
+                    let sampled: Vec<PolicyTag> = {
+                        let cell = self.cell(ctx, d.sw);
+                        cell.dir(dir).tags().collect()
+                    };
+                    for t in sampled {
+                        if candidates.len() >= self.policy.max_candidates {
+                            break;
+                        }
+                        if !candidates.contains(&t) {
+                            candidates.push(t);
+                        }
+                    }
+                }
+            }
+            candidates.truncate(self.policy.max_candidates);
+
+            let mut best: Option<(usize, PolicyTag)> = None;
+            for &t in &candidates {
+                if excluded.contains(&t) {
+                    continue;
+                }
+                let Some((cost, changes)) = self.segment_cost(ctx, dir, t, prefix, seg, swap_to)
+                else {
+                    continue;
+                };
+                // A claimed tag (another path of this same base station)
+                // may only be shared when installing would change
+                // *nothing* — identical forwarding is harmless. A mere
+                // zero rule-count delta is NOT enough: an install that
+                // aggregates into a sibling still changes where this
+                // prefix forwards, which would silently rewrite the
+                // claiming path's behaviour.
+                let is_claimed = self
+                    .residue
+                    .claimed
+                    .get(&origin)
+                    .is_some_and(|c| c.contains(&t))
+                    || ctx
+                        .claimed_overlay
+                        .get(&origin)
+                        .is_some_and(|c| c.contains(&t));
+                if changes != 0 && is_claimed {
+                    continue;
+                }
+                if best.map(|(c, _)| cost < c).unwrap_or(true) {
+                    best = Some((cost, t));
+                    if cost == 0 && changes == 0 {
+                        break;
+                    }
+                }
+            }
+
+            let fresh_cost = seg.decisions.len() + usize::from(swap_to.is_some());
+            let allocated = self.residue.allocator.allocated() + ctx.fresh_taken;
+            let use_fresh = match best {
+                None => true,
+                Some((cost, _)) => {
+                    cost * self.policy.fresh_bias_den > fresh_cost * self.policy.fresh_bias_num
+                        && (allocated * 2) < self.policy.capacity as usize
+                }
+            };
+            if use_fresh {
+                match self.residue.allocator.peek(ctx.fresh_taken) {
+                    Some(t) => {
+                        ctx.fresh_taken += 1;
+                        (t, false)
+                    }
+                    None => {
+                        let (_, t) = best.ok_or_else(|| {
+                            Error::Exhausted(format!(
+                                "tag space exhausted and no feasible candidate ({} tags)",
+                                self.policy.capacity
+                            ))
+                        })?;
+                        (t, true)
+                    }
+                }
+            } else {
+                (best.expect("checked").1, true)
+            }
+        };
+
+        let (tag, reused) = chosen;
+        // remember this tag for future same-shape segments — buffered in
+        // the overlay; the commit replays the same push against the real
+        // index
+        let slot = ctx.chain_overlay.entry(key).or_insert_with(|| {
+            self.residue
+                .chain_index
+                .get(&key)
+                .cloned()
+                .unwrap_or_default()
+        });
+        if !slot.contains(&tag) {
+            slot.push(tag);
+            if slot.len() > 4 {
+                slot.remove(0);
+            }
+        }
+        Ok(SegmentPlan {
+            tag,
+            reused,
+            chain_key: key,
+            decisions: seg.decisions.clone(),
+            qualified: seg.qualified.clone(),
+            swap_to,
+        })
+    }
+
+    /// The exact new-rule count of realizing a segment under `tag`, and
+    /// the number of decisions whose forwarding state would have to
+    /// change at all (`None` = infeasible). Mirrors `commit_segment`
+    /// without mutating. `changes == 0` means the segment already
+    /// forwards exactly as desired — the only condition under which a
+    /// tag claimed by another path of the same station may be shared.
+    fn segment_cost(
+        &self,
+        ctx: &mut PlanCtx,
+        dir: Direction,
+        tag: PolicyTag,
+        prefix: Ipv4Prefix,
+        seg: &Segment,
+        swap_to: Option<PolicyTag>,
+    ) -> Option<(usize, usize)> {
+        let mut cost = 0usize;
+        let mut changes = 0usize;
+        for (i, d) in seg.decisions.iter().enumerate() {
+            let is_last = i + 1 == seg.decisions.len();
+            let nh = match (is_last, swap_to) {
+                (true, Some(to)) => d.want.swap_next_hop(to),
+                _ => d.want.next_hop(),
+            };
+            let cell = self.cell(ctx, d.sw);
+            let shadow = cell.dir(dir);
+            let entry = placement_in(shadow, d, seg.qualified.contains(&i), tag);
+            // A correct answer from a higher-priority qualified table, or
+            // from the table we'd write to, costs nothing.
+            if effective_next_hop_in(shadow, d, tag, prefix) == Some(nh) {
+                continue;
+            }
+            changes += 1;
+            cost += shadow.rule_cost(entry, tag, prefix, nh)?;
+        }
+        Some((cost, changes))
+    }
+}
+
+/// Which shadow entry a decision's rule lives in: middlebox returns
+/// are always port-qualified; loop-marked decisions and decisions
+/// whose arrival already has a qualified table for this tag must be
+/// qualified too (an unqualified rule would be shadowed).
+fn placement_in(sw: &ShadowSwitch, d: &Decision, loop_qualified: bool, tag: PolicyTag) -> Entry {
+    match d.arrival {
+        Arrival::FromMb(mb) => Entry::FromMb(mb),
+        Arrival::FromSwitch(prev) => {
+            if loop_qualified || sw.has_table(Entry::FromSwitch(prev), tag) {
+                Entry::FromSwitch(prev)
+            } else {
+                Entry::Ingress
+            }
+        }
+        Arrival::External => Entry::Ingress,
+    }
+}
+
+/// What the switch currently does with this decision's traffic,
+/// honoring the qualified-over-unqualified priority.
+fn effective_next_hop_in(
+    sw: &ShadowSwitch,
+    d: &Decision,
+    tag: PolicyTag,
+    prefix: Ipv4Prefix,
+) -> Option<NextHop> {
+    match d.arrival {
+        Arrival::FromMb(mb) => sw.next_hop(Entry::FromMb(mb), tag, prefix),
+        Arrival::FromSwitch(prev) => sw
+            .next_hop(Entry::FromSwitch(prev), tag, prefix)
+            .or_else(|| sw.next_hop(Entry::Ingress, tag, prefix)),
+        Arrival::External => sw.next_hop(Entry::Ingress, tag, prefix),
+    }
+}
+
+/// Applies a segment plan to one switch cell at a time. Returns (new
+/// rules, swap rules among them).
+fn commit_segment(
+    shadows: &ShadowCells,
+    last_deltas: &mut Vec<(SwitchId, ShadowDelta)>,
+    dir: Direction,
+    prefix: Ipv4Prefix,
+    plan: &SegmentPlan,
+) -> (usize, usize) {
+    let mut added = 0usize;
+    let mut swaps = 0usize;
+    for (i, d) in plan.decisions.iter().enumerate() {
+        let is_last = i + 1 == plan.decisions.len();
+        let (nh, is_swap) = match (is_last, plan.swap_to) {
+            (true, Some(to)) => (d.want.swap_next_hop(to), true),
+            _ => (d.want.next_hop(), false),
+        };
+        let mut cell = shadows.lock(d.sw);
+        let shadow = cell.dir_mut(dir);
+        if effective_next_hop_in(shadow, d, plan.tag, prefix) == Some(nh) {
+            continue;
+        }
+        let entry = placement_in(shadow, d, plan.qualified.contains(&i), plan.tag);
+        let deltas = shadow.install(entry, plan.tag, prefix, nh);
+        if !deltas.is_empty() {
+            cell.version = cell.version.wrapping_add(1);
+        }
+        for delta in deltas {
+            match delta {
+                ShadowDelta::SetDefault { .. } | ShadowDelta::AddPrefix { .. } => {
+                    added += 1;
+                    if is_swap {
+                        swaps += 1;
+                    }
+                }
+                ShadowDelta::RemovePrefix { .. } => {
+                    added = added.saturating_sub(1);
+                }
+            }
+            last_deltas.push((d.sw, delta));
+        }
+    }
+    (added, swaps)
+}
+
+/// The online path installer: owns the shared per-switch cells and the
+/// cross-switch residue, and is the only component that commits.
+pub struct PathInstaller<'t> {
+    /// Held for lifetime anchoring and future validation hooks; shadow
+    /// sizing derives from it at construction.
+    #[allow(dead_code)]
+    topo: &'t Topology,
+    scheme: AddressingScheme,
+    policy: TagPolicy,
+    shadows: Arc<ShadowCells>,
+    residue: Arc<RwLock<Residue>>,
+    /// Deltas of the last installation, for lowering to physical rules.
+    last_deltas: Vec<(SwitchId, ShadowDelta)>,
     paths_installed: usize,
 }
 
@@ -182,14 +789,16 @@ impl<'t> PathInstaller<'t> {
         PathInstaller {
             topo,
             scheme,
-            shadows_up: ShadowTables::new(topo.switch_count()),
-            shadows_down: ShadowTables::new(topo.switch_count()),
-            allocator: TagAllocator::new(policy.capacity),
             policy,
-            chain_index: FxHashMap::default(),
-            claimed: FxHashMap::default(),
+            shadows: Arc::new(ShadowCells::new(topo.switch_count())),
+            residue: Arc::new(RwLock::new(Residue {
+                allocator: TagAllocator::new(policy.capacity),
+                chain_index: FxHashMap::default(),
+                claimed: FxHashMap::default(),
+                prefix_map: None,
+                version: 0,
+            })),
             last_deltas: Vec::new(),
-            prefix_map: None,
             paths_installed: 0,
         }
     }
@@ -197,24 +806,27 @@ impl<'t> PathInstaller<'t> {
     /// Overrides the per-station location prefixes with a
     /// topology-aligned assignment (index = station id).
     pub fn set_prefix_map(&mut self, prefixes: Vec<Ipv4Prefix>) {
-        self.prefix_map = Some(prefixes);
+        let mut residue = self.residue.write();
+        residue.prefix_map = Some(prefixes);
+        residue.version = residue.version.wrapping_add(1);
     }
 
-    /// The network shadow of one direction (rule counts etc.). Uplink
-    /// and downlink rules match different header fields, so they live in
-    /// separate shadows even when they share a tag.
-    pub fn shadows(&self, dir: Direction) -> &ShadowTables {
-        match dir {
-            Direction::Uplink => &self.shadows_up,
-            Direction::Downlink => &self.shadows_down,
-        }
+    /// A snapshot of one direction's network shadow (rule counts etc.),
+    /// assembled cell by cell. Reporting-path only — it clones every
+    /// switch's tables.
+    pub fn shadows(&self, dir: Direction) -> ShadowTables {
+        let switches = self
+            .shadows
+            .cells
+            .iter()
+            .map(|cell| cell.lock().dir(dir).clone())
+            .collect();
+        ShadowTables::from_switches(switches)
     }
 
-    fn shadows_mut(&mut self, dir: Direction) -> &mut ShadowTables {
-        match dir {
-            Direction::Uplink => &mut self.shadows_up,
-            Direction::Downlink => &mut self.shadows_down,
-        }
+    /// The shared per-switch cells (live, lock-per-switch view).
+    pub fn cells(&self) -> &Arc<ShadowCells> {
+        &self.shadows
     }
 
     /// The addressing scheme in use.
@@ -224,18 +836,41 @@ impl<'t> PathInstaller<'t> {
 
     /// Number of tags currently allocated.
     pub fn tags_in_use(&self) -> usize {
-        self.allocator.allocated()
+        self.residue.read().allocator.allocated()
     }
 
     /// Allocates a tag outside the policy-path machinery (base-station
     /// tunnels, §5.1). Returns `None` when the tag space is exhausted.
     pub fn allocate_raw_tag(&mut self) -> Option<PolicyTag> {
-        self.allocator.allocate()
+        let mut residue = self.residue.write();
+        let tag = residue.allocator.allocate();
+        if tag.is_some() {
+            residue.version = residue.version.wrapping_add(1);
+        }
+        tag
     }
 
     /// Returns a raw tag to the pool (tunnel garbage collection).
+    ///
+    /// Raw tags are refcounted by their tunnel owners, so an unbalanced
+    /// release here means a corrupted refcount upstream — freeing the
+    /// tag anyway could hand a tag still carrying traffic to a new path.
+    /// Debug builds assert; release builds saturate (the release is
+    /// dropped) and bump [`TAG_RELEASE_UNDERFLOW`].
     pub fn release_raw_tag(&mut self, tag: PolicyTag) {
-        self.allocator.release(tag);
+        let mut residue = self.residue.write();
+        let released = residue.allocator.try_release(tag);
+        if released {
+            residue.version = residue.version.wrapping_add(1);
+        } else {
+            drop(residue);
+            // literal (not [`TAG_RELEASE_UNDERFLOW`]) so the metrics
+            // manifest extractor sees the registration
+            Registry::global()
+                .counter("softcell_controller_tag_release_underflow_total")
+                .add(1);
+            debug_assert!(released, "unbalanced raw release of {tag}");
+        }
     }
 
     /// Number of paths installed so far.
@@ -257,6 +892,30 @@ impl<'t> PathInstaller<'t> {
     /// (see `tests/drain_order.rs` for the regression lock).
     pub fn last_deltas(&self) -> &[(SwitchId, ShadowDelta)] {
         &self.last_deltas
+    }
+
+    /// A cloneable handle for planning outside the sequencer.
+    pub fn planner_handle(&self) -> PlannerHandle {
+        PlannerHandle {
+            scheme: self.scheme,
+            policy: self.policy,
+            shadows: Arc::clone(&self.shadows),
+            residue: Arc::clone(&self.residue),
+        }
+    }
+
+    /// Whether an optimistic plan's recorded versions still match shared
+    /// state — if so, committing it is byte-identical to re-planning
+    /// now. Callers must hold the sequencer ticket across this check and
+    /// the subsequent applies (nothing else commits concurrently).
+    pub(crate) fn plan_is_current(&self, stamps: &PlanStamps) -> bool {
+        if self.residue.read().version != stamps.residue {
+            return false;
+        }
+        stamps
+            .cells
+            .iter()
+            .all(|(&sw, &v)| self.shadows.lock(sw).version == v)
     }
 
     /// Installs a policy path in one direction. Returns the per-segment
@@ -283,328 +942,89 @@ impl<'t> PathInstaller<'t> {
         dir: Direction,
         forced_entry: Option<PolicyTag>,
     ) -> Result<InstallReport> {
-        let prefix = match &self.prefix_map {
-            Some(map) => *map.get(path.origin.index()).ok_or_else(|| {
-                Error::NotFound(format!("{} missing from prefix map", path.origin))
-            })?,
-            None => self.scheme.base_station_prefix(path.origin)?,
+        let plan = {
+            let residue = self.residue.read();
+            let planner = Planner {
+                scheme: &self.scheme,
+                policy: self.policy,
+                shadows: &self.shadows,
+                residue: &residue,
+            };
+            let mut ctx = PlanCtx::new(residue.version);
+            planner.plan_path(&mut ctx, path, dir, forced_entry)?
         };
-        let decisions = build_decisions(path, dir);
-        let segments = split_segments(&decisions);
+        Ok(self.apply_path_plan(&plan))
+    }
 
+    /// Commits a plan: replays its residue updates (fresh-tag claims and
+    /// chain-slot pushes, in planning order) and writes its rules. The
+    /// caller guarantees the plan is current — either it was just
+    /// produced under the same exclusivity, or its stamps were
+    /// validated. Infallible by construction: every feasibility question
+    /// was answered at planning time.
+    pub(crate) fn apply_path_plan(&mut self, plan: &PathPlan) -> InstallReport {
         self.last_deltas.clear();
-        let mut segment_tags = vec![PolicyTag(0); segments.len()];
         let mut new_rules = 0usize;
         let mut swap_rules = 0usize;
-        let mut reused = 0usize;
-
-        // Segments are resolved back-to-front so a segment's swap-in rule
-        // (owned by the previous segment) can name its tag. Tags already
-        // chosen for other segments of this same path are excluded — two
-        // segments sharing a tag would recreate exactly the ambiguity
-        // segmentation exists to remove.
-        let mut next_tag: Option<PolicyTag> = None;
-        let mut path_tags: HashSet<PolicyTag> = HashSet::new();
-        // A forced entry tag belongs to segment 0, which is planned
-        // *last* — exclude it from every other segment's candidates up
-        // front, or a later segment may independently pick the same tag
-        // and recreate the loop ambiguity segmentation removes.
-        if segments.len() > 1 {
-            if let Some(t) = forced_entry {
-                path_tags.insert(t);
+        {
+            let mut residue = self.residue.write();
+            // Planning order is back to front; the allocator pops and the
+            // chain-slot pushes must replay in that order (slot order
+            // feeds future candidate sampling).
+            for sp in plan.plans.iter().rev() {
+                if !sp.reused {
+                    let got = residue.allocator.allocate();
+                    debug_assert_eq!(
+                        got,
+                        Some(sp.tag),
+                        "allocator drifted from its planned preview"
+                    );
+                    let _ = got;
+                }
+                let slot = residue.chain_index.entry(sp.chain_key).or_default();
+                if !slot.contains(&sp.tag) {
+                    slot.push(sp.tag);
+                    if slot.len() > 4 {
+                        slot.remove(0);
+                    }
+                }
             }
-        }
-        let mut plans: Vec<SegmentPlan> = Vec::with_capacity(segments.len());
-        for (idx, seg) in segments.iter().enumerate().rev() {
-            let forced = if idx == 0 { forced_entry } else { None };
-            let plan =
-                self.plan_segment(path.origin, prefix, seg, dir, next_tag, forced, &path_tags)?;
-            next_tag = Some(plan.tag);
-            path_tags.insert(plan.tag);
-            segment_tags[idx] = plan.tag;
-            if plan.reused {
-                reused += 1;
+            for sp in &plan.plans {
+                let (added, swaps) = commit_segment(
+                    &self.shadows,
+                    &mut self.last_deltas,
+                    plan.dir,
+                    plan.prefix,
+                    sp,
+                );
+                new_rules += added;
+                swap_rules += swaps;
+                residue
+                    .claimed
+                    .entry(plan.origin)
+                    .or_default()
+                    .insert(sp.tag);
             }
-            plans.push(plan);
+            residue.version = residue.version.wrapping_add(1);
         }
-        plans.reverse();
-
-        for plan in plans {
-            let (added, swaps) = self.commit_segment(dir, prefix, &plan);
-            new_rules += added;
-            swap_rules += swaps;
-            self.claimed
-                .entry(path.origin)
-                .or_default()
-                .insert(plan.tag);
-        }
-
         self.paths_installed += 1;
-        Ok(InstallReport {
-            segment_tags,
+        InstallReport {
+            segment_tags: plan.segment_tags.clone(),
             new_rules,
             swap_rules,
-            reused_segments: reused,
-        })
-    }
-
-    /// Chooses a tag for one segment and freezes the per-decision
-    /// placement. Does not mutate the shadow yet.
-    #[allow(clippy::too_many_arguments)]
-    fn plan_segment(
-        &mut self,
-        origin: BaseStationId,
-        prefix: Ipv4Prefix,
-        seg: &Segment,
-        dir: Direction,
-        swap_to: Option<PolicyTag>,
-        forced: Option<PolicyTag>,
-        excluded: &HashSet<PolicyTag>,
-    ) -> Result<SegmentPlan> {
-        let key = (dir, seg.chain_key(dir));
-        let claimed = self.claimed.get(&origin);
-
-        let chosen: (PolicyTag, bool) = if let Some(tag) = forced {
-            // Downlink entry tag dictated by the uplink: must be usable;
-            // if it conflicts we cannot reroute here (the swap machinery
-            // of the *caller* handles gateway-side swaps).
-            if self.segment_cost(dir, tag, prefix, seg, swap_to).is_none() {
-                return Err(Error::InvalidState(format!(
-                    "forced entry tag {tag} conflicts with existing rules"
-                )));
-            }
-
-            (tag, true)
-        } else {
-            let mut candidates: Vec<PolicyTag> = Vec::new();
-            if let Some(tags) = self.chain_index.get(&key) {
-                candidates.extend(tags.iter().rev().copied());
-            }
-            // tags present at the segment's gateway-side switch — the
-            // busiest rule table on the path and a cheap, high-yield
-            // sample of the paper's candTag set. (On the downlink the
-            // gateway side is the *first* decision; on the uplink the
-            // *last*.)
-            if candidates.len() < self.policy.max_candidates {
-                let sample = match dir {
-                    Direction::Uplink => seg.decisions.last(),
-                    Direction::Downlink => seg.decisions.first(),
-                };
-                if let Some(d) = sample {
-                    for t in self.shadows(dir).switch(d.sw).tags() {
-                        if candidates.len() >= self.policy.max_candidates {
-                            break;
-                        }
-                        if !candidates.contains(&t) {
-                            candidates.push(t);
-                        }
-                    }
-                }
-            }
-            candidates.truncate(self.policy.max_candidates);
-
-            let mut best: Option<(usize, PolicyTag)> = None;
-            for &t in &candidates {
-                if excluded.contains(&t) {
-                    continue;
-                }
-                let Some((cost, changes)) = self.segment_cost(dir, t, prefix, seg, swap_to) else {
-                    continue;
-                };
-                // A claimed tag (another path of this same base station)
-                // may only be shared when installing would change
-                // *nothing* — identical forwarding is harmless. A mere
-                // zero rule-count delta is NOT enough: an install that
-                // aggregates into a sibling still changes where this
-                // prefix forwards, which would silently rewrite the
-                // claiming path's behaviour.
-                if changes != 0 && claimed.map(|c| c.contains(&t)).unwrap_or(false) {
-                    continue;
-                }
-                if best.map(|(c, _)| cost < c).unwrap_or(true) {
-                    best = Some((cost, t));
-                    if cost == 0 && changes == 0 {
-                        break;
-                    }
-                }
-            }
-
-            let fresh_cost = seg.decisions.len() + usize::from(swap_to.is_some());
-            let use_fresh = match best {
-                None => true,
-                Some((cost, _)) => {
-                    cost * self.policy.fresh_bias_den > fresh_cost * self.policy.fresh_bias_num
-                        && (self.allocator.allocated() * 2) < self.policy.capacity as usize
-                }
-            };
-            if use_fresh {
-                match self.allocator.allocate() {
-                    Some(t) => (t, false),
-                    None => {
-                        let (_, t) = best.ok_or_else(|| {
-                            Error::Exhausted(format!(
-                                "tag space exhausted and no feasible candidate ({} tags)",
-                                self.policy.capacity
-                            ))
-                        })?;
-                        (t, true)
-                    }
-                }
-            } else {
-                (best.expect("checked").1, true)
-            }
-        };
-
-        let (tag, reused) = chosen;
-        // remember this tag for future same-shape segments
-        let slot = self.chain_index.entry(key).or_default();
-        if !slot.contains(&tag) {
-            slot.push(tag);
-            if slot.len() > 4 {
-                slot.remove(0);
-            }
-        }
-        Ok(SegmentPlan {
-            tag,
-            reused,
-            decisions: seg.decisions.clone(),
-            qualified: seg.qualified.clone(),
-            swap_to,
-        })
-    }
-
-    /// The exact new-rule count of realizing a segment under `tag`, and
-    /// the number of decisions whose forwarding state would have to
-    /// change at all (`None` = infeasible). Mirrors `commit_segment`
-    /// without mutating. `changes == 0` means the segment already
-    /// forwards exactly as desired — the only condition under which a
-    /// tag claimed by another path of the same station may be shared.
-    fn segment_cost(
-        &self,
-        dir: Direction,
-        tag: PolicyTag,
-        prefix: Ipv4Prefix,
-        seg: &Segment,
-        swap_to: Option<PolicyTag>,
-    ) -> Option<(usize, usize)> {
-        let mut cost = 0usize;
-        let mut changes = 0usize;
-        for (i, d) in seg.decisions.iter().enumerate() {
-            let is_last = i + 1 == seg.decisions.len();
-            let nh = match (is_last, swap_to) {
-                (true, Some(to)) => d.want.swap_next_hop(to),
-                _ => d.want.next_hop(),
-            };
-            let entry = self.placement(dir, d, seg.qualified.contains(&i), tag);
-            // A correct answer from a higher-priority qualified table, or
-            // from the table we'd write to, costs nothing.
-            if self.effective_next_hop(dir, d, tag, prefix) == Some(nh) {
-                continue;
-            }
-            changes += 1;
-            cost += self
-                .shadows(dir)
-                .switch(d.sw)
-                .rule_cost(entry, tag, prefix, nh)?;
-        }
-        Some((cost, changes))
-    }
-
-    /// Applies a segment plan to the shadow. Returns (new rules, swap
-    /// rules among them).
-    fn commit_segment(
-        &mut self,
-        dir: Direction,
-        prefix: Ipv4Prefix,
-        plan: &SegmentPlan,
-    ) -> (usize, usize) {
-        let mut added = 0usize;
-        let mut swaps = 0usize;
-        for (i, d) in plan.decisions.iter().enumerate() {
-            let is_last = i + 1 == plan.decisions.len();
-            let (nh, is_swap) = match (is_last, plan.swap_to) {
-                (true, Some(to)) => (d.want.swap_next_hop(to), true),
-                _ => (d.want.next_hop(), false),
-            };
-            if self.effective_next_hop(dir, d, plan.tag, prefix) == Some(nh) {
-                continue;
-            }
-            let entry = self.placement(dir, d, plan.qualified.contains(&i), plan.tag);
-            let deltas = self
-                .shadows_mut(dir)
-                .switch_mut(d.sw)
-                .install(entry, plan.tag, prefix, nh);
-            for delta in deltas {
-                match delta {
-                    ShadowDelta::SetDefault { .. } | ShadowDelta::AddPrefix { .. } => {
-                        added += 1;
-                        if is_swap {
-                            swaps += 1;
-                        }
-                    }
-                    ShadowDelta::RemovePrefix { .. } => {
-                        added = added.saturating_sub(1);
-                    }
-                }
-                self.last_deltas.push((d.sw, delta));
-            }
-        }
-        (added, swaps)
-    }
-
-    /// Which shadow entry a decision's rule lives in: middlebox returns
-    /// are always port-qualified; loop-marked decisions and decisions
-    /// whose arrival already has a qualified table for this tag must be
-    /// qualified too (an unqualified rule would be shadowed).
-    fn placement(
-        &self,
-        dir: Direction,
-        d: &Decision,
-        loop_qualified: bool,
-        tag: PolicyTag,
-    ) -> Entry {
-        match d.arrival {
-            Arrival::FromMb(mb) => Entry::FromMb(mb),
-            Arrival::FromSwitch(prev) => {
-                if loop_qualified
-                    || self
-                        .shadows(dir)
-                        .switch(d.sw)
-                        .has_table(Entry::FromSwitch(prev), tag)
-                {
-                    Entry::FromSwitch(prev)
-                } else {
-                    Entry::Ingress
-                }
-            }
-            Arrival::External => Entry::Ingress,
-        }
-    }
-
-    /// What the switch currently does with this decision's traffic,
-    /// honoring the qualified-over-unqualified priority.
-    fn effective_next_hop(
-        &self,
-        dir: Direction,
-        d: &Decision,
-        tag: PolicyTag,
-        prefix: Ipv4Prefix,
-    ) -> Option<NextHop> {
-        let sw = self.shadows(dir).switch(d.sw);
-        match d.arrival {
-            Arrival::FromMb(mb) => sw.next_hop(Entry::FromMb(mb), tag, prefix),
-            Arrival::FromSwitch(prev) => sw
-                .next_hop(Entry::FromSwitch(prev), tag, prefix)
-                .or_else(|| sw.next_hop(Entry::Ingress, tag, prefix)),
-            Arrival::External => sw.next_hop(Entry::Ingress, tag, prefix),
+            reused_segments: plan.reused_segments,
         }
     }
 }
 
 /// A planned segment: decisions plus the chosen tag.
+#[derive(Clone, Debug)]
 struct SegmentPlan {
     tag: PolicyTag,
     reused: bool,
+    /// The chain-index slot this segment's tag was recorded under (the
+    /// commit replays the push).
+    chain_key: (Direction, u64),
     decisions: Vec<Decision>,
     qualified: HashSet<usize>,
     /// If set, the segment's last decision swaps to this tag (it is the
@@ -886,11 +1306,9 @@ mod tests {
         assert!(rep.new_rules >= 3, "gateway + firewall host (2 legs) + agg");
         // all rules are Type 2 defaults: occupancy check
         let mut t1 = 0;
+        let shadows = ins.shadows(Direction::Downlink);
         for sw in 0..topo.switch_count() {
-            let (p1, _) = ins
-                .shadows(Direction::Downlink)
-                .switch(SwitchId(sw as u32))
-                .occupancy();
+            let (p1, _) = shadows.switch(SwitchId(sw as u32)).occupancy();
             t1 += p1;
         }
         assert_eq!(t1, 0, "single path needs no Type 1 overrides");
@@ -1144,5 +1562,186 @@ mod tests {
             max <= 8,
             "8 paths should aggregate to <= 8 rules per switch, got {max}"
         );
+    }
+
+    /// A canonical rendering of one installer's complete Algorithm-1
+    /// state (both directions' tables including tag order, plus the tag
+    /// count). FxHashMap iteration order is a deterministic function of
+    /// insertion history, so equal strings mean the two installers are
+    /// byte-equivalent for every future planning decision.
+    fn fingerprint(ins: &PathInstaller<'_>) -> String {
+        format!(
+            "up={:?} down={:?} tags={}",
+            ins.shadows(Direction::Uplink),
+            ins.shadows(Direction::Downlink),
+            ins.tags_in_use(),
+        )
+    }
+
+    #[test]
+    fn optimistic_pair_plan_commits_identically_to_sequential() {
+        // The fast tier: plan a bidirectional pair outside any lock,
+        // apply it — state and reports must be byte-identical to the
+        // sequential install_path + install_path_forced reference.
+        let topo = small_topology();
+        let mut seq = installer(&topo);
+        let mut opt = installer(&topo);
+
+        // warm both with a shared-suffix path so candidate sampling,
+        // claimed sets and the chain index are non-trivial
+        let warm = route(&topo, 1, &[MiddleboxKind::Firewall]);
+        for ins in [&mut seq, &mut opt] {
+            let up = ins.install_path(&warm, Direction::Uplink).unwrap();
+            ins.install_path_forced(&warm, Direction::Downlink, up.exit_tag())
+                .unwrap();
+        }
+
+        let path = route(&topo, 0, &[MiddleboxKind::Firewall]);
+        let up_s = seq.install_path(&path, Direction::Uplink).unwrap();
+        let down_s = seq
+            .install_path_forced(&path, Direction::Downlink, up_s.exit_tag())
+            .unwrap();
+
+        let plan = opt
+            .planner_handle()
+            .plan_policy_path(path.clone(), true)
+            .unwrap();
+        assert!(opt.plan_is_current(&plan.stamps), "nothing moved");
+        let up_o = opt.apply_path_plan(plan.uplink.as_ref().unwrap());
+        let down_o = opt.apply_path_plan(&plan.downlink);
+
+        assert_eq!(up_s, up_o);
+        assert_eq!(down_s, down_o);
+        assert_eq!(fingerprint(&seq), fingerprint(&opt));
+    }
+
+    #[test]
+    fn stale_plans_fail_validation() {
+        let topo = small_topology();
+        let mut ins = installer(&topo);
+        let pa = route(&topo, 0, &[MiddleboxKind::Firewall]);
+        let pb = route(&topo, 1, &[MiddleboxKind::Firewall]);
+
+        let plan = ins.planner_handle().plan_policy_path(pa, true).unwrap();
+        assert!(ins.plan_is_current(&plan.stamps));
+
+        // a conflicting commit (shares the chain suffix) bumps versions
+        ins.install_path(&pb, Direction::Uplink).unwrap();
+        assert!(
+            !ins.plan_is_current(&plan.stamps),
+            "conflicting install must invalidate the plan"
+        );
+    }
+
+    #[test]
+    fn raw_tag_release_is_guarded() {
+        let topo = small_topology();
+        let mut ins = installer(&topo);
+        let t = ins.allocate_raw_tag().unwrap();
+        ins.release_raw_tag(t);
+        assert_eq!(ins.tags_in_use(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "unbalanced raw release")]
+    fn raw_tag_double_release_panics_in_debug() {
+        // Release builds saturate instead (allocator untouched) and bump
+        // TAG_RELEASE_UNDERFLOW — `TagAllocator::try_release` unit tests
+        // cover the saturation semantics.
+        let topo = small_topology();
+        let mut ins = installer(&topo);
+        let t = ins.allocate_raw_tag().unwrap();
+        ins.release_raw_tag(t);
+        ins.release_raw_tag(t);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random (station, chain) install requests; station ids stay in
+        /// the small topology's 0..4 range.
+        fn arb_requests() -> impl Strategy<Value = Vec<(u32, u8)>> {
+            proptest::collection::vec((0u32..4, 0u8..3), 1..24)
+        }
+
+        fn chain_of(k: u8) -> &'static [MiddleboxKind] {
+            match k {
+                0 => &[MiddleboxKind::Firewall],
+                1 => &[MiddleboxKind::Transcoder],
+                _ => &[MiddleboxKind::Firewall, MiddleboxKind::Transcoder],
+            }
+        }
+
+        proptest! {
+            /// Failed installs are fully transactional: state after a
+            /// mixed success/failure sequence is byte-identical to a
+            /// from-scratch replay of only the successful installs —
+            /// planning buffers everything, so an abort leaks neither
+            /// tags nor chain-index entries nor partial rules.
+            #[test]
+            fn failed_installs_leave_no_trace(requests in arb_requests()) {
+                let topo = small_topology();
+                // a tiny tag space makes exhaustion failures common
+                let tight = TagPolicy { capacity: 3, ..TagPolicy::default() };
+                let mut live = PathInstaller::new(
+                    &topo, AddressingScheme::default_scheme(), tight);
+                let mut succeeded: Vec<(PolicyPath, Direction)> = Vec::new();
+                for (bs, kind) in requests {
+                    let path = route(&topo, bs, chain_of(kind));
+                    if live.install_path(&path, Direction::Downlink).is_ok() {
+                        succeeded.push((path, Direction::Downlink));
+                    }
+                }
+                let mut scratch = PathInstaller::new(
+                    &topo, AddressingScheme::default_scheme(), tight);
+                for (path, dir) in &succeeded {
+                    scratch.install_path(path, *dir).expect("replay of a success");
+                }
+                prop_assert_eq!(fingerprint(&live), fingerprint(&scratch));
+            }
+
+            /// The pure pair planner agrees with the sequential engine
+            /// from any reachable warm state, not just the cold one.
+            #[test]
+            fn pair_plans_match_sequential_from_any_state(
+                warm in arb_requests(), bs in 0u32..4, kind in 0u8..3,
+            ) {
+                let topo = small_topology();
+                let mut seq = installer(&topo);
+                let mut opt = installer(&topo);
+                for (wbs, wkind) in warm {
+                    let path = route(&topo, wbs, chain_of(wkind));
+                    for ins in [&mut seq, &mut opt] {
+                        if let Ok(up) = ins.install_path(&path, Direction::Uplink) {
+                            let _ = ins.install_path_forced(
+                                &path, Direction::Downlink, up.exit_tag());
+                        }
+                    }
+                }
+                let path = route(&topo, bs, chain_of(kind));
+                let planned = opt.planner_handle().plan_policy_path(path.clone(), true);
+                let up_s = seq.install_path(&path, Direction::Uplink);
+                match (planned, up_s) {
+                    (Ok(plan), Ok(up_s)) => {
+                        let down_s = seq
+                            .install_path_forced(&path, Direction::Downlink, up_s.exit_tag())
+                            .expect("sequential downlink");
+                        prop_assert!(opt.plan_is_current(&plan.stamps));
+                        let up_o = opt.apply_path_plan(plan.uplink.as_ref().expect("pair"));
+                        let down_o = opt.apply_path_plan(&plan.downlink);
+                        prop_assert_eq!(up_s, up_o);
+                        prop_assert_eq!(down_s, down_o);
+                    }
+                    (Err(_), Err(_)) => {} // both refuse identically
+                    (p, s) => prop_assert!(
+                        false, "planner/sequential disagree: {:?} vs {:?}",
+                        p.map(|_| ()), s.map(|_| ())
+                    ),
+                }
+                prop_assert_eq!(fingerprint(&seq), fingerprint(&opt));
+            }
+        }
     }
 }

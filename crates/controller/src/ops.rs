@@ -70,24 +70,66 @@ pub struct SwitchBatch {
     pub barrier: bool,
 }
 
+/// An order-preserving per-switch op journal: ops append into one lane
+/// per switch, lanes ordered by first appearance. This is the canonical
+/// incremental form of [`batch_by_switch`] — a journal fed one op at a
+/// time produces exactly the batches a one-shot grouping of the full
+/// stream would, so the sharded controller can journal each ticket's
+/// ops outside the engine lock without perturbing the merged stream.
+#[derive(Debug, Default)]
+pub struct OpJournal {
+    lanes: Vec<SwitchBatch>,
+    /// switch -> lane index (the linear scan in the original grouping
+    /// was O(switches) per op; drains of large merges made that visible)
+    index: softcell_types::FxHashMap<SwitchId, usize>,
+}
+
+impl OpJournal {
+    /// Appends one op to its switch's lane.
+    pub fn push(&mut self, op: RuleOp) {
+        let sw = op.switch();
+        match self.index.entry(sw) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.lanes[*e.get()].ops.push(op);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.lanes.len());
+                self.lanes.push(SwitchBatch {
+                    switch: sw,
+                    ops: vec![op],
+                    barrier: true,
+                });
+            }
+        }
+    }
+
+    /// Appends a sequence of ops (drain order preserved).
+    pub fn extend(&mut self, ops: impl IntoIterator<Item = RuleOp>) {
+        for op in ops {
+            self.push(op);
+        }
+    }
+
+    /// Whether the journal holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Finishes the journal into barrier-delimited batches, lanes in
+    /// first-appearance order.
+    pub fn into_batches(self) -> Vec<SwitchBatch> {
+        self.lanes
+    }
+}
+
 /// Groups a drained op stream into per-switch batches, preserving each
 /// switch's relative op order. Batch order follows each switch's first
 /// appearance in the stream, so replaying batches in sequence applies
 /// every per-switch subsequence exactly as drained.
 pub fn batch_by_switch(ops: Vec<RuleOp>) -> Vec<SwitchBatch> {
-    let mut batches: Vec<SwitchBatch> = Vec::new();
-    for op in ops {
-        let sw = op.switch();
-        match batches.iter_mut().find(|b| b.switch == sw) {
-            Some(b) => b.ops.push(op),
-            None => batches.push(SwitchBatch {
-                switch: sw,
-                ops: vec![op],
-                barrier: true,
-            }),
-        }
-    }
-    batches
+    let mut journal = OpJournal::default();
+    journal.extend(ops);
+    journal.into_batches()
 }
 
 /// Receives the controller's rule operations.
@@ -414,6 +456,36 @@ mod tests {
         assert_eq!(batches[0].ops, vec![inst(2, 1), rm(2), inst(2, 2)]);
         assert_eq!(batches[1].ops, vec![inst(1, 1), rm(1)]);
         assert!(batches.iter().all(|b| b.barrier));
+    }
+
+    #[test]
+    fn incremental_journal_matches_one_shot_batching() {
+        // feeding a journal op-by-op across many "tickets" must produce
+        // the same batches as grouping the concatenated stream at once
+        let rm = |sw: u32| RuleOp::Remove {
+            switch: SwitchId(sw),
+            matcher: Match::ANY,
+        };
+        let inst = |sw: u32, prio: u16| RuleOp::Install {
+            switch: SwitchId(sw),
+            priority: prio,
+            matcher: Match::ANY,
+            action: Action::Drop,
+        };
+        let tickets = vec![
+            vec![inst(2, 1), inst(1, 1)],
+            vec![],
+            vec![rm(2), inst(3, 1)],
+            vec![inst(2, 2), rm(1), rm(3)],
+        ];
+        let mut journal = OpJournal::default();
+        assert!(journal.is_empty());
+        for ticket in &tickets {
+            journal.extend(ticket.iter().cloned());
+        }
+        assert!(!journal.is_empty());
+        let flat: Vec<RuleOp> = tickets.into_iter().flatten().collect();
+        assert_eq!(journal.into_batches(), batch_by_switch(flat));
     }
 
     #[test]

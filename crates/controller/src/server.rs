@@ -35,7 +35,7 @@ use softcell_policy::{AppClassifier, ServicePolicy, SubscriberAttributes, UeClas
 use softcell_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch};
 use softcell_types::{
     shard_of_station, shard_of_ue, BaseStationId, Error, PolicyTag, RangePool, Result, ShardRange,
-    SimTime, UeId, UeImsi,
+    SimTime, Striped, UeId, UeImsi,
 };
 
 use crate::core::AttachGrant;
@@ -184,8 +184,11 @@ pub(crate) struct Shared {
     pub(crate) telemetry: Arc<Registry>,
     /// Packet-in requests served (`softcell_controller_packet_in_total`).
     pub(crate) served: Arc<Counter>,
-    /// UE records registered over the wire front-end ([`crate::wire`]).
-    pub(crate) ues: Mutex<std::collections::HashMap<UeImsi, crate::state::UeRecord>>,
+    /// UE records registered over the wire front-end ([`crate::wire`]),
+    /// striped by IMSI so domains touching different UEs never contend
+    /// (one global mutex here serialized every attach/detach across the
+    /// whole pool and flattened throughput past ~8 shards).
+    pub(crate) ues: Striped<std::collections::HashMap<UeImsi, crate::state::UeRecord>>,
     /// Permanent-address allocator for wire attaches (offsets into the
     /// carrier-grade NAT pool 100.64/10, like the simulation config).
     pub(crate) next_permanent: std::sync::atomic::AtomicU32,
@@ -271,7 +274,7 @@ impl ControllerServer {
         if depth == 0 {
             return Err(Error::Config("request queue needs depth >= 1".into()));
         }
-        let shared = Self::new_shared(policy, subscribers);
+        let shared = Self::new_shared(policy, subscribers, threads);
         let (tx, rx) = bounded::<Request>(depth);
         let workers = (0..threads)
             .map(|_| {
@@ -304,7 +307,7 @@ impl ControllerServer {
         if shards == 0 {
             return Err(Error::Config("server needs at least one shard".into()));
         }
-        let shared = Self::new_shared(policy, subscribers);
+        let shared = Self::new_shared(policy, subscribers, shards);
         let tag_pool = RangePool::new(TAG_SPACE, RANGE_BLOCK);
         let perm_pool = RangePool::new(PERMANENT_SPACE, RANGE_BLOCK);
         let mut txs = Vec::with_capacity(shards);
@@ -334,6 +337,7 @@ impl ControllerServer {
     fn new_shared(
         policy: ServicePolicy,
         subscribers: impl IntoIterator<Item = SubscriberAttributes>,
+        stripes: usize,
     ) -> Arc<Shared> {
         let telemetry = Registry::new();
         Arc::new(Shared {
@@ -343,7 +347,7 @@ impl ControllerServer {
             paths: Mutex::new(std::collections::HashMap::new()),
             next_tag: AtomicU64::new(0),
             served: telemetry.counter("softcell_controller_packet_in_total"),
-            ues: Mutex::new(std::collections::HashMap::new()),
+            ues: Striped::new(stripes),
             next_permanent: std::sync::atomic::AtomicU32::new(0),
             active_connections: telemetry.gauge("softcell_controller_active_connections"),
             disconnects: telemetry.counter("softcell_controller_disconnects_total"),
@@ -555,7 +559,7 @@ fn worker_loop(
             } => {
                 let out = (|| {
                     let classifier = compile_classifier(&shared, imsi)?;
-                    let mut ues = shared.ues.lock();
+                    let mut ues = shared.ues.for_ue(imsi);
                     // permanent addresses never change (§3.1): a
                     // re-attach keeps the one first assigned
                     let permanent_ip = match ues.get(&imsi) {
@@ -599,7 +603,7 @@ fn worker_loop(
             Request::Detach { imsi, reply } => {
                 let out = shared
                     .ues
-                    .lock()
+                    .for_ue(imsi)
                     .remove(&imsi)
                     .ok_or_else(|| Error::NotFound(format!("{imsi} not attached")));
                 if let (Ok(record), Some(d)) = (&out, domain.as_mut()) {

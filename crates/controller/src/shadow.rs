@@ -462,6 +462,13 @@ impl ShadowTables {
         }
     }
 
+    /// Assembles a snapshot from per-switch shadows (index = switch id).
+    /// Used by the partitioned installer, whose live state is one cell
+    /// per switch rather than a single table vector.
+    pub fn from_switches(switches: Vec<ShadowSwitch>) -> Self {
+        ShadowTables { switches }
+    }
+
     /// The shadow of one switch.
     pub fn switch(&self, id: SwitchId) -> &ShadowSwitch {
         &self.switches[id.index()]
@@ -737,6 +744,79 @@ mod tests {
                 // aggregation is a pure win: never more entries than the
                 // unaggregated write set (+1 for the default)
                 prop_assert!(shadow.rule_count() <= distinct.len() + 1);
+            }
+
+            /// The incremental delta stream is a faithful encoding of
+            /// re-aggregation: replaying only the emitted `ShadowDelta`s
+            /// into a dumb rule store reconstructs the table
+            /// rule-for-rule — so a consumer of the op stream (physical
+            /// switches, replicas) converges on exactly the aggregated
+            /// state a from-scratch recomputation would build, merges and
+            /// cascades included.
+            #[test]
+            fn prop_delta_stream_reconstructs_tables(installs in arb_installs()) {
+                use std::collections::HashMap;
+                let mut shadow = ShadowSwitch::new();
+                // (entry, tag) -> (default, prefix rules): no aggregation
+                // logic of its own, it just obeys the deltas
+                type MirrorSlot = (Option<NextHop>, HashMap<Ipv4Prefix, NextHop>);
+                let mut mirror: HashMap<(Entry, PolicyTag), MirrorSlot> = HashMap::new();
+                for (station, hop) in installs {
+                    // spread across entries and tags so namespace
+                    // separation is exercised too
+                    let entry = if station % 2 == 0 {
+                        IN
+                    } else {
+                        Entry::FromMb(MiddleboxId(1))
+                    };
+                    let tag = if station % 3 == 0 { PolicyTag(9) } else { T };
+                    let prefix = Ipv4Prefix::from_bits(0x0A00_0000 | (station << 9), 23);
+                    let nh = NextHop::Switch(SwitchId(hop as u32));
+                    if shadow.rule_cost(entry, tag, prefix, nh).is_none() {
+                        continue;
+                    }
+                    for delta in shadow.install(entry, tag, prefix, nh) {
+                        match delta {
+                            ShadowDelta::SetDefault { entry, tag, nh } => {
+                                mirror.entry((entry, tag)).or_default().0 = Some(nh);
+                            }
+                            ShadowDelta::AddPrefix { entry, tag, prefix, nh } => {
+                                mirror.entry((entry, tag)).or_default().1.insert(prefix, nh);
+                            }
+                            ShadowDelta::RemovePrefix { entry, tag, prefix } => {
+                                let removed = mirror
+                                    .entry((entry, tag))
+                                    .or_default()
+                                    .1
+                                    .remove(&prefix);
+                                prop_assert!(
+                                    removed.is_some(),
+                                    "delta removed a rule the stream never added: \
+                                     {:?}/{:?}/{}", entry, tag, prefix
+                                );
+                            }
+                        }
+                    }
+                }
+                let mut live: Vec<(Entry, PolicyTag, Option<Ipv4Prefix>, NextHop)> =
+                    shadow.iter_rules().collect();
+                let mut replayed: Vec<(Entry, PolicyTag, Option<Ipv4Prefix>, NextHop)> = mirror
+                    .iter()
+                    .flat_map(|(&(entry, tag), (default, prefixes))| {
+                        default
+                            .iter()
+                            .map(move |nh| (entry, tag, None, *nh))
+                            .chain(
+                                prefixes
+                                    .iter()
+                                    .map(move |(p, nh)| (entry, tag, Some(*p), *nh)),
+                            )
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                live.sort_unstable();
+                replayed.sort_unstable();
+                prop_assert_eq!(live, replayed, "delta replay diverged from the table");
             }
 
             #[test]

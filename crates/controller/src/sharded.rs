@@ -64,16 +64,20 @@ use softcell_dataplane::MicroflowAction;
 use softcell_packet::{FiveTuple, Protocol};
 use softcell_policy::clause::{AccessControl, ClauseId};
 use softcell_policy::{ServicePolicy, SubscriberAttributes, UeClassifier};
-use softcell_telemetry::{Histogram, Registry, Stopwatch};
-use softcell_topology::Topology;
+use softcell_telemetry::{Counter, Histogram, Registry, Stopwatch};
+use softcell_topology::{ShortestPaths, Topology};
 use softcell_types::{
-    shard_of_station, shard_of_ue, BaseStationId, Error, LocIp, RangePool, Result, ShardRange,
-    SimDuration, SimTime, SwitchId, UeId, UeImsi,
+    shard_of_station, shard_of_ue, BaseStationId, Error, LocIp, MiddleboxKind, RangePool, Result,
+    ShardRange, SimDuration, SimTime, SwitchId, UeId, UeImsi,
 };
 
-use crate::core::{AttachGrant, CentralController, ControllerConfig, PathTags};
+use crate::core::{
+    select_nearest_instances, AttachGrant, CentralController, CommitTier, ControllerConfig,
+    InstanceSelection, PathTags,
+};
+use crate::install::{PlannerHandle, PolicyPathPlan};
 use crate::mobility::FlowRecord;
-use crate::ops::SwitchBatch;
+use crate::ops::{OpJournal, SwitchBatch};
 use crate::state::UeRecord;
 
 /// Block size of the per-shard permanent-address ranges.
@@ -211,10 +215,23 @@ pub struct ShardedStats {
     pub rendezvous_messages: u64,
     /// Flows processed.
     pub flows: u64,
-    /// Flows served from published tags (no engine entry).
+    /// Flows served from published tags (no engine entry) or from the
+    /// engine's own path cache (a ticketed demand that found the path
+    /// already installed).
     pub cache_hits: u64,
     /// Flows that installed the policy path (coordinated).
     pub cache_misses: u64,
+    /// Ticketed flow demands — the first flow per (UE, station, clause)
+    /// in the pre-pass, whether or not the path turned out to be
+    /// installed already. `coordinated == attaches + detaches +
+    /// handoffs + flow_demands` on clean runs.
+    pub flow_demands: u64,
+    /// Ticketed demands committed from a validated optimistic plan (the
+    /// fast tier).
+    pub commit_fast: u64,
+    /// Ticketed demands whose optimistic plan went stale and were
+    /// re-planned under the ticket (the fallback tier).
+    pub commit_replanned: u64,
     /// Flows denied by policy.
     pub denied: u64,
     /// Events skipped.
@@ -234,6 +251,9 @@ impl ShardedStats {
         self.flows += o.flows;
         self.cache_hits += o.cache_hits;
         self.cache_misses += o.cache_misses;
+        self.flow_demands += o.flow_demands;
+        self.commit_fast += o.commit_fast;
+        self.commit_replanned += o.commit_replanned;
         self.denied += o.denied;
         self.skipped += o.skipped;
         self.coordinated += o.coordinated;
@@ -366,6 +386,9 @@ struct Coordinator<'t> {
     published: RwLock<HashMap<(BaseStationId, ClauseId), std::result::Result<PathTags, String>>>,
     /// Precompiled per-subscriber classifiers (read-only).
     classifiers: HashMap<UeImsi, Arc<UeClassifier>>,
+    /// Allow-clause middlebox chains (read-only), so workers can plan
+    /// policy paths outside the sequencer without touching the engine.
+    chains: HashMap<ClauseId, Vec<MiddleboxKind>>,
     /// Workers done with their event queues.
     done: AtomicUsize,
 }
@@ -404,11 +427,19 @@ struct MirrorFlow {
 struct ShardedMetrics {
     /// Time a coordinated event spends waiting for its ticket.
     ticket_wait: Arc<Histogram>,
+    /// Time a ticket holder then waits to acquire the engine mutex —
+    /// previously folded invisibly into neither histogram, which hid
+    /// exactly the contention the concurrent engine removes.
+    engine_lock_wait: Arc<Histogram>,
     /// Time the shared Algorithm-1 engine stays occupied per ticket
-    /// (lock hold: plan + op drain + batching).
+    /// (lock hold: plan/validate + op drain; batching happens outside).
     engine_busy: Arc<Histogram>,
     /// Time a cross-shard rendezvous waits for the owner's reply.
     rendezvous_wait: Arc<Histogram>,
+    /// Ticketed demands committed from a still-current optimistic plan.
+    commit_fast: Arc<Counter>,
+    /// Ticketed demands re-planned under the ticket (stale plan).
+    commit_replanned: Arc<Counter>,
 }
 
 fn metrics() -> &'static ShardedMetrics {
@@ -417,8 +448,11 @@ fn metrics() -> &'static ShardedMetrics {
         let r = Registry::global();
         ShardedMetrics {
             ticket_wait: r.histogram("softcell_controller_ticket_wait_ns"),
+            engine_lock_wait: r.histogram("softcell_controller_engine_lock_wait_ns"),
             engine_busy: r.histogram("softcell_controller_engine_busy_ns"),
             rendezvous_wait: r.histogram("softcell_controller_rendezvous_wait_ns"),
+            commit_fast: r.counter("softcell_controller_commit_fast_total"),
+            commit_replanned: r.counter("softcell_controller_commit_replanned_total"),
         }
     })
 }
@@ -439,6 +473,14 @@ struct Worker<'t, 'c> {
     outcomes: Vec<(usize, EventOutcome)>,
     stats: ShardedStats,
     rng: u64,
+    /// Handle for planning policy paths outside the sequencer. `Some`
+    /// only under [`InstanceSelection::Nearest`] — the one selection
+    /// mode a worker can model without the engine's private cursors.
+    planner: Option<PlannerHandle>,
+    /// Worker-local shortest-path cache feeding the optimistic planner
+    /// (BFS over the shared immutable topology — identical distances on
+    /// every shard).
+    sp: ShortestPaths<'t>,
 }
 
 impl<'t> Worker<'t, '_> {
@@ -612,18 +654,33 @@ impl<'t> Worker<'t, '_> {
         }
         sw.record(&metrics().ticket_wait);
         self.stats.coordinated += 1;
-        let sw = Stopwatch::start();
-        let (result, batches) = {
+        // engine-mutex acquisition measured separately: the ticket
+        // serializes coordinated events, but mobility/offline paths can
+        // still hold the engine, and folding that wait into engine_busy
+        // would misattribute contention as work
+        let lock_sw = Stopwatch::start();
+        let (result, ops) = {
             let mut engine = self.coord.engine.lock();
+            lock_sw.record(&metrics().engine_lock_wait);
+            let sw = Stopwatch::start();
             let (result, mut ops) = f(self, &mut engine);
             ops.extend(engine.drain_ops());
-            (result, crate::ops::batch_by_switch(ops))
+            drop(engine);
+            sw.record(&metrics().engine_busy);
+            (result, ops)
         };
-        sw.record(&metrics().engine_busy);
-        if !batches.is_empty() {
-            self.batches.push(SeqBatches { seq, batches });
-        }
+        // hand the ticket on before batching: per-ticket batching needs
+        // neither the engine nor the sequencer, so the next coordinated
+        // event overlaps with this shard's journaling
         self.coord.next_seq.store(seq + 1, Ordering::Release);
+        let mut journal = OpJournal::default();
+        journal.extend(ops);
+        if !journal.is_empty() {
+            self.batches.push(SeqBatches {
+                seq,
+                batches: journal.into_batches(),
+            });
+        }
         result
     }
 
@@ -635,6 +692,24 @@ impl<'t> Worker<'t, '_> {
                 reason: reason.into(),
             },
         ));
+    }
+
+    /// Plans a (station, clause) policy path outside the sequencer: pure
+    /// reads against the shared installer cells plus this worker's own
+    /// shortest-path cache. Returns `None` when planning is unavailable
+    /// (non-Nearest selection), pointless (tags already published — the
+    /// engine will serve its cache), or failed (the ticketed path will
+    /// fail identically and report the error).
+    fn optimistic_plan(&mut self, bs: BaseStationId, clause: ClauseId) -> Option<PolicyPathPlan> {
+        let planner = self.planner.clone()?;
+        if self.coord.published.read().contains_key(&(bs, clause)) {
+            return None;
+        }
+        let chain = self.coord.chains.get(&clause)?;
+        let instances = select_nearest_instances(self.topo, &mut self.sp, bs, chain).ok()?;
+        let gateway = self.topo.default_gateway().switch;
+        let path = self.sp.route_policy_path(bs, &instances, gateway).ok()?;
+        planner.plan_policy_path(path, self.cfg.bidirectional).ok()
     }
 
     fn handle_event(&mut self, idx: usize, ev: ShardEvent, ann: Annotation) {
@@ -743,6 +818,7 @@ impl<'t> Worker<'t, '_> {
             // the ticket AND poison the published key so non-coordinated
             // flows of the same (bs, clause) do not wait forever
             if let Some(seq) = ann.seq {
+                self.stats.flow_demands += 1;
                 self.with_ticket(seq, |w, _| {
                     w.coord
                         .published
@@ -782,17 +858,45 @@ impl<'t> Worker<'t, '_> {
         }
 
         let (tags, cache_hit) = match ann.seq {
-            // this flow demands the path: enter the engine and publish
+            // This flow demands the path: plan it optimistically BEFORE
+            // taking the ticket (pure reads against the shared installer
+            // state), then enter the engine, which fast-commits the plan
+            // if still current and re-plans otherwise. The publish
+            // unconditionally overwrites the key, so a successful demand
+            // clears any earlier poison (`Err`) left by a failed one.
             Some(seq) => {
-                self.stats.cache_misses += 1;
+                self.stats.flow_demands += 1;
+                let plan = self.optimistic_plan(bs, entry.clause);
                 let tags = self.with_ticket(seq, |w, engine| {
-                    let r = engine.request_policy_path(bs, entry.clause);
-                    let published = r.as_ref().map(|t| *t).map_err(|e| e.to_string());
+                    let r = engine.request_policy_path_planned(bs, entry.clause, plan.as_ref());
+                    let published = r.as_ref().map(|(t, _)| *t).map_err(|e| e.to_string());
                     w.coord.published.write().insert(key, published);
                     (r, Vec::new())
                 });
                 match tags {
-                    Ok(t) => (t, false),
+                    // the engine's own (clause, station) cache answered:
+                    // this was a hit in every sense that matters (no
+                    // rules were produced); per-UE tickets make this
+                    // reachable when another UE demanded the key first
+                    Ok((t, CommitTier::Cached)) => {
+                        self.stats.cache_hits += 1;
+                        (t, true)
+                    }
+                    Ok((t, tier)) => {
+                        match tier {
+                            CommitTier::Fast => {
+                                self.stats.commit_fast += 1;
+                                metrics().commit_fast.add(1);
+                            }
+                            CommitTier::Replanned => {
+                                self.stats.commit_replanned += 1;
+                                metrics().commit_replanned.add(1);
+                            }
+                            CommitTier::Cached | CommitTier::Unplanned => {}
+                        }
+                        self.stats.cache_misses += 1;
+                        (t, false)
+                    }
                     Err(e) => return self.skip(idx, format!("path request failed: {e}")),
                 }
             }
@@ -1095,7 +1199,15 @@ impl<'t> ShardedController<'t> {
         classifiers: &HashMap<UeImsi, Arc<UeClassifier>>,
     ) -> Vec<Annotation> {
         let mut attached: HashMap<UeImsi, BaseStationId> = HashMap::new();
-        let mut demanded: HashSet<(BaseStationId, ClauseId)> = HashSet::new();
+        // Demands are tracked per (UE, station, clause), not per
+        // (station, clause): each UE's first flow for a key gets its own
+        // ticket. Later tickets for an already-installed key are served
+        // from the engine's path cache and emit no ops (so the merged
+        // batch stream is unchanged), but they re-enter the engine —
+        // which is what un-poisons a key whose original demander failed
+        // (a dead UE would otherwise permanently kill the key for
+        // everyone). See `poisoned_key_recovers_when_another_ue_demands`.
+        let mut demanded: HashSet<(UeImsi, BaseStationId, ClauseId)> = HashSet::new();
         let mut next_seq = 0u64;
         let mut take = || {
             let s = next_seq;
@@ -1133,7 +1245,7 @@ impl<'t> ShardedController<'t> {
                             Some(e)
                                 if e.access == AccessControl::Allow
                                     && attached.get(&ev.imsi) == Some(&bs)
-                                    && demanded.insert((bs, e.clause)) =>
+                                    && demanded.insert((ev.imsi, bs, e.clause)) =>
                             {
                                 take()
                             }
@@ -1167,12 +1279,27 @@ impl<'t> ShardedController<'t> {
             })
             .collect();
         let annotations = self.annotate(events, &classifiers);
+        let chains: HashMap<ClauseId, Vec<MiddleboxKind>> = engine
+            .state()
+            .policy
+            .clauses()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.action.access == AccessControl::Allow)
+            .map(|(i, c)| (ClauseId(i as u16), c.action.chain.clone()))
+            .collect();
+        // Optimistic planning is sound only under Nearest selection (the
+        // other modes advance engine-private cursors a worker cannot
+        // model); the engine gates the fast tier on the same condition.
+        let planner = (self.cfg.selection == InstanceSelection::Nearest)
+            .then(|| engine.installer().planner_handle());
 
         let coord = Coordinator {
             engine: Mutex::new(engine),
             next_seq: AtomicU64::new(0),
             published: RwLock::new(HashMap::new()),
             classifiers,
+            chains,
             done: AtomicUsize::new(0),
         };
 
@@ -1219,6 +1346,8 @@ impl<'t> ShardedController<'t> {
                     outcomes: Vec::new(),
                     stats: ShardedStats::default(),
                     rng: (self.sched_seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1,
+                    planner: planner.clone(),
+                    sp: ShortestPaths::new(self.topo),
                 };
                 handles.push(scope.spawn(move || worker.run(events_rx)));
             }
@@ -1262,6 +1391,10 @@ impl<'t> ShardedController<'t> {
             (
                 "softcell_controller_sharded_cache_misses_total",
                 stats.cache_misses,
+            ),
+            (
+                "softcell_controller_sharded_flow_demands_total",
+                stats.flow_demands,
             ),
             ("softcell_controller_sharded_denied_total", stats.denied),
             ("softcell_controller_sharded_skipped_total", stats.skipped),
@@ -1360,6 +1493,106 @@ mod tests {
             let _ = last_seq.replace(s.seq);
             assert!(s.batches.iter().all(|b| b.barrier));
         }
+    }
+
+    #[test]
+    fn poisoned_key_recovers_when_another_ue_demands() {
+        // ISSUE-8 satellite: a failed coordinated install used to poison
+        // its (station, clause) key forever, because demands were
+        // ticketed once globally per key. Per-UE tickets let a later
+        // UE's demand re-enter the engine, succeed, and overwrite the
+        // poison — after which waiters serve cache hits again.
+        let topo = small_topology();
+        let mut cfg = ControllerConfig::simulation();
+        // a two-address pool: one shard slice of exactly one address, so
+        // the second attach fails after its annotation already assumed
+        // success
+        cfg.permanent_pool =
+            softcell_types::Ipv4Prefix::from_bits(u32::from(Ipv4Addr::new(100, 64, 0, 0)), 31);
+        let sc = ShardedController::new(&topo, cfg, 1);
+        let events = vec![
+            attach(0, 0, 0),
+            attach(1, 1, 0),            // pool exhausted: skipped
+            flow(2, 1, 0, 40_000, 443), // ue1 not attached: burns its ticket, poisons the key
+            flow(3, 0, 0, 40_001, 443), // ue0's own ticketed demand: succeeds, clears the poison
+            flow(4, 0, 0, 40_002, 443), // un-ticketed waiter: served from published tags
+        ];
+        let run = sc.run(ServicePolicy::example_carrier_a(1), &subs(2), &events);
+        assert_eq!(run.stats.attaches, 1);
+        assert!(
+            matches!(&run.outcomes[1], EventOutcome::Skipped { reason } if reason.contains("exhausted")),
+            "{:?}",
+            run.outcomes[1]
+        );
+        assert!(
+            matches!(&run.outcomes[2], EventOutcome::Skipped { reason } if reason.contains("not attached")),
+            "{:?}",
+            run.outcomes[2]
+        );
+        let EventOutcome::Flow(f) = &run.outcomes[3] else {
+            panic!(
+                "ue0's demand must succeed despite the poison: {:?}",
+                run.outcomes[3]
+            );
+        };
+        assert!(!f.cache_hit, "ue0's flow installed the path");
+        let EventOutcome::Flow(f) = &run.outcomes[4] else {
+            panic!("waiter must see the cleared key: {:?}", run.outcomes[4]);
+        };
+        assert!(f.cache_hit, "second flow rides the published tags");
+        assert_eq!(run.stats.cache_misses, 1);
+        assert_eq!(run.stats.cache_hits, 1);
+        assert_eq!(run.stats.flow_demands, 2, "ue1's burned demand + ue0's");
+    }
+
+    #[test]
+    fn waiters_observe_engine_failure_instead_of_spinning() {
+        // an engine failure must publish `Err` so un-ticketed waiters on
+        // the same key terminate (skip) rather than spin forever
+        let topo = small_topology();
+        let mut cfg = ControllerConfig::simulation();
+        cfg.tag_policy.capacity = 0; // every install fails: tag space empty
+        let sc = ShardedController::new(&topo, cfg, 1);
+        let events = vec![
+            attach(0, 0, 0),
+            flow(1, 0, 0, 40_000, 443), // demander: engine fails, publishes Err
+            flow(2, 0, 0, 40_001, 443), // waiter: must observe Err and skip
+        ];
+        let run = sc.run(ServicePolicy::example_carrier_a(1), &subs(1), &events);
+        assert!(
+            matches!(&run.outcomes[1], EventOutcome::Skipped { reason } if reason.contains("path request failed")),
+            "{:?}",
+            run.outcomes[1]
+        );
+        assert!(
+            matches!(&run.outcomes[2], EventOutcome::Skipped { reason } if reason.contains("path request failed")),
+            "{:?}",
+            run.outcomes[2]
+        );
+        assert_eq!(run.stats.cache_hits, 0);
+        assert_eq!(run.stats.cache_misses, 0, "nothing installed");
+    }
+
+    #[test]
+    fn optimistic_plans_fast_commit_on_single_shard() {
+        // with one shard nothing can invalidate a plan between planning
+        // and its ticket, so every installing demand commits fast
+        let topo = small_topology();
+        let sc = ShardedController::new(&topo, ControllerConfig::simulation(), 1);
+        let events = vec![
+            attach(0, 0, 0),
+            attach(0, 1, 1),
+            flow(1, 0, 0, 40_000, 443),
+            flow(2, 1, 1, 40_001, 443),
+            flow(3, 0, 0, 40_002, 80),
+        ];
+        let run = sc.run(ServicePolicy::example_carrier_a(1), &subs(2), &events);
+        assert_eq!(run.stats.cache_misses, 2);
+        assert_eq!(
+            run.stats.commit_fast, 2,
+            "single shard: every install came from its optimistic plan"
+        );
+        assert_eq!(run.stats.commit_replanned, 0);
     }
 
     #[test]

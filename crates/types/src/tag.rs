@@ -91,6 +91,34 @@ impl TagAllocator {
         debug_assert!(!self.free.contains(&tag), "double release of {tag}");
         self.free.push(tag);
     }
+
+    /// Returns a tag to the pool, reporting instead of corrupting on an
+    /// unbalanced release: `false` (and no state change) when the tag was
+    /// never allocated or is already free. Callers that cannot prove
+    /// balance (raw tunnel-tag refcounts) use this and count failures.
+    pub fn try_release(&mut self, tag: PolicyTag) -> bool {
+        if tag.0 >= self.next || self.free.contains(&tag) {
+            return false;
+        }
+        self.free.push(tag);
+        true
+    }
+
+    /// The tag `allocate` would return after `taken` further allocations,
+    /// without mutating the allocator. Lets an optimistic planner reserve
+    /// a sequence of tags it will only claim at commit time; `None` when
+    /// the space would be exhausted at that depth.
+    pub fn peek(&self, taken: usize) -> Option<PolicyTag> {
+        if taken < self.free.len() {
+            return Some(self.free[self.free.len() - 1 - taken]);
+        }
+        let fresh = (taken - self.free.len()) as u64 + self.next as u64;
+        if fresh < self.capacity as u64 {
+            Some(PolicyTag(fresh as u16))
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +146,37 @@ mod tests {
         a.release(PolicyTag(1));
         assert_eq!(a.allocate(), Some(PolicyTag(1)));
         assert!(a.allocate().is_none());
+    }
+
+    #[test]
+    fn peek_previews_allocation_order() {
+        let mut a = TagAllocator::new(4);
+        let t0 = a.allocate().unwrap();
+        let t1 = a.allocate().unwrap();
+        a.release(t0);
+        a.release(t1);
+        // free list pops LIFO, then fresh space, then exhaustion
+        for taken in 0..4 {
+            let peeked = a.peek(taken);
+            assert!(peeked.is_some(), "peek({taken}) within capacity");
+        }
+        assert_eq!(a.peek(0), Some(t1));
+        assert_eq!(a.peek(1), Some(t0));
+        assert_eq!(a.peek(2), Some(PolicyTag(2)));
+        assert_eq!(a.peek(4), None, "exhausted at depth 4");
+        // peek is consistent with actually allocating
+        assert_eq!(a.allocate(), Some(t1));
+        assert_eq!(a.peek(0), Some(t0));
+    }
+
+    #[test]
+    fn try_release_rejects_unbalanced() {
+        let mut a = TagAllocator::new(4);
+        let t = a.allocate().unwrap();
+        assert!(!a.try_release(PolicyTag(3)), "never allocated");
+        assert!(a.try_release(t));
+        assert!(!a.try_release(t), "already free");
+        assert_eq!(a.allocated(), 0);
     }
 
     #[test]

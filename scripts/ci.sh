@@ -49,6 +49,14 @@ echo "==> sharded throughput smoke + telemetry export (120 s cap)"
 timeout 120 cargo run --release -q -p softcell-bench --bin tab2_agent_throughput -- \
   --quick --shards 4 --min-speedup 1.5 --telemetry /tmp/softcell-telemetry.json
 
+# Wide-shard smoke: 16 domains through the concurrent engine (optimistic
+# plan + validate/commit). The speedup floor stays modest — CI boxes may
+# have few cores — but the run itself gates the partitioned-lock paths
+# (per-switch cells, residue, striped UE map) under real contention.
+echo "==> 16-shard concurrent-engine smoke (120 s cap)"
+timeout 120 cargo run --release -q -p softcell-bench --bin tab2_agent_throughput -- \
+  --quick --shards 16 --min-speedup 1.5
+
 echo "==> telemetry snapshot sanity"
 python3 - /tmp/softcell-telemetry.json <<'PY'
 import json, sys

@@ -29,24 +29,24 @@ const SHARDS: usize = 4;
 const UES: u64 = 8;
 
 /// Two stations guaranteed to hash to different shards.
-fn cross_shard_pair() -> (BaseStationId, BaseStationId) {
+fn cross_shard_pair(shards: usize) -> (BaseStationId, BaseStationId) {
     for a in 0..4u32 {
         for b in 0..4u32 {
             let (a, b) = (BaseStationId(a), BaseStationId(b));
-            if a != b && shard_of_station(a, SHARDS) != shard_of_station(b, SHARDS) {
+            if a != b && shard_of_station(a, shards) != shard_of_station(b, shards) {
                 return (a, b);
             }
         }
     }
-    panic!("no cross-shard station pair among 4 stations at {SHARDS} shards");
+    panic!("no cross-shard station pair among 4 stations at {shards} shards");
 }
 
 /// Builds a handoff-heavy trace: every UE attaches at one end of the
 /// cross-shard pair, opens flows, bounces to the other end and back,
 /// then detaches. Half the UEs start at each end so rendezvous traffic
 /// flows in both directions at once.
-fn build_trace() -> Vec<ShardEvent> {
-    let (a, b) = cross_shard_pair();
+fn build_trace(shards: usize) -> Vec<ShardEvent> {
+    let (a, b) = cross_shard_pair(shards);
     let mut events = Vec::new();
     let mut t = 0u64;
     let mut port = 40_000u16;
@@ -117,10 +117,9 @@ fn build_trace() -> Vec<ShardEvent> {
     events
 }
 
-#[test]
-fn cross_shard_handoff_converges_under_every_interleaving() {
+fn interleave_sweep(shards: usize, sched_seeds: std::ops::Range<u64>) {
     let topo = small_topology();
-    let events = build_trace();
+    let events = build_trace(shards);
     let sessions = session_port_groups(&events);
 
     let (reference, mut ref_ctl, mut ref_net) = reference_run_full(&topo, UES, &events);
@@ -141,8 +140,8 @@ fn cross_shard_handoff_converges_under_every_interleaving() {
     );
     let ref_expired_fabric = fabric_dump(&topo, &ref_net);
 
-    for sched_seed in 0..16u64 {
-        let sc = ShardedController::new(&topo, ControllerConfig::simulation(), SHARDS)
+    for sched_seed in sched_seeds {
+        let sc = ShardedController::new(&topo, ControllerConfig::simulation(), shards)
             .with_sched_seed(sched_seed);
         let mut run = sc.run(policy(), &subscribers(UES), &events);
         assert_eq!(
@@ -207,12 +206,25 @@ fn cross_shard_handoff_converges_under_every_interleaving() {
 }
 
 #[test]
+fn cross_shard_handoff_converges_under_every_interleaving() {
+    interleave_sweep(SHARDS, 0..16);
+}
+
+#[test]
+fn sixteen_shard_interleavings_converge() {
+    // the widest configuration the throughput gate exercises: more
+    // shards than stations, so most shards only ever act as ticketed
+    // engine clients while the station owners rendezvous
+    interleave_sweep(16, 0..6);
+}
+
+#[test]
 fn same_shard_handoff_needs_no_rendezvous_messages() {
     // a single UE bouncing between two stations owned by the same shard
     // (shards=1 collapses all station owners) must complete with zero
     // cross-thread rendezvous messages — the mirror is updated inline
     let topo = small_topology();
-    let events = build_trace();
+    let events = build_trace(SHARDS);
     let sc = ShardedController::new(&topo, ControllerConfig::simulation(), 1).with_sched_seed(3);
     let run = sc.run(policy(), &subscribers(UES), &events);
     assert_eq!(run.stats.skipped, 0);
