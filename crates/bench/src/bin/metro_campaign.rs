@@ -1,0 +1,112 @@
+//! Metro-at-scale scenario campaign — "a day in the life of a million
+//! UEs" (DESIGN.md §14).
+//!
+//! Runs one or more named scenarios from the regression matrix: a
+//! deterministic, time-compressed virtual day over the real stack
+//! (cohort tier) plus a statistical model of the full `--ues`
+//! population (macro tier), with composable overlays — commuter
+//! handoff storms, base-station sleep/wake, gateway failure + reroute,
+//! a replicated-controller `kill -9`, flash crowds. Invariants are
+//! checked continuously; the first violating event is reported with
+//! its seed and virtual timestamp for replay.
+//!
+//! Usage:
+//!   metro_campaign [--scenarios name[,name...]] [--ues N]
+//!                  [--compress N] [--cohort N] [--seed N]
+//!                  [--slice SECS] [--report PATH] [--telemetry PATH]
+//!                  [--fabric-dump] [--quick]
+//!
+//! `--scenarios all` (the default) stacks every overlay on one day.
+//! `--quick` switches to the reduced 4-station preset. Exits nonzero
+//! if any scenario records a violation.
+
+use softcell_bench::{arg_str, arg_usize, is_quick, maybe_dump_telemetry};
+use softcell_scenario::{overlays_for, CampaignConfig, CampaignReport, SCENARIOS};
+use softcell_types::SimDuration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let names: Vec<String> = arg_str(&args, "--scenarios")
+        .or_else(|| arg_str(&args, "--scenario"))
+        .unwrap_or("all")
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    for name in &names {
+        if overlays_for(name).is_none() {
+            eprintln!("unknown scenario {name:?}; known: {SCENARIOS:?} (+ seeded-violation)");
+            std::process::exit(2);
+        }
+    }
+
+    let mut reports = Vec::new();
+    let mut dumps = Vec::new();
+    for name in &names {
+        let overlays = overlays_for(name).expect("validated above");
+        let mut cfg = if is_quick(&args) {
+            CampaignConfig::small(name, overlays)
+        } else {
+            CampaignConfig::metro(name, overlays)
+        };
+        if let Some(ues) = arg_usize(&args, "--ues") {
+            cfg.ues = ues as u64;
+        }
+        if let Some(c) = arg_usize(&args, "--compress") {
+            cfg.compress = c as u64;
+        }
+        if let Some(c) = arg_usize(&args, "--cohort") {
+            cfg.cohort_cap = c as u64;
+        }
+        if let Some(s) = arg_usize(&args, "--seed") {
+            cfg.seed = s as u64;
+        }
+        if let Some(s) = arg_usize(&args, "--slice") {
+            cfg.slice = SimDuration::from_secs(s as u64);
+        }
+        cfg.capture_fabric_dump = args.iter().any(|a| a == "--fabric-dump");
+
+        eprintln!(
+            "==> {name}: {} modeled UEs, cohort {}, {} stations expected, day {}s / {}x",
+            cfg.ues,
+            cfg.cohort(),
+            cfg.topology.base_station_count(),
+            cfg.virtual_day.as_micros() / 1_000_000,
+            cfg.compress
+        );
+        match cfg.run() {
+            Ok(out) => {
+                println!("{}", out.report.summary_line());
+                for v in &out.report.violations {
+                    println!("    {v}");
+                    println!("    {}", v.replay_coordinates());
+                }
+                if let Some(d) = out.fabric_dump {
+                    dumps.push((name.clone(), d));
+                }
+                reports.push(out.report);
+            }
+            Err(e) => {
+                eprintln!("{name}: campaign driver failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let campaign = CampaignReport { scenarios: reports };
+    if let Some(path) = arg_str(&args, "--report") {
+        std::fs::write(path, campaign.to_json()).expect("write report");
+        eprintln!("wrote {path}");
+    }
+    for (name, dump) in &dumps {
+        let path = format!("/tmp/softcell-fabric-{name}.txt");
+        std::fs::write(&path, dump).expect("write fabric dump");
+        eprintln!("wrote {path}");
+    }
+    maybe_dump_telemetry(&args, &softcell_telemetry::Registry::global().snapshot());
+
+    if !campaign.clean() {
+        eprintln!("campaign VIOLATED");
+        std::process::exit(1);
+    }
+    eprintln!("campaign clean");
+}

@@ -118,6 +118,12 @@ pub fn arg_usize(args: &[String], flag: &str) -> Option<usize> {
     args.get(pos + 1)?.parse().ok()
 }
 
+/// Parses `--flag VALUE` style string arguments.
+pub fn arg_str<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.get(pos + 1).map(String::as_str)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -508,6 +508,40 @@ impl LocalAgent {
         }
         Ok(())
     }
+
+    /// Retires flow records whose microflow entries are gone from the
+    /// access switch (idle-expired or evicted), freeing their slots.
+    /// Returns the number of flows retired.
+    ///
+    /// Without this, a long-attached UE leaks flow slots: microflow
+    /// entries age out of the switch after `microflow_idle`, but the
+    /// agent-side [`AgentFlow`] record — and its slot in the 6-bit slot
+    /// space — lives until [`Self::flow_finished`] or detach. A UE that
+    /// opens more than `flow_slots()` sequential flows over one long
+    /// attachment then hits `Error::Exhausted` even though none of its
+    /// flows are live. Call this alongside `microflow.expire_idle` at
+    /// housekeeping boundaries.
+    pub fn retire_expired_flows(&mut self, switch: &Switch) -> usize {
+        let mut retired = 0;
+        for ue in self.ues.values_mut() {
+            let mut i = 0;
+            while i < ue.flows.len() {
+                let f = ue.flows[i];
+                let live = switch.microflow.peek(&f.uplink).is_some()
+                    || switch.microflow.peek(&f.downlink).is_some()
+                    || switch.microflow.peek(&f.downlink_original).is_some();
+                if live {
+                    i += 1;
+                } else {
+                    let flow = ue.flows.remove(i);
+                    let (_, slot) = self.ports.decode(flow.downlink.dst_port);
+                    ue.active_slots.remove(&slot);
+                    retired += 1;
+                }
+            }
+        }
+        retired
+    }
 }
 
 #[cfg(test)]
@@ -724,5 +758,46 @@ mod tests {
             .unwrap();
         assert!(agent.adopt(grant.record, grant.classifier).is_err());
         let _ = SwitchId(0); // silence unused import in some cfgs
+    }
+
+    #[test]
+    fn idle_expired_flows_release_slots_via_retire() {
+        let topo = small_topology();
+        let (mut ctl, mut agent, mut sw) = setup(&topo);
+        let rec = agent
+            .handle_attach(UeImsi(0), &mut ctl, SimTime::ZERO)
+            .unwrap();
+        let slots = agent.ports().flow_slots();
+        // fill every slot with sequential (now-finished) flows
+        for i in 0..slots {
+            let t = FiveTuple {
+                src: rec.permanent_ip,
+                dst: Ipv4Addr::new(93, 184, 216, 34),
+                src_port: 40000 + i,
+                dst_port: 443,
+                proto: Protocol::Tcp,
+            };
+            let v = build_flow_packet(t, 64, 0, &[]);
+            let view = HeaderView::parse(&v).unwrap();
+            agent
+                .handle_new_flow(&view, &mut ctl, &mut sw, SimTime::ZERO)
+                .unwrap();
+        }
+        // their microflow entries idle out of the switch...
+        let late = SimTime::from_secs(3600);
+        sw.microflow.expire_idle(late);
+        assert_eq!(sw.microflow.len(), 0);
+        // ...but the agent-side records still pin every slot: leak
+        let v = flow_view(rec.permanent_ip, 443);
+        let err = agent
+            .handle_new_flow(&v, &mut ctl, &mut sw, late)
+            .unwrap_err();
+        assert!(matches!(err, Error::Exhausted(_)), "{err}");
+        // retiring dead flows reclaims the slots; the flow now succeeds
+        assert_eq!(agent.retire_expired_flows(&sw), slots as usize);
+        agent.handle_new_flow(&v, &mut ctl, &mut sw, late).unwrap();
+        assert_eq!(agent.flows_of(UeImsi(0)).unwrap().len(), 1);
+        // live flows are never retired
+        assert_eq!(agent.retire_expired_flows(&sw), 0);
     }
 }

@@ -1,0 +1,189 @@
+//! The `kill -9` replica drill the [`crate::OverlayKind::ControllerKill`]
+//! overlay runs mid-campaign.
+//!
+//! A compact version of the `tests/recovery.rs` gate: a 3-controller
+//! cluster absorbs an attach wave and a cross-region handoff ring, seat
+//! 0 is killed with no teardown at a quiesce point (every reply is
+//! commit-gated, so the dead leader's snapshot is the recovery oracle),
+//! survivors fail over, the orphaned agent re-homes, the storm resumes,
+//! and both survivors must converge **byte-for-byte**. Any divergence
+//! becomes a campaign [`crate::Violation`].
+
+use std::time::Duration;
+
+use softcell_controller::agent::LocalAgent;
+use softcell_controller::wire::ChannelController;
+use softcell_policy::{ServicePolicy, SubscriberAttributes};
+use softcell_replica::{rehome_agent, Cluster, Link, ReplicaStore};
+use softcell_types::{
+    AddressingScheme, BaseStationId, ControllerId, Membership, PortEmbedding, PortNo, SimTime,
+    UeImsi,
+};
+
+const UES: u64 = 9;
+
+/// What the drill observed.
+pub(crate) struct DrillOutcome {
+    /// Survivors matched the oracle and each other byte-for-byte.
+    pub converged: bool,
+    /// Human-readable account (first divergence, or a success note).
+    pub detail: String,
+}
+
+struct Cell {
+    agent: LocalAgent,
+    ctl: ChannelController<Link>,
+}
+
+/// One base station per seat, each led by that seat under `view`.
+fn stations(view: &Membership, seats: usize) -> Option<Vec<BaseStationId>> {
+    (0..seats as u32)
+        .map(|seat| {
+            (0..1024u32)
+                .map(BaseStationId)
+                .find(|bs| view.leader_of_station(*bs) == Some(ControllerId(seat)))
+        })
+        .collect()
+}
+
+fn handoff(
+    cells: &mut [Cell],
+    from: usize,
+    to: usize,
+    imsi: UeImsi,
+    now: SimTime,
+) -> Result<(), String> {
+    cells[from]
+        .agent
+        .evict(imsi)
+        .map_err(|e| format!("evict {imsi} at seat {from}: {e}"))?;
+    let c = &mut cells[to];
+    c.agent
+        .handle_attach(imsi, &mut c.ctl, now)
+        .map_err(|e| format!("re-attach {imsi} at seat {to}: {e}"))?;
+    Ok(())
+}
+
+/// Runs the drill. Never panics — failures come back in the outcome.
+pub(crate) fn controller_kill_drill(seed: u64) -> DrillOutcome {
+    match drill_inner(seed) {
+        Ok(detail) => DrillOutcome {
+            converged: true,
+            detail,
+        },
+        Err(detail) => DrillOutcome {
+            converged: false,
+            detail,
+        },
+    }
+}
+
+fn drill_inner(_seed: u64) -> Result<String, String> {
+    let subs: Vec<SubscriberAttributes> = (0..UES)
+        .map(|i| SubscriberAttributes::default_home(UeImsi(i)))
+        .collect();
+    let cluster = Cluster::start(
+        3,
+        2,
+        &ServicePolicy::example_carrier_a(1),
+        &subs,
+        Duration::from_millis(400),
+    )
+    .map_err(|e| format!("cluster start: {e}"))?;
+    let view = cluster
+        .membership()
+        .map_err(|e| format!("membership: {e}"))?;
+    let bss = stations(&view, 3).ok_or("some seat leads no station")?;
+    let mut cells: Vec<Cell> = Vec::new();
+    for &bs in &bss {
+        cells.push(Cell {
+            agent: LocalAgent::new(
+                bs,
+                PortNo(2),
+                AddressingScheme::default_scheme(),
+                PortEmbedding::default_embedding(),
+            ),
+            ctl: cluster
+                .connect_agent(bs)
+                .map_err(|e| format!("connect agent at {bs}: {e}"))?,
+        });
+    }
+
+    // Storm, act one: every UE attaches, spread across the regions.
+    let mut clock = 0u64;
+    for i in 0..UES {
+        clock += 1;
+        let c = &mut cells[(i % 3) as usize];
+        c.agent
+            .handle_attach(UeImsi(i), &mut c.ctl, SimTime(clock))
+            .map_err(|e| format!("attach {i}: {e}"))?;
+    }
+    // Act two: a cross-region handoff ring.
+    for i in 0..UES {
+        clock += 1;
+        let from = (i % 3) as usize;
+        handoff(&mut cells, from, (from + 1) % 3, UeImsi(i), SimTime(clock))?;
+    }
+
+    // Quiesce point (replies are commit-gated): freeze the oracle, kill.
+    let oracle = cluster.node(0).snapshot_bytes();
+    cluster.kill(0);
+    let after = cluster
+        .fail_over(&[ControllerId(0)])
+        .map_err(|e| format!("fail-over: {e}"))?;
+    if cluster.node(1).snapshot_bytes() != oracle {
+        return Err("seat 1 diverged from the pre-kill oracle".into());
+    }
+    if cluster.node(2).snapshot_bytes() != oracle {
+        return Err("seat 2 diverged from the pre-kill oracle".into());
+    }
+
+    // The orphaned agent re-homes to the deterministic successor.
+    clock += 1;
+    let successor = after
+        .leader_of_station(bss[0])
+        .ok_or("no successor leads the orphaned region")?;
+    let cell0 = &mut cells[0];
+    let new_home = rehome_agent(&cluster, &mut cell0.ctl, &mut cell0.agent, SimTime(clock))
+        .map_err(|e| format!("re-home: {e}"))?;
+    if new_home != successor {
+        return Err(format!(
+            "agent re-homed to {new_home:?}, deterministic successor is {successor:?}"
+        ));
+    }
+
+    // Act three: the storm resumes across the shrunken cluster.
+    for i in 0..UES {
+        clock += 1;
+        let from = ((i % 3) as usize + 1) % 3;
+        handoff(&mut cells, from, (from + 1) % 3, UeImsi(i), SimTime(clock))?;
+    }
+    let s1 = cluster.node(1).snapshot_bytes();
+    let s2 = cluster.node(2).snapshot_bytes();
+    if s1 != s2 {
+        return Err("survivors failed to converge after the resumed storm".into());
+    }
+    let store = ReplicaStore::restore(&s1).map_err(|e| format!("snapshot parse: {e}"))?;
+    if store.ue_count() != UES as usize {
+        return Err(format!(
+            "survivor store holds {} UEs, expected {UES}",
+            store.ue_count()
+        ));
+    }
+    Ok(format!(
+        "kill -9 seat 0 at epoch {}: survivors byte-identical, {} UEs re-converged",
+        after.epoch(),
+        UES
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drill_converges_standalone() {
+        let out = controller_kill_drill(7);
+        assert!(out.converged, "{}", out.detail);
+    }
+}

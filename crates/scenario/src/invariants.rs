@@ -1,0 +1,48 @@
+//! Violation records — the campaign's replay coordinates.
+
+use serde::Serialize;
+
+/// One violated invariant, with everything needed to replay it.
+///
+/// Campaign runs are deterministic in their [`crate::CampaignConfig`]
+/// (see the seed-stability contract in `crates/workload/src/lib.rs`),
+/// so `(scenario, seed, virtual_time_us)` pin-points the failure: rerun
+/// the same scenario with the same seed and the same event fires at the
+/// same virtual microsecond.
+#[derive(Clone, Debug, Serialize)]
+pub struct Violation {
+    /// Scenario name (`diurnal`, `flash-crowd`, ...).
+    pub scenario: String,
+    /// Which invariant broke (`attached-parity`, `policy-consistency`,
+    /// `mobility-residue`, `microflow-occupancy`, `event-application`,
+    /// `replica-convergence`, `quiesce-residue`, ...).
+    pub invariant: String,
+    /// Virtual time of detection, microseconds since campaign start.
+    pub virtual_time_us: u64,
+    /// The campaign seed — replay key.
+    pub seed: u64,
+    /// The offending event or overlay action, as applied.
+    pub event: String,
+    /// What exactly was observed vs. expected.
+    pub detail: String,
+}
+
+impl Violation {
+    /// A one-line replay recipe for this violation.
+    pub fn replay_coordinates(&self) -> String {
+        format!(
+            "replay: --scenario {} --seed {} (virtual t={} µs, event: {})",
+            self.scenario, self.seed, self.virtual_time_us, self.event
+        )
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} at t={}µs: {} ({})",
+            self.scenario, self.invariant, self.virtual_time_us, self.detail, self.event
+        )
+    }
+}

@@ -1,0 +1,100 @@
+//! Composable scenario overlays.
+//!
+//! An overlay perturbs the base diurnal cycle at scheduled virtual
+//! times (expressed as fractions of the virtual day, so a compressed
+//! one-hour test day exercises the same relative schedule as a full 24 h
+//! run). Overlays compose: the `all` scenario stacks every
+//! non-test overlay on one day.
+
+use serde::Serialize;
+
+/// One composable overlay on the base diurnal cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum OverlayKind {
+    /// Commuter handoff storms along a "train line" of adjacent base
+    /// stations at the morning and evening rush hours; each rider
+    /// carries a live flow across every hop (paper §5.1 mobility).
+    TrainStorm,
+    /// HyCell-style energy saving: a third of the stations sleeps at
+    /// the night trough after evacuating its UEs (live flows carried
+    /// along), wakes for the morning commute. Sleeping stations redirect
+    /// attaches/handoffs to the next awake cell.
+    SleepWake,
+    /// Gateway process failure at mid-day: in-flight connections are
+    /// lost, new flows are refused during the outage, and recovery
+    /// triggers the §3.2 offline reroute (rule-set swap + tag-cache
+    /// flush), starting a fresh policy-consistency epoch.
+    GatewayFlap,
+    /// `kill -9` of one controller of a replicated 3-node cluster
+    /// mid-storm: survivors must converge byte-for-byte on the dead
+    /// leader's committed state and the orphaned agent must re-home
+    /// (DESIGN.md §13). Divergence is a campaign violation.
+    ControllerKill,
+    /// Flash crowd: a burst of extra UEs attaches at a single cell at
+    /// peak hour, each opening a flow; cell-capacity rejections are
+    /// admission control (counted), not violations. The crowd drains an
+    /// hour later.
+    FlashCrowd,
+    /// Test-only: a ghost attach injected straight into the controller,
+    /// bypassing the driver's ledger and the agents. The
+    /// attached-parity probe must catch it at the next slice — this is
+    /// the seeded violation proving the probes are live.
+    InjectViolation,
+}
+
+/// Scenario names accepted by `metro_campaign --scenario` and
+/// [`overlays_for`]. (`seeded-violation` also resolves but is
+/// deliberately not listed: it is the probe-liveness test, not a
+/// regression scenario.)
+pub const SCENARIOS: &[&str] = &[
+    "diurnal",
+    "train-storm",
+    "sleep-wake",
+    "gateway-flap",
+    "controller-kill",
+    "flash-crowd",
+    "all",
+];
+
+/// The overlay set of a named scenario, `None` if the name is unknown.
+pub fn overlays_for(name: &str) -> Option<Vec<OverlayKind>> {
+    use OverlayKind::*;
+    Some(match name {
+        "diurnal" => vec![],
+        "train-storm" => vec![TrainStorm],
+        "sleep-wake" => vec![SleepWake],
+        "gateway-flap" => vec![GatewayFlap],
+        "controller-kill" => vec![ControllerKill],
+        "flash-crowd" => vec![FlashCrowd],
+        "all" => vec![
+            TrainStorm,
+            SleepWake,
+            GatewayFlap,
+            ControllerKill,
+            FlashCrowd,
+        ],
+        "seeded-violation" => vec![InjectViolation],
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_scenario_resolves() {
+        for name in SCENARIOS {
+            assert!(overlays_for(name).is_some(), "{name} must resolve");
+        }
+        assert!(overlays_for("seeded-violation").is_some());
+        assert!(overlays_for("nope").is_none());
+    }
+
+    #[test]
+    fn all_stacks_every_regression_overlay() {
+        let all = overlays_for("all").unwrap();
+        assert_eq!(all.len(), 5);
+        assert!(!all.contains(&OverlayKind::InjectViolation));
+    }
+}

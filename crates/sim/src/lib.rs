@@ -35,6 +35,6 @@ pub mod net;
 pub mod world;
 
 pub use figure7::{Figure7Config, Figure7Result};
-pub use middlebox::MiddleboxTracker;
+pub use middlebox::{ConsistencyAuditor, MiddleboxTracker};
 pub use net::{PhysicalNetwork, WalkOutcome};
 pub use world::SimWorld;

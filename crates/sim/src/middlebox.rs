@@ -204,6 +204,117 @@ impl MiddleboxTracker {
     }
 }
 
+/// Incremental policy-consistency auditor over a [`MiddleboxTracker`]'s
+/// traversal log.
+///
+/// [`MiddleboxTracker::assert_consistent`] rescans the full log for one
+/// connection; calling it for every connection every probe interval is
+/// O(connections × log) and unusable for a continuously-checked campaign.
+/// The auditor instead keeps a cursor into the log and a reference chain
+/// per (connection, direction): each [`ConsistencyAuditor::audit`] call
+/// processes only entries appended since the last call, grouping
+/// consecutive same-(walk, key, direction) entries into one packet's
+/// chain segment and checking it against the reference (first sighting
+/// becomes the reference; a downlink reference must mirror the uplink
+/// one and vice versa). Total work over a run is O(log), regardless of
+/// probe frequency.
+///
+/// Connection keys embed recycled flow slots, so references are only
+/// valid within one configuration epoch: after a reoptimization that
+/// may re-place middlebox instances, pair a fresh tracker with
+/// [`ConsistencyAuditor::reset`].
+#[derive(Default)]
+pub struct ConsistencyAuditor {
+    cursor: usize,
+    reference: HashMap<(ConnKey, bool), Vec<MiddleboxId>>,
+    segments: u64,
+}
+
+impl ConsistencyAuditor {
+    /// A fresh auditor starting at the head of the log.
+    pub fn new() -> Self {
+        ConsistencyAuditor::default()
+    }
+
+    /// Checks all log entries appended since the previous call. Returns
+    /// the first violation found (the cursor still advances past the
+    /// audited region, so a campaign can record the violation and
+    /// continue). Call only between packet walks — a mid-walk audit
+    /// would see a truncated chain segment.
+    pub fn audit(&mut self, tracker: &MiddleboxTracker) -> Result<()> {
+        let log = &tracker.log;
+        let mut first_err = None;
+        let mut i = self.cursor;
+        while i < log.len() {
+            let (walk, key, _, up) = log[i];
+            let mut chain = Vec::new();
+            while i < log.len() {
+                let (w2, k2, mb2, up2) = log[i];
+                if w2 != walk || k2 != key || up2 != up {
+                    break;
+                }
+                chain.push(mb2);
+                i += 1;
+            }
+            self.segments += 1;
+            if let Err(e) = self.check_segment(key, up, chain) {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        self.cursor = log.len();
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn check_segment(&mut self, key: ConnKey, up: bool, chain: Vec<MiddleboxId>) -> Result<()> {
+        let dir = if up { "uplink" } else { "downlink" };
+        if let Some(reference) = self.reference.get(&(key, up)) {
+            if *reference != chain {
+                return Err(Error::InvalidState(format!(
+                    "policy-consistency violation: {dir} packet of {key:?} \
+                     took chain {chain:?}, expected {reference:?}"
+                )));
+            }
+            return Ok(());
+        }
+        if let Some(opposite) = self.reference.get(&(key, !up)) {
+            let mirrored: Vec<MiddleboxId> = opposite.iter().rev().copied().collect();
+            if mirrored != chain {
+                return Err(Error::InvalidState(format!(
+                    "policy-consistency violation: {dir} packet of {key:?} \
+                     took chain {chain:?}, expected mirror {mirrored:?}"
+                )));
+            }
+        }
+        self.reference.insert((key, up), chain);
+        Ok(())
+    }
+
+    /// Chain segments (packet traversals) checked so far.
+    pub fn segments_checked(&self) -> u64 {
+        self.segments
+    }
+
+    /// Distinct (connection, direction) reference chains held.
+    pub fn references_held(&self) -> usize {
+        self.reference.len()
+    }
+
+    /// Forgets all references and rewinds the cursor. Pair with a fresh
+    /// tracker at a configuration-epoch boundary (e.g. after
+    /// `apply_reoptimization` re-places middlebox instances, or when
+    /// recycled flow slots would alias old connection keys).
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        self.reference.clear();
+        self.segments = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,5 +468,104 @@ mod tests {
         let w = t.begin_walk();
         t.observe(fw, &up_packet(2), w).unwrap();
         assert_eq!(t.connections_seen(fw), 2);
+    }
+
+    #[test]
+    fn auditor_passes_consistent_incremental_slices() {
+        let mut t = tracker();
+        let mut a = ConsistencyAuditor::new();
+        let (fw, tc) = (MiddleboxId(1), MiddleboxId(2));
+        let w = t.begin_walk();
+        t.observe(fw, &up_packet(4), w).unwrap();
+        t.observe(tc, &up_packet(4), w).unwrap();
+        a.audit(&t).unwrap();
+        assert_eq!(a.segments_checked(), 1);
+        // more traffic after the first audit: same chain, mirrored down
+        let w = t.begin_walk();
+        t.observe(fw, &up_packet(4), w).unwrap();
+        t.observe(tc, &up_packet(4), w).unwrap();
+        let w = t.begin_walk();
+        t.observe(tc, &down_packet(4, PolicyTag(5)), w).unwrap();
+        t.observe(fw, &down_packet(4, PolicyTag(5)), w).unwrap();
+        a.audit(&t).unwrap();
+        assert_eq!(a.segments_checked(), 3);
+        // idempotent when nothing new was logged
+        a.audit(&t).unwrap();
+        assert_eq!(a.segments_checked(), 3);
+    }
+
+    #[test]
+    fn auditor_catches_divergent_chain_in_new_slice_only() {
+        let mut t = tracker();
+        let mut a = ConsistencyAuditor::new();
+        let (fw1, fw2) = (MiddleboxId(1), MiddleboxId(9));
+        let w = t.begin_walk();
+        t.observe(fw1, &up_packet(4), w).unwrap();
+        a.audit(&t).unwrap();
+        let w = t.begin_walk();
+        t.observe(fw2, &up_packet(4), w).unwrap();
+        let err = a.audit(&t).unwrap_err();
+        assert!(err.to_string().contains("policy-consistency"), "{err}");
+        // cursor advanced past the bad entry: no repeat report
+        a.audit(&t).unwrap();
+    }
+
+    #[test]
+    fn auditor_catches_unmirrored_downlink() {
+        let mut t = tracker();
+        let mut a = ConsistencyAuditor::new();
+        let (fw, tc) = (MiddleboxId(1), MiddleboxId(2));
+        let w = t.begin_walk();
+        t.observe(fw, &up_packet(4), w).unwrap();
+        t.observe(tc, &up_packet(4), w).unwrap();
+        // downlink in the same (unmirrored) order
+        let w = t.begin_walk();
+        t.observe(fw, &down_packet(4, PolicyTag(5)), w).unwrap();
+        t.observe(tc, &down_packet(4, PolicyTag(5)), w).unwrap();
+        assert!(a.audit(&t).is_err());
+    }
+
+    #[test]
+    fn auditor_agrees_with_full_rescan_oracle() {
+        let mut t = tracker();
+        let mut a = ConsistencyAuditor::new();
+        let (fw, tc) = (MiddleboxId(1), MiddleboxId(2));
+        for i in 0..6u16 {
+            let slot = i % 3;
+            let w = t.begin_walk();
+            t.observe(fw, &up_packet(slot), w).unwrap();
+            t.observe(tc, &up_packet(slot), w).unwrap();
+            let w = t.begin_walk();
+            t.observe(tc, &down_packet(slot, PolicyTag(5)), w).unwrap();
+            t.observe(fw, &down_packet(slot, PolicyTag(5)), w).unwrap();
+            a.audit(&t).unwrap();
+        }
+        for slot in 0..3u16 {
+            let key = t
+                .key_of(&HeaderView::parse(&up_packet(slot)).unwrap())
+                .unwrap()
+                .0;
+            t.assert_consistent(&key).unwrap();
+        }
+        assert_eq!(a.references_held(), 6);
+    }
+
+    #[test]
+    fn auditor_reset_forgets_epoch_references() {
+        let mut t = tracker();
+        let mut a = ConsistencyAuditor::new();
+        let fw1 = MiddleboxId(1);
+        let w = t.begin_walk();
+        t.observe(fw1, &up_packet(4), w).unwrap();
+        a.audit(&t).unwrap();
+        // new epoch: fresh tracker, same connection key re-placed onto a
+        // different instance — legal after reset, a violation without.
+        let mut t2 = tracker();
+        let fw2 = MiddleboxId(9);
+        let w = t2.begin_walk();
+        t2.observe(fw2, &up_packet(4), w).unwrap();
+        a.reset();
+        a.audit(&t2).unwrap();
+        assert_eq!(a.references_held(), 1);
     }
 }

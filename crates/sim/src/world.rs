@@ -366,7 +366,13 @@ impl<'t> SimWorld<'t> {
             self.net.switch_mut(old_access).microflow.remove(t);
         }
         let new_access = self.topo.base_station(to).access_switch;
-        let deadline = self.now + SimDuration::from_secs(300);
+        // Carried entries must not outlive the mobility transition that
+        // re-keyed them: once the transition (and its launch specs)
+        // expires, a still-live carried entry would make the agent
+        // gather the dead flow into the *next* handoff, whose plan then
+        // fails for want of launch specs. Expiring both on the same
+        // deadline keeps agent, switch and mobility state in lock-step.
+        let deadline = self.now + self.controller.mobility().transition_ttl;
         for (tuple, action) in &plan.new_microflow_installs {
             self.net
                 .switch_mut(new_access)
@@ -761,6 +767,21 @@ impl<'t> SimWorld<'t> {
         self.agents[bs.index()].restart_from(grants)
     }
 
+    /// Retires agent-side flow records whose microflow entries have
+    /// idled out of their access switches, freeing the UEs' flow slots
+    /// (see `LocalAgent::retire_expired_flows`). Returns the number of
+    /// flows retired across all stations. Call alongside
+    /// `microflow.expire_idle` at housekeeping boundaries — long
+    /// campaigns leak slots without it.
+    pub fn retire_expired_flows(&mut self) -> usize {
+        let mut retired = 0;
+        for bs in self.topo.base_stations() {
+            let sw = self.net.switch(bs.access_switch);
+            retired += self.agents[bs.id.index()].retire_expired_flows(sw);
+        }
+        retired
+    }
+
     /// Asserts policy consistency for every connection that has carried
     /// traffic.
     pub fn assert_policy_consistency(&self) -> Result<()> {
@@ -1117,6 +1138,50 @@ mod chain_tests {
             w.handoff(UeImsi(0), BaseStationId(bs)).unwrap();
             w.round_trip(c).unwrap();
         }
+        w.assert_policy_consistency().unwrap();
+    }
+
+    /// Regression: carried microflow entries must expire with the
+    /// transition that re-keyed them. They used to get a flat 300 s
+    /// deadline — longer than the 120 s transition TTL — so after
+    /// `expire_transitions` reaped the transition (and its launch
+    /// specs), the dead flow still *looked* live to the agent, got
+    /// gathered into the next handoff, and the plan failed with
+    /// "no launch specs for anchor".
+    #[test]
+    fn carried_flows_do_not_outlive_their_transition() {
+        let topo = CellularParams::paper(2).build().unwrap();
+        let mut w = SimWorld::new(&topo, ServicePolicy::example_carrier_a(1));
+        w.provision(SubscriberAttributes::default_home(UeImsi(0)));
+        w.attach(UeImsi(0), BaseStationId(0)).unwrap();
+        let c = w
+            .start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp)
+            .unwrap();
+        w.round_trip(c).unwrap();
+        // the flow rides along to bs1; its carried entries are keyed
+        // under the bs0 anchor and must die with the transition
+        w.handoff(UeImsi(0), BaseStationId(1)).unwrap();
+
+        // let the transition TTL lapse, then run the same housekeeping
+        // a long campaign runs: reap transitions, idle entries, and
+        // agent flow records whose entries are gone
+        let ttl = w.controller.mobility().transition_ttl;
+        w.advance(ttl + SimDuration::from_secs(1));
+        let now = w.now();
+        let ops = w.controller.expire_transitions(now);
+        w.net.apply_all(&ops).unwrap();
+        for sw in w.net.switches_mut() {
+            sw.microflow.expire_idle(now);
+        }
+        let retired = w.retire_expired_flows();
+        assert!(retired >= 1, "the dead carried flow must be retired");
+
+        // a further handoff must not trip over the expired anchor
+        w.handoff(UeImsi(0), BaseStationId(2)).unwrap();
+        let c2 = w
+            .start_connection(UeImsi(0), SERVER, 443, Protocol::Tcp)
+            .unwrap();
+        w.round_trip(c2).unwrap();
         w.assert_policy_consistency().unwrap();
     }
 }

@@ -24,6 +24,36 @@
 //! * [`events`] — a concrete, per-UE event stream (attach / handoff /
 //!   bearer / detach) at configurable scale, driving the end-to-end
 //!   simulator and the agent benchmarks.
+//!
+//! # Seed-stability contract
+//!
+//! Every generator in this crate is **deterministic in its
+//! configuration**: two calls with identical config structs — including
+//! the `seed` field — produce byte-identical output, on every platform
+//! and at every optimization level. Concretely:
+//!
+//! * [`EventStream::generate`] with equal [`EventStreamConfig`] values
+//!   yields traces that compare equal event-for-event (same times, same
+//!   IMSIs, same kinds, same order).
+//! * [`EventStream::warp_diurnal`] is a pure function of the input
+//!   trace and its arguments; warping equal traces yields equal traces.
+//! * [`MetroModel::generate`] with an equal model yields equal
+//!   [`DayStats`].
+//!
+//! The contract is load-bearing: the scenario campaign driver
+//! (`crates/scenario`) replays a failing run from `(config, seed)`
+//! alone, and CI's determinism gate asserts byte-identical serialized
+//! traces and fabric dumps across runs. To keep it, generators must
+//! only draw randomness from the seeded [`rand::StdRng`] streams they
+//! own (never `HashMap` iteration order, wall clock, or thread timing),
+//! and ties in event time must be broken by a total order (the
+//! canonical trace order is `(time, imsi)` under a stable sort).
+//!
+//! Changing any distribution constant, the RNG draw order, or the
+//! tie-break rule is a **contract-breaking change**: it silently
+//! invalidates recorded `(seed, virtual-time)` replay coordinates.
+//! Do it only with a note in CHANGES.md and new golden expectations in
+//! the determinism tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

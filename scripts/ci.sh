@@ -57,6 +57,41 @@ echo "==> 16-shard concurrent-engine smoke (120 s cap)"
 timeout 120 cargo run --release -q -p softcell-bench --bin tab2_agent_throughput -- \
   --quick --shards 16 --min-speedup 1.5
 
+# Metro scenario campaign (DESIGN.md §14): a reduced regression matrix
+# — plain diurnal day, flash crowd, controller kill -9 — at 10k modeled
+# UEs over the compressed virtual day. Deterministic (fixed seed), so
+# any violation is replayable from the coordinates in the report. The
+# gate is zero violations AND live per-scenario telemetry; time-capped
+# because a stuck drain or drill is a hang, not a red assert.
+echo "==> metro scenario campaign smoke (240 s cap)"
+timeout 240 ./target/release/metro_campaign \
+  --ues 10000 --scenarios diurnal,flash-crowd,controller-kill \
+  --report /tmp/softcell-scenario.json \
+  --telemetry /tmp/softcell-scenario-telemetry.json
+python3 - /tmp/softcell-scenario.json /tmp/softcell-scenario-telemetry.json <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+names = [s["scenario"] for s in report["scenarios"]]
+assert names == ["diurnal", "flash-crowd", "controller-kill"], names
+for s in report["scenarios"]:
+    assert s["violations"] == [], \
+        f"{s['scenario']}: violations {s['violations']}"
+    assert s["micro"]["attaches"] > 0 and s["micro"]["round_trips"] > 0, \
+        f"{s['scenario']}: cohort tier idle"
+    q = s["quiesce"]
+    assert all(v == 0 for v in q.values()), f"{s['scenario']}: residue {q}"
+assert report["scenarios"][2]["overlay"]["drills_converged"] == 1, \
+    "controller-kill drill did not converge"
+snap = json.load(open(sys.argv[2]))
+counters = {(c["name"], c["label"]): c["value"] for c in snap["counters"]}
+for name in names:
+    ev = counters.get(("softcell_scenario_events_total", f"scenario={name}"), 0)
+    pr = counters.get(("softcell_scenario_probe_runs_total", f"scenario={name}"), 0)
+    assert ev > 0 and pr > 0, \
+        f"scenario {name}: telemetry dead (events={ev}, probes={pr})"
+print(f"scenario campaign ok: {', '.join(names)} clean, telemetry live")
+PY
+
 echo "==> telemetry snapshot sanity"
 python3 - /tmp/softcell-telemetry.json <<'PY'
 import json, sys

@@ -46,6 +46,7 @@ pub use softcell_ctlchan as ctlchan;
 pub use softcell_dataplane as dataplane;
 pub use softcell_packet as packet;
 pub use softcell_policy as policy;
+pub use softcell_scenario as scenario;
 pub use softcell_sim as sim;
 pub use softcell_topology as topology;
 pub use softcell_types as types;

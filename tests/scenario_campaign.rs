@@ -1,0 +1,141 @@
+//! Metro scenario-campaign integration tests (PR 9 satellites).
+//!
+//! Three contracts, exercised through the public umbrella API:
+//!
+//! * **Handoff during active flows at scale** — a compressed hour over
+//!   1 000 UEs with commuter storms and a flash crowd stacked on top
+//!   must finish with zero invariant violations and zero residue of
+//!   any kind once the fabric quiesces.
+//! * **Determinism** — the same configuration (same seed) must produce
+//!   byte-identical warped traces, byte-identical fabric dumps and the
+//!   same fabric digest on every run (the seed-stability contract in
+//!   `softcell_workload`).
+//! * **Seeded violations are actionable** — a campaign that trips an
+//!   invariant must report the offending event with the seed and
+//!   virtual timestamp needed to replay it.
+
+use softcell::scenario::{overlays_for, CampaignConfig, OverlayKind};
+use softcell::types::SimDuration;
+use softcell::workload::diurnal::DiurnalShape;
+use softcell::workload::{EventStream, EventStreamConfig};
+
+/// Satellite 3: a thousand UEs through a compressed hour with the two
+/// overlays that force handoffs while flows are live (train storms move
+/// UEs mid-session; the flash crowd piles attaches onto one cell). The
+/// campaign's continuous probes check policy consistency, tag/tunnel
+/// residue and microflow occupancy after every slice, so a single
+/// mis-carried flow anywhere in the hour fails the run.
+#[test]
+fn handoff_during_active_flows_at_scale_leaves_no_residue() {
+    let cfg = CampaignConfig::small(
+        "storm-hour",
+        vec![OverlayKind::TrainStorm, OverlayKind::FlashCrowd],
+    );
+    assert_eq!(cfg.ues, 1_000);
+    let out = cfg.run().expect("campaign driver");
+    let r = &out.report;
+
+    assert!(r.violations.is_empty(), "violations: {:#?}", r.violations);
+    assert!(r.micro.handoffs > 0, "no handoffs exercised");
+    assert!(r.overlay.storm_rides > 0, "train storm never ran");
+    assert!(r.overlay.crowd_attaches > 0, "flash crowd never ran");
+    assert!(
+        r.micro.round_trips > r.micro.flows,
+        "handoff round-trips missing"
+    );
+
+    // Zero residue after quiesce: nothing attached, reserved, tunnelled
+    // or tagged beyond the warm baseline, and every microflow entry aged
+    // out.
+    let q = &r.quiesce;
+    assert_eq!(q.attached, 0);
+    assert_eq!(q.reserved, 0);
+    assert_eq!(q.transitions, 0);
+    assert_eq!(q.tunnels, 0);
+    assert_eq!(q.rules_delta, 0);
+    assert_eq!(q.tags_delta, 0);
+    assert_eq!(q.microflow_entries, 0);
+}
+
+/// Satellite 2: same seed, same bytes. Both the diurnally-warped input
+/// trace and the end-of-day fabric dump must be byte-identical across
+/// runs — any divergence means a nondeterministic iteration order or a
+/// stray entropy source crept into the stack.
+#[test]
+fn same_seed_gives_byte_identical_traces_and_fabric_dumps() {
+    // The warped workload trace itself.
+    let trace_cfg = EventStreamConfig {
+        base_stations: 4,
+        ues: 200,
+        duration: SimDuration::from_secs(60),
+        mean_session: SimDuration::from_secs(15),
+        mean_gap: SimDuration::from_secs(12),
+        mean_flow_gap: SimDuration::from_secs(3),
+        mean_handoff_gap: SimDuration::from_secs(10),
+        seed: 2013,
+    };
+    let shape = DiurnalShape::default();
+    let warp = |cfg: &EventStreamConfig| {
+        let t = EventStream::generate(cfg).warp_diurnal(
+            &shape,
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(3_600),
+        );
+        serde_json::to_string(&t.events().to_vec()).expect("serialize trace")
+    };
+    let t1 = warp(&trace_cfg);
+    let t2 = warp(&trace_cfg);
+    assert!(!t1.is_empty() && t1.contains("Attach"));
+    assert_eq!(t1, t2, "warped trace is not seed-stable");
+
+    // The full campaign: identical config twice, compare fabric dumps.
+    let mk = || {
+        let mut cfg = CampaignConfig::small("determinism", vec![OverlayKind::TrainStorm]);
+        cfg.ues = 96;
+        cfg.cohort_cap = 96;
+        cfg.virtual_day = SimDuration::from_secs(900);
+        cfg.compress = 15;
+        cfg.capture_fabric_dump = true;
+        cfg
+    };
+    let a = mk().run().expect("run A");
+    let b = mk().run().expect("run B");
+    assert!(a.report.violations.is_empty(), "{:#?}", a.report.violations);
+    assert_eq!(a.report.fabric_digest, b.report.fabric_digest);
+    let (da, db) = (
+        a.fabric_dump.expect("dump A captured"),
+        b.fabric_dump.expect("dump B captured"),
+    );
+    assert!(!da.is_empty());
+    assert_eq!(da, db, "fabric dumps diverged under the same seed");
+    assert_eq!(a.report.micro, b.report.micro);
+}
+
+/// A campaign that trips an invariant must hand back everything needed
+/// to replay the failure: the violated invariant, the offending event,
+/// the seed and the virtual timestamp.
+#[test]
+fn seeded_violation_reports_replay_coordinates() {
+    let overlays = overlays_for("seeded-violation").expect("known scenario");
+    let mut cfg = CampaignConfig::small("seeded-violation", overlays);
+    cfg.ues = 96;
+    cfg.cohort_cap = 96;
+    cfg.virtual_day = SimDuration::from_secs(900);
+    cfg.compress = 15;
+    let out = cfg.run().expect("campaign driver");
+    let r = &out.report;
+
+    assert!(!r.clean(), "seeded violation was not caught");
+    let v = &r.violations[0];
+    assert_eq!(v.scenario, "seeded-violation");
+    assert_eq!(v.seed, 2013);
+    assert!(!v.event.is_empty(), "offending event missing");
+    let coords = v.replay_coordinates();
+    assert!(coords.contains("--seed 2013"), "coords: {coords}");
+    assert!(
+        coords.contains("--scenario seeded-violation"),
+        "coords: {coords}"
+    );
+    // The violation is pinned to a virtual instant inside the day.
+    assert!(v.virtual_time_us <= cfg.virtual_day.as_micros());
+}
