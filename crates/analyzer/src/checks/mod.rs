@@ -1,4 +1,5 @@
 pub mod atomics;
 pub mod locks;
+pub mod span_guard;
 pub mod telemetry;
 pub mod wire;

@@ -11,6 +11,7 @@
 //! | `wire-panic`   | decode/serve scopes never panic on attacker input      |
 //! | `atomics-order`| no `Ordering::Relaxed` in handshake modules            |
 //! | `telemetry`    | metric names: snake_case, suffix-typed, manifested     |
+//! | `span-guard`   | tracing spans are RAII, never `span_start`/`span_end` pairs |
 //!
 //! Suppression: `// softcell-lint: allow(<check>) -- <reason>` on the
 //! offending line (or the comment line directly above it). A
@@ -34,6 +35,7 @@ pub const CHECK_SEQ_BLOCK: &str = "seq-block";
 pub const CHECK_WIRE_PANIC: &str = "wire-panic";
 pub const CHECK_ATOMICS: &str = "atomics-order";
 pub const CHECK_TELEMETRY: &str = "telemetry";
+pub const CHECK_SPAN_GUARD: &str = "span-guard";
 pub const CHECK_SUPPRESSION: &str = "suppression";
 
 pub const ALL_CHECKS: &[&str] = &[
@@ -42,6 +44,7 @@ pub const ALL_CHECKS: &[&str] = &[
     CHECK_WIRE_PANIC,
     CHECK_ATOMICS,
     CHECK_TELEMETRY,
+    CHECK_SPAN_GUARD,
 ];
 
 #[derive(Debug, Clone)]
@@ -109,6 +112,7 @@ pub fn analyze_models(models: &[FileModel], cfg: &Config) -> Analysis {
         edges.extend(checks::locks::scan_file(model, cfg, &mut findings));
         checks::wire::scan_file(model, cfg, &mut findings);
         checks::atomics::scan_file(model, cfg, &mut findings);
+        checks::span_guard::scan_file(model, &mut findings);
         checks::telemetry::collect_sites(model, &mut sites);
         suppression_hygiene(model, &mut findings);
     }

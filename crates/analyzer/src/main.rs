@@ -29,7 +29,7 @@ fn main() -> ExitCode {
                     "softcell-analyzer [--root DIR] [--write-metrics-manifest] \
                      [--show-suppressed]\n\nStatic analysis gates for the SoftCell \
                      workspace (DESIGN.md \u{a7}12). Checks: lock-order, seq-block, \
-                     wire-panic, atomics-order, telemetry."
+                     wire-panic, atomics-order, telemetry, span-guard."
                 );
                 return ExitCode::SUCCESS;
             }

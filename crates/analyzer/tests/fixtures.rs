@@ -155,6 +155,11 @@ fn false_positive_regressions_stay_clean() {
 }
 
 #[test]
+fn span_guard_flags_manual_pairs_only() {
+    expect("span_pairs.rs", &[("span-guard", 5), ("span-guard", 7)]);
+}
+
+#[test]
 fn metrics_manifest_drift_both_directions() {
     let model = FileModel::parse(
         "m.rs",

@@ -33,3 +33,14 @@ fn decode(buf: &[u8]) -> u8 {
 fn handshake(seq: &AtomicU64) -> u64 {
     seq.load(Ordering::SeqCst)
 }
+
+// RAII tracing idioms: guard-scoped spans and the single-call
+// cross-thread record are the sanctioned forms, not paired calls.
+fn traced(tracer: &Tracer, ctx: TraceContext) {
+    let mut sp = tracer.span("ticket_wait");
+    sp.set_shard(0);
+    let _child = tracer.span_in(ctx, "serve_frame");
+    tracer.record_span(ctx, "queue_wait", 0, 1, -1, 0);
+    let span_start = 7;
+    consume(span_start);
+}

@@ -96,7 +96,7 @@ fn bench_codec(c: &mut Criterion) {
 fn bench_loopback(c: &mut Criterion) {
     let (client_end, server_end) = loopback_pair();
     let echo_server = std::thread::spawn(move || {
-        let _ = serve(server_end, || 0, |_msg| None);
+        let _ = serve(server_end, || 0, |_msg, _ctx| None);
     });
     let mut chan = CtlChannel::new(client_end);
     c.bench_function("ctlchan_loopback_echo", |b| {

@@ -14,18 +14,28 @@
 //!   metro_campaign [--scenarios name[,name...]] [--ues N]
 //!                  [--compress N] [--cohort N] [--seed N]
 //!                  [--slice SECS] [--report PATH] [--telemetry PATH]
-//!                  [--fabric-dump] [--quick]
+//!                  [--trace PATH] [--fabric-dump] [--quick]
+//!
+//! `--trace PATH` arms 1-in-64 causal-trace sampling for the whole
+//! campaign and writes the retained spans as Chrome `trace_event` JSON
+//! (Perfetto-loadable); the run ends with one fully sampled
+//! over-the-wire exchange so the export always contains a trace that
+//! crossed the framed transport.
 //!
 //! `--scenarios all` (the default) stacks every overlay on one day.
 //! `--quick` switches to the reduced 4-station preset. Exits nonzero
 //! if any scenario records a violation.
 
-use softcell_bench::{arg_str, arg_usize, is_quick, maybe_dump_telemetry};
+use softcell_bench::{
+    arg_str, arg_usize, is_quick, maybe_arm_tracing, maybe_dump_telemetry, maybe_dump_trace,
+    wire_trace_capture,
+};
 use softcell_scenario::{overlays_for, CampaignConfig, CampaignReport, SCENARIOS};
 use softcell_types::SimDuration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let tracing = maybe_arm_tracing(&args);
     let names: Vec<String> = arg_str(&args, "--scenarios")
         .or_else(|| arg_str(&args, "--scenario"))
         .unwrap_or("all")
@@ -102,7 +112,12 @@ fn main() {
         std::fs::write(&path, dump).expect("write fabric dump");
         eprintln!("wrote {path}");
     }
-    maybe_dump_telemetry(&args, &softcell_telemetry::Registry::global().snapshot());
+    if tracing {
+        wire_trace_capture(4);
+    }
+    let snapshot = softcell_telemetry::Registry::global().snapshot();
+    maybe_dump_telemetry(&args, &snapshot);
+    maybe_dump_trace(&args, &snapshot);
 
     if !campaign.clean() {
         eprintln!("campaign VIOLATED");

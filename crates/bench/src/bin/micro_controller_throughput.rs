@@ -61,6 +61,7 @@ fn measure(workers: usize, clients: usize, duration: Duration) -> (Row, Snapshot
                         h.send(Request::Classifier {
                             imsi: UeImsi((c as u64 * 64 + i + sent) % SUBS),
                             reply: tx.clone(),
+                            trace: softcell_telemetry::ReqTrace::NONE,
                         })
                         .expect("send");
                     }

@@ -40,19 +40,28 @@
 //!
 //! Usage: `tab2_agent_throughput [--quick] [--transport inproc|wire]
 //!          [--shards N [--min-speedup X]] [--json PATH]
-//!          [--telemetry PATH]`
+//!          [--telemetry PATH] [--trace PATH]`
 //!
 //! `--telemetry PATH` prints the run's telemetry report (counters,
 //! latency percentiles, journal) and writes the full snapshot — the
 //! server's per-instance registry merged with the process-global one —
 //! as JSON to `PATH`.
+//!
+//! `--trace PATH` arms 1-in-64 causal-trace sampling for the run and
+//! writes the retained spans as Chrome `trace_event` JSON
+//! (Perfetto-loadable). In `--shards` mode the run ends with one fully
+//! sampled over-the-wire exchange, so the export always contains a
+//! trace spanning packet-in → plan → commit → flow-mod batch → barrier
+//! ack across the framed transport.
 
 use std::net::Ipv4Addr;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::bounded;
 use serde::Serialize;
-use softcell_bench::{is_quick, maybe_dump_json, maybe_dump_telemetry, TextTable};
+use softcell_bench::{
+    is_quick, maybe_arm_tracing, maybe_dump_json, maybe_dump_telemetry, maybe_dump_trace, TextTable,
+};
 use softcell_controller::agent::{ControllerApi, LocalAgent};
 use softcell_controller::core::{AttachGrant, PathTags};
 use softcell_controller::server::{ControllerServer, Request};
@@ -63,7 +72,7 @@ use softcell_dataplane::Switch;
 use softcell_packet::{build_flow_packet, FiveTuple, HeaderView, Protocol};
 use softcell_policy::clause::ClauseId;
 use softcell_policy::{ServicePolicy, SubscriberAttributes};
-use softcell_telemetry::{Registry, Snapshot};
+use softcell_telemetry::{Registry, ReqTrace, Snapshot};
 use softcell_types::{
     AddressingScheme, BaseStationId, Error, PolicyTag, PortEmbedding, PortNo, Result, SimTime,
     SwitchId, UeId, UeImsi,
@@ -94,7 +103,11 @@ impl ControllerApi for RemoteController {
         self.round_trip();
         let (tx, rx) = bounded(1);
         self.handle
-            .send(Request::Classifier { imsi, reply: tx })
+            .send(Request::Classifier {
+                imsi,
+                reply: tx,
+                trace: ReqTrace::NONE,
+            })
             .map_err(|_| Error::InvalidState("controller gone".into()))?;
         let classifier = rx
             .recv()
@@ -121,6 +134,7 @@ impl ControllerApi for RemoteController {
                 bs,
                 clause,
                 reply: tx,
+                trace: ReqTrace::NONE,
             })
             .map_err(|_| Error::InvalidState("controller gone".into()))?;
         let tag: PolicyTag = rx
@@ -345,11 +359,16 @@ fn measure_shards(shards: usize, duration: Duration) -> (u64, f64, Snapshot) {
                 let mut rng: u64 = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1) | 1;
                 // each client churns its private UE population: attach
                 // (one blocking install at the station) then detach
+                // each packet-in is a trace root: with --trace armed,
+                // one in 64 is recorded through queue_wait and the
+                // worker handler; disarmed, root() is a single load
+                let tracer = Registry::global().tracer();
                 while start.elapsed() < duration {
                     rng ^= rng << 13;
                     rng ^= rng >> 7;
                     rng ^= rng << 17;
                     let imsi = UeImsi(base + rng % UES_PER_CLIENT);
+                    let sp = tracer.root("bench_attach");
                     router
                         .route(Request::Attach {
                             imsi,
@@ -357,17 +376,22 @@ fn measure_shards(shards: usize, duration: Duration) -> (u64, f64, Snapshot) {
                             ue_id: UeId(0),
                             now: SimTime(requests),
                             reply: atx.clone(),
+                            trace: ReqTrace::at_enqueue(sp.ctx()),
                         })
                         .expect("route attach");
                     arx.recv().expect("attach reply").expect("attach grant");
+                    drop(sp);
                     requests += 1;
+                    let sp = tracer.root("bench_detach");
                     router
                         .route(Request::Detach {
                             imsi,
                             reply: dtx.clone(),
+                            trace: ReqTrace::at_enqueue(sp.ctx()),
                         })
                         .expect("route detach");
                     drx.recv().expect("detach reply").expect("detach record");
+                    drop(sp);
                     requests += 1;
                 }
                 requests
@@ -442,8 +466,16 @@ fn run_shard_sweep(max_shards: usize, duration: Duration, args: &[String]) {
         },
     );
 
+    // with --trace, end on a wire-crossing exchange so the exported
+    // trace demonstrates packet-in -> plan -> commit -> batch -> barrier
+    // across the framed transport (the sweep itself stays in-process)
+    if softcell_bench::arg_str(args, "--trace").is_some() {
+        softcell_bench::wire_trace_capture(*counts.last().expect("at least one shard count"));
+    }
+
     telemetry.merge(&Registry::global().snapshot());
     maybe_dump_telemetry(args, &telemetry);
+    maybe_dump_trace(args, &telemetry);
 
     if let Some(min) = min_speedup_arg(args) {
         let last = rows.last().expect("at least one row");
@@ -463,6 +495,7 @@ fn run_shard_sweep(max_shards: usize, duration: Duration, args: &[String]) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    maybe_arm_tracing(&args);
     let duration = if is_quick(&args) {
         Duration::from_millis(300)
     } else {
@@ -548,4 +581,5 @@ fn main() {
     let mut telemetry = registry.snapshot();
     telemetry.merge(&Registry::global().snapshot());
     maybe_dump_telemetry(&args, &telemetry);
+    maybe_dump_trace(&args, &telemetry);
 }

@@ -107,6 +107,93 @@ pub fn maybe_dump_telemetry(args: &[String], snapshot: &softcell_telemetry::Snap
     eprintln!("wrote {path}");
 }
 
+/// Arms process-global trace sampling when `--trace PATH` was passed:
+/// one root in 64 is recorded end to end, plus every root slower than
+/// the default outlier bound. Returns whether tracing is on so callers
+/// can add a dedicated capture phase.
+pub fn maybe_arm_tracing(args: &[String]) -> bool {
+    if arg_str(args, "--trace").is_none() {
+        return false;
+    }
+    softcell_telemetry::Registry::global()
+        .tracer()
+        .set_sampling(64, softcell_telemetry::DEFAULT_SLOW_US);
+    true
+}
+
+/// Writes the snapshot's retained spans as Chrome `trace_event` JSON to
+/// the `--trace PATH` argument (loadable in Perfetto or
+/// `chrome://tracing`). No flag, no output.
+pub fn maybe_dump_trace(args: &[String], snapshot: &softcell_telemetry::Snapshot) {
+    let Some(path) = arg_str(args, "--trace") else {
+        return;
+    };
+    let mut f = File::create(path).expect("create trace output");
+    f.write_all(snapshot.to_chrome_trace().as_bytes())
+        .expect("write trace");
+    eprintln!(
+        "wrote {path} ({} spans, {} complete traces)",
+        snapshot.spans.len(),
+        snapshot.complete_traces().len()
+    );
+}
+
+/// One real over-the-wire exchange against a freshly started sharded
+/// controller, run with every root sampled: the exported trace is
+/// guaranteed to contain spans that crossed the framed transport — the
+/// agent-side `wire_rtt` and the server-side `serve_frame`,
+/// `queue_wait`, and worker spans share one trace id, and the path
+/// request produces a `flow_mod_batch` + barrier leg. Benches call this
+/// at the end of a `--trace` run, regardless of where the sweep left
+/// the 1-in-N arrival counter.
+pub fn wire_trace_capture(shards: usize) {
+    use softcell_controller::agent::ControllerApi;
+    use softcell_controller::server::ControllerServer;
+    use softcell_controller::wire::ChannelController;
+    use softcell_policy::clause::ClauseId;
+    use softcell_policy::{ServicePolicy, SubscriberAttributes};
+    use softcell_types::{BaseStationId, SimTime, UeId, UeImsi};
+
+    softcell_telemetry::Registry::global()
+        .tracer()
+        .set_sampling(1, softcell_telemetry::DEFAULT_SLOW_US);
+    let subscribers: Vec<SubscriberAttributes> = (0..8)
+        .map(|i| SubscriberAttributes::default_home(UeImsi(i)))
+        .collect();
+    let server =
+        ControllerServer::start_sharded(ServicePolicy::example_carrier_a(1), subscribers, shards)
+            .expect("sharded server");
+    let (agent_end, controller_end) = softcell_ctlchan::loopback_pair();
+    let serving = server.serve(controller_end);
+    let mut ctl = ChannelController::connect(agent_end, BaseStationId(0)).expect("hello");
+    ctl.attach_ue(UeImsi(0), BaseStationId(0), UeId(0), SimTime::ZERO)
+        .expect("attach");
+    // one root covers the path demand AND its barrier fence, so a
+    // single trace spans packet-in -> plan -> commit -> flow_mod_batch
+    // -> barrier ack, all across the wire
+    {
+        use softcell_ctlchan::{Frame, Message, PacketIn};
+        let sp = softcell_telemetry::Registry::global()
+            .tracer()
+            .root("flow_install");
+        let chan = ctl.channel();
+        chan.set_trace(sp.ctx());
+        let raw = chan
+            .request(&Message::PacketIn(PacketIn::PathRequest {
+                bs: BaseStationId(0),
+                clause: ClauseId(2),
+            }))
+            .expect("path request");
+        Frame::new_checked(raw.as_slice()).expect("reply frame");
+        chan.barrier().expect("barrier");
+        chan.set_trace(softcell_telemetry::TraceContext::NONE);
+    }
+    ctl.detach_ue(UeImsi(0)).expect("detach");
+    drop(ctl);
+    serving.join().expect("serve thread").expect("clean close");
+    server.shutdown();
+}
+
 /// Whether `--quick` was passed (reduced problem sizes for smoke runs).
 pub fn is_quick(args: &[String]) -> bool {
     args.iter().any(|a| a == "--quick")

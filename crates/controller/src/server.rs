@@ -32,7 +32,7 @@ use parking_lot::{Mutex, RwLock};
 
 use softcell_policy::clause::ClauseId;
 use softcell_policy::{AppClassifier, ServicePolicy, SubscriberAttributes, UeClassifier};
-use softcell_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch};
+use softcell_telemetry::{trace, Counter, Gauge, Histogram, Registry, ReqTrace, Stopwatch};
 use softcell_types::{
     shard_of_station, shard_of_ue, BaseStationId, Error, PolicyTag, RangePool, Result, ShardRange,
     SimTime, Striped, UeId, UeImsi,
@@ -73,6 +73,9 @@ pub enum Request {
         imsi: UeImsi,
         /// Where to send the answer.
         reply: Sender<Result<UeClassifier>>,
+        /// Trace context + enqueue stamp ([`ReqTrace::NONE`] when
+        /// untraced).
+        trace: ReqTrace,
     },
     /// A UE attached over the wire: allocate (or keep) its permanent
     /// address, record its location and return the full grant.
@@ -87,6 +90,8 @@ pub enum Request {
         now: SimTime,
         /// Where to send the answer.
         reply: Sender<Result<AttachGrant>>,
+        /// Trace context + enqueue stamp.
+        trace: ReqTrace,
     },
     /// A UE detached over the wire: drop its record (returning it) and,
     /// in sharded mode, release its permanent address to the owning
@@ -96,6 +101,8 @@ pub enum Request {
         imsi: UeImsi,
         /// Where to send the answer.
         reply: Sender<Result<UeRecord>>,
+        /// Trace context + enqueue stamp.
+        trace: ReqTrace,
     },
     /// A tag-cache miss: return (installing if needed) the policy tag of
     /// a (base station, clause) path.
@@ -106,7 +113,33 @@ pub enum Request {
         clause: ClauseId,
         /// Where to send the answer.
         reply: Sender<Result<PolicyTag>>,
+        /// Trace context + enqueue stamp.
+        trace: ReqTrace,
     },
+}
+
+impl Request {
+    /// The span kind a worker opens while serving this request.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Shutdown => "shutdown",
+            Request::Classifier { .. } => "handle_classifier",
+            Request::Attach { .. } => "handle_attach",
+            Request::Detach { .. } => "handle_detach",
+            Request::PathTag { .. } => "handle_path_tag",
+        }
+    }
+
+    /// The trace carried by this request.
+    pub fn trace(&self) -> ReqTrace {
+        match self {
+            Request::Shutdown => ReqTrace::NONE,
+            Request::Classifier { trace, .. }
+            | Request::Attach { trace, .. }
+            | Request::Detach { trace, .. }
+            | Request::PathTag { trace, .. } => *trace,
+        }
+    }
 }
 
 /// Routes requests to the domain owning their key: UE-scoped requests
@@ -496,12 +529,15 @@ struct WorkerMetrics {
     /// blocks this domain stole from other domains' spills (recorded at
     /// shutdown; see [`ShardRange::steals`]).
     steals: Arc<Counter>,
+    /// The shard index, stamped onto trace spans.
+    shard: usize,
 }
 
 impl WorkerMetrics {
     fn new(registry: &Registry, shard: usize) -> WorkerMetrics {
         let label = format!("shard={shard}");
         WorkerMetrics {
+            shard,
             served: registry.counter_with("softcell_controller_shard_served_total", &label),
             latency: registry.histogram("softcell_controller_packet_in_latency_ns"),
             queue_hwm: registry.gauge_with("softcell_controller_shard_queue_depth_hwm", &label),
@@ -532,6 +568,24 @@ fn worker_loop(
         // requests still queued behind the one just taken
         wm.queue_hwm.record_max(rx.len() as u64);
         let sw = Stopwatch::start();
+        // Traced requests: close the cross-thread queue_wait interval
+        // stamped at enqueue, then serve under a per-kind span (the
+        // handler's own spans — engine tiers, install fences — nest in
+        // it via the thread-local context).
+        let rt = req.trace();
+        let tracer = Registry::global().tracer();
+        if rt.ctx.is_active() {
+            tracer.record_span(
+                rt.ctx,
+                "queue_wait",
+                rt.enqueued_us,
+                trace::now_us(),
+                wm.shard as i64,
+                0,
+            );
+        }
+        let mut sp = tracer.span_in(rt.ctx, req.kind());
+        sp.set_shard(wm.shard);
         match req {
             Request::Shutdown => {
                 // the domain's ranges die with the worker; bank their
@@ -541,7 +595,7 @@ fn worker_loop(
                 }
                 return;
             }
-            Request::Classifier { imsi, reply } => {
+            Request::Classifier { imsi, reply, .. } => {
                 let out = compile_classifier(&shared, imsi);
                 // count before replying so a client that has its answer
                 // never observes a stale served() total
@@ -556,6 +610,7 @@ fn worker_loop(
                 ue_id,
                 now,
                 reply,
+                ..
             } => {
                 let out = (|| {
                     let classifier = compile_classifier(&shared, imsi)?;
@@ -600,7 +655,7 @@ fn worker_loop(
                 sw.record(&wm.latency);
                 let _ = reply.send(out);
             }
-            Request::Detach { imsi, reply } => {
+            Request::Detach { imsi, reply, .. } => {
                 let out = shared
                     .ues
                     .for_ue(imsi)
@@ -615,7 +670,9 @@ fn worker_loop(
                 sw.record(&wm.latency);
                 let _ = reply.send(out);
             }
-            Request::PathTag { bs, clause, reply } => {
+            Request::PathTag {
+                bs, clause, reply, ..
+            } => {
                 let out = match domain.as_mut() {
                     // sharded: this domain owns every (bs, clause) it is
                     // ever asked about, so its map needs no lock and the
@@ -692,6 +749,7 @@ mod tests {
         h.send(Request::Classifier {
             imsi: UeImsi(3),
             reply: tx,
+            trace: ReqTrace::NONE,
         })
         .unwrap();
         let classifier = rx.recv().unwrap().unwrap();
@@ -725,6 +783,7 @@ mod tests {
             .send(Request::Classifier {
                 imsi: UeImsi(99),
                 reply: tx,
+                trace: ReqTrace::NONE,
             })
             .unwrap();
         assert!(rx.recv().unwrap().is_err());
@@ -743,6 +802,7 @@ mod tests {
                 bs: BaseStationId(bs),
                 clause: ClauseId(clause),
                 reply: tx,
+                trace: ReqTrace::NONE,
             })
             .unwrap();
             rx.recv().unwrap().unwrap()
@@ -770,6 +830,7 @@ mod tests {
                         h.send(Request::Classifier {
                             imsi: UeImsi((c * 25 + i) % 100),
                             reply: tx.clone(),
+                            trace: ReqTrace::NONE,
                         })
                         .unwrap();
                         rx.recv().unwrap().unwrap();
@@ -809,6 +870,7 @@ mod tests {
                     ue_id: softcell_types::UeId(0),
                     now: SimTime::ZERO,
                     reply: tx.clone(),
+                    trace: ReqTrace::NONE,
                 })
                 .unwrap();
             let grant = rx.recv().unwrap().unwrap();
@@ -825,6 +887,7 @@ mod tests {
                     bs: BaseStationId(bs),
                     clause: ClauseId(clause),
                     reply: ttx.clone(),
+                    trace: ReqTrace::NONE,
                 })
                 .unwrap();
             trx.recv().unwrap().unwrap()
@@ -840,6 +903,7 @@ mod tests {
             .route(Request::Detach {
                 imsi: UeImsi(3),
                 reply: dtx.clone(),
+                trace: ReqTrace::NONE,
             })
             .unwrap();
         let rec = drx.recv().unwrap().unwrap();
@@ -848,6 +912,7 @@ mod tests {
             .route(Request::Detach {
                 imsi: UeImsi(3),
                 reply: dtx.clone(),
+                trace: ReqTrace::NONE,
             })
             .unwrap();
         assert!(drx.recv().unwrap().is_err(), "double detach fails");
@@ -877,6 +942,7 @@ mod tests {
                             .route(Request::Detach {
                                 imsi: UeImsi(i),
                                 reply: dtx.clone(),
+                                trace: ReqTrace::NONE,
                             })
                             .unwrap();
                         drx.recv().unwrap().unwrap();
@@ -890,6 +956,7 @@ mod tests {
                             ue_id: softcell_types::UeId(0),
                             now: SimTime(round),
                             reply: atx.clone(),
+                            trace: ReqTrace::NONE,
                         })
                         .unwrap();
                     let grant = arx.recv().unwrap().unwrap();
@@ -924,6 +991,7 @@ mod tests {
                             .route(Request::Classifier {
                                 imsi: UeImsi((c * 25 + i) % 100),
                                 reply: tx.clone(),
+                                trace: ReqTrace::NONE,
                             })
                             .unwrap();
                         rx.recv().unwrap().unwrap();
@@ -982,6 +1050,7 @@ mod tests {
             h.send(Request::Classifier {
                 imsi: UeImsi(i % 10),
                 reply: tx.clone(),
+                trace: ReqTrace::NONE,
             })
             .unwrap();
             rx.recv().unwrap().unwrap();

@@ -644,13 +644,19 @@ impl<'t> Worker<'t, '_> {
         seq: u64,
         f: impl FnOnce(&mut Self, &mut CentralController<'t>) -> (R, Vec<crate::ops::RuleOp>),
     ) -> R {
+        let tracer = Registry::global().tracer();
         let sw = Stopwatch::start();
-        loop {
-            if self.coord.next_seq.load(Ordering::Acquire) == seq {
-                break;
+        {
+            let mut sp = tracer.span("ticket_wait");
+            sp.set_shard(self.id);
+            sp.set_label(seq);
+            loop {
+                if self.coord.next_seq.load(Ordering::Acquire) == seq {
+                    break;
+                }
+                self.serve_rdv();
+                std::thread::yield_now();
             }
-            self.serve_rdv();
-            std::thread::yield_now();
         }
         sw.record(&metrics().ticket_wait);
         self.stats.coordinated += 1;
@@ -660,6 +666,9 @@ impl<'t> Worker<'t, '_> {
         // would misattribute contention as work
         let lock_sw = Stopwatch::start();
         let (result, ops) = {
+            let mut sp = tracer.span("validate_commit");
+            sp.set_shard(self.id);
+            sp.set_label(seq);
             let mut engine = self.coord.engine.lock();
             lock_sw.record(&metrics().engine_lock_wait);
             let sw = Stopwatch::start();
@@ -676,6 +685,9 @@ impl<'t> Worker<'t, '_> {
         let mut journal = OpJournal::default();
         journal.extend(ops);
         if !journal.is_empty() {
+            let mut sp = tracer.span("batch_by_switch");
+            sp.set_shard(self.id);
+            sp.set_label(seq);
             self.batches.push(SeqBatches {
                 seq,
                 batches: journal.into_batches(),
@@ -714,6 +726,17 @@ impl<'t> Worker<'t, '_> {
 
     fn handle_event(&mut self, idx: usize, ev: ShardEvent, ann: Annotation) {
         self.stats.events += 1;
+        // Trace root per event: the ticket/plan/commit/batch spans below
+        // nest under it via the thread-local context. Disarmed sampling
+        // makes this a single atomic load.
+        let mut root = Registry::global().tracer().root(match ev.kind {
+            ShardEventKind::Attach { .. } => "shard_attach",
+            ShardEventKind::NewFlow { .. } => "shard_new_flow",
+            ShardEventKind::Handoff { .. } => "shard_handoff",
+            ShardEventKind::Detach { .. } => "shard_detach",
+        });
+        root.set_shard(self.id);
+        root.set_label(idx as u64);
         match ev.kind {
             ShardEventKind::Attach { bs } => self.handle_attach(idx, ev, bs, ann),
             ShardEventKind::NewFlow {
@@ -866,7 +889,12 @@ impl<'t> Worker<'t, '_> {
             // clears any earlier poison (`Err`) left by a failed one.
             Some(seq) => {
                 self.stats.flow_demands += 1;
-                let plan = self.optimistic_plan(bs, entry.clause);
+                let plan = {
+                    let mut sp = Registry::global().tracer().span("plan_policy_path");
+                    sp.set_shard(self.id);
+                    sp.set_label(seq);
+                    self.optimistic_plan(bs, entry.clause)
+                };
                 let tags = self.with_ticket(seq, |w, engine| {
                     let r = engine.request_policy_path_planned(bs, entry.clause, plan.as_ref());
                     let published = r.as_ref().map(|(t, _)| *t).map_err(|e| e.to_string());

@@ -22,6 +22,7 @@ use softcell_ctlchan::{
 };
 use softcell_policy::clause::ClauseId;
 use softcell_policy::UeClassifier;
+use softcell_telemetry::{Registry, ReqTrace, TraceContext};
 use softcell_types::{
     shard_of_station, BaseStationId, Error, PortNo, Result, SimTime, UeId, UeImsi,
 };
@@ -120,7 +121,7 @@ impl ControllerServer {
             let result = softcell_ctlchan::serve_with_options(
                 transport,
                 served,
-                move |msg| {
+                move |msg, ctx| {
                     let Message::PacketIn(pi) = msg else {
                         return None;
                     };
@@ -144,6 +145,7 @@ impl ControllerServer {
                                     ue_id,
                                     now,
                                     reply: att_tx.clone(),
+                                    trace: ReqTrace::at_enqueue(ctx),
                                 },
                             )?;
                             let grant = att_rx.recv().map_err(|_| pool_gone())??;
@@ -165,6 +167,7 @@ impl ControllerServer {
                                     bs,
                                     clause,
                                     reply: tag_tx.clone(),
+                                    trace: ReqTrace::at_enqueue(ctx),
                                 },
                             )?;
                             let tag = tag_rx.recv().map_err(|_| pool_gone())??;
@@ -186,11 +189,15 @@ impl ControllerServer {
                             // barrier-delimited batch form
                             Ok(if sharded {
                                 let shard = shard_of_station(bs, router.domains()) as u16;
+                                let mut batch_sp =
+                                    Registry::global().tracer().span_in(ctx, "flow_mod_batch");
+                                batch_sp.set_shard(shard as usize);
                                 // AcqRel: the batch sequence number orders
                                 // flow-mod batches across serve threads, so
                                 // stamping it must not be reorderable against
                                 // the batch contents it numbers.
                                 let seq = shared.batch_seq.fetch_add(1, Ordering::AcqRel) as u32;
+                                batch_sp.set_label(u64::from(seq));
                                 shared.telemetry.journal().record(
                                     "flow_mod_batch",
                                     u64::from(shard),
@@ -217,6 +224,7 @@ impl ControllerServer {
                                 Request::Detach {
                                     imsi,
                                     reply: det_tx.clone(),
+                                    trace: ReqTrace::at_enqueue(ctx),
                                 },
                             )?;
                             let record = det_rx.recv().map_err(|_| pool_gone())??;
@@ -370,17 +378,32 @@ impl<T: Transport> ChannelController<T> {
     }
 
     fn round_trip(&mut self, pi: PacketIn) -> Result<Message<'static>> {
-        let msg = Message::PacketIn(pi);
-        let raw = match &self.retry {
-            Some(policy) => self.chan.request_with_retry(&msg, policy)?,
-            None => self.chan.request(&msg)?,
+        // Each agent operation is a trace root: when sampled, the
+        // channel ships this context on the request frame and the
+        // controller's serve/worker spans land in the same trace.
+        let kind = match pi {
+            PacketIn::Attach { .. } => "agent_attach",
+            PacketIn::PathRequest { .. } => "agent_path_request",
+            PacketIn::Detach { .. } => "agent_detach",
         };
-        let frame = softcell_ctlchan::Frame::new_checked(raw.as_slice())?;
-        let msg = frame.message()?;
-        if let Some(e) = msg.as_error() {
-            return Err(e);
-        }
-        Ok(msg.into_static())
+        let sp = Registry::global().tracer().root(kind);
+        self.chan.set_trace(sp.ctx());
+        let result = (|| {
+            let msg = Message::PacketIn(pi);
+            let raw = match &self.retry {
+                Some(policy) => self.chan.request_with_retry(&msg, policy)?,
+                None => self.chan.request(&msg)?,
+            };
+            let frame = softcell_ctlchan::Frame::new_checked(raw.as_slice())?;
+            let msg = frame.message()?;
+            if let Some(e) = msg.as_error() {
+                return Err(e);
+            }
+            Ok(msg.into_static())
+        })();
+        self.chan.set_trace(TraceContext::NONE);
+        drop(sp);
+        result
     }
 }
 

@@ -24,6 +24,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
+use softcell_telemetry::{Registry, TraceContext};
 use softcell_types::{Error, Result};
 
 use crate::codec::{ChannelStats, Frame, Message, VERSION};
@@ -88,6 +89,9 @@ pub struct CtlChannel<T: Transport> {
     next_xid: u32,
     /// Replies that arrived while waiting for a different xid.
     stash: HashMap<u32, Vec<u8>>,
+    /// Trace context stamped onto outgoing frames while active (set by
+    /// the caller around a traced operation, cleared after).
+    trace: TraceContext,
 }
 
 impl<T: Transport> CtlChannel<T> {
@@ -98,7 +102,17 @@ impl<T: Transport> CtlChannel<T> {
             // xid 0 is reserved for unsolicited messages
             next_xid: 1,
             stash: HashMap::new(),
+            trace: TraceContext::NONE,
         }
+    }
+
+    /// Sets (or clears, with [`TraceContext::NONE`]) the trace context
+    /// propagated on subsequent frames. While active, every request
+    /// opens a `wire_rtt` span as a child of this context and ships the
+    /// span's context in the frame trailer, so server-side `serve_frame`
+    /// spans land in the same trace.
+    pub fn set_trace(&mut self, ctx: TraceContext) {
+        self.trace = ctx;
     }
 
     /// The underlying transport (e.g. for counters).
@@ -126,7 +140,7 @@ impl<T: Transport> CtlChannel<T> {
     /// Sends a message without waiting for an answer (unsolicited push;
     /// carried under xid 0).
     pub fn send(&mut self, msg: &Message<'_>) -> Result<()> {
-        self.transport.send(&msg.encode(0))
+        self.transport.send(&msg.encode_traced(0, self.trace))
     }
 
     /// Sends a request and blocks until the reply carrying its xid
@@ -134,7 +148,8 @@ impl<T: Transport> CtlChannel<T> {
     /// outstanding xids are stashed, not dropped.
     pub fn request(&mut self, msg: &Message<'_>) -> Result<Vec<u8>> {
         let xid = self.fresh_xid();
-        self.attempt(xid, &msg.encode(xid))
+        let sp = Registry::global().tracer().span_in(self.trace, "wire_rtt");
+        self.attempt(xid, &msg.encode_traced(xid, sp.ctx()))
     }
 
     /// Sends a request under a per-attempt deadline and retries it —
@@ -151,7 +166,8 @@ impl<T: Transport> CtlChannel<T> {
         policy: &RetryPolicy,
     ) -> Result<Vec<u8>> {
         let xid = self.fresh_xid();
-        let encoded = msg.encode(xid);
+        let sp = Registry::global().tracer().span_in(self.trace, "wire_rtt");
+        let encoded = msg.encode_traced(xid, sp.ctx());
         self.transport.set_deadline(Some(policy.attempt_timeout))?;
         let mut backoff = policy.base_backoff;
         let mut attempts_left = policy.max_retries;
@@ -284,18 +300,19 @@ pub fn unexpected(wanted: &str, got: &Message<'_>) -> Error {
 ///
 /// Hello, echo-request, barrier-request and stats-request frames are
 /// answered by the loop itself; every other message is passed to
-/// `handler`, and its reply (if any) is sent back under the incoming
-/// frame's xid. Frames are processed strictly in arrival order, which is
-/// what gives the barrier its fence semantics: by the time the loop
-/// reaches a barrier-request, every earlier frame on this connection has
-/// been fully handled.
+/// `handler` along with the frame's trace context ([`TraceContext::NONE`]
+/// for untraced frames), and its reply (if any) is sent back under the
+/// incoming frame's xid, echoing the request's trace context. Frames are
+/// processed strictly in arrival order, which is what gives the barrier
+/// its fence semantics: by the time the loop reaches a barrier-request,
+/// every earlier frame on this connection has been fully handled.
 ///
 /// `served` is reported in stats replies (pass the application's request
 /// counter snapshot via the closure's environment and return it here).
 pub fn serve<T, F, S>(transport: T, served: S, handler: F) -> Result<()>
 where
     T: Transport,
-    F: FnMut(&Message<'_>) -> Option<Message<'static>>,
+    F: FnMut(&Message<'_>, TraceContext) -> Option<Message<'static>>,
     S: FnMut() -> u64,
 {
     serve_with_options(transport, served, handler, ServeOptions::default())
@@ -313,7 +330,7 @@ pub fn serve_with_options<T, F, S>(
 ) -> Result<()>
 where
     T: Transport,
-    F: FnMut(&Message<'_>) -> Option<Message<'static>>,
+    F: FnMut(&Message<'_>, TraceContext) -> Option<Message<'static>>,
     S: FnMut() -> u64,
 {
     let dedup_window = options.dedup_window.max(1);
@@ -327,6 +344,7 @@ where
     while let Some(raw) = transport.recv()? {
         let frame = Frame::new_checked(raw.as_slice())?;
         let xid = frame.xid();
+        let ctx = frame.trace_context();
         let msg = frame.message()?;
         let is_protocol = matches!(
             msg,
@@ -344,6 +362,11 @@ where
                 continue;
             }
         }
+        // Handling runs under a serve_frame span adopting the frame's
+        // context: handler-side spans nest under it, and the whole
+        // server residency becomes visible inside the client's
+        // wire_rtt. No-op for untraced frames.
+        let sp = Registry::global().tracer().span_in(ctx, "serve_frame");
         let reply: Option<Message<'_>> = match &msg {
             Message::Hello { version, .. } => {
                 if *version != VERSION {
@@ -361,7 +384,7 @@ where
             Message::EchoRequest(p) => Some(Message::EchoReply(p.clone())),
             Message::BarrierRequest => {
                 // let the handler observe the fence too (tests hook this)
-                let _ = handler(&msg);
+                let _ = handler(&msg, sp.ctx());
                 softcell_telemetry::Registry::global().journal().record(
                     "barrier_ack",
                     u64::from(xid),
@@ -379,9 +402,10 @@ where
                     rx_bytes: c.rx_bytes,
                 }))
             }
-            other => handler(other).map(Message::into_static),
+            other => handler(other, sp.ctx()).map(Message::into_static),
         };
-        let encoded = reply.map(|r| r.encode(xid));
+        let encoded = reply.map(|r| r.encode_traced(xid, ctx));
+        drop(sp);
         if let Some(encoded) = &encoded {
             transport.send(encoded)?;
         }
@@ -476,7 +500,7 @@ mod tests {
     fn hello_echo_stats_round_trip() {
         let (client_end, server_end) = loopback_pair();
         let server = std::thread::spawn(move || {
-            serve(server_end, || 7, |_msg| None).unwrap();
+            serve(server_end, || 7, |_msg, _ctx| None).unwrap();
         });
         let mut chan = CtlChannel::new(client_end);
         assert_eq!(chan.hello(3).unwrap(), u32::MAX);
@@ -495,7 +519,7 @@ mod tests {
             serve(
                 server_end,
                 || 0,
-                |_msg| Some(Message::from_error(&Error::NotFound("nope".into()))),
+                |_msg, _ctx| Some(Message::from_error(&Error::NotFound("nope".into()))),
             )
             .unwrap();
         });
@@ -516,7 +540,7 @@ mod tests {
     fn probe_measures_liveness_and_times_out_when_dead() {
         let (client_end, server_end) = loopback_pair();
         let server = std::thread::spawn(move || {
-            let _ = serve(server_end, || 0, |_msg| None);
+            let _ = serve(server_end, || 0, |_msg, _ctx| None);
         });
         let mut chan = CtlChannel::new(client_end);
         let rtt = chan.probe(Duration::from_secs(1)).unwrap();
@@ -545,7 +569,7 @@ mod tests {
             let _ = serve(
                 server_end,
                 || 0,
-                move |msg| {
+                move |msg, _ctx| {
                     if matches!(msg, Message::PacketIn(_)) {
                         applied_in_handler.fetch_add(1, Ordering::SeqCst);
                     }
@@ -612,7 +636,7 @@ mod tests {
                 let _ = serve_with_options(
                     server_end,
                     || 0,
-                    move |msg| {
+                    move |msg, _ctx| {
                         // the serve loop shows barriers to the handler
                         // too; only application requests count
                         if matches!(msg, Message::PacketIn(_)) {

@@ -31,6 +31,7 @@ use std::net::Ipv4Addr;
 use softcell_packet::Protocol;
 use softcell_policy::clause::{AccessControl, ClauseId, QosClass};
 use softcell_policy::{ApplicationType, ClassifierEntry};
+use softcell_telemetry::TraceContext;
 use softcell_types::{BaseStationId, Error, PolicyTag, PortNo, Result, SimTime, UeId, UeImsi};
 
 /// Protocol version this crate speaks.
@@ -41,6 +42,16 @@ pub const HEADER_LEN: usize = 12;
 
 /// Upper bound on a frame (sanity check against corrupt length fields).
 pub const MAX_FRAME: usize = 1 << 20;
+
+/// Flag bit in the reserved header bytes: the frame carries a 16-byte
+/// trace-context trailer after the payload (see [`Frame::trace_context`]).
+/// Untraced frames keep reserved = 0, byte-identical to version 1
+/// without tracing; receivers ignore unknown flag bits.
+pub const FLAG_TRACED: u16 = 0x8000;
+
+/// Length of the trace-context trailer: trace id (u64 BE) then parent
+/// span id (u64 BE).
+pub const TRACE_TRAILER_LEN: usize = 16;
 
 /// Field offsets within the frame header.
 pub(crate) mod field {
@@ -117,6 +128,16 @@ impl<T: AsRef<[u8]>> Frame<T> {
                 data.len()
             )));
         }
+        let flags = data
+            .get(field::RESERVED)
+            .and_then(|b| b.try_into().ok())
+            .map(u16::from_be_bytes)
+            .unwrap_or(0);
+        if flags & FLAG_TRACED != 0 && len < HEADER_LEN + TRACE_TRAILER_LEN {
+            return Err(Error::Malformed(format!(
+                "traced frame length {len} too short for {TRACE_TRAILER_LEN}-byte trailer"
+            )));
+        }
         Ok(())
     }
 
@@ -137,13 +158,47 @@ impl<T: AsRef<[u8]>> Frame<T> {
         self.buffer.as_ref()[field::MSG_TYPE]
     }
 
-    /// The reserved header bytes. Senders write zero; receivers must
-    /// ignore the value (room for future flags without a version bump).
+    /// The reserved header bytes, now a flag word. Senders write zero
+    /// unless a defined flag applies ([`FLAG_TRACED`]); receivers must
+    /// ignore unknown bits (room for future flags without a version
+    /// bump).
     pub fn reserved(&self) -> u16 {
         // softcell-lint: allow(wire-panic) -- header length validated by new_checked
         let b = &self.buffer.as_ref()[field::RESERVED];
         // softcell-lint: allow(wire-panic) -- RESERVED is a fixed 2-byte header range
         u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Whether the frame carries a trace-context trailer.
+    pub fn is_traced(&self) -> bool {
+        self.reserved() & FLAG_TRACED != 0
+    }
+
+    /// The trace context from the trailer, or [`TraceContext::NONE`]
+    /// for untraced frames.
+    pub fn trace_context(&self) -> TraceContext {
+        if !self.is_traced() {
+            return TraceContext::NONE;
+        }
+        let d = self.buffer.as_ref();
+        let Some(tail) = d
+            .len()
+            .checked_sub(TRACE_TRAILER_LEN)
+            .filter(|&s| s >= HEADER_LEN)
+            .and_then(|s| d.get(s..))
+        else {
+            return TraceContext::NONE;
+        };
+        let word = |r: std::ops::Range<usize>| {
+            tail.get(r)
+                .and_then(|b| b.try_into().ok())
+                .map(u64::from_be_bytes)
+                .unwrap_or(0)
+        };
+        TraceContext {
+            trace_id: word(0..8),
+            parent: word(8..16),
+        }
     }
 
     /// Total frame length from the header.
@@ -158,9 +213,16 @@ impl<T: AsRef<[u8]>> Frame<T> {
         header_u32(d, field::XID).unwrap_or(0)
     }
 
-    /// The message payload after the header.
+    /// The message payload after the header, excluding the
+    /// trace-context trailer when present.
     pub fn payload(&self) -> &[u8] {
-        self.buffer.as_ref().get(HEADER_LEN..).unwrap_or(&[])
+        let d = self.buffer.as_ref();
+        let end = if self.is_traced() {
+            d.len().saturating_sub(TRACE_TRAILER_LEN).max(HEADER_LEN)
+        } else {
+            d.len()
+        };
+        d.get(HEADER_LEN..end).unwrap_or(&[])
     }
 
     /// Decodes the payload into a [`Message`] borrowing from the buffer.
@@ -735,6 +797,22 @@ impl Message<'_> {
         w.finish()
     }
 
+    /// Encodes the message as a complete frame carrying `ctx` in a
+    /// trace-context trailer. An inactive context yields the exact
+    /// bytes of [`Message::encode`] — untraced peers see no change.
+    pub fn encode_traced(&self, xid: u32, ctx: TraceContext) -> Vec<u8> {
+        let mut buf = self.encode(xid);
+        if !ctx.is_active() {
+            return buf;
+        }
+        buf.extend_from_slice(&ctx.trace_id.to_be_bytes());
+        buf.extend_from_slice(&ctx.parent.to_be_bytes());
+        buf[field::RESERVED].copy_from_slice(&FLAG_TRACED.to_be_bytes());
+        let len = buf.len() as u32;
+        buf[field::LENGTH].copy_from_slice(&len.to_be_bytes());
+        buf
+    }
+
     /// Decodes a payload of the given type. The returned message borrows
     /// byte and string payloads from `payload`.
     pub fn parse(kind: u8, payload: &[u8]) -> Result<Message<'_>> {
@@ -1192,6 +1270,54 @@ mod tests {
         let mut buf = Message::BarrierRequest.encode(1);
         buf[7] = 200; // length 200 != 12-byte buffer
         assert!(Frame::new_checked(&buf[..]).is_err(), "length");
+        let mut buf = Message::BarrierRequest.encode(1);
+        buf[field::RESERVED].copy_from_slice(&FLAG_TRACED.to_be_bytes());
+        assert!(
+            Frame::new_checked(&buf[..]).is_err(),
+            "traced flag without room for the trailer"
+        );
+    }
+
+    #[test]
+    fn traced_frame_round_trips_context_and_payload() {
+        let ctx = TraceContext {
+            trace_id: 0x1122_3344_5566_7788,
+            parent: 42,
+        };
+        let msg = Message::PacketIn(PacketIn::PathRequest {
+            bs: BaseStationId(9),
+            clause: ClauseId(3),
+        });
+        let plain = msg.encode(17);
+        let traced = msg.encode_traced(17, ctx);
+        assert_eq!(traced.len(), plain.len() + TRACE_TRAILER_LEN);
+        assert_eq!(&traced[..2], &plain[..2], "version/type unchanged");
+        assert_eq!(&traced[8..plain.len()], &plain[8..], "payload unchanged");
+
+        let frame = Frame::new_checked(&traced[..]).unwrap();
+        assert!(frame.is_traced());
+        assert_eq!(frame.trace_context(), ctx);
+        assert_eq!(frame.total_len(), traced.len());
+        assert_eq!(
+            frame.payload(),
+            Frame::new_checked(&plain[..]).unwrap().payload(),
+            "trailer excluded from the payload"
+        );
+        assert_eq!(frame.message().unwrap(), msg, "decode ignores the trailer");
+    }
+
+    #[test]
+    fn inactive_context_keeps_untraced_bytes_identical() {
+        let msg = Message::BarrierRequest;
+        assert_eq!(
+            msg.encode_traced(5, TraceContext::NONE),
+            msg.encode(5),
+            "no-trace path is byte-identical"
+        );
+        let frame_buf = msg.encode(5);
+        let frame = Frame::new_checked(&frame_buf[..]).unwrap();
+        assert!(!frame.is_traced());
+        assert_eq!(frame.trace_context(), TraceContext::NONE);
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub struct CtlchanMetrics {
     pub fault_delayed: Arc<Counter>,
     /// Mid-frame disconnects injected by fault injection.
     pub fault_disconnects: Arc<Counter>,
+    /// Frames sent carrying a trace-context trailer.
+    pub traced_tx: Arc<Counter>,
+    /// Frames received carrying a trace-context trailer.
+    pub traced_rx: Arc<Counter>,
 }
 
 /// The crate's interned metric handles (registered on first use).
@@ -73,6 +77,8 @@ pub fn metrics() -> &'static CtlchanMetrics {
             fault_duplicated: reg.counter("softcell_ctlchan_fault_duplicated_total"),
             fault_delayed: reg.counter("softcell_ctlchan_fault_delayed_total"),
             fault_disconnects: reg.counter("softcell_ctlchan_fault_disconnects_total"),
+            traced_tx: reg.counter("softcell_ctlchan_traced_frames_tx_total"),
+            traced_rx: reg.counter("softcell_ctlchan_traced_frames_rx_total"),
         }
     })
 }
@@ -82,6 +88,17 @@ pub fn metrics() -> &'static CtlchanMetrics {
 pub(crate) fn type_index(frame: &[u8]) -> usize {
     let t = frame.get(field::MSG_TYPE).copied().unwrap_or(u8::MAX) as usize;
     t.min(MSG_TYPE_NAMES.len() - 1)
+}
+
+/// Whether a raw frame carries a trace-context trailer (header flag
+/// word has [`crate::codec::FLAG_TRACED`] set).
+#[inline]
+pub(crate) fn frame_is_traced(frame: &[u8]) -> bool {
+    frame
+        .get(field::RESERVED)
+        .and_then(|b| <[u8; 2]>::try_from(b).ok())
+        .map(u16::from_be_bytes)
+        .is_some_and(|f| f & crate::codec::FLAG_TRACED != 0)
 }
 
 #[cfg(test)]

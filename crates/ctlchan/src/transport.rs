@@ -63,6 +63,9 @@ impl ChannelCounters {
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
         let m = crate::metrics::metrics();
         m.frames_tx[crate::metrics::type_index(frame)].inc();
+        if crate::metrics::frame_is_traced(frame) {
+            m.traced_tx.inc();
+        }
     }
 
     fn received(&self, frame: &[u8]) {
@@ -71,6 +74,9 @@ impl ChannelCounters {
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
         let m = crate::metrics::metrics();
         m.frames_rx[crate::metrics::type_index(frame)].inc();
+        if crate::metrics::frame_is_traced(frame) {
+            m.traced_rx.inc();
+        }
     }
 
     /// Reads all four counters.

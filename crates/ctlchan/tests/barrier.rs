@@ -36,7 +36,7 @@ fn flow_mods_before_barrier_are_applied_before_the_reply() {
         serve(
             server_end,
             || 0,
-            move |msg| {
+            move |msg, _ctx| {
                 if let Message::FlowMod(mods) = msg {
                     let mut state = applied_in_handler.lock().unwrap();
                     for m in mods {

@@ -42,7 +42,7 @@ use softcell_ctlchan::{
 };
 use softcell_policy::clause::ClauseId;
 use softcell_policy::{AppClassifier, ServicePolicy, SubscriberAttributes, UeClassifier};
-use softcell_telemetry::{Registry, Stopwatch};
+use softcell_telemetry::{Registry, Stopwatch, TraceContext};
 use softcell_types::{
     BaseStationId, ControllerId, EpochFence, Error, Membership, PolicyTag, PortNo, Result, SimTime,
     UeId, UeImsi,
@@ -384,6 +384,9 @@ impl<T: Transport> ReplicaNode<T> {
     /// Proposes one operation and blocks until it commits (quorum) or
     /// fails. Returns the committed record's own-origin index.
     pub fn propose(&self, op: ReplicatedOp) -> Result<u64> {
+        // Trace root for the whole quorum round: per-peer replicate_ack
+        // spans and the commit-side release span nest under it.
+        let _sp = Registry::global().tracer().root("replica_propose");
         let _serial = self.propose.lock();
         self.propose_inner(op)
     }
@@ -471,15 +474,27 @@ impl<T: Transport> ReplicaNode<T> {
                 let Some(chan) = peers.get_mut(seat).and_then(|s| s.as_mut()) else {
                     continue;
                 };
+                // span ends (and the channel's trace context is
+                // restored) before the outcome is acted on, so the
+                // fenced early-return below cannot leak a stale context
+                // onto this long-lived peer channel
                 let clock = Stopwatch::start();
-                match Self::ship_one(
-                    chan,
-                    &record,
-                    &payload,
-                    commit_before,
-                    fence_epoch,
-                    self.cfg.peer_deadline,
-                ) {
+                let shipped = {
+                    let mut sp = reg.tracer().span("replicate_ack");
+                    sp.set_shard(seat);
+                    chan.set_trace(sp.ctx());
+                    let r = Self::ship_one(
+                        chan,
+                        &record,
+                        &payload,
+                        commit_before,
+                        fence_epoch,
+                        self.cfg.peer_deadline,
+                    );
+                    chan.set_trace(TraceContext::NONE);
+                    r
+                };
+                match shipped {
                     Ok(ShipOutcome::Acked) => {
                         clock.record(&reg.histogram("softcell_replica_ship_ack_ns"));
                         reg.counter("softcell_replica_acks_total").inc();
@@ -503,6 +518,7 @@ impl<T: Transport> ReplicaNode<T> {
             acks += self.heal_gapped_peers(&gapped, &record, &payload, commit_before)?;
         }
         if acks >= self.cfg.quorum {
+            let _sp = reg.tracer().span("release");
             let mut core = self.core.lock();
             core.log.append(record)?;
             core.store.apply(&record)?;
@@ -726,7 +742,7 @@ impl<T: Transport> ReplicaNode<T> {
     {
         let node = Arc::clone(self);
         std::thread::spawn(move || {
-            softcell_ctlchan::serve(transport, || 0, move |msg| node.handle_peer(msg))
+            softcell_ctlchan::serve(transport, || 0, move |msg, _ctx| node.handle_peer(msg))
         })
     }
 
@@ -921,7 +937,7 @@ impl<T: Transport> ReplicaNode<T> {
     {
         let node = Arc::clone(self);
         std::thread::spawn(move || {
-            softcell_ctlchan::serve(transport, || 0, move |msg| node.handle_agent(msg))
+            softcell_ctlchan::serve(transport, || 0, move |msg, _ctx| node.handle_agent(msg))
         })
     }
 

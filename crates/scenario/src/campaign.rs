@@ -362,6 +362,16 @@ impl Driver<'_> {
 
     fn apply_event(&mut self, w: &mut SimWorld, ev: &TraceEvent) {
         self.counters.events.inc();
+        // Trace root per cohort event: controller/agent spans opened
+        // while handling it nest under the thread-local context. With
+        // sampling disarmed this is one atomic load.
+        let mut root = Registry::global().tracer().root(match ev.kind {
+            EventKind::Attach { .. } => "scenario_attach",
+            EventKind::NewFlow { .. } => "scenario_new_flow",
+            EventKind::Handoff { .. } => "scenario_handoff",
+            EventKind::Detach { .. } => "scenario_detach",
+        });
+        root.set_label(ev.imsi.0);
         match ev.kind {
             EventKind::Attach { bs } => self.do_attach(w, ev.imsi, bs, false),
             EventKind::NewFlow { dst_port, udp, .. } => self.do_flow(w, ev.imsi, dst_port, udp),

@@ -21,6 +21,10 @@
 //! * [`snapshot`] — [`Snapshot`]: typed point-in-time export, merged
 //!   across registries, rendered to JSON (via serde), Prometheus text
 //!   exposition, or a human-readable report table.
+//! * [`trace`] — [`Tracer`]: sampled causal spans ([`TraceContext`]
+//!   propagated across threads and the wire, RAII [`Span`] guards, a
+//!   bounded record ring) feeding the snapshot's critical-path
+//!   attribution and Chrome `trace_event` export (DESIGN.md §15).
 //!
 //! Building with the `telemetry-off` feature compiles every primitive
 //! to a zero-sized no-op — no atomics, no clock reads — while keeping
@@ -31,6 +35,7 @@ pub mod journal;
 pub mod metrics;
 pub mod registry;
 pub mod snapshot;
+pub mod trace;
 
 pub use journal::{Event, EventJournal, DEFAULT_JOURNAL_CAP};
 pub use metrics::{
@@ -38,4 +43,7 @@ pub use metrics::{
     BUCKETS,
 };
 pub use registry::Registry;
-pub use snapshot::{CounterSample, EventSample, GaugeSample, HistogramSample, Snapshot};
+pub use snapshot::{
+    CounterSample, EventSample, GaugeSample, HistogramSample, KindAttribution, Snapshot, SpanSample,
+};
+pub use trace::{ReqTrace, Span, SpanRecord, TraceContext, Tracer, DEFAULT_SLOW_US};

@@ -19,17 +19,22 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::journal::EventJournal;
 use crate::metrics::{Counter, Gauge, Histogram};
-use crate::snapshot::{CounterSample, EventSample, GaugeSample, HistogramSample, Snapshot};
+use crate::snapshot::{
+    CounterSample, EventSample, GaugeSample, HistogramSample, Snapshot, SpanSample,
+};
+use crate::trace::Tracer;
 
 type Family<T> = Mutex<BTreeMap<(String, String), Arc<T>>>;
 
-/// A set of named metric families plus one event journal.
+/// A set of named metric families plus one event journal and one span
+/// tracer.
 #[derive(Debug, Default)]
 pub struct Registry {
     counters: Family<Counter>,
     gauges: Family<Gauge>,
     histograms: Family<Histogram>,
     journal: EventJournal,
+    tracer: Tracer,
 }
 
 fn intern<T: Default>(family: &Family<T>, name: &str, label: &str) -> Arc<T> {
@@ -88,10 +93,15 @@ impl Registry {
         &self.journal
     }
 
+    /// This registry's span tracer (disarmed by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// A point-in-time copy of every registered metric and the retained
     /// journal, ready for JSON/Prometheus export or merging.
     pub fn snapshot(&self) -> Snapshot {
-        let counters = self
+        let mut counters: Vec<CounterSample> = self
             .counters
             .lock()
             .expect("registry poisoned")
@@ -102,6 +112,14 @@ impl Registry {
                 value: c.get(),
             })
             .collect();
+        // Journal overflow is otherwise silent: surface the eviction
+        // count as a first-class counter so exports and merges see it.
+        counters.push(CounterSample {
+            name: "softcell_telemetry_journal_dropped_total".to_string(),
+            label: String::new(),
+            value: self.journal.dropped(),
+        });
+        counters.sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
         let gauges = self
             .gauges
             .lock()
@@ -139,12 +157,29 @@ impl Registry {
                 b: e.b,
             })
             .collect();
+        let spans = self
+            .tracer
+            .records()
+            .into_iter()
+            .map(|s| SpanSample {
+                trace_id: s.trace_id,
+                span_id: s.span_id,
+                parent: s.parent,
+                kind: s.kind.to_string(),
+                start_us: s.start_us,
+                end_us: s.end_us,
+                shard: s.shard,
+                label: s.label,
+            })
+            .collect();
         Snapshot {
             counters,
             gauges,
             histograms,
             events,
             events_dropped: self.journal.dropped(),
+            spans,
+            spans_dropped: self.tracer.dropped(),
         }
     }
 }
@@ -171,6 +206,51 @@ mod tests {
             assert_eq!(snap.counter("softcell_test_total"), 3, "family sums");
             assert_eq!(snap.counter_labeled("softcell_test_total", "shard=1"), 1);
         }
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn journal_overflow_surfaces_as_dropped_counter() {
+        let r = Registry::default();
+        let clean = r.snapshot();
+        assert_eq!(
+            clean.counter("softcell_telemetry_journal_dropped_total"),
+            0,
+            "present even before any eviction"
+        );
+        for i in 0..(crate::journal::DEFAULT_JOURNAL_CAP as u64 + 3) {
+            r.journal().record("e", i, 0);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("softcell_telemetry_journal_dropped_total"), 3);
+        assert_eq!(snap.events_dropped, 3);
+        // The ring kept the newest entries.
+        assert_eq!(
+            snap.events.last().map(|e| e.a),
+            Some(crate::journal::DEFAULT_JOURNAL_CAP as u64 + 2)
+        );
+        assert_eq!(snap.events.first().map(|e| e.a), Some(3));
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn snapshot_carries_tracer_spans() {
+        let r = Registry::default();
+        r.tracer().set_sampling(1, 0);
+        {
+            let _root = r.tracer().span_in(
+                crate::trace::TraceContext {
+                    trace_id: 42,
+                    parent: 0,
+                },
+                "op",
+            );
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].trace_id, 42);
+        assert_eq!(snap.spans[0].kind, "op");
+        assert_eq!(snap.spans_dropped, 0);
     }
 
     #[test]

@@ -108,6 +108,44 @@ pub struct EventSample {
     pub b: u64,
 }
 
+/// One completed trace span, with the kind owned so snapshots are
+/// self-contained (see [`crate::trace::SpanRecord`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanSample {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id (0 for roots).
+    pub parent: u64,
+    /// Segment name, e.g. `"ticket_wait"`.
+    pub kind: String,
+    /// Microseconds since the process trace epoch.
+    pub start_us: u64,
+    /// End of the interval.
+    pub end_us: u64,
+    /// Shard the span ran on (-1 = not shard-bound).
+    pub shard: i64,
+    /// Free-form operand.
+    pub label: u64,
+}
+
+/// Per-span-kind critical-path attribution over every complete trace
+/// in a snapshot (see [`Snapshot::critical_path`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct KindAttribution {
+    /// Segment name.
+    pub kind: String,
+    /// Spans of this kind (all, not just on the critical path).
+    pub count: u64,
+    /// Summed wall time of all spans of this kind, µs.
+    pub total_us: u64,
+    /// Time this kind spent on the blocking chain, µs: interval not
+    /// covered by any child — the segment's *self* contribution to
+    /// end-to-end latency.
+    pub critical_us: u64,
+}
+
 /// Every metric a registry held at one instant.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct Snapshot {
@@ -121,6 +159,10 @@ pub struct Snapshot {
     pub events: Vec<EventSample>,
     /// Journal events evicted before this snapshot.
     pub events_dropped: u64,
+    /// Retained trace spans, oldest first.
+    pub spans: Vec<SpanSample>,
+    /// Trace spans evicted before this snapshot.
+    pub spans_dropped: u64,
 }
 
 impl Snapshot {
@@ -222,6 +264,8 @@ impl Snapshot {
 
         self.events.extend(other.events.iter().cloned());
         self.events_dropped += other.events_dropped;
+        self.spans.extend(other.spans.iter().cloned());
+        self.spans_dropped += other.spans_dropped;
     }
 
     /// Prometheus text exposition (v0.0.4): `# TYPE` per family,
@@ -238,25 +282,28 @@ impl Snapshot {
             }
         };
         for c in &self.counters {
-            type_line(&mut out, &c.name, "counter");
+            let name = prom_sanitize_name(&c.name);
+            type_line(&mut out, &name, "counter");
             out.push_str(&format!(
                 "{}{} {}\n",
-                c.name,
+                name,
                 prom_label(&c.label, None),
                 c.value
             ));
         }
         for g in &self.gauges {
-            type_line(&mut out, &g.name, "gauge");
+            let name = prom_sanitize_name(&g.name);
+            type_line(&mut out, &name, "gauge");
             out.push_str(&format!(
                 "{}{} {}\n",
-                g.name,
+                name,
                 prom_label(&g.label, None),
                 g.value
             ));
         }
         for h in &self.histograms {
-            type_line(&mut out, &h.name, "histogram");
+            let name = prom_sanitize_name(&h.name);
+            type_line(&mut out, &name, "histogram");
             let mut cum = 0u64;
             let top = h
                 .buckets
@@ -268,26 +315,26 @@ impl Snapshot {
                 cum += b;
                 out.push_str(&format!(
                     "{}_bucket{} {}\n",
-                    h.name,
+                    name,
                     prom_label(&h.label, Some(&bucket_upper_bound(i).to_string())),
                     cum
                 ));
             }
             out.push_str(&format!(
                 "{}_bucket{} {}\n",
-                h.name,
+                name,
                 prom_label(&h.label, Some("+Inf")),
                 h.count
             ));
             out.push_str(&format!(
                 "{}_sum{} {}\n",
-                h.name,
+                name,
                 prom_label(&h.label, None),
                 h.sum
             ));
             out.push_str(&format!(
                 "{}_count{} {}\n",
-                h.name,
+                name,
                 prom_label(&h.label, None),
                 h.count
             ));
@@ -355,18 +402,230 @@ impl Snapshot {
                 self.events_dropped
             ));
         }
+        if !self.spans.is_empty() || self.spans_dropped > 0 {
+            out.push_str(&format!(
+                "spans: {} retained, {} dropped, {} complete trace(s)\n",
+                self.spans.len(),
+                self.spans_dropped,
+                self.complete_traces().len()
+            ));
+            let attrib = self.critical_path();
+            let total_crit: u64 = attrib.iter().map(|a| a.critical_us).sum();
+            if total_crit > 0 {
+                out.push_str(&format!(
+                    "{:<width$}  {:>12} {:>12} {:>12} {:>7}\n",
+                    "critical path", "count", "total_us", "critical_us", "share%"
+                ));
+                for a in &attrib {
+                    out.push_str(&format!(
+                        "{:<width$}  {:>12} {:>12} {:>12} {:>7.1}\n",
+                        a.kind,
+                        a.count,
+                        a.total_us,
+                        a.critical_us,
+                        100.0 * a.critical_us as f64 / total_crit as f64
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Spans grouped by trace, restricted to *complete* traces — those
+    /// whose every parent reference resolves within the trace (ring
+    /// eviction can orphan the tail of old traces; an export must not
+    /// show dangling parents).
+    pub fn complete_traces(&self) -> BTreeMap<u64, Vec<&SpanSample>> {
+        let mut by_trace: BTreeMap<u64, Vec<&SpanSample>> = BTreeMap::new();
+        for s in &self.spans {
+            by_trace.entry(s.trace_id).or_default().push(s);
+        }
+        by_trace.retain(|_, spans| {
+            let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.span_id).collect();
+            spans
+                .iter()
+                .all(|s| s.parent == 0 || (s.parent != s.span_id && ids.contains(&s.parent)))
+        });
+        by_trace
+    }
+
+    /// Chrome `trace_event` JSON (the `about://tracing` / Perfetto
+    /// format): one complete duration event (`ph:"X"`, microsecond
+    /// timestamps) per span, one virtual thread per trace so each
+    /// operation renders as its own lane.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for spans in self.complete_traces().values() {
+            for s in spans {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"softcell\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":1,\"tid\":{},\"args\":{{\"trace_id\":{},\"span_id\":{},\
+                     \"parent\":{},\"shard\":{},\"label\":{}}}}}",
+                    json_escape(&s.kind),
+                    s.start_us,
+                    s.end_us.saturating_sub(s.start_us),
+                    s.trace_id,
+                    s.trace_id,
+                    s.span_id,
+                    s.parent,
+                    s.shard,
+                    s.label
+                ));
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Critical-path attribution: for every complete trace, walk the
+    /// span tree backward from each root's end, attributing each moment
+    /// to the *innermost* span covering it — a parent is only charged
+    /// for time no child accounts for (its self-time on the blocking
+    /// chain). Returns per-kind totals, largest critical share first.
+    pub fn critical_path(&self) -> Vec<KindAttribution> {
+        let mut agg: BTreeMap<&str, KindAttribution> = BTreeMap::new();
+        for s in &self.spans {
+            let e = agg
+                .entry(s.kind.as_str())
+                .or_insert_with(|| KindAttribution {
+                    kind: s.kind.clone(),
+                    count: 0,
+                    total_us: 0,
+                    critical_us: 0,
+                });
+            e.count += 1;
+            e.total_us += s.end_us.saturating_sub(s.start_us);
+        }
+        for spans in self.complete_traces().values() {
+            let mut children: BTreeMap<u64, Vec<&SpanSample>> = BTreeMap::new();
+            for s in spans {
+                children.entry(s.parent).or_default().push(s);
+            }
+            for kids in children.values_mut() {
+                kids.sort_by_key(|s| std::cmp::Reverse(s.end_us));
+            }
+            for root in children.get(&0).cloned().unwrap_or_default() {
+                let mut visited = std::collections::BTreeSet::new();
+                walk_critical(root, &children, &mut visited, &mut agg);
+            }
+        }
+        let mut out: Vec<KindAttribution> = agg.into_values().collect();
+        out.sort_by(|a, b| {
+            (b.critical_us, b.total_us, a.kind.as_str()).cmp(&(
+                a.critical_us,
+                a.total_us,
+                b.kind.as_str(),
+            ))
+        });
         out
     }
 }
 
+/// One step of the critical-path walk: charge `span` for the stretch of
+/// its interval not covered by any child (walking children newest-end
+/// first), recursing into each child as it is encountered.
+fn walk_critical<'a>(
+    span: &'a SpanSample,
+    children: &BTreeMap<u64, Vec<&'a SpanSample>>,
+    visited: &mut std::collections::BTreeSet<u64>,
+    agg: &mut BTreeMap<&'a str, KindAttribution>,
+) {
+    if !visited.insert(span.span_id) {
+        return;
+    }
+    let mut cursor = span.end_us.max(span.start_us);
+    for kid in children.get(&span.span_id).cloned().unwrap_or_default() {
+        if kid.start_us >= cursor {
+            continue; // entirely past the cursor: a sibling already covers it
+        }
+        let kid_end = kid.end_us.min(cursor);
+        if let Some(e) = agg.get_mut(span.kind.as_str()) {
+            e.critical_us += cursor - kid_end;
+        }
+        walk_critical(kid, children, visited, agg);
+        cursor = kid.start_us.max(span.start_us);
+    }
+    if let Some(e) = agg.get_mut(span.kind.as_str()) {
+        e.critical_us += cursor.saturating_sub(span.start_us);
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a Prometheus label *value*: the exposition format requires
+/// `\\`, `\"`, and literal newlines to be backslash-escaped inside the
+/// quoted value (everything else passes through verbatim).
+fn prom_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sanitizes a metric name to the Prometheus charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: invalid characters become `_`, and a
+/// leading digit gets an underscore prefix. Our own names already
+/// comply (DESIGN.md §11); this guards externally supplied ones.
+fn prom_sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Sanitizes a label *name* — like metric names but without `:`.
+fn prom_sanitize_label_key(key: &str) -> String {
+    prom_sanitize_name(key).replace(':', "_")
+}
+
 /// Renders the snapshot's single `key=value` label (plus an optional
-/// `le` bound) as a Prometheus label set.
+/// `le` bound) as a Prometheus label set, escaping values.
 fn prom_label(label: &str, le: Option<&str>) -> String {
     let mut parts = Vec::new();
     if let Some((k, v)) = label.split_once('=') {
-        parts.push(format!("{k}=\"{v}\""));
+        parts.push(format!(
+            "{}=\"{}\"",
+            prom_sanitize_label_key(k),
+            prom_escape(v)
+        ));
     } else if !label.is_empty() {
-        parts.push(format!("label=\"{label}\""));
+        parts.push(format!("label=\"{}\"", prom_escape(label)));
     }
     if let Some(le) = le {
         parts.push(format!("le=\"{le}\""));
@@ -460,6 +719,110 @@ mod tests {
         assert!(text.contains("softcell_lat_ns_bucket{le=\"+Inf\"} 3\n"));
         assert!(text.contains("softcell_lat_ns_sum 7\n"));
         assert!(text.contains("softcell_lat_ns_count 3\n"));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values_and_sanitizes_names() {
+        let snap = Snapshot {
+            counters: vec![
+                sample("softcell bad-metric_total", "site=a\"b\\c\nd", 1),
+                sample("9leading_total", "", 2),
+            ],
+            ..Default::default()
+        };
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains("softcell_bad_metric_total{site=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            "value escaped, name sanitized: {text}"
+        );
+        assert!(
+            text.contains("# TYPE softcell_bad_metric_total counter\n"),
+            "TYPE line uses the sanitized name"
+        );
+        assert!(
+            text.contains("_9leading_total 2\n"),
+            "leading digit guarded"
+        );
+        // the raw newline must not survive into the exposition: every
+        // sample line parses as `name{labels} value`
+        assert!(text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .all(|l| l
+                .rsplit_once(' ')
+                .is_some_and(|(_, v)| v.parse::<u64>().is_ok())));
+    }
+
+    #[test]
+    fn prom_label_escapes_and_sanitizes_keys() {
+        assert_eq!(prom_escape("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(prom_sanitize_name("softcell_ok_total"), "softcell_ok_total");
+        assert_eq!(prom_sanitize_name("has space-dash"), "has_space_dash");
+        assert_eq!(prom_sanitize_name(""), "_");
+        assert_eq!(prom_label("bad key=v\"w", None), "{bad_key=\"v\\\"w\"}");
+    }
+
+    fn span(trace: u64, id: u64, parent: u64, kind: &str, s: u64, e: u64) -> SpanSample {
+        SpanSample {
+            trace_id: trace,
+            span_id: id,
+            parent,
+            kind: kind.to_string(),
+            start_us: s,
+            end_us: e,
+            shard: -1,
+            label: 0,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_exports_only_complete_traces() {
+        let snap = Snapshot {
+            spans: vec![
+                span(1, 10, 0, "root", 0, 100),
+                span(1, 11, 10, "child", 10, 40),
+                // parent 99 was evicted from the ring: trace 2 is
+                // incomplete and must not be exported
+                span(2, 20, 99, "orphan", 5, 6),
+            ],
+            ..Default::default()
+        };
+        let traces = snap.complete_traces();
+        assert!(traces.contains_key(&1));
+        assert!(!traces.contains_key(&2));
+        let json = snap.to_chrome_trace();
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"root\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"dur\":30"), "child runs 10..40");
+        assert!(!json.contains("orphan"));
+    }
+
+    #[test]
+    fn critical_path_charges_gaps_to_the_parent() {
+        // root [0,100] with children [10,40] and [60,90]: the root's
+        // self-time on the blocking chain is the three uncovered gaps
+        // (0-10, 40-60, 90-100) = 40 µs.
+        let snap = Snapshot {
+            spans: vec![
+                span(1, 1, 0, "root", 0, 100),
+                span(1, 2, 1, "early", 10, 40),
+                span(1, 3, 1, "late", 60, 90),
+            ],
+            ..Default::default()
+        };
+        let attrib = snap.critical_path();
+        let get = |k: &str| attrib.iter().find(|a| a.kind == k).expect(k).clone();
+        assert_eq!(get("root").total_us, 100);
+        assert_eq!(get("root").critical_us, 40);
+        assert_eq!(get("early").critical_us, 30);
+        assert_eq!(get("late").critical_us, 30);
+        assert_eq!(attrib[0].kind, "root", "sorted by critical share");
+        let text = snap.report();
+        assert!(text.contains("critical path"), "report has the table");
+        assert!(text.contains("spans: 3 retained"));
     }
 
     #[test]

@@ -58,6 +58,38 @@ fn top_bucket_saturates_instead_of_overflowing() {
 }
 
 proptest! {
+    /// `Snapshot::merge` on histograms is lossless at the percentile
+    /// level: the merged p50/p95/p99 equal those of one histogram fed
+    /// the union of both sample sets (bucket merging is exact, so the
+    /// derived quantiles must be too).
+    #[test]
+    fn merged_percentiles_match_union_histogram(
+        a in proptest::collection::vec(0u64..10_000_000, 0..128),
+        b in proptest::collection::vec(0u64..10_000_000, 0..128),
+    ) {
+        let snap_of = |samples: &[u64]| {
+            let r = Registry::new();
+            let h = r.histogram("softcell_test_merge_ns");
+            for &v in samples {
+                h.record(v);
+            }
+            r.snapshot()
+        };
+        let mut merged = snap_of(&a);
+        merged.merge(&snap_of(&b));
+
+        let union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let single = snap_of(&union);
+
+        let m = merged.histogram("softcell_test_merge_ns").expect("merged");
+        let s = single.histogram("softcell_test_merge_ns").expect("single");
+        prop_assert_eq!(m.count, s.count);
+        prop_assert_eq!(m.sum, s.sum);
+        prop_assert_eq!(m.max, s.max);
+        prop_assert_eq!((m.p50, m.p95, m.p99), (s.p50, s.p95, s.p99));
+        prop_assert_eq!(&m.buckets, &s.buckets);
+    }
+
     /// Eight threads hammering one histogram record exactly the same
     /// count, sum, max and per-bucket totals as recording the same
     /// samples sequentially.

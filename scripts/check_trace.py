@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON export produced by `--trace`.
+
+Gates, in order:
+  1. the file is valid JSON shaped like a Chrome trace: a top-level
+     `traceEvents` list of complete ("ph": "X") events, each carrying
+     name/ts/dur/pid/tid and the softcell span args
+  2. spans are well nested in time: no span ends before it starts
+  3. no orphan parents: every nonzero `args.parent` resolves to a
+     `span_id` within the same trace (the exporter only emits complete
+     traces, so a dangling parent means the exporter or the ring broke)
+  4. at least one trace crossed the wire boundary: a client-side
+     `wire_rtt` span and a server-side `serve_frame` span share one
+     trace id, proving context propagation through the frame trailer
+
+Usage: check_trace.py PATH [PATH ...]; exits nonzero on the first
+failed gate.
+"""
+import json
+import sys
+
+
+def check(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    assert isinstance(events, list) and events, f"{path}: no traceEvents"
+
+    traces = {}
+    for ev in events:
+        assert ev.get("ph") == "X", f"{path}: non-complete event: {ev}"
+        for key in ("name", "ts", "dur", "pid", "tid", "args"):
+            assert key in ev, f"{path}: event missing {key!r}: {ev}"
+        assert ev["dur"] >= 0, f"{path}: span ends before it starts: {ev}"
+        assert ev["args"].get("span_id"), f"{path}: span without id: {ev}"
+        traces.setdefault(ev["tid"], []).append((ev["name"], ev["args"]))
+
+    crossed = 0
+    for tid, spans in traces.items():
+        ids = {args["span_id"] for _, args in spans}
+        for name, args in spans:
+            parent = args.get("parent", 0)
+            assert parent == 0 or parent in ids, (
+                f"{path}: trace {tid}: span {name!r} has orphan parent "
+                f"{parent} (ids: {sorted(ids)})"
+            )
+        names = {name for name, _ in spans}
+        if "wire_rtt" in names and "serve_frame" in names:
+            crossed += 1
+    assert crossed >= 1, f"{path}: no trace crossed the wire boundary"
+    print(
+        f"{path}: trace ok — {len(events)} spans, {len(traces)} traces, "
+        f"{crossed} crossed the wire"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit(f"usage: {sys.argv[0]} PATH [PATH ...]")
+    for p in sys.argv[1:]:
+        check(p)

@@ -43,11 +43,16 @@ timeout 180 cargo test -q --release --test recovery
 # Sharded packet-in throughput smoke: 4 domains must beat a single
 # domain by at least 1.5x (the acceptance floor is 2x on multicore; the
 # smoke bar is lower so a loaded 1-core CI box still passes honestly).
-# The same run exports telemetry, gating the observability substrate:
-# the JSON must parse and carry real counts, not a dead registry.
-echo "==> sharded throughput smoke + telemetry export (120 s cap)"
+# The same run exports telemetry AND a causal trace, gating the
+# observability substrate: the JSON must parse and carry real counts,
+# and the trace must be a valid Chrome trace_event file whose spans are
+# well nested with at least one trace crossing the wire boundary
+# (wire_rtt and serve_frame under one trace id).
+echo "==> sharded throughput smoke + telemetry/trace export (120 s cap)"
 timeout 120 cargo run --release -q -p softcell-bench --bin tab2_agent_throughput -- \
-  --quick --shards 4 --min-speedup 1.5 --telemetry /tmp/softcell-telemetry.json
+  --quick --shards 4 --min-speedup 1.5 --telemetry /tmp/softcell-telemetry.json \
+  --trace /tmp/softcell-trace.json
+python3 scripts/check_trace.py /tmp/softcell-trace.json
 
 # Wide-shard smoke: 16 domains through the concurrent engine (optimistic
 # plan + validate/commit). The speedup floor stays modest — CI boxes may
@@ -67,7 +72,9 @@ echo "==> metro scenario campaign smoke (240 s cap)"
 timeout 240 ./target/release/metro_campaign \
   --ues 10000 --scenarios diurnal,flash-crowd,controller-kill \
   --report /tmp/softcell-scenario.json \
-  --telemetry /tmp/softcell-scenario-telemetry.json
+  --telemetry /tmp/softcell-scenario-telemetry.json \
+  --trace /tmp/softcell-scenario-trace.json
+python3 scripts/check_trace.py /tmp/softcell-scenario-trace.json
 python3 - /tmp/softcell-scenario.json /tmp/softcell-scenario-telemetry.json <<'PY'
 import json, sys
 report = json.load(open(sys.argv[1]))
